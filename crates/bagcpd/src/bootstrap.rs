@@ -1,0 +1,319 @@
+//! Bayesian-bootstrap confidence intervals for change-point scores
+//! (§4.2, Eqs. 19, 21–22).
+//!
+//! At each inspection point the window weights are resampled `T` times
+//! from the Dirichlet posteriors
+//! `{ψ_{t-τ}, …} ~ Dir(τ ψ_{t-τ}, …)` and `{ψ_t, …} ~ Dir(τ' ψ_t, …)`
+//! (Appendix B; for equal weights these are the flat `Dir(1, …, 1)` of
+//! Appendix A). The score is recomputed for each replicate — cheaply,
+//! because the EMD matrix is fixed — and the `α/2` and `1-α/2` empirical
+//! quantiles form the confidence interval.
+
+use crate::score::{ScoreKind, WindowScorer};
+use rand::Rng;
+use rand::SeedableRng;
+use stats::descriptive::quantile_sorted;
+use stats::Dirichlet;
+
+/// Configuration of the Bayesian bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap replicates `T`.
+    pub replicates: usize,
+    /// Significance level `α` (the CI covers `1 - α`).
+    pub alpha: f64,
+    /// Number of worker threads for replicate evaluation. `1` runs
+    /// serially; values above 1 use crossbeam scoped threads. Results are
+    /// identical regardless (per-replicate RNG streams are derived from
+    /// the master seed, not from thread scheduling).
+    pub threads: usize,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            replicates: 200,
+            alpha: 0.05,
+            threads: 1,
+        }
+    }
+}
+
+impl BootstrapConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicates < 2 {
+            return Err("bootstrap replicates must be >= 2".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err("alpha must be in (0, 1)".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A change-point score with its bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound `θ_lo` (the `α/2` quantile).
+    pub lo: f64,
+    /// Upper bound `θ_up` (the `1 - α/2` quantile).
+    pub up: f64,
+}
+
+/// Compute the bootstrap CI of the score at one inspection point.
+///
+/// `ref_weights` / `test_weights` are the nominal window weights ψ; the
+/// Dirichlet posteriors of Appendix B are parameterized from them
+/// (`Dir(n·ψ)`), which reduces to the flat Dirichlet for equal weights.
+///
+/// The base RNG only seeds the per-replicate streams, so results are
+/// reproducible and independent of `cfg.threads`.
+pub fn bootstrap_ci(
+    scorer: &WindowScorer,
+    kind: ScoreKind,
+    ref_weights: &[f64],
+    test_weights: &[f64],
+    cfg: &BootstrapConfig,
+    rng: &mut impl Rng,
+) -> ConfidenceInterval {
+    cfg.validate().expect("invalid bootstrap config");
+    let dir_ref = Dirichlet::from_weights(ref_weights);
+    let dir_test = Dirichlet::from_weights(test_weights);
+
+    // Derive one seed per replicate up front (thread-count independent).
+    let seeds: Vec<u64> = (0..cfg.replicates).map(|_| rng.gen()).collect();
+
+    let mut scores = if cfg.threads <= 1 {
+        replicate_range(scorer, kind, &dir_ref, &dir_test, &seeds)
+    } else {
+        let chunk = seeds.len().div_ceil(cfg.threads);
+        let mut results: Vec<Vec<f64>> = Vec::new();
+        let (dir_ref, dir_test) = (&dir_ref, &dir_test);
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = seeds
+                .chunks(chunk)
+                .map(|chunk_seeds| {
+                    s.spawn(move |_| {
+                        replicate_range(scorer, kind, dir_ref, dir_test, chunk_seeds)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("bootstrap worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().flatten().collect()
+    };
+
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    ConfidenceInterval {
+        lo: quantile_sorted(&scores, cfg.alpha / 2.0),
+        up: quantile_sorted(&scores, 1.0 - cfg.alpha / 2.0),
+    }
+}
+
+/// Evaluate one batch of bootstrap replicates.
+fn replicate_range(
+    scorer: &WindowScorer,
+    kind: ScoreKind,
+    dir_ref: &Dirichlet,
+    dir_test: &Dirichlet,
+    seeds: &[u64],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(seeds.len());
+    let mut wr = vec![0.0; dir_ref.dim()];
+    let mut wt = vec![0.0; dir_test.dim()];
+    for &seed in seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        dir_ref.sample_into(&mut rng, &mut wr);
+        dir_test.sample_into(&mut rng, &mut wt);
+        out.push(scorer.score(kind, &wr, &wt));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature_builder::GroundMetric;
+    use crate::window::equal_weights;
+    use emd::Signature;
+    use infoest::EstimatorConfig;
+    use rand::rngs::StdRng;
+
+    fn scorer(positions: &[f64], tau: usize, tau_prime: usize) -> WindowScorer {
+        let sigs: Vec<Signature> = positions
+            .iter()
+            .map(|&p| Signature::new(vec![vec![p], vec![p + 0.3]], vec![1.0, 1.0]).unwrap())
+            .collect();
+        WindowScorer::new(
+            &sigs,
+            tau,
+            tau_prime,
+            &GroundMetric::Euclidean,
+            EstimatorConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ci_is_ordered_and_finite() {
+        let s = scorer(&[0.0, 0.2, 0.4, 5.0, 5.2, 5.4], 3, 3);
+        let w = equal_weights(3);
+        let ci = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig::default(),
+            &mut rng(1),
+        );
+        assert!(ci.lo.is_finite() && ci.up.is_finite());
+        assert!(ci.lo <= ci.up);
+    }
+
+    #[test]
+    fn ci_brackets_point_score() {
+        // The nominal-weight score should normally lie inside a 95% CI.
+        let s = scorer(&[0.0, 0.2, 0.4, 3.0, 3.2, 3.4], 3, 3);
+        let w = equal_weights(3);
+        let point = s.score_kl(&w, &w);
+        let ci = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig {
+                replicates: 500,
+                ..Default::default()
+            },
+            &mut rng(2),
+        );
+        assert!(
+            ci.lo <= point && point <= ci.up,
+            "point {point} outside CI [{}, {}]",
+            ci.lo,
+            ci.up
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = scorer(&[0.0, 0.1, 0.2, 1.0, 1.1, 1.2], 3, 3);
+        let w = equal_weights(3);
+        let cfg = BootstrapConfig::default();
+        let a = bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng(7));
+        let b = bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = scorer(&[0.0, 0.1, 0.2, 1.0, 1.1, 1.2], 3, 3);
+        let w = equal_weights(3);
+        let serial = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig {
+                threads: 1,
+                ..Default::default()
+            },
+            &mut rng(11),
+        );
+        let parallel = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig {
+                threads: 4,
+                ..Default::default()
+            },
+            &mut rng(11),
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn wider_alpha_gives_narrower_interval() {
+        let s = scorer(&[0.0, 0.5, 1.0, 2.0, 2.5, 3.0], 3, 3);
+        let w = equal_weights(3);
+        let narrow = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig {
+                alpha: 0.5,
+                replicates: 400,
+                ..Default::default()
+            },
+            &mut rng(3),
+        );
+        let wide = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig {
+                alpha: 0.05,
+                replicates: 400,
+                ..Default::default()
+            },
+            &mut rng(3),
+        );
+        assert!(wide.up - wide.lo >= narrow.up - narrow.lo);
+    }
+
+    #[test]
+    fn lr_score_bootstraps_too() {
+        let s = scorer(&[0.0, 0.1, 0.2, 4.0, 4.1, 4.2], 3, 3);
+        let w = equal_weights(3);
+        let ci = bootstrap_ci(
+            &s,
+            ScoreKind::LikelihoodRatio,
+            &w,
+            &w,
+            &BootstrapConfig::default(),
+            &mut rng(5),
+        );
+        assert!(ci.lo <= ci.up);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BootstrapConfig {
+            replicates: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BootstrapConfig {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BootstrapConfig {
+            threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BootstrapConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type of the detection pipeline.
+
+use emd::EmdError;
+
+/// Failure modes of the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// Configuration rejected (reason attached).
+    BadConfig(String),
+    /// The bag sequence is shorter than `tau + tau_prime`.
+    SequenceTooShort {
+        /// Number of bags supplied.
+        got: usize,
+        /// Minimum required (`tau + tau_prime`).
+        need: usize,
+    },
+    /// Bags have inconsistent dimensions across the sequence.
+    DimensionMismatch,
+    /// EMD computation failed.
+    Emd(EmdError),
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::BadConfig(msg) => write!(f, "bad detector config: {msg}"),
+            DetectError::SequenceTooShort { got, need } => {
+                write!(f, "sequence of {got} bags is shorter than tau + tau' = {need}")
+            }
+            DetectError::DimensionMismatch => write!(f, "bags have inconsistent dimensions"),
+            DetectError::Emd(e) => write!(f, "EMD failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Emd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EmdError> for DetectError {
+    fn from(e: EmdError) -> Self {
+        DetectError::Emd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: DetectError = EmdError::ZeroMass.into();
+        assert!(e.to_string().contains("EMD"));
+        assert!(DetectError::SequenceTooShort { got: 3, need: 10 }
+            .to_string()
+            .contains("3"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Bridging bags to EMD signatures (§3.1).
+
+use crate::bag::Bag;
+use emd::{Chebyshev, Euclidean, GroundDistance, Manhattan, Signature};
+use quantize::{
+    histogram_grid, kmeans, kmedoids, lvq_quantize, HistogramSpec, KMeansConfig, KMedoidsConfig,
+    LvqConfig,
+};
+use rand::Rng;
+
+/// How to turn a bag into a signature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignatureMethod {
+    /// k-means clustering with `k` clusters (the paper's default choice).
+    KMeans {
+        /// Number of clusters.
+        k: usize,
+    },
+    /// k-medoids clustering with `k` medoids.
+    KMedoids {
+        /// Number of medoids.
+        k: usize,
+    },
+    /// Competitive-learning vector quantization with `k` prototypes.
+    Lvq {
+        /// Number of prototypes.
+        k: usize,
+    },
+    /// Fixed-width histogram (bin width shared by all dimensions,
+    /// origin 0). The natural choice for 1-D bags.
+    Histogram {
+        /// Bin width.
+        width: f64,
+    },
+}
+
+impl Default for SignatureMethod {
+    fn default() -> Self {
+        SignatureMethod::KMeans { k: 8 }
+    }
+}
+
+/// Ground metric for the EMD (object-safe choice set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundMetric {
+    /// Euclidean (L2) — the conventional choice, making EMD the
+    /// Wasserstein/Mallows distance.
+    #[default]
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// Chebyshev (L∞).
+    Chebyshev,
+}
+
+impl GroundMetric {
+    /// Evaluate the chosen metric.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            GroundMetric::Euclidean => Euclidean.distance(a, b),
+            GroundMetric::Manhattan => Manhattan.distance(a, b),
+            GroundMetric::Chebyshev => Chebyshev.distance(a, b),
+        }
+    }
+}
+
+impl GroundDistance for GroundMetric {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        GroundMetric::distance(self, a, b)
+    }
+}
+
+/// Build the signature of one bag with the chosen method.
+///
+/// The RNG drives quantizer initialization (k-means++ seeding etc.);
+/// histograms ignore it.
+///
+/// # Panics
+/// Panics on invalid method parameters (zero `k`, non-positive width) —
+/// these are caught earlier by `DetectorConfig::validate` when used
+/// through the detector.
+pub fn build_signature(bag: &Bag, method: &SignatureMethod, rng: &mut impl Rng) -> Signature {
+    let q = match method {
+        SignatureMethod::KMeans { k } => kmeans(bag.points(), &KMeansConfig::with_k(*k), rng),
+        SignatureMethod::KMedoids { k } => {
+            kmedoids(bag.points(), &KMedoidsConfig::with_k(*k), rng)
+        }
+        SignatureMethod::Lvq { k } => lvq_quantize(bag.points(), &LvqConfig::with_k(*k), rng),
+        SignatureMethod::Histogram { width } => {
+            histogram_grid(bag.points(), &HistogramSpec::uniform(bag.dim(), 0.0, *width))
+        }
+    };
+    Signature::from_counts(q.centers, &q.counts)
+        .expect("quantization always yields a valid signature")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn bag() -> Bag {
+        Bag::new(
+            (0..60)
+                .map(|i| vec![(i % 6) as f64, (i % 3) as f64])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn kmeans_signature_mass_equals_bag_size() {
+        let s = build_signature(&bag(), &SignatureMethod::KMeans { k: 4 }, &mut rng());
+        assert_eq!(s.total_weight(), 60.0);
+        assert!(s.len() <= 4);
+    }
+
+    #[test]
+    fn kmedoids_signature() {
+        let s = build_signature(&bag(), &SignatureMethod::KMedoids { k: 3 }, &mut rng());
+        assert_eq!(s.total_weight(), 60.0);
+        assert!(s.len() <= 3);
+    }
+
+    #[test]
+    fn lvq_signature() {
+        let s = build_signature(&bag(), &SignatureMethod::Lvq { k: 5 }, &mut rng());
+        assert_eq!(s.total_weight(), 60.0);
+    }
+
+    #[test]
+    fn histogram_signature_is_deterministic() {
+        let a = build_signature(&bag(), &SignatureMethod::Histogram { width: 1.0 }, &mut rng());
+        let b = build_signature(&bag(), &SignatureMethod::Histogram { width: 1.0 }, &mut rng());
+        assert_eq!(a, b);
+        assert_eq!(a.total_weight(), 60.0);
+    }
+
+    #[test]
+    fn ground_metric_dispatch() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((GroundMetric::Euclidean.distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((GroundMetric::Manhattan.distance(&a, &b) - 7.0).abs() < 1e-12);
+        assert!((GroundMetric::Chebyshev.distance(&a, &b) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the core detector's invariants.
+
+use bagcpd::{
+    bootstrap_ci, equal_weights, BootstrapConfig, GroundMetric, ScoreKind, WindowScorer,
+};
+use emd::Signature;
+use infoest::EstimatorConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a window of 1-D signatures at given positions with 2-point
+/// support (jittered so signatures never coincide).
+fn window(len: usize) -> impl Strategy<Value = Vec<Signature>> {
+    prop::collection::vec((-20.0..20.0f64, 0.1..3.0f64), len..=len).prop_map(|specs| {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(pos, spread))| {
+                // Deterministic per-index jitter keeps signatures distinct.
+                let jitter = (i as f64 + 1.0) * 1e-3;
+                Signature::new(
+                    vec![vec![pos + jitter], vec![pos + spread + jitter]],
+                    vec![1.0, 1.5],
+                )
+                .expect("valid signature")
+            })
+            .collect()
+    })
+}
+
+fn scorer(sigs: &[Signature], tau: usize, tau_prime: usize) -> WindowScorer {
+    WindowScorer::new(
+        sigs,
+        tau,
+        tau_prime,
+        &GroundMetric::Euclidean,
+        EstimatorConfig::default(),
+    )
+    .expect("scorer builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both scores are finite for arbitrary windows and weights.
+    #[test]
+    fn scores_always_finite(
+        sigs in window(8),
+        wr_raw in prop::collection::vec(0.05..5.0f64, 4),
+        wt_raw in prop::collection::vec(0.05..5.0f64, 4),
+    ) {
+        let s = scorer(&sigs, 4, 4);
+        let kl = s.score_kl(&wr_raw, &wt_raw);
+        let lr = s.score_lr(&wr_raw, &wt_raw);
+        prop_assert!(kl.is_finite(), "KL {kl}");
+        prop_assert!(lr.is_finite(), "LR {lr}");
+    }
+
+    /// Scores are invariant to rescaling all the weights (they are
+    /// normalized internally).
+    #[test]
+    fn scores_weight_scale_invariant(
+        sigs in window(8),
+        scale in 0.1..50.0f64,
+    ) {
+        let s = scorer(&sigs, 4, 4);
+        let w = equal_weights(4);
+        let w_scaled: Vec<f64> = w.iter().map(|x| x * scale).collect();
+        let a = s.score_kl(&w, &w);
+        let b = s.score_kl(&w_scaled, &w_scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// KL score is symmetric under exchanging the two (equal-size)
+    /// windows.
+    #[test]
+    fn kl_symmetric_under_window_swap(sigs in window(8)) {
+        let w = equal_weights(4);
+        let forward = scorer(&sigs, 4, 4).score_kl(&w, &w);
+        let mut swapped: Vec<Signature> = sigs[4..].to_vec();
+        swapped.extend_from_slice(&sigs[..4]);
+        let backward = scorer(&swapped, 4, 4).score_kl(&w, &w);
+        prop_assert!((forward - backward).abs() < 1e-9, "{forward} vs {backward}");
+    }
+
+    /// Translating every signature leaves both scores unchanged (the
+    /// EMD metric space is translation invariant).
+    #[test]
+    fn scores_translation_invariant(sigs in window(7), delta in -50.0..50.0f64) {
+        let shifted: Vec<Signature> = sigs
+            .iter()
+            .map(|s| {
+                Signature::new(
+                    s.points().iter().map(|p| vec![p[0] + delta]).collect(),
+                    s.weights().to_vec(),
+                )
+                .expect("valid")
+            })
+            .collect();
+        let w3 = equal_weights(3);
+        let w4 = equal_weights(4);
+        let a = scorer(&sigs, 3, 4).score_kl(&w3, &w4);
+        let b = scorer(&shifted, 3, 4).score_kl(&w3, &w4);
+        prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    /// Bootstrap CIs are ordered, finite, and contain the median
+    /// replicate by construction.
+    #[test]
+    fn bootstrap_ci_well_formed(sigs in window(8), seed in 0u64..500) {
+        let s = scorer(&sigs, 4, 4);
+        let w = equal_weights(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ci = bootstrap_ci(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &w,
+            &w,
+            &BootstrapConfig { replicates: 64, ..Default::default() },
+            &mut rng,
+        );
+        prop_assert!(ci.lo.is_finite() && ci.up.is_finite());
+        prop_assert!(ci.lo <= ci.up);
+    }
+
+    /// Larger alpha (lower confidence) never widens the interval.
+    #[test]
+    fn ci_width_monotone_in_alpha(sigs in window(8), seed in 0u64..200) {
+        let s = scorer(&sigs, 4, 4);
+        let w = equal_weights(4);
+        let ci_at = |alpha: f64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            bootstrap_ci(
+                &s,
+                ScoreKind::SymmetrizedKl,
+                &w,
+                &w,
+                &BootstrapConfig { replicates: 128, alpha, ..Default::default() },
+                &mut rng,
+            )
+        };
+        let tight = ci_at(0.5);
+        let wide = ci_at(0.05);
+        prop_assert!(wide.up - wide.lo >= tight.up - tight.lo - 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! ChangeFinder (Takeuchi & Yamanishi, TKDE 2006).
+//!
+//! Two-stage SDAR: stage one scores each observation by logarithmic loss
+//! under an online AR model (outlier score); a moving average of those
+//! losses forms a smoothed series; stage two runs another SDAR over the
+//! smoothed series, whose smoothed loss is the change-point score. The
+//! two smoothing windows wash out isolated outliers so that sustained
+//! shifts — change points — dominate.
+
+use crate::sdar::{Sdar, SdarConfig};
+use std::collections::VecDeque;
+
+/// Configuration of the two-stage ChangeFinder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangeFinderConfig {
+    /// Stage-1 SDAR parameters (outlier model).
+    pub stage1: SdarConfig,
+    /// Stage-2 SDAR parameters (change model).
+    pub stage2: SdarConfig,
+    /// Smoothing window length `T` applied to each stage's losses.
+    pub smoothing: usize,
+}
+
+impl Default for ChangeFinderConfig {
+    fn default() -> Self {
+        ChangeFinderConfig {
+            stage1: SdarConfig {
+                order: 2,
+                discount: 0.02,
+            },
+            stage2: SdarConfig {
+                order: 2,
+                discount: 0.02,
+            },
+            smoothing: 5,
+        }
+    }
+}
+
+impl ChangeFinderConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        self.stage1.validate()?;
+        self.stage2.validate()?;
+        if self.smoothing == 0 {
+            return Err("smoothing window must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Online two-stage change detector over a scalar series.
+#[derive(Debug, Clone)]
+pub struct ChangeFinder {
+    cfg: ChangeFinderConfig,
+    stage1: Sdar,
+    stage2: Sdar,
+    window1: VecDeque<f64>,
+    window2: VecDeque<f64>,
+}
+
+impl ChangeFinder {
+    /// Fresh detector.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: ChangeFinderConfig) -> Self {
+        cfg.validate().expect("invalid ChangeFinder config");
+        ChangeFinder {
+            cfg,
+            stage1: Sdar::new(cfg.stage1),
+            stage2: Sdar::new(cfg.stage2),
+            window1: VecDeque::with_capacity(cfg.smoothing),
+            window2: VecDeque::with_capacity(cfg.smoothing),
+        }
+    }
+
+    /// Consume one observation, returning the change-point score.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let loss1 = self.stage1.update(x);
+        push_window(&mut self.window1, loss1, self.cfg.smoothing);
+        let y = mean(&self.window1);
+
+        let loss2 = self.stage2.update(y);
+        push_window(&mut self.window2, loss2, self.cfg.smoothing);
+        mean(&self.window2)
+    }
+
+    /// Score a whole series at once.
+    pub fn score_series(cfg: ChangeFinderConfig, xs: &[f64]) -> Vec<f64> {
+        let mut cf = ChangeFinder::new(cfg);
+        xs.iter().map(|&x| cf.update(x)).collect()
+    }
+}
+
+fn push_window(w: &mut VecDeque<f64>, v: f64, cap: usize) {
+    if w.len() == cap {
+        w.pop_front();
+    }
+    w.push_back(v);
+}
+
+fn mean(w: &VecDeque<f64>) -> f64 {
+    w.iter().sum::<f64>() / w.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy step series: level shifts at the given indices.
+    fn step_series(n: usize, shifts: &[(usize, f64)]) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let level: f64 = shifts
+                    .iter()
+                    .filter(|&&(at, _)| t >= at)
+                    .map(|&(_, delta)| delta)
+                    .sum();
+                level + ((t * 127 % 31) as f64 - 15.0) * 0.02
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scores_spike_after_level_shift() {
+        let xs = step_series(300, &[(150, 8.0)]);
+        let scores = ChangeFinder::score_series(ChangeFinderConfig::default(), &xs);
+        let baseline = scores[100..145]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let at_change = scores[150..170]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            at_change > baseline,
+            "change score {at_change} vs pre-change max {baseline}"
+        );
+    }
+
+    #[test]
+    fn stationary_series_scores_settle() {
+        let xs = step_series(400, &[]);
+        let scores = ChangeFinder::score_series(ChangeFinderConfig::default(), &xs);
+        let early = scores[30..60].iter().sum::<f64>() / 30.0;
+        let late = scores[350..].iter().sum::<f64>() / 50.0;
+        assert!(late <= early + 1.0, "late {late} vs early {early}");
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn smoothing_reduces_single_outlier_response() {
+        // One isolated outlier should produce a smaller peak under heavy
+        // smoothing than a sustained shift of the same magnitude.
+        let mut outlier = step_series(300, &[]);
+        outlier[150] += 8.0;
+        let shift = step_series(300, &[(150, 8.0)]);
+        let cfg = ChangeFinderConfig {
+            smoothing: 9,
+            ..Default::default()
+        };
+        let s_outlier = ChangeFinder::score_series(cfg, &outlier);
+        let s_shift = ChangeFinder::score_series(cfg, &shift);
+        let peak_outlier = s_outlier[150..180].iter().cloned().fold(0.0, f64::max);
+        let peak_shift = s_shift[150..180].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            peak_shift > peak_outlier,
+            "sustained shift {peak_shift} should outscore isolated outlier {peak_outlier}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs = step_series(100, &[(50, 3.0)]);
+        let a = ChangeFinder::score_series(ChangeFinderConfig::default(), &xs);
+        let b = ChangeFinder::score_series(ChangeFinderConfig::default(), &xs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = ChangeFinderConfig {
+            smoothing: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(ChangeFinderConfig::default().validate().is_ok());
+    }
+}

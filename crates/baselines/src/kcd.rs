@@ -1,0 +1,223 @@
+//! Kernel change detection (Desobry, Davy & Doncarli, IEEE TSP 2005).
+//!
+//! At each time `t`, two one-class SVMs are trained independently on the
+//! immediate past window and the immediate future window. Each learns a
+//! region on the unit hypersphere in feature space; the dissimilarity
+//! index compares the arc between the two region centers `w_1, w_2`
+//! against the widths of the regions themselves:
+//!
+//! ```text
+//!            arc(w_1, w_2)
+//! KCD_t = -------------------------------------
+//!         arc(w_1, margin_1) + arc(w_2, margin_2)
+//! ```
+//!
+//! with `arc(w_i, margin_i) = arccos(ρ_i / ||w_i||)`. An index well above
+//! 1 means the two windows' regions do not overlap — a change.
+
+use crate::kernel::RbfKernel;
+use crate::ocsvm::{OneClassSvm, OneClassSvmConfig};
+
+/// Configuration of the KCD baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KcdConfig {
+    /// Past/future window length (same for both, as in the original).
+    pub window: usize,
+    /// One-class SVM settings.
+    pub svm: OneClassSvmConfig,
+    /// RBF bandwidth; `None` selects the median heuristic per window
+    /// pair.
+    pub sigma: Option<f64>,
+}
+
+impl Default for KcdConfig {
+    fn default() -> Self {
+        KcdConfig {
+            window: 25,
+            svm: OneClassSvmConfig::default(),
+            sigma: None,
+        }
+    }
+}
+
+impl KcdConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window < 2 {
+            return Err("KCD window must be >= 2".into());
+        }
+        if let Some(s) = self.sigma {
+            if !(s.is_finite() && s > 0.0) {
+                return Err("KCD sigma must be finite and > 0".into());
+            }
+        }
+        self.svm.validate()
+    }
+}
+
+/// The KCD detector.
+#[derive(Debug, Clone)]
+pub struct KernelChangeDetector {
+    cfg: KcdConfig,
+}
+
+impl KernelChangeDetector {
+    /// Construct, validating the configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: KcdConfig) -> Self {
+        cfg.validate().expect("invalid KCD config");
+        KernelChangeDetector { cfg }
+    }
+
+    /// Dissimilarity index between two explicit windows.
+    pub fn index(&self, past: &[Vec<f64>], future: &[Vec<f64>]) -> f64 {
+        let kernel = match self.cfg.sigma {
+            Some(s) => RbfKernel::new(s),
+            None => {
+                let mut all = past.to_vec();
+                all.extend_from_slice(future);
+                RbfKernel::median_heuristic(&all)
+            }
+        };
+        let m1 = OneClassSvm::train(past, kernel, &self.cfg.svm);
+        let m2 = OneClassSvm::train(future, kernel, &self.cfg.svm);
+
+        let n1 = m1.norm_w().max(1e-12);
+        let n2 = m2.norm_w().max(1e-12);
+        let cos_centers = (m1.inner_product(&m2) / (n1 * n2)).clamp(-1.0, 1.0);
+        let arc_centers = cos_centers.acos();
+
+        let arc1 = (m1.rho() / n1).clamp(-1.0, 1.0).acos();
+        let arc2 = (m2.rho() / n2).clamp(-1.0, 1.0).acos();
+        arc_centers / (arc1 + arc2).max(1e-12)
+    }
+
+    /// Score a vector series: for each `t` with a full past and future
+    /// window, the KCD index between them. Returns `(t, score)` pairs
+    /// for `t` in `window .. n - window + 1` (the index marks the start
+    /// of the future window).
+    pub fn score_series(&self, xs: &[Vec<f64>]) -> Vec<(usize, f64)> {
+        let w = self.cfg.window;
+        if xs.len() < 2 * w {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(xs.len() - 2 * w + 1);
+        for t in w..=(xs.len() - w) {
+            let past = &xs[t - w..t];
+            let future = &xs[t..t + w];
+            out.push((t, self.index(past, future)));
+        }
+        out
+    }
+
+    /// Convenience for scalar series.
+    pub fn score_scalar_series(&self, xs: &[f64]) -> Vec<(usize, f64)> {
+        let vecs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        self.score_series(&vecs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_shift(n: usize, at: usize, delta: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let level = if t < at { 0.0 } else { delta };
+                level + ((t * 31 % 17) as f64 - 8.0) * 0.03
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> KcdConfig {
+        KcdConfig {
+            window: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn index_peaks_at_change() {
+        let xs = series_with_shift(60, 30, 6.0);
+        let det = KernelChangeDetector::new(small_cfg());
+        let scores = det.score_scalar_series(&xs);
+        let (peak_t, peak) = scores
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (peak_t as i64 - 30).unsigned_abs() <= 3,
+            "peak at {peak_t} (value {peak})"
+        );
+    }
+
+    #[test]
+    fn index_low_on_stationary_series() {
+        let xs = series_with_shift(60, 1000, 0.0);
+        let det = KernelChangeDetector::new(small_cfg());
+        let scores = det.score_scalar_series(&xs);
+        let change_xs = series_with_shift(60, 30, 6.0);
+        let change_peak = det
+            .score_scalar_series(&change_xs)
+            .into_iter()
+            .map(|(_, s)| s)
+            .fold(0.0, f64::max);
+        let stationary_peak = scores.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        assert!(
+            change_peak > 2.0 * stationary_peak,
+            "change {change_peak} vs stationary {stationary_peak}"
+        );
+    }
+
+    #[test]
+    fn identical_windows_have_near_zero_index() {
+        let window: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 5) as f64 * 0.1]).collect();
+        let det = KernelChangeDetector::new(small_cfg());
+        let idx = det.index(&window, &window);
+        assert!(idx < 0.05, "identical windows index {idx}");
+    }
+
+    #[test]
+    fn series_too_short_yields_empty() {
+        let det = KernelChangeDetector::new(small_cfg());
+        assert!(det.score_scalar_series(&[1.0; 19]).is_empty());
+        assert_eq!(det.score_scalar_series(&[1.0; 20]).len(), 1);
+    }
+
+    #[test]
+    fn fixed_sigma_respected() {
+        let xs = series_with_shift(40, 20, 4.0);
+        let det = KernelChangeDetector::new(KcdConfig {
+            window: 10,
+            sigma: Some(0.7),
+            ..Default::default()
+        });
+        let scores = det.score_scalar_series(&xs);
+        assert!(!scores.is_empty());
+        assert!(scores.iter().all(|&(_, s)| s.is_finite() && s >= 0.0));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(KcdConfig {
+            window: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KcdConfig {
+            sigma: Some(-1.0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(KcdConfig::default().validate().is_ok());
+    }
+}

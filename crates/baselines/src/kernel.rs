@@ -1,0 +1,142 @@
+//! Kernels for the one-class SVM baseline.
+
+/// Gaussian radial basis function kernel
+/// `k(x, y) = exp(-||x - y||^2 / (2 sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    /// Bandwidth σ.
+    pub sigma: f64,
+}
+
+impl RbfKernel {
+    /// Construct with bandwidth σ.
+    ///
+    /// # Panics
+    /// Panics unless `sigma` is finite and > 0.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "RbfKernel: sigma must be finite and > 0"
+        );
+        RbfKernel { sigma }
+    }
+
+    /// Evaluate the kernel.
+    #[inline]
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let sq: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+        (-sq / (2.0 * self.sigma * self.sigma)).exp()
+    }
+
+    /// Median-heuristic bandwidth: median pairwise distance of the data
+    /// (a standard automatic choice). Falls back to 1.0 for degenerate
+    /// data.
+    pub fn median_heuristic(points: &[Vec<f64>]) -> Self {
+        let mut dists = Vec::new();
+        let n = points.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d: f64 = points[i]
+                    .iter()
+                    .zip(&points[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                if d > 0.0 {
+                    dists.push(d);
+                }
+            }
+        }
+        if dists.is_empty() {
+            return RbfKernel::new(1.0);
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        RbfKernel::new(dists[dists.len() / 2])
+    }
+
+    /// Gram matrix of a point set (row-major `n x n`).
+    pub fn gram(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        let n = points.len();
+        let mut g = vec![0.0; n * n];
+        for i in 0..n {
+            g[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let k = self.eval(&points[i], &points[j]);
+                g[i * n + j] = k;
+                g[j * n + i] = k;
+            }
+        }
+        g
+    }
+
+    /// Cross-Gram matrix between two point sets (`a.len() x b.len()`).
+    pub fn cross_gram(&self, a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<f64> {
+        let mut g = Vec::with_capacity(a.len() * b.len());
+        for x in a {
+            for y in b {
+                g.push(self.eval(x, y));
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_properties() {
+        let k = RbfKernel::new(1.0);
+        let x = [0.0, 0.0];
+        let y = [1.0, 1.0];
+        assert_eq!(k.eval(&x, &x), 1.0);
+        assert!(k.eval(&x, &y) < 1.0);
+        assert!(k.eval(&x, &y) > 0.0);
+        assert_eq!(k.eval(&x, &y), k.eval(&y, &x));
+    }
+
+    #[test]
+    fn bandwidth_controls_decay() {
+        let narrow = RbfKernel::new(0.1);
+        let wide = RbfKernel::new(10.0);
+        let x = [0.0];
+        let y = [1.0];
+        assert!(narrow.eval(&x, &y) < wide.eval(&x, &y));
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diagonal() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0]];
+        let k = RbfKernel::new(1.0);
+        let g = k.gram(&pts);
+        for i in 0..3 {
+            assert_eq!(g[i * 3 + i], 1.0);
+            for j in 0..3 {
+                assert_eq!(g[i * 3 + j], g[j * 3 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn median_heuristic_reasonable() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let k = RbfKernel::median_heuristic(&pts);
+        // Pairwise distances: 1,1,1,2,2,3 -> median ~ 1.5 (index 3 of 6).
+        assert!(k.sigma >= 1.0 && k.sigma <= 3.0, "sigma {}", k.sigma);
+    }
+
+    #[test]
+    fn median_heuristic_degenerate_data() {
+        let pts = vec![vec![2.0], vec![2.0]];
+        let k = RbfKernel::median_heuristic(&pts);
+        assert_eq!(k.sigma, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn zero_sigma_panics() {
+        RbfKernel::new(0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Baseline change-point detectors the paper compares against (Fig. 1).
+//!
+//! Both baselines operate on a *single vector per time step* — exactly
+//! the limitation the paper's bags-of-data method removes. Fig. 1 applies
+//! them to the sample-mean sequence of the bags and shows they miss
+//! distribution-shape changes entirely.
+//!
+//! - [`ChangeFinder`]: the unifying outlier/change-point framework of
+//!   Takeuchi & Yamanishi (TKDE 2006), built on two stages of
+//!   sequentially discounting auto-regressive (SDAR) model estimation
+//!   with logarithmic loss scoring.
+//! - [`KernelChangeDetector`]: the online kernel change detection of
+//!   Desobry, Davy & Doncarli (IEEE TSP 2005): one-class SVMs trained on
+//!   the reference and test windows, compared by the angle between their
+//!   feature-space regions.
+//!
+//! Two more detectors from the paper's related-work list are included
+//! for completeness of the comparison suite:
+//!
+//! - [`Rulsif`]: relative density-ratio estimation (Liu et al., Neural
+//!   Networks 2013 — reference \[12\]);
+//! - [`SsaDetector`]: singular-spectrum-analysis subspace change
+//!   detection (Moskvina & Zhigljavsky 2003 — reference \[10\]).
+
+pub mod changefinder;
+pub mod kcd;
+pub mod kernel;
+pub mod ocsvm;
+pub mod rulsif;
+pub mod sdar;
+pub mod ssa;
+
+pub use changefinder::{ChangeFinder, ChangeFinderConfig};
+pub use kcd::{KcdConfig, KernelChangeDetector};
+pub use kernel::RbfKernel;
+pub use ocsvm::{OneClassSvm, OneClassSvmConfig};
+pub use rulsif::{Rulsif, RulsifConfig};
+pub use sdar::{Sdar, SdarConfig};
+pub use ssa::{SsaConfig, SsaDetector};

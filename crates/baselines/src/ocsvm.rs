@@ -1,0 +1,348 @@
+//! One-class SVM (ν-formulation) trained by projected gradient descent
+//! on the dual.
+//!
+//! Dual problem: `min ½ αᵀKα` subject to `0 ≤ α_i ≤ 1/(νn)` and
+//! `Σ α_i = 1`. The feasible set is a capped simplex; projection onto it
+//! reduces to a one-dimensional root-find (bisection on the shift), so
+//! plain projected gradient converges reliably for the window sizes the
+//! KCD baseline uses (tens of points).
+
+use crate::kernel::RbfKernel;
+
+/// Configuration of the one-class SVM trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneClassSvmConfig {
+    /// ν in (0, 1]: upper-bounds the outlier fraction, lower-bounds the
+    /// support-vector fraction.
+    pub nu: f64,
+    /// Maximum gradient iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the iterate change (L∞).
+    pub tol: f64,
+}
+
+impl Default for OneClassSvmConfig {
+    fn default() -> Self {
+        OneClassSvmConfig {
+            nu: 0.2,
+            max_iters: 500,
+            tol: 1e-8,
+        }
+    }
+}
+
+impl OneClassSvmConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.nu > 0.0 && self.nu <= 1.0) {
+            return Err("nu must be in (0, 1]".into());
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A trained one-class SVM.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    points: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    rho: f64,
+    kernel: RbfKernel,
+    norm_w: f64,
+}
+
+impl OneClassSvm {
+    /// Train on a window of points.
+    ///
+    /// # Panics
+    /// Panics on an empty window or invalid configuration.
+    pub fn train(points: &[Vec<f64>], kernel: RbfKernel, cfg: &OneClassSvmConfig) -> Self {
+        cfg.validate().expect("invalid OneClassSvm config");
+        assert!(!points.is_empty(), "OneClassSvm: empty training window");
+        let n = points.len();
+        let cap = 1.0 / (cfg.nu * n as f64);
+        let gram = kernel.gram(points);
+
+        // Start at the analytic center of the feasible set.
+        let mut alpha = vec![1.0 / n as f64; n];
+        // Step size: 1 / Lipschitz bound (max row sum of K).
+        let lip = (0..n)
+            .map(|i| gram[i * n..(i + 1) * n].iter().sum::<f64>())
+            .fold(1.0f64, f64::max);
+        let step = 1.0 / lip;
+
+        let mut grad = vec![0.0; n];
+        for _ in 0..cfg.max_iters {
+            // grad = K alpha
+            for i in 0..n {
+                grad[i] = gram[i * n..(i + 1) * n]
+                    .iter()
+                    .zip(&alpha)
+                    .map(|(k, a)| k * a)
+                    .sum();
+            }
+            let mut next: Vec<f64> = alpha
+                .iter()
+                .zip(&grad)
+                .map(|(a, g)| a - step * g)
+                .collect();
+            project_capped_simplex(&mut next, cap);
+            let delta = alpha
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            alpha = next;
+            if delta < cfg.tol {
+                break;
+            }
+        }
+
+        // rho: decision value at the margin. For free support vectors
+        // (0 < alpha < cap), (K alpha)_i = rho exactly at optimality;
+        // take their median for robustness.
+        for i in 0..n {
+            grad[i] = gram[i * n..(i + 1) * n]
+                .iter()
+                .zip(&alpha)
+                .map(|(k, a)| k * a)
+                .sum();
+        }
+        let mut free: Vec<f64> = alpha
+            .iter()
+            .zip(&grad)
+            .filter(|(&a, _)| a > 1e-9 && a < cap - 1e-9)
+            .map(|(_, &g)| g)
+            .collect();
+        let rho = if free.is_empty() {
+            // Fall back to the mean decision value over support vectors.
+            let sv: Vec<f64> = alpha
+                .iter()
+                .zip(&grad)
+                .filter(|(&a, _)| a > 1e-9)
+                .map(|(_, &g)| g)
+                .collect();
+            sv.iter().sum::<f64>() / sv.len().max(1) as f64
+        } else {
+            free.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            free[free.len() / 2]
+        };
+
+        let norm_w = alpha
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| ai * grad[i])
+            .sum::<f64>()
+            .max(0.0)
+            .sqrt();
+
+        OneClassSvm {
+            points: points.to_vec(),
+            alpha,
+            rho,
+            kernel,
+            norm_w,
+        }
+    }
+
+    /// Decision function `f(x) = Σ α_i k(x_i, x) - ρ` (≥ 0 inside the
+    /// learned region).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let s: f64 = self
+            .points
+            .iter()
+            .zip(&self.alpha)
+            .map(|(p, &a)| a * self.kernel.eval(p, x))
+            .sum();
+        s - self.rho
+    }
+
+    /// Dual weights α.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Margin offset ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// `||w||` in feature space.
+    pub fn norm_w(&self) -> f64 {
+        self.norm_w
+    }
+
+    /// Training points (borrowed).
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Feature-space inner product `⟨w_self, w_other⟩` via the
+    /// cross-Gram matrix.
+    pub fn inner_product(&self, other: &OneClassSvm) -> f64 {
+        let cross = self.kernel.cross_gram(&self.points, &other.points);
+        let m = other.points.len();
+        let mut acc = 0.0;
+        for (i, &ai) in self.alpha.iter().enumerate() {
+            if ai == 0.0 {
+                continue;
+            }
+            for (j, &bj) in other.alpha.iter().enumerate() {
+                acc += ai * bj * cross[i * m + j];
+            }
+        }
+        acc
+    }
+}
+
+/// Euclidean projection onto `{0 <= a_i <= cap, Σ a_i = 1}` by bisection
+/// on the Lagrangian shift.
+fn project_capped_simplex(a: &mut [f64], cap: f64) {
+    let n = a.len();
+    debug_assert!(cap * n as f64 >= 1.0 - 1e-12, "infeasible capped simplex");
+    let mut lo = a
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        - cap
+        - 1.0;
+    let mut hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1.0;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        let total: f64 = a.iter().map(|&x| (x - mid).clamp(0.0, cap)).sum();
+        if total > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let shift = 0.5 * (lo + hi);
+    for x in a.iter_mut() {
+        *x = (*x - shift).clamp(0.0, cap);
+    }
+    // Exact renormalization of the residual bisection error.
+    let total: f64 = a.iter().sum();
+    if total > 0.0 {
+        for x in a.iter_mut() {
+            *x /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(center: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![center + ((i * 17 % 13) as f64 - 6.0) * 0.05])
+            .collect()
+    }
+
+    #[test]
+    fn alpha_is_feasible() {
+        let pts = cluster(0.0, 20);
+        let cfg = OneClassSvmConfig::default();
+        let svm = OneClassSvm::train(&pts, RbfKernel::new(1.0), &cfg);
+        let cap = 1.0 / (cfg.nu * 20.0);
+        let sum: f64 = svm.alpha().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(svm
+            .alpha()
+            .iter()
+            .all(|&a| (-1e-12..=cap + 1e-12).contains(&a)));
+    }
+
+    #[test]
+    fn inliers_score_higher_than_outliers() {
+        let pts = cluster(0.0, 25);
+        let svm = OneClassSvm::train(&pts, RbfKernel::new(0.5), &OneClassSvmConfig::default());
+        let inlier = svm.decision(&[0.0]);
+        let outlier = svm.decision(&[10.0]);
+        assert!(
+            inlier > outlier,
+            "inlier {inlier} should exceed outlier {outlier}"
+        );
+        assert!(outlier < 0.0, "a far outlier must fall outside the region");
+    }
+
+    #[test]
+    fn self_inner_product_is_norm_squared() {
+        let pts = cluster(1.0, 15);
+        let svm = OneClassSvm::train(&pts, RbfKernel::new(1.0), &OneClassSvmConfig::default());
+        let ip = svm.inner_product(&svm);
+        assert!((ip - svm.norm_w() * svm.norm_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similar_windows_align_in_feature_space() {
+        let a = OneClassSvm::train(&cluster(0.0, 20), RbfKernel::new(1.0), &Default::default());
+        let b = OneClassSvm::train(&cluster(0.1, 20), RbfKernel::new(1.0), &Default::default());
+        let c = OneClassSvm::train(&cluster(8.0, 20), RbfKernel::new(1.0), &Default::default());
+        let cos_ab = a.inner_product(&b) / (a.norm_w() * b.norm_w());
+        let cos_ac = a.inner_product(&c) / (a.norm_w() * c.norm_w());
+        assert!(
+            cos_ab > cos_ac,
+            "similar windows cos {cos_ab} vs dissimilar {cos_ac}"
+        );
+        assert!(cos_ab > 0.9);
+    }
+
+    #[test]
+    fn projection_respects_constraints() {
+        let mut a = vec![0.9, 0.8, -0.5, 0.1];
+        project_capped_simplex(&mut a, 0.5);
+        let sum: f64 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(a.iter().all(|&x| (0.0..=0.5 + 1e-9).contains(&x)));
+    }
+
+    #[test]
+    fn projection_identity_when_feasible() {
+        let mut a = vec![0.25; 4];
+        project_capped_simplex(&mut a, 0.5);
+        for &x in &a {
+            assert!((x - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nu_one_forces_uniform_alpha() {
+        // cap = 1/n: the only feasible point is uniform.
+        let pts = cluster(0.0, 10);
+        let svm = OneClassSvm::train(
+            &pts,
+            RbfKernel::new(1.0),
+            &OneClassSvmConfig {
+                nu: 1.0,
+                ..Default::default()
+            },
+        );
+        for &a in svm.alpha() {
+            assert!((a - 0.1).abs() < 1e-6, "alpha {a}");
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(OneClassSvmConfig {
+            nu: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OneClassSvmConfig {
+            nu: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OneClassSvmConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,250 @@
+//! Sequentially discounting auto-regressive (SDAR) model estimation.
+//!
+//! The building block of ChangeFinder (Takeuchi & Yamanishi 2006): an
+//! order-`k` scalar AR model whose sufficient statistics are updated with
+//! exponential discounting factor `r`, so the model tracks gradual drift
+//! while large one-step surprises show up as high logarithmic loss.
+
+/// Configuration of an SDAR model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdarConfig {
+    /// AR order `k` (number of lagged terms).
+    pub order: usize,
+    /// Discounting factor `r` in (0, 1); smaller adapts more slowly.
+    pub discount: f64,
+}
+
+impl Default for SdarConfig {
+    fn default() -> Self {
+        SdarConfig {
+            order: 2,
+            discount: 0.02,
+        }
+    }
+}
+
+impl SdarConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.order == 0 {
+            return Err("SDAR order must be >= 1".into());
+        }
+        if !(self.discount > 0.0 && self.discount < 1.0) {
+            return Err("SDAR discount must be in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Online SDAR model over a scalar series.
+#[derive(Debug, Clone)]
+pub struct Sdar {
+    cfg: SdarConfig,
+    mean: f64,
+    /// Autocovariances C_0 .. C_k (discounted estimates).
+    cov: Vec<f64>,
+    /// Recent centered observations, newest first (length <= k).
+    history: Vec<f64>,
+    /// Innovation variance estimate.
+    sigma2: f64,
+    /// Number of observations seen.
+    seen: usize,
+}
+
+impl Sdar {
+    /// Fresh model.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: SdarConfig) -> Self {
+        cfg.validate().expect("invalid SDAR config");
+        Sdar {
+            cfg,
+            mean: 0.0,
+            cov: vec![0.0; cfg.order + 1],
+            history: Vec::with_capacity(cfg.order),
+            sigma2: 1.0,
+            seen: 0,
+        }
+    }
+
+    /// Current mean estimate.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current innovation variance estimate.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Consume one observation and return the logarithmic loss
+    /// `-log p(x_t | past)` under the pre-update predictive Gaussian.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let r = self.cfg.discount;
+        let k = self.cfg.order;
+
+        // Predict from current parameters before updating them.
+        let coeffs = self.solve_ar();
+        let mut pred = self.mean;
+        for (j, c) in coeffs.iter().enumerate() {
+            if let Some(&h) = self.history.get(j) {
+                pred += c * h;
+            }
+        }
+        let var = self.sigma2.max(1e-12);
+        let resid = x - pred;
+        let loss = 0.5 * ((2.0 * std::f64::consts::PI * var).ln() + resid * resid / var);
+
+        // Update sufficient statistics.
+        self.seen += 1;
+        self.mean = (1.0 - r) * self.mean + r * x;
+        let xc = x - self.mean;
+        for j in 0..=k {
+            let lagged = if j == 0 {
+                Some(xc)
+            } else {
+                self.history.get(j - 1).copied()
+            };
+            if let Some(l) = lagged {
+                self.cov[j] = (1.0 - r) * self.cov[j] + r * xc * l;
+            }
+        }
+        self.sigma2 = (1.0 - r) * self.sigma2 + r * resid * resid;
+
+        // Shift history (store centered values, newest first).
+        self.history.insert(0, xc);
+        self.history.truncate(k);
+
+        loss
+    }
+
+    /// Solve the Yule–Walker system for the AR coefficients via
+    /// Levinson–Durbin recursion on the current autocovariances.
+    fn solve_ar(&self) -> Vec<f64> {
+        let k = self.cfg.order;
+        let c = &self.cov;
+        if self.seen < 2 || c[0].abs() < 1e-12 {
+            return vec![0.0; k];
+        }
+        // Levinson-Durbin.
+        let mut a = vec![0.0; k];
+        let mut e = c[0];
+        for m in 0..k {
+            let mut acc = c[m + 1];
+            for j in 0..m {
+                acc -= a[j] * c[m - j];
+            }
+            if e.abs() < 1e-12 {
+                break;
+            }
+            let kappa = acc / e;
+            // Update coefficients.
+            let prev = a.clone();
+            a[m] = kappa;
+            for j in 0..m {
+                a[j] = prev[j] - kappa * prev[m - 1 - j];
+            }
+            e *= 1.0 - kappa * kappa;
+            if e <= 0.0 {
+                e = 1e-12;
+            }
+        }
+        // Clamp for stability under discounted (noisy) covariances.
+        for ai in &mut a {
+            *ai = ai.clamp(-0.999, 0.999);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_series(xs: &[f64], cfg: SdarConfig) -> Vec<f64> {
+        let mut m = Sdar::new(cfg);
+        xs.iter().map(|&x| m.update(x)).collect()
+    }
+
+    #[test]
+    fn constant_series_low_loss_after_warmup() {
+        let xs = vec![5.0; 200];
+        let losses = run_series(&xs, SdarConfig::default());
+        // After adaptation the loss must drop well below the initial one.
+        let early = losses[1];
+        let late = losses[150..].iter().sum::<f64>() / 50.0;
+        assert!(late < early, "late loss {late} vs early {early}");
+        let mut m = Sdar::new(SdarConfig::default());
+        for &x in &xs {
+            m.update(x);
+        }
+        assert!((m.mean() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn level_shift_spikes_loss() {
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![10.0; 50]);
+        // Perturb slightly so variance does not collapse to the floor.
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += ((i * 37 % 17) as f64 - 8.0) * 0.02;
+        }
+        let losses = run_series(&xs, SdarConfig::default());
+        let before = losses[80..100].iter().cloned().fold(0.0, f64::max);
+        let at_change = losses[100];
+        assert!(
+            at_change > before + 1.0,
+            "loss at change {at_change} vs max before {before}"
+        );
+    }
+
+    #[test]
+    fn ar1_signal_is_learned() {
+        // x_t = 0.8 x_{t-1} + small noise: prediction should beat the
+        // mean-only model, i.e. losses settle low.
+        let mut xs = Vec::with_capacity(400);
+        let mut x = 0.0;
+        for i in 0..400 {
+            x = 0.8 * x + ((i * 31 % 13) as f64 - 6.0) * 0.05;
+            xs.push(x);
+        }
+        let losses = run_series(
+            &xs,
+            SdarConfig {
+                order: 1,
+                discount: 0.05,
+            },
+        );
+        let late = losses[300..].iter().sum::<f64>() / 100.0;
+        assert!(late < 1.0, "late loss {late}");
+    }
+
+    #[test]
+    fn losses_are_finite() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 7919) % 101) as f64 * 0.1).collect();
+        for loss in run_series(&xs, SdarConfig::default()) {
+            assert!(loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SdarConfig {
+            order: 0,
+            discount: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(SdarConfig {
+            order: 1,
+            discount: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(SdarConfig::default().validate().is_ok());
+    }
+}

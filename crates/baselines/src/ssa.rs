@@ -1,0 +1,249 @@
+//! Singular-spectrum-analysis change detection (Moskvina & Zhigljavsky,
+//! *Communications in Statistics* 2003; the paper's reference \[10\]).
+//!
+//! A base window of the scalar series is lag-embedded into a trajectory
+//! (Hankel) matrix; the leading `l` eigenvectors of its lag-covariance
+//! matrix span the "signal subspace". The detection statistic compares
+//! how well lagged vectors from the test window fit that subspace: the
+//! normalized mean squared distance of test vectors to the subspace,
+//! divided by the same quantity for the base window itself. Ratios well
+//! above 1 indicate that the test window's dynamics left the base
+//! subspace — a change.
+
+use linalg::{jacobi_eigen, Matrix};
+
+/// Configuration of the SSA detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsaConfig {
+    /// Base-window length `N` (how much history defines "normal").
+    pub base_len: usize,
+    /// Lag / embedding dimension `M` (must satisfy `M <= N/2` for a
+    /// well-conditioned trajectory matrix).
+    pub lag: usize,
+    /// Number of leading eigenvectors spanning the signal subspace.
+    pub components: usize,
+    /// Test-window length `Q` (lagged vectors ahead of the split).
+    pub test_len: usize,
+}
+
+impl Default for SsaConfig {
+    fn default() -> Self {
+        SsaConfig {
+            base_len: 40,
+            lag: 10,
+            components: 3,
+            test_len: 10,
+        }
+    }
+}
+
+impl SsaConfig {
+    /// Check parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lag < 2 {
+            return Err("lag must be >= 2".into());
+        }
+        if self.base_len < 2 * self.lag {
+            return Err("base_len must be >= 2 * lag".into());
+        }
+        if self.components == 0 || self.components >= self.lag {
+            return Err("components must be in 1..lag".into());
+        }
+        if self.test_len < self.lag {
+            return Err("test_len must be >= lag".into());
+        }
+        Ok(())
+    }
+}
+
+/// The SSA change detector.
+#[derive(Debug, Clone)]
+pub struct SsaDetector {
+    cfg: SsaConfig,
+}
+
+impl SsaDetector {
+    /// Construct, validating the configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: SsaConfig) -> Self {
+        cfg.validate().expect("invalid SSA config");
+        SsaDetector { cfg }
+    }
+
+    /// Detection statistic for an explicit base/test split.
+    ///
+    /// Returns `D_test / D_base` where `D` is the mean squared residual
+    /// of lagged vectors against the base window's leading-eigenvector
+    /// subspace. `D_base` is floored to avoid division blow-ups on
+    /// noiseless bases.
+    pub fn statistic(&self, base: &[f64], test: &[f64]) -> f64 {
+        let m = self.cfg.lag;
+        assert!(base.len() >= 2 * m, "ssa: base window too short");
+        assert!(test.len() >= m, "ssa: test window too short");
+
+        // Lag-covariance of the base trajectory matrix.
+        let cols = base.len() - m + 1;
+        let mut c = Matrix::zeros(m, m);
+        for k in 0..cols {
+            let v = &base[k..k + m];
+            for i in 0..m {
+                for j in i..m {
+                    let add = v[i] * v[j] / cols as f64;
+                    c[(i, j)] += add;
+                    if i != j {
+                        c[(j, i)] += add;
+                    }
+                }
+            }
+        }
+        let eig = jacobi_eigen(&c, 1e-10, 100);
+        // Basis: leading `components` eigenvectors as rows for cheap
+        // projection.
+        let l = self.cfg.components;
+        let basis: Vec<Vec<f64>> = (0..l).map(|j| eig.vectors.col(j)).collect();
+
+        let d_base = mean_residual(base, m, &basis);
+        let d_test = mean_residual(test, m, &basis);
+        d_test / d_base.max(1e-12)
+    }
+
+    /// Score a scalar series: for each split `t` with a full base window
+    /// behind and test window ahead, the SSA statistic. Returns
+    /// `(t, score)` pairs.
+    pub fn score_series(&self, xs: &[f64]) -> Vec<(usize, f64)> {
+        let n = self.cfg.base_len;
+        let q = self.cfg.test_len;
+        if xs.len() < n + q {
+            return Vec::new();
+        }
+        (n..=xs.len() - q)
+            .map(|t| (t, self.statistic(&xs[t - n..t], &xs[t..t + q])))
+            .collect()
+    }
+}
+
+/// Mean squared residual of all lagged vectors of `xs` against the
+/// subspace spanned by `basis` (orthonormal rows).
+fn mean_residual(xs: &[f64], m: usize, basis: &[Vec<f64>]) -> f64 {
+    let cols = xs.len() - m + 1;
+    let mut acc = 0.0;
+    for k in 0..cols {
+        let v = &xs[k..k + m];
+        let norm2: f64 = v.iter().map(|x| x * x).sum();
+        let proj2: f64 = basis
+            .iter()
+            .map(|b| {
+                let p: f64 = b.iter().zip(v).map(|(bi, vi)| bi * vi).sum();
+                p * p
+            })
+            .sum();
+        acc += (norm2 - proj2).max(0.0);
+    }
+    acc / cols as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64, amp: f64, offset: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| offset + amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn stationary_sine_statistic_near_one() {
+        let xs = sine(200, 16.0, 1.0, 0.0);
+        let det = SsaDetector::new(SsaConfig::default());
+        let scores = det.score_series(&xs);
+        for &(t, s) in &scores {
+            assert!(s < 5.0, "stationary statistic {s} at t={t}");
+        }
+    }
+
+    #[test]
+    fn frequency_change_spikes_statistic() {
+        // Frequency halves at t = 150: the old signal subspace no longer
+        // explains the new dynamics.
+        let mut xs = sine(150, 16.0, 1.0, 0.0);
+        xs.extend(sine(100, 5.0, 1.0, 0.0));
+        let det = SsaDetector::new(SsaConfig::default());
+        let scores = det.score_series(&xs);
+        let baseline: f64 = scores
+            .iter()
+            .filter(|&&(t, _)| t < 140)
+            .map(|&(_, s)| s)
+            .fold(0.0, f64::max);
+        let at_change: f64 = scores
+            .iter()
+            .filter(|&&(t, _)| (150..170).contains(&t))
+            .map(|&(_, s)| s)
+            .fold(0.0, f64::max);
+        assert!(
+            at_change > 3.0 * baseline.max(1e-6),
+            "change {at_change} vs baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn level_shift_detected() {
+        let mut xs = sine(150, 16.0, 1.0, 0.0);
+        xs.extend(sine(100, 16.0, 1.0, 6.0));
+        let det = SsaDetector::new(SsaConfig::default());
+        let scores = det.score_series(&xs);
+        let (peak_t, _) = scores
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        assert!(
+            (peak_t as i64 - 150).unsigned_abs() <= 12,
+            "peak at {peak_t}"
+        );
+    }
+
+    #[test]
+    fn identical_windows_near_unity() {
+        let xs = sine(80, 16.0, 1.0, 0.0);
+        let det = SsaDetector::new(SsaConfig::default());
+        let s = det.statistic(&xs[..40], &xs[40..]);
+        assert!((0.0..3.0).contains(&s), "statistic {s}");
+    }
+
+    #[test]
+    fn short_series_empty() {
+        let det = SsaDetector::new(SsaConfig::default());
+        assert!(det.score_series(&vec![0.0; 30]).is_empty());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SsaConfig {
+            lag: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SsaConfig {
+            base_len: 10,
+            lag: 10,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SsaConfig {
+            components: 10,
+            lag: 10,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SsaConfig::default().validate().is_ok());
+    }
+}

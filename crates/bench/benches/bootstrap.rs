@@ -1,0 +1,69 @@
+//! P3 — Bayesian-bootstrap cost: CI computation time vs replicate count
+//! T, and the serial/parallel crossover.
+
+use bagcpd::{bootstrap_ci, BootstrapConfig, GroundMetric, ScoreKind, WindowScorer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emd::Signature;
+use infoest::EstimatorConfig;
+use stats::seeded_rng;
+
+fn scorer(window: usize) -> WindowScorer {
+    let sigs: Vec<Signature> = (0..2 * window)
+        .map(|i| {
+            let base = if i < window { 0.0 } else { 4.0 };
+            Signature::new(
+                vec![vec![base + i as f64 * 0.1], vec![base + 1.0]],
+                vec![1.0, 2.0],
+            )
+            .expect("valid")
+        })
+        .collect();
+    WindowScorer::new(
+        &sigs,
+        window,
+        window,
+        &GroundMetric::Euclidean,
+        EstimatorConfig::default(),
+    )
+    .expect("scorer")
+}
+
+fn bench_replicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_T");
+    let s = scorer(5);
+    let w = vec![0.2; 5];
+    for &t in &[50usize, 100, 200, 500, 1000] {
+        let cfg = BootstrapConfig {
+            replicates: t,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, _| {
+            let mut rng = seeded_rng(t as u64);
+            bench.iter(|| bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_threads");
+    // A larger window makes each replicate expensive enough for threads
+    // to pay off.
+    let s = scorer(15);
+    let w = vec![1.0 / 15.0; 15];
+    for &threads in &[1usize, 2, 4] {
+        let cfg = BootstrapConfig {
+            replicates: 1000,
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, _| {
+            let mut rng = seeded_rng(99);
+            bench.iter(|| bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replicates, bench_threads);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! P2 — end-to-end detector throughput: score-only sweeps vs full
+//! analysis (scores + bootstrap CIs), over bag size and window size.
+
+use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stats::{seeded_rng, GaussianMixture1d};
+
+fn make_bags(n: usize, bag_size: usize, seed: u64) -> Vec<Bag> {
+    let mut rng = seeded_rng(seed);
+    let a = GaussianMixture1d::equal_weight(&[(0.0, 1.0)]);
+    let b = GaussianMixture1d::equal_weight(&[(-4.0, 1.0), (4.0, 1.0)]);
+    (0..n)
+        .map(|t| {
+            let d = if t < n / 2 { &a } else { &b };
+            Bag::from_scalars(d.sample_n(bag_size, &mut rng))
+        })
+        .collect()
+}
+
+fn detector(tau: usize) -> Detector {
+    Detector::new(DetectorConfig {
+        tau,
+        tau_prime: tau,
+        signature: SignatureMethod::KMeans { k: 8 },
+        bootstrap: BootstrapConfig {
+            replicates: 100,
+            ..Default::default()
+        },
+        ..DetectorConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_bag_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_bag_size");
+    group.sample_size(10);
+    for &bag_size in &[50usize, 200, 800] {
+        let bags = make_bags(20, bag_size, 7);
+        let det = detector(5);
+        group.bench_with_input(
+            BenchmarkId::new("score_series", bag_size),
+            &bag_size,
+            |bench, _| {
+                bench.iter(|| det.score_series(&bags, 1).expect("scores"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_analysis", bag_size),
+            &bag_size,
+            |bench, _| {
+                bench.iter(|| det.analyze(&bags, 1).expect("analysis"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_window");
+    group.sample_size(10);
+    let bags = make_bags(40, 100, 8);
+    for &tau in &[3usize, 5, 10, 15] {
+        let det = detector(tau);
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |bench, _| {
+            bench.iter(|| det.score_series(&bags, 2).expect("scores"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bag_size, bench_window_size);
+criterion_main!(benches);

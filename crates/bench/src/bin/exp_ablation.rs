@@ -1,0 +1,143 @@
+//! Experiment P4 — ablations over the design choices DESIGN.md calls
+//! out: score variant (LR vs KL), weighting scheme (equal vs Eq. 15
+//! discounted), signature size K, and bootstrap replicate count T.
+//!
+//! Workload: Dataset 4 of §5.1 (the mean jump) and Dataset 5 (the subtle
+//! speed change the KL score is expected to miss and the LR score to at
+//! least score higher).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin exp_ablation
+//! ```
+
+use bagcpd::{
+    BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
+};
+use bench::write_table_csv;
+use datasets::synthetic5::{generate, Synth5};
+use stats::seeded_rng;
+
+fn base_config() -> DetectorConfig {
+    DetectorConfig {
+        tau: 5,
+        tau_prime: 5,
+        signature: SignatureMethod::KMeans { k: 8 },
+        ..DetectorConfig::default()
+    }
+}
+
+/// Peak score near the true change (t in 10 ± 2) divided by the peak
+/// elsewhere — how cleanly the change stands out.
+fn prominence(detector: &Detector, which: Synth5, seed: u64) -> f64 {
+    let mut rng = seeded_rng(seed);
+    let data = generate(which, &mut rng);
+    let series = detector.score_series(&data.bags, seed).expect("scores");
+    let near: f64 = series
+        .iter()
+        .filter(|&&(t, _)| (t as i64 - 10).abs() <= 2)
+        .map(|&(_, s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let away: f64 = series
+        .iter()
+        .filter(|&&(t, _)| (t as i64 - 10).abs() > 2)
+        .map(|&(_, s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    near - away
+}
+
+fn main() {
+    println!("P4 — ablations on §5.1 Datasets 4 (jump) and 5 (speed-up)\n");
+    let seeds: [u64; 5] = [11, 22, 33, 44, 55];
+
+    // --- 1. Score variant ------------------------------------------------
+    println!("1) score variant (prominence of the true change; mean over 5 seeds):");
+    let mut rows = Vec::new();
+    for kind in [ScoreKind::SymmetrizedKl, ScoreKind::LikelihoodRatio] {
+        let det = Detector::new(DetectorConfig {
+            score: kind,
+            ..base_config()
+        })
+        .expect("config");
+        for which in [Synth5::MeanJump, Synth5::SpeedChange] {
+            let m: f64 = seeds.iter().map(|&s| prominence(&det, which, s)).sum::<f64>()
+                / seeds.len() as f64;
+            println!("   {kind:?} on {which:?}: {m:+.3}");
+            rows.push(vec![
+                if kind == ScoreKind::SymmetrizedKl { 0.0 } else { 1.0 },
+                which.number() as f64,
+                m,
+            ]);
+        }
+    }
+    write_table_csv("ablation_score_kind", "kind,dataset,prominence", &rows);
+
+    // --- 2. Weighting scheme ---------------------------------------------
+    println!("\n2) weighting scheme (Dataset 4):");
+    let mut rows = Vec::new();
+    for (i, w) in [Weighting::Equal, Weighting::Discounted].into_iter().enumerate() {
+        let det = Detector::new(DetectorConfig {
+            weighting: w,
+            ..base_config()
+        })
+        .expect("config");
+        let m: f64 = seeds
+            .iter()
+            .map(|&s| prominence(&det, Synth5::MeanJump, s))
+            .sum::<f64>()
+            / seeds.len() as f64;
+        println!("   {w:?}: {m:+.3}");
+        rows.push(vec![i as f64, m]);
+    }
+    write_table_csv("ablation_weighting", "weighting,prominence", &rows);
+
+    // --- 3. Signature size K ----------------------------------------------
+    println!("\n3) signature size K (Dataset 4):");
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16, 32] {
+        let det = Detector::new(DetectorConfig {
+            signature: SignatureMethod::KMeans { k },
+            ..base_config()
+        })
+        .expect("config");
+        let m: f64 = seeds
+            .iter()
+            .map(|&s| prominence(&det, Synth5::MeanJump, s))
+            .sum::<f64>()
+            / seeds.len() as f64;
+        println!("   K = {k:>2}: {m:+.3}");
+        rows.push(vec![k as f64, m]);
+    }
+    write_table_csv("ablation_k", "k,prominence", &rows);
+
+    // --- 4. Bootstrap replicates ------------------------------------------
+    println!("\n4) bootstrap replicates T (CI width stability, Dataset 4):");
+    let mut rows = Vec::new();
+    for reps in [50usize, 100, 200, 500, 1000] {
+        let det = Detector::new(DetectorConfig {
+            bootstrap: BootstrapConfig {
+                replicates: reps,
+                ..Default::default()
+            },
+            ..base_config()
+        })
+        .expect("config");
+        // CI width at a fixed inspection point across seeds.
+        let mut widths = Vec::new();
+        for &s in &seeds {
+            let mut rng = seeded_rng(s);
+            let data = generate(Synth5::MeanJump, &mut rng);
+            let out = det.analyze(&data.bags, s).expect("analysis");
+            widths.push(out.points[0].ci.up - out.points[0].ci.lo);
+        }
+        let mean = widths.iter().sum::<f64>() / widths.len() as f64;
+        let sd = (widths.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>()
+            / widths.len() as f64)
+            .sqrt();
+        println!("   T = {reps:>4}: CI width {mean:.3} ± {sd:.3}");
+        rows.push(vec![reps as f64, mean, sd]);
+    }
+    write_table_csv("ablation_bootstrap", "T,ci_width_mean,ci_width_sd", &rows);
+
+    println!("\nexpected: LR more sensitive than KL (higher prominence on Dataset 5);");
+    println!("discounting sharpens the jump; K saturates quickly; CI width stabilizes with T.");
+}

@@ -1,0 +1,82 @@
+//! Experiment E3 — Table 1 + Fig. 7: activity-change detection on the
+//! PAMAP-like simulator (see DESIGN.md §3 for the substitution).
+//!
+//! Three simulated subjects perform the Table 1 protocol; the detector
+//! runs with the paper's τ = τ' = 5 on 10-second bags and the per-subject
+//! results are summarized like Fig. 7 (alerts vs activity boundaries).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin exp_pamap
+//! ```
+
+use bagcpd::{Detector, DetectorConfig, SignatureMethod};
+use bench::{write_detection_csv, DetectionQuality};
+use datasets::pamap::{generate_subject, PamapConfig};
+use stats::seeded_rng;
+
+fn main() {
+    println!("E3 / Fig. 7 — PAMAP-like activity monitoring, tau = tau' = 5\n");
+    let detector = Detector::new(DetectorConfig {
+        tau: 5,
+        tau_prime: 5,
+        signature: SignatureMethod::KMeans { k: 8 },
+        ..DetectorConfig::default()
+    })
+    .expect("valid config");
+
+    let mut total_detected = 0usize;
+    let mut total_truth = 0usize;
+    let mut total_false = 0usize;
+    let tol = 5usize;
+
+    for subject in 1..=3u64 {
+        let mut rng = seeded_rng(700 + subject);
+        let cfg = PamapConfig::default();
+        let s = generate_subject(&cfg, &mut rng);
+        let detection = detector
+            .analyze(&s.data.bags, 70 + subject)
+            .expect("analysis succeeds");
+        let alerts = detection.alerts();
+        let q = DetectionQuality::evaluate(&alerts, &s.data.change_points, tol);
+        write_detection_csv(&format!("pamap_subject{subject}"), &detection);
+
+        println!(
+            "subject {subject}: {} bags (mean {:.0} records), {} boundaries",
+            s.data.bags.len(),
+            s.data.bags.iter().map(|b| b.len() as f64).sum::<f64>() / s.data.bags.len() as f64,
+            s.data.change_points.len()
+        );
+        println!(
+            "  alerts {:?}\n  recall {:.2}, precision {:.2}",
+            alerts,
+            q.recall(),
+            q.precision()
+        );
+        // Per-boundary detail with activity IDs, Fig. 7 style.
+        print!("  boundaries: ");
+        for &cp in &s.data.change_points {
+            let hit = alerts
+                .iter()
+                .any(|&a| (a as i64 - cp as i64).unsigned_abs() as usize <= tol);
+            print!(
+                "{}->{}{} ",
+                s.activity_ids[cp - 1],
+                s.activity_ids[cp],
+                if hit { "(Y)" } else { "(n)" }
+            );
+        }
+        println!("\n");
+
+        total_detected += q.detected;
+        total_truth += q.total_true;
+        total_false += q.false_alarms;
+    }
+
+    println!(
+        "overall: {total_detected}/{total_truth} boundaries detected, {total_false} false alarms"
+    );
+    println!(
+        "paper's claim: change points detected with plausible accuracy; not every boundary\n\
+         alerts, but scores rise at boundaries and no alerts fire during rapid oscillation."
+    );
+}

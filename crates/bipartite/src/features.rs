@@ -1,0 +1,174 @@
+//! The seven per-node/per-edge statistics of §5.3.
+//!
+//! Each statistic maps a bipartite graph to a *bag of scalars* (one value
+//! per source node, destination node, or edge). Because node and edge
+//! counts vary across windows, these bags have varying sizes — exactly
+//! the setting the bags-of-data detector handles.
+
+use crate::graph::BipartiteGraph;
+
+/// The seven features, numbered as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// 1) Degree of each source node.
+    SourceDegree,
+    /// 2) Degree of each destination node.
+    DestDegree,
+    /// 3) Second degree of each source node.
+    SourceSecondDegree,
+    /// 4) Second degree of each destination node.
+    DestSecondDegree,
+    /// 5) Total weight out of each source node.
+    SourceStrength,
+    /// 6) Total weight into each destination node.
+    DestStrength,
+    /// 7) Weight of each edge.
+    EdgeWeight,
+}
+
+/// All seven features in paper order.
+pub const ALL_FEATURES: [Feature; 7] = [
+    Feature::SourceDegree,
+    Feature::DestDegree,
+    Feature::SourceSecondDegree,
+    Feature::DestSecondDegree,
+    Feature::SourceStrength,
+    Feature::DestStrength,
+    Feature::EdgeWeight,
+];
+
+impl Feature {
+    /// Paper numbering (1–7).
+    pub fn number(&self) -> usize {
+        match self {
+            Feature::SourceDegree => 1,
+            Feature::DestDegree => 2,
+            Feature::SourceSecondDegree => 3,
+            Feature::DestSecondDegree => 4,
+            Feature::SourceStrength => 5,
+            Feature::DestStrength => 6,
+            Feature::EdgeWeight => 7,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Feature::SourceDegree => "source degree",
+            Feature::DestDegree => "dest degree",
+            Feature::SourceSecondDegree => "source 2nd degree",
+            Feature::DestSecondDegree => "dest 2nd degree",
+            Feature::SourceStrength => "source out-weight",
+            Feature::DestStrength => "dest in-weight",
+            Feature::EdgeWeight => "edge weight",
+        }
+    }
+}
+
+/// Extract one feature as a bag of scalars.
+///
+/// Isolated nodes contribute their zero statistic (the graph defines
+/// them), so the bag size equals the node count for node features and
+/// the edge count for [`Feature::EdgeWeight`]. Returns an empty vector
+/// only for [`Feature::EdgeWeight`] on an edgeless graph.
+pub fn extract_feature(g: &BipartiteGraph, feature: Feature) -> Vec<f64> {
+    match feature {
+        Feature::SourceDegree => (0..g.num_sources())
+            .map(|s| g.source_degree(s) as f64)
+            .collect(),
+        Feature::DestDegree => (0..g.num_dests())
+            .map(|d| g.dest_degree(d) as f64)
+            .collect(),
+        Feature::SourceSecondDegree => g
+            .source_second_degrees()
+            .into_iter()
+            .map(|d| d as f64)
+            .collect(),
+        Feature::DestSecondDegree => g
+            .dest_second_degrees()
+            .into_iter()
+            .map(|d| d as f64)
+            .collect(),
+        Feature::SourceStrength => (0..g.num_sources()).map(|s| g.source_strength(s)).collect(),
+        Feature::DestStrength => (0..g.num_dests()).map(|d| g.dest_strength(d)).collect(),
+        Feature::EdgeWeight => g.edges().iter().map(|&(_, _, w)| w).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig9() -> BipartiteGraph {
+        BipartiteGraph::new(
+            5,
+            4,
+            vec![
+                (0, 0, 6.0),
+                (0, 2, 14.0),
+                (1, 0, 8.0),
+                (2, 1, 11.0),
+                (3, 2, 9.0),
+                (4, 2, 3.0),
+                (4, 3, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn feature_bag_sizes() {
+        let g = fig9();
+        assert_eq!(extract_feature(&g, Feature::SourceDegree).len(), 5);
+        assert_eq!(extract_feature(&g, Feature::DestDegree).len(), 4);
+        assert_eq!(extract_feature(&g, Feature::SourceSecondDegree).len(), 5);
+        assert_eq!(extract_feature(&g, Feature::DestSecondDegree).len(), 4);
+        assert_eq!(extract_feature(&g, Feature::SourceStrength).len(), 5);
+        assert_eq!(extract_feature(&g, Feature::DestStrength).len(), 4);
+        assert_eq!(extract_feature(&g, Feature::EdgeWeight).len(), 7);
+    }
+
+    #[test]
+    fn feature_values_match_worked_example() {
+        let g = fig9();
+        let sd = extract_feature(&g, Feature::SourceDegree);
+        assert_eq!(sd[0], 2.0);
+        let ss = extract_feature(&g, Feature::SourceStrength);
+        assert_eq!(ss[0], 20.0);
+        assert_eq!(ss[3], 9.0);
+        let ds = extract_feature(&g, Feature::DestStrength);
+        assert_eq!(ds[0], 14.0);
+        assert_eq!(ds[2], 26.0);
+        let s2 = extract_feature(&g, Feature::SourceSecondDegree);
+        assert_eq!(s2[0], 3.0);
+        let d2 = extract_feature(&g, Feature::DestSecondDegree);
+        assert_eq!(d2[0], 1.0);
+    }
+
+    #[test]
+    fn edge_weights_in_order() {
+        let g = fig9();
+        let ew = extract_feature(&g, Feature::EdgeWeight);
+        assert_eq!(ew, vec![6.0, 14.0, 8.0, 11.0, 9.0, 3.0, 10.0]);
+    }
+
+    #[test]
+    fn all_features_distinct_numbers() {
+        let mut nums: Vec<usize> = ALL_FEATURES.iter().map(|f| f.number()).collect();
+        nums.sort_unstable();
+        assert_eq!(nums, vec![1, 2, 3, 4, 5, 6, 7]);
+        for f in ALL_FEATURES {
+            assert!(!f.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn total_weight_consistency() {
+        // Sum of feature 5 == sum of feature 6 == sum of feature 7.
+        let g = fig9();
+        let s: f64 = extract_feature(&g, Feature::SourceStrength).iter().sum();
+        let d: f64 = extract_feature(&g, Feature::DestStrength).iter().sum();
+        let e: f64 = extract_feature(&g, Feature::EdgeWeight).iter().sum();
+        assert_eq!(s, e);
+        assert_eq!(d, e);
+    }
+}

@@ -1,0 +1,277 @@
+//! Weighted bipartite graph with adjacency indexes.
+
+/// A weighted bipartite graph between `num_sources` source nodes and
+/// `num_dests` destination nodes. Zero-weight edges are not stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipartiteGraph {
+    num_sources: usize,
+    num_dests: usize,
+    /// `(source, dest, weight)` triples, weight > 0.
+    edges: Vec<(u32, u32, f64)>,
+    /// Edge indices by source node.
+    by_source: Vec<Vec<u32>>,
+    /// Edge indices by destination node.
+    by_dest: Vec<Vec<u32>>,
+}
+
+impl BipartiteGraph {
+    /// Build a graph from edge triples.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, a weight is not finite and
+    /// positive, or a `(source, dest)` pair repeats.
+    pub fn new(num_sources: usize, num_dests: usize, edges: Vec<(u32, u32, f64)>) -> Self {
+        let mut by_source = vec![Vec::new(); num_sources];
+        let mut by_dest = vec![Vec::new(); num_dests];
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for (idx, &(s, d, w)) in edges.iter().enumerate() {
+            assert!((s as usize) < num_sources, "source {s} out of range");
+            assert!((d as usize) < num_dests, "dest {d} out of range");
+            assert!(w.is_finite() && w > 0.0, "edge weight must be finite and > 0");
+            assert!(seen.insert((s, d)), "duplicate edge ({s}, {d})");
+            by_source[s as usize].push(idx as u32);
+            by_dest[d as usize].push(idx as u32);
+        }
+        BipartiteGraph {
+            num_sources,
+            num_dests,
+            edges,
+            by_source,
+            by_dest,
+        }
+    }
+
+    /// Number of source nodes (including isolated ones).
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of destination nodes (including isolated ones).
+    pub fn num_dests(&self) -> usize {
+        self.num_dests
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges as `(source, dest, weight)`.
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Degree (distinct destinations) of a source node.
+    pub fn source_degree(&self, s: usize) -> usize {
+        self.by_source[s].len()
+    }
+
+    /// Degree (distinct sources) of a destination node.
+    pub fn dest_degree(&self, d: usize) -> usize {
+        self.by_dest[d].len()
+    }
+
+    /// Total outgoing weight of a source node.
+    pub fn source_strength(&self, s: usize) -> f64 {
+        self.by_source[s]
+            .iter()
+            .map(|&e| self.edges[e as usize].2)
+            .sum()
+    }
+
+    /// Total incoming weight of a destination node.
+    pub fn dest_strength(&self, d: usize) -> f64 {
+        self.by_dest[d]
+            .iter()
+            .map(|&e| self.edges[e as usize].2)
+            .sum()
+    }
+
+    /// Destinations adjacent to source `s`.
+    pub fn dests_of(&self, s: usize) -> impl Iterator<Item = u32> + '_ {
+        self.by_source[s].iter().map(|&e| self.edges[e as usize].1)
+    }
+
+    /// Sources adjacent to destination `d`.
+    pub fn sources_of(&self, d: usize) -> impl Iterator<Item = u32> + '_ {
+        self.by_dest[d].iter().map(|&e| self.edges[e as usize].0)
+    }
+
+    /// Second degrees of all source nodes: for each source, the number of
+    /// *other* sources reachable through a shared destination. Computed
+    /// with per-destination bitmasks, O(E · n/64).
+    pub fn source_second_degrees(&self) -> Vec<usize> {
+        second_degrees(
+            self.num_sources,
+            self.num_dests,
+            |d| self.sources_of(d),
+            |s| self.dests_of(s),
+        )
+    }
+
+    /// Second degrees of all destination nodes (symmetric definition).
+    pub fn dest_second_degrees(&self) -> Vec<usize> {
+        second_degrees(
+            self.num_dests,
+            self.num_sources,
+            |s| self.dests_of(s),
+            |d| self.sources_of(d),
+        )
+    }
+}
+
+/// Shared bitset-based second-degree computation.
+///
+/// For each "primary" node `p`, unions the primary-side adjacency masks
+/// of all opposite-side neighbours, then counts bits excluding `p`
+/// itself.
+fn second_degrees<'a, FOpp, FPri, IOpp, IPri>(
+    num_primary: usize,
+    num_opposite: usize,
+    primaries_of_opposite: FOpp,
+    opposites_of_primary: FPri,
+) -> Vec<usize>
+where
+    FOpp: Fn(usize) -> IOpp,
+    FPri: Fn(usize) -> IPri,
+    IOpp: Iterator<Item = u32> + 'a,
+    IPri: Iterator<Item = u32> + 'a,
+{
+    let words = num_primary.div_ceil(64);
+    // Bitmask of primary nodes adjacent to each opposite node.
+    let mut masks = vec![0u64; num_opposite * words];
+    for o in 0..num_opposite {
+        let mask = &mut masks[o * words..(o + 1) * words];
+        for p in primaries_of_opposite(o) {
+            mask[(p as usize) / 64] |= 1u64 << (p % 64);
+        }
+    }
+    let mut result = Vec::with_capacity(num_primary);
+    let mut acc = vec![0u64; words];
+    for p in 0..num_primary {
+        acc.fill(0);
+        for o in opposites_of_primary(p) {
+            let mask = &masks[(o as usize) * words..(o as usize + 1) * words];
+            for (a, &m) in acc.iter_mut().zip(mask) {
+                *a |= m;
+            }
+        }
+        // Exclude p itself.
+        acc[p / 64] &= !(1u64 << (p % 64));
+        result.push(acc.iter().map(|w| w.count_ones() as usize).sum());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Fig. 9: five sources, four destinations.
+    /// Edges (1-indexed in the paper, 0-indexed here):
+    ///   s1-d1: 6, s1-d3: 14, s2-d1: 8, s3-d2: 11,
+    ///   s4-d3: 9, s5-d3: 3, s5-d4: 10
+    /// The weights are chosen so the paper's quoted statistics hold:
+    /// source 1 strength 20, source 4 strength 9, dest 1 strength 14,
+    /// dest 3 strength 26.
+    fn fig9() -> BipartiteGraph {
+        BipartiteGraph::new(
+            5,
+            4,
+            vec![
+                (0, 0, 6.0),
+                (0, 2, 14.0),
+                (1, 0, 8.0),
+                (2, 1, 11.0),
+                (3, 2, 9.0),
+                (4, 2, 3.0),
+                (4, 3, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn degrees_match_paper() {
+        let g = fig9();
+        assert_eq!(g.source_degree(0), 2); // "source node 1 ... degree is 2"
+        assert_eq!(g.dest_degree(0), 2); // "destination node 1 ... degree is 2"
+    }
+
+    #[test]
+    fn second_degrees_match_paper() {
+        let g = fig9();
+        let s2 = g.source_second_degrees();
+        // "source node 1 ... its second degree is 3" (sources 2, 4, 5).
+        assert_eq!(s2[0], 3);
+        let d2 = g.dest_second_degrees();
+        // "destination node 1 ... its second degree is 1" (dest 3 via s1).
+        assert_eq!(d2[0], 1);
+    }
+
+    #[test]
+    fn strengths_match_paper() {
+        let g = fig9();
+        assert_eq!(g.source_strength(0), 20.0); // "20 for source node 1"
+        assert_eq!(g.source_strength(3), 9.0); // "9 for source node 4"
+        assert_eq!(g.dest_strength(0), 14.0); // "14 for destination node 1"
+        assert_eq!(g.dest_strength(2), 26.0); // "26 for destination node 3"
+    }
+
+    #[test]
+    fn totals() {
+        let g = fig9();
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.total_weight(), 61.0);
+        assert_eq!(g.num_sources(), 5);
+        assert_eq!(g.num_dests(), 4);
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_stats() {
+        let g = BipartiteGraph::new(3, 3, vec![(0, 0, 1.0)]);
+        assert_eq!(g.source_degree(2), 0);
+        assert_eq!(g.dest_degree(2), 0);
+        assert_eq!(g.source_strength(2), 0.0);
+        assert_eq!(g.source_second_degrees()[2], 0);
+    }
+
+    #[test]
+    fn second_degree_excludes_self() {
+        // Two sources sharing one dest: each has second degree 1.
+        let g = BipartiteGraph::new(2, 1, vec![(0, 0, 1.0), (1, 0, 1.0)]);
+        assert_eq!(g.source_second_degrees(), vec![1, 1]);
+    }
+
+    #[test]
+    fn second_degree_handles_wide_graphs() {
+        // > 64 sources to exercise multi-word bitmasks.
+        let n = 130;
+        let edges: Vec<(u32, u32, f64)> = (0..n).map(|s| (s, 0, 1.0)).collect();
+        let g = BipartiteGraph::new(n as usize, 1, edges);
+        let s2 = g.source_second_degrees();
+        assert!(s2.iter().all(|&d| d == (n as usize) - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        BipartiteGraph::new(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        BipartiteGraph::new(1, 1, vec![(1, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn zero_weight_panics() {
+        BipartiteGraph::new(1, 1, vec![(0, 0, 0.0)]);
+    }
+}

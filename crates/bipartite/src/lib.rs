@@ -1,0 +1,16 @@
+//! Bipartite-graph substrate for §§5.3–5.4 of the paper.
+//!
+//! Time-evolving sender/receiver networks are observed in windows; each
+//! window yields a weighted bipartite graph whose node sets differ from
+//! window to window. Seven per-node/per-edge statistics (§5.3) turn each
+//! graph into bags of scalars on which the bags-of-data detector runs.
+
+pub mod features;
+pub mod generator;
+pub mod graph;
+pub mod graphscope;
+
+pub use features::{extract_feature, Feature, ALL_FEATURES};
+pub use generator::{generate_community_graph, CommunitySpec};
+pub use graph::BipartiteGraph;
+pub use graphscope::{graphscope_segment, DenseAdjacency, GraphScopeConfig};

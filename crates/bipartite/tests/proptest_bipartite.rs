@@ -1,0 +1,97 @@
+//! Property-based tests for bipartite graphs and the §5.3 features.
+
+#![allow(clippy::needless_range_loop)] // index-driven graph checks
+
+use bipartite::{extract_feature, BipartiteGraph, Feature};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random bipartite graph with unique edges.
+fn random_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (2usize..20, 2usize..20).prop_flat_map(|(ns, nd)| {
+        prop::collection::hash_set((0..ns as u32, 0..nd as u32), 0..40).prop_map(
+            move |pairs| {
+                let edges: Vec<(u32, u32, f64)> = pairs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (s, d))| (s, d, (i % 9 + 1) as f64))
+                    .collect();
+                BipartiteGraph::new(ns, nd, edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Handshake-style identities: Σ source degrees = Σ dest degrees =
+    /// #edges, and Σ out-weights = Σ in-weights = Σ edge weights.
+    #[test]
+    fn conservation_identities(g in random_graph()) {
+        let sd: f64 = extract_feature(&g, Feature::SourceDegree).iter().sum();
+        let dd: f64 = extract_feature(&g, Feature::DestDegree).iter().sum();
+        prop_assert_eq!(sd, g.num_edges() as f64);
+        prop_assert_eq!(dd, g.num_edges() as f64);
+        let ss: f64 = extract_feature(&g, Feature::SourceStrength).iter().sum();
+        let ds: f64 = extract_feature(&g, Feature::DestStrength).iter().sum();
+        let ew: f64 = extract_feature(&g, Feature::EdgeWeight).iter().sum();
+        prop_assert!((ss - ew).abs() < 1e-9);
+        prop_assert!((ds - ew).abs() < 1e-9);
+        prop_assert!((ew - g.total_weight()).abs() < 1e-9);
+    }
+
+    /// Degrees are bounded by the opposite side's size; second degrees
+    /// by own side's size minus one.
+    #[test]
+    fn degree_bounds(g in random_graph()) {
+        for s in 0..g.num_sources() {
+            prop_assert!(g.source_degree(s) <= g.num_dests());
+        }
+        for d in 0..g.num_dests() {
+            prop_assert!(g.dest_degree(d) <= g.num_sources());
+        }
+        for &sd in &g.source_second_degrees() {
+            prop_assert!(sd <= g.num_sources().saturating_sub(1));
+        }
+        for &dd in &g.dest_second_degrees() {
+            prop_assert!(dd <= g.num_dests().saturating_sub(1));
+        }
+    }
+
+    /// A node with degree zero has second degree zero and strength zero.
+    #[test]
+    fn isolated_nodes_are_fully_zero(g in random_graph()) {
+        let s2 = g.source_second_degrees();
+        for s in 0..g.num_sources() {
+            if g.source_degree(s) == 0 {
+                prop_assert_eq!(s2[s], 0);
+                prop_assert_eq!(g.source_strength(s), 0.0);
+            }
+        }
+    }
+
+    /// Second degree via bitsets matches a brute-force recomputation.
+    #[test]
+    fn second_degree_matches_bruteforce(g in random_graph()) {
+        let fast = g.source_second_degrees();
+        for s in 0..g.num_sources() {
+            let mut reachable: HashSet<u32> = HashSet::new();
+            for d in g.dests_of(s) {
+                for s2 in g.sources_of(d as usize) {
+                    reachable.insert(s2);
+                }
+            }
+            reachable.remove(&(s as u32));
+            prop_assert_eq!(fast[s], reachable.len(), "source {}", s);
+        }
+    }
+
+    /// Feature bag sizes always match node/edge counts.
+    #[test]
+    fn feature_sizes(g in random_graph()) {
+        prop_assert_eq!(extract_feature(&g, Feature::SourceDegree).len(), g.num_sources());
+        prop_assert_eq!(extract_feature(&g, Feature::DestDegree).len(), g.num_dests());
+        prop_assert_eq!(extract_feature(&g, Feature::EdgeWeight).len(), g.num_edges());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for EMD computation.
+
+/// Failure modes of the EMD solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmdError {
+    /// Signature construction rejected the input.
+    InvalidSignature(&'static str),
+    /// The two signatures embed points of different dimension.
+    DimensionMismatch {
+        /// Dimension of the left signature.
+        left: usize,
+        /// Dimension of the right signature.
+        right: usize,
+    },
+    /// At least one signature carries no mass, so Eq. (12) is undefined.
+    ZeroMass,
+    /// The transportation simplex hit its iteration cap. With the
+    /// anti-cycling rule in place this indicates pathological input
+    /// (NaN/infinite costs).
+    DidNotConverge,
+    /// A cost, supply or demand was NaN or infinite.
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for EmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmdError::InvalidSignature(msg) => write!(f, "invalid signature: {msg}"),
+            EmdError::DimensionMismatch { left, right } => {
+                write!(f, "signature dimension mismatch: {left} vs {right}")
+            }
+            EmdError::ZeroMass => write!(f, "signature has zero total mass"),
+            EmdError::DidNotConverge => write!(f, "transportation simplex did not converge"),
+            EmdError::NonFiniteInput => write!(f, "non-finite cost, supply, or demand"),
+        }
+    }
+}
+
+impl std::error::Error for EmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EmdError::ZeroMass.to_string().contains("zero"));
+        assert!(EmdError::DimensionMismatch { left: 1, right: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+        assert!(EmdError::InvalidSignature("bad").to_string().contains("bad"));
+    }
+}

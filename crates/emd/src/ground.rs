@@ -1,0 +1,190 @@
+//! Ground distances `d_kl` for the transportation problem.
+//!
+//! The paper leaves the ground distance "arbitrarily given"; Euclidean is
+//! the conventional choice (and what makes EMD the Wasserstein-1/Mallows
+//! distance per Levina & Bickel). Manhattan and Chebyshev are provided as
+//! alternatives; anything implementing [`GroundDistance`] works.
+
+/// Dissimilarity between two cluster representatives.
+pub trait GroundDistance {
+    /// Distance between points `a` and `b` (same dimension).
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64;
+}
+
+/// Euclidean (L2) ground distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl GroundDistance for Euclidean {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Manhattan (L1) ground distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl GroundDistance for Manhattan {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+/// Chebyshev (L∞) ground distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl GroundDistance for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Diagonally weighted Euclidean distance
+/// `d(x, y) = sqrt(Σ_c w_c² (x_c - y_c)²)`.
+///
+/// The natural partner of learned per-dimension feature weights (the
+/// §6 future-work extension): scaling coordinates by `w` before the
+/// plain Euclidean metric equals using this ground distance on the raw
+/// coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedEuclidean {
+    weights: Vec<f64>,
+}
+
+impl WeightedEuclidean {
+    /// Construct from per-dimension weights.
+    ///
+    /// # Panics
+    /// Panics on empty, negative, or non-finite weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "WeightedEuclidean: empty weights");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "WeightedEuclidean: weights must be finite and >= 0"
+        );
+        WeightedEuclidean { weights }
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl GroundDistance for WeightedEuclidean {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), self.weights.len(), "weight dimension mismatch");
+        a.iter()
+            .zip(b)
+            .zip(&self.weights)
+            .map(|((x, y), w)| {
+                let d = w * (x - y);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Blanket impl so `&G` works wherever `G` does.
+impl<G: GroundDistance + ?Sized> GroundDistance for &G {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_345() {
+        assert!((Euclidean.distance(&A, &B) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_abs() {
+        assert!((Manhattan.distance(&A, &B) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_takes_max() {
+        assert!((Chebyshev.distance(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_metrics_zero_on_identical() {
+        assert_eq!(Euclidean.distance(&A, &A), 0.0);
+        assert_eq!(Manhattan.distance(&A, &A), 0.0);
+        assert_eq!(Chebyshev.distance(&A, &A), 0.0);
+    }
+
+    #[test]
+    fn metric_ordering() {
+        // Chebyshev <= Euclidean <= Manhattan always.
+        let c = Chebyshev.distance(&A, &B);
+        let e = Euclidean.distance(&A, &B);
+        let m = Manhattan.distance(&A, &B);
+        assert!(c <= e + 1e-12);
+        assert!(e <= m + 1e-12);
+    }
+
+    #[test]
+    fn reference_impl_works() {
+        let g = &Euclidean;
+        assert!((GroundDistance::distance(&g, &A, &B) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_euclidean_unit_weights_match_plain() {
+        let w = WeightedEuclidean::new(vec![1.0; 3]);
+        assert!((w.distance(&A, &B) - Euclidean.distance(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_euclidean_zero_weight_ignores_dimension() {
+        let w = WeightedEuclidean::new(vec![0.0, 1.0, 1.0]);
+        // First coordinate (diff 3) ignored: sqrt(4^2 + 0^2) = 4.
+        assert!((w.distance(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_euclidean_scaling_equivalence() {
+        // Weighted metric on raw coords == plain metric on scaled coords.
+        let weights = [2.0, 0.5, 3.0];
+        let w = WeightedEuclidean::new(weights.to_vec());
+        let scale = |p: &[f64]| -> Vec<f64> {
+            p.iter().zip(&weights).map(|(x, s)| x * s).collect()
+        };
+        let d1 = w.distance(&A, &B);
+        let d2 = Euclidean.distance(&scale(&A), &scale(&B));
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 0")]
+    fn weighted_euclidean_rejects_negative() {
+        WeightedEuclidean::new(vec![-1.0]);
+    }
+}

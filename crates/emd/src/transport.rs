@@ -1,0 +1,545 @@
+//! Transportation-problem solver (Eqs. 7–11 of the paper).
+//!
+//! A from-scratch transportation simplex:
+//!
+//! 1. zero supplies/demands are filtered out;
+//! 2. the unbalanced problem is balanced with a zero-cost slack node on
+//!    the deficit side (the textbook reduction — slack flow is "not
+//!    transported" mass, which Eq. 11 permits);
+//! 3. an initial basic feasible solution comes from the northwest-corner
+//!    rule (which yields exactly `m + n - 1` basic cells including
+//!    degenerate zero-flow ones);
+//! 4. MODI (u-v) optimality testing with stepping-stone pivots improves
+//!    it to optimality. Entering variables are chosen by most-negative
+//!    reduced cost, switching to Bland's smallest-index rule after a
+//!    grace period so cycling under degeneracy is impossible.
+
+use crate::error::EmdError;
+
+/// An optimal transportation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportPlan {
+    flows: Vec<(usize, usize, f64)>,
+    total_cost: f64,
+    total_flow: f64,
+}
+
+impl TransportPlan {
+    /// Non-zero flows `(supply index, demand index, amount)` between real
+    /// (non-slack) nodes, in unspecified order.
+    pub fn flows(&self) -> &[(usize, usize, f64)] {
+        &self.flows
+    }
+
+    /// Total transported mass (equals `min(Σ supplies, Σ demands)`).
+    pub fn total_flow(&self) -> f64 {
+        self.total_flow
+    }
+
+    /// Total transport cost `Σ f_kl d_kl`.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+}
+
+/// Internal basic cell of the simplex tableau.
+#[derive(Debug, Clone, Copy)]
+struct BasicCell {
+    i: usize,
+    j: usize,
+    flow: f64,
+}
+
+/// Solve the (possibly unbalanced) transportation problem.
+///
+/// `costs` is row-major `supplies.len() x demands.len()`. Supplies and
+/// demands must be non-negative and finite; costs must be finite.
+///
+/// # Errors
+/// [`EmdError::NonFiniteInput`] for NaN/infinite input,
+/// [`EmdError::ZeroMass`] if either side has zero total mass, and
+/// [`EmdError::DidNotConverge`] if the iteration cap is hit.
+pub fn solve_transportation(
+    costs: &[f64],
+    supplies: &[f64],
+    demands: &[f64],
+) -> Result<TransportPlan, EmdError> {
+    let m0 = supplies.len();
+    let n0 = demands.len();
+    assert_eq!(
+        costs.len(),
+        m0 * n0,
+        "solve_transportation: cost matrix shape mismatch"
+    );
+    if supplies.iter().chain(demands).any(|x| !x.is_finite() || *x < 0.0)
+        || costs.iter().any(|c| !c.is_finite())
+    {
+        return Err(EmdError::NonFiniteInput);
+    }
+
+    // Filter zero-mass rows/columns, remembering original indices.
+    let rows: Vec<usize> = (0..m0).filter(|&i| supplies[i] > 0.0).collect();
+    let cols: Vec<usize> = (0..n0).filter(|&j| demands[j] > 0.0).collect();
+    if rows.is_empty() || cols.is_empty() {
+        return Err(EmdError::ZeroMass);
+    }
+
+    let sa: f64 = rows.iter().map(|&i| supplies[i]).sum();
+    let sb: f64 = cols.iter().map(|&j| demands[j]).sum();
+    let diff = sa - sb;
+    // Tolerance for treating the problem as balanced.
+    let scale = sa.max(sb);
+    let balanced = diff.abs() <= 1e-12 * scale;
+
+    // Dimensions of the balanced tableau (possibly one slack row/col).
+    let extra_col = !balanced && diff > 0.0;
+    let extra_row = !balanced && diff < 0.0;
+    let m = rows.len() + usize::from(extra_row);
+    let n = cols.len() + usize::from(extra_col);
+
+    // Balanced cost matrix and marginals. Slack cells cost zero.
+    let mut c = vec![0.0; m * n];
+    for (ri, &i) in rows.iter().enumerate() {
+        for (cj, &j) in cols.iter().enumerate() {
+            c[ri * n + cj] = costs[i * n0 + j];
+        }
+    }
+    let mut a: Vec<f64> = rows.iter().map(|&i| supplies[i]).collect();
+    let mut b: Vec<f64> = cols.iter().map(|&j| demands[j]).collect();
+    if extra_col {
+        b.push(diff);
+    }
+    if extra_row {
+        a.push(-diff);
+    }
+    if balanced {
+        // Snap the (tiny) imbalance onto the largest demand so row and
+        // column sums agree exactly.
+        let (jmax, _) = b
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .expect("non-empty");
+        b[jmax] += diff;
+    }
+
+    let mut basis = northwest_corner(&a, &b);
+    debug_assert_eq!(basis.len(), m + n - 1);
+
+    let max_iters = (200 * (m + n) * (m + n)).max(2000);
+    let bland_after = max_iters / 2;
+    let cost_scale = c.iter().fold(1.0f64, |acc, &x| acc.max(x.abs()));
+    let tol = 1e-10 * cost_scale;
+
+    let mut is_basic = vec![false; m * n];
+    for cell in &basis {
+        is_basic[cell.i * n + cell.j] = true;
+    }
+
+    let mut u = vec![0.0; m];
+    let mut v = vec![0.0; n];
+
+    for iter in 0..max_iters {
+        compute_potentials(&basis, &c, m, n, &mut u, &mut v);
+
+        // Entering variable selection.
+        let mut enter: Option<(usize, usize)> = None;
+        let mut best = -tol;
+        'scan: for i in 0..m {
+            for j in 0..n {
+                if is_basic[i * n + j] {
+                    continue;
+                }
+                let r = c[i * n + j] - u[i] - v[j];
+                if iter >= bland_after {
+                    // Bland: first improving cell in index order.
+                    if r < -tol {
+                        enter = Some((i, j));
+                        break 'scan;
+                    }
+                } else if r < best {
+                    best = r;
+                    enter = Some((i, j));
+                }
+            }
+        }
+        let Some((ei, ej)) = enter else {
+            return Ok(extract_plan(&basis, &c, n, rows.len(), cols.len(), &rows, &cols));
+        };
+
+        // Unique cycle: path in the basis tree from col node ej to row
+        // node ei, prepended with the entering cell.
+        let path = tree_path(&basis, m, n, ej, ei);
+
+        // Flow change theta: minimum flow among odd-position (donor)
+        // cells of the cycle. Position 0 is the entering cell (+).
+        let mut theta = f64::INFINITY;
+        let mut leave_pos = usize::MAX;
+        for (pos, &cell_idx) in path.iter().enumerate() {
+            if pos % 2 == 0 {
+                // positions 0,2,4.. in `path` are donors (see tree_path).
+                let f = basis[cell_idx].flow;
+                // Bland-compatible tie-break: smallest tableau index.
+                if f < theta - 1e-15
+                    || (f < theta + 1e-15
+                        && leave_pos != usize::MAX
+                        && tableau_index(&basis[cell_idx], n)
+                            < tableau_index(&basis[path[leave_pos]], n))
+                {
+                    theta = f;
+                    leave_pos = pos;
+                }
+            }
+        }
+        debug_assert!(leave_pos != usize::MAX, "cycle must contain a donor cell");
+        let theta = theta.max(0.0);
+
+        // Apply the pivot: donors lose theta, receivers gain theta.
+        for (pos, &cell_idx) in path.iter().enumerate() {
+            if pos % 2 == 0 {
+                basis[cell_idx].flow -= theta;
+            } else {
+                basis[cell_idx].flow += theta;
+            }
+        }
+        let leaving_idx = path[leave_pos];
+        let leaving = basis[leaving_idx];
+        is_basic[leaving.i * n + leaving.j] = false;
+        is_basic[ei * n + ej] = true;
+        basis[leaving_idx] = BasicCell {
+            i: ei,
+            j: ej,
+            flow: theta,
+        };
+    }
+    Err(EmdError::DidNotConverge)
+}
+
+#[inline]
+fn tableau_index(cell: &BasicCell, n: usize) -> usize {
+    cell.i * n + cell.j
+}
+
+/// Northwest-corner initial basic feasible solution: exactly
+/// `m + n - 1` basic cells (some possibly zero-flow).
+fn northwest_corner(a: &[f64], b: &[f64]) -> Vec<BasicCell> {
+    let m = a.len();
+    let n = b.len();
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    let mut cells = Vec::with_capacity(m + n - 1);
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let f = a[i].min(b[j]).max(0.0);
+        cells.push(BasicCell { i, j, flow: f });
+        a[i] -= f;
+        b[j] -= f;
+        if i + 1 == m && j + 1 == n {
+            break;
+        }
+        // Advance toward the exhausted side; at the borders only one
+        // direction remains legal.
+        if i + 1 < m && (j + 1 == n || a[i] <= b[j]) {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    cells
+}
+
+/// Solve for the dual potentials over the basis spanning tree
+/// (`u[0] = 0` is the normalization).
+fn compute_potentials(
+    basis: &[BasicCell],
+    c: &[f64],
+    m: usize,
+    n: usize,
+    u: &mut [f64],
+    v: &mut [f64],
+) {
+    // Adjacency of the basis tree: node ids 0..m are rows, m..m+n cols.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m + n];
+    for (idx, cell) in basis.iter().enumerate() {
+        adj[cell.i].push(idx);
+        adj[m + cell.j].push(idx);
+    }
+    let mut known_u = vec![false; m];
+    let mut known_v = vec![false; n];
+    u[0] = 0.0;
+    known_u[0] = true;
+    let mut queue = vec![0usize]; // node ids
+    while let Some(node) = queue.pop() {
+        for &idx in &adj[node] {
+            let cell = &basis[idx];
+            if node < m {
+                // row node: propagate to the column.
+                if !known_v[cell.j] {
+                    v[cell.j] = c[cell.i * n + cell.j] - u[cell.i];
+                    known_v[cell.j] = true;
+                    queue.push(m + cell.j);
+                }
+            } else if !known_u[cell.i] {
+                u[cell.i] = c[cell.i * n + cell.j] - v[cell.j];
+                known_u[cell.i] = true;
+                queue.push(cell.i);
+            }
+        }
+    }
+    debug_assert!(
+        known_u.iter().all(|&k| k) && known_v.iter().all(|&k| k),
+        "basis is not a spanning tree"
+    );
+}
+
+/// Path (as basis-cell indices) in the basis tree from column node
+/// `start_col` to row node `goal_row`.
+///
+/// The first edge on the path is incident to `start_col` and is a donor
+/// (receives `-theta`): adding `+theta` at the entering cell `(goal_row,
+/// start_col)` over-fills column `start_col`, so the basic edge leaving it
+/// must shed flow. Donor/receiver then alternate along the path, so even
+/// positions are donors.
+fn tree_path(basis: &[BasicCell], m: usize, n: usize, start_col: usize, goal_row: usize) -> Vec<usize> {
+    let num_nodes = m + n;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for (idx, cell) in basis.iter().enumerate() {
+        adj[cell.i].push(idx);
+        adj[m + cell.j].push(idx);
+    }
+    // BFS from col node to row node.
+    let start = m + start_col;
+    let goal = goal_row;
+    let mut parent_edge: Vec<usize> = vec![usize::MAX; num_nodes];
+    let mut parent_node: Vec<usize> = vec![usize::MAX; num_nodes];
+    let mut visited = vec![false; num_nodes];
+    visited[start] = true;
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        if node == goal {
+            break;
+        }
+        for &idx in &adj[node] {
+            let cell = &basis[idx];
+            let other = if node < m { m + cell.j } else { cell.i };
+            if !visited[other] {
+                visited[other] = true;
+                parent_edge[other] = idx;
+                parent_node[other] = node;
+                queue.push_back(other);
+            }
+        }
+    }
+    debug_assert!(visited[goal], "basis tree disconnected");
+    // Walk back from goal to start; then reverse so the path starts at
+    // the column side (first edge = donor adjacent to entering column).
+    let mut path = Vec::new();
+    let mut node = goal;
+    while node != start {
+        path.push(parent_edge[node]);
+        node = parent_node[node];
+    }
+    path.reverse();
+    path
+}
+
+/// Extract the plan on real (non-slack) nodes, mapping back to the
+/// caller's original indices.
+fn extract_plan(
+    basis: &[BasicCell],
+    c: &[f64],
+    n: usize,
+    real_rows: usize,
+    real_cols: usize,
+    row_map: &[usize],
+    col_map: &[usize],
+) -> TransportPlan {
+    let mut flows = Vec::new();
+    let mut total_cost = 0.0;
+    let mut total_flow = 0.0;
+    for cell in basis {
+        if cell.flow <= 0.0 || cell.i >= real_rows || cell.j >= real_cols {
+            continue;
+        }
+        total_cost += cell.flow * c[cell.i * n + cell.j];
+        total_flow += cell.flow;
+        flows.push((row_map[cell.i], col_map[cell.j], cell.flow));
+    }
+    TransportPlan {
+        flows,
+        total_cost,
+        total_flow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(costs: &[&[f64]], supplies: &[f64], demands: &[f64]) -> TransportPlan {
+        let flat: Vec<f64> = costs.iter().flat_map(|r| r.iter().copied()).collect();
+        solve_transportation(&flat, supplies, demands).unwrap()
+    }
+
+    #[test]
+    fn textbook_balanced_3x3() {
+        // Hitchcock-style instance with hand-verified optimum 1920
+        // (basis s1->d1:70, s1->d3:50, s2->d2:70, s2->d3:10, s3->d1:80;
+        // all reduced costs non-negative under u=(0,6,-5), v=(8,4,6)).
+        // costs:      d1  d2  d3   supply
+        //   s1         8   5   6     120
+        //   s2        15  10  12      80
+        //   s3         3   9  10      80
+        // demand     150  70  60
+        let plan = solve(
+            &[&[8.0, 5.0, 6.0], &[15.0, 10.0, 12.0], &[3.0, 9.0, 10.0]],
+            &[120.0, 80.0, 80.0],
+            &[150.0, 70.0, 60.0],
+        );
+        assert!((plan.total_flow() - 280.0).abs() < 1e-9);
+        assert!(
+            (plan.total_cost() - 1920.0).abs() < 1e-9,
+            "cost {}",
+            plan.total_cost()
+        );
+    }
+
+    #[test]
+    fn trivial_1x1() {
+        let plan = solve(&[&[7.0]], &[2.0], &[2.0]);
+        assert_eq!(plan.flows(), &[(0, 0, 2.0)]);
+        assert!((plan.total_cost() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_row_distributes_to_all() {
+        let plan = solve(&[&[1.0, 2.0, 3.0]], &[6.0], &[1.0, 2.0, 3.0]);
+        assert!((plan.total_flow() - 6.0).abs() < 1e-12);
+        assert!((plan.total_cost() - (1.0 + 4.0 + 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_col_collects_from_all() {
+        let plan = solve(&[&[4.0], &[2.0]], &[1.0, 1.0], &[2.0]);
+        assert!((plan.total_cost() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_excess_supply() {
+        // Supply 10 vs demand 4: the cheap supplier should serve it all.
+        let plan = solve(&[&[1.0], &[5.0]], &[4.0, 6.0], &[4.0]);
+        assert!((plan.total_flow() - 4.0).abs() < 1e-12);
+        assert!((plan.total_cost() - 4.0).abs() < 1e-12, "cost {}", plan.total_cost());
+    }
+
+    #[test]
+    fn unbalanced_excess_demand() {
+        let plan = solve(&[&[1.0, 5.0]], &[4.0], &[4.0, 6.0]);
+        assert!((plan.total_flow() - 4.0).abs() < 1e-12);
+        assert!((plan.total_cost() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_entries_filtered() {
+        let plan = solve(
+            &[&[9.0, 1.0], &[1.0, 9.0], &[5.0, 5.0]],
+            &[1.0, 0.0, 1.0],
+            &[1.0, 1.0],
+        );
+        // Row 1 has zero supply; optimal assigns row0->col1, row2->col0.
+        assert!((plan.total_cost() - 6.0).abs() < 1e-12);
+        assert!(plan.flows().iter().all(|&(i, _, _)| i != 1));
+    }
+
+    #[test]
+    fn degenerate_equal_supplies_demands() {
+        // Every supply equals every demand: heavily degenerate pivots.
+        let plan = solve(
+            &[&[1.0, 2.0, 3.0], &[2.0, 1.0, 2.0], &[3.0, 2.0, 1.0]],
+            &[1.0, 1.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        );
+        assert!((plan.total_cost() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_conservation_constraints() {
+        let supplies = [3.0, 2.0, 5.0];
+        let demands = [4.0, 6.0];
+        let costs = [1.0, 4.0, 2.0, 1.0, 3.0, 2.0];
+        let plan = solve_transportation(&costs, &supplies, &demands).unwrap();
+        let mut row_out = [0.0; 3];
+        let mut col_in = [0.0; 2];
+        for &(i, j, f) in plan.flows() {
+            assert!(f > 0.0);
+            row_out[i] += f;
+            col_in[j] += f;
+        }
+        for (out, s) in row_out.iter().zip(&supplies) {
+            assert!(*out <= s + 1e-9, "row constraint violated");
+        }
+        for (inn, d) in col_in.iter().zip(&demands) {
+            assert!(*inn <= d + 1e-9, "col constraint violated");
+        }
+        assert!((plan.total_flow() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nan_cost() {
+        assert_eq!(
+            solve_transportation(&[f64::NAN], &[1.0], &[1.0]),
+            Err(EmdError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn rejects_negative_supply() {
+        assert_eq!(
+            solve_transportation(&[1.0], &[-1.0], &[1.0]),
+            Err(EmdError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn rejects_all_zero_mass() {
+        assert_eq!(
+            solve_transportation(&[1.0], &[0.0], &[1.0]),
+            Err(EmdError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn nw_corner_cell_count() {
+        let cells = northwest_corner(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0]);
+        assert_eq!(cells.len(), 5);
+        let total: f64 = cells.iter().map(|c| c.flow).sum();
+        assert!((total - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nw_corner_degenerate_ties() {
+        // Supplies exactly match demands pairwise -> degenerate cells.
+        let cells = northwest_corner(&[2.0, 2.0], &[2.0, 2.0]);
+        assert_eq!(cells.len(), 3);
+        let total: f64 = cells.iter().map(|c| c.flow).sum();
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_random_instance_satisfies_duality() {
+        // Optimality certificate: complementary slackness via potentials
+        // is internal; instead verify against brute force on a small
+        // instance (enumerate vertex solutions indirectly by comparing
+        // with a known-good greedy lower bound: cost >= total_flow * min
+        // cost and <= NW-corner cost).
+        let costs: Vec<f64> = (0..16).map(|k| ((k * 7 + 3) % 11) as f64 + 1.0).collect();
+        let supplies = [5.0, 3.0, 8.0, 2.0];
+        let demands = [4.0, 6.0, 5.0, 3.0];
+        let plan = solve_transportation(&costs, &supplies, &demands).unwrap();
+        let min_c = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_c = costs.iter().cloned().fold(0.0, f64::max);
+        assert!(plan.total_cost() >= min_c * plan.total_flow() - 1e-9);
+        assert!(plan.total_cost() <= max_c * plan.total_flow() + 1e-9);
+        assert!((plan.total_flow() - 18.0).abs() < 1e-9);
+    }
+}

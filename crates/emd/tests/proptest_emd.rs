@@ -1,0 +1,145 @@
+//! Property-based tests for the EMD solver.
+//!
+//! The strongest check: on 1-D equal-mass inputs the transportation
+//! simplex must agree with the closed-form CDF solver to within floating
+//! tolerance, for arbitrary weighted point sets. Plus metric properties
+//! (non-negativity, symmetry, identity, triangle inequality) on random
+//! 2-D signatures.
+
+use emd::{emd, emd_1d, Euclidean, Signature};
+use proptest::prelude::*;
+
+/// Strategy: a 1-D weighted point set with strictly positive weights.
+fn weighted_points_1d(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(
+        ((-50.0..50.0f64), (0.01..10.0f64)),
+        1..=max_len,
+    )
+}
+
+/// Strategy: a small 2-D signature.
+fn signature_2d(max_len: usize) -> impl Strategy<Value = Signature> {
+    prop::collection::vec(
+        ((-20.0..20.0f64), (-20.0..20.0f64), (0.01..5.0f64)),
+        1..=max_len,
+    )
+    .prop_map(|triples| {
+        let points: Vec<Vec<f64>> = triples.iter().map(|&(x, y, _)| vec![x, y]).collect();
+        let weights: Vec<f64> = triples.iter().map(|&(_, _, w)| w).collect();
+        Signature::new(points, weights).expect("strategy produces valid signatures")
+    })
+}
+
+/// Normalize a weighted point set to unit mass.
+fn normalize(pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let total: f64 = pts.iter().map(|&(_, w)| w).sum();
+    pts.iter().map(|&(x, w)| (x, w / total)).collect()
+}
+
+fn to_signature_1d(pts: &[(f64, f64)]) -> Signature {
+    let points: Vec<Vec<f64>> = pts.iter().map(|&(x, _)| vec![x]).collect();
+    let weights: Vec<f64> = pts.iter().map(|&(_, w)| w).collect();
+    Signature::new(points, weights).expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transportation simplex == closed-form CDF distance in 1-D.
+    #[test]
+    fn simplex_matches_1d_oracle(
+        a in weighted_points_1d(12),
+        b in weighted_points_1d(12),
+    ) {
+        let a = normalize(&a);
+        let b = normalize(&b);
+        let oracle = emd_1d(&a, &b).unwrap();
+        let solved = emd(&to_signature_1d(&a), &to_signature_1d(&b), &Euclidean).unwrap();
+        prop_assert!(
+            (oracle - solved).abs() < 1e-7 * (1.0 + oracle.abs()),
+            "oracle {oracle} vs simplex {solved}"
+        );
+    }
+
+    /// EMD is non-negative and zero on identical signatures.
+    #[test]
+    fn non_negative_and_identity(s in signature_2d(10)) {
+        let d = emd(&s, &s, &Euclidean).unwrap();
+        prop_assert!(d >= 0.0);
+        prop_assert!(d < 1e-9, "self distance {d}");
+    }
+
+    /// EMD is symmetric (any masses — Eq. 12 is symmetric by construction).
+    #[test]
+    fn symmetric(a in signature_2d(8), b in signature_2d(8)) {
+        let dab = emd(&a, &b, &Euclidean).unwrap();
+        let dba = emd(&b, &a, &Euclidean).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-7 * (1.0 + dab.abs()), "{dab} vs {dba}");
+    }
+
+    /// Triangle inequality holds for normalized (equal-mass) signatures.
+    #[test]
+    fn triangle_inequality(
+        a in signature_2d(6),
+        b in signature_2d(6),
+        c in signature_2d(6),
+    ) {
+        let a = a.normalized().unwrap();
+        let b = b.normalized().unwrap();
+        let c = c.normalized().unwrap();
+        let ab = emd(&a, &b, &Euclidean).unwrap();
+        let bc = emd(&b, &c, &Euclidean).unwrap();
+        let ac = emd(&a, &c, &Euclidean).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-7, "ac={ac} > ab+bc={}", ab + bc);
+    }
+
+    /// Translating both signatures leaves the distance unchanged;
+    /// translating one by `delta` changes a point-mass pair by |delta|.
+    #[test]
+    fn translation_behaviour(
+        a in weighted_points_1d(8),
+        delta in -10.0..10.0f64,
+    ) {
+        let a = normalize(&a);
+        let shifted: Vec<(f64, f64)> = a.iter().map(|&(x, w)| (x + delta, w)).collect();
+        let d = emd_1d(&a, &shifted).unwrap();
+        prop_assert!((d - delta.abs()) < 1e-7, "shift distance {d} vs {}", delta.abs());
+    }
+
+    /// Scaling all weights of both signatures leaves Eq. 12 unchanged.
+    #[test]
+    fn mass_scale_invariance(
+        a in signature_2d(6),
+        b in signature_2d(6),
+        scale in 0.1..100.0f64,
+    ) {
+        let d1 = emd(&a, &b, &Euclidean).unwrap();
+        let a2 = Signature::new(
+            a.points().to_vec(),
+            a.weights().iter().map(|w| w * scale).collect(),
+        ).unwrap();
+        let b2 = Signature::new(
+            b.points().to_vec(),
+            b.weights().iter().map(|w| w * scale).collect(),
+        ).unwrap();
+        let d2 = emd(&a2, &b2, &Euclidean).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-7 * (1.0 + d1.abs()), "{d1} vs {d2}");
+    }
+
+    /// EMD against a point mass equals the weighted mean distance to it
+    /// when the point-mass side has the (weakly) larger mass.
+    #[test]
+    fn point_mass_closed_form(s in signature_2d(8), px in -20.0..20.0f64, py in -20.0..20.0f64) {
+        let s = s.normalized().unwrap();
+        let p = Signature::new(vec![vec![px, py]], vec![1.0]).unwrap();
+        let d = emd(&s, &p, &Euclidean).unwrap();
+        let expected: f64 = s.iter()
+            .map(|(pt, w)| {
+                let dx = pt[0] - px;
+                let dy = pt[1] - py;
+                w * (dx * dx + dy * dy).sqrt()
+            })
+            .sum();
+        prop_assert!((d - expected).abs() < 1e-7 * (1.0 + expected), "{d} vs {expected}");
+    }
+}

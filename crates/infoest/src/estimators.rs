@@ -1,0 +1,302 @@
+//! The three weighted information estimators.
+
+use crate::matrix::DistanceMatrix;
+
+/// Configuration shared by the estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Additive constant `c` of the estimators. Cancels in change-point
+    /// scores; default 0.
+    pub offset: f64,
+    /// Multiplicative constant `d` (effective embedding dimension).
+    /// Cancels in change-point scores; default 1.
+    pub scale: f64,
+    /// Distances are clamped below at this floor before taking logs, so
+    /// coincident signatures (distance 0) contribute a large-but-finite
+    /// negative term instead of `-inf`.
+    pub dist_floor: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            offset: 0.0,
+            scale: 1.0,
+            dist_floor: 1e-12,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    #[inline]
+    fn log_dist(&self, d: f64) -> f64 {
+        d.max(self.dist_floor).ln()
+    }
+}
+
+/// Validate a weight vector and return its sum.
+fn check_weights(weights: &[f64], what: &str) -> f64 {
+    assert!(!weights.is_empty(), "{what}: empty weights");
+    let sum: f64 = weights.iter().sum();
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w >= 0.0) && sum > 0.0,
+        "{what}: weights must be finite, >= 0, with positive sum"
+    );
+    sum
+}
+
+/// Information content `I(S; S') = c + d Σ_j ψ'_j log dist(S'_j, S)`.
+///
+/// `dists` are the distances from each element of `S'` to the signature
+/// `S`; `weights` are the ψ'_j (normalized internally).
+///
+/// # Panics
+/// Panics on empty or invalid weights, or a length mismatch.
+pub fn information_content(dists: &[f64], weights: &[f64], cfg: &EstimatorConfig) -> f64 {
+    assert_eq!(
+        dists.len(),
+        weights.len(),
+        "information_content: dists/weights length mismatch"
+    );
+    let sum = check_weights(weights, "information_content");
+    let acc: f64 = dists
+        .iter()
+        .zip(weights)
+        .map(|(&d, &w)| (w / sum) * cfg.log_dist(d))
+        .sum();
+    cfg.offset + cfg.scale * acc
+}
+
+/// Auto-entropy
+/// `H(S) = c + d Σ_i Σ_{j≠i} ψ_i ψ_j / (1 - ψ_i) log dist(S_i, S_j)`.
+///
+/// `dist` must be a square matrix over the elements of `S`; the diagonal
+/// is ignored. The `1/(1 - ψ_i)` factor renormalizes the remaining
+/// weights after leaving item `i` out.
+///
+/// # Panics
+/// Panics if the matrix is not square, the weights length does not match,
+/// or weights are invalid. A single-element set has no leave-one-out
+/// structure; its auto-entropy is defined as `c` (the log term vanishes).
+pub fn auto_entropy(dist: &DistanceMatrix, weights: &[f64], cfg: &EstimatorConfig) -> f64 {
+    assert_eq!(dist.rows(), dist.cols(), "auto_entropy: matrix must be square");
+    assert_eq!(
+        dist.rows(),
+        weights.len(),
+        "auto_entropy: weights length mismatch"
+    );
+    let sum = check_weights(weights, "auto_entropy");
+    let n = weights.len();
+    if n == 1 {
+        return cfg.offset;
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        let wi = weights[i] / sum;
+        if wi >= 1.0 {
+            // Degenerate: all mass on one item; leave-one-out undefined,
+            // and every other term has ψ_j = 0. Contributes nothing.
+            continue;
+        }
+        let row = dist.row(i);
+        let mut inner = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let wj = weights[j] / sum;
+            if wj == 0.0 {
+                continue;
+            }
+            inner += wj * cfg.log_dist(row[j]);
+        }
+        acc += wi * inner / (1.0 - wi);
+    }
+    cfg.offset + cfg.scale * acc
+}
+
+/// Cross-entropy `H(S, S') = c + d Σ_i Σ_j ψ_i ψ'_j log dist(S_i, S'_j)`.
+///
+/// `dist` is rectangular: rows index `S`, columns index `S'`.
+///
+/// # Panics
+/// Panics on dimension mismatches or invalid weights.
+pub fn cross_entropy(
+    dist: &DistanceMatrix,
+    weights_s: &[f64],
+    weights_t: &[f64],
+    cfg: &EstimatorConfig,
+) -> f64 {
+    assert_eq!(
+        dist.rows(),
+        weights_s.len(),
+        "cross_entropy: row weights length mismatch"
+    );
+    assert_eq!(
+        dist.cols(),
+        weights_t.len(),
+        "cross_entropy: col weights length mismatch"
+    );
+    let sum_s = check_weights(weights_s, "cross_entropy");
+    let sum_t = check_weights(weights_t, "cross_entropy");
+    let mut acc = 0.0;
+    for (i, &wi) in weights_s.iter().enumerate() {
+        if wi == 0.0 {
+            continue;
+        }
+        let row = dist.row(i);
+        let mut inner = 0.0;
+        for (j, &wj) in weights_t.iter().enumerate() {
+            if wj == 0.0 {
+                continue;
+            }
+            inner += (wj / sum_t) * cfg.log_dist(row[j]);
+        }
+        acc += (wi / sum_s) * inner;
+    }
+    cfg.offset + cfg.scale * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EstimatorConfig {
+        EstimatorConfig::default()
+    }
+
+    #[test]
+    fn information_content_equal_weights() {
+        // I = mean of log distances when weights are equal.
+        let dists = [1.0, std::f64::consts::E, std::f64::consts::E * std::f64::consts::E];
+        let i = information_content(&dists, &[1.0, 1.0, 1.0], &cfg());
+        assert!((i - 1.0).abs() < 1e-12, "{i}"); // (0 + 1 + 2)/3
+    }
+
+    #[test]
+    fn information_content_weighting() {
+        // All mass on the second element -> log of its distance.
+        let i = information_content(&[1.0, std::f64::consts::E], &[0.0, 5.0], &cfg());
+        assert!((i - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn information_content_offset_scale() {
+        let c = EstimatorConfig {
+            offset: 10.0,
+            scale: 2.0,
+            dist_floor: 1e-12,
+        };
+        let i = information_content(&[std::f64::consts::E], &[1.0], &c);
+        assert!((i - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_clamped_not_infinite() {
+        let i = information_content(&[0.0], &[1.0], &cfg());
+        assert!(i.is_finite());
+        assert!(i < -20.0, "floor of 1e-12 gives ln ~ -27.6, got {i}");
+    }
+
+    #[test]
+    fn auto_entropy_two_points() {
+        // Two items, equal weights 1/2: H = sum_i (1/2)(1/2)/(1/2) log d
+        // = 2 * (1/2) log d = log d.
+        let d = DistanceMatrix::symmetric_from_fn(2, |_, _| std::f64::consts::E);
+        let h = auto_entropy(&d, &[1.0, 1.0], &cfg());
+        assert!((h - 1.0).abs() < 1e-12, "{h}");
+    }
+
+    #[test]
+    fn auto_entropy_ignores_diagonal() {
+        let mut data = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                data[i * 3 + j] = if i == j { 0.0 } else { std::f64::consts::E };
+            }
+        }
+        let d = DistanceMatrix::from_vec(3, 3, data);
+        let h = auto_entropy(&d, &[1.0, 1.0, 1.0], &cfg());
+        // all off-diagonal log distances = 1 -> weighted sum = 1.
+        assert!((h - 1.0).abs() < 1e-12, "{h}");
+    }
+
+    #[test]
+    fn auto_entropy_singleton_is_offset() {
+        let d = DistanceMatrix::from_vec(1, 1, vec![0.0]);
+        let c = EstimatorConfig {
+            offset: 3.0,
+            ..cfg()
+        };
+        assert_eq!(auto_entropy(&d, &[1.0], &c), 3.0);
+    }
+
+    #[test]
+    fn auto_entropy_leave_one_out_renormalization() {
+        // Three items with weights (1/2, 1/4, 1/4), distances all e.
+        // H = sum_i psi_i * [sum_{j!=i} psi_j log e] / (1 - psi_i)
+        //   = sum_i psi_i * (1 - psi_i)/(1 - psi_i) = sum_i psi_i = 1.
+        let d = DistanceMatrix::symmetric_from_fn(3, |_, _| std::f64::consts::E);
+        let h = auto_entropy(&d, &[2.0, 1.0, 1.0], &cfg());
+        assert!((h - 1.0).abs() < 1e-12, "{h}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform() {
+        let d = DistanceMatrix::from_fn(2, 3, |_, _| std::f64::consts::E);
+        let h = cross_entropy(&d, &[1.0, 1.0], &[1.0, 1.0, 1.0], &cfg());
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_respects_both_weightings() {
+        // Mass concentrated on (row 0, col 1) -> log of that distance.
+        let d = DistanceMatrix::from_fn(2, 2, |i, j| {
+            if i == 0 && j == 1 {
+                (2.0f64).exp()
+            } else {
+                1.0
+            }
+        });
+        let h = cross_entropy(&d, &[1.0, 0.0], &[0.0, 1.0], &cfg());
+        assert!((h - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_symmetric_under_transpose() {
+        let d = DistanceMatrix::from_fn(2, 3, |i, j| 1.0 + (i + 2 * j) as f64);
+        let dt = DistanceMatrix::from_fn(3, 2, |j, i| 1.0 + (i + 2 * j) as f64);
+        let ws = [0.3, 0.7];
+        let wt = [0.2, 0.5, 0.3];
+        let h1 = cross_entropy(&d, &ws, &wt, &cfg());
+        let h2 = cross_entropy(&dt, &wt, &ws, &cfg());
+        assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalized_weights_equal_normalized() {
+        let d = DistanceMatrix::from_fn(2, 2, |i, j| 1.0 + (i * 2 + j) as f64);
+        let h1 = cross_entropy(&d, &[1.0, 3.0], &[2.0, 2.0], &cfg());
+        let h2 = cross_entropy(&d, &[0.25, 0.75], &[0.5, 0.5], &cfg());
+        assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn information_content_length_mismatch_panics() {
+        information_content(&[1.0], &[1.0, 1.0], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn zero_weights_panic() {
+        information_content(&[1.0], &[0.0], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn auto_entropy_rect_panics() {
+        let d = DistanceMatrix::from_fn(2, 3, |_, _| 1.0);
+        auto_entropy(&d, &[1.0, 1.0], &cfg());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the weighted information estimators.
+
+use infoest::{auto_entropy, cross_entropy, information_content, DistanceMatrix, EstimatorConfig};
+use proptest::prelude::*;
+
+fn cfg() -> EstimatorConfig {
+    EstimatorConfig::default()
+}
+
+/// Strategy: positive distances.
+fn distances(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..100.0f64, n..=n)
+}
+
+/// Strategy: positive weights.
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..10.0f64, n..=n)
+}
+
+/// Strategy: a symmetric distance matrix with zero diagonal.
+fn sym_matrix(n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    prop::collection::vec(0.01..100.0f64, n * (n - 1) / 2).prop_map(move |upper| {
+        let mut it = upper.into_iter();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = it.next().expect("sized exactly");
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix::from_vec(n, n, data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three estimators produce finite values on positive distances.
+    #[test]
+    fn estimators_finite(
+        m in sym_matrix(6),
+        w in weights(6),
+    ) {
+        prop_assert!(auto_entropy(&m, &w, &cfg()).is_finite());
+        let cross = m.block(0..3, 3..6);
+        prop_assert!(cross_entropy(&cross, &w[..3], &w[3..], &cfg()).is_finite());
+        prop_assert!(information_content(m.row(0), &w, &cfg()).is_finite());
+    }
+
+    /// Weight-scale invariance: the estimators normalize internally.
+    #[test]
+    fn weight_scale_invariance(
+        d in distances(5),
+        w in weights(5),
+        scale in 0.1..100.0f64,
+    ) {
+        let scaled: Vec<f64> = w.iter().map(|x| x * scale).collect();
+        let a = information_content(&d, &w, &cfg());
+        let b = information_content(&d, &scaled, &cfg());
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    /// Information content is monotone: uniformly larger distances give a
+    /// larger value.
+    #[test]
+    fn information_monotone_in_distances(
+        d in distances(5),
+        w in weights(5),
+        factor in 1.1..10.0f64,
+    ) {
+        let larger: Vec<f64> = d.iter().map(|x| x * factor).collect();
+        let a = information_content(&d, &w, &cfg());
+        let b = information_content(&larger, &w, &cfg());
+        // log(factor * d) = log factor + log d, so b - a = log factor.
+        prop_assert!((b - a - factor.ln()).abs() < 1e-9);
+    }
+
+    /// Cross-entropy equals the transpose with swapped weight vectors.
+    #[test]
+    fn cross_entropy_transpose_identity(
+        m in sym_matrix(6),
+        w in weights(6),
+    ) {
+        let ab = m.block(0..2, 2..6);
+        let ba = m.block(2..6, 0..2);
+        let h1 = cross_entropy(&ab, &w[..2], &w[2..], &cfg());
+        let h2 = cross_entropy(&ba, &w[2..], &w[..2], &cfg());
+        prop_assert!((h1 - h2).abs() < 1e-9 * (1.0 + h1.abs()));
+    }
+
+    /// Auto-entropy is permutation invariant (relabeling the items).
+    #[test]
+    fn auto_entropy_permutation_invariant(
+        m in sym_matrix(5),
+        w in weights(5),
+    ) {
+        let n = 5;
+        // Reverse permutation.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let pm = DistanceMatrix::from_fn(n, n, |i, j| m.get(perm[i], perm[j]));
+        let pw: Vec<f64> = perm.iter().map(|&i| w[i]).collect();
+        let a = auto_entropy(&m, &w, &cfg());
+        let b = auto_entropy(&pm, &pw, &cfg());
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    /// The offset constant shifts every estimator by exactly c, and the
+    /// scale multiplies the data term — the structure that makes them
+    /// cancel in the paper's score differences.
+    #[test]
+    fn offset_and_scale_structure(
+        d in distances(4),
+        w in weights(4),
+        c in -10.0..10.0f64,
+        s in 0.1..10.0f64,
+    ) {
+        let base = information_content(&d, &w, &cfg());
+        let shifted = information_content(
+            &d,
+            &w,
+            &EstimatorConfig { offset: c, scale: s, dist_floor: 1e-12 },
+        );
+        prop_assert!((shifted - (c + s * base)).abs() < 1e-9 * (1.0 + shifted.abs()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the statistical substrate to sample from multivariate normal
+//! distributions: if `Sigma = L L^T`, then `mu + L z` with `z ~ N(0, I)`
+//! is distributed `N(mu, Sigma)`.
+
+use crate::matrix::Matrix;
+
+/// Failure modes of [`cholesky`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// Input matrix is not square.
+    NotSquare,
+    /// A pivot was not strictly positive, i.e. the matrix is not positive
+    /// definite (up to numerical tolerance). Carries the failing column.
+    NotPositiveDefinite(usize),
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "cholesky: matrix is not square"),
+            CholeskyError::NotPositiveDefinite(j) => {
+                write!(f, "cholesky: matrix is not positive definite (pivot {j})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Compute the lower-triangular Cholesky factor `L` with `A = L L^T`.
+///
+/// Only the lower triangle of `a` is read, so callers may pass a matrix
+/// whose upper triangle is stale.
+///
+/// # Errors
+/// Returns [`CholeskyError::NotSquare`] for rectangular input and
+/// [`CholeskyError::NotPositiveDefinite`] when a pivot is `<= 0`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 {
+            return Err(CholeskyError::NotPositiveDefinite(j));
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(l: &Matrix) -> Matrix {
+        l.matmul(&l.transpose())
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let l = cholesky(&Matrix::identity(4)).unwrap();
+        assert_eq!(l, Matrix::identity(4));
+    }
+
+    #[test]
+    fn known_3x3() {
+        // Classic example: A = [[4,12,-16],[12,37,-43],[-16,-43,98]]
+        // has L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let a = Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky(&a).unwrap();
+        let expected = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![6.0, 1.0, 0.0],
+            vec![-8.0, 5.0, 3.0],
+        ]);
+        assert!(l.sub(&expected).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_round_trip() {
+        let a = Matrix::from_rows(&[
+            vec![2.5, 0.3, 0.1],
+            vec![0.3, 1.7, -0.2],
+            vec![0.1, -0.2, 3.1],
+        ]);
+        let l = cholesky(&a).unwrap();
+        assert!(reconstruct(&l).sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert_eq!(cholesky(&Matrix::zeros(2, 3)), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(CholeskyError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(3, 3)),
+            Err(CholeskyError::NotPositiveDefinite(0))
+        ));
+    }
+
+    #[test]
+    fn scaled_identity() {
+        // Sigma = 15 * I_2, the covariance used by Dataset 1 of §5.1.
+        let a = Matrix::identity(2).scaled(15.0);
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 15.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+}

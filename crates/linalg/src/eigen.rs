@@ -1,0 +1,197 @@
+//! Symmetric eigendecomposition by cyclic Jacobi rotations.
+//!
+//! Classical MDS (Fig. 6 center panels) needs the leading eigenpairs of a
+//! double-centered squared-distance matrix. The matrices involved are
+//! small (one row per bag, so ~20–300), where the Jacobi method is simple,
+//! numerically robust, and plenty fast.
+
+use crate::matrix::Matrix;
+
+/// Result of [`jacobi_eigen`]: eigenvalues sorted in descending order with
+/// matching eigenvectors as matrix columns.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// `n x n` matrix whose column `j` is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Sweeps zero out off-diagonal entries until the off-diagonal Frobenius
+/// norm falls below `tol * ||A||_F` or `max_sweeps` is reached (whichever
+/// comes first); for symmetric input the method always converges.
+///
+/// # Panics
+/// Panics if `a` is not square or not symmetric (tolerance `1e-9` relative
+/// to the largest entry).
+pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Eigen {
+    assert!(a.is_square(), "jacobi_eigen: matrix must be square");
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.is_symmetric(1e-9 * scale),
+        "jacobi_eigen: matrix must be symmetric"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let fro = a.frobenius().max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if (2.0 * off).sqrt() <= tol * fro {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation J(p, q, theta) on both sides: M <- J^T M J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix, e: &Eigen, tol: f64) {
+        let n = a.rows();
+        // A v_j = lambda_j v_j for every column.
+        for j in 0..n {
+            let vj = e.vectors.col(j);
+            let av = a.matvec(&vj);
+            for i in 0..n {
+                assert!(
+                    (av[i] - e.values[j] * vj[i]).abs() < tol,
+                    "eigenpair {j} violated at row {i}: {} vs {}",
+                    av[i],
+                    e.values[j] * vj[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 7.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-12, 50);
+        assert!((e.values[0] - 7.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((e.values[2] + 1.0).abs() < 1e-10);
+        check_decomposition(&a, &e, 1e-8);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 1e-12, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        check_decomposition(&a, &e, 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -0.3],
+            vec![0.5, -0.3, 2.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-12, 100);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.sub(&Matrix::identity(3)).max_abs() < 1e-9);
+        check_decomposition(&a, &e, 1e-8);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.2, 0.3, 0.0],
+            vec![0.2, 2.0, 0.1, 0.4],
+            vec![0.3, 0.1, 3.0, 0.5],
+            vec![0.0, 0.4, 0.5, 4.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-12, 100);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_zero_eigenvalues() {
+        // Outer product: rank-1 PSD matrix.
+        let u = [1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(3, 3, |i, j| u[i] * u[j]);
+        let e = jacobi_eigen(&a, 1e-12, 100);
+        assert!((e.values[0] - 14.0).abs() < 1e-9); // |u|^2
+        assert!(e.values[1].abs() < 1e-9);
+        assert!(e.values[2].abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        jacobi_eigen(&a, 1e-10, 10);
+    }
+}

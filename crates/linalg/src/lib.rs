@@ -1,0 +1,25 @@
+//! Small dense linear-algebra substrate for the bags-cpd workspace.
+//!
+//! The change-point detection pipeline of Koshijima, Hino & Murata (TKDE
+//! 2015) needs only a handful of dense operations: matrix arithmetic for
+//! feature transforms, a Cholesky factorization for sampling from
+//! multivariate normal distributions (synthetic data generators), a
+//! symmetric eigendecomposition (Jacobi rotations) and classical
+//! multidimensional scaling for reproducing the center panels of Fig. 6.
+//!
+//! Everything here is implemented from scratch on a row-major [`Matrix`]
+//! type; there is no external linear-algebra dependency.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod matrix;
+pub mod mds;
+pub mod solve;
+pub mod vector;
+
+pub use cholesky::{cholesky, CholeskyError};
+pub use eigen::{jacobi_eigen, Eigen};
+pub use matrix::Matrix;
+pub use mds::{classical_mds, MdsError};
+pub use solve::{solve, SolveError};
+pub use vector::{axpy, dot, euclidean, norm2, scale, sq_dist, sub};

@@ -1,0 +1,175 @@
+//! Classical (Torgerson) multidimensional scaling.
+//!
+//! Fig. 6 of the paper visualizes the bags of each synthetic dataset by
+//! embedding the pairwise-EMD matrix into the plane. Classical MDS does
+//! exactly that: double-center the squared distance matrix, take the top
+//! `k` eigenpairs, and scale the eigenvectors by the square roots of the
+//! eigenvalues.
+
+use crate::eigen::jacobi_eigen;
+use crate::matrix::Matrix;
+
+/// Failure modes of [`classical_mds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdsError {
+    /// Distance matrix is not square.
+    NotSquare,
+    /// Requested embedding dimension is zero or exceeds the number of points.
+    BadDimension,
+    /// A distance entry was negative or NaN.
+    InvalidDistance,
+}
+
+impl std::fmt::Display for MdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdsError::NotSquare => write!(f, "mds: distance matrix must be square"),
+            MdsError::BadDimension => write!(f, "mds: embedding dimension out of range"),
+            MdsError::InvalidDistance => write!(f, "mds: distances must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for MdsError {}
+
+/// Embed `n` points described by a pairwise distance matrix into `R^k`.
+///
+/// Returns an `n x k` matrix of coordinates. Components with non-positive
+/// eigenvalues (which appear when the distances are not exactly Euclidean,
+/// as with EMD) are embedded as zeros, matching standard practice.
+///
+/// # Errors
+/// See [`MdsError`].
+pub fn classical_mds(dist: &Matrix, k: usize) -> Result<Matrix, MdsError> {
+    if !dist.is_square() {
+        return Err(MdsError::NotSquare);
+    }
+    let n = dist.rows();
+    if k == 0 || k > n {
+        return Err(MdsError::BadDimension);
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let d = dist[(i, j)];
+            if !d.is_finite() || d < 0.0 {
+                return Err(MdsError::InvalidDistance);
+            }
+        }
+    }
+
+    // B = -1/2 J D^2 J with J = I - (1/n) 11^T (double centering).
+    let d2 = Matrix::from_fn(n, n, |i, j| dist[(i, j)] * dist[(i, j)]);
+    let row_mean: Vec<f64> = (0..n)
+        .map(|i| d2.row(i).iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand_mean: f64 = row_mean.iter().sum::<f64>() / n as f64;
+    let b = Matrix::from_fn(n, n, |i, j| {
+        -0.5 * (d2[(i, j)] - row_mean[i] - row_mean[j] + grand_mean)
+    });
+
+    let eig = jacobi_eigen(&b, 1e-12, 100);
+    let mut coords = Matrix::zeros(n, k);
+    for c in 0..k {
+        let lambda = eig.values[c];
+        if lambda <= 0.0 {
+            continue; // negative/zero component: contributes nothing
+        }
+        let s = lambda.sqrt();
+        for i in 0..n {
+            coords[(i, c)] = s * eig.vectors[(i, c)];
+        }
+    }
+    Ok(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::euclidean;
+
+    fn pairwise(points: &[Vec<f64>]) -> Matrix {
+        let n = points.len();
+        Matrix::from_fn(n, n, |i, j| euclidean(&points[i], &points[j]))
+    }
+
+    #[test]
+    fn recovers_euclidean_configuration() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 1.0],
+            vec![-1.0, -1.0],
+        ];
+        let d = pairwise(&pts);
+        let x = classical_mds(&d, 2).unwrap();
+        // MDS is unique only up to rotation/reflection/translation, so
+        // compare reconstructed pairwise distances instead of coordinates.
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let dij = euclidean(x.row(i), x.row(j));
+                assert!(
+                    (dij - d[(i, j)]).abs() < 1e-8,
+                    "distance ({i},{j}): {dij} vs {}",
+                    d[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_line() {
+        // Points on a line embed exactly in 1 dimension.
+        let pts = vec![vec![0.0], vec![1.0], vec![5.0], vec![9.0]];
+        let d = pairwise(&pts);
+        let x = classical_mds(&d, 1).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dij = (x[(i, 0)] - x[(j, 0)]).abs();
+                assert!((dij - d[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let pts = vec![vec![2.0, 3.0], vec![5.0, 7.0], vec![11.0, 13.0]];
+        let x = classical_mds(&pairwise(&pts), 2).unwrap();
+        for c in 0..2 {
+            let mean: f64 = (0..3).map(|i| x[(i, c)]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_euclidean_distances_do_not_panic() {
+        // A metric that is not Euclidean-embeddable in 2D: uniform distances
+        // on 4 points work; add a violation of the Euclidean condition.
+        let d = Matrix::from_rows(&[
+            vec![0.0, 1.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+        ]);
+        let x = classical_mds(&d, 2).unwrap();
+        assert_eq!(x.rows(), 4);
+        assert_eq!(x.cols(), 2);
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(classical_mds(&Matrix::zeros(2, 3), 2), Err(MdsError::NotSquare));
+        assert_eq!(classical_mds(&Matrix::zeros(3, 3), 0), Err(MdsError::BadDimension));
+        assert_eq!(classical_mds(&Matrix::zeros(3, 3), 4), Err(MdsError::BadDimension));
+        let neg = Matrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]);
+        assert_eq!(classical_mds(&neg, 1), Err(MdsError::InvalidDistance));
+    }
+
+    #[test]
+    fn identical_points_embed_to_same_location() {
+        let d = Matrix::zeros(3, 3);
+        let x = classical_mds(&d, 2).unwrap();
+        assert!(x.max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Dense linear solves (LU with partial pivoting).
+//!
+//! Used by the RuLSIF baseline (ridge-regularized kernel least squares)
+//! and available to any substrate needing a small dense solve.
+
+use crate::matrix::Matrix;
+
+/// Failure modes of [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Coefficient matrix is not square.
+    NotSquare,
+    /// Right-hand side length does not match.
+    ShapeMismatch,
+    /// A pivot underflowed: the matrix is singular to working precision.
+    Singular,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotSquare => write!(f, "solve: matrix must be square"),
+            SolveError::ShapeMismatch => write!(f, "solve: rhs length mismatch"),
+            SolveError::Singular => write!(f, "solve: matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solve `A x = b` by LU decomposition with partial pivoting.
+///
+/// # Errors
+/// See [`SolveError`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    if !a.is_square() {
+        return Err(SolveError::NotSquare);
+    }
+    let n = a.rows();
+    if b.len() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let mut lu = a.clone();
+    let mut x = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/below row.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = lu[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            perm.swap(pivot_row, col);
+            x.swap(pivot_row, col);
+            for c in 0..n {
+                let tmp = lu[(pivot_row, c)];
+                lu[(pivot_row, c)] = lu[(col, c)];
+                lu[(col, c)] = tmp;
+            }
+        }
+        // Eliminate below.
+        let pivot = lu[(col, col)];
+        for r in (col + 1)..n {
+            let factor = lu[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            lu[(r, col)] = 0.0;
+            for c in (col + 1)..n {
+                let v = lu[(col, c)];
+                lu[(r, c)] -= factor * v;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for c in (col + 1)..n {
+            acc -= lu[(col, c)] * x[c];
+        }
+        x[col] = acc / lu[(col, col)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let x = solve(&Matrix::identity(3), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 3]] x = [3, 5] -> x = (4/5, 7/5).
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_on_random_system() {
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            ((i * 31 + j * 17 + 5) % 23) as f64 / 23.0 + if i == j { 2.0 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        for (r, bb) in ax.iter().zip(&b) {
+            assert!((r - bb).abs() < 1e-9, "residual {}", (r - bb).abs());
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(
+            solve(&Matrix::zeros(2, 3), &[1.0, 1.0]),
+            Err(SolveError::NotSquare)
+        );
+        assert_eq!(
+            solve(&Matrix::identity(2), &[1.0]),
+            Err(SolveError::ShapeMismatch)
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use linalg::{cholesky, classical_mds, jacobi_eigen, solve, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-3, 3].
+fn random_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0..3.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Strategy: a random SPD matrix `B^T B + I`.
+fn random_spd(n: usize) -> impl Strategy<Value = Matrix> {
+    random_matrix(n).prop_map(move |b| {
+        b.transpose().matmul(&b).add(&Matrix::identity(n))
+    })
+}
+
+/// Strategy: random planar points.
+fn planar_points(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), n..=n)
+        .prop_map(|pts| pts.into_iter().map(|(x, y)| vec![x, y]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cholesky reconstructs: L L^T == A.
+    #[test]
+    fn cholesky_reconstructs(a in random_spd(4)) {
+        let l = cholesky(&a).expect("SPD by construction");
+        let rec = l.matmul(&l.transpose());
+        prop_assert!(rec.sub(&a).max_abs() < 1e-8 * (1.0 + a.max_abs()));
+    }
+
+    /// Jacobi eigen: eigenvalue sum equals trace; eigenvectors orthonormal.
+    #[test]
+    fn eigen_trace_and_orthonormality(a in random_spd(4)) {
+        let e = jacobi_eigen(&a, 1e-12, 100);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        prop_assert!(vtv.sub(&Matrix::identity(4)).max_abs() < 1e-7);
+    }
+
+    /// SPD matrices have strictly positive eigenvalues.
+    #[test]
+    fn spd_eigenvalues_positive(a in random_spd(3)) {
+        let e = jacobi_eigen(&a, 1e-12, 100);
+        prop_assert!(e.values.iter().all(|&v| v > 0.0), "{:?}", e.values);
+    }
+
+    /// LU solve: residual of A x = b is tiny.
+    #[test]
+    fn solve_residual_small(a in random_spd(5), b in prop::collection::vec(-5.0..5.0f64, 5)) {
+        let x = solve(&a, &b).expect("SPD is nonsingular");
+        let ax = a.matvec(&x);
+        for (r, bb) in ax.iter().zip(&b) {
+            prop_assert!((r - bb).abs() < 1e-7 * (1.0 + bb.abs()));
+        }
+    }
+
+    /// Classical MDS on planar points reconstructs all pairwise
+    /// distances.
+    #[test]
+    fn mds_recovers_planar_configurations(pts in planar_points(6)) {
+        let n = pts.len();
+        let d = Matrix::from_fn(n, n, |i, j| {
+            let dx = pts[i][0] - pts[j][0];
+            let dy = pts[i][1] - pts[j][1];
+            (dx * dx + dy * dy).sqrt()
+        });
+        let x = classical_mds(&d, 2).expect("valid distances");
+        for i in 0..n {
+            for j in 0..n {
+                let dx = x[(i, 0)] - x[(j, 0)];
+                let dy = x[(i, 1)] - x[(j, 1)];
+                let dij = (dx * dx + dy * dy).sqrt();
+                prop_assert!(
+                    (dij - d[(i, j)]).abs() < 1e-6 * (1.0 + d[(i, j)]),
+                    "pair ({i},{j}): {dij} vs {}", d[(i, j)]
+                );
+            }
+        }
+    }
+
+    /// Matrix multiplication is associative.
+    #[test]
+    fn matmul_associative(a in random_matrix(3), b in random_matrix(3), c in random_matrix(3)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.sub(&right).max_abs() < 1e-9 * (1.0 + left.max_abs()));
+    }
+
+    /// Transpose reverses multiplication: (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_reverses_product(a in random_matrix(3), b in random_matrix(3)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.sub(&rhs).max_abs() < 1e-12);
+    }
+}

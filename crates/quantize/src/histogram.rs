@@ -1,0 +1,192 @@
+//! Fixed-width histogram signatures.
+//!
+//! §3.1: "the signatures could be obtained simply by partitioning R^d
+//! into distinct bins of fixed width and then count the number of
+//! observations that fall in each bin. This would be a common approach
+//! especially when the vectors x are 1-dimensional." Bin centers become
+//! the signature vectors `u_k`, occupancies the weights `w_k`; empty bins
+//! are omitted (that is what makes it a signature rather than a dense
+//! histogram).
+
+use crate::Quantization;
+use std::collections::HashMap;
+
+/// Specification of a fixed-width binning of `R^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSpec {
+    /// Left edge of bin 0 in each dimension.
+    pub origin: Vec<f64>,
+    /// Bin width in each dimension (strictly positive).
+    pub width: Vec<f64>,
+}
+
+impl HistogramSpec {
+    /// Uniform spec: the same origin and width in every dimension.
+    pub fn uniform(dim: usize, origin: f64, width: f64) -> Self {
+        HistogramSpec {
+            origin: vec![origin; dim],
+            width: vec![width; dim],
+        }
+    }
+
+    /// Bin index vector of a point.
+    fn bin_of(&self, p: &[f64]) -> Vec<i64> {
+        p.iter()
+            .zip(&self.origin)
+            .zip(&self.width)
+            .map(|((&x, &o), &w)| ((x - o) / w).floor() as i64)
+            .collect()
+    }
+
+    /// Center of a bin index vector.
+    fn center_of(&self, bin: &[i64]) -> Vec<f64> {
+        bin.iter()
+            .zip(&self.origin)
+            .zip(&self.width)
+            .map(|((&b, &o), &w)| o + (b as f64 + 0.5) * w)
+            .collect()
+    }
+
+    fn validate(&self, dim: usize) {
+        assert_eq!(self.origin.len(), dim, "histogram: origin dim mismatch");
+        assert_eq!(self.width.len(), dim, "histogram: width dim mismatch");
+        assert!(
+            self.width.iter().all(|&w| w.is_finite() && w > 0.0),
+            "histogram: widths must be > 0"
+        );
+    }
+}
+
+/// Histogram a bag of `d`-dimensional points into occupied fixed-width
+/// bins.
+///
+/// # Panics
+/// Panics on an empty bag, dimension mismatches, or non-positive widths.
+pub fn histogram_grid(points: &[Vec<f64>], spec: &HistogramSpec) -> Quantization {
+    assert!(!points.is_empty(), "histogram: empty bag");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "histogram: inconsistent point dimensions"
+    );
+    spec.validate(d);
+
+    // Map each occupied bin to a compact cluster id, preserving first-seen
+    // order so results are deterministic.
+    let mut bin_ids: HashMap<Vec<i64>, usize> = HashMap::new();
+    let mut bins: Vec<Vec<i64>> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut assignments = Vec::with_capacity(points.len());
+
+    for p in points {
+        let b = spec.bin_of(p);
+        let id = *bin_ids.entry(b.clone()).or_insert_with(|| {
+            bins.push(b);
+            counts.push(0);
+            bins.len() - 1
+        });
+        counts[id] += 1;
+        assignments.push(id);
+    }
+
+    Quantization {
+        centers: bins.iter().map(|b| spec.center_of(b)).collect(),
+        counts,
+        assignments,
+    }
+}
+
+/// Convenience: 1-D histogram of scalars with the given origin and width.
+///
+/// # Panics
+/// As [`histogram_grid`].
+pub fn histogram_1d(values: &[f64], origin: f64, width: f64) -> Quantization {
+    let pts: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+    histogram_grid(&pts, &HistogramSpec::uniform(1, origin, width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_1d_binning() {
+        let q = histogram_1d(&[0.1, 0.2, 0.9, 1.1, 1.9, 3.5], 0.0, 1.0);
+        // Bins [0,1): 3 points; [1,2): 2 points; [3,4): 1 point.
+        assert_eq!(q.centers.len(), 3);
+        assert_eq!(q.counts, vec![3, 2, 1]);
+        assert_eq!(q.centers[0], vec![0.5]);
+        assert_eq!(q.centers[1], vec![1.5]);
+        assert_eq!(q.centers[2], vec![3.5]);
+        assert_eq!(q.total_count(), 6);
+    }
+
+    #[test]
+    fn negative_values_bin_correctly() {
+        let q = histogram_1d(&[-0.5, -1.5, 0.5], 0.0, 1.0);
+        assert_eq!(q.counts, vec![1, 1, 1]);
+        assert_eq!(q.centers[0], vec![-0.5]); // bin [-1, 0)
+        assert_eq!(q.centers[1], vec![-1.5]); // bin [-2, -1)
+        assert_eq!(q.centers[2], vec![0.5]); // bin [0, 1)
+    }
+
+    #[test]
+    fn bin_edges_are_left_inclusive() {
+        let q = histogram_1d(&[1.0, 0.999999], 0.0, 1.0);
+        assert_eq!(q.centers.len(), 2, "1.0 belongs to [1,2), 0.999999 to [0,1)");
+    }
+
+    #[test]
+    fn two_dimensional_grid() {
+        let pts = vec![
+            vec![0.5, 0.5],
+            vec![0.4, 0.6],
+            vec![1.5, 0.5],
+            vec![0.5, 1.5],
+        ];
+        let q = histogram_grid(&pts, &HistogramSpec::uniform(2, 0.0, 1.0));
+        assert_eq!(q.centers.len(), 3);
+        assert_eq!(q.counts, vec![2, 1, 1]);
+        assert_eq!(q.centers[0], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn per_dimension_widths() {
+        let spec = HistogramSpec {
+            origin: vec![0.0, 0.0],
+            width: vec![1.0, 10.0],
+        };
+        let pts = vec![vec![0.5, 5.0], vec![0.5, 9.0], vec![0.5, 15.0]];
+        let q = histogram_grid(&pts, &spec);
+        assert_eq!(q.counts, vec![2, 1]);
+        assert_eq!(q.centers[0], vec![0.5, 5.0]);
+        assert_eq!(q.centers[1], vec![0.5, 15.0]);
+    }
+
+    #[test]
+    fn assignments_round_trip() {
+        let q = histogram_1d(&[0.1, 5.3, 0.2, 5.4], 0.0, 1.0);
+        assert_eq!(q.assignments, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let q = histogram_1d(&values, 0.0, 0.5);
+        assert_eq!(q.total_count(), 1000);
+        let mass: u64 = q.counts.iter().sum();
+        assert_eq!(mass, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must be > 0")]
+    fn zero_width_panics() {
+        histogram_1d(&[1.0], 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bag")]
+    fn empty_bag_panics() {
+        histogram_1d(&[], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Lloyd's k-means with k-means++ initialization.
+//!
+//! This is the default signature builder of the detection pipeline: each
+//! bag is clustered into `K` centers, and the per-center member counts
+//! become the signature weights `w_k`.
+
+use crate::{nearest_center, sq_dist, Quantization};
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters requested. If the bag has fewer distinct points
+    /// the result simply has empty clusters dropped.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total center movement (squared Euclidean).
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor fixing only `k`.
+    pub fn with_k(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            ..KMeansConfig::default()
+        }
+    }
+}
+
+/// Run k-means++ + Lloyd on `points`.
+///
+/// Returns a [`Quantization`] with at most `cfg.k` non-empty clusters
+/// (empty clusters are dropped, so `centers.len() <= k`).
+///
+/// # Panics
+/// Panics if `points` is empty, `cfg.k == 0`, or points have inconsistent
+/// dimension.
+pub fn kmeans(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut impl Rng) -> Quantization {
+    assert!(!points.is_empty(), "kmeans: empty bag");
+    assert!(cfg.k > 0, "kmeans: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "kmeans: inconsistent point dimensions"
+    );
+    let k = cfg.k.min(points.len());
+
+    let mut centers = kmeanspp_init(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+
+    for _ in 0..cfg.max_iters {
+        // Assignment step.
+        for (a, p) in assignments.iter_mut().zip(points) {
+            *a = nearest_center(p, &centers).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; d]; centers.len()];
+        let mut counts = vec![0u64; centers.len()];
+        for (&a, p) in assignments.iter().zip(points) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for (kc, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count == 0 {
+                continue; // keep the stale center; it may attract points later
+            }
+            let new_center: Vec<f64> = sum.iter().map(|s| s / count as f64).collect();
+            movement += sq_dist(&new_center, &centers[kc]);
+            centers[kc] = new_center;
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+
+    // Final assignment and counts against the converged centers.
+    let mut counts = vec![0u64; centers.len()];
+    for (a, p) in assignments.iter_mut().zip(points) {
+        *a = nearest_center(p, &centers).0;
+        counts[*a] += 1;
+    }
+
+    Quantization {
+        centers,
+        counts,
+        assignments,
+    }
+    .drop_empty()
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers drawn with
+/// probability proportional to squared distance from the nearest chosen
+/// center.
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centers[0]))
+        .collect();
+
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with existing centers; any
+            // further centers would be duplicates. Stop early.
+            break;
+        }
+        let mut u = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if u < w {
+                chosen = i;
+                break;
+            }
+            u -= w;
+        }
+        centers.push(points[chosen].clone());
+        let c = centers.last().expect("just pushed");
+        for (dist, p) in d2.iter_mut().zip(points) {
+            let nd = sq_dist(p, c);
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// Within-cluster sum of squares of a quantization against its points —
+/// the k-means objective, exposed for tests and diagnostics.
+pub fn wcss(points: &[Vec<f64>], q: &Quantization) -> f64 {
+    points
+        .iter()
+        .zip(&q.assignments)
+        .map(|(p, &a)| sq_dist(p, &q.centers[a]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let j = i as f64 * 0.01;
+            pts.push(vec![-5.0 + j, 0.0 + j]);
+            pts.push(vec![5.0 - j, 10.0 - j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let q = kmeans(&pts, &KMeansConfig::with_k(2), &mut rng(1));
+        assert_eq!(q.centers.len(), 2);
+        assert_eq!(q.total_count(), 100);
+        // Centers should sit near (-4.75, 0.25) and (4.75, 9.75).
+        let mut cs = q.centers.clone();
+        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!((cs[0][0] + 4.75).abs() < 0.5, "center {:?}", cs[0]);
+        assert!((cs[1][0] - 4.75).abs() < 0.5, "center {:?}", cs[1]);
+        // Both clusters get half the mass.
+        assert_eq!(q.counts.iter().copied().max(), q.counts.iter().copied().min());
+    }
+
+    #[test]
+    fn counts_match_assignments() {
+        let pts = two_blobs();
+        let q = kmeans(&pts, &KMeansConfig::with_k(4), &mut rng(2));
+        let mut recount = vec![0u64; q.centers.len()];
+        for &a in &q.assignments {
+            recount[a] += 1;
+        }
+        assert_eq!(recount, q.counts);
+        assert_eq!(q.total_count() as usize, pts.len());
+    }
+
+    #[test]
+    fn k_larger_than_points() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let q = kmeans(&pts, &KMeansConfig::with_k(10), &mut rng(3));
+        assert!(q.centers.len() <= 3);
+        assert_eq!(q.total_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_points_collapse() {
+        let pts = vec![vec![1.0, 1.0]; 20];
+        let q = kmeans(&pts, &KMeansConfig::with_k(5), &mut rng(4));
+        assert_eq!(q.centers.len(), 1, "identical points need one center");
+        assert_eq!(q.counts, vec![20]);
+    }
+
+    #[test]
+    fn single_point_bag() {
+        let pts = vec![vec![3.0, -1.0]];
+        let q = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(5));
+        assert_eq!(q.centers, vec![vec![3.0, -1.0]]);
+        assert_eq!(q.counts, vec![1]);
+        assert_eq!(q.assignments, vec![0]);
+    }
+
+    #[test]
+    fn wcss_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let q1 = kmeans(&pts, &KMeansConfig::with_k(1), &mut rng(6));
+        let q2 = kmeans(&pts, &KMeansConfig::with_k(2), &mut rng(6));
+        let q8 = kmeans(&pts, &KMeansConfig::with_k(8), &mut rng(6));
+        assert!(wcss(&pts, &q2) < wcss(&pts, &q1));
+        assert!(wcss(&pts, &q8) <= wcss(&pts, &q2) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(7));
+        let b = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bag")]
+    fn empty_bag_panics() {
+        kmeans(&[], &KMeansConfig::default(), &mut rng(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be > 0")]
+    fn zero_k_panics() {
+        kmeans(&[vec![0.0]], &KMeansConfig::with_k(0), &mut rng(9));
+    }
+}

@@ -1,0 +1,201 @@
+//! k-medoids by Voronoi iteration (Park & Jun style).
+//!
+//! Medoids are actual bag members, which makes the signature robust to
+//! outliers and meaningful for ground distances that are not Euclidean.
+//! The paper lists k-medoids as an alternative quantizer for §3.1.
+
+use crate::{sq_dist, Quantization};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`kmedoids`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMedoidsConfig {
+    /// Number of medoids requested.
+    pub k: usize,
+    /// Maximum swap iterations.
+    pub max_iters: usize,
+}
+
+impl Default for KMedoidsConfig {
+    fn default() -> Self {
+        KMedoidsConfig { k: 8, max_iters: 50 }
+    }
+}
+
+impl KMedoidsConfig {
+    /// Convenience constructor fixing only `k`.
+    pub fn with_k(k: usize) -> Self {
+        KMedoidsConfig {
+            k,
+            ..KMedoidsConfig::default()
+        }
+    }
+}
+
+/// Run k-medoids on `points` (squared-Euclidean dissimilarity).
+///
+/// Uses Voronoi iteration: assign each point to its nearest medoid, then
+/// within each cluster pick the member minimizing total dissimilarity to
+/// the cluster. Deterministic given the RNG.
+///
+/// # Panics
+/// Panics if `points` is empty, `cfg.k == 0`, or dimensions disagree.
+pub fn kmedoids(points: &[Vec<f64>], cfg: &KMedoidsConfig, rng: &mut impl Rng) -> Quantization {
+    assert!(!points.is_empty(), "kmedoids: empty bag");
+    assert!(cfg.k > 0, "kmedoids: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "kmedoids: inconsistent point dimensions"
+    );
+    let n = points.len();
+    let k = cfg.k.min(n);
+
+    // Random distinct initial medoids.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut medoids: Vec<usize> = idx[..k].to_vec();
+    let mut assignments = vec![0usize; n];
+
+    for _ in 0..cfg.max_iters {
+        // Assign points to nearest medoid.
+        for (a, p) in assignments.iter_mut().zip(points) {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (m, &mi) in medoids.iter().enumerate() {
+                let dist = sq_dist(p, &points[mi]);
+                if dist < best_d {
+                    best_d = dist;
+                    best = m;
+                }
+            }
+            *a = best;
+        }
+        // Recompute each cluster's medoid.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // m indexes both medoids and assignments
+        for m in 0..medoids.len() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == m).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = medoids[m];
+            let mut best_cost = f64::INFINITY;
+            for &cand in &members {
+                let cost: f64 = members
+                    .iter()
+                    .map(|&j| sq_dist(&points[cand], &points[j]))
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = cand;
+                }
+            }
+            if best != medoids[m] {
+                medoids[m] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final assignment pass.
+    let mut counts = vec![0u64; medoids.len()];
+    for (a, p) in assignments.iter_mut().zip(points) {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (m, &mi) in medoids.iter().enumerate() {
+            let dist = sq_dist(p, &points[mi]);
+            if dist < best_d {
+                best_d = dist;
+                best = m;
+            }
+        }
+        *a = best;
+        counts[*a] += 1;
+    }
+
+    Quantization {
+        centers: medoids.iter().map(|&i| points[i].clone()).collect(),
+        counts,
+        assignments,
+    }
+    .drop_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn medoids_are_input_points() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let q = kmedoids(&pts, &KMedoidsConfig::with_k(4), &mut rng(1));
+        for c in &q.centers {
+            assert!(
+                pts.iter().any(|p| p == c),
+                "medoid {c:?} is not an input point"
+            );
+        }
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + i as f64 * 0.01]);
+            pts.push(vec![100.0 - i as f64 * 0.01]);
+        }
+        let q = kmedoids(&pts, &KMedoidsConfig::with_k(2), &mut rng(2));
+        assert_eq!(q.centers.len(), 2);
+        let mut centers: Vec<f64> = q.centers.iter().map(|c| c[0]).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(centers[0] < 1.0);
+        assert!(centers[1] > 99.0);
+        assert_eq!(q.counts, vec![20, 20]);
+    }
+
+    #[test]
+    fn robust_to_outlier() {
+        // One extreme outlier should not drag a medoid the way it drags a
+        // k-means center.
+        let mut pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1]).collect();
+        pts.push(vec![1000.0]);
+        let q = kmedoids(&pts, &KMedoidsConfig::with_k(1), &mut rng(3));
+        assert!(q.centers[0][0] < 2.0, "medoid dragged to {}", q.centers[0][0]);
+    }
+
+    #[test]
+    fn counts_match_assignments() {
+        let pts: Vec<Vec<f64>> = (0..25).map(|i| vec![(i * i % 13) as f64]).collect();
+        let q = kmedoids(&pts, &KMedoidsConfig::with_k(3), &mut rng(4));
+        let mut recount = vec![0u64; q.centers.len()];
+        for &a in &q.assignments {
+            recount[a] += 1;
+        }
+        assert_eq!(recount, q.counts);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let q = kmedoids(&pts, &KMedoidsConfig::with_k(5), &mut rng(5));
+        assert!(q.centers.len() <= 2);
+        assert_eq!(q.total_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bag")]
+    fn empty_bag_panics() {
+        kmedoids(&[], &KMedoidsConfig::default(), &mut rng(6));
+    }
+}

@@ -1,0 +1,133 @@
+//! Vector quantization — signature construction (§3.1 of the paper).
+//!
+//! A bag `B_t` is summarized as a *signature*
+//! `S_t = {(u_k, w_k)}_{k=1..K}`: representative vectors `u_k` plus the
+//! number of bag members `w_k` assigned to each. The paper lists k-means,
+//! k-medoids and learning vector quantization as suitable quantizers, and
+//! fixed-width histograms as the natural special case for low-dimensional
+//! data. All four are implemented here.
+//!
+//! The output type [`Quantization`] is deliberately minimal (centers,
+//! counts, assignments); the `emd` crate wraps it into its `Signature`
+//! type for distance computation.
+
+pub mod histogram;
+pub mod kmeans;
+pub mod kmedoids;
+pub mod lvq;
+pub mod select_k;
+
+pub use histogram::{histogram_1d, histogram_grid, HistogramSpec};
+pub use kmeans::{kmeans, KMeansConfig};
+pub use kmedoids::{kmedoids, KMedoidsConfig};
+pub use lvq::{lvq_quantize, LvqConfig};
+pub use select_k::{mean_silhouette, select_k, KCriterion};
+
+/// Result of quantizing a bag: representative centers with member counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantization {
+    /// Cluster representatives `u_k` (rows of length `d`).
+    pub centers: Vec<Vec<f64>>,
+    /// Number of bag members assigned to each center (`w_k`). Same length
+    /// as `centers`.
+    pub counts: Vec<u64>,
+    /// For each input point, the index of its center.
+    pub assignments: Vec<usize>,
+}
+
+impl Quantization {
+    /// Number of clusters with at least one member.
+    pub fn num_nonempty(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total mass (sum of counts) — equals the bag size.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Drop empty clusters, compacting `centers`/`counts` and remapping
+    /// `assignments`.
+    pub fn drop_empty(mut self) -> Quantization {
+        let mut remap = vec![usize::MAX; self.centers.len()];
+        let mut centers = Vec::with_capacity(self.centers.len());
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (k, (center, &count)) in self.centers.iter().zip(&self.counts).enumerate() {
+            if count > 0 {
+                remap[k] = centers.len();
+                centers.push(center.clone());
+                counts.push(count);
+            }
+        }
+        for a in &mut self.assignments {
+            *a = remap[*a];
+            debug_assert_ne!(*a, usize::MAX, "assignment pointed at empty cluster");
+        }
+        Quantization {
+            centers,
+            counts,
+            assignments: self.assignments,
+        }
+    }
+}
+
+/// Index of the center nearest to `point` (squared Euclidean).
+///
+/// # Panics
+/// Panics if `centers` is empty.
+pub(crate) fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+    assert!(!centers.is_empty(), "nearest_center: no centers");
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (k, c) in centers.iter().enumerate() {
+        let d = sq_dist(point, c);
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    (best, best_d)
+}
+
+/// Squared Euclidean distance (local copy to keep this crate
+/// dependency-free).
+#[inline]
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_helpers() {
+        let q = Quantization {
+            centers: vec![vec![0.0], vec![1.0], vec![2.0]],
+            counts: vec![3, 0, 2],
+            assignments: vec![0, 0, 0, 2, 2],
+        };
+        assert_eq!(q.num_nonempty(), 2);
+        assert_eq!(q.total_count(), 5);
+        let q = q.drop_empty();
+        assert_eq!(q.centers.len(), 2);
+        assert_eq!(q.counts, vec![3, 2]);
+        assert_eq!(q.assignments, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn nearest_center_picks_closest() {
+        let centers = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        let (k, d) = nearest_center(&[9.0, 0.0], &centers);
+        assert_eq!(k, 1);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_center_ties_take_first() {
+        let centers = vec![vec![-1.0], vec![1.0]];
+        let (k, _) = nearest_center(&[0.0], &centers);
+        assert_eq!(k, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Unsupervised learning vector quantization (competitive learning).
+//!
+//! The paper cites Kohonen's LVQ as one of the quantizers usable for
+//! signature construction. Without class labels the appropriate variant
+//! is plain competitive learning ("VQ"/"SOM without neighborhood"): for
+//! each presented point the winning prototype moves toward the point by a
+//! decaying learning rate.
+
+use crate::{nearest_center, Quantization};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`lvq_quantize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LvqConfig {
+    /// Number of prototypes.
+    pub k: usize,
+    /// Number of passes over the bag.
+    pub epochs: usize,
+    /// Initial learning rate, decayed linearly to zero over training.
+    pub learning_rate: f64,
+}
+
+impl Default for LvqConfig {
+    fn default() -> Self {
+        LvqConfig {
+            k: 8,
+            epochs: 20,
+            learning_rate: 0.3,
+        }
+    }
+}
+
+impl LvqConfig {
+    /// Convenience constructor fixing only `k`.
+    pub fn with_k(k: usize) -> Self {
+        LvqConfig {
+            k,
+            ..LvqConfig::default()
+        }
+    }
+}
+
+/// Quantize a bag with competitive-learning VQ.
+///
+/// Prototypes are seeded from random distinct bag members, then trained
+/// with a linearly decaying learning rate; presentation order is
+/// reshuffled every epoch.
+///
+/// # Panics
+/// Panics if `points` is empty, `cfg.k == 0`, or dimensions disagree.
+pub fn lvq_quantize(points: &[Vec<f64>], cfg: &LvqConfig, rng: &mut impl Rng) -> Quantization {
+    assert!(!points.is_empty(), "lvq: empty bag");
+    assert!(cfg.k > 0, "lvq: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "lvq: inconsistent point dimensions"
+    );
+    let n = points.len();
+    let k = cfg.k.min(n);
+
+    // Seed prototypes from distinct random members.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut prototypes: Vec<Vec<f64>> = idx[..k].iter().map(|&i| points[i].clone()).collect();
+
+    let total_steps = (cfg.epochs * n).max(1);
+    let mut step = 0usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        for &i in &order {
+            let rate = cfg.learning_rate * (1.0 - step as f64 / total_steps as f64);
+            step += 1;
+            let (w, _) = nearest_center(&points[i], &prototypes);
+            let proto = &mut prototypes[w];
+            for (pj, &xj) in proto.iter_mut().zip(&points[i]) {
+                *pj += rate * (xj - *pj);
+            }
+        }
+    }
+
+    let mut counts = vec![0u64; prototypes.len()];
+    let mut assignments = vec![0usize; n];
+    for (a, p) in assignments.iter_mut().zip(points) {
+        *a = nearest_center(p, &prototypes).0;
+        counts[*a] += 1;
+    }
+
+    Quantization {
+        centers: prototypes,
+        counts,
+        assignments,
+    }
+    .drop_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::wcss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let j = (i % 10) as f64 * 0.05;
+            pts.push(vec![-3.0 + j, j]);
+            pts.push(vec![3.0 - j, 5.0 - j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn prototypes_move_into_blobs() {
+        let pts = two_blobs();
+        let q = lvq_quantize(&pts, &LvqConfig::with_k(2), &mut rng(1));
+        assert_eq!(q.centers.len(), 2);
+        let mut xs: Vec<f64> = q.centers.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 0.0, "left prototype at {}", xs[0]);
+        assert!(xs[1] > 0.0, "right prototype at {}", xs[1]);
+    }
+
+    #[test]
+    fn objective_comparable_to_kmeans() {
+        // LVQ is stochastic but should land within 3x of the k-means WCSS
+        // on an easy dataset.
+        let pts = two_blobs();
+        let lvq = lvq_quantize(&pts, &LvqConfig::with_k(4), &mut rng(2));
+        let km = crate::kmeans::kmeans(&pts, &crate::KMeansConfig::with_k(4), &mut rng(2));
+        assert!(wcss(&pts, &lvq) < 3.0 * wcss(&pts, &km) + 1e-9);
+    }
+
+    #[test]
+    fn counts_and_assignments_consistent() {
+        let pts = two_blobs();
+        let q = lvq_quantize(&pts, &LvqConfig::with_k(3), &mut rng(3));
+        let mut recount = vec![0u64; q.centers.len()];
+        for &a in &q.assignments {
+            recount[a] += 1;
+        }
+        assert_eq!(recount, q.counts);
+        assert_eq!(q.total_count() as usize, pts.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = lvq_quantize(&pts, &LvqConfig::with_k(3), &mut rng(4));
+        let b = lvq_quantize(&pts, &LvqConfig::with_k(3), &mut rng(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bag")]
+    fn empty_bag_panics() {
+        lvq_quantize(&[], &LvqConfig::default(), &mut rng(5));
+    }
+}

@@ -1,0 +1,186 @@
+//! Automatic selection of the signature size `K`.
+//!
+//! The paper fixes `K` per experiment; in practice a data-driven choice
+//! is convenient. Two standard criteria are provided:
+//!
+//! - the **elbow** of the within-cluster-sum-of-squares curve (largest
+//!   second difference of WCSS over `K`), and
+//! - the mean **silhouette** coefficient (maximize).
+//!
+//! Both run k-means for each candidate `K` on the given bag; for the bag
+//! sizes in this workload (tens to ~1000 points) that is cheap relative
+//! to one EMD solve.
+
+use crate::kmeans::{kmeans, wcss, KMeansConfig};
+use crate::{sq_dist, Quantization};
+use rand::Rng;
+
+/// Criterion for [`select_k`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KCriterion {
+    /// Largest curvature (second difference) of the WCSS curve.
+    Elbow,
+    /// Maximum mean silhouette coefficient.
+    Silhouette,
+}
+
+/// Pick `K` from `candidates` and return it with the winning
+/// quantization.
+///
+/// # Panics
+/// Panics if `candidates` is empty or `points` is empty.
+pub fn select_k(
+    points: &[Vec<f64>],
+    candidates: &[usize],
+    criterion: KCriterion,
+    rng: &mut impl Rng,
+) -> (usize, Quantization) {
+    assert!(!candidates.is_empty(), "select_k: no candidates");
+    assert!(!points.is_empty(), "select_k: empty bag");
+    let mut results: Vec<(usize, Quantization, f64)> = candidates
+        .iter()
+        .map(|&k| {
+            let q = kmeans(points, &KMeansConfig::with_k(k), rng);
+            let w = wcss(points, &q);
+            (k, q, w)
+        })
+        .collect();
+
+    let best_idx = match criterion {
+        KCriterion::Elbow => elbow_index(&results.iter().map(|r| r.2).collect::<Vec<_>>()),
+        KCriterion::Silhouette => {
+            let scores: Vec<f64> = results
+                .iter()
+                .map(|(_, q, _)| mean_silhouette(points, q))
+                .collect();
+            scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite silhouette"))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        }
+    };
+    let (k, q, _) = results.swap_remove(best_idx);
+    (k, q)
+}
+
+/// Index of the elbow: the candidate maximizing the second difference
+/// `w[i-1] - 2 w[i] + w[i+1]`. Ends fall back to the largest drop.
+fn elbow_index(w: &[f64]) -> usize {
+    if w.len() <= 2 {
+        // With at most two candidates take the larger K only if it
+        // reduces WCSS meaningfully (>20%).
+        return if w.len() == 2 && w[1] < 0.8 * w[0] { 1 } else { 0 };
+    }
+    let mut best = 1;
+    let mut best_curv = f64::NEG_INFINITY;
+    for i in 1..w.len() - 1 {
+        let curv = w[i - 1] - 2.0 * w[i] + w[i + 1];
+        if curv > best_curv {
+            best_curv = curv;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Mean silhouette coefficient of a quantization (point-to-centroid
+/// version: distances to cluster centers, the standard fast variant).
+///
+/// Returns 0 for single-cluster quantizations (silhouette undefined).
+pub fn mean_silhouette(points: &[Vec<f64>], q: &Quantization) -> f64 {
+    if q.centers.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (p, &own) in points.iter().zip(&q.assignments) {
+        let a = sq_dist(p, &q.centers[own]).sqrt();
+        let mut b = f64::INFINITY;
+        for (c, center) in q.centers.iter().enumerate() {
+            if c == own {
+                continue;
+            }
+            b = b.min(sq_dist(p, center).sqrt());
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            acc += (b - a) / denom;
+        }
+        // Coincident point and both centers identical: contributes 0.
+    }
+    acc / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Three tight, well-separated blobs.
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let j = (i % 10) as f64 * 0.02;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 0.0]);
+            pts.push(vec![5.0 + j, 8.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn silhouette_picks_three_for_three_blobs() {
+        let pts = three_blobs();
+        let (k, q) = select_k(&pts, &[2, 3, 4, 5, 6], KCriterion::Silhouette, &mut rng(1));
+        assert_eq!(k, 3, "silhouette should find the 3 blobs");
+        assert_eq!(q.num_nonempty(), 3);
+    }
+
+    #[test]
+    fn elbow_picks_three_for_three_blobs() {
+        let pts = three_blobs();
+        let (k, _) = select_k(&pts, &[1, 2, 3, 4, 5, 6], KCriterion::Elbow, &mut rng(2));
+        assert_eq!(k, 3, "elbow should sit at the 3 blobs");
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_overlapping() {
+        let pts = three_blobs();
+        let q_good = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(3));
+        let s_good = mean_silhouette(&pts, &q_good);
+        assert!(s_good > 0.8, "separated blobs silhouette {s_good}");
+
+        // One smeared blob forced into 3 clusters scores much lower.
+        let smear: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64 * 0.01, 0.0]).collect();
+        let q_bad = kmeans(&smear, &KMeansConfig::with_k(3), &mut rng(4));
+        let s_bad = mean_silhouette(&smear, &q_bad);
+        assert!(s_bad < s_good, "smeared silhouette {s_bad}");
+    }
+
+    #[test]
+    fn single_cluster_silhouette_zero() {
+        let pts = vec![vec![0.0], vec![0.1]];
+        let q = kmeans(&pts, &KMeansConfig::with_k(1), &mut rng(5));
+        assert_eq!(mean_silhouette(&pts, &q), 0.0);
+    }
+
+    #[test]
+    fn two_candidate_elbow_requires_meaningful_drop() {
+        // Identical points: K = 2 does not reduce WCSS (already 0).
+        let pts = vec![vec![1.0]; 10];
+        let (k, _) = select_k(&pts, &[1, 2], KCriterion::Elbow, &mut rng(6));
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_candidates_panic() {
+        select_k(&[vec![0.0]], &[], KCriterion::Elbow, &mut rng(7));
+    }
+}

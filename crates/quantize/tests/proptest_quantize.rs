@@ -1,0 +1,118 @@
+#![allow(clippy::needless_range_loop)] // index-driven geometric checks
+//! Property-based tests for the quantizers: every method must conserve
+//! mass, produce valid assignments, and summarize within the bag's
+//! bounding box.
+
+use proptest::prelude::*;
+use quantize::{
+    histogram_grid, kmeans, kmedoids, lvq_quantize, HistogramSpec, KMeansConfig, KMedoidsConfig,
+    LvqConfig, Quantization,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a bag of 2-D points.
+fn bag_2d(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..=max_len)
+        .prop_map(|pts| pts.into_iter().map(|(x, y)| vec![x, y]).collect())
+}
+
+/// Shared invariants of any quantization of `points`.
+fn check_invariants(points: &[Vec<f64>], q: &Quantization) -> Result<(), TestCaseError> {
+    // Mass conservation.
+    prop_assert_eq!(q.total_count() as usize, points.len());
+    // Assignments valid and consistent with counts.
+    prop_assert_eq!(q.assignments.len(), points.len());
+    let mut recount = vec![0u64; q.centers.len()];
+    for &a in &q.assignments {
+        prop_assert!(a < q.centers.len());
+        recount[a] += 1;
+    }
+    prop_assert_eq!(&recount, &q.counts);
+    // No empty clusters after drop_empty.
+    prop_assert!(q.counts.iter().all(|&c| c > 0));
+    Ok(())
+}
+
+/// Centers lie inside the bag's bounding box (true for k-means centroids
+/// and k-medoids members; histograms use bin centers which may exceed
+/// the box by half a bin).
+fn check_bounding_box(points: &[Vec<f64>], q: &Quantization, slack: f64) -> Result<(), TestCaseError> {
+    for d in 0..2 {
+        let min = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+        let max = points.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+        for c in &q.centers {
+            prop_assert!(
+                c[d] >= min - slack && c[d] <= max + slack,
+                "center {c:?} outside [{min}, {max}] + {slack}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_invariants(points in bag_2d(60), k in 1usize..10, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = kmeans(&points, &KMeansConfig::with_k(k), &mut rng);
+        check_invariants(&points, &q)?;
+        check_bounding_box(&points, &q, 1e-9)?;
+        prop_assert!(q.centers.len() <= k.min(points.len()));
+    }
+
+    #[test]
+    fn kmedoids_invariants(points in bag_2d(40), k in 1usize..8, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = kmedoids(&points, &KMedoidsConfig::with_k(k), &mut rng);
+        check_invariants(&points, &q)?;
+        // Medoids are actual members.
+        for c in &q.centers {
+            prop_assert!(points.iter().any(|p| p == c));
+        }
+    }
+
+    #[test]
+    fn lvq_invariants(points in bag_2d(40), k in 1usize..8, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = lvq_quantize(&points, &LvqConfig::with_k(k), &mut rng);
+        check_invariants(&points, &q)?;
+        // Prototypes are convex-ish combinations of members: inside the
+        // bounding box.
+        check_bounding_box(&points, &q, 1e-9)?;
+    }
+
+    #[test]
+    fn histogram_invariants(points in bag_2d(60), width in 0.5..20.0f64) {
+        let q = histogram_grid(&points, &HistogramSpec::uniform(2, 0.0, width));
+        check_invariants(&points, &q)?;
+        // Bin centers are within half a bin of the box.
+        check_bounding_box(&points, &q, width / 2.0 + 1e-9)?;
+        // Every point falls inside its assigned bin.
+        for (p, &a) in points.iter().zip(&q.assignments) {
+            for d in 0..2 {
+                prop_assert!((p[d] - q.centers[a][d]).abs() <= width / 2.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Histograms are deterministic and permutation-insensitive up to
+    /// cluster relabeling: total mass per bin center matches.
+    #[test]
+    fn histogram_permutation_stable(mut points in bag_2d(30), width in 0.5..10.0f64) {
+        let spec = HistogramSpec::uniform(2, 0.0, width);
+        let q1 = histogram_grid(&points, &spec);
+        points.reverse();
+        let q2 = histogram_grid(&points, &spec);
+        let to_map = |q: &Quantization| {
+            let mut m: std::collections::HashMap<(i64, i64), u64> = std::collections::HashMap::new();
+            for (c, &w) in q.centers.iter().zip(&q.counts) {
+                m.insert(((c[0] * 1e6) as i64, (c[1] * 1e6) as i64), w);
+            }
+            m
+        };
+        prop_assert_eq!(to_map(&q1), to_map(&q2));
+    }
+}

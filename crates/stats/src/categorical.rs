@@ -1,0 +1,127 @@
+//! Categorical (discrete) sampling by inverse-CDF with binary search.
+//!
+//! Used by the Gaussian-mixture generators (component choice) and the
+//! bipartite-graph generators (assigning nodes to clusters and edge mass
+//! to communities).
+
+use rand::Rng;
+
+/// Categorical distribution over `0..k` with arbitrary non-negative
+/// weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    /// Cumulative weights; last entry is the total mass.
+    cum: Vec<f64>,
+}
+
+impl Categorical {
+    /// Construct from unnormalized weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical: empty weights");
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "Categorical: weights must be >= 0");
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "Categorical: weights must have positive sum");
+        Categorical { cum }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether there are zero categories (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draw one category index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cum.last().expect("non-empty by construction");
+        let u: f64 = rng.gen_range(0.0..total);
+        // partition_point returns the first index with cum[i] > u.
+        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+    }
+
+    /// Draw `n` category counts (a multinomial sample) as a count vector.
+    pub fn sample_counts(&self, n: u64, rng: &mut impl Rng) -> Vec<u64> {
+        let mut counts = vec![0u64; self.cum.len()];
+        for _ in 0..n {
+            counts[self.sample(rng)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn proportions_converge() {
+        let mut rng = seeded_rng(41);
+        let c = Categorical::new(&[1.0, 2.0, 7.0]);
+        let counts = c.sample_counts(100_000, &mut rng);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 100_000);
+        let p: Vec<f64> = counts.iter().map(|&c| c as f64 / 100_000.0).collect();
+        assert!((p[0] - 0.1).abs() < 0.01);
+        assert!((p[1] - 0.2).abs() < 0.01);
+        assert!((p[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_category_never_drawn() {
+        let mut rng = seeded_rng(42);
+        let c = Categorical::new(&[1.0, 0.0, 1.0]);
+        for _ in 0..10_000 {
+            assert_ne!(c.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let mut rng = seeded_rng(43);
+        let c = Categorical::new(&[3.0]);
+        assert_eq!(c.len(), 1);
+        assert!((0..100).all(|_| c.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    fn unnormalized_weights_equivalent_to_normalized() {
+        let mut r1 = seeded_rng(44);
+        let mut r2 = seeded_rng(44);
+        let a = Categorical::new(&[2.0, 6.0]);
+        let b = Categorical::new(&[0.25, 0.75]);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_panics() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_weight_panics() {
+        Categorical::new(&[1.0, -0.5]);
+    }
+}

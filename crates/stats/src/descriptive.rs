@@ -1,0 +1,186 @@
+//! Descriptive statistics and quantiles.
+//!
+//! The quantile routine is the one that turns the `T` Bayesian-bootstrap
+//! score replicates into the `100(1-alpha)%` confidence interval of
+//! Eq. (19); the rest supports the experiments (the sample-mean sequence
+//! of Fig. 1(b), bag statistics for the PAMAP-like simulator, etc.).
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n - 1`); `NaN` for fewer than
+/// two observations.
+pub fn sample_var(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_var(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (R type 7, the default of R/NumPy).
+///
+/// `q` must lie in `[0, 1]`. The input need not be sorted.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q={q} outside [0,1]");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    quantile_sorted(&v, q)
+}
+
+/// [`quantile`] on pre-sorted data, avoiding the sort.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile_sorted: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile_sorted: q outside [0,1]");
+    let n = xs.len();
+    if n == 1 {
+        return xs[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = h - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+/// Median (50% quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "Summary::of: empty input");
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("Summary: NaN in input"));
+        Summary {
+            n: v.len(),
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            mean: mean(&v),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+            std: sample_std(&v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Population var is 4; sample var is 32/7.
+        assert!((sample_var(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert!(mean(&[]).is_nan());
+        assert!(sample_var(&[1.0]).is_nan());
+        assert_eq!(quantile(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    fn quantile_type7_matches_r() {
+        // R: quantile(c(1,2,3,4), c(.25,.5,.75)) -> 1.75, 2.50, 3.25
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let xs = [5.0, -1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), -1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn quantile_sorted_consistent_with_quantile() {
+        let mut xs = vec![0.3, 0.9, 0.1, 0.7, 0.5];
+        let q1 = quantile(&xs, 0.4);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(quantile_sorted(&xs, 0.4), q1);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(s.q1 < s.median && s.median < s.q3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Dirichlet sampling — the engine of the Bayesian bootstrap (§4.2).
+//!
+//! Rubin's Bayesian bootstrap draws posterior weights
+//! `g ~ Dir(1, …, 1)`; the weighted variant of Appendix B draws
+//! `g ~ Dir(n·pi_1, …, n·pi_n)`. Both reduce to normalizing independent
+//! Gamma variates.
+
+use crate::gamma::sample_gamma_shape;
+use rand::Rng;
+
+/// Dirichlet distribution with concentration vector `alpha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Construct from a concentration vector.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is empty or any entry is not finite and `> 0`.
+    pub fn new(alpha: Vec<f64>) -> Self {
+        assert!(!alpha.is_empty(), "Dirichlet: empty concentration vector");
+        assert!(
+            alpha.iter().all(|&a| a.is_finite() && a > 0.0),
+            "Dirichlet: all concentrations must be > 0"
+        );
+        Dirichlet { alpha }
+    }
+
+    /// The flat `Dir(1, …, 1)` over the `(n-1)`-simplex: the posterior of
+    /// the plain Bayesian bootstrap (Appendix A).
+    pub fn flat(n: usize) -> Self {
+        Dirichlet::new(vec![1.0; n])
+    }
+
+    /// The weighted-bootstrap posterior of Appendix B: `Dir(n * pi)`
+    /// where `pi` are normalized weights. This matches the bootstrap
+    /// moments `E[g_i] = pi_i`, `var[g_i] ≈ pi_i (1-pi_i)/n`.
+    ///
+    /// # Panics
+    /// Panics if weights are empty, non-finite, negative, or sum to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Dirichlet: empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "Dirichlet: weights must be >= 0 with positive sum"
+        );
+        let n = weights.len() as f64;
+        // Clamp at a tiny positive floor so zero-weight entries stay valid
+        // (they receive essentially-zero posterior mass).
+        let alpha = weights
+            .iter()
+            .map(|&w| (n * w / total).max(1e-12))
+            .collect();
+        Dirichlet::new(alpha)
+    }
+
+    /// Dimension of the support.
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Concentration vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Draw one sample into `out` (avoids an allocation on the bootstrap
+    /// hot path).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    pub fn sample_into(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        assert_eq!(out.len(), self.alpha.len(), "sample_into: dim mismatch");
+        let mut total = 0.0;
+        for (o, &a) in out.iter_mut().zip(&self.alpha) {
+            let g = sample_gamma_shape(a, rng);
+            *o = g;
+            total += g;
+        }
+        if total <= 0.0 {
+            // Numerically possible only with absurdly small alphas; fall
+            // back to the uniform point of the simplex.
+            let u = 1.0 / out.len() as f64;
+            out.fill(u);
+            return;
+        }
+        for o in out.iter_mut() {
+            *o /= total;
+        }
+    }
+
+    /// Draw one sample as a fresh vector.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        let mut out = vec![0.0; self.alpha.len()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn samples_lie_on_simplex() {
+        let mut rng = seeded_rng(31);
+        let d = Dirichlet::flat(5);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            let s: f64 = x.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn flat_dirichlet_mean_is_uniform() {
+        let mut rng = seeded_rng(32);
+        let d = Dirichlet::flat(4);
+        let n = 50_000;
+        let mut acc = vec![0.0; 4];
+        for _ in 0..n {
+            for (a, v) in acc.iter_mut().zip(d.sample(&mut rng)) {
+                *a += v;
+            }
+        }
+        for a in &acc {
+            assert!((a / n as f64 - 0.25).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn flat_dirichlet_variance_matches_rubin() {
+        // Rubin (1981): for Dir(1,...,1) in n dims,
+        // var[g_i] = (n-1)/(n^2 (n+1)).
+        let mut rng = seeded_rng(33);
+        let n_dim = 5;
+        let d = Dirichlet::flat(n_dim);
+        let reps = 100_000;
+        let mut first = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            first.push(d.sample(&mut rng)[0]);
+        }
+        let m: f64 = first.iter().sum::<f64>() / reps as f64;
+        let v: f64 = first.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (reps - 1) as f64;
+        let nf = n_dim as f64;
+        let expected = (nf - 1.0) / (nf * nf * (nf + 1.0));
+        assert!((v - expected).abs() < 0.002, "var {v} vs {expected}");
+    }
+
+    #[test]
+    fn weighted_posterior_mean_tracks_weights() {
+        // Appendix B: E[g_i] = pi_i.
+        let mut rng = seeded_rng(34);
+        let w = [4.0, 2.0, 1.0, 1.0];
+        let d = Dirichlet::from_weights(&w);
+        let reps = 60_000;
+        let mut acc = [0.0; 4];
+        for _ in 0..reps {
+            for (a, v) in acc.iter_mut().zip(d.sample(&mut rng)) {
+                *a += v;
+            }
+        }
+        let pis = [0.5, 0.25, 0.125, 0.125];
+        for (a, pi) in acc.iter().zip(pis) {
+            assert!((a / reps as f64 - pi).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn weighted_posterior_variance_matches_appendix_b() {
+        // Appendix B with alpha_i = n pi_i gives
+        // var[g_i] = pi_i (1 - pi_i) / (n + 1).
+        let mut rng = seeded_rng(35);
+        let w = [3.0, 1.0];
+        let d = Dirichlet::from_weights(&w);
+        let reps = 120_000;
+        let mut xs = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            xs.push(d.sample(&mut rng)[0]);
+        }
+        let m: f64 = xs.iter().sum::<f64>() / reps as f64;
+        let v: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (reps - 1) as f64;
+        let pi = 0.75;
+        let expected = pi * (1.0 - pi) / 3.0; // n = 2 -> alpha0 = 2, var = pi(1-pi)/(alpha0+1)
+        assert!((v - expected).abs() < 0.003, "var {v} vs {expected}");
+    }
+
+    #[test]
+    fn zero_weight_entry_gets_negligible_mass() {
+        let mut rng = seeded_rng(36);
+        let d = Dirichlet::from_weights(&[1.0, 0.0, 1.0]);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(x[1] < 1e-6, "zero-weight coordinate drew mass {}", x[1]);
+        }
+    }
+
+    #[test]
+    fn sample_into_avoids_allocation_and_matches_dims() {
+        let mut rng = seeded_rng(37);
+        let d = Dirichlet::flat(3);
+        let mut buf = [0.0; 3];
+        d.sample_into(&mut rng, &mut buf);
+        assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_alpha_panics() {
+        Dirichlet::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn nonpositive_alpha_panics() {
+        Dirichlet::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn all_zero_weights_panic() {
+        Dirichlet::from_weights(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Gamma sampling (Marsaglia–Tsang squeeze method).
+//!
+//! The Dirichlet sampler of the Bayesian bootstrap (§4.2 of the paper)
+//! normalizes independent Gamma draws, so this is on the hot path of the
+//! confidence-interval computation.
+
+use crate::normal::sample_standard_normal;
+use rand::Rng;
+
+/// Gamma distribution with shape `alpha` and scale `theta` (mean
+/// `alpha * theta`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    alpha: f64,
+    theta: f64,
+}
+
+impl Gamma {
+    /// Construct from shape and scale.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and strictly positive.
+    pub fn new(alpha: f64, theta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "Gamma: shape must be > 0");
+        assert!(theta.is_finite() && theta > 0.0, "Gamma: scale must be > 0");
+        Gamma { alpha, theta }
+    }
+
+    /// Shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.theta * sample_gamma_shape(self.alpha, rng)
+    }
+}
+
+/// Sample `Gamma(alpha, 1)` by Marsaglia–Tsang (2000).
+///
+/// For `alpha < 1` the standard boost is used:
+/// `Gamma(alpha) = Gamma(alpha + 1) * U^(1/alpha)`.
+pub fn sample_gamma_shape(alpha: f64, rng: &mut impl Rng) -> f64 {
+    debug_assert!(alpha > 0.0);
+    if alpha < 1.0 {
+        let boost = sample_gamma_shape(alpha + 1.0, rng);
+        // U in (0,1]; `1 - gen::<f64>()` avoids U = 0 exactly.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return boost * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen();
+        // Squeeze test first (cheap), then the full log test.
+        if u < 1.0 - 0.0331 * (x * x) * (x * x) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, sample_var};
+    use crate::rng::seeded_rng;
+
+    fn draw(alpha: f64, theta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        let g = Gamma::new(alpha, theta);
+        (0..n).map(|_| g.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn moments_shape_above_one() {
+        let xs = draw(3.0, 2.0, 100_000, 11);
+        // mean = alpha*theta = 6, var = alpha*theta^2 = 12
+        assert!((mean(&xs) - 6.0).abs() < 0.1, "mean {}", mean(&xs));
+        assert!((sample_var(&xs) - 12.0).abs() < 0.6, "var {}", sample_var(&xs));
+    }
+
+    #[test]
+    fn moments_shape_below_one() {
+        let xs = draw(0.5, 1.0, 200_000, 12);
+        assert!((mean(&xs) - 0.5).abs() < 0.02);
+        assert!((sample_var(&xs) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn moments_shape_one_is_exponential() {
+        let xs = draw(1.0, 3.0, 100_000, 13);
+        assert!((mean(&xs) - 3.0).abs() < 0.08);
+        assert!((sample_var(&xs) - 9.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        for seed in 0..5 {
+            for &alpha in &[0.2, 0.9, 1.0, 5.0, 50.0] {
+                let xs = draw(alpha, 1.0, 1000, 100 + seed);
+                assert!(xs.iter().all(|&x| x > 0.0 && x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be > 0")]
+    fn zero_shape_panics() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be > 0")]
+    fn zero_scale_panics() {
+        Gamma::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Gaussian mixtures (1-D and multivariate).
+//!
+//! Fig. 1 of the paper draws each bag from a 1-, 2- or 3-component 1-D
+//! Gaussian mixture; the activity simulator uses multivariate mixtures per
+//! sensor regime.
+
+use crate::categorical::Categorical;
+use crate::mvn::MultivariateNormal;
+use crate::normal::Normal;
+use rand::Rng;
+
+/// One weighted component of a 1-D mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureComponent {
+    /// Unnormalized mixing weight.
+    pub weight: f64,
+    /// Component mean.
+    pub mean: f64,
+    /// Component standard deviation.
+    pub sd: f64,
+}
+
+/// Mixture of 1-D Gaussians.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture1d {
+    choose: Categorical,
+    components: Vec<Normal>,
+}
+
+impl GaussianMixture1d {
+    /// Construct from components.
+    ///
+    /// # Panics
+    /// Panics on an empty component list or invalid weights/parameters.
+    pub fn new(components: &[MixtureComponent]) -> Self {
+        assert!(!components.is_empty(), "GaussianMixture1d: no components");
+        let weights: Vec<f64> = components.iter().map(|c| c.weight).collect();
+        let choose = Categorical::new(&weights);
+        let components = components
+            .iter()
+            .map(|c| Normal::new(c.mean, c.sd))
+            .collect();
+        GaussianMixture1d { choose, components }
+    }
+
+    /// Equal-weight mixture from (mean, sd) pairs.
+    pub fn equal_weight(params: &[(f64, f64)]) -> Self {
+        let comps: Vec<MixtureComponent> = params
+            .iter()
+            .map(|&(mean, sd)| MixtureComponent {
+                weight: 1.0,
+                mean,
+                sd,
+            })
+            .collect();
+        GaussianMixture1d::new(&comps)
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let k = self.choose.sample(rng);
+        self.components[k].sample(rng)
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Mixture of multivariate Gaussians with explicit weights.
+#[derive(Debug, Clone)]
+pub struct MvGaussianMixture {
+    choose: Categorical,
+    components: Vec<MultivariateNormal>,
+}
+
+impl MvGaussianMixture {
+    /// Construct from weights and components.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, the list is empty, or components have
+    /// mismatched dimensions.
+    pub fn new(weights: &[f64], components: Vec<MultivariateNormal>) -> Self {
+        assert_eq!(
+            weights.len(),
+            components.len(),
+            "MvGaussianMixture: weights/components length mismatch"
+        );
+        assert!(!components.is_empty(), "MvGaussianMixture: no components");
+        let d = components[0].dim();
+        assert!(
+            components.iter().all(|c| c.dim() == d),
+            "MvGaussianMixture: inconsistent dimensions"
+        );
+        MvGaussianMixture {
+            choose: Categorical::new(weights),
+            components,
+        }
+    }
+
+    /// Dimension of the samples.
+    pub fn dim(&self) -> usize {
+        self.components[0].dim()
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        let k = self.choose.sample(rng);
+        self.components[k].sample(rng)
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn single_component_equals_normal() {
+        let mut rng = seeded_rng(61);
+        let m = GaussianMixture1d::equal_weight(&[(2.0, 1.0)]);
+        let xs = m.sample_n(50_000, &mut rng);
+        assert!((mean(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_component_bimodal_mean() {
+        let mut rng = seeded_rng(62);
+        // Symmetric bimodal mixture: overall mean 0, but mass near ±5.
+        let m = GaussianMixture1d::equal_weight(&[(-5.0, 1.0), (5.0, 1.0)]);
+        let xs = m.sample_n(60_000, &mut rng);
+        assert!(mean(&xs).abs() < 0.1);
+        let near_zero = xs.iter().filter(|&&x| x.abs() < 2.0).count();
+        // Hardly any mass near zero — this is what the sample-mean
+        // sequence of Fig. 1(b) destroys.
+        assert!((near_zero as f64) < 0.02 * xs.len() as f64);
+    }
+
+    #[test]
+    fn weights_respected() {
+        let mut rng = seeded_rng(63);
+        let m = GaussianMixture1d::new(&[
+            MixtureComponent { weight: 9.0, mean: 0.0, sd: 0.1 },
+            MixtureComponent { weight: 1.0, mean: 100.0, sd: 0.1 },
+        ]);
+        let xs = m.sample_n(50_000, &mut rng);
+        let high = xs.iter().filter(|&&x| x > 50.0).count() as f64 / xs.len() as f64;
+        assert!((high - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn mv_mixture_dimension_and_modes() {
+        let mut rng = seeded_rng(64);
+        let c1 = MultivariateNormal::isotropic(vec![-3.0, 0.0], 1.0);
+        let c2 = MultivariateNormal::isotropic(vec![3.0, 0.0], 1.0);
+        let m = MvGaussianMixture::new(&[1.0, 1.0], vec![c1, c2]);
+        assert_eq!(m.dim(), 2);
+        let xs = m.sample_n(20_000, &mut rng);
+        let left = xs.iter().filter(|x| x[0] < 0.0).count() as f64 / xs.len() as f64;
+        assert!((left - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "no components")]
+    fn empty_mixture_panics() {
+        GaussianMixture1d::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mv_weight_mismatch_panics() {
+        let c = MultivariateNormal::isotropic(vec![0.0], 1.0);
+        MvGaussianMixture::new(&[1.0, 2.0], vec![c]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Multivariate normal sampling via Cholesky factorization.
+//!
+//! All 2-D synthetic bags of §5.1 are `N(mu, Sigma)` draws; sampling is
+//! `mu + L z` with `Sigma = L L^T` and `z` i.i.d. standard normal.
+
+use crate::normal::sample_standard_normal;
+use linalg::{cholesky, Matrix};
+use rand::Rng;
+
+/// Multivariate normal distribution `N(mu, Sigma)`.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol: Matrix,
+}
+
+impl MultivariateNormal {
+    /// Construct from a mean vector and covariance matrix.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree or the covariance is not symmetric
+    /// positive definite.
+    pub fn new(mean: Vec<f64>, cov: &Matrix) -> Self {
+        assert_eq!(
+            mean.len(),
+            cov.rows(),
+            "MultivariateNormal: mean dim {} != cov dim {}",
+            mean.len(),
+            cov.rows()
+        );
+        let chol = cholesky(cov).expect("MultivariateNormal: covariance must be SPD");
+        MultivariateNormal { mean, chol }
+    }
+
+    /// Isotropic Gaussian `N(mu, sigma2 * I)`.
+    ///
+    /// # Panics
+    /// Panics if `sigma2 <= 0`.
+    pub fn isotropic(mean: Vec<f64>, sigma2: f64) -> Self {
+        assert!(sigma2 > 0.0, "MultivariateNormal: sigma2 must be > 0");
+        let d = mean.len();
+        let cov = Matrix::identity(d).scaled(sigma2);
+        MultivariateNormal::new(mean, &cov)
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
+        let d = self.dim();
+        let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
+        let mut x = self.mean.clone();
+        // x += L z, exploiting lower-triangularity.
+        #[allow(clippy::needless_range_loop)] // triangular index pattern is clearer
+        for i in 0..d {
+            let mut acc = 0.0;
+            for j in 0..=i {
+                acc += self.chol[(i, j)] * z[j];
+            }
+            x[i] += acc;
+        }
+        x
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn isotropic_moments() {
+        let mut rng = seeded_rng(51);
+        let d = MultivariateNormal::isotropic(vec![1.0, -2.0], 4.0);
+        let n = 50_000;
+        let xs = d.sample_n(n, &mut rng);
+        for c in 0..2 {
+            let m: f64 = xs.iter().map(|x| x[c]).sum::<f64>() / n as f64;
+            let v: f64 = xs.iter().map(|x| (x[c] - m) * (x[c] - m)).sum::<f64>() / n as f64;
+            assert!((m - d.mean()[c]).abs() < 0.05, "mean[{c}] {m}");
+            assert!((v - 4.0).abs() < 0.15, "var[{c}] {v}");
+        }
+    }
+
+    #[test]
+    fn correlated_covariance_recovered() {
+        let mut rng = seeded_rng(52);
+        let cov = Matrix::from_rows(&[vec![2.0, 1.2], vec![1.2, 1.0]]);
+        let d = MultivariateNormal::new(vec![0.0, 0.0], &cov);
+        let n = 100_000;
+        let xs = d.sample_n(n, &mut rng);
+        let mut c = [[0.0; 2]; 2];
+        for x in &xs {
+            for i in 0..2 {
+                for j in 0..2 {
+                    c[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                let est = c[i][j] / n as f64;
+                assert!(
+                    (est - cov[(i, j)]).abs() < 0.05,
+                    "cov[{i}{j}] {est} vs {}",
+                    cov[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataset1_parameters() {
+        // §5.1 Dataset 1: mu = 0, Sigma = 15 I_2.
+        let mut rng = seeded_rng(53);
+        let d = MultivariateNormal::isotropic(vec![0.0, 0.0], 15.0);
+        let x = d.sample(&mut rng);
+        assert_eq!(x.len(), 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "SPD")]
+    fn indefinite_covariance_panics() {
+        let cov = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        MultivariateNormal::new(vec![0.0, 0.0], &cov);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean dim")]
+    fn dim_mismatch_panics() {
+        MultivariateNormal::new(vec![0.0], &Matrix::identity(2));
+    }
+}

@@ -1,0 +1,157 @@
+//! Univariate normal sampling (Marsaglia polar method).
+
+use rand::Rng;
+
+/// Draw one standard-normal variate using the Marsaglia polar method.
+///
+/// The polar method needs no transcendental calls beyond `ln`/`sqrt` and
+/// has no tail cutoff, unlike a table-driven ziggurat this is a few lines
+/// and exact.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal distribution `N(mean, sd^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Construct from mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `sd` is negative or not finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd.is_finite() && sd >= 0.0, "Normal: sd must be finite and >= 0");
+        assert!(mean.is_finite(), "Normal: mean must be finite");
+        Normal { mean, sd }
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.mean + self.sd * sample_standard_normal(rng)
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.sd == 0.0 {
+            return if x == self.mean { f64::INFINITY } else { 0.0 };
+        }
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x` (via `erf`-free Abramowitz &
+    /// Stegun 7.1.26 approximation, max abs error ~1.5e-7 — ample for the
+    /// diagnostic uses in this workspace).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sd == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        let z = (x - self.mean) / (self.sd * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded_rng(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shifted_scaled_moments() {
+        let mut rng = seeded_rng(8);
+        let d = Normal::new(3.0, 2.0);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn degenerate_sd_zero() {
+        let mut rng = seeded_rng(9);
+        let d = Normal::new(5.0, 0.0);
+        assert_eq!(d.sample(&mut rng), 5.0);
+        assert_eq!(d.cdf(4.9), 0.0);
+        assert_eq!(d.cdf(5.1), 1.0);
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let d = Normal::new(1.0, 0.5);
+        assert!(d.pdf(1.0) > d.pdf(1.4));
+        assert!(d.pdf(1.0) > d.pdf(0.6));
+        // Peak height = 1/(sd sqrt(2 pi)).
+        let expected = 1.0 / (0.5 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((d.pdf(1.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let d = Normal::new(0.0, 1.0);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((d.cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((d.cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sd must be finite")]
+    fn negative_sd_panics() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn erf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+        assert!((erf(0.0)).abs() < 1e-8); // A&S 7.1.26 coefficients sum to 1 - 1e-9
+        assert!(erf(3.0) > 0.9999);
+    }
+}

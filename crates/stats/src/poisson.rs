@@ -1,0 +1,187 @@
+//! Poisson sampling.
+//!
+//! Bag sizes (`n_t ~ Poisson(50)` in §5.1, node counts `~ Poisson(200)`
+//! and edge weights in §5.3) are all Poisson in the paper's workloads.
+//! Small means use Knuth's product-of-uniforms method; large means use the
+//! rejection method of Atkinson (1979) whose cost is O(1) in the mean.
+
+use rand::Rng;
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct from the rate parameter.
+    ///
+    /// # Panics
+    /// Panics unless `lambda` is finite and `>= 0`. (`lambda == 0` is the
+    /// degenerate point mass at zero, which the bipartite generators use
+    /// for empty communities.)
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson: lambda must be finite and >= 0"
+        );
+        Poisson { lambda }
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.lambda == 0.0 {
+            0
+        } else if self.lambda < 30.0 {
+            sample_knuth(self.lambda, rng)
+        } else {
+            sample_atkinson(self.lambda, rng)
+        }
+    }
+}
+
+/// Knuth's method: multiply uniforms until the product drops below
+/// `exp(-lambda)`. O(lambda) time, exact.
+fn sample_knuth(lambda: f64, rng: &mut impl Rng) -> u64 {
+    let l = (-lambda).exp();
+    let mut k: u64 = 0;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Atkinson's rejection method ("PA", 1979) for `lambda >= 30`.
+fn sample_atkinson(lambda: f64, rng: &mut impl Rng) -> u64 {
+    let c = 0.767 - 3.36 / lambda;
+    let beta = std::f64::consts::PI / (3.0 * lambda).sqrt();
+    let alpha = beta * lambda;
+    let k = c.ln() - lambda - beta.ln();
+
+    loop {
+        let u: f64 = rng.gen();
+        if u == 0.0 || u == 1.0 {
+            continue;
+        }
+        let x = (alpha - ((1.0 - u) / u).ln()) / beta;
+        let n = (x + 0.5).floor();
+        if n < 0.0 {
+            continue;
+        }
+        let v: f64 = rng.gen();
+        if v == 0.0 {
+            continue;
+        }
+        let y = alpha - beta * x;
+        let t = 1.0 + y.exp();
+        let lhs = y + (v / (t * t)).ln();
+        let rhs = k + n * lambda.ln() - ln_factorial(n as u64);
+        if lhs <= rhs {
+            return n as u64;
+        }
+    }
+}
+
+/// `ln(n!)` via exact accumulation for small `n` and Stirling's series
+/// beyond (error < 1e-10 for n >= 20).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 20 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    let x = (n + 1) as f64;
+    // Stirling series for ln Gamma(x).
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn mean_var(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = seeded_rng(seed);
+        let p = Poisson::new(lambda);
+        let xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn degenerate_zero_lambda() {
+        let mut rng = seeded_rng(0);
+        let p = Poisson::new(0.0);
+        assert!((0..100).all(|_| p.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    fn small_lambda_moments() {
+        let (m, v) = mean_var(3.5, 100_000, 21);
+        assert!((m - 3.5).abs() < 0.05, "mean {m}");
+        assert!((v - 3.5).abs() < 0.1, "var {v}");
+    }
+
+    #[test]
+    fn boundary_lambda_moments() {
+        // Just below and above the Knuth/Atkinson switch at 30.
+        let (m1, v1) = mean_var(29.5, 60_000, 22);
+        assert!((m1 - 29.5).abs() < 0.15, "mean {m1}");
+        assert!((v1 - 29.5).abs() < 0.8, "var {v1}");
+        let (m2, v2) = mean_var(30.5, 60_000, 23);
+        assert!((m2 - 30.5).abs() < 0.15, "mean {m2}");
+        assert!((v2 - 30.5).abs() < 0.8, "var {v2}");
+    }
+
+    #[test]
+    fn paper_lambda_50_moments() {
+        // n_t ~ Poisson(50): the bag-size distribution of §5.1.
+        let (m, v) = mean_var(50.0, 60_000, 24);
+        assert!((m - 50.0).abs() < 0.2, "mean {m}");
+        assert!((v - 50.0).abs() < 1.5, "var {v}");
+    }
+
+    #[test]
+    fn paper_lambda_200_moments() {
+        // node counts ~ Poisson(200): §5.3.
+        let (m, v) = mean_var(200.0, 40_000, 25);
+        assert!((m - 200.0).abs() < 0.5, "mean {m}");
+        assert!((v - 200.0).abs() < 6.0, "var {v}");
+    }
+
+    #[test]
+    fn ln_factorial_exact_small() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuity() {
+        // Stirling branch must agree with the exact branch at the seam.
+        let exact: f64 = (2..=20u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(20) - exact).abs() < 1e-9);
+        let exact25: f64 = (2..=25u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(25) - exact25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn negative_lambda_panics() {
+        Poisson::new(-1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Darknet attack detection — the application §6 of the paper reports
+//! using this method for in production ("we have used this method to
+//! detect cyber attacks in a darknet, and it has performed very well").
+//!
+//! ```sh
+//! cargo run --release -p bags-cpd --example darknet_monitoring
+//! ```
+//!
+//! A network telescope's hourly packet captures form bags of per-packet
+//! features (log destination port, normalized size). Three attack
+//! campaigns — a port scan, a worm outbreak, and DDoS backscatter — are
+//! injected with traffic volume held constant, so only the *shape* of
+//! the per-packet distribution changes. A packets-per-hour monitor is
+//! shown for contrast; it sees nothing.
+
+use bags_cpd::datasets::darknet::{generate, DarknetConfig};
+use bags_cpd::stats::seeded_rng;
+use bags_cpd::{Detector, DetectorConfig, SignatureMethod};
+
+fn main() {
+    let mut rng = seeded_rng(31337);
+    let data = generate(&DarknetConfig::default(), &mut rng);
+    println!(
+        "simulated {} hours of darknet traffic; regime boundaries at {:?}",
+        data.bags.len(),
+        data.change_points
+    );
+
+    // The naive monitor: packets per hour.
+    let counts: Vec<f64> = data.bags.iter().map(|b| b.len() as f64).collect();
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    let max_dev = counts
+        .iter()
+        .map(|c| (c - mean).abs() / mean)
+        .fold(0.0, f64::max);
+    println!(
+        "volume monitor: mean {:.0} packets/hour, max deviation {:.1}% — attacks invisible\n",
+        mean,
+        100.0 * max_dev
+    );
+
+    // The bags-of-data detector on packet features.
+    let detector = Detector::new(DetectorConfig {
+        tau: 6,
+        tau_prime: 4,
+        signature: SignatureMethod::KMeans { k: 10 },
+        ..DetectorConfig::default()
+    })
+    .expect("valid config");
+    let result = detector.analyze(&data.bags, 404).expect("analysis succeeds");
+
+    println!("  hour  score     alert");
+    for p in &result.points {
+        let near_truth = data
+            .change_points
+            .iter()
+            .any(|&cp| (p.t as i64 - cp as i64).abs() <= 2);
+        println!(
+            "  {:>4}  {:>8.4}  {}{}",
+            p.t,
+            p.score,
+            if p.alert { "ALERT " } else { "      " },
+            if near_truth { "<- regime boundary" } else { "" }
+        );
+    }
+    println!(
+        "\nalerts at {:?}; true boundaries {:?}",
+        result.alerts(),
+        data.change_points
+    );
+}

@@ -1,0 +1,78 @@
+//! Network monitoring à la §5.4: detect corporate events in a stream of
+//! weekly e-mail bipartite graphs with changing node sets.
+//!
+//! ```sh
+//! cargo run --release --example network_monitoring
+//! ```
+//!
+//! Simulates an Enron-like company over 100 weeks with scripted events
+//! (CEO changes, stock collapse, layoffs, investigations), converts each
+//! weekly sender × receiver graph into bags via the paper's feature 5
+//! (total out-weight per sender) and feature 6 (total in-weight per
+//! receiver), and reports which events the detector flags. The paper
+//! uses τ = 5 reference weeks and τ' = 3 test weeks.
+
+use bags_cpd::bipartite::Feature;
+use bags_cpd::datasets::enron::{generate, EnronConfig};
+use bags_cpd::stats::seeded_rng;
+use bags_cpd::{Detector, DetectorConfig, SignatureMethod};
+
+fn main() {
+    let mut rng = seeded_rng(17);
+    let corpus = generate(&EnronConfig::default(), &mut rng);
+    println!(
+        "simulated {} weeks, {} scripted events",
+        corpus.data.graphs.len(),
+        corpus.events.len()
+    );
+
+    let detector = Detector::new(DetectorConfig {
+        tau: 5,
+        tau_prime: 3,
+        signature: SignatureMethod::KMeans { k: 8 },
+        ..DetectorConfig::default()
+    })
+    .expect("valid config");
+
+    // Detect on features 5 and 6 — the paper found these the most
+    // informative for traffic-structure changes.
+    let mut alert_weeks: Vec<usize> = Vec::new();
+    for feature in [Feature::SourceStrength, Feature::DestStrength] {
+        let bags = corpus.data.feature_bags(feature);
+        let result = detector
+            .analyze(&bags.bags, 23)
+            .expect("analysis succeeds");
+        println!(
+            "feature {} ({}): alerts at weeks {:?}",
+            feature.number(),
+            feature.name(),
+            result.alerts()
+        );
+        alert_weeks.extend(result.alerts());
+    }
+    alert_weeks.sort_unstable();
+    alert_weeks.dedup();
+
+    // Score detection against the event script (±3 weeks).
+    let tol: i64 = 3;
+    println!("\n  week  event                          detected?");
+    let mut hits = 0;
+    for ev in &corpus.events {
+        let hit = alert_weeks
+            .iter()
+            .any(|&a| (a as i64 - ev.week as i64).abs() <= tol);
+        if hit {
+            hits += 1;
+        }
+        println!(
+            "  {:>4}  {:<30} {}",
+            ev.week,
+            ev.label,
+            if hit { "yes" } else { " - " }
+        );
+    }
+    println!(
+        "\ndetected {hits}/{} events with features 5+6 (±{tol} weeks)",
+        corpus.events.len()
+    );
+}

@@ -1,0 +1,50 @@
+//! Online use: feed bags one at a time and act on alerts as they fire.
+//!
+//! ```sh
+//! cargo run --release --example streaming
+//! ```
+//!
+//! Wraps the detector in [`StreamingDetector`], pushes bags as they
+//! "arrive", and prints each completed score point immediately — the
+//! same results the batch API would produce, with a latency of τ' bags
+//! (the test window must fill before an inspection point is scored).
+
+use bags_cpd::stats::{seeded_rng, GaussianMixture1d};
+use bags_cpd::{Bag, Detector, DetectorConfig, StreamingDetector};
+
+fn main() {
+    let mut rng = seeded_rng(5);
+
+    // Three regimes: a slow drift would not alert, but these two shape
+    // changes (variance up at t = 15, mode split at t = 30) should.
+    let regimes = [
+        GaussianMixture1d::equal_weight(&[(0.0, 1.0)]),
+        GaussianMixture1d::equal_weight(&[(0.0, 3.0)]),
+        GaussianMixture1d::equal_weight(&[(-4.0, 1.0), (4.0, 1.0)]),
+    ];
+
+    let detector = Detector::new(DetectorConfig {
+        tau: 5,
+        tau_prime: 4,
+        ..DetectorConfig::default()
+    })
+    .expect("valid config");
+    let mut stream = StreamingDetector::new(detector, 99);
+
+    println!("streaming 45 bags (changes injected at t = 15 and t = 30)\n");
+    for t in 0..45 {
+        let regime = &regimes[t / 15];
+        let bag = Bag::from_scalars(regime.sample_n(150, &mut rng));
+        let completed = stream.push(bag).expect("push succeeds");
+        for p in completed {
+            println!(
+                "t={:>2}  score={:>7.4}  ci=[{:>7.4}, {:>7.4}]{}",
+                p.t,
+                p.score,
+                p.ci.lo,
+                p.ci.up,
+                if p.alert { "  <-- ALERT" } else { "" }
+            );
+        }
+    }
+}

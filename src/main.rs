@@ -1,0 +1,255 @@
+//! `bags-cpd` — command-line change-point detection for bag-structured
+//! CSV data.
+//!
+//! Input format: CSV with a leading integer time column followed by the
+//! coordinates of one bag member per row (header optional):
+//!
+//! ```csv
+//! t,x1,x2
+//! 0,0.13,1.2
+//! 0,0.11,0.9
+//! 1,0.09,1.1
+//! ```
+//!
+//! Rows sharing a `t` form one bag. Output: one line per inspection
+//! point with the score, confidence interval and alert flag, plus a CSV
+//! dump with `--output`.
+//!
+//! ```sh
+//! bags-cpd data.csv --tau 5 --tau-prime 5 --k 8 --alpha 0.05
+//! ```
+
+use bags_cpd::{
+    Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
+};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+struct Options {
+    input: String,
+    tau: usize,
+    tau_prime: usize,
+    score: ScoreKind,
+    weighting: Weighting,
+    signature: SignatureMethod,
+    alpha: f64,
+    replicates: usize,
+    seed: u64,
+    output: Option<String>,
+}
+
+const USAGE: &str = "\
+usage: bags-cpd <input.csv> [options]
+
+options:
+  --tau <n>              reference window length (default 5)
+  --tau-prime <n>        test window length (default 5)
+  --score <kl|lr>        change-point score (default kl)
+  --weighting <equal|discounted>
+                         window weighting (default equal)
+  --k <n>                k-means signature size (default 8)
+  --histogram <width>    use histogram signatures with this bin width
+  --alpha <a>            significance level for the CIs (default 0.05)
+  --replicates <T>       bootstrap replicates (default 200)
+  --seed <s>             RNG seed (default 42)
+  --output <file.csv>    write the score series as CSV
+  --help                 show this message
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        tau: 5,
+        tau_prime: 5,
+        score: ScoreKind::SymmetrizedKl,
+        weighting: Weighting::Equal,
+        signature: SignatureMethod::KMeans { k: 8 },
+        alpha: 0.05,
+        replicates: 200,
+        seed: 42,
+        output: None,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--tau" => opts.tau = take("--tau")?.parse().map_err(|e| format!("--tau: {e}"))?,
+            "--tau-prime" => {
+                opts.tau_prime = take("--tau-prime")?
+                    .parse()
+                    .map_err(|e| format!("--tau-prime: {e}"))?;
+            }
+            "--score" => {
+                opts.score = match take("--score")?.as_str() {
+                    "kl" => ScoreKind::SymmetrizedKl,
+                    "lr" => ScoreKind::LikelihoodRatio,
+                    other => return Err(format!("--score: unknown kind '{other}' (kl|lr)")),
+                };
+            }
+            "--weighting" => {
+                opts.weighting = match take("--weighting")?.as_str() {
+                    "equal" => Weighting::Equal,
+                    "discounted" => Weighting::Discounted,
+                    other => return Err(format!("--weighting: unknown '{other}'")),
+                };
+            }
+            "--k" => {
+                let k = take("--k")?.parse().map_err(|e| format!("--k: {e}"))?;
+                opts.signature = SignatureMethod::KMeans { k };
+            }
+            "--histogram" => {
+                let width = take("--histogram")?
+                    .parse()
+                    .map_err(|e| format!("--histogram: {e}"))?;
+                opts.signature = SignatureMethod::Histogram { width };
+            }
+            "--alpha" => {
+                opts.alpha = take("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?;
+            }
+            "--replicates" => {
+                opts.replicates = take("--replicates")?
+                    .parse()
+                    .map_err(|e| format!("--replicates: {e}"))?;
+            }
+            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--output" => opts.output = Some(take("--output")?),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}\n\n{USAGE}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        0 => Err(format!("missing input file\n\n{USAGE}")),
+        1 => {
+            opts.input = positional.remove(0);
+            Ok(opts)
+        }
+        _ => Err(format!("too many positional arguments\n\n{USAGE}")),
+    }
+}
+
+/// Parse the bag CSV: integer time column + coordinates.
+fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut by_time: BTreeMap<i64, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut dim: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(format!("{path}:{}: need time plus >= 1 coordinate", lineno + 1));
+        }
+        let t: i64 = match fields[0].parse() {
+            Ok(t) => t,
+            // Tolerate one header line.
+            Err(_) if lineno == 0 => continue,
+            Err(e) => return Err(format!("{path}:{}: bad time '{}': {e}", lineno + 1, fields[0])),
+        };
+        let coords: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse()).collect();
+        let coords = coords.map_err(|e| format!("{path}:{}: bad coordinate: {e}", lineno + 1))?;
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(format!(
+                    "{path}:{}: dimension {} != {}",
+                    lineno + 1,
+                    coords.len(),
+                    d
+                ));
+            }
+            _ => {}
+        }
+        by_time.entry(t).or_default().push(coords);
+    }
+    if by_time.is_empty() {
+        return Err(format!("{path}: no data rows"));
+    }
+    Ok(by_time.into_values().map(Bag::new).collect())
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let bags = read_bags(&opts.input)?;
+    eprintln!(
+        "read {} bags (sizes {}..{}), dim {}",
+        bags.len(),
+        bags.iter().map(Bag::len).min().unwrap_or(0),
+        bags.iter().map(Bag::len).max().unwrap_or(0),
+        bags[0].dim()
+    );
+    let detector = Detector::new(DetectorConfig {
+        tau: opts.tau,
+        tau_prime: opts.tau_prime,
+        score: opts.score,
+        weighting: opts.weighting,
+        signature: opts.signature.clone(),
+        bootstrap: BootstrapConfig {
+            alpha: opts.alpha,
+            replicates: opts.replicates,
+            ..Default::default()
+        },
+        ..DetectorConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let detection = detector.analyze(&bags, opts.seed).map_err(|e| e.to_string())?;
+
+    println!("t,score,ci_lo,ci_up,alert");
+    for p in &detection.points {
+        println!(
+            "{},{:.6},{:.6},{:.6},{}",
+            p.t,
+            p.score,
+            p.ci.lo,
+            p.ci.up,
+            u8::from(p.alert)
+        );
+    }
+    let alerts = detection.alerts();
+    eprintln!("alerts at: {alerts:?}");
+
+    if let Some(out) = &opts.output {
+        let mut f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        writeln!(f, "t,score,ci_lo,ci_up,xi,alert").map_err(|e| e.to_string())?;
+        for p in &detection.points {
+            writeln!(
+                f,
+                "{},{},{},{},{},{}",
+                p.t,
+                p.score,
+                p.ci.lo,
+                p.ci.up,
+                p.xi.map_or(String::new(), |x| x.to_string()),
+                u8::from(p.alert)
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `bags-cpd` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bags-cpd"))
+}
+
+/// Write a bag CSV with a shape change at `change_at`.
+fn write_test_csv(path: &std::path::Path, steps: usize, change_at: usize) {
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "t,x").expect("header");
+    for t in 0..steps {
+        for i in 0..60 {
+            let u = (i as f64 + 0.5) / 60.0 - 0.5;
+            let x = if t < change_at { u } else { 6.0 * u.signum() + u };
+            writeln!(f, "{t},{x}").expect("row");
+        }
+    }
+}
+
+#[test]
+fn detects_change_in_csv_input() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_test1");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("bags.csv");
+    write_test_csv(&input, 24, 12);
+
+    let out = bin()
+        .arg(&input)
+        .args(["--tau", "5", "--tau-prime", "5", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("t,score,ci_lo,ci_up,alert"));
+    // An alert row near t = 12 must exist.
+    let alert_near_12 = stdout.lines().any(|l| {
+        let mut parts = l.split(',');
+        let t: Option<i64> = parts.next().and_then(|v| v.parse().ok());
+        let alert = l.ends_with(",1");
+        matches!(t, Some(t) if (t - 12).abs() <= 2) && alert
+    });
+    assert!(alert_near_12, "no alert near t=12 in:\n{stdout}");
+}
+
+#[test]
+fn writes_output_file() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_test2");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("bags.csv");
+    let output = dir.join("scores.csv");
+    write_test_csv(&input, 20, 10);
+
+    let st = bin()
+        .arg(&input)
+        .args(["--output"])
+        .arg(&output)
+        .args(["--histogram", "0.5"])
+        .status()
+        .expect("binary runs");
+    assert!(st.success());
+    let text = std::fs::read_to_string(&output).expect("output written");
+    assert!(text.starts_with("t,score,ci_lo,ci_up,xi,alert"));
+    assert!(text.lines().count() > 5);
+}
+
+#[test]
+fn rejects_missing_input() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn rejects_bad_csv() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_test3");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("bad.csv");
+    std::fs::write(&input, "t,x\n0,1.0\n0,not_a_number\n").expect("write");
+    let out = bin().arg(&input).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad coordinate"));
+}
+
+#[test]
+fn rejects_unknown_flag() {
+    let out = bin().args(["x.csv", "--frobnicate"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lr_score_option_works() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_test4");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("bags.csv");
+    write_test_csv(&input, 20, 10);
+    let out = bin()
+        .arg(&input)
+        .args(["--score", "lr", "--replicates", "50"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}

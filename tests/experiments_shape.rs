@@ -1,0 +1,198 @@
+//! Miniature versions of the paper's experiments as integration tests,
+//! so `cargo test --workspace` continuously verifies the reproduced
+//! *shapes* (who wins, what alerts) without the full-scale runtimes of
+//! the `exp_*` binaries.
+
+use bags_cpd::baselines::{ChangeFinder, ChangeFinderConfig};
+use bags_cpd::bipartite::Feature;
+use bags_cpd::datasets::{bipartite_synth, darknet, enron, fig1, pamap, questionnaire, synthetic5};
+use bags_cpd::stats::seeded_rng;
+use bags_cpd::{BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
+
+fn fast_detector(tau: usize, tau_prime: usize, sig: SignatureMethod) -> Detector {
+    Detector::new(DetectorConfig {
+        tau,
+        tau_prime,
+        signature: sig,
+        bootstrap: BootstrapConfig {
+            replicates: 100,
+            ..Default::default()
+        },
+        ..DetectorConfig::default()
+    })
+    .expect("valid config")
+}
+
+#[test]
+fn fig1_shape_ours_wins_baselines_blind() {
+    let mut rng = seeded_rng(9001);
+    let data = fig1::generate(
+        &fig1::Fig1Config {
+            steps: 90,
+            mean_bag_size: 150.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    // Changes at 30 and 60.
+    let det = fast_detector(5, 5, SignatureMethod::Histogram { width: 0.5 });
+    let out = det.analyze(&data.bags, 1).expect("analysis");
+    let alerts = out.alerts();
+    for cp in [30usize, 60] {
+        assert!(
+            alerts.iter().any(|&a| (a as i64 - cp as i64).abs() <= 3),
+            "missing alert near {cp}: {alerts:?}"
+        );
+    }
+    // The mean sequence gives ChangeFinder nothing: its peak is not
+    // systematically at the changes.
+    let means = fig1::sample_mean_series(&data);
+    let cf = ChangeFinder::score_series(ChangeFinderConfig::default(), &means);
+    let near: f64 = cf
+        .iter()
+        .enumerate()
+        .filter(|&(t, _)| [30usize, 60].iter().any(|&c| (t as i64 - c as i64).abs() <= 3))
+        .map(|(_, &s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let far: f64 = cf
+        .iter()
+        .enumerate()
+        .filter(|&(t, _)| t > 10 && [30usize, 60].iter().all(|&c| (t as i64 - c as i64).abs() > 8))
+        .map(|(_, &s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(near < far + 1.0, "ChangeFinder should not dominate at changes");
+}
+
+#[test]
+fn fig6_shape_only_dataset4_alerts() {
+    let det = fast_detector(5, 5, SignatureMethod::KMeans { k: 8 });
+    for which in synthetic5::Synth5::ALL {
+        let mut rng = seeded_rng(9100 + which.number() as u64);
+        let data = synthetic5::generate(which, &mut rng);
+        let out = det.analyze(&data.bags, 2).expect("analysis");
+        let alerts = out.alerts();
+        match which {
+            synthetic5::Synth5::MeanJump => {
+                assert!(
+                    alerts.iter().any(|&a| (a as i64 - 10).abs() <= 1),
+                    "Dataset 4 must alert near t=10: {alerts:?}"
+                );
+            }
+            synthetic5::Synth5::LargeVariance | synthetic5::Synth5::Contaminated => {
+                assert!(alerts.is_empty(), "{which:?} must stay quiet: {alerts:?}");
+            }
+            // Datasets 3 and 5 are allowed to stay quiet (expected) and
+            // occasionally borderline; only assert no *early* alarms.
+            _ => {
+                assert!(
+                    alerts.iter().all(|&a| a >= 9),
+                    "{which:?}: early false alarm {alerts:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pamap_shape_detects_most_boundaries() {
+    let mut rng = seeded_rng(9200);
+    let cfg = pamap::PamapConfig {
+        mean_duration_s: 100.0,
+        mean_rate_hz: 30.0,
+        ..Default::default()
+    };
+    let s = pamap::generate_subject(&cfg, &mut rng);
+    let det = fast_detector(5, 5, SignatureMethod::KMeans { k: 8 });
+    let out = det.analyze(&s.data.bags, 3).expect("analysis");
+    let alerts = out.alerts();
+    let detected = s
+        .data
+        .change_points
+        .iter()
+        .filter(|&&cp| alerts.iter().any(|&a| (a as i64 - cp as i64).abs() <= 5))
+        .count();
+    assert!(
+        detected * 2 >= s.data.change_points.len(),
+        "detected only {detected}/{} boundaries",
+        s.data.change_points.len()
+    );
+    let false_alarms = alerts
+        .iter()
+        .filter(|&&a| {
+            !s.data
+                .change_points
+                .iter()
+                .any(|&cp| (a as i64 - cp as i64).abs() <= 5)
+        })
+        .count();
+    assert!(false_alarms <= 2, "{false_alarms} false alarms");
+}
+
+#[test]
+fn bipartite_shape_strength_features_catch_traffic_change() {
+    // Scaled-down Dataset 1: fewer nodes via direct spec control is not
+    // exposed, so use the generator once (it is the slowest test here).
+    let mut rng = seeded_rng(9300);
+    let data = bipartite_synth::generate(bipartite_synth::BipartiteDataset::TrafficLevel, &mut rng);
+    let det = fast_detector(5, 5, SignatureMethod::KMeans { k: 8 });
+    let bags = data.feature_bags(Feature::SourceStrength);
+    let out = det.analyze(&bags.bags, 4).expect("analysis");
+    let alerts = out.alerts();
+    let detected = data
+        .change_points
+        .iter()
+        .filter(|&&cp| alerts.iter().any(|&a| (a as i64 - cp as i64).abs() <= 4))
+        .count();
+    assert!(
+        detected >= data.change_points.len() - 1,
+        "feature 5 detected {detected}/{}",
+        data.change_points.len()
+    );
+}
+
+#[test]
+fn enron_shape_some_events_detected_no_noise() {
+    let mut rng = seeded_rng(9400);
+    let corpus = enron::generate(&enron::EnronConfig::default(), &mut rng);
+    let det = fast_detector(5, 3, SignatureMethod::KMeans { k: 8 });
+    let bags = corpus.data.feature_bags(Feature::DestStrength);
+    let out = det.analyze(&bags.bags, 5).expect("analysis");
+    let alerts = out.alerts();
+    let hits = corpus
+        .events
+        .iter()
+        .filter(|e| alerts.iter().any(|&a| (a as i64 - e.week as i64).abs() <= 3))
+        .count();
+    assert!(hits >= 2, "at least some events detected; got {hits}");
+}
+
+#[test]
+fn questionnaire_shape_both_shifts_detected() {
+    let mut rng = seeded_rng(9600);
+    let data = questionnaire::generate(&questionnaire::QuestionnaireConfig::default(), &mut rng);
+    let det = fast_detector(5, 5, SignatureMethod::KMeans { k: 6 });
+    let out = det.analyze(&data.bags, 7).expect("analysis");
+    let alerts = out.alerts();
+    for &shift in &data.change_points {
+        assert!(
+            alerts.iter().any(|&a| (a as i64 - shift as i64).abs() <= 2),
+            "shift at {shift} missed: {alerts:?}"
+        );
+    }
+}
+
+#[test]
+fn darknet_shape_attacks_detected_volume_blind() {
+    let mut rng = seeded_rng(9500);
+    let data = darknet::generate(&darknet::DarknetConfig::default(), &mut rng);
+    let det = fast_detector(6, 4, SignatureMethod::KMeans { k: 10 });
+    let out = det.analyze(&data.bags, 6).expect("analysis");
+    let alerts = out.alerts();
+    // Each campaign start must be caught.
+    for start in [24usize, 48, 72] {
+        assert!(
+            alerts.iter().any(|&a| (a as i64 - start as i64).abs() <= 2),
+            "campaign at {start} missed: {alerts:?}"
+        );
+    }
+}
