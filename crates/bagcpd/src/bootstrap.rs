@@ -23,9 +23,9 @@ pub struct BootstrapConfig {
     /// Significance level `α` (the CI covers `1 - α`).
     pub alpha: f64,
     /// Number of worker threads for replicate evaluation. `1` runs
-    /// serially; values above 1 use crossbeam scoped threads. Results are
-    /// identical regardless (per-replicate RNG streams are derived from
-    /// the master seed, not from thread scheduling).
+    /// serially; values above 1 use `std::thread` scoped threads. Results
+    /// are identical regardless (per-replicate RNG streams are derived
+    /// from the master seed, not from thread scheduling).
     pub threads: usize,
 }
 
@@ -96,20 +96,17 @@ pub fn bootstrap_ci(
         let chunk = seeds.len().div_ceil(cfg.threads);
         let mut results: Vec<Vec<f64>> = Vec::new();
         let (dir_ref, dir_test) = (&dir_ref, &dir_test);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = seeds
                 .chunks(chunk)
                 .map(|chunk_seeds| {
-                    s.spawn(move |_| {
-                        replicate_range(scorer, kind, dir_ref, dir_test, chunk_seeds)
-                    })
+                    s.spawn(move || replicate_range(scorer, kind, dir_ref, dir_test, chunk_seeds))
                 })
                 .collect();
             for h in handles {
                 results.push(h.join().expect("bootstrap worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         results.into_iter().flatten().collect()
     };
 

@@ -25,7 +25,10 @@ impl std::fmt::Display for DetectError {
         match self {
             DetectError::BadConfig(msg) => write!(f, "bad detector config: {msg}"),
             DetectError::SequenceTooShort { got, need } => {
-                write!(f, "sequence of {got} bags is shorter than tau + tau' = {need}")
+                write!(
+                    f,
+                    "sequence of {got} bags is shorter than tau + tau' = {need}"
+                )
             }
             DetectError::DimensionMismatch => write!(f, "bags have inconsistent dimensions"),
             DetectError::Emd(e) => write!(f, "EMD failure: {e}"),

@@ -172,9 +172,7 @@ pub fn per_dimension_scores(
     for c in 0..dim {
         let projected: Vec<Bag> = bags
             .iter()
-            .map(|b| {
-                Bag::new(b.points().iter().map(|p| vec![p[c]]).collect())
-            })
+            .map(|b| Bag::new(b.points().iter().map(|p| vec![p[c]]).collect()))
             .collect();
         out.push(detector.score_series(&projected, seed ^ (c as u64) << 32)?);
     }
@@ -286,7 +284,11 @@ mod tests {
         let mut sel = OnlineFeatureSelector::new(3, 1.0);
         for i in 0..200 {
             // Alternate baseline and spikes so updates keep firing.
-            let s = if i % 2 == 0 { [8.0, 0.0, 0.0] } else { [0.0, 0.0, 0.0] };
+            let s = if i % 2 == 0 {
+                [8.0, 0.0, 0.0]
+            } else {
+                [0.0, 0.0, 0.0]
+            };
             sel.observe(&s, false);
         }
         assert!(sel.weights().iter().all(|&w| w >= 1e-3));

@@ -49,11 +49,15 @@ pub mod signature_builder;
 pub mod window;
 
 pub use bag::Bag;
+pub use bootstrap::{bootstrap_ci, BootstrapConfig, ConfidenceInterval};
+pub use detector::{
+    bootstrap_seed, Detection, Detector, DetectorConfig, ScorePoint, StreamingDetector,
+};
+pub use error::DetectError;
 pub use feature_select::{per_dimension_scores, OnlineFeatureSelector};
 pub use parametric::{parametric_distance_matrix, GaussianFit};
-pub use bootstrap::{bootstrap_ci, BootstrapConfig, ConfidenceInterval};
-pub use detector::{Detection, Detector, DetectorConfig, ScorePoint, StreamingDetector};
-pub use error::DetectError;
 pub use score::{score_kl, score_lr, EmdSolver, ScoreKind, WindowScorer};
-pub use signature_builder::{build_signature, GroundMetric, SignatureMethod};
+pub use signature_builder::{
+    build_signature, derive_seed, signature_at, GroundMetric, SignatureMethod,
+};
 pub use window::{discounted_weights, equal_weights, Weighting, WindowLayout};

@@ -12,8 +12,7 @@ use emd::{emd, sinkhorn_emd, Signature, SinkhornConfig};
 use infoest::{auto_entropy, cross_entropy, information_content, DistanceMatrix, EstimatorConfig};
 
 /// Which optimal-transport solver computes the signature distances.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum EmdSolver {
     /// Exact transportation simplex (Eqs. 7–12) — the paper's EMD and
     /// the default.
@@ -25,7 +24,6 @@ pub enum EmdSolver {
     /// bench).
     Sinkhorn(SinkhornConfig),
 }
-
 
 impl EmdSolver {
     /// Distance between two signatures under this solver.

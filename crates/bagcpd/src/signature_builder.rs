@@ -6,7 +6,7 @@ use quantize::{
     histogram_grid, kmeans, kmedoids, lvq_quantize, HistogramSpec, KMeansConfig, KMedoidsConfig,
     LvqConfig,
 };
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// How to turn a bag into a signature.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,42 @@ impl GroundDistance for GroundMetric {
     }
 }
 
+/// Derive the per-bag seed for position `index` of a sequence from a
+/// master seed (SplitMix64-style finalizer).
+///
+/// Making each bag's quantizer stream a pure function of
+/// `(master, index)` — rather than one RNG threaded across the whole
+/// sequence — is what lets the online path (`crates/stream`) rebuild any
+/// bag's signature without replaying the bags before it, and lets a
+/// snapshot omit RNG state entirely.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build the signature of the bag at sequence position `index`,
+/// deterministically in `(master_seed, index)`.
+///
+/// This is the incremental entry point shared by [`crate::Detector`] and
+/// the online detector in `crates/stream`: both produce identical
+/// signatures for the same bag at the same position.
+///
+/// # Panics
+/// As [`build_signature`].
+pub fn signature_at(
+    bag: &Bag,
+    method: &SignatureMethod,
+    master_seed: u64,
+    index: u64,
+) -> Signature {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(master_seed, index));
+    build_signature(bag, method, &mut rng)
+}
+
 /// Build the signature of one bag with the chosen method.
 ///
 /// The RNG drives quantizer initialization (k-means++ seeding etc.);
@@ -82,13 +118,12 @@ impl GroundDistance for GroundMetric {
 pub fn build_signature(bag: &Bag, method: &SignatureMethod, rng: &mut impl Rng) -> Signature {
     let q = match method {
         SignatureMethod::KMeans { k } => kmeans(bag.points(), &KMeansConfig::with_k(*k), rng),
-        SignatureMethod::KMedoids { k } => {
-            kmedoids(bag.points(), &KMedoidsConfig::with_k(*k), rng)
-        }
+        SignatureMethod::KMedoids { k } => kmedoids(bag.points(), &KMedoidsConfig::with_k(*k), rng),
         SignatureMethod::Lvq { k } => lvq_quantize(bag.points(), &LvqConfig::with_k(*k), rng),
-        SignatureMethod::Histogram { width } => {
-            histogram_grid(bag.points(), &HistogramSpec::uniform(bag.dim(), 0.0, *width))
-        }
+        SignatureMethod::Histogram { width } => histogram_grid(
+            bag.points(),
+            &HistogramSpec::uniform(bag.dim(), 0.0, *width),
+        ),
     };
     Signature::from_counts(q.centers, &q.counts)
         .expect("quantization always yields a valid signature")
@@ -134,10 +169,30 @@ mod tests {
 
     #[test]
     fn histogram_signature_is_deterministic() {
-        let a = build_signature(&bag(), &SignatureMethod::Histogram { width: 1.0 }, &mut rng());
-        let b = build_signature(&bag(), &SignatureMethod::Histogram { width: 1.0 }, &mut rng());
+        let a = build_signature(
+            &bag(),
+            &SignatureMethod::Histogram { width: 1.0 },
+            &mut rng(),
+        );
+        let b = build_signature(
+            &bag(),
+            &SignatureMethod::Histogram { width: 1.0 },
+            &mut rng(),
+        );
         assert_eq!(a, b);
         assert_eq!(a.total_weight(), 60.0);
+    }
+
+    #[test]
+    fn signature_at_is_position_deterministic() {
+        let b = bag();
+        let method = SignatureMethod::KMeans { k: 4 };
+        let a1 = signature_at(&b, &method, 7, 3);
+        let a2 = signature_at(&b, &method, 7, 3);
+        assert_eq!(a1, a2, "same (seed, index) -> same signature");
+        // Different positions draw different quantizer streams.
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests for the core detector's invariants.
 
-use bagcpd::{
-    bootstrap_ci, equal_weights, BootstrapConfig, GroundMetric, ScoreKind, WindowScorer,
-};
+use bagcpd::{bootstrap_ci, equal_weights, BootstrapConfig, GroundMetric, ScoreKind, WindowScorer};
 use emd::Signature;
 use infoest::EstimatorConfig;
 use proptest::prelude::*;

@@ -87,11 +87,7 @@ impl OneClassSvm {
                     .map(|(k, a)| k * a)
                     .sum();
             }
-            let mut next: Vec<f64> = alpha
-                .iter()
-                .zip(&grad)
-                .map(|(a, g)| a - step * g)
-                .collect();
+            let mut next: Vec<f64> = alpha.iter().zip(&grad).map(|(a, g)| a - step * g).collect();
             project_capped_simplex(&mut next, cap);
             let delta = alpha
                 .iter()
@@ -206,12 +202,7 @@ impl OneClassSvm {
 fn project_capped_simplex(a: &mut [f64], cap: f64) {
     let n = a.len();
     debug_assert!(cap * n as f64 >= 1.0 - 1e-12, "infeasible capped simplex");
-    let mut lo = a
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        - cap
-        - 1.0;
+    let mut lo = a.iter().cloned().fold(f64::INFINITY, f64::min) - cap - 1.0;
     let mut hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1.0;
     for _ in 0..100 {
         let mid = 0.5 * (lo + hi);

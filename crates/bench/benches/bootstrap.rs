@@ -57,10 +57,14 @@ fn bench_threads(c: &mut Criterion) {
             threads,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, _| {
-            let mut rng = seeded_rng(99);
-            bench.iter(|| bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| {
+                let mut rng = seeded_rng(99);
+                bench.iter(|| bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &w, &w, &cfg, &mut rng));
+            },
+        );
     }
     group.finish();
 }

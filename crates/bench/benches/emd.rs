@@ -32,12 +32,8 @@ fn bench_1d_oracle_vs_simplex(c: &mut Criterion) {
     let mut group = c.benchmark_group("emd_1d");
     for &k in &[8usize, 32, 128] {
         let mut rng = seeded_rng(1000 + k as u64);
-        let a: Vec<(f64, f64)> = (0..k)
-            .map(|_| (rng.gen_range(-10.0..10.0), 1.0))
-            .collect();
-        let b: Vec<(f64, f64)> = (0..k)
-            .map(|_| (rng.gen_range(-10.0..10.0), 1.0))
-            .collect();
+        let a: Vec<(f64, f64)> = (0..k).map(|_| (rng.gen_range(-10.0..10.0), 1.0)).collect();
+        let b: Vec<(f64, f64)> = (0..k).map(|_| (rng.gen_range(-10.0..10.0), 1.0)).collect();
         let sig = |pts: &[(f64, f64)]| {
             Signature::new(
                 pts.iter().map(|&(x, _)| vec![x]).collect(),

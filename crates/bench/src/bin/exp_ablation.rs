@@ -10,9 +10,7 @@
 //! cargo run --release -p bench --bin exp_ablation
 //! ```
 
-use bagcpd::{
-    BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
-};
+use bagcpd::{BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting};
 use bench::write_table_csv;
 use datasets::synthetic5::{generate, Synth5};
 use stats::seeded_rng;
@@ -59,11 +57,18 @@ fn main() {
         })
         .expect("config");
         for which in [Synth5::MeanJump, Synth5::SpeedChange] {
-            let m: f64 = seeds.iter().map(|&s| prominence(&det, which, s)).sum::<f64>()
+            let m: f64 = seeds
+                .iter()
+                .map(|&s| prominence(&det, which, s))
+                .sum::<f64>()
                 / seeds.len() as f64;
             println!("   {kind:?} on {which:?}: {m:+.3}");
             rows.push(vec![
-                if kind == ScoreKind::SymmetrizedKl { 0.0 } else { 1.0 },
+                if kind == ScoreKind::SymmetrizedKl {
+                    0.0
+                } else {
+                    1.0
+                },
                 which.number() as f64,
                 m,
             ]);
@@ -74,7 +79,10 @@ fn main() {
     // --- 2. Weighting scheme ---------------------------------------------
     println!("\n2) weighting scheme (Dataset 4):");
     let mut rows = Vec::new();
-    for (i, w) in [Weighting::Equal, Weighting::Discounted].into_iter().enumerate() {
+    for (i, w) in [Weighting::Equal, Weighting::Discounted]
+        .into_iter()
+        .enumerate()
+    {
         let det = Detector::new(DetectorConfig {
             weighting: w,
             ..base_config()

@@ -108,5 +108,7 @@ fn main() {
         corpus.events.len(),
         corpus.events.len()
     );
-    println!("paper's qualitative claim: most events detected by >= 1 feature, plus extras over [22].");
+    println!(
+        "paper's qualitative claim: most events detected by >= 1 feature, plus extras over [22]."
+    );
 }

@@ -97,11 +97,19 @@ fn main() {
 
     // Score separation at true change points vs elsewhere, for all three.
     let ours_sep = separation(
-        &detection.points.iter().map(|p| (p.t, p.score)).collect::<Vec<_>>(),
+        &detection
+            .points
+            .iter()
+            .map(|p| (p.t, p.score))
+            .collect::<Vec<_>>(),
         &data.change_points,
     );
     let cf_sep = separation(
-        &cf_scores.iter().enumerate().map(|(t, &s)| (t, s)).collect::<Vec<_>>(),
+        &cf_scores
+            .iter()
+            .enumerate()
+            .map(|(t, &s)| (t, s))
+            .collect::<Vec<_>>(),
         &data.change_points,
     );
     let kcd_sep = separation(&kcd_scores, &data.change_points);

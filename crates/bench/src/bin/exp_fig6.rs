@@ -78,7 +78,10 @@ fn main() {
             .sum::<f64>()
             / detection.points.len() as f64;
         println!("  mean CI width {mean_width:.3}");
-        print!("{}", render_series(&detection.points, &data.change_points, 48));
+        print!(
+            "{}",
+            render_series(&detection.points, &data.change_points, 48)
+        );
         println!();
     }
     println!("expected: alert only on Dataset 4; wider CIs on 2, 3, 5 than on 1.");

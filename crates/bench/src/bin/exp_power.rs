@@ -24,7 +24,11 @@ fn jump_bags(magnitude: f64, seed: u64) -> Vec<Bag> {
     let sizes = Poisson::new(50.0);
     (0..20)
         .map(|t| {
-            let x = if t < 10 { magnitude / 2.0 } else { -magnitude / 2.0 };
+            let x = if t < 10 {
+                magnitude / 2.0
+            } else {
+                -magnitude / 2.0
+            };
             let d = MultivariateNormal::isotropic(vec![x, 0.0], 1.0);
             let n = sizes.sample(&mut rng).max(2) as usize;
             Bag::new(d.sample_n(n, &mut rng))
@@ -71,7 +75,11 @@ fn main() {
         println!("  {mag:>8.1}   {det_rate:>12.2}   {fa_rate:>14.2}");
         rows.push(vec![mag, det_rate, fa_rate]);
     }
-    let path = write_table_csv("power_curve", "magnitude,detection_rate,false_alarm_rate", &rows);
+    let path = write_table_csv(
+        "power_curve",
+        "magnitude,detection_rate,false_alarm_rate",
+        &rows,
+    );
     println!("\n-> {}", path.display());
     println!("expected shape: ~0 at magnitude 0 (the CI gate suppresses false alarms),");
     println!("rising through a crossover near the noise scale (sigma = 1), ~1 by magnitude 6.");

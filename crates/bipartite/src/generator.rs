@@ -183,7 +183,10 @@ mod tests {
         let mut w00 = Vec::new();
         let mut w11 = Vec::new();
         for &(s, d, w) in g.edges() {
-            match (spec.source_cluster(s as usize), spec.dest_cluster(d as usize)) {
+            match (
+                spec.source_cluster(s as usize),
+                spec.dest_cluster(d as usize),
+            ) {
                 (0, 0) => w00.push(w),
                 (1, 1) => w11.push(w),
                 _ => {}

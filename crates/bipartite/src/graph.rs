@@ -27,7 +27,10 @@ impl BipartiteGraph {
         for (idx, &(s, d, w)) in edges.iter().enumerate() {
             assert!((s as usize) < num_sources, "source {s} out of range");
             assert!((d as usize) < num_dests, "dest {d} out of range");
-            assert!(w.is_finite() && w > 0.0, "edge weight must be finite and > 0");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "edge weight must be finite and > 0"
+            );
             assert!(seen.insert((s, d)), "duplicate edge ({s}, {d})");
             by_source[s as usize].push(idx as u32);
             by_dest[d as usize].push(idx as u32);

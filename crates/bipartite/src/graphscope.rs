@@ -85,7 +85,10 @@ impl DenseAdjacency {
 
     /// Mark an edge.
     pub fn set(&mut self, i: usize, j: usize) {
-        assert!(i < self.rows && j < self.cols, "adjacency index out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "adjacency index out of range"
+        );
         self.data[i * self.cols + j] = true;
     }
 
@@ -214,7 +217,11 @@ impl CoClustering {
         for node in 0..n {
             let mut best = usize::MAX;
             let mut best_cost = f64::INFINITY;
-            let original = if source_side { self.src[node] } else { self.dst[node] };
+            let original = if source_side {
+                self.src[node]
+            } else {
+                self.dst[node]
+            };
             for cand in 0..clusters {
                 if source_side {
                     self.src[node] = cand;
@@ -306,7 +313,13 @@ mod tests {
 
     /// Block-structured adjacency: sources [0, split_s) connect to dests
     /// [0, split_d) and the complement connects to the complement.
-    fn blocky(rows: usize, cols: usize, split_s: usize, split_d: usize, flip: bool) -> DenseAdjacency {
+    fn blocky(
+        rows: usize,
+        cols: usize,
+        split_s: usize,
+        split_d: usize,
+        flip: bool,
+    ) -> DenseAdjacency {
         let mut a = DenseAdjacency::new(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -331,16 +344,14 @@ mod tests {
 
     #[test]
     fn stable_stream_has_no_boundaries() {
-        let graphs: Vec<DenseAdjacency> =
-            (0..10).map(|_| blocky(12, 12, 6, 6, false)).collect();
+        let graphs: Vec<DenseAdjacency> = (0..10).map(|_| blocky(12, 12, 6, 6, false)).collect();
         let cps = graphscope_segment(&graphs, &GraphScopeConfig::default());
         assert!(cps.is_empty(), "no change expected: {cps:?}");
     }
 
     #[test]
     fn community_flip_is_detected() {
-        let mut graphs: Vec<DenseAdjacency> =
-            (0..6).map(|_| blocky(12, 12, 6, 6, false)).collect();
+        let mut graphs: Vec<DenseAdjacency> = (0..6).map(|_| blocky(12, 12, 6, 6, false)).collect();
         graphs.extend((0..6).map(|_| blocky(12, 12, 6, 6, true)));
         let cps = graphscope_segment(&graphs, &GraphScopeConfig::default());
         assert!(
@@ -351,8 +362,7 @@ mod tests {
 
     #[test]
     fn partition_shift_is_detected() {
-        let mut graphs: Vec<DenseAdjacency> =
-            (0..6).map(|_| blocky(12, 12, 6, 6, false)).collect();
+        let mut graphs: Vec<DenseAdjacency> = (0..6).map(|_| blocky(12, 12, 6, 6, false)).collect();
         graphs.extend((0..6).map(|_| blocky(12, 12, 3, 9, false)));
         let cps = graphscope_segment(&graphs, &GraphScopeConfig::default());
         assert!(

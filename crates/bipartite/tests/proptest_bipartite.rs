@@ -9,16 +9,14 @@ use std::collections::HashSet;
 /// Strategy: a random bipartite graph with unique edges.
 fn random_graph() -> impl Strategy<Value = BipartiteGraph> {
     (2usize..20, 2usize..20).prop_flat_map(|(ns, nd)| {
-        prop::collection::hash_set((0..ns as u32, 0..nd as u32), 0..40).prop_map(
-            move |pairs| {
-                let edges: Vec<(u32, u32, f64)> = pairs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (s, d))| (s, d, (i % 9 + 1) as f64))
-                    .collect();
-                BipartiteGraph::new(ns, nd, edges)
-            },
-        )
+        prop::collection::hash_set((0..ns as u32, 0..nd as u32), 0..40).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32, f64)> = pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d))| (s, d, (i % 9 + 1) as f64))
+                .collect();
+            BipartiteGraph::new(ns, nd, edges)
+        })
     })
 }
 

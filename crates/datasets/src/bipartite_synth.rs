@@ -268,7 +268,10 @@ mod tests {
             .map(|g| g.num_sources() as f64)
             .sum::<f64>()
             / 200.0;
-        assert!((mean_sources - 200.0).abs() < 5.0, "mean sources {mean_sources}");
+        assert!(
+            (mean_sources - 200.0).abs() < 5.0,
+            "mean sources {mean_sources}"
+        );
     }
 
     #[test]

@@ -64,9 +64,21 @@ impl Default for DarknetConfig {
             hours: 96,
             mean_packets: 400.0,
             campaigns: vec![
-                Campaign { start: 24, duration: 6, kind: Attack::PortScan },
-                Campaign { start: 48, duration: 8, kind: Attack::WormOutbreak },
-                Campaign { start: 72, duration: 6, kind: Attack::DdosBackscatter },
+                Campaign {
+                    start: 24,
+                    duration: 6,
+                    kind: Attack::PortScan,
+                },
+                Campaign {
+                    start: 48,
+                    duration: 8,
+                    kind: Attack::WormOutbreak,
+                },
+                Campaign {
+                    start: 72,
+                    duration: 6,
+                    kind: Attack::DdosBackscatter,
+                },
             ],
         }
     }
@@ -77,7 +89,10 @@ impl Default for DarknetConfig {
 /// # Panics
 /// Panics on a degenerate configuration.
 pub fn generate(cfg: &DarknetConfig, rng: &mut impl Rng) -> LabeledBags {
-    assert!(cfg.hours > 0 && cfg.mean_packets > 0.0, "darknet: degenerate config");
+    assert!(
+        cfg.hours > 0 && cfg.mean_packets > 0.0,
+        "darknet: degenerate config"
+    );
     let volume = Poisson::new(cfg.mean_packets);
     let mut bags = Vec::with_capacity(cfg.hours);
     for hour in 0..cfg.hours {
@@ -172,7 +187,11 @@ mod tests {
         // The attacks must not be detectable from packet counts alone.
         let data = generate(&DarknetConfig::default(), &mut seeded_rng(62));
         let mean_of = |r: std::ops::Range<usize>| {
-            data.bags[r.clone()].iter().map(|b| b.len() as f64).sum::<f64>() / r.len() as f64
+            data.bags[r.clone()]
+                .iter()
+                .map(|b| b.len() as f64)
+                .sum::<f64>()
+                / r.len() as f64
         };
         let normal = mean_of(0..24);
         let scan = mean_of(24..30);

@@ -55,22 +55,102 @@ pub fn default_events() -> Vec<Event> {
     // the real events were existential for the company, so multi-fold
     // traffic changes are faithful.
     vec![
-        Event { week: 31, duration: 3, label: "new CEO takes over", effect: EventEffect::Broadcast(15.0) },
-        Event { week: 46, duration: 2, label: "energy plan legislation", effect: EventEffect::TrafficSurge(2.2) },
-        Event { week: 48, duration: 3, label: "stock dives", effect: EventEffect::TrafficSurge(3.5) },
-        Event { week: 58, duration: 3, label: "CEO resigns, founder returns", effect: EventEffect::Broadcast(18.0) },
-        Event { week: 62, duration: 2, label: "September 11", effect: EventEffect::TrafficSurge(0.3) },
-        Event { week: 67, duration: 2, label: "Q3 loss reported", effect: EventEffect::TrafficSurge(3.0) },
-        Event { week: 68, duration: 4, label: "SEC inquiry", effect: EventEffect::CrossDepartment(0.6) },
-        Event { week: 72, duration: 2, label: "earnings restated", effect: EventEffect::TrafficSurge(3.2) },
-        Event { week: 73, duration: 2, label: "merger collapses", effect: EventEffect::TrafficSurge(4.5) },
-        Event { week: 74, duration: 3, label: "bankruptcy + layoffs", effect: EventEffect::MassDeparture(0.35) },
-        Event { week: 79, duration: 3, label: "criminal investigation", effect: EventEffect::CrossDepartment(0.7) },
-        Event { week: 81, duration: 2, label: "chairman resigns", effect: EventEffect::Broadcast(12.0) },
-        Event { week: 82, duration: 2, label: "new CEO named", effect: EventEffect::Broadcast(12.0) },
-        Event { week: 83, duration: 2, label: "founder quits board", effect: EventEffect::TrafficSurge(2.5) },
-        Event { week: 92, duration: 2, label: "auditor pleads guilty", effect: EventEffect::TrafficSurge(2.8) },
-        Event { week: 95, duration: 2, label: "reform bill passes", effect: EventEffect::TrafficSurge(2.0) },
+        Event {
+            week: 31,
+            duration: 3,
+            label: "new CEO takes over",
+            effect: EventEffect::Broadcast(15.0),
+        },
+        Event {
+            week: 46,
+            duration: 2,
+            label: "energy plan legislation",
+            effect: EventEffect::TrafficSurge(2.2),
+        },
+        Event {
+            week: 48,
+            duration: 3,
+            label: "stock dives",
+            effect: EventEffect::TrafficSurge(3.5),
+        },
+        Event {
+            week: 58,
+            duration: 3,
+            label: "CEO resigns, founder returns",
+            effect: EventEffect::Broadcast(18.0),
+        },
+        Event {
+            week: 62,
+            duration: 2,
+            label: "September 11",
+            effect: EventEffect::TrafficSurge(0.3),
+        },
+        Event {
+            week: 67,
+            duration: 2,
+            label: "Q3 loss reported",
+            effect: EventEffect::TrafficSurge(3.0),
+        },
+        Event {
+            week: 68,
+            duration: 4,
+            label: "SEC inquiry",
+            effect: EventEffect::CrossDepartment(0.6),
+        },
+        Event {
+            week: 72,
+            duration: 2,
+            label: "earnings restated",
+            effect: EventEffect::TrafficSurge(3.2),
+        },
+        Event {
+            week: 73,
+            duration: 2,
+            label: "merger collapses",
+            effect: EventEffect::TrafficSurge(4.5),
+        },
+        Event {
+            week: 74,
+            duration: 3,
+            label: "bankruptcy + layoffs",
+            effect: EventEffect::MassDeparture(0.35),
+        },
+        Event {
+            week: 79,
+            duration: 3,
+            label: "criminal investigation",
+            effect: EventEffect::CrossDepartment(0.7),
+        },
+        Event {
+            week: 81,
+            duration: 2,
+            label: "chairman resigns",
+            effect: EventEffect::Broadcast(12.0),
+        },
+        Event {
+            week: 82,
+            duration: 2,
+            label: "new CEO named",
+            effect: EventEffect::Broadcast(12.0),
+        },
+        Event {
+            week: 83,
+            duration: 2,
+            label: "founder quits board",
+            effect: EventEffect::TrafficSurge(2.5),
+        },
+        Event {
+            week: 92,
+            duration: 2,
+            label: "auditor pleads guilty",
+            effect: EventEffect::TrafficSurge(2.8),
+        },
+        Event {
+            week: 95,
+            duration: 2,
+            label: "reform bill passes",
+            effect: EventEffect::TrafficSurge(2.0),
+        },
     ]
 }
 
@@ -126,7 +206,10 @@ pub struct EnronCorpus {
 /// Panics on degenerate configuration (no employees / departments /
 /// weeks).
 pub fn generate(cfg: &EnronConfig, rng: &mut impl Rng) -> EnronCorpus {
-    assert!(cfg.weeks > 0 && cfg.employees > 1 && cfg.departments > 0, "enron: degenerate config");
+    assert!(
+        cfg.weeks > 0 && cfg.employees > 1 && cfg.departments > 0,
+        "enron: degenerate config"
+    );
     let mut employed: Vec<bool> = vec![true; cfg.employees];
     let dept: Vec<usize> = (0..cfg.employees).map(|e| e % cfg.departments).collect();
     // A fixed small leadership set used by Broadcast events.
@@ -286,12 +369,7 @@ mod tests {
     fn weekly_graphs_have_varying_node_sets() {
         let corpus = generate(&small_cfg(), &mut seeded_rng(51));
         assert_eq!(corpus.data.graphs.len(), 80);
-        let counts: Vec<usize> = corpus
-            .data
-            .graphs
-            .iter()
-            .map(|g| g.num_sources())
-            .collect();
+        let counts: Vec<usize> = corpus.data.graphs.iter().map(|g| g.num_sources()).collect();
         let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
         assert!(
             distinct.len() > 5,
@@ -365,7 +443,9 @@ mod tests {
             corpus.data.graphs[r.clone()]
                 .iter()
                 .map(|g| {
-                    (0..g.num_dests()).map(|d| g.dest_degree(d) as f64).sum::<f64>()
+                    (0..g.num_dests())
+                        .map(|d| g.dest_degree(d) as f64)
+                        .sum::<f64>()
                         / g.num_dests() as f64
                 })
                 .sum::<f64>()

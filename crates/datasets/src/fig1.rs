@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(data.change_points, vec![50, 100]);
         let mean_size: f64 =
             data.bags.iter().map(|b| b.len() as f64).sum::<f64>() / data.bags.len() as f64;
-        assert!((mean_size - 300.0).abs() < 15.0, "mean bag size {mean_size}");
+        assert!(
+            (mean_size - 300.0).abs() < 15.0,
+            "mean bag size {mean_size}"
+        );
     }
 
     #[test]
@@ -92,9 +95,7 @@ mod tests {
             assert!(m.abs() < 1.5, "mean at t={t} is {m}");
         }
         // Regime averages are all ~0 (no level shift for baselines).
-        let avg = |r: std::ops::Range<usize>| {
-            means[r.clone()].iter().sum::<f64>() / r.len() as f64
-        };
+        let avg = |r: std::ops::Range<usize>| means[r.clone()].iter().sum::<f64>() / r.len() as f64;
         assert!(avg(0..50).abs() < 0.3);
         assert!(avg(50..100).abs() < 0.3);
         assert!(avg(100..150).abs() < 0.3);

@@ -207,8 +207,7 @@ pub fn generate_subject(cfg: &PamapConfig, rng: &mut impl Rng) -> PamapSubject {
             for i in 0..n {
                 // Position of this record inside the bag window, for the
                 // oscillatory component of dynamic activities.
-                let t_in = (b as f64 * cfg.window_s)
-                    + cfg.window_s * (i as f64 / n as f64);
+                let t_in = (b as f64 * cfg.window_s) + cfg.window_s * (i as f64 / n as f64);
                 let phase = 2.0 * std::f64::consts::PI * t_in / regime.osc_period;
                 let osc = regime.osc_amp * phase.sin();
                 let p: Vec<f64> = (0..4)

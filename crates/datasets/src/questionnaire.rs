@@ -59,14 +59,29 @@ impl Default for QuestionnaireConfig {
             waves: 60,
             mean_respondents: 120.0,
             segments: vec![
-                Segment { means: vec![6.0, 5.5, 6.0, 5.0], sd: 0.7 },
-                Segment { means: vec![4.0, 4.0, 4.0, 4.0], sd: 0.8 },
-                Segment { means: vec![2.0, 2.5, 2.0, 3.0], sd: 0.7 },
+                Segment {
+                    means: vec![6.0, 5.5, 6.0, 5.0],
+                    sd: 0.7,
+                },
+                Segment {
+                    means: vec![4.0, 4.0, 4.0, 4.0],
+                    sd: 0.8,
+                },
+                Segment {
+                    means: vec![2.0, 2.5, 2.0, 3.0],
+                    sd: 0.7,
+                },
             ],
             initial_mix: vec![0.45, 0.45, 0.10],
             shifts: vec![
-                Shift { wave: 20, mix: vec![0.35, 0.35, 0.30] },
-                Shift { wave: 40, mix: vec![0.45, 0.10, 0.45] },
+                Shift {
+                    wave: 20,
+                    mix: vec![0.35, 0.35, 0.30],
+                },
+                Shift {
+                    wave: 40,
+                    mix: vec![0.45, 0.10, 0.45],
+                },
             ],
         }
     }
@@ -86,7 +101,10 @@ impl QuestionnaireConfig {
             return Err("segments must share a non-zero question count".into());
         }
         if self.initial_mix.len() != self.segments.len()
-            || self.shifts.iter().any(|s| s.mix.len() != self.segments.len())
+            || self
+                .shifts
+                .iter()
+                .any(|s| s.mix.len() != self.segments.len())
         {
             return Err("mixture weights must match the segment count".into());
         }

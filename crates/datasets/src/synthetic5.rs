@@ -102,7 +102,11 @@ pub fn generate(which: Synth5, rng: &mut impl Rng) -> LabeledBags {
                 Bag::new(d.sample_n(n, rng))
             }
             Synth5::MeanJump => {
-                let mu = if t < 10 { vec![3.0, 0.0] } else { vec![-3.0, 0.0] };
+                let mu = if t < 10 {
+                    vec![3.0, 0.0]
+                } else {
+                    vec![-3.0, 0.0]
+                };
                 let d = MultivariateNormal::isotropic(mu, 1.0);
                 Bag::new(d.sample_n(n, rng))
             }
@@ -143,19 +147,20 @@ mod tests {
             let data = generate(which, &mut seeded_rng(10 + which.number() as u64));
             assert_eq!(data.bags.len(), 20, "{:?}", which);
             assert!(data.bags.iter().all(|b| b.dim() == 2));
-            let mean_n: f64 =
-                data.bags.iter().map(|b| b.len() as f64).sum::<f64>() / 20.0;
-            assert!((mean_n - 50.0).abs() < 12.0, "{:?} mean size {mean_n}", which);
+            let mean_n: f64 = data.bags.iter().map(|b| b.len() as f64).sum::<f64>() / 20.0;
+            assert!(
+                (mean_n - 50.0).abs() < 12.0,
+                "{:?} mean size {mean_n}",
+                which
+            );
         }
     }
 
     #[test]
     fn dataset4_jump_is_visible_in_means() {
         let data = generate(Synth5::MeanJump, &mut seeded_rng(20));
-        let m_before: f64 =
-            data.bags[..10].iter().map(|b| b.mean()[0]).sum::<f64>() / 10.0;
-        let m_after: f64 =
-            data.bags[10..].iter().map(|b| b.mean()[0]).sum::<f64>() / 10.0;
+        let m_before: f64 = data.bags[..10].iter().map(|b| b.mean()[0]).sum::<f64>() / 10.0;
+        let m_after: f64 = data.bags[10..].iter().map(|b| b.mean()[0]).sum::<f64>() / 10.0;
         assert!(m_before > 2.5, "pre-jump mean {m_before}");
         assert!(m_after < -2.5, "post-jump mean {m_after}");
         assert_eq!(data.change_points, vec![10]);

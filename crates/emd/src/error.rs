@@ -48,6 +48,8 @@ mod tests {
         assert!(EmdError::DimensionMismatch { left: 1, right: 2 }
             .to_string()
             .contains("1 vs 2"));
-        assert!(EmdError::InvalidSignature("bad").to_string().contains("bad"));
+        assert!(EmdError::InvalidSignature("bad")
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -174,9 +174,8 @@ mod tests {
         // Weighted metric on raw coords == plain metric on scaled coords.
         let weights = [2.0, 0.5, 3.0];
         let w = WeightedEuclidean::new(weights.to_vec());
-        let scale = |p: &[f64]| -> Vec<f64> {
-            p.iter().zip(&weights).map(|(x, s)| x * s).collect()
-        };
+        let scale =
+            |p: &[f64]| -> Vec<f64> { p.iter().zip(&weights).map(|(x, s)| x * s).collect() };
         let d1 = w.distance(&A, &B);
         let d2 = Euclidean.distance(&scale(&A), &scale(&B));
         assert!((d1 - d2).abs() < 1e-12);

@@ -36,16 +36,19 @@ impl Signature {
         if points.iter().any(|p| p.len() != dim) {
             return Err(EmdError::InvalidSignature("inconsistent point dimensions"));
         }
-        if points
-            .iter()
-            .any(|p| p.iter().any(|x| !x.is_finite()))
-        {
+        if points.iter().any(|p| p.iter().any(|x| !x.is_finite())) {
             return Err(EmdError::InvalidSignature("non-finite point coordinate"));
         }
         if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-            return Err(EmdError::InvalidSignature("weights must be finite and >= 0"));
+            return Err(EmdError::InvalidSignature(
+                "weights must be finite and >= 0",
+            ));
         }
-        Ok(Signature { points, weights, dim })
+        Ok(Signature {
+            points,
+            weights,
+            dim,
+        })
     }
 
     /// Signature with a single unit-mass point.

@@ -86,14 +86,8 @@ pub fn sinkhorn_emd<G: GroundDistance>(
     let a = a.normalized()?;
     let b = b.normalized()?;
     // Drop zero-weight entries to keep the log domain clean.
-    let (pa, wa): (Vec<&[f64]>, Vec<f64>) = a
-        .iter()
-        .filter(|&(_, w)| w > 0.0)
-        .unzip();
-    let (pb, wb): (Vec<&[f64]>, Vec<f64>) = b
-        .iter()
-        .filter(|&(_, w)| w > 0.0)
-        .unzip();
+    let (pa, wa): (Vec<&[f64]>, Vec<f64>) = a.iter().filter(|&(_, w)| w > 0.0).unzip();
+    let (pb, wb): (Vec<&[f64]>, Vec<f64>) = b.iter().filter(|&(_, w)| w > 0.0).unzip();
     let (m, n) = (pa.len(), pb.len());
     if m == 0 || n == 0 {
         return Err(EmdError::ZeroMass);
@@ -194,13 +188,14 @@ mod tests {
 
     #[test]
     fn converges_to_exact_as_epsilon_shrinks() {
-        let a = sig(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![1.0, 2.0, 1.0],
-        );
+        let a = sig(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1.0, 2.0, 1.0]);
         let b = sig(vec![vec![0.5], vec![2.5]], vec![2.0, 2.0]);
-        let exact = crate::emd(&a.normalized().unwrap(), &b.normalized().unwrap(), &Euclidean)
-            .unwrap();
+        let exact = crate::emd(
+            &a.normalized().unwrap(),
+            &b.normalized().unwrap(),
+            &Euclidean,
+        )
+        .unwrap();
         let mut prev_err = f64::INFINITY;
         for eps in [0.5, 0.1, 0.02] {
             let d = sinkhorn_emd(

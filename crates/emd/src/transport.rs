@@ -71,7 +71,10 @@ pub fn solve_transportation(
         m0 * n0,
         "solve_transportation: cost matrix shape mismatch"
     );
-    if supplies.iter().chain(demands).any(|x| !x.is_finite() || *x < 0.0)
+    if supplies
+        .iter()
+        .chain(demands)
+        .any(|x| !x.is_finite() || *x < 0.0)
         || costs.iter().any(|c| !c.is_finite())
     {
         return Err(EmdError::NonFiniteInput);
@@ -164,7 +167,15 @@ pub fn solve_transportation(
             }
         }
         let Some((ei, ej)) = enter else {
-            return Ok(extract_plan(&basis, &c, n, rows.len(), cols.len(), &rows, &cols));
+            return Ok(extract_plan(
+                &basis,
+                &c,
+                n,
+                rows.len(),
+                cols.len(),
+                &rows,
+                &cols,
+            ));
         };
 
         // Unique cycle: path in the basis tree from col node ej to row
@@ -300,7 +311,13 @@ fn compute_potentials(
 /// start_col)` over-fills column `start_col`, so the basic edge leaving it
 /// must shed flow. Donor/receiver then alternate along the path, so even
 /// positions are donors.
-fn tree_path(basis: &[BasicCell], m: usize, n: usize, start_col: usize, goal_row: usize) -> Vec<usize> {
+fn tree_path(
+    basis: &[BasicCell],
+    m: usize,
+    n: usize,
+    start_col: usize,
+    goal_row: usize,
+) -> Vec<usize> {
     let num_nodes = m + n;
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
     for (idx, cell) in basis.iter().enumerate() {
@@ -429,7 +446,11 @@ mod tests {
         // Supply 10 vs demand 4: the cheap supplier should serve it all.
         let plan = solve(&[&[1.0], &[5.0]], &[4.0, 6.0], &[4.0]);
         assert!((plan.total_flow() - 4.0).abs() < 1e-12);
-        assert!((plan.total_cost() - 4.0).abs() < 1e-12, "cost {}", plan.total_cost());
+        assert!(
+            (plan.total_cost() - 4.0).abs() < 1e-12,
+            "cost {}",
+            plan.total_cost()
+        );
     }
 
     #[test]

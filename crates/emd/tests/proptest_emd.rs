@@ -11,10 +11,7 @@ use proptest::prelude::*;
 
 /// Strategy: a 1-D weighted point set with strictly positive weights.
 fn weighted_points_1d(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec(
-        ((-50.0..50.0f64), (0.01..10.0f64)),
-        1..=max_len,
-    )
+    prop::collection::vec(((-50.0..50.0f64), (0.01..10.0f64)), 1..=max_len)
 }
 
 /// Strategy: a small 2-D signature.

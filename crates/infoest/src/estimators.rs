@@ -79,7 +79,11 @@ pub fn information_content(dists: &[f64], weights: &[f64], cfg: &EstimatorConfig
 /// or weights are invalid. A single-element set has no leave-one-out
 /// structure; its auto-entropy is defined as `c` (the log term vanishes).
 pub fn auto_entropy(dist: &DistanceMatrix, weights: &[f64], cfg: &EstimatorConfig) -> f64 {
-    assert_eq!(dist.rows(), dist.cols(), "auto_entropy: matrix must be square");
+    assert_eq!(
+        dist.rows(),
+        dist.cols(),
+        "auto_entropy: matrix must be square"
+    );
     assert_eq!(
         dist.rows(),
         weights.len(),
@@ -168,7 +172,11 @@ mod tests {
     #[test]
     fn information_content_equal_weights() {
         // I = mean of log distances when weights are equal.
-        let dists = [1.0, std::f64::consts::E, std::f64::consts::E * std::f64::consts::E];
+        let dists = [
+            1.0,
+            std::f64::consts::E,
+            std::f64::consts::E * std::f64::consts::E,
+        ];
         let i = information_content(&dists, &[1.0, 1.0, 1.0], &cfg());
         assert!((i - 1.0).abs() < 1e-12, "{i}"); // (0 + 1 + 2)/3
     }

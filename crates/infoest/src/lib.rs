@@ -22,7 +22,5 @@
 pub mod estimators;
 pub mod matrix;
 
-pub use estimators::{
-    auto_entropy, cross_entropy, information_content, EstimatorConfig,
-};
+pub use estimators::{auto_entropy, cross_entropy, information_content, EstimatorConfig};
 pub use matrix::DistanceMatrix;

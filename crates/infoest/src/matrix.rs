@@ -43,7 +43,10 @@ impl DistanceMatrix {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = f(i, j);
-                assert!(d.is_finite() && d >= 0.0, "DistanceMatrix: invalid distance");
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "DistanceMatrix: invalid distance"
+                );
                 data[i * n + j] = d;
                 data[j * n + i] = d;
             }
@@ -80,11 +83,20 @@ impl DistanceMatrix {
 
     /// View of a rectangular sub-block (for windowed estimators over one
     /// global matrix).
-    pub fn block(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> DistanceMatrix {
-        assert!(rows.end <= self.rows && cols.end <= self.cols, "block out of range");
+    pub fn block(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> DistanceMatrix {
+        assert!(
+            rows.end <= self.rows && cols.end <= self.cols,
+            "block out of range"
+        );
         let mut data = Vec::with_capacity(rows.len() * cols.len());
         for i in rows.clone() {
-            data.extend_from_slice(&self.data[i * self.cols + cols.start..i * self.cols + cols.end]);
+            data.extend_from_slice(
+                &self.data[i * self.cols + cols.start..i * self.cols + cols.end],
+            );
         }
         DistanceMatrix {
             rows: rows.len(),

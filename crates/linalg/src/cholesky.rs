@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn rejects_rectangular() {
-        assert_eq!(cholesky(&Matrix::zeros(2, 3)), Err(CholeskyError::NotSquare));
+        assert_eq!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(CholeskyError::NotSquare)
+        );
     }
 
     #[test]

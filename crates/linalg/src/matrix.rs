@@ -65,7 +65,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix by evaluating `f(i, j)` at every position.
@@ -178,7 +182,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add: shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -193,7 +201,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub: shape mismatch"
+        );
         let data = self
             .data
             .iter()

@@ -159,9 +159,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert_eq!(classical_mds(&Matrix::zeros(2, 3), 2), Err(MdsError::NotSquare));
-        assert_eq!(classical_mds(&Matrix::zeros(3, 3), 0), Err(MdsError::BadDimension));
-        assert_eq!(classical_mds(&Matrix::zeros(3, 3), 4), Err(MdsError::BadDimension));
+        assert_eq!(
+            classical_mds(&Matrix::zeros(2, 3), 2),
+            Err(MdsError::NotSquare)
+        );
+        assert_eq!(
+            classical_mds(&Matrix::zeros(3, 3), 0),
+            Err(MdsError::BadDimension)
+        );
+        assert_eq!(
+            classical_mds(&Matrix::zeros(3, 3), 4),
+            Err(MdsError::BadDimension)
+        );
         let neg = Matrix::from_rows(&[vec![0.0, -1.0], vec![-1.0, 0.0]]);
         assert_eq!(classical_mds(&neg, 1), Err(MdsError::InvalidDistance));
     }

@@ -5,15 +5,12 @@ use proptest::prelude::*;
 
 /// Strategy: a random matrix with entries in [-3, 3].
 fn random_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-3.0..3.0f64, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(-3.0..3.0f64, n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Strategy: a random SPD matrix `B^T B + I`.
 fn random_spd(n: usize) -> impl Strategy<Value = Matrix> {
-    random_matrix(n).prop_map(move |b| {
-        b.transpose().matmul(&b).add(&Matrix::identity(n))
-    })
+    random_matrix(n).prop_map(move |b| b.transpose().matmul(&b).add(&Matrix::identity(n)))
 }
 
 /// Strategy: random planar points.

@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn bin_edges_are_left_inclusive() {
         let q = histogram_1d(&[1.0, 0.999999], 0.0, 1.0);
-        assert_eq!(q.centers.len(), 2, "1.0 belongs to [1,2), 0.999999 to [0,1)");
+        assert_eq!(
+            q.centers.len(),
+            2,
+            "1.0 belongs to [1,2), 0.999999 to [0,1)"
+        );
     }
 
     #[test]

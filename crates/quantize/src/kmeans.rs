@@ -109,10 +109,7 @@ pub fn kmeans(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut impl Rng) -> Qu
 fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centers[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
 
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
@@ -184,7 +181,10 @@ mod tests {
         assert!((cs[0][0] + 4.75).abs() < 0.5, "center {:?}", cs[0]);
         assert!((cs[1][0] - 4.75).abs() < 0.5, "center {:?}", cs[1]);
         // Both clusters get half the mass.
-        assert_eq!(q.counts.iter().copied().max(), q.counts.iter().copied().min());
+        assert_eq!(
+            q.counts.iter().copied().max(),
+            q.counts.iter().copied().min()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct KMedoidsConfig {
 
 impl Default for KMedoidsConfig {
     fn default() -> Self {
-        KMedoidsConfig { k: 8, max_iters: 50 }
+        KMedoidsConfig {
+            k: 8,
+            max_iters: 50,
+        }
     }
 }
 
@@ -171,7 +174,11 @@ mod tests {
         let mut pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1]).collect();
         pts.push(vec![1000.0]);
         let q = kmedoids(&pts, &KMedoidsConfig::with_k(1), &mut rng(3));
-        assert!(q.centers[0][0] < 2.0, "medoid dragged to {}", q.centers[0][0]);
+        assert!(
+            q.centers[0][0] < 2.0,
+            "medoid dragged to {}",
+            q.centers[0][0]
+        );
     }
 
     #[test]

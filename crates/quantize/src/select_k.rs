@@ -71,7 +71,11 @@ fn elbow_index(w: &[f64]) -> usize {
     if w.len() <= 2 {
         // With at most two candidates take the larger K only if it
         // reduces WCSS meaningfully (>20%).
-        return if w.len() == 2 && w[1] < 0.8 * w[0] { 1 } else { 0 };
+        return if w.len() == 2 && w[1] < 0.8 * w[0] {
+            1
+        } else {
+            0
+        };
     }
     let mut best = 1;
     let mut best_curv = f64::NEG_INFINITY;

@@ -37,10 +37,17 @@ fn check_invariants(points: &[Vec<f64>], q: &Quantization) -> Result<(), TestCas
 /// Centers lie inside the bag's bounding box (true for k-means centroids
 /// and k-medoids members; histograms use bin centers which may exceed
 /// the box by half a bin).
-fn check_bounding_box(points: &[Vec<f64>], q: &Quantization, slack: f64) -> Result<(), TestCaseError> {
+fn check_bounding_box(
+    points: &[Vec<f64>],
+    q: &Quantization,
+    slack: f64,
+) -> Result<(), TestCaseError> {
     for d in 0..2 {
         let min = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
-        let max = points.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+        let max = points
+            .iter()
+            .map(|p| p[d])
+            .fold(f64::NEG_INFINITY, f64::max);
         for c in &q.centers {
             prop_assert!(
                 c[d] >= min - slack && c[d] <= max + slack,

@@ -25,7 +25,10 @@ impl Categorical {
         let mut cum = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "Categorical: weights must be >= 0");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "Categorical: weights must be >= 0"
+            );
             acc += w;
             cum.push(acc);
         }
@@ -48,7 +51,9 @@ impl Categorical {
         let total = *self.cum.last().expect("non-empty by construction");
         let u: f64 = rng.gen_range(0.0..total);
         // partition_point returns the first index with cum[i] > u.
-        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
     }
 
     /// Draw `n` category counts (a multinomial sample) as a count vector.

@@ -91,7 +91,11 @@ mod tests {
         let xs = draw(3.0, 2.0, 100_000, 11);
         // mean = alpha*theta = 6, var = alpha*theta^2 = 12
         assert!((mean(&xs) - 6.0).abs() < 0.1, "mean {}", mean(&xs));
-        assert!((sample_var(&xs) - 12.0).abs() < 0.6, "var {}", sample_var(&xs));
+        assert!(
+            (sample_var(&xs) - 12.0).abs() < 0.6,
+            "var {}",
+            sample_var(&xs)
+        );
     }
 
     #[test]

@@ -157,8 +157,16 @@ mod tests {
     fn weights_respected() {
         let mut rng = seeded_rng(63);
         let m = GaussianMixture1d::new(&[
-            MixtureComponent { weight: 9.0, mean: 0.0, sd: 0.1 },
-            MixtureComponent { weight: 1.0, mean: 100.0, sd: 0.1 },
+            MixtureComponent {
+                weight: 9.0,
+                mean: 0.0,
+                sd: 0.1,
+            },
+            MixtureComponent {
+                weight: 1.0,
+                mean: 100.0,
+                sd: 0.1,
+            },
         ]);
         let xs = m.sample_n(50_000, &mut rng);
         let high = xs.iter().filter(|&&x| x > 50.0).count() as f64 / xs.len() as f64;

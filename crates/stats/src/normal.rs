@@ -31,7 +31,10 @@ impl Normal {
     /// # Panics
     /// Panics if `sd` is negative or not finite.
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(sd.is_finite() && sd >= 0.0, "Normal: sd must be finite and >= 0");
+        assert!(
+            sd.is_finite() && sd >= 0.0,
+            "Normal: sd must be finite and >= 0"
+        );
         assert!(mean.is_finite(), "Normal: mean must be finite");
         Normal { mean, sd }
     }

@@ -1,0 +1,248 @@
+//! Ring-buffered signature window with cached pairwise EMDs.
+//!
+//! The batch detector computes a banded distance matrix over the whole
+//! sequence up front. Online, the same band is maintained incrementally:
+//! each arriving signature costs `w - 1` EMD solves (one against every
+//! retained signature), and every inspection point it participates in
+//! reuses those cached distances instead of re-solving — the
+//! "compute once, reuse across inspection points" contract of the
+//! streaming engine.
+
+use bagcpd::score::EmdSolver;
+use bagcpd::GroundMetric;
+use emd::{EmdError, Signature};
+use infoest::DistanceMatrix;
+use std::collections::VecDeque;
+
+/// Sliding window of the last `capacity` signatures plus all pairwise
+/// distances among them.
+///
+/// Distances are stored as forward rows: `rows[k][j]` is the distance
+/// between retained signature `k` and retained signature `k + 1 + j`.
+/// Evicting the oldest signature is then just popping the front row.
+#[derive(Debug, Clone)]
+pub struct SignatureWindow {
+    capacity: usize,
+    sigs: VecDeque<Signature>,
+    rows: VecDeque<Vec<f64>>,
+}
+
+impl SignatureWindow {
+    /// A window retaining `capacity >= 2` signatures.
+    ///
+    /// # Panics
+    /// Panics if `capacity < 2` (no pair to ever score).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "SignatureWindow: capacity must be >= 2");
+        SignatureWindow {
+            capacity,
+            sigs: VecDeque::with_capacity(capacity),
+            rows: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of retained signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Whether the window holds `capacity` signatures.
+    pub fn is_full(&self) -> bool {
+        self.sigs.len() == self.capacity
+    }
+
+    /// The retention capacity `w`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained signatures, oldest first.
+    pub fn signatures(&self) -> impl Iterator<Item = &Signature> {
+        self.sigs.iter()
+    }
+
+    /// Push the next signature, evicting the oldest if full, and compute
+    /// its distance to every retained signature (exactly once each).
+    ///
+    /// # Errors
+    /// Propagates EMD solver failures; the window is left unchanged in
+    /// that case.
+    pub fn push(
+        &mut self,
+        sig: Signature,
+        solver: &EmdSolver,
+        metric: &GroundMetric,
+    ) -> Result<(), EmdError> {
+        // Compute against the signatures that will remain after an
+        // eviction, before mutating anything (error safety).
+        let evict = self.sigs.len() == self.capacity;
+        let keep_from = usize::from(evict);
+        let mut new_col = Vec::with_capacity(self.sigs.len() - keep_from + 1);
+        for old in self.sigs.iter().skip(keep_from) {
+            new_col.push(solver.distance(old, &sig, metric)?);
+        }
+        if evict {
+            self.sigs.pop_front();
+            self.rows.pop_front();
+        }
+        for (row, d) in self.rows.iter_mut().zip(new_col) {
+            row.push(d);
+        }
+        self.sigs.push_back(sig);
+        self.rows.push_back(Vec::with_capacity(self.capacity - 1));
+        Ok(())
+    }
+
+    /// Distance between retained signatures `i` and `j` (window-local
+    /// indices, oldest = 0).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.rows[lo][hi - lo - 1]
+    }
+
+    /// Materialize the full `len x len` distance matrix (oldest first) —
+    /// the input `WindowScorer::from_distances` expects.
+    pub fn matrix(&self) -> DistanceMatrix {
+        let n = self.sigs.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for (j, &d) in self.rows[i].iter().enumerate() {
+                let col = i + 1 + j;
+                data[i * n + col] = d;
+                data[col * n + i] = d;
+            }
+        }
+        DistanceMatrix::from_vec(n, n, data)
+    }
+
+    /// Borrowed view of the parts for snapshotting without consuming.
+    pub fn parts(&self) -> (Vec<Signature>, Vec<Vec<f64>>) {
+        (
+            self.sigs.iter().cloned().collect(),
+            self.rows.iter().cloned().collect(),
+        )
+    }
+
+    /// Rebuild from snapshot parts, validating shape consistency.
+    ///
+    /// # Errors
+    /// A description of the inconsistency.
+    pub fn from_parts(
+        capacity: usize,
+        sigs: Vec<Signature>,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<Self, String> {
+        if capacity < 2 {
+            return Err("window capacity must be >= 2".into());
+        }
+        if sigs.len() > capacity {
+            return Err(format!(
+                "{} retained signatures exceed capacity {capacity}",
+                sigs.len()
+            ));
+        }
+        if rows.len() != sigs.len() {
+            return Err(format!(
+                "{} distance rows for {} signatures",
+                rows.len(),
+                sigs.len()
+            ));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != sigs.len() - i - 1 {
+                return Err(format!(
+                    "distance row {i} has {} entries, expected {}",
+                    row.len(),
+                    sigs.len() - i - 1
+                ));
+            }
+            if row.iter().any(|d| !d.is_finite() || *d < 0.0) {
+                return Err(format!(
+                    "distance row {i} has a non-finite or negative entry"
+                ));
+            }
+        }
+        Ok(SignatureWindow {
+            capacity,
+            sigs: sigs.into(),
+            rows: rows.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcpd::score::EmdSolver;
+
+    fn sig(x: f64) -> Signature {
+        Signature::new(vec![vec![x]], vec![1.0]).unwrap()
+    }
+
+    fn window_with(values: &[f64], capacity: usize) -> SignatureWindow {
+        let mut w = SignatureWindow::new(capacity);
+        for &v in values {
+            w.push(sig(v), &EmdSolver::Exact, &GroundMetric::Euclidean)
+                .unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn distances_match_direct_emd() {
+        let w = window_with(&[0.0, 1.0, 3.0, 7.0], 4);
+        assert_eq!(w.len(), 4);
+        assert!((w.distance(0, 1) - 1.0).abs() < 1e-12);
+        assert!((w.distance(0, 3) - 7.0).abs() < 1e-12);
+        assert!((w.distance(2, 1) - 2.0).abs() < 1e-12, "symmetric access");
+        assert_eq!(w.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn eviction_keeps_band_consistent() {
+        let w = window_with(&[0.0, 1.0, 3.0, 7.0, 15.0], 4);
+        // Window now holds 1, 3, 7, 15.
+        assert!(w.is_full());
+        assert!((w.distance(0, 3) - 14.0).abs() < 1e-12);
+        let m = w.matrix();
+        assert_eq!(m.rows(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((m.get(i, j) - w.distance(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let w = window_with(&[2.0, 4.0, 8.0], 5);
+        let (sigs, rows) = w.parts();
+        let back = SignatureWindow::from_parts(5, sigs, rows).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!((back.distance(0, 2) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_rejects_ragged_rows() {
+        let (sigs, mut rows) = window_with(&[2.0, 4.0, 8.0], 5).parts();
+        rows[0].pop();
+        assert!(SignatureWindow::from_parts(5, sigs, rows).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 2")]
+    fn tiny_capacity_panics() {
+        SignatureWindow::new(1);
+    }
+}

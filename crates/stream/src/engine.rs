@@ -1,0 +1,635 @@
+//! Sharded multi-stream engine with bounded queues and checkpointing.
+
+use crate::event::StreamEvent;
+use crate::snapshot::{decode_engine, encode_engine, SnapshotError};
+use crate::worker::{self, Msg};
+use bagcpd::{Bag, DetectError, Detector, DetectorConfig};
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Detection parameters shared by every stream of this engine.
+    pub detector: DetectorConfig,
+    /// Master seed; each stream's seed is derived from it and the
+    /// stream's name, independent of sharding.
+    pub seed: u64,
+    /// Worker threads (streams are hash-sharded across them).
+    pub workers: usize,
+    /// Bound of each worker's input queue. A full queue makes `push`
+    /// block — backpressure instead of unbounded buffering.
+    pub queue_capacity: usize,
+    /// Maximum messages a worker drains per evaluation tick.
+    pub batch_size: usize,
+    /// Bound of the shared event queue; producers block when the
+    /// consumer falls this far behind.
+    pub event_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            detector: DetectorConfig::default(),
+            seed: 0,
+            workers: 4,
+            queue_capacity: 1024,
+            batch_size: 256,
+            event_capacity: 65536,
+        }
+    }
+}
+
+/// Engine failure modes.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Configuration rejected.
+    BadConfig(String),
+    /// The worker pool is gone (a worker exited or the engine shut down).
+    Closed,
+    /// Snapshot encode/decode/validation failure.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadConfig(why) => write!(f, "bad engine config: {why}"),
+            EngineError::Closed => write!(f, "engine is closed"),
+            EngineError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
+    }
+}
+
+/// A pool of worker threads running thousands of independent
+/// [`crate::OnlineDetector`]s behind bounded channels.
+///
+/// - **Sharding** — a stream name is FNV-hashed to one worker, so each
+///   stream's bags are processed in order by a single thread, and a
+///   stream's results are independent of the pool size.
+/// - **Backpressure** — input and event queues are bounded, so the
+///   *in-flight pipeline* (queued bags plus undelivered events) is
+///   bounded; [`Self::push`] waits when the target worker is saturated
+///   rather than queueing without limit, and [`Self::try_push`] hands
+///   the bag back instead of waiting.
+/// - **Checkpointing** — [`Self::snapshot`] serializes every stream's
+///   state into one buffer; [`Self::restore`] resumes an identical
+///   engine from it (subsequent outputs are bit-identical to never
+///   having stopped).
+///
+/// Consume results with [`Self::drain_events`] / [`Self::next_event`].
+/// Completed results are never dropped: while a push waits, ready
+/// events are moved into an engine-side stash that `drain_events`
+/// returns first. That stash is the *consumer's* buffer — it grows
+/// with every result the caller has not yet drained (exactly as if the
+/// caller had collected them), so a producer that never drains trades
+/// memory for its own results, not for input buffering. Drain
+/// regularly, as the scale tests do.
+#[derive(Debug)]
+pub struct StreamEngine {
+    detector: Detector,
+    master_seed: u64,
+    senders: Vec<SyncSender<Msg>>,
+    events: Receiver<StreamEvent>,
+    stash: VecDeque<StreamEvent>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl StreamEngine {
+    /// Spawn the worker pool.
+    ///
+    /// # Errors
+    /// [`EngineError::BadConfig`] for invalid detector or pool
+    /// parameters.
+    pub fn new(cfg: EngineConfig) -> Result<Self, EngineError> {
+        if cfg.workers == 0 {
+            return Err(EngineError::BadConfig("workers must be >= 1".into()));
+        }
+        if cfg.queue_capacity == 0 || cfg.event_capacity == 0 {
+            return Err(EngineError::BadConfig(
+                "queue capacities must be >= 1".into(),
+            ));
+        }
+        if cfg.batch_size == 0 {
+            return Err(EngineError::BadConfig("batch size must be >= 1".into()));
+        }
+        let detector = Detector::new(cfg.detector.clone())
+            .map_err(|e: DetectError| EngineError::BadConfig(e.to_string()))?;
+
+        let (event_tx, event_rx) = mpsc::sync_channel(cfg.event_capacity);
+        let mut senders = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
+            let det = detector.clone();
+            let ev = event_tx.clone();
+            let seed = cfg.seed;
+            let batch = cfg.batch_size;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("stream-worker-{i}"))
+                    .spawn(move || worker::run(det, seed, rx, ev, batch))
+                    .expect("spawn worker thread"),
+            );
+            senders.push(tx);
+        }
+        Ok(StreamEngine {
+            detector,
+            master_seed: cfg.seed,
+            senders,
+            events: event_rx,
+            stash: VecDeque::new(),
+            handles,
+        })
+    }
+
+    /// Restore an engine from a [`Self::snapshot`] buffer. The supplied
+    /// configuration's detector parameters must match the snapshot's
+    /// (pool-shape parameters — workers, capacities — may differ); the
+    /// master seed is taken from the snapshot.
+    ///
+    /// # Errors
+    /// Snapshot validation failures, or pool spawn failures.
+    pub fn restore(bytes: &[u8], cfg: EngineConfig) -> Result<Self, EngineError> {
+        let (master_seed, streams) = decode_engine(bytes, &cfg.detector)?;
+        let mut engine = StreamEngine::new(EngineConfig {
+            seed: master_seed,
+            ..cfg
+        })?;
+        // Route each stream's state to its shard.
+        let n = engine.senders.len();
+        let mut per_shard: Vec<Vec<_>> = (0..n).map(|_| Vec::new()).collect();
+        for (name, state) in streams {
+            per_shard[engine.shard_of(&name)].push((name, state));
+        }
+        let (tx, rx) = mpsc::channel();
+        for (shard, streams) in per_shard.into_iter().enumerate() {
+            engine.send_control(
+                shard,
+                Msg::Install {
+                    streams,
+                    reply: tx.clone(),
+                },
+            )?;
+        }
+        drop(tx);
+        for _ in 0..n {
+            match engine.wait_reply(&rx) {
+                Ok(Ok(())) => {}
+                Ok(Err(why)) => return Err(EngineError::Snapshot(SnapshotError::Corrupt(why))),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The engine's master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Feed one bag to the named stream (created on first push),
+    /// waiting while the stream's worker queue is full. While waiting,
+    /// ready events are moved into the internal stash (returned by
+    /// [`Self::drain_events`]) — so a single-threaded producer that
+    /// pushes a long burst before draining cannot deadlock against a
+    /// worker parked on the full event queue.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    pub fn push(&mut self, stream: &str, bag: Bag) -> Result<(), EngineError> {
+        let shard = self.shard_of(stream);
+        self.send_control(
+            shard,
+            Msg::Push {
+                stream: Arc::from(stream),
+                bag,
+            },
+        )
+    }
+
+    /// Non-blocking push: returns the bag back when the worker queue is
+    /// full, so the caller can apply its own backpressure policy.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    pub fn try_push(&self, stream: &str, bag: Bag) -> Result<Option<Bag>, EngineError> {
+        let shard = self.shard_of(stream);
+        match self.senders[shard].try_send(Msg::Push {
+            stream: Arc::from(stream),
+            bag,
+        }) {
+            Ok(()) => Ok(None),
+            Err(TrySendError::Full(Msg::Push { bag, .. })) => Ok(Some(bag)),
+            Err(TrySendError::Full(_)) => unreachable!("we only sent a push"),
+            Err(TrySendError::Disconnected(_)) => Err(EngineError::Closed),
+        }
+    }
+
+    /// All events produced so far, without blocking.
+    pub fn drain_events(&mut self) -> Vec<StreamEvent> {
+        let mut out: Vec<StreamEvent> = self.stash.drain(..).collect();
+        while let Ok(e) = self.events.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Next event, waiting up to `timeout`.
+    pub fn next_event(&mut self, timeout: Duration) -> Option<StreamEvent> {
+        if let Some(e) = self.stash.pop_front() {
+            return Some(e);
+        }
+        match self.events.recv_timeout(timeout) {
+            Ok(e) => Some(e),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Retire a stream: evaluate everything already queued for it, then
+    /// drop its state (its memory and snapshot footprint). Returns
+    /// whether the stream existed. Pushing the same name later starts a
+    /// fresh stream from scratch.
+    ///
+    /// Long-lived engines serving short-lived stream names (per-session
+    /// streams etc.) must retire them; the engine has no TTL of its own.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    pub fn retire(&mut self, stream: &str) -> Result<bool, EngineError> {
+        let shard = self.shard_of(stream);
+        let (tx, rx) = mpsc::channel();
+        self.send_control(
+            shard,
+            Msg::Retire {
+                stream: Arc::from(stream),
+                reply: tx,
+            },
+        )?;
+        self.wait_reply(&rx)
+    }
+
+    /// Barrier: block until every bag pushed so far has been evaluated.
+    /// Returns the current number of live streams. Events produced in
+    /// the meantime are retained for [`Self::drain_events`].
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    pub fn flush(&mut self) -> Result<usize, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        for shard in 0..self.senders.len() {
+            self.send_control(shard, Msg::Flush { reply: tx.clone() })?;
+        }
+        drop(tx);
+        let mut total = 0;
+        for _ in 0..self.senders.len() {
+            total += self.wait_reply(&rx)?;
+        }
+        Ok(total)
+    }
+
+    /// Checkpoint every stream's state into one binary buffer. Acts as a
+    /// barrier like [`Self::flush`].
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        for shard in 0..self.senders.len() {
+            self.send_control(shard, Msg::Snapshot { reply: tx.clone() })?;
+        }
+        drop(tx);
+        let mut streams = Vec::new();
+        for _ in 0..self.senders.len() {
+            streams.extend(self.wait_reply(&rx)?);
+        }
+        Ok(encode_engine(
+            self.detector.config(),
+            self.master_seed,
+            streams,
+        ))
+    }
+
+    /// Stop the workers and return every remaining event (stashed plus
+    /// anything still queued).
+    pub fn shutdown(mut self) -> Vec<StreamEvent> {
+        self.senders.clear(); // workers exit when their queues close
+        let mut out: Vec<StreamEvent> = self.stash.drain(..).collect();
+        // Drain until every worker has dropped its event sender: a worker
+        // parked on a full event queue needs these recvs to finish, so
+        // draining must precede joining (the reverse order deadlocks).
+        while let Ok(e) = self.events.recv() {
+            out.push(e);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        out
+    }
+
+    /// Enqueue a message without ever parking this thread on the input
+    /// queue: a worker can itself be parked on a full event queue with
+    /// its input queue also full, so a blocking `send` from the only
+    /// thread that drains events would deadlock — instead retry
+    /// `try_send` while draining events into the stash (which is what
+    /// eventually unparks the worker). Used by both the control plane
+    /// and the blocking [`Self::push`].
+    fn send_control(&mut self, shard: usize, msg: Msg) -> Result<(), EngineError> {
+        let senders = &self.senders;
+        let mut msg = Some(msg);
+        drain_loop(&self.events, &mut self.stash, || {
+            match senders[shard].try_send(msg.take().expect("msg present on each attempt")) {
+                Ok(()) => Attempt::Done(()),
+                Err(TrySendError::Disconnected(_)) => Attempt::Closed,
+                Err(TrySendError::Full(back)) => {
+                    msg = Some(back);
+                    Attempt::Retry
+                }
+            }
+        })
+    }
+
+    /// Await one reply while keeping the event pipe drained (a worker
+    /// blocked on a full event queue could otherwise never reach the
+    /// control message — a deadlock). A worker that dies before
+    /// replying drops its reply sender, which surfaces here as
+    /// [`EngineError::Closed`]; a merely slow worker is waited for.
+    fn wait_reply<T>(&mut self, rx: &Receiver<T>) -> Result<T, EngineError> {
+        drain_loop(&self.events, &mut self.stash, || match rx.try_recv() {
+            Ok(v) => Attempt::Done(v),
+            Err(mpsc::TryRecvError::Disconnected) => Attempt::Closed,
+            Err(mpsc::TryRecvError::Empty) => Attempt::Retry,
+        })
+    }
+
+    fn shard_of(&self, stream: &str) -> usize {
+        (worker::name_hash(stream) % self.senders.len() as u64) as usize
+    }
+}
+
+/// One step of a [`drain_loop`] attempt.
+enum Attempt<T> {
+    /// The operation went through.
+    Done(T),
+    /// Not ready yet; drain events and try again.
+    Retry,
+    /// The other side is gone.
+    Closed,
+}
+
+/// The engine's non-blocking wait primitive, shared by the control
+/// plane and the blocking push path: retry `attempt` while moving ready
+/// events into the stash (a worker parked on the full event queue needs
+/// those recvs to make progress), backing off 50 µs -> 5 ms while idle.
+fn drain_loop<T>(
+    events: &Receiver<StreamEvent>,
+    stash: &mut VecDeque<StreamEvent>,
+    mut attempt: impl FnMut() -> Attempt<T>,
+) -> Result<T, EngineError> {
+    let mut next_sleep = Duration::from_micros(50);
+    loop {
+        match attempt() {
+            Attempt::Done(v) => return Ok(v),
+            Attempt::Closed => return Err(EngineError::Closed),
+            Attempt::Retry => {}
+        }
+        let mut idle = true;
+        while let Ok(e) = events.try_recv() {
+            stash.push_back(e);
+            idle = false;
+        }
+        if idle {
+            std::thread::sleep(next_sleep);
+            next_sleep = (next_sleep * 2).min(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for StreamEngine {
+    fn drop(&mut self) {
+        self.senders.clear();
+        // As in shutdown(): unblock workers parked on the event queue
+        // before joining them.
+        while self.events.recv().is_ok() {}
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcpd::{BootstrapConfig, SignatureMethod};
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig {
+            detector: DetectorConfig {
+                tau: 3,
+                tau_prime: 2,
+                signature: SignatureMethod::Histogram { width: 0.5 },
+                bootstrap: BootstrapConfig {
+                    replicates: 32,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            seed: 42,
+            workers: 2,
+            queue_capacity: 64,
+            batch_size: 16,
+            event_capacity: 1024,
+        }
+    }
+
+    fn bag(level: f64) -> Bag {
+        Bag::from_scalars((0..20).map(|i| level + (i % 5) as f64 * 0.1))
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(StreamEngine::new(EngineConfig {
+            workers: 0,
+            ..small_cfg()
+        })
+        .is_err());
+        let mut cfg = small_cfg();
+        cfg.detector.tau = 0;
+        assert!(StreamEngine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn events_flow_and_flush_counts_streams() {
+        let mut engine = StreamEngine::new(small_cfg()).unwrap();
+        for t in 0..8 {
+            let level = if t < 4 { 0.0 } else { 6.0 };
+            engine.push("a", bag(level)).unwrap();
+            engine.push("b", bag(0.0)).unwrap();
+        }
+        assert_eq!(engine.flush().unwrap(), 2);
+        let events = engine.shutdown();
+        // 8 bags, window 5 -> 4 points per stream.
+        let a: Vec<_> = events.iter().filter(|e| e.stream() == "a").collect();
+        let b: Vec<_> = events.iter().filter(|e| e.stream() == "b").collect();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert!(a.iter().all(|e| e.point().is_some()));
+    }
+
+    #[test]
+    fn matches_standalone_online_detector() {
+        let cfg = small_cfg();
+        let detector = Detector::new(cfg.detector.clone()).unwrap();
+        let mut reference =
+            crate::OnlineDetector::new(detector, worker::stream_seed(cfg.seed, "ref-stream"));
+        let mut expected = Vec::new();
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        for t in 0..10 {
+            let level = if t < 5 { 0.0 } else { 4.0 };
+            expected.extend(reference.push(bag(level)).unwrap());
+            engine.push("ref-stream", bag(level)).unwrap();
+        }
+        engine.flush().unwrap();
+        let got: Vec<_> = engine
+            .shutdown()
+            .into_iter()
+            .filter_map(|e| e.point().cloned())
+            .collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn bad_bags_emit_error_events_and_stream_survives() {
+        let mut engine = StreamEngine::new(small_cfg()).unwrap();
+        engine.push("s", bag(0.0)).unwrap();
+        // Wrong dimension: dropped with an error event.
+        engine.push("s", Bag::new(vec![vec![1.0, 2.0]; 4])).unwrap();
+        for _ in 0..6 {
+            engine.push("s", bag(0.0)).unwrap();
+        }
+        engine.flush().unwrap();
+        let events = engine.shutdown();
+        let errors = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Error { .. }))
+            .count();
+        let points = events.iter().filter(|e| e.point().is_some()).count();
+        assert_eq!(errors, 1);
+        assert_eq!(points, 3, "7 good bags, window 5 -> 3 points");
+    }
+
+    #[test]
+    fn flush_with_saturated_queues_does_not_deadlock() {
+        // Regression: with the worker parked on a full event queue and
+        // its input queue full, flush()'s control message must be
+        // delivered via try_send + event draining; a blocking send
+        // would deadlock before wait_reply ever ran.
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.event_capacity = 1;
+        cfg.queue_capacity = 2;
+        cfg.batch_size = 1;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let mut accepted = 0usize;
+        let mut consecutive_bounces = 0usize;
+        while consecutive_bounces < 50 && accepted < 40 {
+            match engine.try_push("s", bag(0.0)).unwrap() {
+                None => {
+                    accepted += 1;
+                    consecutive_bounces = 0;
+                }
+                Some(_) => {
+                    consecutive_bounces += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        assert!(accepted >= 7, "queues should saturate warm ({accepted})");
+        assert_eq!(engine.flush().unwrap(), 1);
+        let points = engine
+            .drain_events()
+            .iter()
+            .filter(|e| e.point().is_some())
+            .count();
+        // Window 5: n accepted bags yield n - 4 points.
+        assert_eq!(points, accepted - 4);
+    }
+
+    #[test]
+    fn shutdown_with_full_event_queue_does_not_deadlock() {
+        // Regression: a worker parked in events.send() on a full event
+        // queue must be unblocked by shutdown's drain loop; joining
+        // first hangs forever.
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.event_capacity = 1;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        for _ in 0..12 {
+            engine.push("s", bag(0.0)).unwrap();
+        }
+        // 12 bags, window 5 -> 8 points, far more than the queue holds;
+        // never drained until shutdown itself.
+        let events = engine.shutdown();
+        assert_eq!(events.len(), 8);
+    }
+
+    #[test]
+    fn retire_frees_stream_state() {
+        let mut engine = StreamEngine::new(small_cfg()).unwrap();
+        for _ in 0..6 {
+            engine.push("keep", bag(0.0)).unwrap();
+            engine.push("drop", bag(0.0)).unwrap();
+        }
+        assert_eq!(engine.flush().unwrap(), 2);
+        assert!(engine.retire("drop").unwrap());
+        assert!(!engine.retire("drop").unwrap(), "already gone");
+        assert!(!engine.retire("never-existed").unwrap());
+        assert_eq!(engine.flush().unwrap(), 1);
+        // The snapshot no longer carries the retired stream.
+        let snap = engine.snapshot().unwrap();
+        let (_, states) = crate::snapshot::decode_engine(&snap, &small_cfg().detector).unwrap();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].0, "keep");
+        // Re-pushing the retired name starts a brand-new stream.
+        engine.push("drop", bag(0.0)).unwrap();
+        assert_eq!(engine.flush().unwrap(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_push_returns_bag_on_backpressure() {
+        // One worker, tiny queue, and nothing draining: the queue must
+        // fill and hand the bag back instead of buffering without bound.
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        cfg.batch_size = 1;
+        cfg.detector.bootstrap.replicates = 2000; // make evaluation slow
+        let engine = StreamEngine::new(cfg).unwrap();
+        let mut bounced = false;
+        for _ in 0..2000 {
+            if engine.try_push("s", bag(0.0)).unwrap().is_some() {
+                bounced = true;
+                break;
+            }
+        }
+        assert!(bounced, "a bounded queue must eventually refuse");
+        drop(engine);
+    }
+}

@@ -1,0 +1,51 @@
+//! Events emitted by the engine's worker pool.
+
+use bagcpd::ScorePoint;
+use std::sync::Arc;
+
+/// One output of the engine, tagged with the stream that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A completed inspection point (its `alert` flag is the paper's
+    /// Eq. 18 decision).
+    Point {
+        /// Stream name (shared with the worker's shard map — cheap to
+        /// clone per event).
+        stream: Arc<str>,
+        /// The completed score point.
+        point: ScorePoint,
+    },
+    /// A bag was rejected (e.g. dimension mismatch); the stream keeps
+    /// running with the offending bag dropped.
+    Error {
+        /// Stream name.
+        stream: Arc<str>,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl StreamEvent {
+    /// The name of the stream this event belongs to.
+    pub fn stream(&self) -> &str {
+        match self {
+            StreamEvent::Point { stream, .. } | StreamEvent::Error { stream, .. } => stream,
+        }
+    }
+
+    /// Whether this is a score point with its alert flag raised.
+    pub fn is_alert(&self) -> bool {
+        matches!(
+            self,
+            StreamEvent::Point { point, .. } if point.alert
+        )
+    }
+
+    /// The score point, if this is a point event.
+    pub fn point(&self) -> Option<&ScorePoint> {
+        match self {
+            StreamEvent::Point { point, .. } => Some(point),
+            StreamEvent::Error { .. } => None,
+        }
+    }
+}

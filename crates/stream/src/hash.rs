@@ -1,0 +1,63 @@
+//! The engine's one hash function: streaming FNV-1a (64-bit).
+//!
+//! Used for stream-name sharding and seed derivation (`worker`) and by
+//! the CLI's checkpoint content-addressing — one definition, so the two
+//! can never silently diverge.
+
+/// Streaming FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Start from the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far (the hasher remains usable).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot convenience.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.update(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), Fnv1a::hash(b"foobar"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Online multi-stream change-point detection engine.
+//!
+//! The batch pipeline in `bagcpd` answers "where did this recorded
+//! sequence change?". This crate turns it into a *runtime*: bags arrive
+//! one at a time on thousands of independent named streams, alerts come
+//! out as soon as the paper's test window completes, and the whole
+//! engine can checkpoint to bytes and resume after a restart.
+//!
+//! Three layers:
+//!
+//! - [`OnlineDetector`] — a single stream. `push(bag)` costs one
+//!   signature build plus at most `tau + tau' - 1` EMD solves (each
+//!   pair is solved once and reused by every inspection point that
+//!   needs it, via [`cache::SignatureWindow`]); memory stays bounded by
+//!   the window width. Emitted points are **bit-identical** to
+//!   `bagcpd::Detector::analyze` on the same sequence.
+//! - [`StreamEngine`] — a fixed pool of worker threads serving many
+//!   named streams behind bounded queues (backpressure, not unbounded
+//!   buffering), with per-tick batched evaluation.
+//! - [`snapshot`] — a versioned binary checkpoint format storing every
+//!   stream's state; restoring yields outputs bit-identical to an
+//!   engine that never stopped.
+//!
+//! ```
+//! use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
+//! use stream::OnlineDetector;
+//!
+//! let detector = Detector::new(DetectorConfig {
+//!     tau: 4,
+//!     tau_prime: 3,
+//!     signature: SignatureMethod::Histogram { width: 0.5 },
+//!     bootstrap: BootstrapConfig { replicates: 64, ..Default::default() },
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! let mut online = OnlineDetector::new(detector, 7);
+//! for t in 0..20 {
+//!     let level = if t < 10 { 0.0 } else { 8.0 };
+//!     let bag = Bag::from_scalars((0..30).map(|i| level + (i % 7) as f64 * 0.1));
+//!     if let Some(point) = online.push(bag).unwrap() {
+//!         println!("t={} score={:.3} alert={}", point.t, point.score, point.alert);
+//!     }
+//! }
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod event;
+pub mod hash;
+pub mod online;
+pub mod snapshot;
+mod worker;
+
+pub use cache::SignatureWindow;
+pub use engine::{EngineConfig, EngineError, StreamEngine};
+pub use event::StreamEvent;
+pub use online::{OnlineDetector, OnlineState};
+pub use snapshot::SnapshotError;

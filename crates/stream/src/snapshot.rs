@@ -1,0 +1,503 @@
+//! Binary snapshot format for engine checkpoint/restore.
+//!
+//! Layout (all integers little-endian, floats as IEEE-754 bit patterns):
+//!
+//! ```text
+//! magic    8 bytes  b"BCPDSNAP"
+//! version  u32      1
+//! config   fingerprint of the DetectorConfig (see below)
+//! seed     u64      engine master seed
+//! streams  u64      count, then per stream:
+//!   name       u32 length + UTF-8 bytes
+//!   state      OnlineState (see encode_state)
+//! ```
+//!
+//! The config fingerprint captures every parameter that affects results
+//! (windows, score, weighting, signature method, metric, solver,
+//! estimator constants, bootstrap); restore refuses a snapshot whose
+//! fingerprint differs from the engine's configuration rather than
+//! silently resuming with different semantics.
+
+use crate::online::OnlineState;
+use bagcpd::score::EmdSolver;
+use bagcpd::{DetectorConfig, GroundMetric, ScoreKind, SignatureMethod, Weighting};
+use emd::Signature;
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: &[u8; 8] = b"BCPDSNAP";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Snapshot parse/validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The magic bytes are wrong — not a snapshot.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// The snapshot was taken under a different detector configuration.
+    ConfigMismatch,
+    /// Structurally invalid content (reason attached).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a bags-cpd snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ConfigMismatch => {
+                write!(
+                    f,
+                    "snapshot was taken under a different detector configuration"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---- primitive writers -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---- primitive readers -------------------------------------------------
+
+/// Cursor over a snapshot buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("stream name is not UTF-8".into()))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pre-allocation guard: never reserve more elements than the
+    /// remaining bytes could possibly encode (each element of every
+    /// decoded collection occupies at least `min_size` bytes), so a
+    /// corrupt length field cannot trigger a huge allocation before the
+    /// very next read fails with `Truncated`.
+    fn bounded_capacity(&self, declared: usize, min_size: usize) -> usize {
+        declared.min(self.remaining() / min_size.max(1))
+    }
+}
+
+// ---- config fingerprint ------------------------------------------------
+
+/// Serialize every result-affecting configuration parameter.
+fn put_config(out: &mut Vec<u8>, cfg: &DetectorConfig) {
+    put_u64(out, cfg.tau as u64);
+    put_u64(out, cfg.tau_prime as u64);
+    out.push(match cfg.score {
+        ScoreKind::LikelihoodRatio => 0,
+        ScoreKind::SymmetrizedKl => 1,
+    });
+    out.push(match cfg.weighting {
+        Weighting::Equal => 0,
+        Weighting::Discounted => 1,
+    });
+    match &cfg.signature {
+        SignatureMethod::KMeans { k } => {
+            out.push(0);
+            put_u64(out, *k as u64);
+        }
+        SignatureMethod::KMedoids { k } => {
+            out.push(1);
+            put_u64(out, *k as u64);
+        }
+        SignatureMethod::Lvq { k } => {
+            out.push(2);
+            put_u64(out, *k as u64);
+        }
+        SignatureMethod::Histogram { width } => {
+            out.push(3);
+            put_f64(out, *width);
+        }
+    }
+    out.push(match cfg.metric {
+        GroundMetric::Euclidean => 0,
+        GroundMetric::Manhattan => 1,
+        GroundMetric::Chebyshev => 2,
+    });
+    match &cfg.solver {
+        EmdSolver::Exact => out.push(0),
+        EmdSolver::Sinkhorn(s) => {
+            out.push(1);
+            put_f64(out, s.epsilon);
+            put_u64(out, s.max_iters as u64);
+            put_f64(out, s.tol);
+        }
+    }
+    put_f64(out, cfg.estimator.offset);
+    put_f64(out, cfg.estimator.scale);
+    put_f64(out, cfg.estimator.dist_floor);
+    put_u64(out, cfg.bootstrap.replicates as u64);
+    put_f64(out, cfg.bootstrap.alpha);
+}
+
+/// The fingerprint bytes of a configuration.
+pub fn config_fingerprint(cfg: &DetectorConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_config(&mut out, cfg);
+    out
+}
+
+// ---- OnlineState -------------------------------------------------------
+
+fn put_signature(out: &mut Vec<u8>, sig: &Signature) {
+    put_u32(out, sig.len() as u32);
+    put_u32(out, sig.dim() as u32);
+    for p in sig.points() {
+        for &x in p {
+            put_f64(out, x);
+        }
+    }
+    for &w in sig.weights() {
+        put_f64(out, w);
+    }
+}
+
+fn read_signature(r: &mut Reader<'_>) -> Result<Signature, SnapshotError> {
+    let k = r.u32()? as usize;
+    let dim = r.u32()? as usize;
+    if k == 0 || dim == 0 || k.saturating_mul(dim) > 16_000_000 {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible signature shape {k} x {dim}"
+        )));
+    }
+    let mut points = Vec::with_capacity(r.bounded_capacity(k, dim.saturating_mul(8)));
+    for _ in 0..k {
+        let mut p = Vec::with_capacity(r.bounded_capacity(dim, 8));
+        for _ in 0..dim {
+            p.push(r.f64()?);
+        }
+        points.push(p);
+    }
+    let mut weights = Vec::with_capacity(r.bounded_capacity(k, 8));
+    for _ in 0..k {
+        weights.push(r.f64()?);
+    }
+    Signature::new(points, weights)
+        .map_err(|e| SnapshotError::Corrupt(format!("invalid signature: {e}")))
+}
+
+/// Append one stream state.
+pub fn encode_state(out: &mut Vec<u8>, state: &OnlineState) {
+    put_u64(out, state.seed);
+    put_u64(out, state.pushed);
+    put_u64(out, state.emitted);
+    match state.dim {
+        None => put_u32(out, 0),
+        Some(d) => put_u32(out, d + 1),
+    }
+    put_u32(out, state.sigs.len() as u32);
+    for sig in &state.sigs {
+        put_signature(out, sig);
+    }
+    for row in &state.rows {
+        put_u32(out, row.len() as u32);
+        for &d in row {
+            put_f64(out, d);
+        }
+    }
+    put_u32(out, state.ci_up_hist.len() as u32);
+    for &u in &state.ci_up_hist {
+        put_f64(out, u);
+    }
+}
+
+fn read_state(r: &mut Reader<'_>) -> Result<OnlineState, SnapshotError> {
+    let seed = r.u64()?;
+    let pushed = r.u64()?;
+    let emitted = r.u64()?;
+    let dim = match r.u32()? {
+        0 => None,
+        d => Some(d - 1),
+    };
+    let nsigs = r.u32()? as usize;
+    if nsigs > 1_000_000 {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible retained signature count {nsigs}"
+        )));
+    }
+    // Each signature takes at least 8 bytes (shape header) on the wire.
+    let mut sigs = Vec::with_capacity(r.bounded_capacity(nsigs, 8));
+    for _ in 0..nsigs {
+        sigs.push(read_signature(r)?);
+    }
+    let mut rows = Vec::with_capacity(r.bounded_capacity(nsigs, 4));
+    for _ in 0..nsigs {
+        let len = r.u32()? as usize;
+        if len >= nsigs.max(1) {
+            return Err(SnapshotError::Corrupt(format!(
+                "distance row of {len} entries among {nsigs} signatures"
+            )));
+        }
+        let mut row = Vec::with_capacity(r.bounded_capacity(len, 8));
+        for _ in 0..len {
+            row.push(r.f64()?);
+        }
+        rows.push(row);
+    }
+    let hist_len = r.u32()? as usize;
+    if hist_len > 1_000_000 {
+        return Err(SnapshotError::Corrupt("implausible CI history".into()));
+    }
+    let mut ci_up_hist = Vec::with_capacity(r.bounded_capacity(hist_len, 8));
+    for _ in 0..hist_len {
+        ci_up_hist.push(r.f64()?);
+    }
+    Ok(OnlineState {
+        seed,
+        pushed,
+        emitted,
+        dim,
+        sigs,
+        rows,
+        ci_up_hist,
+    })
+}
+
+// ---- whole engine ------------------------------------------------------
+
+/// Serialize an engine checkpoint: master seed plus every stream's
+/// state, sorted by name so equal engine states produce equal bytes.
+pub fn encode_engine(
+    cfg: &DetectorConfig,
+    master_seed: u64,
+    mut streams: Vec<(String, OnlineState)>,
+) -> Vec<u8> {
+    streams.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(64 + streams.len() * 256);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_config(&mut out, cfg);
+    put_u64(&mut out, master_seed);
+    put_u64(&mut out, streams.len() as u64);
+    for (name, state) in &streams {
+        put_str(&mut out, name);
+        encode_state(&mut out, state);
+    }
+    out
+}
+
+/// Parse an engine checkpoint, validating magic, version, and that the
+/// embedded configuration fingerprint matches `cfg`.
+///
+/// # Errors
+/// Any [`SnapshotError`].
+#[allow(clippy::type_complexity)]
+pub fn decode_engine(
+    bytes: &[u8],
+    cfg: &DetectorConfig,
+) -> Result<(u64, Vec<(String, OnlineState)>), SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let expected = config_fingerprint(cfg);
+    if r.take(expected.len())? != expected.as_slice() {
+        return Err(SnapshotError::ConfigMismatch);
+    }
+    let master_seed = r.u64()?;
+    let count = r.u64()?;
+    if count > 100_000_000 {
+        return Err(SnapshotError::Corrupt(format!(
+            "implausible stream count {count}"
+        )));
+    }
+    // A stream entry is at least 40 bytes (name length + state header).
+    let mut streams = Vec::with_capacity(r.bounded_capacity(count as usize, 40));
+    for _ in 0..count {
+        let name = r.str()?;
+        let state = read_state(&mut r)?;
+        streams.push((name, state));
+    }
+    if !r.finished() {
+        return Err(SnapshotError::Corrupt("trailing bytes".into()));
+    }
+    Ok((master_seed, streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bagcpd::BootstrapConfig;
+
+    fn state(seed: u64) -> OnlineState {
+        OnlineState {
+            seed,
+            pushed: 5,
+            emitted: 0,
+            dim: Some(1),
+            sigs: vec![
+                Signature::new(vec![vec![0.0], vec![1.5]], vec![1.0, 2.0]).unwrap(),
+                Signature::new(vec![vec![3.0]], vec![4.0]).unwrap(),
+            ],
+            rows: vec![vec![2.25], vec![]],
+            ci_up_hist: vec![],
+        }
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            tau: 3,
+            tau_prime: 2,
+            bootstrap: BootstrapConfig {
+                replicates: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn engine_round_trip() {
+        let streams = vec![
+            ("beta".to_string(), state(2)),
+            ("alpha".to_string(), state(1)),
+        ];
+        let bytes = encode_engine(&cfg(), 99, streams);
+        let (seed, decoded) = decode_engine(&bytes, &cfg()).unwrap();
+        assert_eq!(seed, 99);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].0, "alpha", "streams are name-sorted");
+        assert_eq!(decoded[0].1, state(1));
+        assert_eq!(decoded[1].1, state(2));
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_truncation() {
+        let bytes = encode_engine(&cfg(), 1, vec![("s".into(), state(1))]);
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_engine(&bad, &cfg()), Err(SnapshotError::BadMagic));
+
+        let mut bad = bytes.clone();
+        bad[8] = 200;
+        assert_eq!(
+            decode_engine(&bad, &cfg()),
+            Err(SnapshotError::BadVersion(200))
+        );
+
+        assert_eq!(
+            decode_engine(&bytes[..bytes.len() - 3], &cfg()),
+            Err(SnapshotError::Truncated)
+        );
+
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            decode_engine(&trailing, &cfg()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_lengths_fail_fast_without_allocating() {
+        // A tiny buffer claiming 100M streams must fail with Truncated
+        // (after a bounded, byte-budget-limited reservation), not
+        // attempt a multi-GB Vec::with_capacity.
+        let mut bytes = encode_engine(&cfg(), 1, vec![]);
+        let count_at = bytes.len() - 8;
+        bytes[count_at..].copy_from_slice(&100_000_000u64.to_le_bytes());
+        bytes.push(0); // one stray byte of "stream data"
+        assert!(matches!(
+            decode_engine(&bytes, &cfg()),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_config_mismatch() {
+        let bytes = encode_engine(&cfg(), 1, vec![]);
+        let other = DetectorConfig { tau: 4, ..cfg() };
+        assert_eq!(
+            decode_engine(&bytes, &other),
+            Err(SnapshotError::ConfigMismatch)
+        );
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let a = encode_engine(
+            &cfg(),
+            7,
+            vec![("x".into(), state(1)), ("y".into(), state(2))],
+        );
+        let b = encode_engine(
+            &cfg(),
+            7,
+            vec![("y".into(), state(2)), ("x".into(), state(1))],
+        );
+        assert_eq!(a, b, "order of collection must not matter");
+    }
+}

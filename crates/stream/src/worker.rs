@@ -1,0 +1,213 @@
+//! Worker threads: each owns one shard of the engine's streams.
+
+use crate::event::StreamEvent;
+use crate::online::{OnlineDetector, OnlineState};
+use bagcpd::{derive_seed, Bag, Detector};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+
+/// Messages a worker accepts. Control messages double as barriers: they
+/// are handled strictly after every push queued before them.
+pub(crate) enum Msg {
+    /// Feed one bag to a named stream (created on first push).
+    Push {
+        /// Stream name (hashed to this shard by the engine); shared,
+        /// not copied, between the queue, the shard map, and every
+        /// event the stream emits.
+        stream: Arc<str>,
+        /// The observation.
+        bag: Bag,
+    },
+    /// Barrier; replies with the shard's stream count once everything
+    /// queued before it has been evaluated.
+    Flush {
+        /// Reply channel.
+        reply: Sender<usize>,
+    },
+    /// Serialize the shard's stream states.
+    Snapshot {
+        /// Reply channel.
+        reply: Sender<Vec<(String, OnlineState)>>,
+    },
+    /// Retire a stream: drop its state and free its memory. Replies
+    /// with whether the stream existed.
+    Retire {
+        /// Stream name.
+        stream: Arc<str>,
+        /// Reply channel.
+        reply: Sender<bool>,
+    },
+    /// Install restored stream states (engine restore path).
+    Install {
+        /// States routed to this shard.
+        streams: Vec<(String, OnlineState)>,
+        /// Reply channel: `Err` describes the first invalid state.
+        reply: Sender<Result<(), String>>,
+    },
+}
+
+/// FNV-1a hash of a stream name; drives both shard routing and
+/// per-stream seed derivation (stable across worker-pool sizes).
+pub(crate) fn name_hash(name: &str) -> u64 {
+    crate::hash::Fnv1a::hash(name.as_bytes())
+}
+
+/// The seed of a named stream under an engine master seed. A pure
+/// function of `(master, name)`, so a stream's results do not depend on
+/// which worker runs it or on the worker-pool size.
+pub(crate) fn stream_seed(master: u64, name: &str) -> u64 {
+    derive_seed(master, name_hash(name))
+}
+
+/// Worker main loop: drain up to `batch_size` queued messages, then
+/// evaluate the tick — pushes grouped per stream so each stream's
+/// score/bootstrap work runs contiguously — and emit events.
+pub(crate) fn run(
+    detector: Detector,
+    master_seed: u64,
+    rx: Receiver<Msg>,
+    events: SyncSender<StreamEvent>,
+    batch_size: usize,
+) {
+    let mut shard: HashMap<Arc<str>, OnlineDetector> = HashMap::new();
+    let mut batch: Vec<Msg> = Vec::with_capacity(batch_size);
+    loop {
+        // Block for the first message; engine shutdown closes the queue.
+        match rx.recv() {
+            Ok(m) => batch.push(m),
+            Err(_) => return,
+        }
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(m) => batch.push(m),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if tick(&detector, master_seed, &mut shard, &mut batch, &events).is_err() {
+            // Event receiver gone: the engine was dropped mid-stream.
+            return;
+        }
+    }
+}
+
+/// Process one batch. Returns `Err` only when the event channel is
+/// disconnected.
+fn tick(
+    detector: &Detector,
+    master_seed: u64,
+    shard: &mut HashMap<Arc<str>, OnlineDetector>,
+    batch: &mut Vec<Msg>,
+    events: &SyncSender<StreamEvent>,
+) -> Result<(), ()> {
+    // Group consecutive pushes by stream (per-stream arrival order is
+    // preserved; cross-stream order within a tick is immaterial).
+    let mut order: Vec<Arc<str>> = Vec::new();
+    let mut groups: HashMap<Arc<str>, Vec<Bag>> = HashMap::new();
+
+    for msg in batch.drain(..) {
+        match msg {
+            Msg::Push { stream, bag } => {
+                groups
+                    .entry(stream.clone())
+                    .or_insert_with(|| {
+                        order.push(stream);
+                        Vec::new()
+                    })
+                    .push(bag);
+            }
+            control => {
+                // Barrier: evaluate pending pushes first.
+                evaluate(
+                    detector,
+                    master_seed,
+                    shard,
+                    &mut order,
+                    &mut groups,
+                    events,
+                )?;
+                match control {
+                    Msg::Push { .. } => unreachable!("handled above"),
+                    Msg::Flush { reply } => {
+                        let _ = reply.send(shard.len());
+                    }
+                    Msg::Retire { stream, reply } => {
+                        let _ = reply.send(shard.remove(&stream).is_some());
+                    }
+                    Msg::Snapshot { reply } => {
+                        let states = shard
+                            .iter()
+                            .map(|(name, det)| (name.to_string(), det.state()))
+                            .collect();
+                        let _ = reply.send(states);
+                    }
+                    Msg::Install { streams, reply } => {
+                        let _ = reply.send(install(detector, shard, streams));
+                    }
+                }
+            }
+        }
+    }
+    evaluate(
+        detector,
+        master_seed,
+        shard,
+        &mut order,
+        &mut groups,
+        events,
+    )
+}
+
+/// Evaluate the grouped pushes of one tick.
+fn evaluate(
+    detector: &Detector,
+    master_seed: u64,
+    shard: &mut HashMap<Arc<str>, OnlineDetector>,
+    order: &mut Vec<Arc<str>>,
+    groups: &mut HashMap<Arc<str>, Vec<Bag>>,
+    events: &SyncSender<StreamEvent>,
+) -> Result<(), ()> {
+    for name in order.drain(..) {
+        let bags = groups.remove(&name).expect("grouped with order");
+        let det = shard.entry(name.clone()).or_insert_with(|| {
+            OnlineDetector::new(detector.clone(), stream_seed(master_seed, &name))
+        });
+        for bag in bags {
+            match det.push(bag) {
+                Ok(Some(point)) => {
+                    events
+                        .send(StreamEvent::Point {
+                            stream: name.clone(),
+                            point,
+                        })
+                        .map_err(|_| ())?;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Drop the offending bag, keep the stream alive.
+                    events
+                        .send(StreamEvent::Error {
+                            stream: name.clone(),
+                            message: e.to_string(),
+                        })
+                        .map_err(|_| ())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Install restored states into the shard map.
+fn install(
+    detector: &Detector,
+    shard: &mut HashMap<Arc<str>, OnlineDetector>,
+    streams: Vec<(String, OnlineState)>,
+) -> Result<(), String> {
+    for (name, state) in streams {
+        let det = OnlineDetector::from_state(detector.clone(), state)
+            .map_err(|e| format!("stream '{name}': {e}"))?;
+        shard.insert(Arc::from(name), det);
+    }
+    Ok(())
+}

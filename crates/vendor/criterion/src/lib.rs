@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! [`BenchmarkId`], `bench_with_input`, [`Throughput`] — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! group/id                time: 1.234 ms  thrpt: 812345 elem/s
+//! ```
+//!
+//! Designed for `harness = false` bench targets driven by
+//! [`criterion_group!`] / [`criterion_main!`].
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can guard against over-optimization.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream compatibility shim: CLI args are accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.run(None, f);
+        group.finish();
+        self
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements per iteration (reported as `elem/s`).
+    Elements(u64),
+    /// Bytes per iteration (reported as `MiB/s`).
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a function parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(Some(id), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a function under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(Some(id.into()), f);
+        self
+    }
+
+    /// End the group (upstream renders summaries here; we print per
+    /// benchmark, so this is a no-op marker).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: Option<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let label = match &id {
+            Some(id) => format!("{}/{}", self.name, id.label()),
+            None => self.name.clone(),
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&label, &bencher.samples, self.throughput);
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine: one warm-up call, then `sample_size` timed
+    /// samples (capped at ~2 s wall time per benchmark).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up
+        let budget = Duration::from_secs(2);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let secs = median.as_secs_f64().max(1e-12);
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {:.0} elem/s", n as f64 / secs),
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:.2} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{label:<40} time: {}{thrpt}", fmt_duration(median));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).label(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(32).label(), "32");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(5).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |b, _| {
+            b.iter(|| black_box(2 + 2));
+        });
+        group.finish();
+    }
+}

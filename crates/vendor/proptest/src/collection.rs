@@ -1,0 +1,131 @@
+//! Collection strategies (`prop::collection::*`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Sizes accepted by collection strategies: a fixed count or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s whose elements come from `element`.
+///
+/// As with upstream, the set may come out smaller than the sampled size
+/// when independently drawn elements collide (e.g. a small domain).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let n = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(n);
+        for _ in 0..n {
+            out.insert(self.element.gen_value(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = rng_for("vec_sizes");
+        for _ in 0..100 {
+            assert_eq!(vec(0.0..1.0f64, 4).gen_value(&mut rng).len(), 4);
+            let v = vec(0u64..9, 2..=5).gen_value(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_distinct() {
+        let mut rng = rng_for("hash_set_distinct");
+        let s = hash_set(0usize..100, 10).gen_value(&mut rng);
+        assert!(!s.is_empty() && s.len() <= 10);
+        let tiny = hash_set(0usize..2, 0..40).gen_value(&mut rng);
+        assert!(tiny.len() <= 2, "collisions shrink the set, never panic");
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, range/tuple/collection strategies with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, and the `prop_assert*`
+//! macros. There is no shrinking: a failing case reports its inputs via
+//! the panic message (cases are deterministic per test name, so a
+//! failure is reproducible by re-running the test).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs, glob-imported.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias matching upstream's `prop::` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run a block of property tests.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, v in prop::collection::vec(0..10usize, 3)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+///
+/// The `#[test]` attribute is consumed as an ordinary meta attribute and
+/// re-emitted on the generated zero-argument test function, exactly as
+/// upstream does.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases!($config, $name, ($($arg),+), ($($strat),+), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases!(
+                    $crate::test_runner::ProptestConfig::default(),
+                    $name,
+                    ($($arg),+),
+                    ($($strat),+),
+                    $body
+                );
+            }
+        )*
+    };
+}
+
+/// Internal: the per-test case loop shared by both [`proptest!`] arms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_cases {
+    ($config:expr, $name:ident, ($($arg:pat),+), ($($strat:expr),+), $body:block) => {{
+        let config = $config;
+        let mut rng = $crate::test_runner::rng_for(stringify!($name));
+        for case in 0..config.cases {
+            let ($($arg,)+) = (
+                $($crate::strategy::Strategy::gen_value(&$strat, &mut rng),)+
+            );
+            let mut run = move || -> ::std::result::Result<(), ::std::string::String> {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            };
+            if let Err(message) = run() {
+                panic!(
+                    "proptest {} failed at case {}/{}: {}",
+                    stringify!($name),
+                    case + 1,
+                    config.cases,
+                    message
+                );
+            }
+        }
+    }};
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Skip the current case (counted as passing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

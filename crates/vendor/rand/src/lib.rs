@@ -1,0 +1,263 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the (small) subset of the `rand 0.8` API the workspace
+//! uses, with the same module layout: [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom`].
+//!
+//! `StdRng` here is a SplitMix64 generator — a different stream than
+//! upstream's ChaCha12, but every consumer in this workspace only relies
+//! on determinism-given-seed, not on a particular stream. SplitMix64
+//! passes BigCrush on its 64-bit output, which is plenty for the
+//! rejection samplers and quantizer seeding driven from it.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including `&mut R`, so generators can be re-borrowed
+/// through call chains exactly as with upstream `rand`).
+pub trait Rng: RngCore {
+    /// Sample a value of a standard-distributed type: `f64`/`f32` are
+    /// uniform in `[0, 1)`, integers uniform over their full range,
+    /// `bool` is a fair coin.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, R2: SampleRange<T>>(&mut self, range: R2) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seed-based construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of the
+    /// 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types [`Rng::gen_range`] can produce.
+///
+/// The single pair of generic [`SampleRange`] impls below (rather than
+/// one impl per primitive) is what makes inference eager: the range's
+/// element type unifies with the output immediately, so expressions like
+/// `1.0 * rng.gen_range(0.5..1.5)` resolve to `f64` exactly as with
+/// upstream `rand`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// Debiased bounded integer sample (Lemire's multiply-shift; the bias of
+/// the plain multiply is < 2^-64 per draw, far below anything these
+/// statistical tests can resolve).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + bounded_u64(rng, span + 1) as i128) as $t
+                } else {
+                    (lo as i128 + bounded_u64(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform!(f64, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = r.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let k = r.gen_range(0u64..=3);
+            assert!(k <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = r.gen_range(5usize..5);
+    }
+}

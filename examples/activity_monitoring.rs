@@ -28,7 +28,12 @@ fn main() {
         "subject: {} bags, {} activity changes, mean bag size {:.0}",
         subject.data.bags.len(),
         subject.data.change_points.len(),
-        subject.data.bags.iter().map(|b| b.len() as f64).sum::<f64>()
+        subject
+            .data
+            .bags
+            .iter()
+            .map(|b| b.len() as f64)
+            .sum::<f64>()
             / subject.data.bags.len() as f64,
     );
 
@@ -40,7 +45,9 @@ fn main() {
     })
     .expect("valid config");
 
-    let result = detector.analyze(&subject.data.bags, 3).expect("analysis succeeds");
+    let result = detector
+        .analyze(&subject.data.bags, 3)
+        .expect("analysis succeeds");
     let alerts = result.alerts();
 
     // Match alerts to true change points within ±tol bags.
@@ -50,9 +57,7 @@ fn main() {
     for &cp in &subject.data.change_points {
         let from = subject.activity_ids[cp - 1];
         let to = subject.activity_ids[cp];
-        let hit = alerts
-            .iter()
-            .any(|&a| (a as i64 - cp as i64).abs() <= tol);
+        let hit = alerts.iter().any(|&a| (a as i64 - cp as i64).abs() <= tol);
         if hit {
             hits += 1;
         }

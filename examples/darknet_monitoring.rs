@@ -47,7 +47,9 @@ fn main() {
         ..DetectorConfig::default()
     })
     .expect("valid config");
-    let result = detector.analyze(&data.bags, 404).expect("analysis succeeds");
+    let result = detector
+        .analyze(&data.bags, 404)
+        .expect("analysis succeeds");
 
     println!("  hour  score     alert");
     for p in &result.points {

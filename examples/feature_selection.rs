@@ -62,7 +62,10 @@ fn main() {
             .fold(f64::NEG_INFINITY, f64::max);
         near - away
     };
-    println!("raw 4-D bags:        change prominence {:+.3}", prominence(&raw));
+    println!(
+        "raw 4-D bags:        change prominence {:+.3}",
+        prominence(&raw)
+    );
 
     // --- Train the selector on labeled per-dimension scores --------------
     let per_dim = per_dimension_scores(&detector, &bags, 2).expect("per-dim scores");

@@ -39,9 +39,7 @@ fn main() {
     let mut alert_weeks: Vec<usize> = Vec::new();
     for feature in [Feature::SourceStrength, Feature::DestStrength] {
         let bags = corpus.data.feature_bags(feature);
-        let result = detector
-            .analyze(&bags.bags, 23)
-            .expect("analysis succeeds");
+        let result = detector.analyze(&bags.bags, 23).expect("analysis succeeds");
         println!(
             "feature {} ({}): alerts at weeks {:?}",
             feature.number(),

@@ -4,39 +4,49 @@
 //! cargo run --release --example streaming
 //! ```
 //!
-//! Wraps the detector in [`StreamingDetector`], pushes bags as they
-//! "arrive", and prints each completed score point immediately — the
-//! same results the batch API would produce, with a latency of τ' bags
-//! (the test window must fill before an inspection point is scored).
+//! Part 1 drives a single [`stream::OnlineDetector`]: each push costs
+//! one signature build plus a handful of cached EMD solves (constant
+//! memory, unlike the retained-prefix `StreamingDetector` it replaces),
+//! and each completed score point — identical to what the batch API
+//! would produce — prints immediately, with a latency of τ' bags.
+//!
+//! Part 2 runs the same workload across a [`stream::StreamEngine`]:
+//! many named sensors sharded over a small worker pool, with a
+//! mid-run snapshot/restore to show a restart losing nothing.
 
 use bags_cpd::stats::{seeded_rng, GaussianMixture1d};
-use bags_cpd::{Bag, Detector, DetectorConfig, StreamingDetector};
+use bags_cpd::stream::{EngineConfig, OnlineDetector, StreamEngine};
+use bags_cpd::{Bag, Detector, DetectorConfig};
 
-fn main() {
-    let mut rng = seeded_rng(5);
-
-    // Three regimes: a slow drift would not alert, but these two shape
-    // changes (variance up at t = 15, mode split at t = 30) should.
-    let regimes = [
-        GaussianMixture1d::equal_weight(&[(0.0, 1.0)]),
-        GaussianMixture1d::equal_weight(&[(0.0, 3.0)]),
-        GaussianMixture1d::equal_weight(&[(-4.0, 1.0), (4.0, 1.0)]),
-    ];
-
-    let detector = Detector::new(DetectorConfig {
+fn detector() -> Detector {
+    Detector::new(DetectorConfig {
         tau: 5,
         tau_prime: 4,
         ..DetectorConfig::default()
     })
-    .expect("valid config");
-    let mut stream = StreamingDetector::new(detector, 99);
+    .expect("valid config")
+}
+
+/// Three regimes: a slow drift would not alert, but these two shape
+/// changes (variance up at t = 15, mode split at t = 30) should.
+fn regimes() -> [GaussianMixture1d; 3] {
+    [
+        GaussianMixture1d::equal_weight(&[(0.0, 1.0)]),
+        GaussianMixture1d::equal_weight(&[(0.0, 3.0)]),
+        GaussianMixture1d::equal_weight(&[(-4.0, 1.0), (4.0, 1.0)]),
+    ]
+}
+
+fn single_stream() {
+    let mut rng = seeded_rng(5);
+    let regimes = regimes();
+    let mut online = OnlineDetector::new(detector(), 99);
 
     println!("streaming 45 bags (changes injected at t = 15 and t = 30)\n");
     for t in 0..45 {
         let regime = &regimes[t / 15];
         let bag = Bag::from_scalars(regime.sample_n(150, &mut rng));
-        let completed = stream.push(bag).expect("push succeeds");
-        for p in completed {
+        if let Some(p) = online.push(bag).expect("push succeeds") {
             println!(
                 "t={:>2}  score={:>7.4}  ci=[{:>7.4}, {:>7.4}]{}",
                 p.t,
@@ -47,4 +57,62 @@ fn main() {
             );
         }
     }
+}
+
+fn engine_fleet() {
+    const SENSORS: usize = 6;
+    let mut rng = seeded_rng(17);
+    let regimes = regimes();
+    let cfg = EngineConfig {
+        detector: detector().config().clone(),
+        seed: 99,
+        workers: 3,
+        ..EngineConfig::default()
+    };
+
+    println!("\nengine: {SENSORS} sensors on 3 workers, snapshot at t = 20\n");
+    let mut engine = StreamEngine::new(cfg.clone()).expect("engine spawns");
+    let mut feed = |engine: &mut StreamEngine, range: std::ops::Range<usize>| {
+        for t in range {
+            for s in 0..SENSORS {
+                // Half the sensors change regimes, half stay flat.
+                let regime = if s % 2 == 0 {
+                    &regimes[t / 15]
+                } else {
+                    &regimes[0]
+                };
+                let bag = Bag::from_scalars(regime.sample_n(120, &mut rng));
+                engine.push(&format!("sensor-{s}"), bag).expect("push");
+            }
+        }
+    };
+    feed(&mut engine, 0..20);
+
+    // Checkpoint mid-run, throw the engine away, resume from bytes.
+    let snapshot = engine.snapshot().expect("snapshot");
+    let mut events = engine.shutdown();
+    println!("snapshot: {} bytes for {SENSORS} sensors", snapshot.len());
+
+    let mut engine = StreamEngine::restore(&snapshot, cfg).expect("restore");
+    feed(&mut engine, 20..45);
+    engine.flush().expect("flush");
+    events.extend(engine.shutdown());
+
+    let mut alerts: Vec<(String, usize)> = events
+        .iter()
+        .filter(|e| e.is_alert())
+        .map(|e| {
+            (
+                e.stream().to_string(),
+                e.point().expect("alert is a point").t,
+            )
+        })
+        .collect();
+    alerts.sort();
+    println!("alerts across the fleet (sensor, t): {alerts:?}");
+}
+
+fn main() {
+    single_stream();
+    engine_fleet();
 }

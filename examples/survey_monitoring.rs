@@ -68,5 +68,9 @@ fn main() {
             );
         }
     }
-    println!("\nalerts at {:?}; true shifts {:?}", result.alerts(), data.change_points);
+    println!(
+        "\nalerts at {:?}; true shifts {:?}",
+        result.alerts(),
+        data.change_points
+    );
 }

@@ -18,6 +18,7 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | `bagcpd` | bags, signatures, scores, bootstrap, detector |
+//! | [`stream`] | online engine: incremental detector, sharded multi-stream workers, snapshot/restore |
 //! | [`emd`] | signatures, ground distances, transportation simplex, 1-D solver |
 //! | [`infoest`] | weighted information estimators |
 //! | [`quantize`] | k-means, k-medoids, LVQ, histograms |
@@ -63,6 +64,7 @@ pub use infoest;
 pub use linalg;
 pub use quantize;
 pub use stats;
+pub use stream;
 
 /// Re-export of the core crate under its own name for explicit paths.
 pub use bagcpd as detector;

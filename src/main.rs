@@ -11,23 +11,73 @@
 //! 1,0.09,1.1
 //! ```
 //!
-//! Rows sharing a `t` form one bag. Output: one line per inspection
-//! point with the score, confidence interval and alert flag, plus a CSV
-//! dump with `--output`.
+//! Rows sharing a `t` form one bag.
+//!
+//! # Batch mode
 //!
 //! ```sh
 //! bags-cpd data.csv --tau 5 --tau-prime 5 --k 8 --alpha 0.05
 //! ```
+//!
+//! Reads the whole file, analyzes it, and prints one line per
+//! inspection point with the score, confidence interval and alert flag,
+//! plus a CSV dump with `--output`.
+//!
+//! # Follow mode
+//!
+//! ```sh
+//! tail -f live.csv | bags-cpd follow - --tau 5 --tau-prime 5
+//! bags-cpd follow data.csv --state checkpoint.snap
+//! ```
+//!
+//! `follow` tails a file (or stdin with `-`) *incrementally*: rows with
+//! the same time value must be contiguous and times strictly
+//! increasing; each time the time column advances, the completed bag is
+//! pushed into an online detector (`stream::OnlineDetector`) and any
+//! newly completed inspection point is printed immediately — same
+//! columns as batch mode, same numbers (the online path is bit-identical
+//! to batch analysis), with a latency of τ' bags. The reported `t` is
+//! the 0-based bag ordinal, as in batch mode.
+//!
+//! With `--state <file>`, the detector state is restored from that file
+//! if it exists and checkpointed back to it on EOF (a small header plus
+//! the binary snapshot format of `stream::snapshot`), so a follow
+//! session can be stopped and resumed without losing window context.
+//! Because EOF cannot prove the producer finished writing the last bag,
+//! a checkpointing session holds the trailing bag back as *pending*
+//! rows inside the checkpoint instead of pushing it; the next session
+//! completes it when the time column advances. The checkpoint records
+//! the consumed byte count and a hash of those bytes, so resume is
+//! content-addressed: re-feeding the *same, grown (append-only)* file
+//! continues exactly at the recorded offset (nothing is re-parsed),
+//! while a rotated or rewritten input is detected by the hash and read
+//! from the top — already-pushed times are skipped and rows for the
+//! pending time are treated as its continuation. The checkpoint is
+//! written atomically (temp file + fsync + rename), so an interrupted
+//! write never destroys the previous checkpoint.
 
+use bags_cpd::stream::hash::Fnv1a;
+use bags_cpd::stream::snapshot::{decode_engine, encode_engine};
+use bags_cpd::stream::OnlineDetector;
 use bags_cpd::{
     Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
 };
 use std::collections::BTreeMap;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+
+/// Which front-end drives the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Read everything, analyze once.
+    Batch,
+    /// Tail the input, emit points as bags complete.
+    Follow,
+}
 
 /// Parsed command-line options.
 struct Options {
+    mode: Mode,
     input: String,
     tau: usize,
     tau_prime: usize,
@@ -37,11 +87,22 @@ struct Options {
     alpha: f64,
     replicates: usize,
     seed: u64,
+    /// Whether --seed was given explicitly (a resumed checkpoint keeps
+    /// its original seed; warn only about a *real* conflict).
+    seed_explicit: bool,
     output: Option<String>,
+    state: Option<String>,
 }
 
 const USAGE: &str = "\
 usage: bags-cpd <input.csv> [options]
+       bags-cpd follow <input.csv|-> [options]
+
+modes:
+  <input.csv>            batch: analyze the whole file at once
+  follow <input.csv|->   online: tail the file (or stdin), print each
+                         inspection point as soon as its test window
+                         completes
 
 options:
   --tau <n>              reference window length (default 5)
@@ -54,12 +115,15 @@ options:
   --alpha <a>            significance level for the CIs (default 0.05)
   --replicates <T>       bootstrap replicates (default 200)
   --seed <s>             RNG seed (default 42)
-  --output <file.csv>    write the score series as CSV
+  --output <file.csv>    write the score series as CSV (batch mode)
+  --state <file>         follow mode: restore checkpoint if present,
+                         save checkpoint on EOF
   --help                 show this message
 ";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
+        mode: Mode::Batch,
         input: String::new(),
         tau: 5,
         tau_prime: 5,
@@ -69,7 +133,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         alpha: 0.05,
         replicates: 200,
         seed: 42,
+        seed_explicit: false,
         output: None,
+        state: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -112,27 +178,100 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.signature = SignatureMethod::Histogram { width };
             }
             "--alpha" => {
-                opts.alpha = take("--alpha")?.parse().map_err(|e| format!("--alpha: {e}"))?;
+                opts.alpha = take("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
             }
             "--replicates" => {
                 opts.replicates = take("--replicates")?
                     .parse()
                     .map_err(|e| format!("--replicates: {e}"))?;
             }
-            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                opts.seed_explicit = true;
+            }
             "--output" => opts.output = Some(take("--output")?),
-            other if other.starts_with('-') => return Err(format!("unknown option {other}\n\n{USAGE}")),
+            "--state" => opts.state = Some(take("--state")?),
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option {other}\n\n{USAGE}"))
+            }
             other => positional.push(other.to_string()),
+        }
+    }
+    if positional.first().map(String::as_str) == Some("follow") {
+        opts.mode = Mode::Follow;
+        positional.remove(0);
+        if positional.is_empty() {
+            positional.push("-".to_string()); // follow defaults to stdin
         }
     }
     match positional.len() {
         0 => Err(format!("missing input file\n\n{USAGE}")),
         1 => {
             opts.input = positional.remove(0);
+            if opts.mode == Mode::Batch && opts.state.is_some() {
+                return Err("--state is only meaningful in follow mode".to_string());
+            }
+            if opts.mode == Mode::Follow && opts.output.is_some() {
+                return Err("--output is only meaningful in batch mode".to_string());
+            }
             Ok(opts)
         }
         _ => Err(format!("too many positional arguments\n\n{USAGE}")),
     }
+}
+
+fn build_detector(opts: &Options) -> Result<Detector, String> {
+    Detector::new(DetectorConfig {
+        tau: opts.tau,
+        tau_prime: opts.tau_prime,
+        score: opts.score,
+        weighting: opts.weighting,
+        signature: opts.signature.clone(),
+        bootstrap: BootstrapConfig {
+            alpha: opts.alpha,
+            replicates: opts.replicates,
+            ..Default::default()
+        },
+        ..DetectorConfig::default()
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Parse one CSV row into `(t, coords)`. With `allow_header`, an
+/// unparseable time column is treated as a (skipped) header line —
+/// only ever correct for the true first line of an input, not for the
+/// first line read after a mid-file resume.
+fn parse_row(
+    line: &str,
+    lineno: usize,
+    origin: &str,
+    allow_header: bool,
+) -> Result<Option<(i64, Vec<f64>)>, String> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() < 2 {
+        return Err(format!(
+            "{origin}:{}: need time plus >= 1 coordinate",
+            lineno + 1
+        ));
+    }
+    let t: i64 = match fields[0].parse() {
+        Ok(t) => t,
+        Err(_) if allow_header => return Ok(None),
+        Err(e) => {
+            return Err(format!(
+                "{origin}:{}: bad time '{}': {e}",
+                lineno + 1,
+                fields[0]
+            ))
+        }
+    };
+    let coords: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse()).collect();
+    let coords = coords.map_err(|e| format!("{origin}:{}: bad coordinate: {e}", lineno + 1))?;
+    Ok(Some((t, coords)))
 }
 
 /// Parse the bag CSV: integer time column + coordinates.
@@ -145,18 +284,9 @@ fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
         if line.is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() < 2 {
-            return Err(format!("{path}:{}: need time plus >= 1 coordinate", lineno + 1));
-        }
-        let t: i64 = match fields[0].parse() {
-            Ok(t) => t,
-            // Tolerate one header line.
-            Err(_) if lineno == 0 => continue,
-            Err(e) => return Err(format!("{path}:{}: bad time '{}': {e}", lineno + 1, fields[0])),
+        let Some((t, coords)) = parse_row(line, lineno, path, lineno == 0)? else {
+            continue;
         };
-        let coords: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse()).collect();
-        let coords = coords.map_err(|e| format!("{path}:{}: bad coordinate: {e}", lineno + 1))?;
         match dim {
             None => dim = Some(coords.len()),
             Some(d) if d != coords.len() => {
@@ -177,7 +307,7 @@ fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
     Ok(by_time.into_values().map(Bag::new).collect())
 }
 
-fn run(opts: &Options) -> Result<(), String> {
+fn run_batch(opts: &Options) -> Result<(), String> {
     let bags = read_bags(&opts.input)?;
     eprintln!(
         "read {} bags (sizes {}..{}), dim {}",
@@ -186,21 +316,10 @@ fn run(opts: &Options) -> Result<(), String> {
         bags.iter().map(Bag::len).max().unwrap_or(0),
         bags[0].dim()
     );
-    let detector = Detector::new(DetectorConfig {
-        tau: opts.tau,
-        tau_prime: opts.tau_prime,
-        score: opts.score,
-        weighting: opts.weighting,
-        signature: opts.signature.clone(),
-        bootstrap: BootstrapConfig {
-            alpha: opts.alpha,
-            replicates: opts.replicates,
-            ..Default::default()
-        },
-        ..DetectorConfig::default()
-    })
-    .map_err(|e| e.to_string())?;
-    let detection = detector.analyze(&bags, opts.seed).map_err(|e| e.to_string())?;
+    let detector = build_detector(opts)?;
+    let detection = detector
+        .analyze(&bags, opts.seed)
+        .map_err(|e| e.to_string())?;
 
     println!("t,score,ci_lo,ci_up,alert");
     for p in &detection.points {
@@ -235,6 +354,425 @@ fn run(opts: &Options) -> Result<(), String> {
         eprintln!("wrote {out}");
     }
     Ok(())
+}
+
+/// Name under which the follow stream is stored in a `--state` file.
+const FOLLOW_STREAM: &str = "cli-follow";
+
+/// Magic bytes of the CLI checkpoint wrapper (header + engine snapshot).
+const STATE_MAGIC: &[u8; 8] = b"BCPDFLW1";
+
+/// Sentinel for "no time" in the checkpoint header.
+const NO_TIME: i64 = i64::MIN;
+
+/// What a `--state` checkpoint restores: the detector mid-stream, the
+/// time of the last *completed* (pushed) bag, and the rows of the bag
+/// that was still accumulating at EOF.
+///
+/// The pending bag is held back rather than pushed because EOF cannot
+/// distinguish "this bag is complete" from "the producer was cut off
+/// mid-bag" — pushing a partial bag and then skipping its remaining
+/// rows on resume would silently corrupt the stream. Whether a resume
+/// input re-feeds already-consumed data is decided by content
+/// addressing (`consumed` bytes + their hash), never by comparing row
+/// values — on the same-file path, repeated data values can never be
+/// misclassified. A rotated input is assumed to carry only post-cut
+/// data (the meaning of rotation); if it demonstrably re-presents
+/// history (rows of already-pushed times appear), the pending bag is
+/// rebuilt from the input alone instead of appended to.
+struct FollowResume {
+    online: OnlineDetector,
+    /// The session's master seed: the checkpoint's original seed on
+    /// resume (a changed `--seed` cannot rewrite history mid-stream),
+    /// `--seed` on a fresh start.
+    master_seed: u64,
+    /// On rotated input, skip rows with `t <=` this.
+    completed_time: Option<i64>,
+    /// `(time, rows)` of the bag accumulating at checkpoint time.
+    pending: Option<(i64, Vec<Vec<f64>>)>,
+    /// Input bytes consumed so far (0 for stdin sessions).
+    consumed: u64,
+    /// FNV-1a hash of those consumed bytes.
+    prefix_hash: u64,
+}
+
+fn load_or_new_online(opts: &Options, detector: &Detector) -> Result<FollowResume, String> {
+    if let Some(path) = &opts.state {
+        if std::path::Path::new(path).exists() {
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            if bytes.len() < 48 || &bytes[..8] != STATE_MAGIC {
+                return Err(format!("{path}: not a bags-cpd follow checkpoint"));
+            }
+            let completed_time = i64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+            let completed_time = (completed_time != NO_TIME).then_some(completed_time);
+            let pending_time = i64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+            let consumed = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+            let prefix_hash = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+            let dim = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")) as usize;
+            let count = u32::from_le_bytes(bytes[44..48].try_into().expect("4 bytes")) as usize;
+            let body = count
+                .checked_mul(dim)
+                .and_then(|n| n.checked_mul(8))
+                .and_then(|row_bytes| row_bytes.checked_add(48))
+                .filter(|body| *body <= bytes.len())
+                .ok_or_else(|| format!("{path}: corrupt or truncated pending bag"))?;
+            let mut pending_rows = Vec::with_capacity(count.min(1 << 20));
+            for r in 0..count {
+                let mut row = Vec::with_capacity(dim);
+                for c in 0..dim {
+                    let at = 48 + (r * dim + c) * 8;
+                    row.push(f64::from_le_bytes(
+                        bytes[at..at + 8].try_into().expect("8 bytes"),
+                    ));
+                }
+                pending_rows.push(row);
+            }
+            let pending =
+                (pending_time != NO_TIME && count > 0).then_some((pending_time, pending_rows));
+            let (snap_seed, mut streams) = decode_engine(&bytes[body..], detector.config())
+                .map_err(|e| format!("{path}: {e}"))?;
+            if opts.seed_explicit && snap_seed != opts.seed {
+                eprintln!(
+                    "warning: --seed {} ignored; the checkpoint continues under seed \
+                     {snap_seed} (a stream's seed is fixed at its first session)",
+                    opts.seed
+                );
+            }
+            let state = streams
+                .iter()
+                .position(|(name, _)| name == FOLLOW_STREAM)
+                .map(|i| streams.swap_remove(i).1)
+                .ok_or_else(|| format!("{path}: no '{FOLLOW_STREAM}' stream in checkpoint"))?;
+            let online = OnlineDetector::from_state(detector.clone(), state)
+                .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "resumed from {path}: {} bags seen, {} points emitted, {consumed} input bytes \
+                 consumed{}",
+                online.bags_seen(),
+                online.points_emitted(),
+                pending.as_ref().map_or(String::new(), |(t, rows)| format!(
+                    ", {} buffered rows for t = {t}",
+                    rows.len()
+                ))
+            );
+            return Ok(FollowResume {
+                online,
+                master_seed: snap_seed,
+                completed_time,
+                pending,
+                consumed,
+                prefix_hash,
+            });
+        }
+    }
+    Ok(FollowResume {
+        online: OnlineDetector::new(detector.clone(), opts.seed),
+        master_seed: opts.seed,
+        completed_time: None,
+        pending: None,
+        consumed: 0,
+        prefix_hash: 0,
+    })
+}
+
+/// Atomically persist the checkpoint: write a sibling temp file, then
+/// rename over the target, so an interrupted write never truncates the
+/// previous checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn save_state(
+    path: &str,
+    detector: &Detector,
+    seed: u64,
+    online: &OnlineDetector,
+    completed_time: Option<i64>,
+    pending: Option<(i64, &[Vec<f64>])>,
+    consumed: u64,
+    prefix_hash: u64,
+) -> Result<usize, String> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(STATE_MAGIC);
+    bytes.extend_from_slice(&completed_time.unwrap_or(NO_TIME).to_le_bytes());
+    match pending {
+        Some((t, rows)) if !rows.is_empty() => {
+            bytes.extend_from_slice(&t.to_le_bytes());
+            bytes.extend_from_slice(&consumed.to_le_bytes());
+            bytes.extend_from_slice(&prefix_hash.to_le_bytes());
+            bytes.extend_from_slice(&(rows[0].len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for row in rows {
+                for &x in row {
+                    bytes.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        _ => {
+            bytes.extend_from_slice(&NO_TIME.to_le_bytes());
+            bytes.extend_from_slice(&consumed.to_le_bytes());
+            bytes.extend_from_slice(&prefix_hash.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+        }
+    }
+    bytes.extend_from_slice(&encode_engine(
+        detector.config(),
+        seed,
+        vec![(FOLLOW_STREAM.to_string(), online.state())],
+    ));
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
+        f.write_all(&bytes).map_err(|e| format!("{tmp}: {e}"))?;
+        // Durability, not just process-crash atomicity: the data must be
+        // on disk before the rename commits, or a power loss can leave a
+        // zero-length checkpoint behind the new name.
+        f.sync_all().map_err(|e| format!("{tmp}: {e}"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes.len())
+}
+
+fn run_follow(opts: &Options) -> Result<(), String> {
+    let detector = build_detector(opts)?;
+    let FollowResume {
+        mut online,
+        master_seed,
+        completed_time,
+        pending,
+        consumed: resume_consumed,
+        prefix_hash: resume_hash,
+    } = load_or_new_online(opts, &detector)?;
+
+    let is_file = opts.input != "-";
+    let stdin = std::io::stdin();
+    let mut reader: Box<dyn BufRead> = if is_file {
+        let f = std::fs::File::open(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
+        Box::new(std::io::BufReader::new(f))
+    } else {
+        Box::new(stdin.lock())
+    };
+    let origin: &str = if is_file { &opts.input } else { "<stdin>" };
+
+    // Content-addressed resume: if the input begins with exactly the
+    // bytes consumed last session, continue right after them (nothing
+    // is re-parsed, and repeated data values cannot confuse anything).
+    // Otherwise the input was rotated or rewritten: read it from the
+    // top, skipping already-pushed times.
+    let mut hasher = Fnv1a::new();
+    let mut same_file = false;
+    let mut prefix_lines = 0usize;
+    if is_file && resume_consumed > 0 {
+        use std::io::Read as _;
+        let mut left = resume_consumed;
+        let mut buf = [0u8; 8192];
+        while left > 0 {
+            let want = left.min(buf.len() as u64) as usize;
+            let n = reader
+                .read(&mut buf[..want])
+                .map_err(|e| format!("{origin}: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            hasher.update(&buf[..n]);
+            prefix_lines += buf[..n].iter().filter(|&&b| b == b'\n').count();
+            left -= n as u64;
+        }
+        same_file = left == 0 && hasher.finish() == resume_hash;
+        if !same_file {
+            // Rotated/rewritten: restart from byte 0 with a fresh hash.
+            let f = std::fs::File::open(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
+            reader = Box::new(std::io::BufReader::new(f));
+            hasher = Fnv1a::new();
+            eprintln!(
+                "note: {origin} is not the checkpointed input (rotated or rewritten?); reading \
+                 from the top — already-pushed times are skipped and rows for the pending bag \
+                 are treated as its continuation"
+            );
+        }
+    }
+    let mut consumed_total: u64 = if same_file { resume_consumed } else { 0 };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+
+    let mut emit = |online: &mut OnlineDetector, rows: Vec<Vec<f64>>| -> Result<(), String> {
+        let point = online.push(Bag::new(rows)).map_err(|e| e.to_string())?;
+        if let Some(p) = point {
+            writeln!(
+                out,
+                "{},{:.6},{:.6},{:.6},{}",
+                p.t,
+                p.score,
+                p.ci.lo,
+                p.ci.up,
+                u8::from(p.alert)
+            )
+            .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            if p.alert {
+                eprintln!("ALERT at inspection point {}", p.t);
+            }
+        }
+        Ok(())
+    };
+
+    let (mut cur_time, mut cur_rows) = match pending {
+        Some((t, rows)) => (Some(t), rows),
+        None => (None, Vec::new()),
+    };
+    let mut pending_buffered = cur_rows.len();
+    let mut saw_old_rows = false;
+    let mut dim: Option<usize> = cur_rows.first().map(Vec::len);
+    let mut last_completed = completed_time;
+    // Line numbers in diagnostics are absolute file lines: a same-file
+    // resume starts counting after the consumed prefix.
+    let mut lineno = if same_file { prefix_lines } else { 0 };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{origin}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        // A checkpointing file session holds back a final line with no
+        // newline — the producer may still be writing it; it is neither
+        // parsed nor counted as consumed, so the next session re-reads
+        // it. (Stdin close and one-shot runs mean the data is final.)
+        if !line.ends_with('\n') && is_file && opts.state.is_some() {
+            break;
+        }
+        hasher.update(line.as_bytes());
+        consumed_total += n as u64;
+        let row_lineno = lineno;
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // A same-file resume starts mid-file: its first line is data,
+        // and a corrupt one must error, not pass as a "header".
+        let Some((t, coords)) =
+            parse_row(trimmed, row_lineno, origin, row_lineno == 0 && !same_file)?
+        else {
+            continue;
+        };
+        // Rotated input may re-present history: drop rows of bags that
+        // were already pushed. (In same-file mode the offset skipped
+        // them.)
+        if !same_file && completed_time.is_some_and(|last| t <= last) {
+            saw_old_rows = true;
+            continue;
+        }
+        // A true rotation carries only post-cut data, so pending-time
+        // rows are a continuation of the buffered bag. But an input
+        // that re-presented already-pushed times re-presents the
+        // pending rows too — appending would double-count them, so
+        // rebuild the pending bag from this input alone.
+        if !same_file && saw_old_rows && pending_buffered > 0 && Some(t) == cur_time {
+            eprintln!(
+                "note: {origin} re-presents already-processed times; rebuilding the pending bag \
+                 for t = {t} from this input instead of appending to the buffered rows"
+            );
+            cur_rows.clear();
+            pending_buffered = 0;
+        }
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(format!(
+                    "{origin}:{}: dimension {} != {d}",
+                    row_lineno + 1,
+                    coords.len()
+                ));
+            }
+            _ => {}
+        }
+        match cur_time {
+            Some(prev) if t == prev => cur_rows.push(coords),
+            Some(prev) if t < prev => {
+                return Err(format!(
+                    "{origin}:{}: time went backwards ({t} after {prev}); follow mode needs \
+                     nondecreasing times with equal times contiguous",
+                    row_lineno + 1
+                ));
+            }
+            Some(prev) => {
+                emit(&mut online, std::mem::take(&mut cur_rows))?;
+                last_completed = Some(prev);
+                cur_time = Some(t);
+                cur_rows.push(coords);
+            }
+            None => {
+                cur_time = Some(t);
+                cur_rows.push(coords);
+            }
+        }
+    }
+    // EOF. With --state the trailing bag is held back as pending (EOF
+    // cannot prove the producer finished writing it — a partial bag
+    // pushed now could never be amended); the next session completes
+    // it. Without --state this is a one-shot run and the trailing bag
+    // is final by definition.
+    let pending_out: Option<(i64, Vec<Vec<f64>>)> = if opts.state.is_some() {
+        cur_time.map(|t| (t, std::mem::take(&mut cur_rows)))
+    } else {
+        if !cur_rows.is_empty() {
+            emit(&mut online, cur_rows)?;
+        }
+        None
+    };
+    eprintln!(
+        "follow done: {} bags, {} inspection points{}",
+        online.bags_seen(),
+        online.points_emitted(),
+        pending_out.as_ref().map_or(String::new(), |(t, rows)| {
+            format!(
+                " ({} rows for t = {t} held for the next session)",
+                rows.len()
+            )
+        })
+    );
+
+    if let Some(path) = &opts.state {
+        let (consumed, prefix_hash) = if is_file {
+            (consumed_total, hasher.finish())
+        } else {
+            (0, 0)
+        };
+        let written = save_state(
+            path,
+            &detector,
+            master_seed,
+            &online,
+            last_completed,
+            pending_out.as_ref().map(|(t, rows)| (*t, rows.as_slice())),
+            consumed,
+            prefix_hash,
+        )?;
+        eprintln!("checkpointed {written} bytes to {path}");
+    }
+    Ok(())
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    match opts.mode {
+        Mode::Batch => run_batch(opts),
+        Mode::Follow => run_follow(opts),
+    }
 }
 
 fn main() -> ExitCode {

@@ -14,7 +14,11 @@ fn write_test_csv(path: &std::path::Path, steps: usize, change_at: usize) {
     for t in 0..steps {
         for i in 0..60 {
             let u = (i as f64 + 0.5) / 60.0 - 0.5;
-            let x = if t < change_at { u } else { 6.0 * u.signum() + u };
+            let x = if t < change_at {
+                u
+            } else {
+                6.0 * u.signum() + u
+            };
             writeln!(f, "{t},{x}").expect("row");
         }
     }
@@ -32,7 +36,11 @@ fn detects_change_in_csv_input() {
         .args(["--tau", "5", "--tau-prime", "5", "--seed", "7"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.starts_with("t,score,ci_lo,ci_up,alert"));
     // An alert row near t = 12 must exist.
@@ -86,8 +94,452 @@ fn rejects_bad_csv() {
 
 #[test]
 fn rejects_unknown_flag() {
-    let out = bin().args(["x.csv", "--frobnicate"]).output().expect("runs");
+    let out = bin()
+        .args(["x.csv", "--frobnicate"])
+        .output()
+        .expect("runs");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn follow_mode_streams_points_and_alerts() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow1");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("bags.csv");
+    write_test_csv(&input, 24, 12);
+
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args(["--tau", "5", "--tau-prime", "5", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("t,score,ci_lo,ci_up,alert"));
+    let alert_near_12 = stdout.lines().any(|l| {
+        let t: Option<i64> = l.split(',').next().and_then(|v| v.parse().ok());
+        matches!(t, Some(t) if (t - 12).abs() <= 2) && l.ends_with(",1")
+    });
+    assert!(alert_near_12, "no alert near t=12 in:\n{stdout}");
+
+    // Same numbers as batch mode on the same file (the online path is
+    // bit-identical to batch analysis).
+    let batch = bin()
+        .arg(&input)
+        .args(["--tau", "5", "--tau-prime", "5", "--seed", "7"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        String::from_utf8_lossy(&batch.stdout),
+        stdout,
+        "follow and batch must agree"
+    );
+}
+
+#[test]
+fn follow_mode_reads_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args([
+            "follow",
+            "-",
+            "--tau",
+            "3",
+            "--tau-prime",
+            "2",
+            "--replicates",
+            "50",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        writeln!(stdin, "t,x").unwrap();
+        for t in 0..8 {
+            for i in 0..30 {
+                writeln!(stdin, "{t},{}", (i % 5) as f64 * 0.1).unwrap();
+            }
+        }
+    } // closing stdin ends the stream
+    let out = child.wait_with_output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 8 bags, window 5 -> points t = 3..=6.
+    assert_eq!(
+        stdout.lines().count(),
+        1 + 4,
+        "header plus 4 points:\n{stdout}"
+    );
+}
+
+#[test]
+fn follow_mode_checkpoint_resume_is_identical() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow2");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let full = dir.join("full.csv");
+    write_test_csv(&full, 20, 10);
+
+    // Split the same data at t = 9 into two sessions.
+    let text = std::fs::read_to_string(&full).expect("read");
+    let (part1, part2): (Vec<&str>, Vec<&str>) = text
+        .lines()
+        .skip(1)
+        .partition(|l| l.split(',').next().unwrap().parse::<i64>().unwrap() < 9);
+    // Trailing newlines matter: a checkpointing session holds back a
+    // final line with no newline as possibly mid-write.
+    std::fs::write(dir.join("part1.csv"), part1.join("\n") + "\n").unwrap();
+    std::fs::write(dir.join("part2.csv"), part2.join("\n") + "\n").unwrap();
+
+    let state = dir.join("ck.snap");
+    let reference_state = dir.join("ref.snap");
+    let args = [
+        "--tau",
+        "4",
+        "--tau-prime",
+        "3",
+        "--replicates",
+        "60",
+        "--seed",
+        "3",
+    ];
+    let run = |input: &std::path::Path, state: &std::path::Path| -> String {
+        let out = bin()
+            .arg("follow")
+            .arg(input)
+            .args(args)
+            .arg("--state")
+            .arg(state)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Reference: one uninterrupted checkpointing session (a fresh state
+    // file, so it holds back the trailing bag exactly like the split
+    // sessions do).
+    let uninterrupted = run(&full, &reference_state);
+    let first = run(&dir.join("part1.csv"), &state);
+    assert!(state.exists(), "checkpoint written on EOF");
+    let second = run(&dir.join("part2.csv"), &state);
+
+    let resumed: Vec<&str> = first
+        .lines()
+        .chain(second.lines().skip(1)) // drop the second header
+        .collect();
+    let expected: Vec<&str> = uninterrupted.lines().collect();
+    assert_eq!(expected, resumed, "interrupted session must lose nothing");
+}
+
+#[test]
+fn follow_mode_resume_over_same_grown_file_skips_processed_rows() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow3");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("grow.csv");
+    let state = dir.join("ck.snap");
+    let reference_state = dir.join("ref.snap");
+    let args = [
+        "--tau",
+        "4",
+        "--tau-prime",
+        "3",
+        "--replicates",
+        "60",
+        "--seed",
+        "3",
+    ];
+    let run = |state: &std::path::Path| -> String {
+        let out = bin()
+            .arg("follow")
+            .arg(&input)
+            .args(args)
+            .arg("--state")
+            .arg(state)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Session 1 sees 14 complete bags plus a *partially written* bag
+    // for t = 14 (the producer was cut off mid-bag): the reviewer's
+    // nightmare input for naive time-based skipping.
+    write_test_csv(&input, 14, 10);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&input)
+            .expect("append");
+        for i in 0..30 {
+            let u = (i as f64 + 0.5) / 60.0 - 0.5;
+            writeln!(f, "14,{}", 6.0 * u.signum() + u).expect("row");
+        }
+    }
+    let first = run(&state);
+
+    // Re-feeding the unchanged file must emit nothing new (every row is
+    // either from an already-pushed bag or already buffered as the
+    // pending bag) and must not corrupt state.
+    let rerun = run(&state);
+    assert_eq!(rerun.lines().count(), 1, "header only:\n{rerun}");
+
+    // The file grows in place; session 2 picks up only the new rows —
+    // including completing the bag that was mid-accumulation at the
+    // first session's EOF.
+    write_test_csv(&input, 20, 10);
+    let second = run(&state);
+
+    let resumed: Vec<&str> = first.lines().chain(second.lines().skip(1)).collect();
+    let uninterrupted = run(&reference_state);
+    let expected: Vec<&str> = uninterrupted.lines().collect();
+    assert_eq!(expected, resumed, "grown-file resume must lose nothing");
+}
+
+#[test]
+fn follow_mode_resume_continues_rotated_input_and_warns_on_seed_change() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow4");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("log.csv");
+    let state = dir.join("ck.snap");
+
+    // Session 1: 6 complete bags plus half of bag 6 (cut mid-write).
+    let mut body = String::from("t,x\n");
+    for t in 0..6 {
+        for i in 0..20 {
+            body.push_str(&format!("{t},{}\n", (i % 5) as f64 * 0.1));
+        }
+    }
+    // Bag 6's rows are position-distinct so a continuation is
+    // distinguishable from a re-feed.
+    for i in 0..10 {
+        body.push_str(&format!("6,{}\n", i as f64 * 0.01));
+    }
+    std::fs::write(&input, &body).unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args([
+            "--tau",
+            "3",
+            "--tau-prime",
+            "2",
+            "--replicates",
+            "40",
+            "--seed",
+            "1",
+        ])
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // "Rotated" input: the file now starts with the *new* rows of the
+    // pending time (not a re-feed of the buffered ones). They must be
+    // treated as a continuation of the pending bag — with a note — not
+    // rejected and not silently skipped.
+    let mut rotated = String::new();
+    for i in 10..20 {
+        rotated.push_str(&format!("6,{}\n", i as f64 * 0.01));
+    }
+    for i in 0..20 {
+        rotated.push_str(&format!("7,{}\n", (i % 5) as f64 * 0.1));
+    }
+    std::fs::write(&input, &rotated).unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args([
+            "--tau",
+            "3",
+            "--tau-prime",
+            "2",
+            "--replicates",
+            "40",
+            "--seed",
+            "2",
+        ])
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("is not the checkpointed input"),
+        "stderr: {stderr}"
+    );
+    // Bag 6 completed (10 buffered + 10 continuation rows), so the 7-bag
+    // stream emits points t = 3, 4, 5 across both sessions; session 1
+    // (6 complete bags) already emitted t = 3, 4.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "header + point t=5:\n{stdout}");
+    assert!(stdout.lines().nth(1).unwrap().starts_with("5,"));
+    // The changed --seed is surfaced, not silently ignored...
+    assert!(stderr.contains("--seed 2 ignored"), "stderr: {stderr}");
+
+    // ...but omitting --seed on resume (falling back to the default 42)
+    // must NOT warn: the user expressed no conflicting intent.
+    std::fs::write(&input, "8,0.1\n8,0.2\n").unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args(["--tau", "3", "--tau-prime", "2", "--replicates", "40"])
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(!stderr.contains("ignored"), "spurious warning: {stderr}");
+}
+
+#[test]
+fn follow_mode_resume_rebuilds_pending_bag_when_history_is_re_presented() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow5");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("rw.csv");
+    let state = dir.join("ck.snap");
+    let reference_state = dir.join("ref.snap");
+    let args = ["--tau", "2", "--tau-prime", "2", "--replicates", "30"];
+    let run = |state: &std::path::Path| -> (String, String) {
+        let out = bin()
+            .arg("follow")
+            .arg(&input)
+            .args(args)
+            .arg("--state")
+            .arg(state)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    let history = "t,x\n0,0.1\n0,0.2\n1,0.1\n1,0.2\n2,0.1\n2,0.2\n3,0.1\n3,0.2\n4,0.5\n";
+    std::fs::write(&input, history).unwrap();
+    let (first, _) = run(&state);
+
+    // The producer atomically *rewrites* the file: full history again
+    // (including the buffered pending row for t = 4) plus new data,
+    // but without the header this time, so the byte prefix differs.
+    // The hash mismatch routes this through the rotated path, and the
+    // re-presented history must trigger a pending-bag rebuild instead
+    // of double-counting the buffered row.
+    let body = history.strip_prefix("t,x\n").unwrap();
+    std::fs::write(&input, format!("{body}4,0.6\n5,0.1\n5,0.2\n")).unwrap();
+    let (second, stderr) = run(&state);
+    assert!(
+        stderr.contains("re-presents already-processed times"),
+        "stderr: {stderr}"
+    );
+
+    let resumed: Vec<&str> = first.lines().chain(second.lines().skip(1)).collect();
+    let (uninterrupted, _) = run(&reference_state);
+    let expected: Vec<&str> = uninterrupted.lines().collect();
+    assert_eq!(
+        expected, resumed,
+        "rewritten-input resume must not double-count"
+    );
+}
+
+#[test]
+fn follow_mode_resume_rejects_corrupt_line_at_resume_point() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_follow6");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let input = dir.join("c.csv");
+    let state = dir.join("ck.snap");
+    let args = ["--tau", "2", "--tau-prime", "2", "--replicates", "30"];
+
+    std::fs::write(&input, "t,x\n0,0.1\n0,0.2\n1,0.1\n").unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args(args)
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Corruption at the resume point is data, not a "header": it must
+    // error with the absolute file line, not be silently swallowed.
+    let mut grown = std::fs::read_to_string(&input).unwrap();
+    grown.push_str("garbage,9.9\n2,3.0\n");
+    std::fs::write(&input, grown).unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(&input)
+        .args(args)
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(":5: bad time 'garbage'"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn follow_mode_rejects_backwards_time() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["follow", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        writeln!(stdin, "5,1.0\n5,1.1\n4,0.9").unwrap();
+    }
+    let out = child.wait_with_output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("time went backwards"));
+}
+
+#[test]
+fn state_flag_rejected_in_batch_mode() {
+    let out = bin()
+        .args(["x.csv", "--state", "s.snap"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("follow mode"));
 }
 
 #[test]

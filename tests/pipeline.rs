@@ -59,7 +59,9 @@ fn end_to_end_detects_shape_change_all_quantizers() {
             peak.t
         );
         assert!(
-            out.alerts().iter().any(|&a| (a as i64 - 12).unsigned_abs() <= 2),
+            out.alerts()
+                .iter()
+                .any(|&a| (a as i64 - 12).unsigned_abs() <= 2),
             "{method:?}: no alert near the change; alerts {:?}",
             out.alerts()
         );
@@ -134,7 +136,11 @@ fn multivariate_bags_work() {
     let det = detector_with(base_config());
     let out = det.analyze(&bags, 9).expect("3-D analysis succeeds");
     let peak = out.peak().expect("has points");
-    assert!((peak.t as i64 - 10).unsigned_abs() <= 1, "peak at {}", peak.t);
+    assert!(
+        (peak.t as i64 - 10).unsigned_abs() <= 1,
+        "peak at {}",
+        peak.t
+    );
 }
 
 #[test]
@@ -187,8 +193,14 @@ fn baselines_miss_what_bags_catch() {
 
     // ChangeFinder on means: no meaningful peak near t = 30.
     let scores = ChangeFinder::score_series(ChangeFinderConfig::default(), &means);
-    let near: f64 = scores[28..33].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let far: f64 = scores[40..55].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let near: f64 = scores[28..33]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let far: f64 = scores[40..55]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         near < far + 1.0,
         "ChangeFinder should not single out the shape change: near {near} far {far}"
@@ -198,5 +210,9 @@ fn baselines_miss_what_bags_catch() {
     let det = detector_with(base_config());
     let out = det.analyze(&bags, 14).expect("analysis");
     let peak = out.peak().expect("points");
-    assert!((peak.t as i64 - 30).unsigned_abs() <= 1, "peak at {}", peak.t);
+    assert!(
+        (peak.t as i64 - 30).unsigned_abs() <= 1,
+        "peak at {}",
+        peak.t
+    );
 }
