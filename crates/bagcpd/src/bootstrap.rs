@@ -67,6 +67,34 @@ pub struct ConfidenceInterval {
     pub up: f64,
 }
 
+/// Reusable buffers for bootstrap replicate evaluation: per-replicate
+/// seeds, resampled Dirichlet weights, and the replicate score
+/// accumulator.
+///
+/// One scratch reused across inspection points — and across *streams*,
+/// as the worker tick in `crates/stream` does — makes the bootstrap hot
+/// path allocation-free after warm-up. Results are bit-identical to the
+/// allocating [`bootstrap_ci`] path: the scratch changes where replicate
+/// values are stored, never how they are drawn.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapScratch {
+    /// Per-replicate RNG seeds.
+    seeds: Vec<u64>,
+    /// Replicate scores (sorted in place for the quantiles).
+    scores: Vec<f64>,
+    /// Resampled reference-window weights.
+    weights_ref: Vec<f64>,
+    /// Resampled test-window weights.
+    weights_test: Vec<f64>,
+}
+
+impl BootstrapScratch {
+    /// Empty scratch; buffers grow to the bootstrap's shape on first use.
+    pub fn new() -> Self {
+        BootstrapScratch::default()
+    }
+}
+
 /// Compute the bootstrap CI of the score at one inspection point.
 ///
 /// `ref_weights` / `test_weights` are the nominal window weights ψ; the
@@ -83,18 +111,56 @@ pub fn bootstrap_ci(
     cfg: &BootstrapConfig,
     rng: &mut impl Rng,
 ) -> ConfidenceInterval {
+    bootstrap_ci_with(
+        scorer,
+        kind,
+        ref_weights,
+        test_weights,
+        cfg,
+        rng,
+        &mut BootstrapScratch::new(),
+    )
+}
+
+/// As [`bootstrap_ci`], but drawing every buffer from `scratch` instead
+/// of allocating — the form the per-tick batched evaluation in
+/// `crates/stream` uses, with one scratch shared across all streams of a
+/// worker. Bit-identical to [`bootstrap_ci`].
+pub fn bootstrap_ci_with(
+    scorer: &WindowScorer,
+    kind: ScoreKind,
+    ref_weights: &[f64],
+    test_weights: &[f64],
+    cfg: &BootstrapConfig,
+    rng: &mut impl Rng,
+    scratch: &mut BootstrapScratch,
+) -> ConfidenceInterval {
     cfg.validate().expect("invalid bootstrap config");
     let dir_ref = Dirichlet::from_weights(ref_weights);
     let dir_test = Dirichlet::from_weights(test_weights);
 
     // Derive one seed per replicate up front (thread-count independent).
-    let seeds: Vec<u64> = (0..cfg.replicates).map(|_| rng.gen()).collect();
+    scratch.seeds.clear();
+    scratch
+        .seeds
+        .extend((0..cfg.replicates).map(|_| rng.gen::<u64>()));
 
-    let mut scores = if cfg.threads <= 1 {
-        replicate_range(scorer, kind, &dir_ref, &dir_test, &seeds)
+    scratch.scores.clear();
+    if cfg.threads <= 1 {
+        replicate_into(
+            scorer,
+            kind,
+            &dir_ref,
+            &dir_test,
+            &scratch.seeds,
+            &mut scratch.weights_ref,
+            &mut scratch.weights_test,
+            &mut scratch.scores,
+        );
     } else {
+        let seeds = &scratch.seeds;
+        let scores = &mut scratch.scores;
         let chunk = seeds.len().div_ceil(cfg.threads);
-        let mut results: Vec<Vec<f64>> = Vec::new();
         let (dir_ref, dir_test) = (&dir_ref, &dir_test);
         std::thread::scope(|s| {
             let handles: Vec<_> = seeds
@@ -104,20 +170,47 @@ pub fn bootstrap_ci(
                 })
                 .collect();
             for h in handles {
-                results.push(h.join().expect("bootstrap worker panicked"));
+                scores.extend(h.join().expect("bootstrap worker panicked"));
             }
         });
-        results.into_iter().flatten().collect()
-    };
+    }
 
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    scratch
+        .scores
+        .sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
     ConfidenceInterval {
-        lo: quantile_sorted(&scores, cfg.alpha / 2.0),
-        up: quantile_sorted(&scores, 1.0 - cfg.alpha / 2.0),
+        lo: quantile_sorted(&scratch.scores, cfg.alpha / 2.0),
+        up: quantile_sorted(&scratch.scores, 1.0 - cfg.alpha / 2.0),
     }
 }
 
-/// Evaluate one batch of bootstrap replicates.
+/// Evaluate one batch of bootstrap replicates into caller buffers.
+#[allow(clippy::too_many_arguments)]
+fn replicate_into(
+    scorer: &WindowScorer,
+    kind: ScoreKind,
+    dir_ref: &Dirichlet,
+    dir_test: &Dirichlet,
+    seeds: &[u64],
+    wr: &mut Vec<f64>,
+    wt: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    wr.clear();
+    wr.resize(dir_ref.dim(), 0.0);
+    wt.clear();
+    wt.resize(dir_test.dim(), 0.0);
+    out.reserve(seeds.len());
+    for &seed in seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        dir_ref.sample_into(&mut rng, wr);
+        dir_test.sample_into(&mut rng, wt);
+        out.push(scorer.score(kind, wr, wt));
+    }
+}
+
+/// Evaluate one batch of bootstrap replicates (thread-pool path: each
+/// worker owns its buffers).
 fn replicate_range(
     scorer: &WindowScorer,
     kind: ScoreKind,
@@ -126,14 +219,11 @@ fn replicate_range(
     seeds: &[u64],
 ) -> Vec<f64> {
     let mut out = Vec::with_capacity(seeds.len());
-    let mut wr = vec![0.0; dir_ref.dim()];
-    let mut wt = vec![0.0; dir_test.dim()];
-    for &seed in seeds {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        dir_ref.sample_into(&mut rng, &mut wr);
-        dir_test.sample_into(&mut rng, &mut wt);
-        out.push(scorer.score(kind, &wr, &wt));
-    }
+    let mut wr = Vec::new();
+    let mut wt = Vec::new();
+    replicate_into(
+        scorer, kind, dir_ref, dir_test, seeds, &mut wr, &mut wt, &mut out,
+    );
     out
 }
 
@@ -243,6 +333,31 @@ mod tests {
             &mut rng(11),
         );
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_across_shapes() {
+        // One scratch driven across inspection points of different
+        // window shapes (as a stream worker reuses it across streams)
+        // must reproduce the allocating path exactly.
+        let mut scratch = BootstrapScratch::new();
+        let cfg = BootstrapConfig::default();
+        for (tau, tau_prime, seed) in [(3, 3, 7u64), (2, 4, 8), (4, 2, 9), (3, 3, 10)] {
+            let positions: Vec<f64> = (0..tau + tau_prime).map(|i| i as f64 * 0.4).collect();
+            let s = scorer(&positions, tau, tau_prime);
+            let (wr, wt) = (equal_weights(tau), equal_weights(tau_prime));
+            let fresh = bootstrap_ci(&s, ScoreKind::SymmetrizedKl, &wr, &wt, &cfg, &mut rng(seed));
+            let reused = bootstrap_ci_with(
+                &s,
+                ScoreKind::SymmetrizedKl,
+                &wr,
+                &wt,
+                &cfg,
+                &mut rng(seed),
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "tau {tau} tau' {tau_prime}");
+        }
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! out (§§2–4 assembled).
 
 use crate::bag::Bag;
-use crate::bootstrap::{bootstrap_ci, BootstrapConfig, ConfidenceInterval};
+use crate::bootstrap::{bootstrap_ci_with, BootstrapConfig, BootstrapScratch, ConfidenceInterval};
 use crate::error::DetectError;
 use crate::score::{EmdSolver, ScoreKind, WindowScorer};
 use crate::signature_builder::{derive_seed, signature_at, GroundMetric, SignatureMethod};
-use crate::window::{window_weights, Weighting, WindowLayout};
+use crate::window::{window_weights, window_weights_into, Weighting, WindowLayout};
 use emd::Signature;
 use infoest::{DistanceMatrix, EstimatorConfig};
 use rand::SeedableRng;
@@ -98,6 +98,31 @@ impl DetectorConfig {
             }
         }
         Ok(())
+    }
+}
+
+/// Reusable buffers for one inspection-point evaluation: the nominal
+/// window weights plus the bootstrap's [`BootstrapScratch`].
+///
+/// [`Detector::evaluate_point_with`] fills these instead of allocating;
+/// a long-lived caller (the per-worker tick loop in `crates/stream`)
+/// keeps one scratch and reuses it across every stream and every
+/// inspection point it evaluates. Results are bit-identical to the
+/// allocating [`Detector::evaluate_point`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Nominal reference-window weights.
+    ref_weights: Vec<f64>,
+    /// Nominal test-window weights.
+    test_weights: Vec<f64>,
+    /// Bootstrap replicate buffers.
+    bootstrap: BootstrapScratch,
+}
+
+impl EvalScratch {
+    /// Empty scratch; buffers grow to the detector's shape on first use.
+    pub fn new() -> Self {
+        EvalScratch::default()
     }
 }
 
@@ -265,6 +290,7 @@ impl Detector {
         let layout = self.layout();
         let last = layout.last_t(bags.len()).expect("validated in prepare");
 
+        let mut scratch = EvalScratch::new();
         let mut points: Vec<ScorePoint> = Vec::with_capacity(last + 1 - layout.first_t());
         for t in layout.first_t()..=last {
             let scorer = self.window_scorer(&sigs, &band, t)?;
@@ -274,7 +300,7 @@ impl Detector {
                 .checked_sub(self.cfg.tau_prime)
                 .filter(|prev| *prev >= layout.first_t())
                 .map(|prev| points[prev - layout.first_t()].ci.up);
-            points.push(self.evaluate_point(&scorer, t, prev_ci_up, seed));
+            points.push(self.evaluate_point_with(&scorer, t, prev_ci_up, seed, &mut scratch));
         }
         Ok(Detection { points })
     }
@@ -295,16 +321,46 @@ impl Detector {
         prev_ci_up: Option<f64>,
         seed: u64,
     ) -> ScorePoint {
-        let (wr, wt) = self.weights(t);
-        let score = scorer.score(self.cfg.score, &wr, &wt);
+        self.evaluate_point_with(scorer, t, prev_ci_up, seed, &mut EvalScratch::new())
+    }
+
+    /// As [`Detector::evaluate_point`], but allocation-free: every
+    /// buffer (nominal weights, bootstrap seeds/weights/scores) comes
+    /// from `scratch`, which the caller keeps alive across inspection
+    /// points and streams. Bit-identical to the allocating form.
+    pub fn evaluate_point_with(
+        &self,
+        scorer: &WindowScorer,
+        t: usize,
+        prev_ci_up: Option<f64>,
+        seed: u64,
+        scratch: &mut EvalScratch,
+    ) -> ScorePoint {
+        let layout = self.layout();
+        window_weights_into(
+            self.cfg.weighting,
+            t,
+            layout.ref_range(t),
+            true,
+            &mut scratch.ref_weights,
+        );
+        window_weights_into(
+            self.cfg.weighting,
+            t,
+            layout.test_range(t),
+            false,
+            &mut scratch.test_weights,
+        );
+        let score = scorer.score(self.cfg.score, &scratch.ref_weights, &scratch.test_weights);
         let mut rng = rand::rngs::StdRng::seed_from_u64(bootstrap_seed(seed, t));
-        let ci = bootstrap_ci(
+        let ci = bootstrap_ci_with(
             scorer,
             self.cfg.score,
-            &wr,
-            &wt,
+            &scratch.ref_weights,
+            &scratch.test_weights,
             &self.cfg.bootstrap,
             &mut rng,
+            &mut scratch.bootstrap,
         );
         let xi = prev_ci_up.map(|up| ci.lo - up);
         let alert = xi.is_some_and(|x| x > 0.0);

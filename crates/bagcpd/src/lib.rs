@@ -49,9 +49,11 @@ pub mod signature_builder;
 pub mod window;
 
 pub use bag::Bag;
-pub use bootstrap::{bootstrap_ci, BootstrapConfig, ConfidenceInterval};
+pub use bootstrap::{
+    bootstrap_ci, bootstrap_ci_with, BootstrapConfig, BootstrapScratch, ConfidenceInterval,
+};
 pub use detector::{
-    bootstrap_seed, Detection, Detector, DetectorConfig, ScorePoint, StreamingDetector,
+    bootstrap_seed, Detection, Detector, DetectorConfig, EvalScratch, ScorePoint, StreamingDetector,
 };
 pub use error::DetectError;
 pub use feature_select::{per_dimension_scores, OnlineFeatureSelector};
@@ -60,4 +62,7 @@ pub use score::{score_kl, score_lr, EmdSolver, ScoreKind, WindowScorer};
 pub use signature_builder::{
     build_signature, derive_seed, signature_at, GroundMetric, SignatureMethod,
 };
-pub use window::{discounted_weights, equal_weights, Weighting, WindowLayout};
+pub use window::{
+    discounted_weights, discounted_weights_into, equal_weights, equal_weights_into, Weighting,
+    WindowLayout,
+};

@@ -75,8 +75,20 @@ impl WindowLayout {
 /// # Panics
 /// Panics if `n == 0`.
 pub fn equal_weights(n: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    equal_weights_into(n, &mut out);
+    out
+}
+
+/// Fill `out` with equal weights summing to one (allocation-free once
+/// `out` has grown to `n`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn equal_weights_into(n: usize, out: &mut Vec<f64>) {
     assert!(n > 0, "equal_weights: n must be >= 1");
-    vec![1.0 / n as f64; n]
+    out.clear();
+    out.resize(n, 1.0 / n as f64);
 }
 
 /// Discounted weights of Eq. (15), normalized to sum to one.
@@ -88,23 +100,39 @@ pub fn equal_weights(n: usize) -> Vec<f64> {
 /// # Panics
 /// Panics on an empty range.
 pub fn discounted_weights(t: usize, range: std::ops::Range<usize>, is_ref: bool) -> Vec<f64> {
+    let mut out = Vec::new();
+    discounted_weights_into(t, range, is_ref, &mut out);
+    out
+}
+
+/// Fill `out` with the weights of [`discounted_weights`].
+///
+/// # Panics
+/// Panics on an empty range.
+pub fn discounted_weights_into(
+    t: usize,
+    range: std::ops::Range<usize>,
+    is_ref: bool,
+    out: &mut Vec<f64>,
+) {
     assert!(!range.is_empty(), "discounted_weights: empty window");
     // Eq. 15 (with its evident typo corrected): reference bag at index
     // i < t is discounted by its distance t - i from the inspection
     // point; test bag at index i >= t by i - t + 1, so the inspection bag
     // itself carries the largest weight.
-    let raw: Vec<f64> = range
-        .map(|i| {
-            let gap = if is_ref {
-                t as f64 - i as f64
-            } else {
-                i as f64 - t as f64 + 1.0
-            };
-            1.0 / gap.max(1.0)
-        })
-        .collect();
-    let total: f64 = raw.iter().sum();
-    raw.into_iter().map(|w| w / total).collect()
+    out.clear();
+    for i in range {
+        let gap = if is_ref {
+            t as f64 - i as f64
+        } else {
+            i as f64 - t as f64 + 1.0
+        };
+        out.push(1.0 / gap.max(1.0));
+    }
+    let total: f64 = out.iter().sum();
+    for w in out.iter_mut() {
+        *w /= total;
+    }
 }
 
 /// Materialize the weights for a window under a scheme.
@@ -114,9 +142,24 @@ pub fn window_weights(
     range: std::ops::Range<usize>,
     is_ref: bool,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    window_weights_into(scheme, t, range, is_ref, &mut out);
+    out
+}
+
+/// Fill `out` with the weights for a window under a scheme — the
+/// in-place form the streaming hot path uses to avoid per-point
+/// allocation.
+pub fn window_weights_into(
+    scheme: Weighting,
+    t: usize,
+    range: std::ops::Range<usize>,
+    is_ref: bool,
+    out: &mut Vec<f64>,
+) {
     match scheme {
-        Weighting::Equal => equal_weights(range.len()),
-        Weighting::Discounted => discounted_weights(t, range, is_ref),
+        Weighting::Equal => equal_weights_into(range.len(), out),
+        Weighting::Discounted => discounted_weights_into(t, range, is_ref, out),
     }
 }
 
@@ -175,6 +218,17 @@ mod tests {
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(w[0] > w[1] && w[1] > w[2]);
         assert!((w[0] / w[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let mut buf = vec![9.0; 8]; // stale contents must be overwritten
+        equal_weights_into(5, &mut buf);
+        assert_eq!(buf, equal_weights(5));
+        discounted_weights_into(5, 0..5, true, &mut buf);
+        assert_eq!(buf, discounted_weights(5, 0..5, true));
+        window_weights_into(Weighting::Discounted, 5, 5..8, false, &mut buf);
+        assert_eq!(buf, window_weights(Weighting::Discounted, 5, 5..8, false));
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! P3 — streaming throughput: bags/sec through the online detector and
 //! through the sharded engine as the concurrent stream count grows
-//! (1, 64, 1024 named streams).
+//! (1, 64, 1024 named streams), plus a head-to-head of the name-keyed
+//! push path against the interned `StreamId` path.
 
 use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use stream::{EngineConfig, OnlineDetector, StreamEngine};
+use stream::{EngineConfig, OnlineDetector, StreamEngine, StreamId};
 
 const BAGS_PER_STREAM: usize = 8;
 
@@ -62,6 +63,90 @@ fn bench_engine_stream_count(c: &mut Criterion) {
     group.finish();
 }
 
+/// An engine whose single worker is pinned inside a huge bootstrap
+/// evaluation behind a tiny queue, so every push attempt bounces: what
+/// remains measurable is the pure producer-side cost of one push —
+/// routing, message assembly, and (for the name path) the per-push
+/// intern-table lookup. This is exactly the path that used to pay an
+/// `Arc::from(name)` allocation per *rejected* push.
+fn saturated_engine(streams: usize) -> (StreamEngine, Vec<String>, Vec<StreamId>) {
+    let mut engine = StreamEngine::new(EngineConfig {
+        detector: DetectorConfig {
+            tau: 1,
+            tau_prime: 1,
+            signature: SignatureMethod::Histogram { width: 0.5 },
+            bootstrap: BootstrapConfig {
+                replicates: 500_000, // one inspection point takes seconds
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        seed: 1,
+        workers: 1,
+        queue_capacity: 2,
+        batch_size: 1,
+        event_capacity: 1 << 17,
+    })
+    .expect("engine spawns");
+    // Production-shaped names (the per-push lookup hashes every byte).
+    let names: Vec<String> = (0..streams)
+        .map(|s| format!("tenant-{:06}/sensor-{:06}/bags", s % 53, s))
+        .collect();
+    let ids: Vec<StreamId> = names
+        .iter()
+        .map(|n| engine.resolve(n).expect("resolve"))
+        .collect();
+    // Saturate: feed one stream until the worker is mid-evaluation and
+    // the queue refuses.
+    let mut t = 0usize;
+    loop {
+        if engine
+            .try_push_id(ids[0], bag_for(0, t))
+            .expect("try_push")
+            .is_some()
+        {
+            break;
+        }
+        t += 1;
+    }
+    (engine, names, ids)
+}
+
+fn bench_push_keying(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_push_attempt");
+    group.sample_size(20);
+    for &streams in &[64usize, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("name", streams), &streams, |b, &n| {
+            let (mut engine, names, _ids) = saturated_engine(n);
+            let mut bag = Some(bag_for(0, 0));
+            let mut s = 0usize;
+            b.iter(|| {
+                s = (s + 1) % n;
+                let attempt = bag.take().expect("bag cycles");
+                bag = match engine.try_push(&names[s], attempt).expect("engine alive") {
+                    Some(back) => Some(back),
+                    None => Some(bag_for(0, 0)), // rare: a slot freed up
+                };
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("id", streams), &streams, |b, &n| {
+            let (mut engine, _names, ids) = saturated_engine(n);
+            let mut bag = Some(bag_for(0, 0));
+            let mut s = 0usize;
+            b.iter(|| {
+                s = (s + 1) % n;
+                let attempt = bag.take().expect("bag cycles");
+                bag = match engine.try_push_id(ids[s], attempt).expect("engine alive") {
+                    Some(back) => Some(back),
+                    None => Some(bag_for(0, 0)), // rare: a slot freed up
+                };
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Per-push cost of the incremental single-stream core (no engine, no
 /// threads): the steady-state hot path.
 fn bench_online_push(c: &mut Criterion) {
@@ -85,5 +170,10 @@ fn bench_online_push(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_stream_count, bench_online_push);
+criterion_group!(
+    benches,
+    bench_engine_stream_count,
+    bench_push_keying,
+    bench_online_push
+);
 criterion_main!(benches);

@@ -4,11 +4,32 @@ use crate::event::StreamEvent;
 use crate::snapshot::{decode_engine, encode_engine, SnapshotError};
 use crate::worker::{self, Msg};
 use bagcpd::{Bag, DetectError, Detector, DetectorConfig};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Interned handle of a named stream within one [`StreamEngine`].
+///
+/// Obtained from [`StreamEngine::resolve`] (or implicitly by the
+/// name-keyed wrappers); pushing by id skips the per-push name hash and
+/// map lookup entirely, which is what makes the multi-stream hot path
+/// allocation-free. Ids are dense (`0, 1, 2, …` in intern order),
+/// stable for the life of the engine — including across
+/// [`StreamEngine::retire_id`] and a [`StreamEngine::snapshot`] /
+/// [`StreamEngine::restore`] round trip (the snapshot persists the
+/// intern table) — and meaningless to any *other* engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) u32);
+
+impl StreamId {
+    /// Position of this stream's name in the engine's intern table (and
+    /// in the snapshot's name table).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +96,13 @@ impl From<SnapshotError> for EngineError {
 /// A pool of worker threads running thousands of independent
 /// [`crate::OnlineDetector`]s behind bounded channels.
 ///
+/// - **Interning** — a stream name is hashed exactly once, at
+///   [`Self::resolve`] (or the first name-keyed push), into a dense
+///   [`StreamId`]; the id-keyed entry points ([`Self::push_id`],
+///   [`Self::try_push_id`], [`Self::retire_id`]) then move nothing but
+///   an integer and the bag — no per-push allocation, hashing, or map
+///   lookup. Snapshots persist the intern table, so ids stay valid
+///   across [`Self::restore`].
 /// - **Sharding** — a stream name is FNV-hashed to one worker, so each
 ///   stream's bags are processed in order by a single thread, and a
 ///   stream's results are independent of the pool size.
@@ -100,6 +128,12 @@ impl From<SnapshotError> for EngineError {
 pub struct StreamEngine {
     detector: Detector,
     master_seed: u64,
+    /// Intern table: `names[id]` is the name behind [`StreamId`] `id`.
+    names: Vec<Arc<str>>,
+    /// Reverse lookup, consulted only on the name-keyed entry points.
+    ids: HashMap<Arc<str>, StreamId>,
+    /// Cached shard of each id (the name is hashed once, at intern).
+    shards: Vec<u32>,
     senders: Vec<SyncSender<Msg>>,
     events: Receiver<StreamEvent>,
     stash: VecDeque<StreamEvent>,
@@ -134,12 +168,11 @@ impl StreamEngine {
             let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
             let det = detector.clone();
             let ev = event_tx.clone();
-            let seed = cfg.seed;
             let batch = cfg.batch_size;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("stream-worker-{i}"))
-                    .spawn(move || worker::run(det, seed, rx, ev, batch))
+                    .spawn(move || worker::run(det, rx, ev, batch))
                     .expect("spawn worker thread"),
             );
             senders.push(tx);
@@ -147,6 +180,9 @@ impl StreamEngine {
         Ok(StreamEngine {
             detector,
             master_seed: cfg.seed,
+            names: Vec::new(),
+            ids: HashMap::new(),
+            shards: Vec::new(),
             senders,
             events: event_rx,
             stash: VecDeque::new(),
@@ -162,16 +198,23 @@ impl StreamEngine {
     /// # Errors
     /// Snapshot validation failures, or pool spawn failures.
     pub fn restore(bytes: &[u8], cfg: EngineConfig) -> Result<Self, EngineError> {
-        let (master_seed, streams) = decode_engine(bytes, &cfg.detector)?;
+        let snap = decode_engine(bytes, &cfg.detector)?;
         let mut engine = StreamEngine::new(EngineConfig {
-            seed: master_seed,
+            seed: snap.master_seed,
             ..cfg
         })?;
+        // Rebuild the intern table in snapshot order, so every id means
+        // the same stream it did before the checkpoint.
+        for name in &snap.names {
+            engine.resolve(name)?;
+        }
         // Route each stream's state to its shard.
         let n = engine.senders.len();
-        let mut per_shard: Vec<Vec<_>> = (0..n).map(|_| Vec::new()).collect();
-        for (name, state) in streams {
-            per_shard[engine.shard_of(&name)].push((name, state));
+        let mut per_shard: Vec<Vec<(StreamId, crate::OnlineState)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (idx, state) in snap.streams {
+            let id = StreamId(idx); // decode validated idx < names.len()
+            per_shard[engine.shard_of_id(id)].push((id, state));
         }
         let (tx, rx) = mpsc::channel();
         for (shard, streams) in per_shard.into_iter().enumerate() {
@@ -204,37 +247,116 @@ impl StreamEngine {
         self.senders.len()
     }
 
-    /// Feed one bag to the named stream (created on first push),
-    /// waiting while the stream's worker queue is full. While waiting,
-    /// ready events are moved into the internal stash (returned by
-    /// [`Self::drain_events`]) — so a single-threaded producer that
-    /// pushes a long burst before draining cannot deadlock against a
-    /// worker parked on the full event queue.
+    /// Intern a stream name, returning its stable [`StreamId`]. The
+    /// first sighting of a name hashes it once (shard + seed), records
+    /// it in the intern table, and registers it with its worker;
+    /// every later call is a single map lookup. Hot-path producers
+    /// resolve once and then use [`Self::push_id`] /
+    /// [`Self::try_push_id`], which touch no string at all.
+    ///
+    /// Resolving does not create stream state — that still happens on
+    /// the first push — and never needs to be repeated: the id survives
+    /// [`Self::retire_id`] and a snapshot/restore round trip.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited, or
+    /// [`EngineError::BadConfig`] if the intern table is full (2^32
+    /// names).
+    pub fn resolve(&mut self, stream: &str) -> Result<StreamId, EngineError> {
+        if let Some(&id) = self.ids.get(stream) {
+            return Ok(id);
+        }
+        let idx = u32::try_from(self.names.len())
+            .map_err(|_| EngineError::BadConfig("intern table is full (2^32 names)".into()))?;
+        let id = StreamId(idx);
+        let name: Arc<str> = Arc::from(stream);
+        let shard = (worker::name_hash(stream) % self.senders.len() as u64) as u32;
+        let seed = worker::stream_seed(self.master_seed, stream);
+        // Register with the worker *before* recording the id: if the
+        // pool is gone, the name stays un-interned and a retry is clean.
+        self.send_control(
+            shard as usize,
+            Msg::Register {
+                id,
+                name: name.clone(),
+                seed,
+            },
+        )?;
+        self.names.push(name.clone());
+        self.shards.push(shard);
+        self.ids.insert(name, id);
+        Ok(id)
+    }
+
+    /// The id of an already-interned name, without interning.
+    pub fn id_of(&self, stream: &str) -> Option<StreamId> {
+        self.ids.get(stream).copied()
+    }
+
+    /// The name behind an id of this engine.
+    pub fn name_of(&self, id: StreamId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(|n| &**n)
+    }
+
+    /// Feed one bag to the named stream (interned and created on first
+    /// push), waiting while the stream's worker queue is full. While
+    /// waiting, ready events are moved into the internal stash
+    /// (returned by [`Self::drain_events`]) — so a single-threaded
+    /// producer that pushes a long burst before draining cannot
+    /// deadlock against a worker parked on the full event queue.
+    ///
+    /// Equivalent to [`Self::resolve`] + [`Self::push_id`]; after the
+    /// name's first sighting the only extra cost is the map lookup.
     ///
     /// # Errors
     /// [`EngineError::Closed`] if the worker pool has exited.
     pub fn push(&mut self, stream: &str, bag: Bag) -> Result<(), EngineError> {
-        let shard = self.shard_of(stream);
-        self.send_control(
-            shard,
-            Msg::Push {
-                stream: Arc::from(stream),
-                bag,
-            },
-        )
+        let id = self.resolve(stream)?;
+        self.push_id(id, bag)
+    }
+
+    /// Feed one bag to a resolved stream — the allocation-free hot
+    /// path: no hash, no lookup, no `Arc` clone; blocking like
+    /// [`Self::push`].
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this engine's [`Self::resolve`].
+    pub fn push_id(&mut self, id: StreamId, bag: Bag) -> Result<(), EngineError> {
+        let shard = self.shard_of_id(id);
+        self.send_control(shard, Msg::Push { stream: id, bag })
     }
 
     /// Non-blocking push: returns the bag back when the worker queue is
     /// full, so the caller can apply its own backpressure policy.
     ///
+    /// The name is interned on first sight (which registers it with its
+    /// worker); after that this is [`Self::try_push_id`] plus one map
+    /// lookup — in particular, a bounced push no longer pays an
+    /// `Arc::from(stream)` allocation for a message that is immediately
+    /// unwrapped again.
+    ///
     /// # Errors
     /// [`EngineError::Closed`] if the worker pool has exited.
-    pub fn try_push(&self, stream: &str, bag: Bag) -> Result<Option<Bag>, EngineError> {
-        let shard = self.shard_of(stream);
-        match self.senders[shard].try_send(Msg::Push {
-            stream: Arc::from(stream),
-            bag,
-        }) {
+    pub fn try_push(&mut self, stream: &str, bag: Bag) -> Result<Option<Bag>, EngineError> {
+        let id = self.resolve(stream)?;
+        self.try_push_id(id, bag)
+    }
+
+    /// Non-blocking id-keyed push. The message is assembled from the id
+    /// and the caller's bag alone — nothing is allocated for the
+    /// attempt, and on a full queue the bag is handed straight back.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this engine's [`Self::resolve`].
+    pub fn try_push_id(&mut self, id: StreamId, bag: Bag) -> Result<Option<Bag>, EngineError> {
+        let shard = self.shard_of_id(id);
+        match self.senders[shard].try_send(Msg::Push { stream: id, bag }) {
             Ok(()) => Ok(None),
             Err(TrySendError::Full(Msg::Push { bag, .. })) => Ok(Some(bag)),
             Err(TrySendError::Full(_)) => unreachable!("we only sent a push"),
@@ -273,12 +395,39 @@ impl StreamEngine {
     /// # Errors
     /// [`EngineError::Closed`] if the worker pool has exited.
     pub fn retire(&mut self, stream: &str) -> Result<bool, EngineError> {
-        let shard = self.shard_of(stream);
+        // A name that was never interned was never pushed to: nothing
+        // to retire, and no reason to intern it now.
+        let Some(id) = self.id_of(stream) else {
+            return Ok(false);
+        };
+        self.retire_id(id)
+    }
+
+    /// Id-keyed [`Self::retire`]. The id itself stays valid: it keeps
+    /// its intern-table entry, and pushing it later starts a fresh
+    /// stream (same name, same seed) from scratch.
+    ///
+    /// Retiring frees the stream's *detector state* (window signatures,
+    /// distance rows — the dominant footprint) but not its intern-table
+    /// entry (roughly the name's bytes, engine-side and in snapshots),
+    /// which is what keeps the id valid. An engine fed unbounded
+    /// *distinct* names forever (one UUID per request, say) therefore
+    /// still grows by the name table; address such workloads with a
+    /// bounded key space (e.g. shard-slot names reused across
+    /// sessions) until a table-compaction API exists.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] if the worker pool has exited.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this engine's [`Self::resolve`].
+    pub fn retire_id(&mut self, id: StreamId) -> Result<bool, EngineError> {
+        let shard = self.shard_of_id(id);
         let (tx, rx) = mpsc::channel();
         self.send_control(
             shard,
             Msg::Retire {
-                stream: Arc::from(stream),
+                stream: id,
                 reply: tx,
             },
         )?;
@@ -315,13 +464,18 @@ impl StreamEngine {
             self.send_control(shard, Msg::Snapshot { reply: tx.clone() })?;
         }
         drop(tx);
-        let mut streams = Vec::new();
+        let mut streams: Vec<(u32, crate::OnlineState)> = Vec::new();
         for _ in 0..self.senders.len() {
-            streams.extend(self.wait_reply(&rx)?);
+            streams.extend(
+                self.wait_reply(&rx)?
+                    .into_iter()
+                    .map(|(id, state)| (id.index(), state)),
+            );
         }
         Ok(encode_engine(
             self.detector.config(),
             self.master_seed,
+            &self.names,
             streams,
         ))
     }
@@ -378,8 +532,16 @@ impl StreamEngine {
         })
     }
 
-    fn shard_of(&self, stream: &str) -> usize {
-        (worker::name_hash(stream) % self.senders.len() as u64) as usize
+    /// Cached shard of an interned id.
+    ///
+    /// # Panics
+    /// Panics on a [`StreamId`] this engine never issued — ids are
+    /// engine-specific by construction.
+    fn shard_of_id(&self, id: StreamId) -> usize {
+        *self
+            .shards
+            .get(id.0 as usize)
+            .expect("StreamId was not issued by this engine") as usize
     }
 }
 
@@ -601,14 +763,42 @@ mod tests {
         assert!(!engine.retire("drop").unwrap(), "already gone");
         assert!(!engine.retire("never-existed").unwrap());
         assert_eq!(engine.flush().unwrap(), 1);
-        // The snapshot no longer carries the retired stream.
+        // The snapshot no longer carries the retired stream's state,
+        // but its intern-table entry (and thus its id) survives.
         let snap = engine.snapshot().unwrap();
-        let (_, states) = crate::snapshot::decode_engine(&snap, &small_cfg().detector).unwrap();
-        assert_eq!(states.len(), 1);
-        assert_eq!(states[0].0, "keep");
-        // Re-pushing the retired name starts a brand-new stream.
+        let decoded = crate::snapshot::decode_engine(&snap, &small_cfg().detector).unwrap();
+        assert_eq!(decoded.streams.len(), 1);
+        assert_eq!(
+            decoded.names[decoded.streams[0].0 as usize], "keep",
+            "only the kept stream has state"
+        );
+        assert_eq!(decoded.names.len(), 2, "retired name stays interned");
+        // Re-pushing the retired name starts a brand-new stream, under
+        // the same id as before.
+        let drop_id = engine.id_of("drop").unwrap();
         engine.push("drop", bag(0.0)).unwrap();
+        assert_eq!(engine.id_of("drop").unwrap(), drop_id);
         assert_eq!(engine.flush().unwrap(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn resolve_is_stable_and_ids_are_dense() {
+        let mut engine = StreamEngine::new(small_cfg()).unwrap();
+        let a = engine.resolve("a").unwrap();
+        let b = engine.resolve("b").unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(engine.resolve("a").unwrap(), a, "resolve is idempotent");
+        assert_eq!(engine.id_of("a"), Some(a));
+        assert_eq!(engine.id_of("never"), None);
+        assert_eq!(engine.name_of(b), Some("b"));
+        assert_eq!(engine.name_of(StreamId(9)), None);
+        // Resolving alone creates no stream state.
+        assert_eq!(engine.flush().unwrap(), 0);
+        // Pushing by id creates it.
+        engine.push_id(a, bag(0.0)).unwrap();
+        assert_eq!(engine.flush().unwrap(), 1);
         engine.shutdown();
     }
 
@@ -621,7 +811,7 @@ mod tests {
         cfg.queue_capacity = 2;
         cfg.batch_size = 1;
         cfg.detector.bootstrap.replicates = 2000; // make evaluation slow
-        let engine = StreamEngine::new(cfg).unwrap();
+        let mut engine = StreamEngine::new(cfg).unwrap();
         let mut bounced = false;
         for _ in 0..2000 {
             if engine.try_push("s", bag(0.0)).unwrap().is_some() {

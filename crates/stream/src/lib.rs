@@ -16,7 +16,11 @@
 //!   `bagcpd::Detector::analyze` on the same sequence.
 //! - [`StreamEngine`] — a fixed pool of worker threads serving many
 //!   named streams behind bounded queues (backpressure, not unbounded
-//!   buffering), with per-tick batched evaluation.
+//!   buffering), with per-tick batched evaluation. Stream names are
+//!   interned to dense [`StreamId`]s — resolve once, then push by id
+//!   with no per-push allocation, hashing, or map lookup — and each
+//!   worker evaluates its whole tick through one shared bootstrap
+//!   scratch instead of per-point buffers.
 //! - [`snapshot`] — a versioned binary checkpoint format storing every
 //!   stream's state; restoring yields outputs bit-identical to an
 //!   engine that never stopped.
@@ -52,7 +56,7 @@ pub mod snapshot;
 mod worker;
 
 pub use cache::SignatureWindow;
-pub use engine::{EngineConfig, EngineError, StreamEngine};
+pub use engine::{EngineConfig, EngineError, StreamEngine, StreamId};
 pub use event::StreamEvent;
 pub use online::{OnlineDetector, OnlineState};
 pub use snapshot::SnapshotError;

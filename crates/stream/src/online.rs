@@ -1,7 +1,7 @@
 //! Incremental single-stream detector: `push(bag) -> Option<ScorePoint>`.
 
 use crate::cache::SignatureWindow;
-use bagcpd::{signature_at, Bag, DetectError, Detector, ScorePoint, WindowScorer};
+use bagcpd::{signature_at, Bag, DetectError, Detector, EvalScratch, ScorePoint, WindowScorer};
 use emd::Signature;
 use std::collections::VecDeque;
 
@@ -97,6 +97,22 @@ impl OnlineDetector {
     /// [`DetectError::DimensionMismatch`] if the bag's dimension differs
     /// from this stream's established dimension, or an EMD failure.
     pub fn push(&mut self, bag: Bag) -> Result<Option<ScorePoint>, DetectError> {
+        self.push_with(bag, &mut EvalScratch::new())
+    }
+
+    /// As [`OnlineDetector::push`], but evaluating through a caller-kept
+    /// [`EvalScratch`]: the engine's workers hold one scratch each and
+    /// reuse it across every stream they evaluate in a tick, so the
+    /// steady-state bootstrap path allocates nothing. Bit-identical to
+    /// [`OnlineDetector::push`].
+    ///
+    /// # Errors
+    /// As [`OnlineDetector::push`].
+    pub fn push_with(
+        &mut self,
+        bag: Bag,
+        scratch: &mut EvalScratch,
+    ) -> Result<Option<ScorePoint>, DetectError> {
         let d = bag.dim() as u32;
         match self.dim {
             None => self.dim = Some(d),
@@ -128,7 +144,7 @@ impl OnlineDetector {
         };
         let point = self
             .detector
-            .evaluate_point(&scorer, t, prev_ci_up, self.seed);
+            .evaluate_point_with(&scorer, t, prev_ci_up, self.seed, scratch);
         self.ci_up_hist.push_back(point.ci.up);
         if self.ci_up_hist.len() > tau_prime {
             self.ci_up_hist.pop_front();
@@ -146,9 +162,10 @@ impl OnlineDetector {
         &mut self,
         bags: impl IntoIterator<Item = Bag>,
     ) -> Result<Vec<ScorePoint>, DetectError> {
+        let mut scratch = EvalScratch::new();
         let mut out = Vec::new();
         for bag in bags {
-            if let Some(p) = self.push(bag)? {
+            if let Some(p) = self.push_with(bag, &mut scratch)? {
                 out.push(p);
             }
         }

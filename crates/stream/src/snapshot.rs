@@ -1,16 +1,28 @@
-//! Binary snapshot format for engine checkpoint/restore.
+//! Binary snapshot format for engine checkpoint/restore, plus the
+//! [`Reader`]/[`Writer`] primitives it is built on (public, so other
+//! checkpoint wrappers — the CLI's `--state` header — share one error
+//! discipline instead of hand-rolling byte parsing).
 //!
 //! Layout (all integers little-endian, floats as IEEE-754 bit patterns):
 //!
 //! ```text
 //! magic    8 bytes  b"BCPDSNAP"
-//! version  u32      1
+//! version  u32      2
 //! config   fingerprint of the DetectorConfig (see below)
 //! seed     u64      engine master seed
-//! streams  u64      count, then per stream:
+//! names    u64      intern-table size, then per name (id order):
 //!   name       u32 length + UTF-8 bytes
+//! streams  u64      count, then per stream (ascending id):
+//!   id         u32 index into the intern table
 //!   state      OnlineState (see encode_state)
 //! ```
+//!
+//! Version 2 replaced the v1 name-keyed stream list with the engine's
+//! intern table plus id-keyed states: restoring rebuilds the table in
+//! the same order, so [`crate::StreamId`] handles obtained before a
+//! snapshot stay valid after a restore and a restore → snapshot round
+//! trip is byte-identical. Version 1 snapshots are refused with
+//! [`SnapshotError::BadVersion`].
 //!
 //! The config fingerprint captures every parameter that affects results
 //! (windows, score, weighting, signature method, metric, solver,
@@ -26,7 +38,7 @@ use emd::Signature;
 /// Magic bytes opening every snapshot.
 pub const MAGIC: &[u8; 8] = b"BCPDSNAP";
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Snapshot parse/validation failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,39 +74,104 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-// ---- primitive writers -------------------------------------------------
+// ---- primitive writer --------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// Little-endian binary writer over a growable buffer — the encode-side
+/// counterpart of [`Reader`].
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Empty writer with a pre-reserved buffer.
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string (u32 length + bytes).
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
-}
+// ---- primitive reader --------------------------------------------------
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-// ---- primitive readers -------------------------------------------------
-
-/// Cursor over a snapshot buffer.
-struct Reader<'a> {
+/// Cursor over a checkpoint buffer with truncation-safe reads: every
+/// accessor fails with [`SnapshotError::Truncated`] instead of panicking
+/// when the buffer ends early, and [`Reader::bounded_capacity`] caps
+/// pre-allocations so corrupt length fields cannot trigger huge
+/// reservations.
+#[derive(Debug)]
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    /// Consume the next `n` bytes.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
         if end > self.buf.len() {
             return Err(SnapshotError::Truncated);
@@ -104,34 +181,70 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    /// Consume everything left in the buffer (possibly empty).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    /// Read a little-endian `i64`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`].
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`].
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> Result<String, SnapshotError> {
+    /// Read a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Truncated`], or [`SnapshotError::Corrupt`] for
+    /// invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
-            .map_err(|_| SnapshotError::Corrupt("stream name is not UTF-8".into()))
+            .map_err(|_| SnapshotError::Corrupt("string is not UTF-8".into()))
     }
 
-    fn finished(&self) -> bool {
+    /// Whether the cursor has consumed the whole buffer.
+    pub fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
 
-    fn remaining(&self) -> usize {
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
@@ -140,7 +253,7 @@ impl<'a> Reader<'a> {
     /// decoded collection occupies at least `min_size` bytes), so a
     /// corrupt length field cannot trigger a huge allocation before the
     /// very next read fails with `Truncated`.
-    fn bounded_capacity(&self, declared: usize, min_size: usize) -> usize {
+    pub fn bounded_capacity(&self, declared: usize, min_size: usize) -> usize {
         declared.min(self.remaining() / min_size.max(1))
     }
 }
@@ -148,75 +261,75 @@ impl<'a> Reader<'a> {
 // ---- config fingerprint ------------------------------------------------
 
 /// Serialize every result-affecting configuration parameter.
-fn put_config(out: &mut Vec<u8>, cfg: &DetectorConfig) {
-    put_u64(out, cfg.tau as u64);
-    put_u64(out, cfg.tau_prime as u64);
-    out.push(match cfg.score {
+fn put_config(w: &mut Writer, cfg: &DetectorConfig) {
+    w.u64(cfg.tau as u64);
+    w.u64(cfg.tau_prime as u64);
+    w.u8(match cfg.score {
         ScoreKind::LikelihoodRatio => 0,
         ScoreKind::SymmetrizedKl => 1,
     });
-    out.push(match cfg.weighting {
+    w.u8(match cfg.weighting {
         Weighting::Equal => 0,
         Weighting::Discounted => 1,
     });
     match &cfg.signature {
         SignatureMethod::KMeans { k } => {
-            out.push(0);
-            put_u64(out, *k as u64);
+            w.u8(0);
+            w.u64(*k as u64);
         }
         SignatureMethod::KMedoids { k } => {
-            out.push(1);
-            put_u64(out, *k as u64);
+            w.u8(1);
+            w.u64(*k as u64);
         }
         SignatureMethod::Lvq { k } => {
-            out.push(2);
-            put_u64(out, *k as u64);
+            w.u8(2);
+            w.u64(*k as u64);
         }
         SignatureMethod::Histogram { width } => {
-            out.push(3);
-            put_f64(out, *width);
+            w.u8(3);
+            w.f64(*width);
         }
     }
-    out.push(match cfg.metric {
+    w.u8(match cfg.metric {
         GroundMetric::Euclidean => 0,
         GroundMetric::Manhattan => 1,
         GroundMetric::Chebyshev => 2,
     });
     match &cfg.solver {
-        EmdSolver::Exact => out.push(0),
+        EmdSolver::Exact => w.u8(0),
         EmdSolver::Sinkhorn(s) => {
-            out.push(1);
-            put_f64(out, s.epsilon);
-            put_u64(out, s.max_iters as u64);
-            put_f64(out, s.tol);
+            w.u8(1);
+            w.f64(s.epsilon);
+            w.u64(s.max_iters as u64);
+            w.f64(s.tol);
         }
     }
-    put_f64(out, cfg.estimator.offset);
-    put_f64(out, cfg.estimator.scale);
-    put_f64(out, cfg.estimator.dist_floor);
-    put_u64(out, cfg.bootstrap.replicates as u64);
-    put_f64(out, cfg.bootstrap.alpha);
+    w.f64(cfg.estimator.offset);
+    w.f64(cfg.estimator.scale);
+    w.f64(cfg.estimator.dist_floor);
+    w.u64(cfg.bootstrap.replicates as u64);
+    w.f64(cfg.bootstrap.alpha);
 }
 
 /// The fingerprint bytes of a configuration.
 pub fn config_fingerprint(cfg: &DetectorConfig) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    put_config(&mut out, cfg);
-    out
+    let mut w = Writer::with_capacity(64);
+    put_config(&mut w, cfg);
+    w.into_bytes()
 }
 
 // ---- OnlineState -------------------------------------------------------
 
-fn put_signature(out: &mut Vec<u8>, sig: &Signature) {
-    put_u32(out, sig.len() as u32);
-    put_u32(out, sig.dim() as u32);
+fn put_signature(w: &mut Writer, sig: &Signature) {
+    w.u32(sig.len() as u32);
+    w.u32(sig.dim() as u32);
     for p in sig.points() {
         for &x in p {
-            put_f64(out, x);
+            w.f64(x);
         }
     }
-    for &w in sig.weights() {
-        put_f64(out, w);
+    for &weight in sig.weights() {
+        w.f64(weight);
     }
 }
 
@@ -245,27 +358,27 @@ fn read_signature(r: &mut Reader<'_>) -> Result<Signature, SnapshotError> {
 }
 
 /// Append one stream state.
-pub fn encode_state(out: &mut Vec<u8>, state: &OnlineState) {
-    put_u64(out, state.seed);
-    put_u64(out, state.pushed);
-    put_u64(out, state.emitted);
+pub fn encode_state(w: &mut Writer, state: &OnlineState) {
+    w.u64(state.seed);
+    w.u64(state.pushed);
+    w.u64(state.emitted);
     match state.dim {
-        None => put_u32(out, 0),
-        Some(d) => put_u32(out, d + 1),
+        None => w.u32(0),
+        Some(d) => w.u32(d + 1),
     }
-    put_u32(out, state.sigs.len() as u32);
+    w.u32(state.sigs.len() as u32);
     for sig in &state.sigs {
-        put_signature(out, sig);
+        put_signature(w, sig);
     }
     for row in &state.rows {
-        put_u32(out, row.len() as u32);
+        w.u32(row.len() as u32);
         for &d in row {
-            put_f64(out, d);
+            w.f64(d);
         }
     }
-    put_u32(out, state.ci_up_hist.len() as u32);
+    w.u32(state.ci_up_hist.len() as u32);
     for &u in &state.ci_up_hist {
-        put_f64(out, u);
+        w.f64(u);
     }
 }
 
@@ -323,37 +436,56 @@ fn read_state(r: &mut Reader<'_>) -> Result<OnlineState, SnapshotError> {
 
 // ---- whole engine ------------------------------------------------------
 
-/// Serialize an engine checkpoint: master seed plus every stream's
-/// state, sorted by name so equal engine states produce equal bytes.
-pub fn encode_engine(
-    cfg: &DetectorConfig,
-    master_seed: u64,
-    mut streams: Vec<(String, OnlineState)>,
-) -> Vec<u8> {
-    streams.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut out = Vec::with_capacity(64 + streams.len() * 256);
-    out.extend_from_slice(MAGIC);
-    put_u32(&mut out, VERSION);
-    put_config(&mut out, cfg);
-    put_u64(&mut out, master_seed);
-    put_u64(&mut out, streams.len() as u64);
-    for (name, state) in &streams {
-        put_str(&mut out, name);
-        encode_state(&mut out, state);
-    }
-    out
+/// A decoded engine checkpoint: the master seed, the intern table
+/// (`names[id]` is the name behind [`crate::StreamId`] `id`), and the
+/// live streams' states keyed by intern-table index. Retired streams
+/// keep their table entry but carry no state, so the stream list can be
+/// shorter than the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Engine master seed.
+    pub master_seed: u64,
+    /// Stream-name intern table, in id order.
+    pub names: Vec<String>,
+    /// Live stream states as `(intern-table index, state)`, ascending.
+    pub streams: Vec<(u32, OnlineState)>,
 }
 
-/// Parse an engine checkpoint, validating magic, version, and that the
-/// embedded configuration fingerprint matches `cfg`.
+/// Serialize an engine checkpoint: master seed, the intern table in id
+/// order, and every live stream's state sorted by id — so equal engine
+/// states produce equal bytes regardless of collection order.
+pub fn encode_engine<S: AsRef<str>>(
+    cfg: &DetectorConfig,
+    master_seed: u64,
+    names: &[S],
+    mut streams: Vec<(u32, OnlineState)>,
+) -> Vec<u8> {
+    streams.sort_by_key(|(id, _)| *id);
+    let mut w = Writer::with_capacity(64 + names.len() * 24 + streams.len() * 256);
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    put_config(&mut w, cfg);
+    w.u64(master_seed);
+    w.u64(names.len() as u64);
+    for name in names {
+        w.str(name.as_ref());
+    }
+    w.u64(streams.len() as u64);
+    for (id, state) in &streams {
+        debug_assert!((*id as usize) < names.len(), "stream id outside the table");
+        w.u32(*id);
+        encode_state(&mut w, state);
+    }
+    w.into_bytes()
+}
+
+/// Parse an engine checkpoint, validating magic, version, that the
+/// embedded configuration fingerprint matches `cfg`, and that the
+/// stream ids are distinct members of the intern table.
 ///
 /// # Errors
 /// Any [`SnapshotError`].
-#[allow(clippy::type_complexity)]
-pub fn decode_engine(
-    bytes: &[u8],
-    cfg: &DetectorConfig,
-) -> Result<(u64, Vec<(String, OnlineState)>), SnapshotError> {
+pub fn decode_engine(bytes: &[u8], cfg: &DetectorConfig) -> Result<EngineSnapshot, SnapshotError> {
     let mut r = Reader::new(bytes);
     if r.take(8)? != MAGIC {
         return Err(SnapshotError::BadMagic);
@@ -367,23 +499,62 @@ pub fn decode_engine(
         return Err(SnapshotError::ConfigMismatch);
     }
     let master_seed = r.u64()?;
-    let count = r.u64()?;
-    if count > 100_000_000 {
+    let name_count = r.u64()?;
+    if name_count > 100_000_000 {
         return Err(SnapshotError::Corrupt(format!(
-            "implausible stream count {count}"
+            "implausible intern-table size {name_count}"
         )));
     }
-    // A stream entry is at least 40 bytes (name length + state header).
-    let mut streams = Vec::with_capacity(r.bounded_capacity(count as usize, 40));
+    // A table entry is at least its 4-byte length prefix.
+    let mut names = Vec::with_capacity(r.bounded_capacity(name_count as usize, 4));
+    for _ in 0..name_count {
+        names.push(r.str()?);
+    }
+    {
+        let mut seen = std::collections::HashSet::with_capacity(names.len());
+        for name in &names {
+            if !seen.insert(name.as_str()) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate name '{name}' in the intern table"
+                )));
+            }
+        }
+    }
+    let count = r.u64()?;
+    if count > name_count {
+        return Err(SnapshotError::Corrupt(format!(
+            "{count} stream states for {name_count} interned names"
+        )));
+    }
+    // A stream entry is at least 40 bytes (id + state header).
+    let mut streams: Vec<(u32, OnlineState)> =
+        Vec::with_capacity(r.bounded_capacity(count as usize, 40));
     for _ in 0..count {
-        let name = r.str()?;
+        let id = r.u32()?;
+        if id as usize >= names.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "stream id {id} outside the intern table of {} names",
+                names.len()
+            )));
+        }
+        if let Some((prev, _)) = streams.last() {
+            if id <= *prev {
+                return Err(SnapshotError::Corrupt(format!(
+                    "stream ids not strictly increasing ({id} after {prev})"
+                )));
+            }
+        }
         let state = read_state(&mut r)?;
-        streams.push((name, state));
+        streams.push((id, state));
     }
     if !r.finished() {
         return Err(SnapshotError::Corrupt("trailing bytes".into()));
     }
-    Ok((master_seed, streams))
+    Ok(EngineSnapshot {
+        master_seed,
+        names,
+        streams,
+    })
 }
 
 #[cfg(test)]
@@ -420,22 +591,30 @@ mod tests {
 
     #[test]
     fn engine_round_trip() {
-        let streams = vec![
-            ("beta".to_string(), state(2)),
-            ("alpha".to_string(), state(1)),
-        ];
-        let bytes = encode_engine(&cfg(), 99, streams);
-        let (seed, decoded) = decode_engine(&bytes, &cfg()).unwrap();
-        assert_eq!(seed, 99);
-        assert_eq!(decoded.len(), 2);
-        assert_eq!(decoded[0].0, "alpha", "streams are name-sorted");
-        assert_eq!(decoded[0].1, state(1));
-        assert_eq!(decoded[1].1, state(2));
+        let names = ["beta", "alpha"];
+        let streams = vec![(1, state(1)), (0, state(2))];
+        let bytes = encode_engine(&cfg(), 99, &names, streams);
+        let snap = decode_engine(&bytes, &cfg()).unwrap();
+        assert_eq!(snap.master_seed, 99);
+        assert_eq!(snap.names, vec!["beta", "alpha"], "table keeps id order");
+        assert_eq!(snap.streams.len(), 2);
+        assert_eq!(snap.streams[0], (0, state(2)), "streams are id-sorted");
+        assert_eq!(snap.streams[1], (1, state(1)));
+    }
+
+    #[test]
+    fn retired_streams_keep_their_table_entry() {
+        // A name with no state (a retired stream) survives the round
+        // trip, so its StreamId stays valid after restore.
+        let bytes = encode_engine(&cfg(), 3, &["live", "retired"], vec![(0, state(1))]);
+        let snap = decode_engine(&bytes, &cfg()).unwrap();
+        assert_eq!(snap.names.len(), 2);
+        assert_eq!(snap.streams.len(), 1);
     }
 
     #[test]
     fn rejects_bad_magic_version_truncation() {
-        let bytes = encode_engine(&cfg(), 1, vec![("s".into(), state(1))]);
+        let bytes = encode_engine(&cfg(), 1, &["s"], vec![(0, state(1))]);
 
         let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
@@ -462,23 +641,84 @@ mod tests {
     }
 
     #[test]
-    fn huge_declared_lengths_fail_fast_without_allocating() {
-        // A tiny buffer claiming 100M streams must fail with Truncated
-        // (after a bounded, byte-budget-limited reservation), not
-        // attempt a multi-GB Vec::with_capacity.
-        let mut bytes = encode_engine(&cfg(), 1, vec![]);
-        let count_at = bytes.len() - 8;
-        bytes[count_at..].copy_from_slice(&100_000_000u64.to_le_bytes());
-        bytes.push(0); // one stray byte of "stream data"
+    fn rejects_version_1_with_explicit_bad_version() {
+        // A v1 snapshot (same magic, version field 1) must fail loudly
+        // as BadVersion, never parse as garbage.
+        let mut bytes = encode_engine(&cfg(), 1, &["s"], vec![(0, state(1))]);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            decode_engine(&bytes, &cfg()),
+            Err(SnapshotError::BadVersion(1))
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_stream_ids() {
+        // Id outside the table: build the raw layout with the public
+        // Writer, pointing the only stream at id 7 of a 1-entry table.
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.bytes(&config_fingerprint(&cfg()));
+        w.u64(1);
+        w.u64(1);
+        w.str("a");
+        w.u64(1);
+        w.u32(7);
+        encode_state(&mut w, &state(1));
+        assert!(matches!(
+            decode_engine(&w.into_bytes(), &cfg()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Duplicate id.
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.bytes(&config_fingerprint(&cfg()));
+        w.u64(1);
+        w.u64(2);
+        w.str("a");
+        w.str("b");
+        w.u64(2);
+        w.u32(0);
+        encode_state(&mut w, &state(1));
+        w.u32(0);
+        encode_state(&mut w, &state(2));
+        assert!(matches!(
+            decode_engine(&w.into_bytes(), &cfg()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_interned_names() {
+        let bytes = encode_engine(&cfg(), 1, &["same", "same"], vec![]);
         assert!(matches!(
             decode_engine(&bytes, &cfg()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_lengths_fail_fast_without_allocating() {
+        // A tiny buffer claiming 100M interned names must fail with
+        // Truncated (after a bounded, byte-budget-limited reservation),
+        // not attempt a multi-GB Vec::with_capacity.
+        let bytes = encode_engine::<&str>(&cfg(), 1, &[], vec![]);
+        let names_at = bytes.len() - 16; // names count, then stream count
+        let mut huge = bytes;
+        huge[names_at..names_at + 8].copy_from_slice(&100_000_000u64.to_le_bytes());
+        huge.push(0); // one stray byte of "table data"
+        assert!(matches!(
+            decode_engine(&huge, &cfg()),
             Err(SnapshotError::Truncated)
         ));
     }
 
     #[test]
     fn rejects_config_mismatch() {
-        let bytes = encode_engine(&cfg(), 1, vec![]);
+        let bytes = encode_engine::<&str>(&cfg(), 1, &[], vec![]);
         let other = DetectorConfig { tau: 4, ..cfg() };
         assert_eq!(
             decode_engine(&bytes, &other),
@@ -488,16 +728,28 @@ mod tests {
 
     #[test]
     fn snapshot_bytes_are_deterministic() {
-        let a = encode_engine(
-            &cfg(),
-            7,
-            vec![("x".into(), state(1)), ("y".into(), state(2))],
-        );
-        let b = encode_engine(
-            &cfg(),
-            7,
-            vec![("y".into(), state(2)), ("x".into(), state(1))],
-        );
+        let names = ["x", "y"];
+        let a = encode_engine(&cfg(), 7, &names, vec![(0, state(1)), (1, state(2))]);
+        let b = encode_engine(&cfg(), 7, &names, vec![(1, state(2)), (0, state(1))]);
         assert_eq!(a, b, "order of collection must not matter");
+    }
+
+    #[test]
+    fn reader_and_writer_round_trip_primitives() {
+        let mut w = Writer::new();
+        w.u32(7);
+        w.u64(u64::MAX);
+        w.i64(i64::MIN);
+        w.f64(-0.5);
+        w.str("name");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.str().unwrap(), "name");
+        assert!(r.finished());
+        assert_eq!(r.u32(), Err(SnapshotError::Truncated));
     }
 }

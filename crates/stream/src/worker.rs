@@ -1,21 +1,35 @@
 //! Worker threads: each owns one shard of the engine's streams.
 
+use crate::engine::StreamId;
 use crate::event::StreamEvent;
 use crate::online::{OnlineDetector, OnlineState};
-use bagcpd::{derive_seed, Bag, Detector};
+use bagcpd::{derive_seed, Bag, Detector, EvalScratch};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 
 /// Messages a worker accepts. Control messages double as barriers: they
-/// are handled strictly after every push queued before them.
+/// are handled strictly after every push queued before them. The one
+/// exception is [`Msg::Register`], which is applied immediately — the
+/// engine sends it before the first push of its stream, so it can never
+/// affect pushes already queued.
 pub(crate) enum Msg {
-    /// Feed one bag to a named stream (created on first push).
+    /// Bind an interned id to its name and derived seed. Sent exactly
+    /// once per stream, before that stream's first push.
+    Register {
+        /// The interned id (hashed to this shard by the engine).
+        id: StreamId,
+        /// Stream name; shared, not copied, between the registry and
+        /// every event the stream emits.
+        name: Arc<str>,
+        /// The stream's seed, derived from `(master seed, name)`.
+        seed: u64,
+    },
+    /// Feed one bag to a registered stream (state created on first
+    /// push). Carries no allocation beyond the bag itself.
     Push {
-        /// Stream name (hashed to this shard by the engine); shared,
-        /// not copied, between the queue, the shard map, and every
-        /// event the stream emits.
-        stream: Arc<str>,
+        /// Interned stream id.
+        stream: StreamId,
         /// The observation.
         bag: Bag,
     },
@@ -28,20 +42,22 @@ pub(crate) enum Msg {
     /// Serialize the shard's stream states.
     Snapshot {
         /// Reply channel.
-        reply: Sender<Vec<(String, OnlineState)>>,
+        reply: Sender<Vec<(StreamId, OnlineState)>>,
     },
-    /// Retire a stream: drop its state and free its memory. Replies
-    /// with whether the stream existed.
+    /// Retire a stream: drop its state and free its memory (the
+    /// id→name registration stays, so the id remains usable). Replies
+    /// with whether the stream had live state.
     Retire {
-        /// Stream name.
-        stream: Arc<str>,
+        /// Interned stream id.
+        stream: StreamId,
         /// Reply channel.
         reply: Sender<bool>,
     },
-    /// Install restored stream states (engine restore path).
+    /// Install restored stream states (engine restore path); ids must
+    /// already be registered.
     Install {
         /// States routed to this shard.
-        streams: Vec<(String, OnlineState)>,
+        streams: Vec<(StreamId, OnlineState)>,
         /// Reply channel: `Err` describes the first invalid state.
         reply: Sender<Result<(), String>>,
     },
@@ -60,17 +76,40 @@ pub(crate) fn stream_seed(master: u64, name: &str) -> u64 {
     derive_seed(master, name_hash(name))
 }
 
+/// What the worker knows about an interned stream independent of its
+/// live detector state: set once at registration, kept across retire.
+struct StreamMeta {
+    /// The stream's name (cloned cheaply into every event).
+    name: Arc<str>,
+    /// The stream's derived seed.
+    seed: u64,
+}
+
+/// One worker's whole state: the id→name/seed registry, the live
+/// detectors, and the evaluation scratch shared by *all* streams the
+/// worker ticks over — one set of bootstrap buffers per worker, not one
+/// per `evaluate_point`.
+struct Shard {
+    registry: HashMap<StreamId, StreamMeta>,
+    streams: HashMap<StreamId, OnlineDetector>,
+    scratch: EvalScratch,
+}
+
 /// Worker main loop: drain up to `batch_size` queued messages, then
 /// evaluate the tick — pushes grouped per stream so each stream's
-/// score/bootstrap work runs contiguously — and emit events.
+/// score/bootstrap work runs contiguously through the shared scratch —
+/// and emit events.
 pub(crate) fn run(
     detector: Detector,
-    master_seed: u64,
     rx: Receiver<Msg>,
     events: SyncSender<StreamEvent>,
     batch_size: usize,
 ) {
-    let mut shard: HashMap<Arc<str>, OnlineDetector> = HashMap::new();
+    let mut shard = Shard {
+        registry: HashMap::new(),
+        streams: HashMap::new(),
+        scratch: EvalScratch::new(),
+    };
     let mut batch: Vec<Msg> = Vec::with_capacity(batch_size);
     loop {
         // Block for the first message; engine shutdown closes the queue.
@@ -84,7 +123,7 @@ pub(crate) fn run(
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
-        if tick(&detector, master_seed, &mut shard, &mut batch, &events).is_err() {
+        if tick(&detector, &mut shard, &mut batch, &events).is_err() {
             // Event receiver gone: the engine was dropped mid-stream.
             return;
         }
@@ -95,21 +134,25 @@ pub(crate) fn run(
 /// disconnected.
 fn tick(
     detector: &Detector,
-    master_seed: u64,
-    shard: &mut HashMap<Arc<str>, OnlineDetector>,
+    shard: &mut Shard,
     batch: &mut Vec<Msg>,
     events: &SyncSender<StreamEvent>,
 ) -> Result<(), ()> {
     // Group consecutive pushes by stream (per-stream arrival order is
     // preserved; cross-stream order within a tick is immaterial).
-    let mut order: Vec<Arc<str>> = Vec::new();
-    let mut groups: HashMap<Arc<str>, Vec<Bag>> = HashMap::new();
+    let mut order: Vec<StreamId> = Vec::new();
+    let mut groups: HashMap<StreamId, Vec<Bag>> = HashMap::new();
 
     for msg in batch.drain(..) {
         match msg {
+            Msg::Register { id, name, seed } => {
+                // Not a barrier: the engine registers an id before its
+                // first push, so no queued push can depend on this.
+                shard.registry.insert(id, StreamMeta { name, seed });
+            }
             Msg::Push { stream, bag } => {
                 groups
-                    .entry(stream.clone())
+                    .entry(stream)
                     .or_insert_with(|| {
                         order.push(stream);
                         Vec::new()
@@ -118,26 +161,20 @@ fn tick(
             }
             control => {
                 // Barrier: evaluate pending pushes first.
-                evaluate(
-                    detector,
-                    master_seed,
-                    shard,
-                    &mut order,
-                    &mut groups,
-                    events,
-                )?;
+                evaluate(detector, shard, &mut order, &mut groups, events)?;
                 match control {
-                    Msg::Push { .. } => unreachable!("handled above"),
+                    Msg::Register { .. } | Msg::Push { .. } => unreachable!("handled above"),
                     Msg::Flush { reply } => {
-                        let _ = reply.send(shard.len());
+                        let _ = reply.send(shard.streams.len());
                     }
                     Msg::Retire { stream, reply } => {
-                        let _ = reply.send(shard.remove(&stream).is_some());
+                        let _ = reply.send(shard.streams.remove(&stream).is_some());
                     }
                     Msg::Snapshot { reply } => {
                         let states = shard
+                            .streams
                             .iter()
-                            .map(|(name, det)| (name.to_string(), det.state()))
+                            .map(|(id, det)| (*id, det.state()))
                             .collect();
                         let _ = reply.send(states);
                     }
@@ -148,36 +185,34 @@ fn tick(
             }
         }
     }
-    evaluate(
-        detector,
-        master_seed,
-        shard,
-        &mut order,
-        &mut groups,
-        events,
-    )
+    evaluate(detector, shard, &mut order, &mut groups, events)
 }
 
-/// Evaluate the grouped pushes of one tick.
+/// Evaluate the grouped pushes of one tick through the shard's shared
+/// scratch.
 fn evaluate(
     detector: &Detector,
-    master_seed: u64,
-    shard: &mut HashMap<Arc<str>, OnlineDetector>,
-    order: &mut Vec<Arc<str>>,
-    groups: &mut HashMap<Arc<str>, Vec<Bag>>,
+    shard: &mut Shard,
+    order: &mut Vec<StreamId>,
+    groups: &mut HashMap<StreamId, Vec<Bag>>,
     events: &SyncSender<StreamEvent>,
 ) -> Result<(), ()> {
-    for name in order.drain(..) {
-        let bags = groups.remove(&name).expect("grouped with order");
-        let det = shard.entry(name.clone()).or_insert_with(|| {
-            OnlineDetector::new(detector.clone(), stream_seed(master_seed, &name))
-        });
+    for id in order.drain(..) {
+        let bags = groups.remove(&id).expect("grouped with order");
+        let meta = shard
+            .registry
+            .get(&id)
+            .expect("stream registered before its first push");
+        let det = shard
+            .streams
+            .entry(id)
+            .or_insert_with(|| OnlineDetector::new(detector.clone(), meta.seed));
         for bag in bags {
-            match det.push(bag) {
+            match det.push_with(bag, &mut shard.scratch) {
                 Ok(Some(point)) => {
                     events
                         .send(StreamEvent::Point {
-                            stream: name.clone(),
+                            stream: meta.name.clone(),
                             point,
                         })
                         .map_err(|_| ())?;
@@ -187,7 +222,7 @@ fn evaluate(
                     // Drop the offending bag, keep the stream alive.
                     events
                         .send(StreamEvent::Error {
-                            stream: name.clone(),
+                            stream: meta.name.clone(),
                             message: e.to_string(),
                         })
                         .map_err(|_| ())?;
@@ -201,13 +236,18 @@ fn evaluate(
 /// Install restored states into the shard map.
 fn install(
     detector: &Detector,
-    shard: &mut HashMap<Arc<str>, OnlineDetector>,
-    streams: Vec<(String, OnlineState)>,
+    shard: &mut Shard,
+    streams: Vec<(StreamId, OnlineState)>,
 ) -> Result<(), String> {
-    for (name, state) in streams {
+    for (id, state) in streams {
+        let name = shard
+            .registry
+            .get(&id)
+            .map(|m| m.name.clone())
+            .ok_or_else(|| format!("stream id {} is not registered", id.index()))?;
         let det = OnlineDetector::from_state(detector.clone(), state)
             .map_err(|e| format!("stream '{name}': {e}"))?;
-        shard.insert(Arc::from(name), det);
+        shard.streams.insert(id, det);
     }
     Ok(())
 }

@@ -66,9 +66,11 @@ fn thousand_streams_push_through_bounded_engine() {
     // Retained state per stream is capped at the window width: check via
     // the snapshot, which records exactly what the engine holds.
     let snap = engine.snapshot().unwrap();
-    let (_, states) = snapshot::decode_engine(&snap, &engine_config(4).detector).unwrap();
-    assert_eq!(states.len(), STREAMS);
-    for (name, st) in &states {
+    let decoded = snapshot::decode_engine(&snap, &engine_config(4).detector).unwrap();
+    assert_eq!(decoded.streams.len(), STREAMS);
+    assert_eq!(decoded.names.len(), STREAMS);
+    for (id, st) in &decoded.streams {
+        let name = &decoded.names[*id as usize];
         assert_eq!(st.pushed, BAGS as u64, "{name}");
         assert!(st.sigs.len() <= 5, "{name}: window must stay bounded");
         assert!(st.ci_up_hist.len() <= 2, "{name}");
@@ -159,6 +161,100 @@ fn snapshot_mid_window_then_restore_yields_identical_alerts() {
     let mut again = StreamEngine::restore(&bytes, engine_config(1)).unwrap();
     let bytes2 = again.snapshot().unwrap();
     assert_eq!(bytes, bytes2, "restore -> snapshot is the identity");
+}
+
+#[test]
+fn id_keyed_pushes_match_name_keyed_bit_for_bit() {
+    // The satellite equivalence guarantee: resolving once and pushing
+    // by StreamId produces the same event stream and the same snapshot
+    // bytes as pushing by name every time.
+    const STREAMS: usize = 16;
+    const BAGS: usize = 8;
+
+    let mut by_name = StreamEngine::new(engine_config(3)).unwrap();
+    let mut by_id = StreamEngine::new(engine_config(3)).unwrap();
+    // Intern in the same order the name-keyed engine will (s ascending).
+    let ids: Vec<stream::StreamId> = (0..STREAMS)
+        .map(|s| by_id.resolve(&format!("s{s}")).unwrap())
+        .collect();
+
+    for t in 0..BAGS {
+        for (s, &id) in ids.iter().enumerate() {
+            by_name.push(&format!("s{s}"), bag_for(s, t)).unwrap();
+            by_id.push_id(id, bag_for(s, t)).unwrap();
+        }
+    }
+    by_name.flush().unwrap();
+    by_id.flush().unwrap();
+
+    let snap_name = by_name.snapshot().unwrap();
+    let snap_id = by_id.snapshot().unwrap();
+    assert_eq!(snap_name, snap_id, "snapshots must be byte-identical");
+
+    let events_name = points_by_stream(by_name.shutdown());
+    let events_id = points_by_stream(by_id.shutdown());
+    assert_eq!(events_name, events_id, "event streams must be identical");
+
+    // And the non-blocking id path agrees too (drained immediately, so
+    // the tiny queues never refuse here).
+    let mut by_try = StreamEngine::new(engine_config(3)).unwrap();
+    let try_ids: Vec<stream::StreamId> = (0..STREAMS)
+        .map(|s| by_try.resolve(&format!("s{s}")).unwrap())
+        .collect();
+    for t in 0..BAGS {
+        for (s, &id) in try_ids.iter().enumerate() {
+            let mut bag = bag_for(s, t);
+            loop {
+                match by_try.try_push_id(id, bag).unwrap() {
+                    None => break,
+                    Some(back) => {
+                        bag = back;
+                        by_try.drain_events();
+                    }
+                }
+            }
+        }
+    }
+    by_try.flush().unwrap();
+    assert_eq!(by_try.snapshot().unwrap(), snap_id);
+    by_try.shutdown();
+}
+
+#[test]
+fn stream_ids_survive_snapshot_restore() {
+    let mut engine = StreamEngine::new(engine_config(2)).unwrap();
+    let a = engine.resolve("alpha").unwrap();
+    let b = engine.resolve("beta").unwrap();
+    for t in 0..4 {
+        engine.push_id(a, bag_for(0, t)).unwrap();
+        engine.push_id(b, bag_for(1, t)).unwrap();
+    }
+    let bytes = engine.snapshot().unwrap();
+    let mut events = engine.shutdown();
+
+    // Ids issued before the checkpoint address the same streams after a
+    // restore into a different pool shape.
+    let mut restored = StreamEngine::restore(&bytes, engine_config(3)).unwrap();
+    assert_eq!(restored.id_of("alpha"), Some(a));
+    assert_eq!(restored.id_of("beta"), Some(b));
+    assert_eq!(restored.name_of(a), Some("alpha"));
+    for t in 4..8 {
+        restored.push_id(a, bag_for(0, t)).unwrap();
+        restored.push_id(b, bag_for(1, t)).unwrap();
+    }
+    restored.flush().unwrap();
+    events.extend(restored.shutdown());
+    let by_stream = points_by_stream(events);
+
+    // Reference: the same bags through one uninterrupted engine.
+    let mut reference = StreamEngine::new(engine_config(2)).unwrap();
+    for t in 0..8 {
+        reference.push("alpha", bag_for(0, t)).unwrap();
+        reference.push("beta", bag_for(1, t)).unwrap();
+    }
+    reference.flush().unwrap();
+    let expected = points_by_stream(reference.shutdown());
+    assert_eq!(expected, by_stream, "continuation is bit-identical");
 }
 
 #[test]

@@ -11,11 +11,14 @@
 //! would produce — prints immediately, with a latency of τ' bags.
 //!
 //! Part 2 runs the same workload across a [`stream::StreamEngine`]:
-//! many named sensors sharded over a small worker pool, with a
-//! mid-run snapshot/restore to show a restart losing nothing.
+//! many named sensors sharded over a small worker pool — resolved once
+//! to interned [`stream::StreamId`]s and pushed by id from then on —
+//! with a mid-run snapshot/restore to show a restart losing nothing
+//! (including the ids: the snapshot persists the intern table, so
+//! handles resolved before the checkpoint stay valid after it).
 
 use bags_cpd::stats::{seeded_rng, GaussianMixture1d};
-use bags_cpd::stream::{EngineConfig, OnlineDetector, StreamEngine};
+use bags_cpd::stream::{EngineConfig, OnlineDetector, StreamEngine, StreamId};
 use bags_cpd::{Bag, Detector, DetectorConfig};
 
 fn detector() -> Detector {
@@ -72,9 +75,14 @@ fn engine_fleet() {
 
     println!("\nengine: {SENSORS} sensors on 3 workers, snapshot at t = 20\n");
     let mut engine = StreamEngine::new(cfg.clone()).expect("engine spawns");
+    // Resolve each sensor name once; the push loop then moves only an
+    // integer and the bag — no per-push hashing or allocation.
+    let ids: Vec<StreamId> = (0..SENSORS)
+        .map(|s| engine.resolve(&format!("sensor-{s}")).expect("resolve"))
+        .collect();
     let mut feed = |engine: &mut StreamEngine, range: std::ops::Range<usize>| {
         for t in range {
-            for s in 0..SENSORS {
+            for (s, &id) in ids.iter().enumerate() {
                 // Half the sensors change regimes, half stay flat.
                 let regime = if s % 2 == 0 {
                     &regimes[t / 15]
@@ -82,7 +90,7 @@ fn engine_fleet() {
                     &regimes[0]
                 };
                 let bag = Bag::from_scalars(regime.sample_n(120, &mut rng));
-                engine.push(&format!("sensor-{s}"), bag).expect("push");
+                engine.push_id(id, bag).expect("push");
             }
         }
     };
@@ -93,6 +101,9 @@ fn engine_fleet() {
     let mut events = engine.shutdown();
     println!("snapshot: {} bytes for {SENSORS} sensors", snapshot.len());
 
+    // The restored engine rebuilt the intern table from the snapshot:
+    // the StreamIds resolved before the checkpoint still address the
+    // same sensors.
     let mut engine = StreamEngine::restore(&snapshot, cfg).expect("restore");
     feed(&mut engine, 20..45);
     engine.flush().expect("flush");

@@ -56,8 +56,8 @@
 //! written atomically (temp file + fsync + rename), so an interrupted
 //! write never destroys the previous checkpoint.
 
+use bags_cpd::follow::{decode_checkpoint, encode_checkpoint, FollowCheckpoint};
 use bags_cpd::stream::hash::Fnv1a;
-use bags_cpd::stream::snapshot::{decode_engine, encode_engine};
 use bags_cpd::stream::OnlineDetector;
 use bags_cpd::{
     Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
@@ -356,15 +356,6 @@ fn run_batch(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Name under which the follow stream is stored in a `--state` file.
-const FOLLOW_STREAM: &str = "cli-follow";
-
-/// Magic bytes of the CLI checkpoint wrapper (header + engine snapshot).
-const STATE_MAGIC: &[u8; 8] = b"BCPDFLW1";
-
-/// Sentinel for "no time" in the checkpoint header.
-const NO_TIME: i64 = i64::MIN;
-
 /// What a `--state` checkpoint restores: the detector mid-stream, the
 /// time of the last *completed* (pushed) bag, and the rows of the bag
 /// that was still accumulating at EOF.
@@ -400,49 +391,21 @@ fn load_or_new_online(opts: &Options, detector: &Detector) -> Result<FollowResum
     if let Some(path) = &opts.state {
         if std::path::Path::new(path).exists() {
             let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            if bytes.len() < 48 || &bytes[..8] != STATE_MAGIC {
-                return Err(format!("{path}: not a bags-cpd follow checkpoint"));
-            }
-            let completed_time = i64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-            let completed_time = (completed_time != NO_TIME).then_some(completed_time);
-            let pending_time = i64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-            let consumed = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
-            let prefix_hash = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
-            let dim = u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")) as usize;
-            let count = u32::from_le_bytes(bytes[44..48].try_into().expect("4 bytes")) as usize;
-            let body = count
-                .checked_mul(dim)
-                .and_then(|n| n.checked_mul(8))
-                .and_then(|row_bytes| row_bytes.checked_add(48))
-                .filter(|body| *body <= bytes.len())
-                .ok_or_else(|| format!("{path}: corrupt or truncated pending bag"))?;
-            let mut pending_rows = Vec::with_capacity(count.min(1 << 20));
-            for r in 0..count {
-                let mut row = Vec::with_capacity(dim);
-                for c in 0..dim {
-                    let at = 48 + (r * dim + c) * 8;
-                    row.push(f64::from_le_bytes(
-                        bytes[at..at + 8].try_into().expect("8 bytes"),
-                    ));
-                }
-                pending_rows.push(row);
-            }
-            let pending =
-                (pending_time != NO_TIME && count > 0).then_some((pending_time, pending_rows));
-            let (snap_seed, mut streams) = decode_engine(&bytes[body..], detector.config())
-                .map_err(|e| format!("{path}: {e}"))?;
-            if opts.seed_explicit && snap_seed != opts.seed {
+            let FollowCheckpoint {
+                master_seed,
+                completed_time,
+                pending,
+                consumed,
+                prefix_hash,
+                state,
+            } = decode_checkpoint(&bytes, detector.config()).map_err(|e| format!("{path}: {e}"))?;
+            if opts.seed_explicit && master_seed != opts.seed {
                 eprintln!(
                     "warning: --seed {} ignored; the checkpoint continues under seed \
-                     {snap_seed} (a stream's seed is fixed at its first session)",
+                     {master_seed} (a stream's seed is fixed at its first session)",
                     opts.seed
                 );
             }
-            let state = streams
-                .iter()
-                .position(|(name, _)| name == FOLLOW_STREAM)
-                .map(|i| streams.swap_remove(i).1)
-                .ok_or_else(|| format!("{path}: no '{FOLLOW_STREAM}' stream in checkpoint"))?;
             let online = OnlineDetector::from_state(detector.clone(), state)
                 .map_err(|e| format!("{path}: {e}"))?;
             eprintln!(
@@ -457,7 +420,7 @@ fn load_or_new_online(opts: &Options, detector: &Detector) -> Result<FollowResum
             );
             return Ok(FollowResume {
                 online,
-                master_seed: snap_seed,
+                master_seed,
                 completed_time,
                 pending,
                 consumed,
@@ -478,46 +441,12 @@ fn load_or_new_online(opts: &Options, detector: &Detector) -> Result<FollowResum
 /// Atomically persist the checkpoint: write a sibling temp file, then
 /// rename over the target, so an interrupted write never truncates the
 /// previous checkpoint.
-#[allow(clippy::too_many_arguments)]
 fn save_state(
     path: &str,
     detector: &Detector,
-    seed: u64,
-    online: &OnlineDetector,
-    completed_time: Option<i64>,
-    pending: Option<(i64, &[Vec<f64>])>,
-    consumed: u64,
-    prefix_hash: u64,
+    checkpoint: &FollowCheckpoint,
 ) -> Result<usize, String> {
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(STATE_MAGIC);
-    bytes.extend_from_slice(&completed_time.unwrap_or(NO_TIME).to_le_bytes());
-    match pending {
-        Some((t, rows)) if !rows.is_empty() => {
-            bytes.extend_from_slice(&t.to_le_bytes());
-            bytes.extend_from_slice(&consumed.to_le_bytes());
-            bytes.extend_from_slice(&prefix_hash.to_le_bytes());
-            bytes.extend_from_slice(&(rows[0].len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&(rows.len() as u32).to_le_bytes());
-            for row in rows {
-                for &x in row {
-                    bytes.extend_from_slice(&x.to_le_bytes());
-                }
-            }
-        }
-        _ => {
-            bytes.extend_from_slice(&NO_TIME.to_le_bytes());
-            bytes.extend_from_slice(&consumed.to_le_bytes());
-            bytes.extend_from_slice(&prefix_hash.to_le_bytes());
-            bytes.extend_from_slice(&0u32.to_le_bytes());
-            bytes.extend_from_slice(&0u32.to_le_bytes());
-        }
-    }
-    bytes.extend_from_slice(&encode_engine(
-        detector.config(),
-        seed,
-        vec![(FOLLOW_STREAM.to_string(), online.state())],
-    ));
+    let bytes = encode_checkpoint(detector.config(), checkpoint);
     let tmp = format!("{path}.tmp");
     {
         let mut f = std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
@@ -753,16 +682,15 @@ fn run_follow(opts: &Options) -> Result<(), String> {
         } else {
             (0, 0)
         };
-        let written = save_state(
-            path,
-            &detector,
+        let checkpoint = FollowCheckpoint {
             master_seed,
-            &online,
-            last_completed,
-            pending_out.as_ref().map(|(t, rows)| (*t, rows.as_slice())),
+            completed_time: last_completed,
+            pending: pending_out,
             consumed,
             prefix_hash,
-        )?;
+            state: online.state(),
+        };
+        let written = save_state(path, &detector, &checkpoint)?;
         eprintln!("checkpointed {written} bytes to {path}");
     }
     Ok(())

@@ -1,0 +1,192 @@
+//! Property tests of the CLI follow-checkpoint format: corrupting or
+//! truncating a checkpoint at an arbitrary byte offset must always
+//! yield a clean error — never a panic, an allocation blow-up, or a
+//! silently lossy resume (pending rows dropped on the floor).
+
+use bags_cpd::emd::Signature;
+use bags_cpd::follow::{
+    decode_checkpoint, encode_checkpoint, FollowCheckpoint, StateError, NO_TIME,
+};
+use bags_cpd::stream::OnlineState;
+use bags_cpd::{BootstrapConfig, DetectorConfig};
+use proptest::prelude::*;
+
+fn cfg() -> DetectorConfig {
+    DetectorConfig {
+        tau: 3,
+        tau_prime: 2,
+        bootstrap: BootstrapConfig {
+            replicates: 40,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A structurally valid `OnlineState` with `k` retained signatures
+/// (triangular distance rows, as the real window keeps them).
+fn state(seed: u64, k: usize) -> OnlineState {
+    let sigs: Vec<Signature> = (0..k)
+        .map(|i| Signature::new(vec![vec![i as f64 * 0.5]], vec![1.0]).unwrap())
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..k)
+        .map(|i| (i + 1..k).map(|j| (j - i) as f64 * 0.5).collect())
+        .collect();
+    OnlineState {
+        seed,
+        pushed: k as u64,
+        emitted: 0,
+        dim: (k > 0).then_some(1),
+        sigs,
+        rows,
+        ci_up_hist: vec![],
+    }
+}
+
+fn checkpoint(
+    seed: u64,
+    k: usize,
+    completed: Option<i64>,
+    pending: Option<(i64, Vec<Vec<f64>>)>,
+    consumed: u64,
+    prefix_hash: u64,
+) -> FollowCheckpoint {
+    FollowCheckpoint {
+        master_seed: seed,
+        completed_time: completed,
+        pending,
+        consumed,
+        prefix_hash,
+        state: state(seed, k),
+    }
+}
+
+/// Strategy for a pending bag: absent half the time, else 1–4 rows of
+/// a shared dimension 1–3 at a non-sentinel time.
+fn pending_strategy() -> impl Strategy<Value = Option<(i64, Vec<Vec<f64>>)>> {
+    (0u8..2, (NO_TIME + 1)..i64::MAX, 1usize..4, 1usize..5).prop_map(|(present, t, dim, count)| {
+        (present == 1).then(|| {
+            let rows = (0..count)
+                .map(|r| (0..dim).map(|c| (r * dim + c) as f64 * 0.25).collect())
+                .collect();
+            (t, rows)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity on every field.
+    #[test]
+    fn round_trip(
+        seed in 0u64..u64::MAX,
+        k in 0usize..4,
+        completed in (0u8..2, (NO_TIME + 1)..i64::MAX)
+            .prop_map(|(some, t)| (some == 1).then_some(t)),
+        pending in pending_strategy(),
+        consumed in 0u64..u64::MAX,
+        prefix_hash in 0u64..u64::MAX,
+    ) {
+        let ck = checkpoint(seed, k, completed, pending, consumed, prefix_hash);
+        let bytes = encode_checkpoint(&cfg(), &ck);
+        let back = decode_checkpoint(&bytes, &cfg()).expect("valid checkpoint decodes");
+        prop_assert_eq!(back, ck);
+    }
+
+    /// Every strict prefix of a valid checkpoint fails cleanly: no
+    /// panic, no giant allocation, just an error.
+    #[test]
+    fn truncation_at_any_offset_errors(
+        cut_frac in 0.0..1.0f64,
+        pending in pending_strategy(),
+    ) {
+        let ck = checkpoint(7, 2, Some(5), pending, 100, 42);
+        let bytes = encode_checkpoint(&cfg(), &ck);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        let err = decode_checkpoint(&bytes[..cut], &cfg())
+            .expect_err("a strict prefix must never decode");
+        // A short file reads as truncation (or, with the magic intact
+        // but content cut, whichever structural error hit first) — but
+        // never as a successful, silently shorter resume.
+        let _ = err;
+    }
+
+    /// Flipping any single byte never panics; if the result still
+    /// decodes, the pending bag is structurally intact (no rows were
+    /// silently dropped and no ragged rows appear).
+    #[test]
+    fn byte_flip_never_panics_or_drops_rows(
+        at_frac in 0.0..1.0f64,
+        flip in 1u8..=255,
+        pending in pending_strategy(),
+    ) {
+        let ck = checkpoint(3, 2, Some(1), pending, 9, 11);
+        let mut bytes = encode_checkpoint(&cfg(), &ck);
+        let at = ((bytes.len() as f64) * at_frac) as usize % bytes.len();
+        bytes[at] ^= flip;
+        if let Ok(decoded) = decode_checkpoint(&bytes, &cfg()) {
+            if let Some((_, rows)) = &decoded.pending {
+                prop_assert!(!rows.is_empty(), "pending present implies rows");
+                let dim = rows[0].len();
+                prop_assert!(rows.iter().all(|r| r.len() == dim), "ragged pending rows");
+            }
+        }
+    }
+}
+
+#[test]
+fn pending_rows_without_pending_time_are_rejected_not_dropped() {
+    // Regression: the old loader treated `count > 0` with
+    // `pending_time == NO_TIME` as "no pending bag" and silently
+    // discarded the buffered rows — data loss on resume. It must be a
+    // hard error.
+    let ck = checkpoint(1, 2, Some(4), Some((5, vec![vec![0.5], vec![1.5]])), 10, 2);
+    let mut bytes = encode_checkpoint(&cfg(), &ck);
+    bytes[16..24].copy_from_slice(&NO_TIME.to_le_bytes()); // clear pending_time only
+    match decode_checkpoint(&bytes, &cfg()) {
+        Err(StateError::Corrupt(why)) => {
+            assert!(why.contains("pending rows"), "unexpected reason: {why}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_foreign_files_are_distinguished() {
+    // Regression: a short write used to be reported as "not a bags-cpd
+    // follow checkpoint"; it must surface as truncation instead.
+    let ck = checkpoint(1, 2, None, None, 0, 0);
+    let bytes = encode_checkpoint(&cfg(), &ck);
+
+    assert_eq!(
+        decode_checkpoint(&bytes[..20], &cfg()),
+        Err(StateError::Truncated),
+        "short file is truncation, not a foreign file"
+    );
+    assert_eq!(
+        decode_checkpoint(&bytes[..3], &cfg()),
+        Err(StateError::Truncated),
+        "shorter than the magic is still truncation"
+    );
+
+    let mut foreign = bytes;
+    foreign[..8].copy_from_slice(b"NOTBAGS!");
+    assert_eq!(
+        decode_checkpoint(&foreign, &cfg()),
+        Err(StateError::BadMagic),
+        "wrong magic is a foreign file"
+    );
+}
+
+#[test]
+fn pending_time_without_rows_is_rejected() {
+    let ck = checkpoint(1, 2, None, None, 0, 0);
+    let mut bytes = encode_checkpoint(&cfg(), &ck);
+    bytes[16..24].copy_from_slice(&7i64.to_le_bytes()); // set pending_time, keep count 0
+    assert!(matches!(
+        decode_checkpoint(&bytes, &cfg()),
+        Err(StateError::Corrupt(_))
+    ));
+}
