@@ -82,6 +82,10 @@ pub struct BootstrapScratch {
     seeds: Vec<u64>,
     /// Replicate scores (sorted in place for the quantiles).
     scores: Vec<f64>,
+    /// Dirichlet concentrations of the reference-window posterior.
+    alpha_ref: Vec<f64>,
+    /// Dirichlet concentrations of the test-window posterior.
+    alpha_test: Vec<f64>,
     /// Resampled reference-window weights.
     weights_ref: Vec<f64>,
     /// Resampled test-window weights.
@@ -136,8 +140,12 @@ pub fn bootstrap_ci_with(
     scratch: &mut BootstrapScratch,
 ) -> ConfidenceInterval {
     cfg.validate().expect("invalid bootstrap config");
-    let dir_ref = Dirichlet::from_weights(ref_weights);
-    let dir_test = Dirichlet::from_weights(test_weights);
+    // The Appendix-B posteriors are fully described by their
+    // concentration vectors; keep them in scratch instead of building
+    // `Dirichlet` values (this function runs once per inspection point
+    // on the streaming hot path and must not allocate once warm).
+    Dirichlet::alpha_from_weights(ref_weights, &mut scratch.alpha_ref);
+    Dirichlet::alpha_from_weights(test_weights, &mut scratch.alpha_test);
 
     // Derive one seed per replicate up front (thread-count independent).
     scratch.seeds.clear();
@@ -150,8 +158,8 @@ pub fn bootstrap_ci_with(
         replicate_into(
             scorer,
             kind,
-            &dir_ref,
-            &dir_test,
+            &scratch.alpha_ref,
+            &scratch.alpha_test,
             &scratch.seeds,
             &mut scratch.weights_ref,
             &mut scratch.weights_test,
@@ -161,12 +169,14 @@ pub fn bootstrap_ci_with(
         let seeds = &scratch.seeds;
         let scores = &mut scratch.scores;
         let chunk = seeds.len().div_ceil(cfg.threads);
-        let (dir_ref, dir_test) = (&dir_ref, &dir_test);
+        let (alpha_ref, alpha_test) = (&scratch.alpha_ref, &scratch.alpha_test);
         std::thread::scope(|s| {
             let handles: Vec<_> = seeds
                 .chunks(chunk)
                 .map(|chunk_seeds| {
-                    s.spawn(move || replicate_range(scorer, kind, dir_ref, dir_test, chunk_seeds))
+                    s.spawn(move || {
+                        replicate_range(scorer, kind, alpha_ref, alpha_test, chunk_seeds)
+                    })
                 })
                 .collect();
             for h in handles {
@@ -175,9 +185,12 @@ pub fn bootstrap_ci_with(
         });
     }
 
+    // Unstable sort: no merge buffer, and equal keys are identical f64
+    // bit patterns, so the sorted sequence (and thus the quantiles) is
+    // exactly what the stable sort produced.
     scratch
         .scores
-        .sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+        .sort_unstable_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
     ConfidenceInterval {
         lo: quantile_sorted(&scratch.scores, cfg.alpha / 2.0),
         up: quantile_sorted(&scratch.scores, 1.0 - cfg.alpha / 2.0),
@@ -189,22 +202,22 @@ pub fn bootstrap_ci_with(
 fn replicate_into(
     scorer: &WindowScorer,
     kind: ScoreKind,
-    dir_ref: &Dirichlet,
-    dir_test: &Dirichlet,
+    alpha_ref: &[f64],
+    alpha_test: &[f64],
     seeds: &[u64],
     wr: &mut Vec<f64>,
     wt: &mut Vec<f64>,
     out: &mut Vec<f64>,
 ) {
     wr.clear();
-    wr.resize(dir_ref.dim(), 0.0);
+    wr.resize(alpha_ref.len(), 0.0);
     wt.clear();
-    wt.resize(dir_test.dim(), 0.0);
+    wt.resize(alpha_test.len(), 0.0);
     out.reserve(seeds.len());
     for &seed in seeds {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        dir_ref.sample_into(&mut rng, wr);
-        dir_test.sample_into(&mut rng, wt);
+        Dirichlet::sample_alpha_into(alpha_ref, &mut rng, wr);
+        Dirichlet::sample_alpha_into(alpha_test, &mut rng, wt);
         out.push(scorer.score(kind, wr, wt));
     }
 }
@@ -214,15 +227,15 @@ fn replicate_into(
 fn replicate_range(
     scorer: &WindowScorer,
     kind: ScoreKind,
-    dir_ref: &Dirichlet,
-    dir_test: &Dirichlet,
+    alpha_ref: &[f64],
+    alpha_test: &[f64],
     seeds: &[u64],
 ) -> Vec<f64> {
     let mut out = Vec::with_capacity(seeds.len());
     let mut wr = Vec::new();
     let mut wt = Vec::new();
     replicate_into(
-        scorer, kind, dir_ref, dir_test, seeds, &mut wr, &mut wt, &mut out,
+        scorer, kind, alpha_ref, alpha_test, seeds, &mut wr, &mut wt, &mut out,
     );
     out
 }

@@ -4,7 +4,7 @@
 use crate::bag::Bag;
 use crate::bootstrap::{bootstrap_ci_with, BootstrapConfig, BootstrapScratch, ConfidenceInterval};
 use crate::error::DetectError;
-use crate::score::{EmdSolver, ScoreKind, WindowScorer};
+use crate::score::{EmdSolver, ScoreKind, SolverScratch, WindowScorer};
 use crate::signature_builder::{derive_seed, signature_at, GroundMetric, SignatureMethod};
 use crate::window::{window_weights, window_weights_into, Weighting, WindowLayout};
 use emd::Signature;
@@ -245,14 +245,17 @@ impl Detector {
     /// # Errors
     /// Propagates EMD failures.
     pub fn pairwise_emd(&self, sigs: &[Signature]) -> Result<DistanceMatrix, DetectError> {
+        let mut scratch = SolverScratch::new();
         let n = sigs.len();
         let mut data = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = self
-                    .cfg
-                    .solver
-                    .distance(&sigs[i], &sigs[j], &self.cfg.metric)?;
+                let d = self.cfg.solver.distance_with(
+                    &sigs[i],
+                    &sigs[j],
+                    &self.cfg.metric,
+                    &mut scratch,
+                )?;
                 data[i * n + j] = d;
                 data[j * n + i] = d;
             }
@@ -388,16 +391,22 @@ impl Detector {
             });
         }
         let sigs = self.signatures(bags, seed)?;
+        // One solver scratch across the whole band: the batch sweep pays
+        // for its simplex tableaus once, exactly like the streaming
+        // workers do per tick.
+        let mut scratch = SolverScratch::new();
         let n = sigs.len();
         let width = need; // only pairs inside one window are ever read
         let mut data = vec![0.0; n * n];
         for i in 0..n {
             let jmax = (i + width).min(n);
             for j in (i + 1)..jmax {
-                let d = self
-                    .cfg
-                    .solver
-                    .distance(&sigs[i], &sigs[j], &self.cfg.metric)?;
+                let d = self.cfg.solver.distance_with(
+                    &sigs[i],
+                    &sigs[j],
+                    &self.cfg.metric,
+                    &mut scratch,
+                )?;
                 data[i * n + j] = d;
                 data[j * n + i] = d;
             }

@@ -8,8 +8,12 @@
 
 use crate::error::DetectError;
 use crate::signature_builder::GroundMetric;
-use emd::{emd, sinkhorn_emd, Signature, SinkhornConfig};
-use infoest::{auto_entropy, cross_entropy, information_content, DistanceMatrix, EstimatorConfig};
+use emd::{
+    emd_with, sinkhorn_emd_with, Signature, SinkhornConfig, SinkhornScratch, TransportScratch,
+};
+use infoest::{
+    auto_entropy_block, cross_entropy_block, information_content, DistanceMatrix, EstimatorConfig,
+};
 
 /// Which optimal-transport solver computes the signature distances.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -25,8 +29,33 @@ pub enum EmdSolver {
     Sinkhorn(SinkhornConfig),
 }
 
+/// Reusable solver state covering either [`EmdSolver`] variant: the
+/// transportation-simplex tableau for the exact path and the Sinkhorn
+/// iteration buffers for the approximate one. A long-lived caller (the
+/// batch detector's banded sweep, a stream worker's tick loop) keeps one
+/// and threads it through every [`EmdSolver::distance_with`] call, so
+/// pairwise distances are solved with no heap allocation in steady
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct SolverScratch {
+    /// Exact transportation-simplex buffers.
+    transport: TransportScratch,
+    /// Sinkhorn iteration buffers.
+    sinkhorn: SinkhornScratch,
+}
+
+impl SolverScratch {
+    /// Empty scratch; buffers grow to the signatures' shape on first use.
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+}
+
 impl EmdSolver {
     /// Distance between two signatures under this solver.
+    ///
+    /// Equivalent to [`EmdSolver::distance_with`] with a fresh
+    /// [`SolverScratch`].
     ///
     /// # Errors
     /// Propagates the underlying solver's failures.
@@ -36,9 +65,24 @@ impl EmdSolver {
         b: &Signature,
         metric: &GroundMetric,
     ) -> Result<f64, emd::EmdError> {
+        self.distance_with(a, b, metric, &mut SolverScratch::new())
+    }
+
+    /// As [`EmdSolver::distance`], reusing a caller-kept scratch —
+    /// allocation-free once warm, bit-identical results.
+    ///
+    /// # Errors
+    /// As [`EmdSolver::distance`].
+    pub fn distance_with(
+        &self,
+        a: &Signature,
+        b: &Signature,
+        metric: &GroundMetric,
+        scratch: &mut SolverScratch,
+    ) -> Result<f64, emd::EmdError> {
         match self {
-            EmdSolver::Exact => emd(a, b, metric),
-            EmdSolver::Sinkhorn(cfg) => sinkhorn_emd(a, b, metric, cfg),
+            EmdSolver::Exact => emd_with(a, b, metric, &mut scratch.transport),
+            EmdSolver::Sinkhorn(cfg) => sinkhorn_emd_with(a, b, metric, cfg, &mut scratch.sinkhorn),
         }
     }
 }
@@ -87,10 +131,16 @@ impl WindowScorer {
             "WindowScorer: expected tau + tau' signatures"
         );
         let w = signatures.len();
+        let mut scratch = SolverScratch::new();
         let mut data = vec![0.0; w * w];
         for i in 0..w {
             for j in (i + 1)..w {
-                let d = emd(&signatures[i], &signatures[j], metric)?;
+                let d = emd_with(
+                    &signatures[i],
+                    &signatures[j],
+                    metric,
+                    &mut scratch.transport,
+                )?;
                 data[i * w + j] = d;
                 data[j * w + i] = d;
             }
@@ -139,6 +189,14 @@ impl WindowScorer {
         &self.dist
     }
 
+    /// Consume the scorer, returning the distance matrix — so a hot
+    /// loop building one scorer per inspection point can recycle the
+    /// matrix storage (`DistanceMatrix::into_vec`) instead of
+    /// re-allocating it every time.
+    pub fn into_distances(self) -> DistanceMatrix {
+        self.dist
+    }
+
     /// Evaluate the chosen score with the given window weights.
     ///
     /// `ref_weights` has length `tau`, `test_weights` length `tau_prime`;
@@ -170,16 +228,17 @@ impl WindowScorer {
         let trow = self.dist.row(t_idx);
 
         // I(S_t; S_ref): distances from each reference signature to S_t.
-        let ref_dists: Vec<f64> = (0..self.tau).map(|i| trow[i]).collect();
-        let i_ref = information_content(&ref_dists, ref_weights, &self.est);
+        let i_ref = information_content(&trow[..self.tau], ref_weights, &self.est);
 
         // I(S_t; S_test \ S_t): the remaining test signatures, with their
-        // weights renormalized (information_content normalizes).
-        let rest_dists: Vec<f64> = (self.tau + 1..self.tau + self.tau_prime)
-            .map(|j| trow[j])
-            .collect();
-        let rest_weights: Vec<f64> = test_weights[1..].to_vec();
-        let i_test = information_content(&rest_dists, &rest_weights, &self.est);
+        // weights renormalized (information_content normalizes). Both
+        // the distances and the weights are direct sub-slices — nothing
+        // is copied on this per-replicate path.
+        let i_test = information_content(
+            &trow[self.tau + 1..self.tau + self.tau_prime],
+            &test_weights[1..],
+            &self.est,
+        );
 
         i_ref - i_test
     }
@@ -194,13 +253,19 @@ impl WindowScorer {
             "score_kl: test weights length"
         );
         let w = self.tau + self.tau_prime;
-        let cross = self.dist.block(0..self.tau, self.tau..w);
-        let ref_block = self.dist.block(0..self.tau, 0..self.tau);
-        let test_block = self.dist.block(self.tau..w, self.tau..w);
-
-        let h_cross = cross_entropy(&cross, ref_weights, test_weights, &self.est);
-        let h_ref = auto_entropy(&ref_block, ref_weights, &self.est);
-        let h_test = auto_entropy(&test_block, test_weights, &self.est);
+        // Evaluate every term directly against the cached window matrix
+        // (no block extraction): this method runs once per bootstrap
+        // replicate, so it must not allocate.
+        let h_cross = cross_entropy_block(
+            &self.dist,
+            0..self.tau,
+            self.tau..w,
+            ref_weights,
+            test_weights,
+            &self.est,
+        );
+        let h_ref = auto_entropy_block(&self.dist, 0..self.tau, ref_weights, &self.est);
+        let h_test = auto_entropy_block(&self.dist, self.tau..w, test_weights, &self.est);
         h_cross - 0.5 * (h_ref + h_test)
     }
 }

@@ -2,7 +2,7 @@
 //! function of signature size, plus the 1-D fast path for comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use emd::{emd, emd_1d, Euclidean, Signature};
+use emd::{emd, emd_1d, emd_with, Euclidean, Signature, TransportScratch};
 use rand::Rng;
 use stats::seeded_rng;
 
@@ -23,6 +23,27 @@ fn bench_simplex_scaling(c: &mut Criterion) {
         let b = random_signature(k, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
             bench.iter(|| emd(&a, &b, &Euclidean).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+/// Allocating vs scratch-backed solver on the same signature pairs: the
+/// isolated cost of rebuilding the simplex tableau (and the ground cost
+/// matrix) from fresh heap allocations on every solve, across signature
+/// sizes.
+fn bench_solver_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_solve");
+    for &k in &[4usize, 16, 64] {
+        let mut rng = seeded_rng(500 + k as u64);
+        let a = random_signature(k, &mut rng);
+        let b = random_signature(k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("alloc", k), &k, |bench, _| {
+            bench.iter(|| emd(&a, &b, &Euclidean).expect("solve"));
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", k), &k, |bench, _| {
+            let mut scratch = TransportScratch::new();
+            bench.iter(|| emd_with(&a, &b, &Euclidean, &mut scratch).expect("solve"));
         });
     }
     group.finish();
@@ -52,5 +73,10 @@ fn bench_1d_oracle_vs_simplex(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simplex_scaling, bench_1d_oracle_vs_simplex);
+criterion_group!(
+    benches,
+    bench_simplex_scaling,
+    bench_solver_scratch,
+    bench_1d_oracle_vs_simplex
+);
 criterion_main!(benches);

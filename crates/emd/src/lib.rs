@@ -26,8 +26,10 @@ pub use error::EmdError;
 pub use ground::{Chebyshev, Euclidean, GroundDistance, Manhattan, WeightedEuclidean};
 pub use one_d::emd_1d;
 pub use signature::Signature;
-pub use sinkhorn::{sinkhorn_emd, SinkhornConfig};
-pub use transport::{solve_transportation, TransportPlan};
+pub use sinkhorn::{sinkhorn_emd, sinkhorn_emd_with, SinkhornConfig, SinkhornScratch};
+pub use transport::{
+    solve_transportation, solve_transportation_with, TransportPlan, TransportScratch,
+};
 
 /// Earth Mover's Distance between two signatures under a ground distance.
 ///
@@ -35,12 +37,40 @@ pub use transport::{solve_transportation, TransportPlan};
 /// smaller total mass is fully transported and the distance is cost per
 /// unit of transported mass.
 ///
+/// Equivalent to [`emd_with`] with a fresh [`TransportScratch`]; hot
+/// loops solving many pairs should keep one scratch and call that.
+///
 /// # Errors
 /// Returns an error if either signature has zero total mass, dimensions
 /// disagree, or the solver fails to converge (which the iteration cap
 /// makes effectively unreachable for sane inputs).
 pub fn emd<G: GroundDistance>(a: &Signature, b: &Signature, ground: &G) -> Result<f64, EmdError> {
-    emd_with_flow(a, b, ground).map(|(d, _)| d)
+    emd_with(a, b, ground, &mut TransportScratch::new())
+}
+
+/// As [`emd`], running entirely out of a caller-kept scratch: the ground
+/// cost matrix, the simplex tableau, and every solver working set live
+/// in `scratch`, so a warm call performs no heap allocation at all (the
+/// flow plan is never materialized). Bit-identical to [`emd`].
+///
+/// # Errors
+/// See [`emd`].
+pub fn emd_with<G: GroundDistance>(
+    a: &Signature,
+    b: &Signature,
+    ground: &G,
+    scratch: &mut TransportScratch,
+) -> Result<f64, EmdError> {
+    let mut costs = std::mem::take(&mut scratch.ground);
+    let checked = fill_ground_costs(a, b, ground, &mut costs);
+    let result = checked
+        .and_then(|()| transport::solve_cost_flow(&costs, a.weights(), b.weights(), scratch));
+    scratch.ground = costs;
+    let (total_cost, total_flow) = result?;
+    if total_flow <= 0.0 {
+        return Err(EmdError::ZeroMass);
+    }
+    Ok(total_cost / total_flow)
 }
 
 /// As [`emd`], also returning the optimal flow plan for diagnostics.
@@ -52,6 +82,43 @@ pub fn emd_with_flow<G: GroundDistance>(
     b: &Signature,
     ground: &G,
 ) -> Result<(f64, TransportPlan), EmdError> {
+    emd_with_flow_with(a, b, ground, &mut TransportScratch::new())
+}
+
+/// As [`emd_with_flow`], reusing a caller-kept scratch; only the
+/// returned plan's flow list is allocated. Bit-identical to
+/// [`emd_with_flow`].
+///
+/// # Errors
+/// See [`emd`].
+pub fn emd_with_flow_with<G: GroundDistance>(
+    a: &Signature,
+    b: &Signature,
+    ground: &G,
+    scratch: &mut TransportScratch,
+) -> Result<(f64, TransportPlan), EmdError> {
+    let mut costs = std::mem::take(&mut scratch.ground);
+    let checked = fill_ground_costs(a, b, ground, &mut costs);
+    let result =
+        checked.and_then(|()| solve_transportation_with(&costs, a.weights(), b.weights(), scratch));
+    scratch.ground = costs;
+    let plan = result?;
+    let total_flow = plan.total_flow();
+    if total_flow <= 0.0 {
+        return Err(EmdError::ZeroMass);
+    }
+    Ok((plan.total_cost() / total_flow, plan))
+}
+
+/// Validate a signature pair and fill the pairwise ground-distance
+/// matrix into a reused buffer (the shared front half of both `emd_with`
+/// forms).
+fn fill_ground_costs<G: GroundDistance>(
+    a: &Signature,
+    b: &Signature,
+    ground: &G,
+    costs: &mut Vec<f64>,
+) -> Result<(), EmdError> {
     if a.dim() != b.dim() {
         return Err(EmdError::DimensionMismatch {
             left: a.dim(),
@@ -63,24 +130,14 @@ pub fn emd_with_flow<G: GroundDistance>(
     if wa <= 0.0 || wb <= 0.0 {
         return Err(EmdError::ZeroMass);
     }
-
-    let m = a.len();
-    let n = b.len();
-    let mut costs = vec![0.0; m * n];
-    for (i, (pa, _)) in a.iter().enumerate() {
-        for (j, (pb, _)) in b.iter().enumerate() {
-            costs[i * n + j] = ground.distance(pa, pb);
+    costs.clear();
+    costs.reserve(a.len() * b.len());
+    for (pa, _) in a.iter() {
+        for (pb, _) in b.iter() {
+            costs.push(ground.distance(pa, pb));
         }
     }
-
-    let supplies: Vec<f64> = a.weights().to_vec();
-    let demands: Vec<f64> = b.weights().to_vec();
-    let plan = solve_transportation(&costs, &supplies, &demands)?;
-    let total_flow = plan.total_flow();
-    if total_flow <= 0.0 {
-        return Err(EmdError::ZeroMass);
-    }
-    Ok((plan.total_cost() / total_flow, plan))
+    Ok(())
 }
 
 #[cfg(test)]
@@ -173,6 +230,41 @@ mod tests {
             emd(&a, &b, &Euclidean),
             Err(EmdError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn emd_with_dirty_scratch_is_bit_identical() {
+        // One scratch across pairs of different shapes must reproduce
+        // the allocating path exactly, for both the cost-only and the
+        // flow-returning forms.
+        let mut scratch = TransportScratch::new();
+        let pairs = [
+            (
+                sig(vec![vec![0.0, 0.0], vec![100.0, 0.0]], vec![0.4, 0.6]),
+                sig(
+                    vec![vec![0.0, 1.0], vec![100.0, 1.0], vec![50.0, 1.0]],
+                    vec![0.5, 0.3, 0.2],
+                ),
+            ),
+            (
+                sig(vec![vec![0.0, 1.0]], vec![5.0]),
+                sig(vec![vec![3.0, 5.0]], vec![1.0]),
+            ),
+            (
+                sig(vec![vec![0.0, 0.0], vec![2.0, 2.0]], vec![1.0, 0.0]),
+                sig(vec![vec![1.0, 1.0]], vec![2.0]),
+            ),
+        ];
+        for (a, b) in &pairs {
+            let fresh = emd(a, b, &Euclidean).unwrap();
+            let reused = emd_with(a, b, &Euclidean, &mut scratch).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+            let (fresh_d, fresh_plan) = emd_with_flow(a, b, &Euclidean).unwrap();
+            let (reused_d, reused_plan) =
+                emd_with_flow_with(a, b, &Euclidean, &mut scratch).unwrap();
+            assert_eq!(fresh_d.to_bits(), reused_d.to_bits());
+            assert_eq!(fresh_plan, reused_plan);
+        }
     }
 
     #[test]

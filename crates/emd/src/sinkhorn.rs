@@ -56,12 +56,51 @@ impl SinkhornConfig {
     }
 }
 
+/// Reusable buffers of the Sinkhorn iteration: the filtered weight
+/// vectors and their logs, the cost matrix, the log-domain potentials,
+/// and the row-marginal accumulator. One scratch serves problems of any
+/// shape; every cell read by a solve is overwritten first, so results
+/// are bit-identical to the allocating [`sinkhorn_emd`] regardless of
+/// what a previous solve left behind.
+#[derive(Debug, Clone, Default)]
+pub struct SinkhornScratch {
+    /// Indices of the positive-weight entries of `a`.
+    idx_a: Vec<usize>,
+    /// Indices of the positive-weight entries of `b`.
+    idx_b: Vec<usize>,
+    /// Normalized positive weights of `a`.
+    wa: Vec<f64>,
+    /// Normalized positive weights of `b`.
+    wb: Vec<f64>,
+    /// Pairwise ground distances, row-major `m x n`.
+    cost: Vec<f64>,
+    /// `ln` of the normalized weights of `a`.
+    log_a: Vec<f64>,
+    /// `ln` of the normalized weights of `b`.
+    log_b: Vec<f64>,
+    /// Log-domain row potentials.
+    f: Vec<f64>,
+    /// Log-domain column potentials.
+    g: Vec<f64>,
+    /// Row sums of the implied plan (marginal-violation check).
+    row_lse: Vec<f64>,
+}
+
+impl SinkhornScratch {
+    /// Empty scratch; buffers grow to each problem's shape on first use.
+    pub fn new() -> Self {
+        SinkhornScratch::default()
+    }
+}
+
 /// Entropy-regularized transport cost between two signatures
 /// (normalized to unit mass), in log domain for numerical stability.
 ///
 /// Returns the *transport* part of the objective,
 /// `Σ_ij P_ij d_ij`, which upper-bounds the exact EMD and converges to
 /// it as ε → 0.
+///
+/// Equivalent to [`sinkhorn_emd_with`] with a fresh [`SinkhornScratch`].
 ///
 /// # Errors
 /// [`EmdError::ZeroMass`] for massless signatures,
@@ -76,6 +115,26 @@ pub fn sinkhorn_emd<G: GroundDistance>(
     ground: &G,
     cfg: &SinkhornConfig,
 ) -> Result<f64, EmdError> {
+    sinkhorn_emd_with(a, b, ground, cfg, &mut SinkhornScratch::new())
+}
+
+/// As [`sinkhorn_emd`], running out of a caller-kept scratch: no
+/// intermediate signature is materialized (weights are normalized on the
+/// fly) and a warm call allocates nothing. Bit-identical to
+/// [`sinkhorn_emd`].
+///
+/// # Errors
+/// As [`sinkhorn_emd`].
+///
+/// # Panics
+/// Panics on an invalid [`SinkhornConfig`].
+pub fn sinkhorn_emd_with<G: GroundDistance>(
+    a: &Signature,
+    b: &Signature,
+    ground: &G,
+    cfg: &SinkhornConfig,
+    s: &mut SinkhornScratch,
+) -> Result<f64, EmdError> {
     cfg.validate().expect("invalid Sinkhorn config");
     if a.dim() != b.dim() {
         return Err(EmdError::DimensionMismatch {
@@ -83,30 +142,59 @@ pub fn sinkhorn_emd<G: GroundDistance>(
             right: b.dim(),
         });
     }
-    let a = a.normalized()?;
-    let b = b.normalized()?;
-    // Drop zero-weight entries to keep the log domain clean.
-    let (pa, wa): (Vec<&[f64]>, Vec<f64>) = a.iter().filter(|&(_, w)| w > 0.0).unzip();
-    let (pb, wb): (Vec<&[f64]>, Vec<f64>) = b.iter().filter(|&(_, w)| w > 0.0).unzip();
-    let (m, n) = (pa.len(), pb.len());
+    let total_a = a.total_weight();
+    let total_b = b.total_weight();
+    if total_a <= 0.0 || total_b <= 0.0 {
+        return Err(EmdError::ZeroMass);
+    }
+    // Keep only positive-weight entries (the log domain needs ln w) and
+    // normalize to unit mass — the same values `Signature::normalized`
+    // used to produce, without building the intermediate signatures.
+    s.idx_a.clear();
+    s.wa.clear();
+    for (k, &w) in a.weights().iter().enumerate() {
+        let wn = w / total_a;
+        if wn > 0.0 {
+            s.idx_a.push(k);
+            s.wa.push(wn);
+        }
+    }
+    s.idx_b.clear();
+    s.wb.clear();
+    for (k, &w) in b.weights().iter().enumerate() {
+        let wn = w / total_b;
+        if wn > 0.0 {
+            s.idx_b.push(k);
+            s.wb.push(wn);
+        }
+    }
+    let (m, n) = (s.idx_a.len(), s.idx_b.len());
     if m == 0 || n == 0 {
         return Err(EmdError::ZeroMass);
     }
 
-    let mut cost = vec![0.0; m * n];
-    for (i, p) in pa.iter().enumerate() {
-        for (j, q) in pb.iter().enumerate() {
-            cost[i * n + j] = ground.distance(p, q);
+    s.cost.clear();
+    s.cost.reserve(m * n);
+    for &i in &s.idx_a {
+        for &j in &s.idx_b {
+            s.cost.push(ground.distance(&a.points()[i], &b.points()[j]));
         }
     }
     let eps = cfg.epsilon;
-    let log_a: Vec<f64> = wa.iter().map(|w| w.ln()).collect();
-    let log_b: Vec<f64> = wb.iter().map(|w| w.ln()).collect();
+    s.log_a.clear();
+    s.log_a.extend(s.wa.iter().map(|w| w.ln()));
+    s.log_b.clear();
+    s.log_b.extend(s.wb.iter().map(|w| w.ln()));
 
     // Log-domain potentials f, g.
-    let mut f = vec![0.0; m];
-    let mut g = vec![0.0; n];
-    let mut row_lse = vec![0.0; m];
+    s.f.clear();
+    s.f.resize(m, 0.0);
+    s.g.clear();
+    s.g.resize(n, 0.0);
+    s.row_lse.clear();
+    s.row_lse.resize(m, 0.0);
+    let (cost, log_a, log_b) = (&s.cost, &s.log_a, &s.log_b);
+    let (f, g, row_lse) = (&mut s.f, &mut s.g, &mut s.row_lse);
 
     for _ in 0..cfg.max_iters {
         // f_i = eps * (log a_i - LSE_j[(g_j - c_ij)/eps])
@@ -148,7 +236,7 @@ pub fn sinkhorn_emd<G: GroundDistance>(
                 row += ((f[i] + g[j] - cost[i * n + j]) / eps).exp();
             }
             row_lse[i] = row;
-            violation += (row - wa[i]).abs();
+            violation += (row - s.wa[i]).abs();
         }
         if violation < cfg.tol {
             break;
@@ -244,6 +332,31 @@ mod tests {
             sinkhorn_emd(&a, &b, &Euclidean, &SinkhornConfig::default()),
             Err(EmdError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_is_bit_identical() {
+        let mut scratch = SinkhornScratch::new();
+        let cfg = SinkhornConfig::default();
+        let pairs = [
+            (
+                sig(vec![vec![0.0], vec![4.0]], vec![1.0, 3.0]),
+                sig(vec![vec![1.0], vec![2.0]], vec![2.0, 2.0]),
+            ),
+            (
+                sig(vec![vec![0.0, 1.0]], vec![1.0]),
+                sig(vec![vec![2.0, 3.0], vec![0.5, 0.5]], vec![1.0, 0.0]),
+            ),
+            (
+                sig(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1.0, 2.0, 1.0]),
+                sig(vec![vec![0.5], vec![2.5]], vec![2.0, 2.0]),
+            ),
+        ];
+        for (a, b) in &pairs {
+            let fresh = sinkhorn_emd(a, b, &Euclidean, &cfg).unwrap();
+            let reused = sinkhorn_emd_with(a, b, &Euclidean, &cfg, &mut scratch).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+        }
     }
 
     #[test]

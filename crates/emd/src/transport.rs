@@ -13,8 +13,16 @@
 //!    it to optimality. Entering variables are chosen by most-negative
 //!    reduced cost, switching to Bland's smallest-index rule after a
 //!    grace period so cycling under degeneracy is impossible.
+//!
+//! There is exactly one solver body, and it runs entirely out of a
+//! [`TransportScratch`]: the allocating [`solve_transportation`] is a
+//! thin wrapper that hands it a fresh scratch, while hot-path callers
+//! keep one scratch alive and call [`solve_transportation_with`] (or the
+//! cost-only `emd` entry points in the crate root), which touches no
+//! heap in steady state.
 
 use crate::error::EmdError;
+use std::collections::VecDeque;
 
 /// An optimal transportation plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,10 +58,88 @@ struct BasicCell {
     flow: f64,
 }
 
+/// Every buffer the transportation simplex touches, reusable across
+/// solves: the filtered row/column index maps, the balanced tableau
+/// (costs and marginals), the basic-cell set, the MODI potentials, the
+/// basis-tree adjacency, and the stepping-stone path. One scratch serves
+/// problems of any shape — buffers are resized (never shrunk) per solve,
+/// so after the largest problem has been seen once, further solves
+/// allocate nothing.
+///
+/// Results are bit-identical to the allocating entry points regardless
+/// of what a previous solve left behind: every cell of every buffer that
+/// a solve reads is overwritten first.
+#[derive(Debug, Clone, Default)]
+pub struct TransportScratch {
+    /// Original indices of the retained (positive-supply) rows.
+    rows: Vec<usize>,
+    /// Original indices of the retained (positive-demand) columns.
+    cols: Vec<usize>,
+    /// Balanced cost matrix, row-major `m x n` (slack cells cost zero).
+    c: Vec<f64>,
+    /// Balanced supplies (consumed by the northwest-corner rule).
+    a: Vec<f64>,
+    /// Balanced demands (consumed by the northwest-corner rule).
+    b: Vec<f64>,
+    /// Basic cells of the current tableau (`m + n - 1` of them).
+    basis: Vec<BasicCell>,
+    /// Membership mask over tableau cells.
+    is_basic: Vec<bool>,
+    /// Row potentials.
+    u: Vec<f64>,
+    /// Column potentials.
+    v: Vec<f64>,
+    /// Which row potentials have been propagated.
+    known_u: Vec<bool>,
+    /// Which column potentials have been propagated.
+    known_v: Vec<bool>,
+    /// CSR adjacency of the basis tree: node offsets (`m + n + 1`).
+    adj_start: Vec<usize>,
+    /// CSR fill cursors (scratch for the counting sort).
+    adj_pos: Vec<usize>,
+    /// CSR adjacency items: basis-cell indices, two per cell.
+    adj_items: Vec<usize>,
+    /// DFS stack for potential propagation.
+    stack: Vec<usize>,
+    /// BFS queue for the stepping-stone path search.
+    bfs: VecDeque<usize>,
+    /// BFS parent edge per node.
+    parent_edge: Vec<usize>,
+    /// BFS parent node per node.
+    parent_node: Vec<usize>,
+    /// BFS visited mask.
+    visited: Vec<bool>,
+    /// The stepping-stone cycle (basis-cell indices).
+    path: Vec<usize>,
+    /// Ground-distance cost matrix for the crate-root `emd_with` entry
+    /// points (kept here so one scratch covers the whole EMD solve).
+    pub(crate) ground: Vec<f64>,
+}
+
+impl TransportScratch {
+    /// Empty scratch; buffers grow to each problem's shape on first use.
+    pub fn new() -> Self {
+        TransportScratch::default()
+    }
+}
+
+/// Shape of a solved (balanced) tableau, for plan extraction.
+struct Dims {
+    /// Columns of the balanced tableau.
+    n: usize,
+    /// Leading rows that map to real supplies (the rest is slack).
+    real_rows: usize,
+    /// Leading columns that map to real demands (the rest is slack).
+    real_cols: usize,
+}
+
 /// Solve the (possibly unbalanced) transportation problem.
 ///
 /// `costs` is row-major `supplies.len() x demands.len()`. Supplies and
 /// demands must be non-negative and finite; costs must be finite.
+///
+/// Equivalent to [`solve_transportation_with`] with a fresh
+/// [`TransportScratch`].
 ///
 /// # Errors
 /// [`EmdError::NonFiniteInput`] for NaN/infinite input,
@@ -64,6 +150,63 @@ pub fn solve_transportation(
     supplies: &[f64],
     demands: &[f64],
 ) -> Result<TransportPlan, EmdError> {
+    solve_transportation_with(costs, supplies, demands, &mut TransportScratch::new())
+}
+
+/// As [`solve_transportation`], running out of a caller-kept scratch:
+/// in steady state the only allocation is the returned plan's flow list.
+/// Bit-identical to [`solve_transportation`], including on a scratch
+/// dirtied by previous solves of other shapes.
+///
+/// # Errors
+/// As [`solve_transportation`].
+pub fn solve_transportation_with(
+    costs: &[f64],
+    supplies: &[f64],
+    demands: &[f64],
+    scratch: &mut TransportScratch,
+) -> Result<TransportPlan, EmdError> {
+    let dims = solve_core(costs, supplies, demands, scratch, None)?;
+    let mut flows = Vec::new();
+    let (total_cost, total_flow) = finish(scratch, &dims, |i, j, f| flows.push((i, j, f)));
+    Ok(TransportPlan {
+        flows,
+        total_cost,
+        total_flow,
+    })
+}
+
+/// Optimal `(total cost, total flow)` without materializing the plan —
+/// the zero-allocation form behind the crate root's `emd_with`.
+///
+/// # Errors
+/// As [`solve_transportation`].
+pub(crate) fn solve_cost_flow(
+    costs: &[f64],
+    supplies: &[f64],
+    demands: &[f64],
+    scratch: &mut TransportScratch,
+) -> Result<(f64, f64), EmdError> {
+    let dims = solve_core(costs, supplies, demands, scratch, None)?;
+    Ok(finish(scratch, &dims, |_, _, _| {}))
+}
+
+/// The single solver body: filter, balance, northwest-corner start, and
+/// MODI/stepping-stone pivots to optimality, leaving the optimal basis
+/// (and index maps) in `scratch`.
+///
+/// `bland_after` overrides the anti-cycling grace period (iterations of
+/// most-negative-reduced-cost selection before switching to Bland's
+/// rule); `None` is the production default of half the iteration cap.
+/// Tests pass `Some(0)` to drive every pivot through the Bland's-rule
+/// branch.
+fn solve_core(
+    costs: &[f64],
+    supplies: &[f64],
+    demands: &[f64],
+    s: &mut TransportScratch,
+    bland_after: Option<usize>,
+) -> Result<Dims, EmdError> {
     let m0 = supplies.len();
     let n0 = demands.len();
     assert_eq!(
@@ -81,14 +224,16 @@ pub fn solve_transportation(
     }
 
     // Filter zero-mass rows/columns, remembering original indices.
-    let rows: Vec<usize> = (0..m0).filter(|&i| supplies[i] > 0.0).collect();
-    let cols: Vec<usize> = (0..n0).filter(|&j| demands[j] > 0.0).collect();
-    if rows.is_empty() || cols.is_empty() {
+    s.rows.clear();
+    s.rows.extend((0..m0).filter(|&i| supplies[i] > 0.0));
+    s.cols.clear();
+    s.cols.extend((0..n0).filter(|&j| demands[j] > 0.0));
+    if s.rows.is_empty() || s.cols.is_empty() {
         return Err(EmdError::ZeroMass);
     }
 
-    let sa: f64 = rows.iter().map(|&i| supplies[i]).sum();
-    let sb: f64 = cols.iter().map(|&j| demands[j]).sum();
+    let sa: f64 = s.rows.iter().map(|&i| supplies[i]).sum();
+    let sb: f64 = s.cols.iter().map(|&j| demands[j]).sum();
     let diff = sa - sb;
     // Tolerance for treating the problem as balanced.
     let scale = sa.max(sb);
@@ -97,63 +242,93 @@ pub fn solve_transportation(
     // Dimensions of the balanced tableau (possibly one slack row/col).
     let extra_col = !balanced && diff > 0.0;
     let extra_row = !balanced && diff < 0.0;
-    let m = rows.len() + usize::from(extra_row);
-    let n = cols.len() + usize::from(extra_col);
+    let m = s.rows.len() + usize::from(extra_row);
+    let n = s.cols.len() + usize::from(extra_col);
 
     // Balanced cost matrix and marginals. Slack cells cost zero.
-    let mut c = vec![0.0; m * n];
-    for (ri, &i) in rows.iter().enumerate() {
-        for (cj, &j) in cols.iter().enumerate() {
-            c[ri * n + cj] = costs[i * n0 + j];
+    s.c.clear();
+    s.c.resize(m * n, 0.0);
+    for (ri, &i) in s.rows.iter().enumerate() {
+        for (cj, &j) in s.cols.iter().enumerate() {
+            s.c[ri * n + cj] = costs[i * n0 + j];
         }
     }
-    let mut a: Vec<f64> = rows.iter().map(|&i| supplies[i]).collect();
-    let mut b: Vec<f64> = cols.iter().map(|&j| demands[j]).collect();
+    s.a.clear();
+    s.a.extend(s.rows.iter().map(|&i| supplies[i]));
+    s.b.clear();
+    s.b.extend(s.cols.iter().map(|&j| demands[j]));
     if extra_col {
-        b.push(diff);
+        s.b.push(diff);
     }
     if extra_row {
-        a.push(-diff);
+        s.a.push(-diff);
     }
     if balanced {
         // Snap the (tiny) imbalance onto the largest demand so row and
         // column sums agree exactly.
-        let (jmax, _) = b
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
-            .expect("non-empty");
-        b[jmax] += diff;
+        let (jmax, _) =
+            s.b.iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+                .expect("non-empty");
+        s.b[jmax] += diff;
     }
 
-    let mut basis = northwest_corner(&a, &b);
-    debug_assert_eq!(basis.len(), m + n - 1);
+    // The marginals are working copies: the northwest-corner rule
+    // consumes them in place (nothing reads them afterwards).
+    northwest_corner(&mut s.a, &mut s.b, &mut s.basis);
+    debug_assert_eq!(s.basis.len(), m + n - 1);
 
     let max_iters = (200 * (m + n) * (m + n)).max(2000);
-    let bland_after = max_iters / 2;
-    let cost_scale = c.iter().fold(1.0f64, |acc, &x| acc.max(x.abs()));
+    let bland_after = bland_after.unwrap_or(max_iters / 2);
+    let cost_scale = s.c.iter().fold(1.0f64, |acc, &x| acc.max(x.abs()));
     let tol = 1e-10 * cost_scale;
 
-    let mut is_basic = vec![false; m * n];
-    for cell in &basis {
-        is_basic[cell.i * n + cell.j] = true;
+    s.is_basic.clear();
+    s.is_basic.resize(m * n, false);
+    for cell in &s.basis {
+        s.is_basic[cell.i * n + cell.j] = true;
     }
 
-    let mut u = vec![0.0; m];
-    let mut v = vec![0.0; n];
+    s.u.clear();
+    s.u.resize(m, 0.0);
+    s.v.clear();
+    s.v.resize(n, 0.0);
 
     for iter in 0..max_iters {
-        compute_potentials(&basis, &c, m, n, &mut u, &mut v);
+        // The basis tree changed by one edge (or is new): rebuild its
+        // adjacency once per pivot and share it between the potential
+        // propagation and the path search below.
+        build_adjacency(
+            &s.basis,
+            m,
+            &mut s.adj_start,
+            &mut s.adj_pos,
+            &mut s.adj_items,
+        );
+        compute_potentials(
+            &s.basis,
+            &s.c,
+            m,
+            n,
+            &mut s.u,
+            &mut s.v,
+            &mut s.known_u,
+            &mut s.known_v,
+            &s.adj_start,
+            &s.adj_items,
+            &mut s.stack,
+        );
 
         // Entering variable selection.
         let mut enter: Option<(usize, usize)> = None;
         let mut best = -tol;
         'scan: for i in 0..m {
             for j in 0..n {
-                if is_basic[i * n + j] {
+                if s.is_basic[i * n + j] {
                     continue;
                 }
-                let r = c[i * n + j] - u[i] - v[j];
+                let r = s.c[i * n + j] - s.u[i] - s.v[j];
                 if iter >= bland_after {
                     // Bland: first improving cell in index order.
                     if r < -tol {
@@ -167,35 +342,44 @@ pub fn solve_transportation(
             }
         }
         let Some((ei, ej)) = enter else {
-            return Ok(extract_plan(
-                &basis,
-                &c,
+            return Ok(Dims {
                 n,
-                rows.len(),
-                cols.len(),
-                &rows,
-                &cols,
-            ));
+                real_rows: s.rows.len(),
+                real_cols: s.cols.len(),
+            });
         };
 
         // Unique cycle: path in the basis tree from col node ej to row
         // node ei, prepended with the entering cell.
-        let path = tree_path(&basis, m, n, ej, ei);
+        tree_path(
+            &s.basis,
+            m,
+            n,
+            ej,
+            ei,
+            &s.adj_start,
+            &s.adj_items,
+            &mut s.parent_edge,
+            &mut s.parent_node,
+            &mut s.visited,
+            &mut s.bfs,
+            &mut s.path,
+        );
 
         // Flow change theta: minimum flow among odd-position (donor)
         // cells of the cycle. Position 0 is the entering cell (+).
         let mut theta = f64::INFINITY;
         let mut leave_pos = usize::MAX;
-        for (pos, &cell_idx) in path.iter().enumerate() {
+        for (pos, &cell_idx) in s.path.iter().enumerate() {
             if pos % 2 == 0 {
                 // positions 0,2,4.. in `path` are donors (see tree_path).
-                let f = basis[cell_idx].flow;
+                let f = s.basis[cell_idx].flow;
                 // Bland-compatible tie-break: smallest tableau index.
                 if f < theta - 1e-15
                     || (f < theta + 1e-15
                         && leave_pos != usize::MAX
-                        && tableau_index(&basis[cell_idx], n)
-                            < tableau_index(&basis[path[leave_pos]], n))
+                        && tableau_index(&s.basis[cell_idx], n)
+                            < tableau_index(&s.basis[s.path[leave_pos]], n))
                 {
                     theta = f;
                     leave_pos = pos;
@@ -206,18 +390,18 @@ pub fn solve_transportation(
         let theta = theta.max(0.0);
 
         // Apply the pivot: donors lose theta, receivers gain theta.
-        for (pos, &cell_idx) in path.iter().enumerate() {
+        for (pos, &cell_idx) in s.path.iter().enumerate() {
             if pos % 2 == 0 {
-                basis[cell_idx].flow -= theta;
+                s.basis[cell_idx].flow -= theta;
             } else {
-                basis[cell_idx].flow += theta;
+                s.basis[cell_idx].flow += theta;
             }
         }
-        let leaving_idx = path[leave_pos];
-        let leaving = basis[leaving_idx];
-        is_basic[leaving.i * n + leaving.j] = false;
-        is_basic[ei * n + ej] = true;
-        basis[leaving_idx] = BasicCell {
+        let leaving_idx = s.path[leave_pos];
+        let leaving = s.basis[leaving_idx];
+        s.is_basic[leaving.i * n + leaving.j] = false;
+        s.is_basic[ei * n + ej] = true;
+        s.basis[leaving_idx] = BasicCell {
             i: ei,
             j: ej,
             flow: theta,
@@ -226,19 +410,41 @@ pub fn solve_transportation(
     Err(EmdError::DidNotConverge)
 }
 
+/// Totals (and optionally flows) of the solved basis over real
+/// (non-slack) nodes, mapping back to the caller's original indices.
+/// The single extraction body shared by the plan-building and the
+/// cost-only entry points.
+fn finish(
+    s: &TransportScratch,
+    dims: &Dims,
+    mut on_flow: impl FnMut(usize, usize, f64),
+) -> (f64, f64) {
+    let mut total_cost = 0.0;
+    let mut total_flow = 0.0;
+    for cell in &s.basis {
+        if cell.flow <= 0.0 || cell.i >= dims.real_rows || cell.j >= dims.real_cols {
+            continue;
+        }
+        total_cost += cell.flow * s.c[cell.i * dims.n + cell.j];
+        total_flow += cell.flow;
+        on_flow(s.rows[cell.i], s.cols[cell.j], cell.flow);
+    }
+    (total_cost, total_flow)
+}
+
 #[inline]
 fn tableau_index(cell: &BasicCell, n: usize) -> usize {
     cell.i * n + cell.j
 }
 
 /// Northwest-corner initial basic feasible solution: exactly
-/// `m + n - 1` basic cells (some possibly zero-flow).
-fn northwest_corner(a: &[f64], b: &[f64]) -> Vec<BasicCell> {
+/// `m + n - 1` basic cells (some possibly zero-flow). Consumes the
+/// marginals in place.
+fn northwest_corner(a: &mut [f64], b: &mut [f64], cells: &mut Vec<BasicCell>) {
     let m = a.len();
     let n = b.len();
-    let mut a = a.to_vec();
-    let mut b = b.to_vec();
-    let mut cells = Vec::with_capacity(m + n - 1);
+    cells.clear();
+    cells.reserve(m + n - 1);
     let (mut i, mut j) = (0usize, 0usize);
     loop {
         let f = a[i].min(b[j]).max(0.0);
@@ -256,11 +462,46 @@ fn northwest_corner(a: &[f64], b: &[f64]) -> Vec<BasicCell> {
             j += 1;
         }
     }
-    cells
+}
+
+/// CSR adjacency of the basis tree: node ids `0..m` are rows, `m..m+n`
+/// columns; each basic cell is an edge incident to two nodes. The
+/// counting sort preserves basis order within each node's list, so
+/// traversals visit edges in exactly the order the old per-node `Vec`
+/// lists produced.
+fn build_adjacency(
+    basis: &[BasicCell],
+    m: usize,
+    start: &mut Vec<usize>,
+    pos: &mut Vec<usize>,
+    items: &mut Vec<usize>,
+) {
+    // m + n == basis.len() + 1 for a spanning tree.
+    let nodes = basis.len() + 1;
+    start.clear();
+    start.resize(nodes + 1, 0);
+    for cell in basis {
+        start[cell.i + 1] += 1;
+        start[m + cell.j + 1] += 1;
+    }
+    for k in 0..nodes {
+        start[k + 1] += start[k];
+    }
+    pos.clear();
+    pos.extend_from_slice(&start[..nodes]);
+    items.clear();
+    items.resize(2 * basis.len(), 0);
+    for (idx, cell) in basis.iter().enumerate() {
+        items[pos[cell.i]] = idx;
+        pos[cell.i] += 1;
+        items[pos[m + cell.j]] = idx;
+        pos[m + cell.j] += 1;
+    }
 }
 
 /// Solve for the dual potentials over the basis spanning tree
 /// (`u[0] = 0` is the normalization).
+#[allow(clippy::too_many_arguments)]
 fn compute_potentials(
     basis: &[BasicCell],
     c: &[f64],
@@ -268,32 +509,34 @@ fn compute_potentials(
     n: usize,
     u: &mut [f64],
     v: &mut [f64],
+    known_u: &mut Vec<bool>,
+    known_v: &mut Vec<bool>,
+    adj_start: &[usize],
+    adj_items: &[usize],
+    stack: &mut Vec<usize>,
 ) {
-    // Adjacency of the basis tree: node ids 0..m are rows, m..m+n cols.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m + n];
-    for (idx, cell) in basis.iter().enumerate() {
-        adj[cell.i].push(idx);
-        adj[m + cell.j].push(idx);
-    }
-    let mut known_u = vec![false; m];
-    let mut known_v = vec![false; n];
+    known_u.clear();
+    known_u.resize(m, false);
+    known_v.clear();
+    known_v.resize(n, false);
     u[0] = 0.0;
     known_u[0] = true;
-    let mut queue = vec![0usize]; // node ids
-    while let Some(node) = queue.pop() {
-        for &idx in &adj[node] {
+    stack.clear();
+    stack.push(0); // node ids
+    while let Some(node) = stack.pop() {
+        for &idx in &adj_items[adj_start[node]..adj_start[node + 1]] {
             let cell = &basis[idx];
             if node < m {
                 // row node: propagate to the column.
                 if !known_v[cell.j] {
                     v[cell.j] = c[cell.i * n + cell.j] - u[cell.i];
                     known_v[cell.j] = true;
-                    queue.push(m + cell.j);
+                    stack.push(m + cell.j);
                 }
             } else if !known_u[cell.i] {
                 u[cell.i] = c[cell.i * n + cell.j] - v[cell.j];
                 known_u[cell.i] = true;
-                queue.push(cell.i);
+                stack.push(cell.i);
             }
         }
     }
@@ -304,89 +547,66 @@ fn compute_potentials(
 }
 
 /// Path (as basis-cell indices) in the basis tree from column node
-/// `start_col` to row node `goal_row`.
+/// `start_col` to row node `goal_row`, written into `path`.
 ///
 /// The first edge on the path is incident to `start_col` and is a donor
 /// (receives `-theta`): adding `+theta` at the entering cell `(goal_row,
 /// start_col)` over-fills column `start_col`, so the basic edge leaving it
 /// must shed flow. Donor/receiver then alternate along the path, so even
 /// positions are donors.
+#[allow(clippy::too_many_arguments)]
 fn tree_path(
     basis: &[BasicCell],
     m: usize,
     n: usize,
     start_col: usize,
     goal_row: usize,
-) -> Vec<usize> {
+    adj_start: &[usize],
+    adj_items: &[usize],
+    parent_edge: &mut Vec<usize>,
+    parent_node: &mut Vec<usize>,
+    visited: &mut Vec<bool>,
+    bfs: &mut VecDeque<usize>,
+    path: &mut Vec<usize>,
+) {
     let num_nodes = m + n;
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
-    for (idx, cell) in basis.iter().enumerate() {
-        adj[cell.i].push(idx);
-        adj[m + cell.j].push(idx);
-    }
     // BFS from col node to row node.
     let start = m + start_col;
     let goal = goal_row;
-    let mut parent_edge: Vec<usize> = vec![usize::MAX; num_nodes];
-    let mut parent_node: Vec<usize> = vec![usize::MAX; num_nodes];
-    let mut visited = vec![false; num_nodes];
+    parent_edge.clear();
+    parent_edge.resize(num_nodes, usize::MAX);
+    parent_node.clear();
+    parent_node.resize(num_nodes, usize::MAX);
+    visited.clear();
+    visited.resize(num_nodes, false);
     visited[start] = true;
-    let mut queue = std::collections::VecDeque::from([start]);
-    while let Some(node) = queue.pop_front() {
+    bfs.clear();
+    bfs.push_back(start);
+    while let Some(node) = bfs.pop_front() {
         if node == goal {
             break;
         }
-        for &idx in &adj[node] {
+        for &idx in &adj_items[adj_start[node]..adj_start[node + 1]] {
             let cell = &basis[idx];
             let other = if node < m { m + cell.j } else { cell.i };
             if !visited[other] {
                 visited[other] = true;
                 parent_edge[other] = idx;
                 parent_node[other] = node;
-                queue.push_back(other);
+                bfs.push_back(other);
             }
         }
     }
     debug_assert!(visited[goal], "basis tree disconnected");
     // Walk back from goal to start; then reverse so the path starts at
     // the column side (first edge = donor adjacent to entering column).
-    let mut path = Vec::new();
+    path.clear();
     let mut node = goal;
     while node != start {
         path.push(parent_edge[node]);
         node = parent_node[node];
     }
     path.reverse();
-    path
-}
-
-/// Extract the plan on real (non-slack) nodes, mapping back to the
-/// caller's original indices.
-fn extract_plan(
-    basis: &[BasicCell],
-    c: &[f64],
-    n: usize,
-    real_rows: usize,
-    real_cols: usize,
-    row_map: &[usize],
-    col_map: &[usize],
-) -> TransportPlan {
-    let mut flows = Vec::new();
-    let mut total_cost = 0.0;
-    let mut total_flow = 0.0;
-    for cell in basis {
-        if cell.flow <= 0.0 || cell.i >= real_rows || cell.j >= real_cols {
-            continue;
-        }
-        total_cost += cell.flow * c[cell.i * n + cell.j];
-        total_flow += cell.flow;
-        flows.push((row_map[cell.i], col_map[cell.j], cell.flow));
-    }
-    TransportPlan {
-        flows,
-        total_cost,
-        total_flow,
-    }
 }
 
 #[cfg(test)]
@@ -531,7 +751,10 @@ mod tests {
 
     #[test]
     fn nw_corner_cell_count() {
-        let cells = northwest_corner(&[1.0, 2.0, 3.0], &[2.0, 2.0, 2.0]);
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [2.0, 2.0, 2.0];
+        let mut cells = Vec::new();
+        northwest_corner(&mut a, &mut b, &mut cells);
         assert_eq!(cells.len(), 5);
         let total: f64 = cells.iter().map(|c| c.flow).sum();
         assert!((total - 6.0).abs() < 1e-12);
@@ -540,7 +763,10 @@ mod tests {
     #[test]
     fn nw_corner_degenerate_ties() {
         // Supplies exactly match demands pairwise -> degenerate cells.
-        let cells = northwest_corner(&[2.0, 2.0], &[2.0, 2.0]);
+        let mut a = [2.0, 2.0];
+        let mut b = [2.0, 2.0];
+        let mut cells = Vec::new();
+        northwest_corner(&mut a, &mut b, &mut cells);
         assert_eq!(cells.len(), 3);
         let total: f64 = cells.iter().map(|c| c.flow).sum();
         assert!((total - 4.0).abs() < 1e-12);
@@ -562,5 +788,73 @@ mod tests {
         assert!(plan.total_cost() >= min_c * plan.total_flow() - 1e-9);
         assert!(plan.total_cost() <= max_c * plan.total_flow() + 1e-9);
         assert!((plan.total_flow() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_across_shapes() {
+        // One dirty scratch driven across problems of different shapes
+        // must reproduce the allocating path exactly (bit-identical
+        // plans), regardless of what earlier solves left behind.
+        let problems: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+            (
+                vec![8.0, 5.0, 6.0, 15.0, 10.0, 12.0, 3.0, 9.0, 10.0],
+                vec![120.0, 80.0, 80.0],
+                vec![150.0, 70.0, 60.0],
+            ),
+            (vec![7.0], vec![2.0], vec![2.0]),
+            (vec![1.0, 5.0], vec![4.0], vec![4.0, 6.0]),
+            (
+                (0..16).map(|k| ((k * 7 + 3) % 11) as f64 + 1.0).collect(),
+                vec![5.0, 3.0, 8.0, 2.0],
+                vec![4.0, 6.0, 5.0, 3.0],
+            ),
+            (
+                vec![9.0, 1.0, 1.0, 9.0, 5.0, 5.0],
+                vec![1.0, 0.0, 1.0],
+                vec![1.0, 1.0],
+            ),
+        ];
+        let mut scratch = TransportScratch::new();
+        for (costs, a, b) in &problems {
+            let fresh = solve_transportation(costs, a, b).unwrap();
+            let reused = solve_transportation_with(costs, a, b, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn blands_rule_from_first_pivot_converges_to_optimum() {
+        // Regression for the anti-cycling fallback: drive every pivot
+        // through Bland's smallest-index rule (grace period zero) on
+        // heavily degenerate instances — all marginals equal, tie-heavy
+        // costs — where most-negative selection has maximal freedom to
+        // cycle. Bland's rule must terminate at the same optimum.
+        let mut scratch = TransportScratch::new();
+
+        // 4x4 assignment-like instance, optimum 4 (diagonal).
+        let n = 4usize;
+        let mut costs = vec![2.0; n * n];
+        for i in 0..n {
+            costs[i * n + i] = 1.0;
+        }
+        let ones = vec![1.0; n];
+        let dims = solve_core(&costs, &ones, &ones, &mut scratch, Some(0)).unwrap();
+        let (cost, flow) = finish(&scratch, &dims, |_, _, _| {});
+        assert!((flow - 4.0).abs() < 1e-12);
+        assert!((cost - 4.0).abs() < 1e-12, "bland cost {cost}");
+
+        // A degenerate instance with many equal reduced costs: every
+        // cost equal, so every basis is optimal and every pivot is a
+        // zero-theta tie. Bland must stop rather than loop.
+        let flat = vec![3.0; 6 * 6];
+        let ones6 = vec![1.0; 6];
+        let dims = solve_core(&flat, &ones6, &ones6, &mut scratch, Some(0)).unwrap();
+        let (cost, flow) = finish(&scratch, &dims, |_, _, _| {});
+        assert!((flow - 6.0).abs() < 1e-12);
+        assert!((cost - 18.0).abs() < 1e-12);
+
+        // And the default path agrees on the first instance.
+        let plan = solve_transportation(&costs, &ones, &ones).unwrap();
+        assert!((plan.total_cost() - 4.0).abs() < 1e-12);
     }
 }

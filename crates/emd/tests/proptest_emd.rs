@@ -6,7 +6,10 @@
 //! (non-negativity, symmetry, identity, triangle inequality) on random
 //! 2-D signatures.
 
-use emd::{emd, emd_1d, Euclidean, Signature};
+use emd::{
+    emd, emd_1d, emd_with, solve_transportation, solve_transportation_with, Euclidean, Signature,
+    TransportScratch,
+};
 use proptest::prelude::*;
 
 /// Strategy: a 1-D weighted point set with strictly positive weights.
@@ -24,6 +27,22 @@ fn signature_2d(max_len: usize) -> impl Strategy<Value = Signature> {
         let points: Vec<Vec<f64>> = triples.iter().map(|&(x, y, _)| vec![x, y]).collect();
         let weights: Vec<f64> = triples.iter().map(|&(_, _, w)| w).collect();
         Signature::new(points, weights).expect("strategy produces valid signatures")
+    })
+}
+
+/// Strategy: a random, frequently unbalanced and degenerate
+/// transportation problem `(costs, supplies, demands)`. Marginals are
+/// drawn from a tiny integer grid scaled by 0.5, so zero entries
+/// (filtered rows/columns), exactly equal supplies/demands, and
+/// tie-heavy costs — the degenerate-pivot cases — all occur with high
+/// probability.
+fn transport_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    ((1usize..=5), (1usize..=5)).prop_flat_map(|(m, n)| {
+        (
+            prop::collection::vec((0u8..4).prop_map(|c| c as f64), m * n),
+            prop::collection::vec((0u8..4).prop_map(|s| s as f64 * 0.5), m),
+            prop::collection::vec((0u8..4).prop_map(|d| d as f64 * 0.5), n),
+        )
     })
 }
 
@@ -121,6 +140,42 @@ proptest! {
         ).unwrap();
         let d2 = emd(&a2, &b2, &Euclidean).unwrap();
         prop_assert!((d1 - d2).abs() < 1e-7 * (1.0 + d1.abs()), "{d1} vs {d2}");
+    }
+
+    /// The scratch-backed solver returns bit-identical `TransportPlan`s
+    /// (cost, flow, and the flows list) to the allocating one across
+    /// random unbalanced and degenerate problems, including repeated
+    /// reuse of one dirty scratch across problems of varying shape.
+    #[test]
+    fn scratch_solver_is_bit_identical(
+        problems in prop::collection::vec(transport_problem(), 1..6),
+    ) {
+        let mut scratch = TransportScratch::new();
+        for (costs, supplies, demands) in &problems {
+            let fresh = solve_transportation(costs, supplies, demands);
+            let reused = solve_transportation_with(costs, supplies, demands, &mut scratch);
+            match (fresh, reused) {
+                (Ok(f), Ok(r)) => {
+                    prop_assert_eq!(f.total_cost().to_bits(), r.total_cost().to_bits());
+                    prop_assert_eq!(f.total_flow().to_bits(), r.total_flow().to_bits());
+                    prop_assert_eq!(f.flows(), r.flows());
+                }
+                (f, r) => prop_assert_eq!(f.is_err(), r.is_err(), "error parity"),
+            }
+        }
+    }
+
+    /// `emd_with` through one dirty scratch is bit-identical to `emd`.
+    #[test]
+    fn emd_with_scratch_is_bit_identical(
+        pairs in prop::collection::vec((signature_2d(8), signature_2d(8)), 1..5),
+    ) {
+        let mut scratch = TransportScratch::new();
+        for (a, b) in &pairs {
+            let fresh = emd(a, b, &Euclidean).unwrap();
+            let reused = emd_with(a, b, &Euclidean, &mut scratch).unwrap();
+            prop_assert_eq!(fresh.to_bits(), reused.to_bits());
+        }
     }
 
     /// EMD against a point mass equals the weighted mean distance to it

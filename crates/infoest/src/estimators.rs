@@ -1,6 +1,14 @@
 //! The three weighted information estimators.
+//!
+//! Each matrix estimator exists in two forms sharing one body: the plain
+//! form over a whole [`DistanceMatrix`], and a `_block` form evaluating
+//! a rectangular sub-block of a larger matrix *in place* — no block
+//! extraction, no allocation — which is what lets the change-point
+//! scores in `bagcpd` evaluate thousands of bootstrap replicates against
+//! one cached window matrix without touching the heap.
 
 use crate::matrix::DistanceMatrix;
+use std::ops::Range;
 
 /// Configuration shared by the estimators.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,8 +92,27 @@ pub fn auto_entropy(dist: &DistanceMatrix, weights: &[f64], cfg: &EstimatorConfi
         dist.cols(),
         "auto_entropy: matrix must be square"
     );
+    auto_entropy_block(dist, 0..dist.rows(), weights, cfg)
+}
+
+/// [`auto_entropy`] of the square diagonal sub-block `at x at` of a
+/// larger matrix, evaluated in place (no block is extracted).
+/// Bit-identical to extracting the block first.
+///
+/// # Panics
+/// As [`auto_entropy`], or if `at` exceeds the matrix.
+pub fn auto_entropy_block(
+    dist: &DistanceMatrix,
+    at: Range<usize>,
+    weights: &[f64],
+    cfg: &EstimatorConfig,
+) -> f64 {
+    assert!(
+        at.end <= dist.rows() && at.end <= dist.cols(),
+        "auto_entropy: block out of range"
+    );
     assert_eq!(
-        dist.rows(),
+        at.len(),
         weights.len(),
         "auto_entropy: weights length mismatch"
     );
@@ -102,7 +129,7 @@ pub fn auto_entropy(dist: &DistanceMatrix, weights: &[f64], cfg: &EstimatorConfi
             // and every other term has ψ_j = 0. Contributes nothing.
             continue;
         }
-        let row = dist.row(i);
+        let row = &dist.row(at.start + i)[at.start..at.end];
         let mut inner = 0.0;
         for j in 0..n {
             if j == i {
@@ -131,13 +158,41 @@ pub fn cross_entropy(
     weights_t: &[f64],
     cfg: &EstimatorConfig,
 ) -> f64 {
+    cross_entropy_block(
+        dist,
+        0..dist.rows(),
+        0..dist.cols(),
+        weights_s,
+        weights_t,
+        cfg,
+    )
+}
+
+/// [`cross_entropy`] of the rectangular sub-block `rows x cols` of a
+/// larger matrix, evaluated in place (no block is extracted).
+/// Bit-identical to extracting the block first.
+///
+/// # Panics
+/// As [`cross_entropy`], or if the ranges exceed the matrix.
+pub fn cross_entropy_block(
+    dist: &DistanceMatrix,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    weights_s: &[f64],
+    weights_t: &[f64],
+    cfg: &EstimatorConfig,
+) -> f64 {
+    assert!(
+        rows.end <= dist.rows() && cols.end <= dist.cols(),
+        "cross_entropy: block out of range"
+    );
     assert_eq!(
-        dist.rows(),
+        rows.len(),
         weights_s.len(),
         "cross_entropy: row weights length mismatch"
     );
     assert_eq!(
-        dist.cols(),
+        cols.len(),
         weights_t.len(),
         "cross_entropy: col weights length mismatch"
     );
@@ -148,7 +203,7 @@ pub fn cross_entropy(
         if wi == 0.0 {
             continue;
         }
-        let row = dist.row(i);
+        let row = &dist.row(rows.start + i)[cols.start..cols.end];
         let mut inner = 0.0;
         for (j, &wj) in weights_t.iter().enumerate() {
             if wj == 0.0 {
@@ -287,6 +342,41 @@ mod tests {
         let h1 = cross_entropy(&d, &[1.0, 3.0], &[2.0, 2.0], &cfg());
         let h2 = cross_entropy(&d, &[0.25, 0.75], &[0.5, 0.5], &cfg());
         assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_forms_match_extracted_blocks_bit_for_bit() {
+        // The in-place block estimators must equal extracting the block
+        // first, to the last bit — the change-point scores rely on it.
+        let parent = DistanceMatrix::from_fn(6, 6, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                1.0 + ((i * 5 + j * 3) % 7) as f64 * 0.37
+            }
+        });
+        let ws = [0.4, 1.1, 0.0];
+        let wt = [2.0, 0.5, 1.3];
+        let c = cfg();
+
+        let cross = parent.block(0..3, 3..6);
+        assert_eq!(
+            cross_entropy(&cross, &ws, &wt, &c).to_bits(),
+            cross_entropy_block(&parent, 0..3, 3..6, &ws, &wt, &c).to_bits()
+        );
+
+        let diag = parent.block(3..6, 3..6);
+        assert_eq!(
+            auto_entropy(&diag, &wt, &c).to_bits(),
+            auto_entropy_block(&parent, 3..6, &wt, &c).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn auto_entropy_block_out_of_range_panics() {
+        let d = DistanceMatrix::from_fn(3, 3, |_, _| 1.0);
+        auto_entropy_block(&d, 1..4, &[1.0, 1.0, 1.0], &cfg());
     }
 
     #[test]

@@ -22,5 +22,8 @@
 pub mod estimators;
 pub mod matrix;
 
-pub use estimators::{auto_entropy, cross_entropy, information_content, EstimatorConfig};
+pub use estimators::{
+    auto_entropy, auto_entropy_block, cross_entropy, cross_entropy_block, information_content,
+    EstimatorConfig,
+};
 pub use matrix::DistanceMatrix;

@@ -81,6 +81,14 @@ impl DistanceMatrix {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Consume the matrix, returning its row-major storage — the
+    /// recycling half of a buffer-reuse cycle with [`Self::from_vec`]
+    /// (callers on a hot path rebuild the next matrix into the same
+    /// allocation instead of a fresh one).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// View of a rectangular sub-block (for windowed estimators over one
     /// global matrix).
     pub fn block(

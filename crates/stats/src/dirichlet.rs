@@ -41,6 +41,19 @@ impl Dirichlet {
     /// # Panics
     /// Panics if weights are empty, non-finite, negative, or sum to zero.
     pub fn from_weights(weights: &[f64]) -> Self {
+        let mut alpha = Vec::new();
+        Dirichlet::alpha_from_weights(weights, &mut alpha);
+        Dirichlet::new(alpha)
+    }
+
+    /// Compute the Appendix-B concentration vector `n * pi` of
+    /// [`Dirichlet::from_weights`] into a reused buffer — paired with
+    /// [`Dirichlet::sample_alpha_into`], this is the allocation-free form
+    /// of the weighted bootstrap posterior.
+    ///
+    /// # Panics
+    /// As [`Dirichlet::from_weights`].
+    pub fn alpha_from_weights(weights: &[f64], alpha: &mut Vec<f64>) {
         assert!(!weights.is_empty(), "Dirichlet: empty weights");
         let total: f64 = weights.iter().sum();
         assert!(
@@ -50,11 +63,8 @@ impl Dirichlet {
         let n = weights.len() as f64;
         // Clamp at a tiny positive floor so zero-weight entries stay valid
         // (they receive essentially-zero posterior mass).
-        let alpha = weights
-            .iter()
-            .map(|&w| (n * w / total).max(1e-12))
-            .collect();
-        Dirichlet::new(alpha)
+        alpha.clear();
+        alpha.extend(weights.iter().map(|&w| (n * w / total).max(1e-12)));
     }
 
     /// Dimension of the support.
@@ -73,9 +83,21 @@ impl Dirichlet {
     /// # Panics
     /// Panics if `out.len() != self.dim()`.
     pub fn sample_into(&self, rng: &mut impl Rng, out: &mut [f64]) {
-        assert_eq!(out.len(), self.alpha.len(), "sample_into: dim mismatch");
+        Dirichlet::sample_alpha_into(&self.alpha, rng, out);
+    }
+
+    /// Draw one `Dir(alpha)` sample into `out` directly from a
+    /// concentration slice, without a [`Dirichlet`] value — the
+    /// bootstrap keeps `alpha` in a scratch buffer and draws thousands
+    /// of replicates with no allocation. Identical draws to
+    /// [`Dirichlet::sample_into`] on the same alphas.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != alpha.len()`.
+    pub fn sample_alpha_into(alpha: &[f64], rng: &mut impl Rng, out: &mut [f64]) {
+        assert_eq!(out.len(), alpha.len(), "sample_into: dim mismatch");
         let mut total = 0.0;
-        for (o, &a) in out.iter_mut().zip(&self.alpha) {
+        for (o, &a) in out.iter_mut().zip(alpha) {
             let g = sample_gamma_shape(a, rng);
             *o = g;
             total += g;

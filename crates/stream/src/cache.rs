@@ -1,4 +1,5 @@
-//! Ring-buffered signature window with cached pairwise EMDs.
+//! Ring-buffered signature window with an incrementally maintained
+//! pairwise-EMD matrix.
 //!
 //! The batch detector computes a banded distance matrix over the whole
 //! sequence up front. Online, the same band is maintained incrementally:
@@ -7,24 +8,53 @@
 //! reuses those cached distances instead of re-solving — the
 //! "compute once, reuse across inspection points" contract of the
 //! streaming engine.
+//!
+//! Distances live in one flat row-major `n x n` buffer in window order
+//! (oldest first) that is updated *in place* on push: eviction compacts
+//! the matrix by one row/column with two `memmove`s, and the new
+//! signature's distances are written into the freed last row/column.
+//! Nothing is re-materialized per push, and with a warm
+//! [`EmdScratch`] the whole operation performs no heap allocation.
 
-use bagcpd::score::EmdSolver;
+use bagcpd::score::{EmdSolver, SolverScratch};
 use bagcpd::GroundMetric;
 use emd::{EmdError, Signature};
 use infoest::DistanceMatrix;
 use std::collections::VecDeque;
 
-/// Sliding window of the last `capacity` signatures plus all pairwise
-/// distances among them.
+/// Per-worker reusable state for the push→score hot path: the EMD
+/// solver tableau, the pending-distance column of a window push, and the
+/// recycled storage of the per-push scorer matrix.
 ///
-/// Distances are stored as forward rows: `rows[k][j]` is the distance
-/// between retained signature `k` and retained signature `k + 1 + j`.
-/// Evicting the oldest signature is then just popping the front row.
+/// One scratch serves every stream a worker ticks over (mirroring
+/// `bagcpd::EvalScratch` for the bootstrap side): it is keyed by problem
+/// shape, not by stream, and every solve overwrites what it reads.
+#[derive(Debug, Clone, Default)]
+pub struct EmdScratch {
+    /// EMD solver buffers (transportation simplex / Sinkhorn).
+    pub(crate) solver: SolverScratch,
+    /// Distances of an incoming signature to the retained ones.
+    pub(crate) col: Vec<f64>,
+    /// Recycled storage for the per-push scorer matrix.
+    pub(crate) matrix: Vec<f64>,
+}
+
+impl EmdScratch {
+    /// Empty scratch; buffers grow to the window's shape on first use.
+    pub fn new() -> Self {
+        EmdScratch::default()
+    }
+}
+
+/// Sliding window of the last `capacity` signatures plus all pairwise
+/// distances among them, kept as a flat row-major matrix in window
+/// order (index 0 = oldest retained signature).
 #[derive(Debug, Clone)]
 pub struct SignatureWindow {
     capacity: usize,
     sigs: VecDeque<Signature>,
-    rows: VecDeque<Vec<f64>>,
+    /// Row-major `len x len` distance matrix (symmetric, zero diagonal).
+    dist: Vec<f64>,
 }
 
 impl SignatureWindow {
@@ -37,7 +67,9 @@ impl SignatureWindow {
         SignatureWindow {
             capacity,
             sigs: VecDeque::with_capacity(capacity),
-            rows: VecDeque::with_capacity(capacity),
+            // Full capacity reserved up front: warm-up growth and
+            // steady-state updates never reallocate.
+            dist: Vec::with_capacity(capacity * capacity),
         }
     }
 
@@ -69,6 +101,9 @@ impl SignatureWindow {
     /// Push the next signature, evicting the oldest if full, and compute
     /// its distance to every retained signature (exactly once each).
     ///
+    /// Equivalent to [`SignatureWindow::push_with`] with a fresh
+    /// [`EmdScratch`].
+    ///
     /// # Errors
     /// Propagates EMD solver failures; the window is left unchanged in
     /// that case.
@@ -78,24 +113,76 @@ impl SignatureWindow {
         solver: &EmdSolver,
         metric: &GroundMetric,
     ) -> Result<(), EmdError> {
+        self.push_with(sig, solver, metric, &mut EmdScratch::new())
+    }
+
+    /// As [`SignatureWindow::push`], solving through a caller-kept
+    /// [`EmdScratch`]: with the scratch warm and the window full, the
+    /// push touches no heap at all. Bit-identical results.
+    ///
+    /// # Errors
+    /// As [`SignatureWindow::push`].
+    pub fn push_with(
+        &mut self,
+        sig: Signature,
+        solver: &EmdSolver,
+        metric: &GroundMetric,
+        scratch: &mut EmdScratch,
+    ) -> Result<(), EmdError> {
         // Compute against the signatures that will remain after an
         // eviction, before mutating anything (error safety).
         let evict = self.sigs.len() == self.capacity;
         let keep_from = usize::from(evict);
-        let mut new_col = Vec::with_capacity(self.sigs.len() - keep_from + 1);
+        scratch.col.clear();
         for old in self.sigs.iter().skip(keep_from) {
-            new_col.push(solver.distance(old, &sig, metric)?);
+            scratch
+                .col
+                .push(solver.distance_with(old, &sig, metric, &mut scratch.solver)?);
         }
         if evict {
             self.sigs.pop_front();
-            self.rows.pop_front();
+            self.remove_oldest_row_col();
         }
-        for (row, d) in self.rows.iter_mut().zip(new_col) {
-            row.push(d);
-        }
+        self.append_row_col(&scratch.col);
         self.sigs.push_back(sig);
-        self.rows.push_back(Vec::with_capacity(self.capacity - 1));
         Ok(())
+    }
+
+    /// Compact the matrix from `n x n` to `(n-1) x (n-1)` in place by
+    /// dropping row 0 and column 0 (the evicted signature).
+    fn remove_oldest_row_col(&mut self) {
+        let n = self.sigs.len() + 1; // called after sigs.pop_front()
+        debug_assert_eq!(self.dist.len(), n * n);
+        for i in 1..n {
+            // Row i without its first column becomes row i-1 of the
+            // shrunk matrix; destinations always precede sources, so a
+            // forward sweep never clobbers unread data.
+            self.dist
+                .copy_within(i * n + 1..(i + 1) * n, (i - 1) * (n - 1));
+        }
+        self.dist.truncate((n - 1) * (n - 1));
+    }
+
+    /// Grow the matrix from `k x k` to `(k+1) x (k+1)` in place and fill
+    /// the new last row/column with `col` (distances of the incoming
+    /// signature to the `k` retained ones, oldest first).
+    fn append_row_col(&mut self, col: &[f64]) {
+        let k = self.sigs.len();
+        debug_assert_eq!(self.dist.len(), k * k);
+        debug_assert_eq!(col.len(), k);
+        let n = k + 1;
+        self.dist.resize(n * n, 0.0);
+        // Re-stride rows from k to k+1, highest row first (each row's
+        // destination sits at or past its source, and rows above were
+        // already moved out of the way).
+        for i in (1..k).rev() {
+            self.dist.copy_within(i * k..(i + 1) * k, i * n);
+        }
+        for (i, &d) in col.iter().enumerate() {
+            self.dist[i * n + k] = d;
+            self.dist[k * n + i] = d;
+        }
+        self.dist[k * n + k] = 0.0;
     }
 
     /// Distance between retained signatures `i` and `j` (window-local
@@ -104,34 +191,37 @@ impl SignatureWindow {
     /// # Panics
     /// Panics if an index is out of range.
     pub fn distance(&self, i: usize, j: usize) -> f64 {
-        if i == j {
-            return 0.0;
-        }
-        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        self.rows[lo][hi - lo - 1]
+        let n = self.sigs.len();
+        assert!(i < n && j < n, "SignatureWindow::distance: index range");
+        self.dist[i * n + j]
+    }
+
+    /// Copy the full `len x len` distance matrix (oldest first) into a
+    /// reused buffer — paired with `DistanceMatrix::from_vec` /
+    /// `into_vec`, the per-push scorer is built with no allocation.
+    pub fn matrix_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend_from_slice(&self.dist);
     }
 
     /// Materialize the full `len x len` distance matrix (oldest first) —
     /// the input `WindowScorer::from_distances` expects.
     pub fn matrix(&self) -> DistanceMatrix {
         let n = self.sigs.len();
-        let mut data = vec![0.0; n * n];
-        for i in 0..n {
-            for (j, &d) in self.rows[i].iter().enumerate() {
-                let col = i + 1 + j;
-                data[i * n + col] = d;
-                data[col * n + i] = d;
-            }
-        }
-        DistanceMatrix::from_vec(n, n, data)
+        DistanceMatrix::from_vec(n, n, self.dist.clone())
     }
 
-    /// Borrowed view of the parts for snapshotting without consuming.
-    pub fn parts(&self) -> (Vec<Signature>, Vec<Vec<f64>>) {
-        (
-            self.sigs.iter().cloned().collect(),
-            self.rows.iter().cloned().collect(),
-        )
+    /// Borrowed view of the parts for snapshotting without consuming:
+    /// the retained signatures plus the flattened forward distance rows
+    /// (row `k` holds the distances from signature `k` to signatures
+    /// `k+1..n`, concatenated — `n (n-1) / 2` values).
+    pub fn parts(&self) -> (Vec<Signature>, Vec<f64>) {
+        let n = self.sigs.len();
+        let mut rows = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            rows.extend_from_slice(&self.dist[i * n + i + 1..(i + 1) * n]);
+        }
+        (self.sigs.iter().cloned().collect(), rows)
     }
 
     /// Rebuild from snapshot parts, validating shape consistency.
@@ -141,7 +231,7 @@ impl SignatureWindow {
     pub fn from_parts(
         capacity: usize,
         sigs: Vec<Signature>,
-        rows: Vec<Vec<f64>>,
+        rows: Vec<f64>,
     ) -> Result<Self, String> {
         if capacity < 2 {
             return Err("window capacity must be >= 2".into());
@@ -152,31 +242,33 @@ impl SignatureWindow {
                 sigs.len()
             ));
         }
-        if rows.len() != sigs.len() {
+        let n = sigs.len();
+        let expected = n * (n - 1) / 2;
+        if rows.len() != expected {
             return Err(format!(
-                "{} distance rows for {} signatures",
-                rows.len(),
-                sigs.len()
+                "{} distance entries for {n} signatures (expected {expected})",
+                rows.len()
             ));
         }
-        for (i, row) in rows.iter().enumerate() {
-            if row.len() != sigs.len() - i - 1 {
-                return Err(format!(
-                    "distance row {i} has {} entries, expected {}",
-                    row.len(),
-                    sigs.len() - i - 1
-                ));
-            }
-            if row.iter().any(|d| !d.is_finite() || *d < 0.0) {
-                return Err(format!(
-                    "distance row {i} has a non-finite or negative entry"
-                ));
+        if rows.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err("a distance entry is non-finite or negative".into());
+        }
+        // Expand the forward rows into the full symmetric matrix.
+        let mut dist = Vec::with_capacity(capacity * capacity);
+        dist.resize(n * n, 0.0);
+        let mut at = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = rows[at];
+                at += 1;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
             }
         }
         Ok(SignatureWindow {
             capacity,
             sigs: sigs.into(),
-            rows: rows.into(),
+            dist,
         })
     }
 }
@@ -192,9 +284,15 @@ mod tests {
 
     fn window_with(values: &[f64], capacity: usize) -> SignatureWindow {
         let mut w = SignatureWindow::new(capacity);
+        let mut scratch = EmdScratch::new();
         for &v in values {
-            w.push(sig(v), &EmdSolver::Exact, &GroundMetric::Euclidean)
-                .unwrap();
+            w.push_with(
+                sig(v),
+                &EmdSolver::Exact,
+                &GroundMetric::Euclidean,
+                &mut scratch,
+            )
+            .unwrap();
         }
         w
     }
@@ -225,19 +323,75 @@ mod tests {
     }
 
     #[test]
+    fn long_stream_matrix_matches_pairwise_solves() {
+        // Drive far past capacity and check every cached entry against a
+        // direct solve — the in-place compact/append cycle must never
+        // smear rows.
+        let values: Vec<f64> = (0..23).map(|i| (i as f64 * 1.7).sin() * 10.0).collect();
+        let w = window_with(&values, 5);
+        let kept = &values[18..];
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = (kept[i] - kept[j]).abs();
+                assert!(
+                    (w.distance(i, j) - expect).abs() < 1e-12,
+                    "({i},{j}): {} vs {expect}",
+                    w.distance(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_with_shared_scratch_matches_fresh() {
+        let mut shared = SignatureWindow::new(4);
+        let mut fresh = SignatureWindow::new(4);
+        let mut scratch = EmdScratch::new();
+        for v in [0.0, 2.0, 5.0, 9.0, 14.0, 20.0] {
+            shared
+                .push_with(
+                    sig(v),
+                    &EmdSolver::Exact,
+                    &GroundMetric::Euclidean,
+                    &mut scratch,
+                )
+                .unwrap();
+            fresh
+                .push(sig(v), &EmdSolver::Exact, &GroundMetric::Euclidean)
+                .unwrap();
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    shared.distance(i, j).to_bits(),
+                    fresh.distance(i, j).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parts_round_trip() {
         let w = window_with(&[2.0, 4.0, 8.0], 5);
         let (sigs, rows) = w.parts();
+        assert_eq!(rows.len(), 3);
         let back = SignatureWindow::from_parts(5, sigs, rows).unwrap();
         assert_eq!(back.len(), 3);
         assert!((back.distance(0, 2) - 6.0).abs() < 1e-12);
     }
 
     #[test]
-    fn from_parts_rejects_ragged_rows() {
+    fn from_parts_rejects_wrong_length_or_bad_values() {
         let (sigs, mut rows) = window_with(&[2.0, 4.0, 8.0], 5).parts();
-        rows[0].pop();
+        rows.pop();
         assert!(SignatureWindow::from_parts(5, sigs, rows).is_err());
+
+        let (sigs, mut rows) = window_with(&[2.0, 4.0, 8.0], 5).parts();
+        rows[0] = f64::NAN;
+        assert!(SignatureWindow::from_parts(5, sigs, rows).is_err());
+
+        let (sigs, rows) = window_with(&[2.0, 4.0, 8.0], 5).parts();
+        assert!(SignatureWindow::from_parts(2, sigs, rows).is_err());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod online;
 pub mod snapshot;
 mod worker;
 
-pub use cache::SignatureWindow;
+pub use cache::{EmdScratch, SignatureWindow};
 pub use engine::{EngineConfig, EngineError, StreamEngine, StreamId};
 pub use event::StreamEvent;
 pub use online::{OnlineDetector, OnlineState};

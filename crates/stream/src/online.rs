@@ -1,8 +1,9 @@
 //! Incremental single-stream detector: `push(bag) -> Option<ScorePoint>`.
 
-use crate::cache::SignatureWindow;
+use crate::cache::{EmdScratch, SignatureWindow};
 use bagcpd::{signature_at, Bag, DetectError, Detector, EvalScratch, ScorePoint, WindowScorer};
 use emd::Signature;
+use infoest::DistanceMatrix;
 use std::collections::VecDeque;
 
 /// Complete serializable state of an [`OnlineDetector`], independent of
@@ -24,8 +25,10 @@ pub struct OnlineState {
     pub dim: Option<u32>,
     /// Retained window signatures, oldest first.
     pub sigs: Vec<Signature>,
-    /// Cached forward distance rows matching `sigs`.
-    pub rows: Vec<Vec<f64>>,
+    /// Cached pairwise distances as flattened forward rows: for each
+    /// signature `k` (oldest first), its distances to signatures
+    /// `k+1..n`, concatenated — `n (n-1) / 2` values in total.
+    pub rows: Vec<f64>,
     /// Upper CI bounds of the last `<= tau'` emitted points.
     pub ci_up_hist: Vec<f64>,
 }
@@ -97,13 +100,18 @@ impl OnlineDetector {
     /// [`DetectError::DimensionMismatch`] if the bag's dimension differs
     /// from this stream's established dimension, or an EMD failure.
     pub fn push(&mut self, bag: Bag) -> Result<Option<ScorePoint>, DetectError> {
-        self.push_with(bag, &mut EvalScratch::new())
+        self.push_with(bag, &mut EvalScratch::new(), &mut EmdScratch::new())
     }
 
-    /// As [`OnlineDetector::push`], but evaluating through a caller-kept
-    /// [`EvalScratch`]: the engine's workers hold one scratch each and
-    /// reuse it across every stream they evaluate in a tick, so the
-    /// steady-state bootstrap path allocates nothing. Bit-identical to
+    /// As [`OnlineDetector::push`], but evaluating through caller-kept
+    /// scratches: the engine's workers hold one [`EvalScratch`]
+    /// (bootstrap buffers) and one [`EmdScratch`] (EMD solver tableau,
+    /// window-push column, scorer-matrix storage) each and reuse them
+    /// across every stream they evaluate in a tick. Once warm, the
+    /// entire push→score path — signature-to-window distances, the
+    /// incremental matrix update, the scorer, and every bootstrap
+    /// replicate — performs no heap allocation beyond building the
+    /// retained signature itself. Bit-identical to
     /// [`OnlineDetector::push`].
     ///
     /// # Errors
@@ -112,6 +120,7 @@ impl OnlineDetector {
         &mut self,
         bag: Bag,
         scratch: &mut EvalScratch,
+        emd: &mut EmdScratch,
     ) -> Result<Option<ScorePoint>, DetectError> {
         let d = bag.dim() as u32;
         match self.dim {
@@ -122,7 +131,7 @@ impl OnlineDetector {
         let cfg = self.detector.config();
         let sig = signature_at(&bag, &cfg.signature, self.seed, self.pushed);
         self.window
-            .push(sig, &cfg.solver, &cfg.metric)
+            .push_with(sig, &cfg.solver, &cfg.metric, emd)
             .map_err(DetectError::Emd)?;
         self.pushed += 1;
         if !self.window.is_full() {
@@ -131,8 +140,18 @@ impl OnlineDetector {
 
         let tau_prime = cfg.tau_prime;
         let t = (self.pushed as usize) - tau_prime;
-        let scorer =
-            WindowScorer::from_distances(self.window.matrix(), cfg.tau, tau_prime, cfg.estimator);
+        // Build the scorer in the recycled matrix storage: the window
+        // copies its in-place matrix into the buffer, which returns to
+        // the scratch once the point is evaluated.
+        let w = self.window.len();
+        let mut buf = std::mem::take(&mut emd.matrix);
+        self.window.matrix_into(&mut buf);
+        let scorer = WindowScorer::from_distances(
+            DistanceMatrix::from_vec(w, w, buf),
+            cfg.tau,
+            tau_prime,
+            cfg.estimator,
+        );
         // The point one test window back exists iff at least tau' points
         // were already emitted; its upper CI bound is then the oldest
         // retained history entry.
@@ -145,6 +164,7 @@ impl OnlineDetector {
         let point = self
             .detector
             .evaluate_point_with(&scorer, t, prev_ci_up, self.seed, scratch);
+        emd.matrix = scorer.into_distances().into_vec();
         self.ci_up_hist.push_back(point.ci.up);
         if self.ci_up_hist.len() > tau_prime {
             self.ci_up_hist.pop_front();
@@ -163,9 +183,10 @@ impl OnlineDetector {
         bags: impl IntoIterator<Item = Bag>,
     ) -> Result<Vec<ScorePoint>, DetectError> {
         let mut scratch = EvalScratch::new();
+        let mut emd = EmdScratch::new();
         let mut out = Vec::new();
         for bag in bags {
-            if let Some(p) = self.push_with(bag, &mut scratch)? {
+            if let Some(p) = self.push_with(bag, &mut scratch, &mut emd)? {
                 out.push(p);
             }
         }

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! magic    8 bytes  b"BCPDSNAP"
-//! version  u32      2
+//! version  u32      3
 //! config   fingerprint of the DetectorConfig (see below)
 //! seed     u64      engine master seed
 //! names    u64      intern-table size, then per name (id order):
@@ -21,7 +21,13 @@
 //! intern table plus id-keyed states: restoring rebuilds the table in
 //! the same order, so [`crate::StreamId`] handles obtained before a
 //! snapshot stay valid after a restore and a restore → snapshot round
-//! trip is byte-identical. Version 1 snapshots are refused with
+//! trip is byte-identical. Version 3 flattened each stream's cached
+//! distance rows into one contiguous buffer (matching the in-place
+//! window matrix of [`crate::SignatureWindow`]): a single `u32` count
+//! followed by the `n (n-1) / 2` forward-row values, instead of v2's
+//! per-row length prefixes. Version 2 snapshots are still read and
+//! migrated on load (the values are identical, only the framing
+//! changed); version 1 snapshots are refused with
 //! [`SnapshotError::BadVersion`].
 //!
 //! The config fingerprint captures every parameter that affects results
@@ -38,7 +44,9 @@ use emd::Signature;
 /// Magic bytes opening every snapshot.
 pub const MAGIC: &[u8; 8] = b"BCPDSNAP";
 /// Current format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
+/// Oldest version [`decode_engine`] still reads (migrating on load).
+pub const MIN_READ_VERSION: u32 = 2;
 
 /// Snapshot parse/validation failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -357,7 +365,8 @@ fn read_signature(r: &mut Reader<'_>) -> Result<Signature, SnapshotError> {
         .map_err(|e| SnapshotError::Corrupt(format!("invalid signature: {e}")))
 }
 
-/// Append one stream state.
+/// Append one stream state (current-version framing: the flattened
+/// distance rows are written as one `u32` count plus values).
 pub fn encode_state(w: &mut Writer, state: &OnlineState) {
     w.u64(state.seed);
     w.u64(state.pushed);
@@ -370,11 +379,9 @@ pub fn encode_state(w: &mut Writer, state: &OnlineState) {
     for sig in &state.sigs {
         put_signature(w, sig);
     }
-    for row in &state.rows {
-        w.u32(row.len() as u32);
-        for &d in row {
-            w.f64(d);
-        }
+    w.u32(state.rows.len() as u32);
+    for &d in &state.rows {
+        w.f64(d);
     }
     w.u32(state.ci_up_hist.len() as u32);
     for &u in &state.ci_up_hist {
@@ -382,7 +389,67 @@ pub fn encode_state(w: &mut Writer, state: &OnlineState) {
     }
 }
 
-fn read_state(r: &mut Reader<'_>) -> Result<OnlineState, SnapshotError> {
+/// Append one stream state in the retired **v2** framing (per-signature
+/// length-prefixed forward distance rows). Kept only so tests — here
+/// and at the engine level — can fabricate v2 checkpoints against one
+/// authoritative description of the legacy layout; nothing in
+/// production writes it.
+#[doc(hidden)]
+pub fn encode_state_v2(w: &mut Writer, state: &OnlineState) {
+    w.u64(state.seed);
+    w.u64(state.pushed);
+    w.u64(state.emitted);
+    match state.dim {
+        None => w.u32(0),
+        Some(d) => w.u32(d + 1),
+    }
+    let n = state.sigs.len();
+    w.u32(n as u32);
+    for sig in &state.sigs {
+        put_signature(w, sig);
+    }
+    let mut at = 0;
+    for k in 0..n {
+        let len = n - k - 1;
+        w.u32(len as u32);
+        for &d in &state.rows[at..at + len] {
+            w.f64(d);
+        }
+        at += len;
+    }
+    w.u32(state.ci_up_hist.len() as u32);
+    for &u in &state.ci_up_hist {
+        w.f64(u);
+    }
+}
+
+/// A whole engine checkpoint in the retired **v2** framing; test
+/// support only, see [`encode_state_v2`].
+#[doc(hidden)]
+pub fn encode_engine_v2<S: AsRef<str>>(
+    cfg: &DetectorConfig,
+    master_seed: u64,
+    names: &[S],
+    streams: &[(u32, OnlineState)],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u32(2);
+    w.bytes(&config_fingerprint(cfg));
+    w.u64(master_seed);
+    w.u64(names.len() as u64);
+    for name in names {
+        w.str(name.as_ref());
+    }
+    w.u64(streams.len() as u64);
+    for (id, state) in streams {
+        w.u32(*id);
+        encode_state_v2(&mut w, state);
+    }
+    w.into_bytes()
+}
+
+fn read_state(r: &mut Reader<'_>, version: u32) -> Result<OnlineState, SnapshotError> {
     let seed = r.u64()?;
     let pushed = r.u64()?;
     let emitted = r.u64()?;
@@ -401,19 +468,35 @@ fn read_state(r: &mut Reader<'_>) -> Result<OnlineState, SnapshotError> {
     for _ in 0..nsigs {
         sigs.push(read_signature(r)?);
     }
-    let mut rows = Vec::with_capacity(r.bounded_capacity(nsigs, 4));
-    for _ in 0..nsigs {
-        let len = r.u32()? as usize;
-        if len >= nsigs.max(1) {
+    let expected_rows = nsigs * nsigs.saturating_sub(1) / 2;
+    let mut rows: Vec<f64>;
+    if version == 2 {
+        // v2 framing: one length-prefixed forward row per signature.
+        // The values (and their order) are exactly the v3 flattening,
+        // so migration is pure concatenation.
+        rows = Vec::with_capacity(r.bounded_capacity(expected_rows, 8));
+        for k in 0..nsigs {
+            let len = r.u32()? as usize;
+            if len != nsigs - k - 1 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "distance row {k} of {len} entries among {nsigs} signatures"
+                )));
+            }
+            for _ in 0..len {
+                rows.push(r.f64()?);
+            }
+        }
+    } else {
+        let total = r.u32()? as usize;
+        if total != expected_rows {
             return Err(SnapshotError::Corrupt(format!(
-                "distance row of {len} entries among {nsigs} signatures"
+                "{total} distance entries for {nsigs} signatures (expected {expected_rows})"
             )));
         }
-        let mut row = Vec::with_capacity(r.bounded_capacity(len, 8));
-        for _ in 0..len {
-            row.push(r.f64()?);
+        rows = Vec::with_capacity(r.bounded_capacity(total, 8));
+        for _ in 0..total {
+            rows.push(r.f64()?);
         }
-        rows.push(row);
     }
     let hist_len = r.u32()? as usize;
     if hist_len > 1_000_000 {
@@ -491,7 +574,7 @@ pub fn decode_engine(bytes: &[u8], cfg: &DetectorConfig) -> Result<EngineSnapsho
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_READ_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::BadVersion(version));
     }
     let expected = config_fingerprint(cfg);
@@ -544,7 +627,7 @@ pub fn decode_engine(bytes: &[u8], cfg: &DetectorConfig) -> Result<EngineSnapsho
                 )));
             }
         }
-        let state = read_state(&mut r)?;
+        let state = read_state(&mut r, version)?;
         streams.push((id, state));
     }
     if !r.finished() {
@@ -572,7 +655,7 @@ mod tests {
                 Signature::new(vec![vec![0.0], vec![1.5]], vec![1.0, 2.0]).unwrap(),
                 Signature::new(vec![vec![3.0]], vec![4.0]).unwrap(),
             ],
-            rows: vec![vec![2.25], vec![]],
+            rows: vec![2.25],
             ci_up_hist: vec![],
         }
     }
@@ -636,6 +719,62 @@ mod tests {
         trailing.push(0);
         assert!(matches!(
             decode_engine(&trailing, &cfg()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn v2_snapshots_migrate_on_load() {
+        // A v2 snapshot (per-row framing) must decode to the same
+        // logical snapshot as its v3 re-encoding, and the migrated
+        // v3 bytes must round-trip bit-identically.
+        let names = ["alpha", "beta"];
+        let streams = vec![(0, state(2)), (1, state(1))];
+        let v2 = encode_engine_v2(&cfg(), 99, &names, &streams);
+        let snap = decode_engine(&v2, &cfg()).unwrap();
+        assert_eq!(snap.master_seed, 99);
+        assert_eq!(snap.streams, streams);
+
+        // Migrate: re-encode (always writes VERSION = 3) and compare a
+        // second decode against the first.
+        let v3 = encode_engine(&cfg(), snap.master_seed, &snap.names, snap.streams.clone());
+        assert_eq!(v3[8..12], VERSION.to_le_bytes());
+        let again = decode_engine(&v3, &cfg()).unwrap();
+        assert_eq!(snap, again, "v2 -> v3 migration must be lossless");
+        // And v3 re-encoding is a fixed point.
+        assert_eq!(
+            v3,
+            encode_engine(&cfg(), again.master_seed, &again.names, again.streams)
+        );
+    }
+
+    #[test]
+    fn v2_with_non_triangular_rows_is_corrupt() {
+        // v2's per-row framing is validated against the triangular
+        // shape during migration.
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(2);
+        w.bytes(&config_fingerprint(&cfg()));
+        w.u64(1);
+        w.u64(1);
+        w.str("s");
+        w.u64(1);
+        w.u32(0);
+        let st = state(1);
+        w.u64(st.seed);
+        w.u64(st.pushed);
+        w.u64(st.emitted);
+        w.u32(2); // dim Some(1)
+        w.u32(2);
+        for sig in &st.sigs {
+            put_signature(&mut w, sig);
+        }
+        w.u32(0); // row 0 should have 1 entry, not 0
+        w.u32(0);
+        w.u32(0);
+        assert!(matches!(
+            decode_engine(&w.into_bytes(), &cfg()),
             Err(SnapshotError::Corrupt(_))
         ));
     }

@@ -1,5 +1,6 @@
 //! Worker threads: each owns one shard of the engine's streams.
 
+use crate::cache::EmdScratch;
 use crate::engine::StreamId;
 use crate::event::StreamEvent;
 use crate::online::{OnlineDetector, OnlineState};
@@ -86,13 +87,15 @@ struct StreamMeta {
 }
 
 /// One worker's whole state: the id→name/seed registry, the live
-/// detectors, and the evaluation scratch shared by *all* streams the
-/// worker ticks over — one set of bootstrap buffers per worker, not one
-/// per `evaluate_point`.
+/// detectors, and the evaluation scratches shared by *all* streams the
+/// worker ticks over — one set of bootstrap buffers (`EvalScratch`) and
+/// one set of EMD solver buffers (`EmdScratch`) per worker, not one per
+/// `evaluate_point` or per EMD solve.
 struct Shard {
     registry: HashMap<StreamId, StreamMeta>,
     streams: HashMap<StreamId, OnlineDetector>,
     scratch: EvalScratch,
+    emd: EmdScratch,
 }
 
 /// Worker main loop: drain up to `batch_size` queued messages, then
@@ -109,6 +112,7 @@ pub(crate) fn run(
         registry: HashMap::new(),
         streams: HashMap::new(),
         scratch: EvalScratch::new(),
+        emd: EmdScratch::new(),
     };
     let mut batch: Vec<Msg> = Vec::with_capacity(batch_size);
     loop {
@@ -208,7 +212,7 @@ fn evaluate(
             .entry(id)
             .or_insert_with(|| OnlineDetector::new(detector.clone(), meta.seed));
         for bag in bags {
-            match det.push_with(bag, &mut shard.scratch) {
+            match det.push_with(bag, &mut shard.scratch, &mut shard.emd) {
                 Ok(Some(point)) => {
                     events
                         .send(StreamEvent::Point {

@@ -1,0 +1,138 @@
+//! Allocation guard for the streaming hot path: once an
+//! [`OnlineDetector`] is warm (full window, scratches grown to shape),
+//! `push_with` must perform **zero heap allocations beyond building the
+//! retained signature itself** — the signature is stored in the window,
+//! so its buffers are irreducibly fresh, but every solver tableau,
+//! distance row, scorer matrix, weight vector, and bootstrap buffer must
+//! come from the caller-kept scratches.
+//!
+//! The guard measures exact allocation counts with a counting global
+//! allocator (this integration test is its own binary, so the allocator
+//! affects nothing else): the allocations of N warm pushes must equal
+//! the allocations of building the same N signatures alone. It runs
+//! under `cfg(debug_assertions)` — the default `cargo test` profile, and
+//! the one CI uses — and is skipped in release test runs where the
+//! optimizer may legitimately remove baseline allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use bagcpd::{
+    signature_at, Bag, BootstrapConfig, Detector, DetectorConfig, EvalScratch, SignatureMethod,
+};
+use stream::{EmdScratch, OnlineDetector};
+
+/// System allocator wrapper counting allocation events per thread
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc`; frees are not
+/// counted — dropping the evicted signature is fine, allocating its
+/// replacement's working set is not).
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.with(|c| c.get())
+}
+
+/// Deterministic bags cycling through a small set of shapes, so the
+/// warm-up sees every histogram layout the measured pushes will build.
+fn bag_at(t: usize) -> Bag {
+    let level = (t % 4) as f64 * 0.3;
+    Bag::from_scalars((0..24).map(move |i| level + ((i * 5 + t) % 9) as f64 * 0.25))
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn warm_push_allocates_nothing_beyond_the_signature() {
+    const SEED: u64 = 7;
+    const WARM: usize = 24; // several full eviction cycles past window fill
+    const MEASURED: usize = 16; // a multiple of the 4-shape bag cycle
+
+    let detector = Detector::new(DetectorConfig {
+        tau: 4,
+        tau_prime: 3,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        bootstrap: BootstrapConfig {
+            replicates: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("valid config");
+    let method = detector.config().signature.clone();
+
+    let mut online = OnlineDetector::new(detector, SEED);
+    let mut eval = EvalScratch::new();
+    let mut emd = EmdScratch::new();
+
+    // Everything the measured loops consume is built up front.
+    let warm_bags: Vec<Bag> = (0..WARM).map(bag_at).collect();
+    let measured_bags: Vec<Bag> = (WARM..WARM + MEASURED).map(bag_at).collect();
+    let baseline_bags = measured_bags.clone();
+
+    for bag in warm_bags {
+        online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("warm-up push");
+    }
+
+    // Baseline: the signature builds alone, for the same bags at the
+    // same positions (bit-identical work to what push_with does first).
+    let before = alloc_events();
+    for (k, bag) in baseline_bags.iter().enumerate() {
+        let sig = signature_at(bag, &method, SEED, (WARM + k) as u64);
+        std::hint::black_box(&sig);
+    }
+    let signature_allocs = alloc_events() - before;
+    assert!(signature_allocs > 0, "baseline must do real work");
+
+    // Measured: full pushes through the warm scratches.
+    let before = alloc_events();
+    let mut emitted = 0usize;
+    for bag in measured_bags {
+        if online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("measured push")
+            .is_some()
+        {
+            emitted += 1;
+        }
+    }
+    let push_allocs = alloc_events() - before;
+    assert_eq!(emitted, MEASURED, "warm detector emits every push");
+
+    assert_eq!(
+        push_allocs, signature_allocs,
+        "a warm push_with must allocate exactly what the signature \
+         build allocates: EMD solves, the window matrix, the scorer, \
+         and the bootstrap must all run out of the scratches \
+         ({push_allocs} events vs {signature_allocs} baseline over \
+         {MEASURED} pushes)"
+    );
+}

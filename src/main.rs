@@ -58,9 +58,10 @@
 
 use bags_cpd::follow::{decode_checkpoint, encode_checkpoint, FollowCheckpoint};
 use bags_cpd::stream::hash::Fnv1a;
-use bags_cpd::stream::OnlineDetector;
+use bags_cpd::stream::{EmdScratch, OnlineDetector};
 use bags_cpd::{
-    Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
+    Bag, BootstrapConfig, Detector, DetectorConfig, EvalScratch, ScoreKind, SignatureMethod,
+    Weighting,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -536,8 +537,14 @@ fn run_follow(opts: &Options) -> Result<(), String> {
     writeln!(out, "t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
 
+    // Session-lived scratches: every push of the tail loop reuses one
+    // set of solver/bootstrap buffers instead of re-growing them.
+    let mut eval_scratch = EvalScratch::new();
+    let mut emd_scratch = EmdScratch::new();
     let mut emit = |online: &mut OnlineDetector, rows: Vec<Vec<f64>>| -> Result<(), String> {
-        let point = online.push(Bag::new(rows)).map_err(|e| e.to_string())?;
+        let point = online
+            .push_with(Bag::new(rows), &mut eval_scratch, &mut emd_scratch)
+            .map_err(|e| e.to_string())?;
         if let Some(p) = point {
             writeln!(
                 out,

@@ -24,13 +24,13 @@ fn cfg() -> DetectorConfig {
 }
 
 /// A structurally valid `OnlineState` with `k` retained signatures
-/// (triangular distance rows, as the real window keeps them).
+/// (flattened triangular distance rows, as the real window keeps them).
 fn state(seed: u64, k: usize) -> OnlineState {
     let sigs: Vec<Signature> = (0..k)
         .map(|i| Signature::new(vec![vec![i as f64 * 0.5]], vec![1.0]).unwrap())
         .collect();
-    let rows: Vec<Vec<f64>> = (0..k)
-        .map(|i| (i + 1..k).map(|j| (j - i) as f64 * 0.5).collect())
+    let rows: Vec<f64> = (0..k)
+        .flat_map(|i| (i + 1..k).map(move |j| (j - i) as f64 * 0.5))
         .collect();
     OnlineState {
         seed,
