@@ -60,7 +60,8 @@ pub use feature_select::{per_dimension_scores, OnlineFeatureSelector};
 pub use parametric::{parametric_distance_matrix, GaussianFit};
 pub use score::{score_kl, score_lr, EmdSolver, ScoreKind, SolverScratch, WindowScorer};
 pub use signature_builder::{
-    build_signature, derive_seed, signature_at, GroundMetric, SignatureMethod,
+    build_signature, derive_seed, signature_at, signature_at_with, GroundMetric, SignatureMethod,
+    SignatureScratch,
 };
 pub use window::{
     discounted_weights, discounted_weights_into, equal_weights, equal_weights_into, Weighting,

@@ -3,8 +3,8 @@
 use crate::bag::Bag;
 use emd::{Chebyshev, Euclidean, GroundDistance, Manhattan, Signature};
 use quantize::{
-    histogram_grid, kmeans, kmedoids, lvq_quantize, HistogramSpec, KMeansConfig, KMedoidsConfig,
-    LvqConfig,
+    histogram_grid, histogram_grid_with, kmeans, kmedoids, lvq_quantize, HistogramScratch,
+    HistogramSpec, KMeansConfig, KMedoidsConfig, LvqConfig,
 };
 use rand::{Rng, SeedableRng};
 
@@ -106,6 +106,87 @@ pub fn signature_at(
     build_signature(bag, method, &mut rng)
 }
 
+/// Buffer-recycling state for [`signature_at_with`]: histogram working
+/// tables plus pools of dismantled signatures ([`SignatureScratch::recycle`])
+/// whose point lists and weight buffers seed the next build.
+///
+/// With the histogram method, a warm scratch makes the whole signature
+/// build **zero-allocation**: the retiring signature's buffers become
+/// the new signature's storage. Clustering methods draw and return the
+/// outer buffers too, but their quantizers still allocate internally.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureScratch {
+    hist: HistogramScratch,
+    /// Reused binning spec (rewritten in place per build — its two
+    /// per-dimension vectors are the only other per-build storage).
+    spec: Option<HistogramSpec>,
+    /// Recycled point lists (outer vector plus its inner vectors).
+    points: Vec<Vec<Vec<f64>>>,
+    /// Recycled weight buffers.
+    weights: Vec<Vec<f64>>,
+}
+
+/// Pools are capped so a caller that recycles without ever drawing (a
+/// clustering-method stream) stays bounded.
+const SIG_POOL_CAP: usize = 8;
+
+impl SignatureScratch {
+    /// Empty scratch; pools grow to the workload's shape on first use.
+    pub fn new() -> Self {
+        SignatureScratch::default()
+    }
+
+    /// Dismantle a retiring signature (e.g. the one just evicted from a
+    /// stream's window) into the pools for the next build to reuse.
+    pub fn recycle(&mut self, sig: Signature) {
+        let (points, weights) = sig.into_parts();
+        if self.points.len() < SIG_POOL_CAP {
+            self.points.push(points);
+        }
+        if self.weights.len() < SIG_POOL_CAP {
+            self.weights.push(weights);
+        }
+    }
+}
+
+/// As [`signature_at`], but drawing the signature's buffers from a
+/// caller-kept [`SignatureScratch`] — bit-identical output. With the
+/// histogram method and a warm scratch the build touches no heap;
+/// clustering methods fall back to [`signature_at`] (their quantizers
+/// allocate internally either way).
+///
+/// # Panics
+/// As [`build_signature`].
+pub fn signature_at_with(
+    bag: &Bag,
+    method: &SignatureMethod,
+    master_seed: u64,
+    index: u64,
+    scratch: &mut SignatureScratch,
+) -> Signature {
+    let SignatureMethod::Histogram { width } = method else {
+        return signature_at(bag, method, master_seed, index);
+    };
+    let SignatureScratch {
+        hist,
+        spec,
+        points,
+        weights,
+    } = scratch;
+    let spec = spec.get_or_insert_with(|| HistogramSpec {
+        origin: Vec::new(),
+        width: Vec::new(),
+    });
+    spec.origin.clear();
+    spec.origin.resize(bag.dim(), 0.0);
+    spec.width.clear();
+    spec.width.resize(bag.dim(), *width);
+    let mut centers = points.pop().unwrap_or_default();
+    let mut sig_weights = weights.pop().unwrap_or_default();
+    histogram_grid_with(bag.points(), spec, hist, &mut centers, &mut sig_weights);
+    Signature::new(centers, sig_weights).expect("quantization always yields a valid signature")
+}
+
 /// Build the signature of one bag with the chosen method.
 ///
 /// The RNG drives quantizer initialization (k-means++ seeding etc.);
@@ -181,6 +262,41 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(a.total_weight(), 60.0);
+    }
+
+    #[test]
+    fn signature_at_with_matches_signature_at() {
+        let mut scratch = SignatureScratch::new();
+        // Histogram path through a dirty, recycling scratch; shapes vary.
+        for t in 0..6u64 {
+            let b = Bag::new(
+                (0..30 + 7 * t as usize)
+                    .map(|i| vec![(i % (3 + t as usize)) as f64 * 0.4, (i % 5) as f64])
+                    .collect(),
+            );
+            let method = SignatureMethod::Histogram { width: 0.5 };
+            let plain = signature_at(&b, &method, 7, t);
+            let pooled = signature_at_with(&b, &method, 7, t, &mut scratch);
+            assert_eq!(plain, pooled, "histogram build must be bit-identical");
+            scratch.recycle(pooled);
+        }
+        // Clustering methods delegate (and still accept recycling).
+        let b = bag();
+        let method = SignatureMethod::KMeans { k: 4 };
+        let plain = signature_at(&b, &method, 7, 3);
+        let pooled = signature_at_with(&b, &method, 7, 3, &mut scratch);
+        assert_eq!(plain, pooled);
+        scratch.recycle(pooled);
+    }
+
+    #[test]
+    fn signature_scratch_pools_stay_bounded() {
+        let mut scratch = SignatureScratch::new();
+        for _ in 0..50 {
+            scratch.recycle(Signature::new(vec![vec![1.0]], vec![1.0]).unwrap());
+        }
+        assert!(scratch.points.len() <= SIG_POOL_CAP);
+        assert!(scratch.weights.len() <= SIG_POOL_CAP);
     }
 
     #[test]

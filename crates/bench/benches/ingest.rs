@@ -1,0 +1,93 @@
+//! Ingestion throughput: CSV rows/sec through the `Mux` + engine as
+//! the concurrent source count grows (1, 64, 1024 in-memory sources,
+//! one stream each) — the front-end's cost on top of the engine's
+//! `engine_bags_per_sec` trajectory.
+
+use bagcpd::{BootstrapConfig, DetectorConfig, SignatureMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::Cursor;
+use stream::ingest::{LineSource, Mux, MuxConfig};
+use stream::{EngineConfig, StreamEngine};
+
+const BAGS_PER_STREAM: usize = 8;
+const ROWS_PER_BAG: usize = 12;
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig {
+        tau: 3,
+        tau_prime: 2,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        bootstrap: BootstrapConfig {
+            replicates: 16,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// CSV body for one source (header + BAGS_PER_STREAM bags).
+fn csv_for(source: usize) -> Vec<u8> {
+    let mut text = String::from("t,x\n");
+    for t in 0..BAGS_PER_STREAM {
+        let level = if t >= BAGS_PER_STREAM / 2 { 3.0 } else { 0.0 };
+        for i in 0..ROWS_PER_BAG {
+            let x = level + ((i * 3 + source + t) % 7) as f64 * 0.1;
+            text.push_str(&format!("{t},{x}\n"));
+        }
+    }
+    text.into_bytes()
+}
+
+/// One full ingestion lifecycle: spawn the engine, mux `sources`
+/// in-memory CSV sources through it, drain, shut down. Returns the
+/// event count (observable, so the work cannot be optimized away).
+fn run_mux(bodies: &[Vec<u8>]) -> usize {
+    let engine = StreamEngine::new(EngineConfig {
+        detector: detector_config(),
+        seed: 1,
+        workers: 4,
+        queue_capacity: 1024,
+        batch_size: 128,
+        event_capacity: 1 << 17,
+    })
+    .expect("engine spawns");
+    let mut mux = Mux::new(engine, MuxConfig::default());
+    for (s, body) in bodies.iter().enumerate() {
+        mux.add_source(Box::new(LineSource::new(
+            Cursor::new(body.clone()),
+            format!("mem-{s}"),
+            format!("s{s}"),
+        )));
+    }
+    let mut events = 0usize;
+    loop {
+        let report = mux.tick().expect("tick");
+        events += mux.drain_events().len();
+        if report.done {
+            break;
+        }
+    }
+    events + mux.finish().expect("finish").events.len()
+}
+
+fn bench_ingest_source_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_rows_per_sec");
+    group.sample_size(10);
+    for &sources in &[1usize, 64, 1024] {
+        let bodies: Vec<Vec<u8>> = (0..sources).map(csv_for).collect();
+        group.throughput(Throughput::Elements(
+            (sources * BAGS_PER_STREAM * ROWS_PER_BAG) as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sources),
+            &bodies,
+            |b, bodies| {
+                b.iter(|| run_mux(bodies));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_source_count);
+criterion_main!(benches);

@@ -68,6 +68,13 @@ impl Signature {
         Signature::new(points, weights)
     }
 
+    /// Dismantle the signature into its owned buffers, so a retiring
+    /// signature's point vectors and weight buffer can be recycled into
+    /// the next build instead of freed and re-allocated.
+    pub fn into_parts(self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (self.points, self.weights)
+    }
+
     /// Number of weighted points.
     pub fn len(&self) -> usize {
         self.points.len()

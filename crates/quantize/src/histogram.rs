@@ -57,6 +57,105 @@ impl HistogramSpec {
     }
 }
 
+/// Reusable working state for [`histogram_grid_with`]: the bin-index
+/// map, a working key, and pools of recycled bin-key and center vectors.
+///
+/// All of it is keyed by problem shape, not by content: one scratch can
+/// serve every histogram build of a stream (or of a whole worker shard),
+/// and once its pools have grown to the workload's high-water mark a
+/// build performs **no heap allocation at all**.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramScratch {
+    /// Occupied bin index → compact cluster id. Drained (not dropped)
+    /// after every build, so both the table and its key vectors survive.
+    bin_ids: HashMap<Vec<i64>, usize>,
+    /// Working bin-index key for the point being binned.
+    key: Vec<i64>,
+    /// Recycled bin-key vectors (returned here by the post-build drain).
+    free_keys: Vec<Vec<i64>>,
+    /// Recycled center vectors (fed by [`HistogramScratch::recycle_centers`]
+    /// and by builds that produced fewer bins than their output buffer
+    /// already held).
+    free_centers: Vec<Vec<f64>>,
+}
+
+impl HistogramScratch {
+    /// Empty scratch; pools grow to the workload's shape on first use.
+    pub fn new() -> Self {
+        HistogramScratch::default()
+    }
+
+    /// Return center vectors — typically the points of a retired
+    /// signature — to the pool for the next build to reuse.
+    pub fn recycle_centers(&mut self, centers: impl IntoIterator<Item = Vec<f64>>) {
+        self.free_centers.extend(centers);
+    }
+}
+
+/// As [`histogram_grid`], but writing the occupied bins (first-seen
+/// order) and their occupancies into caller-kept buffers: `centers`'
+/// existing inner vectors are reused in place, extras come from (and
+/// return to) the scratch's pools, and `weights[id]` accumulates the
+/// occupancy of bin `id` as an exact small integer — bit-identical to
+/// `histogram_grid`'s counts cast to `f64`. Once the scratch and the
+/// buffers are warm, a build performs zero heap allocations.
+///
+/// Assignments are not produced — this is the signature-build fast path,
+/// which never needs them.
+///
+/// # Panics
+/// As [`histogram_grid`].
+pub fn histogram_grid_with(
+    points: &[Vec<f64>],
+    spec: &HistogramSpec,
+    scratch: &mut HistogramScratch,
+    centers: &mut Vec<Vec<f64>>,
+    weights: &mut Vec<f64>,
+) {
+    assert!(!points.is_empty(), "histogram: empty bag");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "histogram: inconsistent point dimensions"
+    );
+    spec.validate(d);
+    debug_assert!(scratch.bin_ids.is_empty(), "scratch drained after use");
+
+    weights.clear();
+    let mut used = 0usize; // bins discovered so far == centers filled
+    for p in points {
+        scratch.key.clear();
+        for ((&x, &o), &w) in p.iter().zip(&spec.origin).zip(&spec.width) {
+            scratch.key.push(((x - o) / w).floor() as i64);
+        }
+        if let Some(&id) = scratch.bin_ids.get(&scratch.key) {
+            weights[id] += 1.0;
+            continue;
+        }
+        // First sighting: store the key (recycled vector) and write the
+        // bin's center into the next reusable slot of `centers`.
+        let mut stored = scratch.free_keys.pop().unwrap_or_default();
+        stored.clear();
+        stored.extend_from_slice(&scratch.key);
+        scratch.bin_ids.insert(stored, used);
+        if used == centers.len() {
+            centers.push(scratch.free_centers.pop().unwrap_or_default());
+        }
+        let c = &mut centers[used];
+        c.clear();
+        for ((&b, &o), &w) in scratch.key.iter().zip(&spec.origin).zip(&spec.width) {
+            c.push(o + (b as f64 + 0.5) * w);
+        }
+        weights.push(1.0);
+        used += 1;
+    }
+    // Surplus output slots and every bin key go back to the pools.
+    scratch.free_centers.extend(centers.drain(used..));
+    for (key, _) in scratch.bin_ids.drain() {
+        scratch.free_keys.push(key);
+    }
+}
+
 /// Histogram a bag of `d`-dimensional points into occupied fixed-width
 /// bins.
 ///
@@ -180,6 +279,41 @@ mod tests {
         assert_eq!(q.total_count(), 1000);
         let mass: u64 = q.counts.iter().sum();
         assert_eq!(mass, 1000);
+    }
+
+    #[test]
+    fn grid_with_matches_allocating_grid_bit_for_bit() {
+        let mut scratch = HistogramScratch::new();
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        // Varying shapes through one dirty scratch: bin counts shrink and
+        // grow, so slot reuse, pool draw, and surplus return all happen.
+        for n in [40usize, 7, 120, 3, 64] {
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i as f64 * 0.61).sin() * 4.0, (i % 5) as f64])
+                .collect();
+            let spec = HistogramSpec::uniform(2, 0.0, 0.75);
+            let q = histogram_grid(&pts, &spec);
+            histogram_grid_with(&pts, &spec, &mut scratch, &mut centers, &mut weights);
+            assert_eq!(centers, q.centers);
+            assert_eq!(weights.len(), q.counts.len());
+            for (w, &c) in weights.iter().zip(&q.counts) {
+                assert_eq!(w.to_bits(), (c as f64).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_with_recycles_donated_centers() {
+        let mut scratch = HistogramScratch::new();
+        scratch.recycle_centers(vec![vec![9.0; 8], vec![7.0; 8]]);
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        let pts = vec![vec![0.1], vec![0.2], vec![5.0]];
+        let spec = HistogramSpec::uniform(1, 0.0, 1.0);
+        histogram_grid_with(&pts, &spec, &mut scratch, &mut centers, &mut weights);
+        assert_eq!(centers, vec![vec![0.5], vec![5.5]]);
+        assert_eq!(weights, vec![2.0, 1.0]);
     }
 
     #[test]

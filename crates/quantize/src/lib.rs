@@ -17,7 +17,9 @@ pub mod kmedoids;
 pub mod lvq;
 pub mod select_k;
 
-pub use histogram::{histogram_1d, histogram_grid, HistogramSpec};
+pub use histogram::{
+    histogram_1d, histogram_grid, histogram_grid_with, HistogramScratch, HistogramSpec,
+};
 pub use kmeans::{kmeans, KMeansConfig};
 pub use kmedoids::{kmedoids, KMedoidsConfig};
 pub use lvq::{lvq_quantize, LvqConfig};

@@ -17,14 +17,16 @@
 //! [`EmdScratch`] the whole operation performs no heap allocation.
 
 use bagcpd::score::{EmdSolver, SolverScratch};
-use bagcpd::GroundMetric;
+use bagcpd::{GroundMetric, SignatureScratch};
 use emd::{EmdError, Signature};
 use infoest::DistanceMatrix;
 use std::collections::VecDeque;
 
 /// Per-worker reusable state for the push→score hot path: the EMD
-/// solver tableau, the pending-distance column of a window push, and the
-/// recycled storage of the per-push scorer matrix.
+/// solver tableau, the pending-distance column of a window push, the
+/// recycled storage of the per-push scorer matrix, and the
+/// signature-build recycling pools (evicted signatures dismantled into
+/// the next build's buffers).
 ///
 /// One scratch serves every stream a worker ticks over (mirroring
 /// `bagcpd::EvalScratch` for the bootstrap side): it is keyed by problem
@@ -37,6 +39,8 @@ pub struct EmdScratch {
     pub(crate) col: Vec<f64>,
     /// Recycled storage for the per-push scorer matrix.
     pub(crate) matrix: Vec<f64>,
+    /// Signature-build pools (histogram tables + dismantled signatures).
+    pub(crate) sig: SignatureScratch,
 }
 
 impl EmdScratch {
@@ -98,8 +102,10 @@ impl SignatureWindow {
         self.sigs.iter()
     }
 
-    /// Push the next signature, evicting the oldest if full, and compute
-    /// its distance to every retained signature (exactly once each).
+    /// Push the next signature, evicting (and returning) the oldest if
+    /// full, and compute its distance to every retained signature
+    /// (exactly once each). The returned signature lets the caller
+    /// recycle its buffers into the next build.
     ///
     /// Equivalent to [`SignatureWindow::push_with`] with a fresh
     /// [`EmdScratch`].
@@ -112,7 +118,7 @@ impl SignatureWindow {
         sig: Signature,
         solver: &EmdSolver,
         metric: &GroundMetric,
-    ) -> Result<(), EmdError> {
+    ) -> Result<Option<Signature>, EmdError> {
         self.push_with(sig, solver, metric, &mut EmdScratch::new())
     }
 
@@ -128,7 +134,7 @@ impl SignatureWindow {
         solver: &EmdSolver,
         metric: &GroundMetric,
         scratch: &mut EmdScratch,
-    ) -> Result<(), EmdError> {
+    ) -> Result<Option<Signature>, EmdError> {
         // Compute against the signatures that will remain after an
         // eviction, before mutating anything (error safety).
         let evict = self.sigs.len() == self.capacity;
@@ -139,13 +145,16 @@ impl SignatureWindow {
                 .col
                 .push(solver.distance_with(old, &sig, metric, &mut scratch.solver)?);
         }
-        if evict {
-            self.sigs.pop_front();
+        let evicted = if evict {
+            let old = self.sigs.pop_front();
             self.remove_oldest_row_col();
-        }
+            old
+        } else {
+            None
+        };
         self.append_row_col(&scratch.col);
         self.sigs.push_back(sig);
-        Ok(())
+        Ok(evicted)
     }
 
     /// Compact the matrix from `n x n` to `(n-1) x (n-1)` in place by

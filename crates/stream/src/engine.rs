@@ -263,6 +263,31 @@ impl StreamEngine {
     /// [`EngineError::BadConfig`] if the intern table is full (2^32
     /// names).
     pub fn resolve(&mut self, stream: &str) -> Result<StreamId, EngineError> {
+        // Interned names must stay a single map lookup: derive the seed
+        // only on a miss (resolve_seeded re-checks, which a first
+        // sighting pays once).
+        if let Some(&id) = self.ids.get(stream) {
+            return Ok(id);
+        }
+        let seed = worker::stream_seed(self.master_seed, stream);
+        self.resolve_seeded(stream, seed)
+    }
+
+    /// As [`Self::resolve`], but registering the stream under an
+    /// explicit seed instead of the one derived from
+    /// `(master seed, name)`. The first resolution of a name wins: if
+    /// the name is already interned, its established seed is kept and
+    /// the existing id returned.
+    ///
+    /// This is how a host embeds a stream whose history began outside
+    /// the engine's seed-derivation scheme — the CLI `follow` mode, for
+    /// example, seeds its one stream with the user's `--seed` directly,
+    /// which keeps its output bit-identical to batch analysis under the
+    /// same seed.
+    ///
+    /// # Errors
+    /// As [`Self::resolve`].
+    pub fn resolve_seeded(&mut self, stream: &str, seed: u64) -> Result<StreamId, EngineError> {
         if let Some(&id) = self.ids.get(stream) {
             return Ok(id);
         }
@@ -271,7 +296,6 @@ impl StreamEngine {
         let id = StreamId(idx);
         let name: Arc<str> = Arc::from(stream);
         let shard = (worker::name_hash(stream) % self.senders.len() as u64) as u32;
-        let seed = worker::stream_seed(self.master_seed, stream);
         // Register with the worker *before* recording the id: if the
         // pool is gone, the name stays un-interned and a retry is clean.
         self.send_control(

@@ -1,0 +1,420 @@
+//! Ingestion checkpoints: per-source resume cursors in front of an
+//! engine snapshot, plus the atomic on-disk write protocol.
+//!
+//! Current layout (`BCPDFLW2`, all integers little-endian):
+//!
+//! ```text
+//! magic     8 bytes  b"BCPDFLW2"
+//! cursors   u32      count, then per cursor:
+//!   stream          u32 length + UTF-8 name
+//!   quarantined     u8    1 if the stream is out of service (stays so on resume)
+//!   completed_time  i64   time of the last completed bag (NO_TIME if none)
+//!   pending_time    i64   time of the held-back bag (NO_TIME if none)
+//!   consumed        u64   input bytes consumed (0 for non-seekable sources)
+//!   prefix_hash     u64   FNV-1a of those consumed bytes
+//!   dim             u32   pending-row dimension
+//!   rows            u32   pending-row count, then rows * dim f64s
+//! snapshot  …       stream::snapshot engine checkpoint (every stream)
+//! ```
+//!
+//! The predecessor format (`BCPDFLW1`) carried exactly one unnamed
+//! cursor — the CLI's single `follow` stream. It is still read:
+//! [`decode_checkpoint`] migrates it to one cursor named
+//! [`FOLLOW_STREAM`], so pre-multi-source `--state` files resume
+//! losslessly. The first checkpoint written afterwards uses the current
+//! format.
+//!
+//! Everything parses through [`crate::snapshot::Reader`], inheriting
+//! its truncation-safe, allocation-guarded discipline, and the error
+//! taxonomy is unchanged from the original CLI loader: short files are
+//! [`StateError::Truncated`] (never "foreign file"), and pending rows
+//! without a pending time are refused rather than silently dropped.
+
+use super::source::StreamCursor;
+use crate::snapshot::{Reader, SnapshotError, Writer};
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// Magic bytes of the multi-source checkpoint format.
+pub const STATE_MAGIC: &[u8; 8] = b"BCPDFLW2";
+
+/// Magic bytes of the legacy single-source format (read + migrated).
+pub const LEGACY_STATE_MAGIC: &[u8; 8] = b"BCPDFLW1";
+
+/// Sentinel for "no time" in cursor fields.
+pub const NO_TIME: i64 = i64::MIN;
+
+/// Name under which the CLI `follow` stream lives in the engine
+/// snapshot — and the cursor name a legacy checkpoint migrates to.
+pub const FOLLOW_STREAM: &str = "cli-follow";
+
+/// Checkpoint parse/validation failures, with truncation, wrong file
+/// type, and structural corruption kept distinct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateError {
+    /// The file ended before the checkpoint structure did — a short or
+    /// torn write, *not* a foreign file.
+    Truncated,
+    /// The magic bytes are wrong: this is not a follow/serve checkpoint.
+    BadMagic,
+    /// Structurally invalid header content (reason attached).
+    Corrupt(String),
+    /// The embedded engine snapshot failed to parse or validate.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Truncated => {
+                write!(f, "truncated checkpoint (file ends before its structure)")
+            }
+            StateError::BadMagic => write!(f, "not a bags-cpd follow checkpoint"),
+            StateError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            StateError::Snapshot(e) => write!(f, "checkpoint snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<SnapshotError> for StateError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            // A truncated embedded snapshot is still a truncated file.
+            SnapshotError::Truncated => StateError::Truncated,
+            other => StateError::Snapshot(other),
+        }
+    }
+}
+
+fn put_cursor(w: &mut Writer, cursor: &StreamCursor) {
+    w.u8(u8::from(cursor.quarantined));
+    w.i64(cursor.completed_time.unwrap_or(NO_TIME));
+    match &cursor.pending {
+        Some((t, rows)) if !rows.is_empty() => {
+            w.i64(*t);
+            w.u64(cursor.consumed);
+            w.u64(cursor.prefix_hash);
+            w.u32(rows[0].len() as u32);
+            w.u32(rows.len() as u32);
+            for row in rows {
+                for &x in row {
+                    w.f64(x);
+                }
+            }
+        }
+        _ => {
+            w.i64(NO_TIME);
+            w.u64(cursor.consumed);
+            w.u64(cursor.prefix_hash);
+            w.u32(0);
+            w.u32(0);
+        }
+    }
+}
+
+/// Read the flag-less v1 cursor body (shared tail with the current
+/// layout).
+fn read_legacy_cursor(r: &mut Reader<'_>) -> Result<StreamCursor, StateError> {
+    read_cursor_fields(r, false)
+}
+
+fn read_cursor(r: &mut Reader<'_>) -> Result<StreamCursor, StateError> {
+    let quarantined = match r.take(1).map_err(StateError::from)? {
+        [0] => false,
+        [1] => true,
+        other => {
+            return Err(StateError::Corrupt(format!(
+                "invalid quarantine flag {}",
+                other[0]
+            )))
+        }
+    };
+    read_cursor_fields(r, quarantined)
+}
+
+fn read_cursor_fields(r: &mut Reader<'_>, quarantined: bool) -> Result<StreamCursor, StateError> {
+    let completed_time = r.i64()?;
+    let completed_time = (completed_time != NO_TIME).then_some(completed_time);
+    let pending_time = r.i64()?;
+    let consumed = r.u64()?;
+    let prefix_hash = r.u64()?;
+    let dim = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    if pending_time == NO_TIME && count > 0 {
+        return Err(StateError::Corrupt(format!(
+            "{count} pending rows but no pending time — refusing to drop buffered data"
+        )));
+    }
+    if pending_time != NO_TIME && count == 0 {
+        return Err(StateError::Corrupt("a pending time with no rows".into()));
+    }
+    if count > 0 && dim == 0 {
+        return Err(StateError::Corrupt("pending rows of dimension 0".into()));
+    }
+    let mut rows = Vec::with_capacity(r.bounded_capacity(count, dim.saturating_mul(8)));
+    for _ in 0..count {
+        let mut row = Vec::with_capacity(r.bounded_capacity(dim, 8));
+        for _ in 0..dim {
+            row.push(r.f64()?);
+        }
+        rows.push(row);
+    }
+    Ok(StreamCursor {
+        completed_time,
+        pending: (pending_time != NO_TIME).then_some((pending_time, rows)),
+        consumed,
+        prefix_hash,
+        quarantined,
+    })
+}
+
+/// Serialize a checkpoint: the per-stream resume cursors, then the
+/// engine snapshot bytes.
+pub fn encode_checkpoint<S: AsRef<str>>(cursors: &[(S, StreamCursor)], snapshot: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + cursors.len() * 64 + snapshot.len());
+    w.bytes(STATE_MAGIC);
+    w.u32(cursors.len() as u32);
+    for (name, cursor) in cursors {
+        w.str(name.as_ref());
+        put_cursor(&mut w, cursor);
+    }
+    w.bytes(snapshot);
+    w.into_bytes()
+}
+
+/// Serialize a checkpoint in the retired single-source `BCPDFLW1`
+/// framing. Kept only so tests can fabricate legacy files against one
+/// authoritative description of the old layout; nothing in production
+/// writes it.
+#[doc(hidden)]
+pub fn encode_checkpoint_v1(cursor: &StreamCursor, snapshot: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + snapshot.len());
+    w.bytes(LEGACY_STATE_MAGIC);
+    // The v1 layout had no quarantine flag: cursor fields only.
+    w.i64(cursor.completed_time.unwrap_or(NO_TIME));
+    match &cursor.pending {
+        Some((t, rows)) if !rows.is_empty() => {
+            w.i64(*t);
+            w.u64(cursor.consumed);
+            w.u64(cursor.prefix_hash);
+            w.u32(rows[0].len() as u32);
+            w.u32(rows.len() as u32);
+            for row in rows {
+                for &x in row {
+                    w.f64(x);
+                }
+            }
+        }
+        _ => {
+            w.i64(NO_TIME);
+            w.u64(cursor.consumed);
+            w.u64(cursor.prefix_hash);
+            w.u32(0);
+            w.u32(0);
+        }
+    }
+    w.bytes(snapshot);
+    w.into_bytes()
+}
+
+/// Parse a checkpoint into its cursor table and the borrowed engine
+/// snapshot bytes (decode those with [`crate::snapshot::decode_engine`]
+/// or [`crate::StreamEngine::restore`]).
+///
+/// A legacy `BCPDFLW1` file decodes to one cursor named
+/// [`FOLLOW_STREAM`].
+///
+/// # Errors
+/// [`StateError::Truncated`] for a short file, [`StateError::BadMagic`]
+/// for a foreign file, or [`StateError::Corrupt`] for inconsistent
+/// cursor content (including pending rows without a pending time, which
+/// are refused rather than dropped).
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(NamedCursors, &[u8]), StateError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8).map_err(|_| StateError::Truncated)?;
+    if magic == LEGACY_STATE_MAGIC {
+        let mut cursor = read_legacy_cursor(&mut r)?;
+        cursor.quarantined = false; // the flag postdates the v1 layout
+        return Ok((vec![(FOLLOW_STREAM.to_string(), cursor)], r.rest()));
+    }
+    if magic != STATE_MAGIC {
+        return Err(StateError::BadMagic);
+    }
+    let count = r.u32()? as usize;
+    // Each cursor occupies at least 4 (name length) + 40 (fixed fields).
+    let mut cursors = Vec::with_capacity(r.bounded_capacity(count, 44));
+    for _ in 0..count {
+        let name = r.str().map_err(|e| match e {
+            SnapshotError::Truncated => StateError::Truncated,
+            other => StateError::Corrupt(other.to_string()),
+        })?;
+        if name.is_empty() {
+            return Err(StateError::Corrupt("empty stream name in a cursor".into()));
+        }
+        if cursors.iter().any(|(n, _)| *n == name) {
+            return Err(StateError::Corrupt(format!(
+                "duplicate cursor for stream '{name}'"
+            )));
+        }
+        let cursor = read_cursor(&mut r)?;
+        cursors.push((name, cursor));
+    }
+    Ok((cursors, r.rest()))
+}
+
+/// Atomically persist checkpoint bytes: write a sibling temp file,
+/// fsync it, rename over the target, and best-effort fsync the
+/// directory — an interrupted write never destroys the previous
+/// checkpoint, and a power loss cannot leave a zero-length file behind
+/// the new name.
+///
+/// # Errors
+/// The underlying I/O error, annotated with the offending path.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".tmp");
+        std::path::PathBuf::from(p)
+    };
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        f.write_all(bytes)
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+        // Durability, not just process-crash atomicity: the data must be
+        // on disk before the rename commits.
+        f.sync_all()
+            .map_err(|e| format!("{}: {e}", tmp.display()))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Build the cursor map [`super::Source::restore`] expects from a
+/// decoded cursor table.
+pub fn cursor_map(
+    cursors: Vec<(String, StreamCursor)>,
+) -> std::collections::HashMap<String, StreamCursor> {
+    cursors.into_iter().collect()
+}
+
+/// Convenience alias used by sources when reporting cursors.
+pub type CursorList = Vec<(Arc<str>, StreamCursor)>;
+
+/// A decoded cursor table: `(stream name, cursor)` pairs.
+pub type NamedCursors = Vec<(String, StreamCursor)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cursor(t: i64) -> StreamCursor {
+        StreamCursor {
+            completed_time: Some(t),
+            pending: Some((t + 1, vec![vec![0.5, 1.5], vec![2.5, 3.5]])),
+            consumed: 99,
+            prefix_hash: 1234,
+            quarantined: t % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn round_trip_many_cursors() {
+        let cursors = vec![
+            ("alpha".to_string(), cursor(3)),
+            (
+                "beta".to_string(),
+                StreamCursor {
+                    completed_time: None,
+                    pending: None,
+                    consumed: 0,
+                    prefix_hash: 0,
+                    quarantined: false,
+                },
+            ),
+        ];
+        let snapshot = b"SNAPBYTES";
+        let bytes = encode_checkpoint(&cursors, snapshot);
+        let (back, snap) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back, cursors);
+        assert_eq!(snap, snapshot);
+    }
+
+    #[test]
+    fn legacy_v1_migrates_to_follow_stream_cursor() {
+        let c = cursor(7); // odd t -> quarantined=false (v1 has no flag)
+        let bytes = encode_checkpoint_v1(&c, b"SNAP");
+        let (cursors, snap) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(cursors, vec![(FOLLOW_STREAM.to_string(), c)]);
+        assert_eq!(snap, b"SNAP");
+    }
+
+    #[test]
+    fn truncation_foreign_and_corruption_are_distinct() {
+        let bytes = encode_checkpoint(&[("s".to_string(), cursor(1))], b"SNAP");
+        assert_eq!(
+            decode_checkpoint(&bytes[..4]),
+            Err(StateError::Truncated),
+            "shorter than the magic is truncation"
+        );
+        assert_eq!(decode_checkpoint(&bytes[..20]), Err(StateError::Truncated));
+
+        let mut foreign = bytes.clone();
+        foreign[..8].copy_from_slice(b"NOTBAGS!");
+        assert_eq!(decode_checkpoint(&foreign), Err(StateError::BadMagic));
+
+        let dup = encode_checkpoint(
+            &[("s".to_string(), cursor(1)), ("s".to_string(), cursor(2))],
+            b"",
+        );
+        assert!(matches!(
+            decode_checkpoint(&dup),
+            Err(StateError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pending_rows_without_time_are_refused() {
+        let mut w = Writer::new();
+        w.bytes(STATE_MAGIC);
+        w.u32(1);
+        w.str("s");
+        w.u8(0); // not quarantined
+        w.i64(4); // completed
+        w.i64(NO_TIME); // no pending time…
+        w.u64(0);
+        w.u64(0);
+        w.u32(1);
+        w.u32(2); // …but two pending rows
+        w.f64(0.5);
+        w.f64(1.5);
+        match decode_checkpoint(&w.into_bytes()) {
+            Err(StateError::Corrupt(why)) => {
+                assert!(why.contains("pending rows"), "{why}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_not_truncates() {
+        let dir = std::env::temp_dir().join("bags_cpd_ck_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second-longer");
+    }
+}

@@ -1,0 +1,509 @@
+//! CSV-backed sources: an incrementally tailed file with
+//! content-addressed resume ([`CsvFileSource`]) and a generic
+//! reader-backed source for stdin or in-memory input ([`LineSource`]).
+
+use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use crate::hash::Fnv1a;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+use std::sync::Arc;
+
+/// Lines a file source consumes per poll before yielding, so one deep
+/// backlog cannot starve its siblings in a round-robin drain.
+const LINES_PER_POLL: usize = 512;
+
+/// One CSV file feeding one stream, read incrementally with the
+/// checkpoint semantics of the original CLI follow mode:
+///
+/// - **content-addressed resume** — the cursor records the consumed
+///   byte count and an FNV-1a hash of those bytes; re-opening the same
+///   (possibly grown) file continues exactly after them, while a
+///   rotated or rewritten file is detected by the hash and read from
+///   the top with already-pushed times skipped;
+/// - **hold-back** — a completed line is only ever consumed whole: a
+///   trailing fragment with no newline is neither parsed, hashed, nor
+///   counted (the producer may still be writing it), and the trailing
+///   bag is completed only by [`Source::finish`] — which the mux calls
+///   solely on non-checkpointing runs, where EOF proves the data final.
+pub struct CsvFileSource {
+    path: String,
+    assembler: BagAssembler,
+    reader: Option<BufReader<std::fs::File>>,
+    hasher: Fnv1a,
+    consumed: u64,
+    lineno: usize,
+    /// Adopted checkpoint cursor, applied when the file is opened.
+    resume: Option<StreamCursor>,
+    /// Keep polling after EOF (the file may grow) instead of `Done`.
+    tail: bool,
+    /// Partially read line (no newline yet) — not consumed, not hashed.
+    partial: String,
+    line: String,
+    quarantined: bool,
+}
+
+impl CsvFileSource {
+    /// Source for `path`, feeding the stream named `stream`.
+    ///
+    /// `tail` keeps the source alive at EOF so a growing file keeps
+    /// feeding (a watch/serve session) instead of reporting `Done`.
+    pub fn new(path: impl Into<String>, stream: impl Into<String>, tail: bool) -> Self {
+        let path = path.into();
+        CsvFileSource {
+            assembler: BagAssembler::new(Arc::from(stream.into().as_str()), true),
+            path,
+            reader: None,
+            hasher: Fnv1a::new(),
+            consumed: 0,
+            lineno: 0,
+            resume: None,
+            tail,
+            partial: String::new(),
+            line: String::new(),
+            quarantined: false,
+        }
+    }
+
+    /// The stream this source feeds.
+    pub fn stream(&self) -> &Arc<str> {
+        self.assembler.stream()
+    }
+
+    /// Open the file, replaying the content-addressed resume protocol:
+    /// hash the first `cursor.consumed` bytes; a match continues after
+    /// them, a mismatch (or short file) re-reads from the top in
+    /// rotated mode.
+    fn open(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        let file = std::fs::File::open(&self.path)
+            .map_err(|e| SourceError::Io(format!("{}: {e}", self.path)))?;
+        let mut reader = BufReader::new(file);
+        // The stashed cursor is only consumed once the open fully
+        // succeeds; a failure part-way keeps it for the next attempt
+        // (and for faithful carry-forward by `cursors()`).
+        let cursor = self.resume.clone();
+        if let Some(cursor) = cursor {
+            if cursor.consumed > 0 {
+                let mut hasher = Fnv1a::new();
+                let mut left = cursor.consumed;
+                let mut prefix_lines = 0usize;
+                let mut buf = [0u8; 8192];
+                while left > 0 {
+                    let want = left.min(buf.len() as u64) as usize;
+                    let n = reader
+                        .read(&mut buf[..want])
+                        .map_err(|e| SourceError::Io(format!("{}: {e}", self.path)))?;
+                    if n == 0 {
+                        break;
+                    }
+                    hasher.update(&buf[..n]);
+                    prefix_lines += buf[..n].iter().filter(|&&b| b == b'\n').count();
+                    left -= n as u64;
+                }
+                if left == 0 && hasher.finish() == cursor.prefix_hash {
+                    // Same file: continue right after the consumed prefix.
+                    self.hasher = hasher;
+                    self.consumed = cursor.consumed;
+                    self.lineno = prefix_lines;
+                    self.assembler.restore_cursor(&cursor, false);
+                    self.reader = Some(reader);
+                    self.resume = None;
+                    return Ok(());
+                }
+                // Rotated or rewritten: read from byte 0, fresh hash.
+                out.push(SourceItem::Note(format!(
+                    "note: {} is not the checkpointed input (rotated or rewritten?); reading \
+                     from the top — already-pushed times are skipped and rows for the pending \
+                     bag are treated as its continuation",
+                    self.path
+                )));
+                let file = std::fs::File::open(&self.path)
+                    .map_err(|e| SourceError::Io(format!("{}: {e}", self.path)))?;
+                reader = BufReader::new(file);
+                self.assembler.restore_cursor(&cursor, true);
+            } else {
+                // No byte position (a stdin-written cursor, say): treat
+                // the input as rotated so history is skipped by time.
+                self.assembler.restore_cursor(&cursor, true);
+            }
+        }
+        self.reader = Some(reader);
+        self.resume = None;
+        Ok(())
+    }
+
+    /// Feed one completed line (with its newline) through the
+    /// assembler. The content address advances only on success: a
+    /// quarantining row is left *outside* the cursor, so a resumed
+    /// session re-reads it, hits the same error, and quarantines the
+    /// stream again — deterministically matching an uninterrupted run
+    /// instead of silently reviving the stream past the poison row.
+    fn consume_line(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        let lineno = self.lineno;
+        self.lineno += 1;
+        let line = std::mem::take(&mut self.line);
+        let r = self.assembler.line(&line, lineno, &self.path, out);
+        if r.is_ok() {
+            self.hasher.update(line.as_bytes());
+            self.consumed += line.len() as u64;
+        }
+        self.line = line;
+        r
+    }
+}
+
+impl Source for CsvFileSource {
+    fn origin(&self) -> &str {
+        &self.path
+    }
+
+    fn poll(&mut self, out: &mut Vec<SourceItem>) -> Result<SourceStatus, SourceError> {
+        if self.quarantined {
+            return Ok(SourceStatus::Done);
+        }
+        if self.reader.is_none() {
+            self.open(out)?;
+        }
+        let mut read_any = false;
+        for _ in 0..LINES_PER_POLL {
+            self.line.clear();
+            let reader = self.reader.as_mut().expect("opened above");
+            let n = reader
+                .read_line(&mut self.line)
+                .map_err(|e| SourceError::Io(format!("{}: {e}", self.path)))?;
+            if n == 0 {
+                let status = if self.tail {
+                    if read_any {
+                        SourceStatus::Active
+                    } else {
+                        SourceStatus::Idle
+                    }
+                } else {
+                    SourceStatus::Done
+                };
+                return Ok(status);
+            }
+            read_any = true;
+            if !self.line.ends_with('\n') {
+                // Unterminated: the producer may still be writing it.
+                // Stash the fragment; it is completed by a later read
+                // (the hash and byte count only ever cover full lines).
+                self.partial.push_str(&self.line);
+                continue;
+            }
+            if !self.partial.is_empty() {
+                self.partial.push_str(&self.line);
+                std::mem::swap(&mut self.partial, &mut self.line);
+                self.partial.clear();
+            }
+            if let Err(e) = self.consume_line(out) {
+                self.quarantined = true;
+                out.push(SourceItem::Quarantine {
+                    stream: self.assembler.stream().clone(),
+                    error: e,
+                });
+                return Ok(SourceStatus::Done);
+            }
+        }
+        Ok(SourceStatus::Active)
+    }
+
+    fn cursors(&self, out: &mut Vec<(Arc<str>, StreamCursor)>) {
+        // A restored cursor that was never applied (the file has not
+        // been opened yet, or opening failed) must be carried forward
+        // verbatim — reporting the blank assembler here would clobber
+        // the stream's saved position and held-back rows at the next
+        // checkpoint rewrite.
+        let mut cursor = match &self.resume {
+            Some(c) => c.clone(),
+            None => self.assembler.cursor(self.consumed, self.hasher.finish()),
+        };
+        cursor.quarantined = cursor.quarantined || self.quarantined;
+        out.push((self.assembler.stream().clone(), cursor));
+    }
+
+    fn restore(&mut self, cursors: &HashMap<String, StreamCursor>) {
+        if let Some(c) = cursors.get(self.assembler.stream().as_ref()) {
+            // A quarantined stream stays out of service across resume.
+            self.quarantined = c.quarantined;
+            self.resume = Some(c.clone());
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        if self.quarantined {
+            return Ok(());
+        }
+        // Only called on a non-checkpointing, winding-down run: the
+        // data is final, so an unterminated trailing line is real data
+        // and the trailing bag completes.
+        if !self.partial.is_empty() {
+            let lineno = self.lineno;
+            self.lineno += 1;
+            let line = std::mem::take(&mut self.partial);
+            self.assembler.line(&line, lineno, &self.path, out)?;
+        }
+        self.assembler.flush(out);
+        Ok(())
+    }
+}
+
+/// A source over any [`Read`]er whose data is already complete — an
+/// in-memory buffer, a regular file, a closed pipe. Reads may block,
+/// so a **live** pipe (stdin fed by a running producer) must use
+/// [`ThreadedLineSource`] instead: a blocking `read_line` inside poll
+/// would park the whole ingestion loop — and the engine's pending
+/// events — until the producer speaks again.
+///
+/// No byte position is recorded (the cursor's `consumed` stays 0): a
+/// resumed session re-reads from the top and skips already-pushed
+/// times, exactly like the original stdin follow mode.
+pub struct LineSource<R> {
+    origin: String,
+    reader: R,
+    assembler: BagAssembler,
+    line: String,
+    partial: String,
+    lineno: usize,
+    done: bool,
+    quarantined: bool,
+}
+
+impl<R: BufRead> LineSource<R> {
+    /// Source reading `reader`, feeding the stream named `stream`.
+    pub fn new(reader: R, origin: impl Into<String>, stream: impl Into<String>) -> Self {
+        LineSource {
+            origin: origin.into(),
+            reader,
+            assembler: BagAssembler::new(Arc::from(stream.into().as_str()), true),
+            line: String::new(),
+            partial: String::new(),
+            lineno: 0,
+            done: false,
+            quarantined: false,
+        }
+    }
+
+    /// The stream this source feeds.
+    pub fn stream(&self) -> &Arc<str> {
+        self.assembler.stream()
+    }
+}
+
+impl<R: BufRead> Source for LineSource<R> {
+    fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    fn poll(&mut self, out: &mut Vec<SourceItem>) -> Result<SourceStatus, SourceError> {
+        if self.done || self.quarantined {
+            return Ok(SourceStatus::Done);
+        }
+        let handed_over = out.len();
+        for _ in 0..LINES_PER_POLL {
+            // A blocking reader (live stdin) must not sit on completed
+            // bags while waiting for more input: hand each bag to the
+            // mux as soon as it closes, exactly like the original
+            // per-line follow loop.
+            if out.len() > handed_over {
+                return Ok(SourceStatus::Active);
+            }
+            self.line.clear();
+            let n = self
+                .reader
+                .read_line(&mut self.line)
+                .map_err(|e| SourceError::Io(format!("{}: {e}", self.origin)))?;
+            if n == 0 {
+                self.done = true;
+                // A final line with no newline is final data (the pipe
+                // is closed; nothing can complete it later).
+                if !self.partial.is_empty() {
+                    let line = std::mem::take(&mut self.partial);
+                    let lineno = self.lineno;
+                    self.lineno += 1;
+                    if let Err(e) = self.assembler.line(&line, lineno, &self.origin, out) {
+                        self.quarantined = true;
+                        out.push(SourceItem::Quarantine {
+                            stream: self.assembler.stream().clone(),
+                            error: e,
+                        });
+                    }
+                }
+                return Ok(SourceStatus::Done);
+            }
+            if !self.line.ends_with('\n') {
+                self.partial.push_str(&self.line);
+                continue;
+            }
+            if !self.partial.is_empty() {
+                self.partial.push_str(&self.line);
+                std::mem::swap(&mut self.partial, &mut self.line);
+                self.partial.clear();
+            }
+            let lineno = self.lineno;
+            self.lineno += 1;
+            let line = std::mem::take(&mut self.line);
+            let r = self.assembler.line(&line, lineno, &self.origin, out);
+            self.line = line;
+            if let Err(e) = r {
+                self.quarantined = true;
+                out.push(SourceItem::Quarantine {
+                    stream: self.assembler.stream().clone(),
+                    error: e,
+                });
+                return Ok(SourceStatus::Done);
+            }
+        }
+        Ok(SourceStatus::Active)
+    }
+
+    fn cursors(&self, out: &mut Vec<(Arc<str>, StreamCursor)>) {
+        let mut cursor = self.assembler.cursor(0, 0);
+        cursor.quarantined = self.quarantined;
+        out.push((self.assembler.stream().clone(), cursor));
+    }
+
+    fn restore(&mut self, cursors: &HashMap<String, StreamCursor>) {
+        if let Some(c) = cursors.get(self.assembler.stream().as_ref()) {
+            self.quarantined = c.quarantined;
+            self.assembler.restore_cursor(c, true);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        if !self.quarantined {
+            self.assembler.flush(out);
+        }
+        Ok(())
+    }
+}
+
+/// A line source whose (blocking) reader runs on its own thread, so
+/// [`Source::poll`] never parks the ingestion loop: lines cross over a
+/// channel and poll consumes whatever has arrived, keeping per-bag
+/// output latency on a live pipe while the engine's events keep
+/// draining. This is the CLI's stdin front-end.
+///
+/// Resume semantics match [`LineSource`] (no byte position; a restored
+/// cursor is time-addressed).
+pub struct ThreadedLineSource {
+    origin: String,
+    assembler: BagAssembler,
+    rx: std::sync::mpsc::Receiver<std::io::Result<String>>,
+    lineno: usize,
+    done: bool,
+    quarantined: bool,
+}
+
+impl ThreadedLineSource {
+    /// Spawn the reader thread and wrap its output. The thread exits at
+    /// EOF, on a read error, or when this source is dropped (its next
+    /// send fails); an unterminated final line is delivered as a line —
+    /// a closed pipe makes the data final.
+    pub fn spawn<R: BufRead + Send + 'static>(
+        mut reader: R,
+        origin: impl Into<String>,
+        stream: impl Into<String>,
+    ) -> Self {
+        // Bounded: a fast producer blocks here once the detector falls
+        // this far behind, restoring the synchronous follow loop's
+        // natural backpressure instead of buffering the input in RAM.
+        let (tx, rx) = std::sync::mpsc::sync_channel(4 * LINES_PER_POLL);
+        std::thread::Builder::new()
+            .name("ingest-line-reader".into())
+            .spawn(move || loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if tx.send(Ok(line)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            })
+            .expect("spawn reader thread");
+        ThreadedLineSource {
+            origin: origin.into(),
+            assembler: BagAssembler::new(Arc::from(stream.into().as_str()), true),
+            rx,
+            lineno: 0,
+            done: false,
+            quarantined: false,
+        }
+    }
+
+    /// The stream this source feeds.
+    pub fn stream(&self) -> &Arc<str> {
+        self.assembler.stream()
+    }
+}
+
+impl Source for ThreadedLineSource {
+    fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    fn poll(&mut self, out: &mut Vec<SourceItem>) -> Result<SourceStatus, SourceError> {
+        if self.done || self.quarantined {
+            return Ok(SourceStatus::Done);
+        }
+        let mut read_any = false;
+        for _ in 0..LINES_PER_POLL {
+            match self.rx.try_recv() {
+                Ok(Ok(line)) => {
+                    read_any = true;
+                    let lineno = self.lineno;
+                    self.lineno += 1;
+                    if let Err(e) = self.assembler.line(&line, lineno, &self.origin, out) {
+                        self.quarantined = true;
+                        out.push(SourceItem::Quarantine {
+                            stream: self.assembler.stream().clone(),
+                            error: e,
+                        });
+                        return Ok(SourceStatus::Done);
+                    }
+                }
+                Ok(Err(e)) => {
+                    self.done = true;
+                    return Err(SourceError::Io(format!("{}: {e}", self.origin)));
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    return Ok(if read_any {
+                        SourceStatus::Active
+                    } else {
+                        SourceStatus::Idle
+                    });
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    self.done = true;
+                    return Ok(SourceStatus::Done);
+                }
+            }
+        }
+        Ok(SourceStatus::Active)
+    }
+
+    fn cursors(&self, out: &mut Vec<(Arc<str>, StreamCursor)>) {
+        let mut cursor = self.assembler.cursor(0, 0);
+        cursor.quarantined = self.quarantined;
+        out.push((self.assembler.stream().clone(), cursor));
+    }
+
+    fn restore(&mut self, cursors: &HashMap<String, StreamCursor>) {
+        if let Some(c) = cursors.get(self.assembler.stream().as_ref()) {
+            self.quarantined = c.quarantined;
+            self.assembler.restore_cursor(c, true);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        if !self.quarantined {
+            self.assembler.flush(out);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,155 @@
+//! Directory-of-CSVs source: one stream per `*.csv` file.
+
+use super::csv::CsvFileSource;
+use super::source::{Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A directory of CSV files, each feeding the stream named after its
+/// file stem (`sensors/press-04.csv` → stream `press-04`). The
+/// directory is re-scanned on every poll, so files that appear while
+/// the session runs join the fleet; each file inherits the full
+/// per-file resume protocol of [`CsvFileSource`] (content addressing,
+/// hold-back, rotation handling), and a malformed file quarantines only
+/// its own stream.
+pub struct DirSource {
+    dir: String,
+    /// Discovered file sources; the flag marks a file taken out of
+    /// service by an I/O failure (its stream is quarantined, its cursor
+    /// still reported).
+    files: Vec<(CsvFileSource, bool)>,
+    known: HashSet<String>,
+    /// Keep the directory (and its files) alive at EOF — a watch/serve
+    /// session — instead of finishing once every file is drained.
+    watch: bool,
+    /// Cursors stashed for files that have not appeared yet.
+    resume: HashMap<String, StreamCursor>,
+}
+
+impl DirSource {
+    /// Source over every `*.csv` in `dir`; `watch` keeps the scan loop
+    /// and every file alive at EOF (as in [`CsvFileSource::new`]).
+    pub fn new(dir: impl Into<String>, watch: bool) -> Self {
+        DirSource {
+            dir: dir.into(),
+            files: Vec::new(),
+            known: HashSet::new(),
+            watch,
+            resume: HashMap::new(),
+        }
+    }
+
+    /// Number of files discovered so far.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Discover new `*.csv` files (sorted, so stream creation order is
+    /// deterministic for a fixed directory state).
+    fn scan(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| SourceError::Io(format!("{}: {e}", self.dir)))?;
+        let mut fresh: Vec<(String, String)> = Vec::new(); // (stream, path)
+        for entry in entries {
+            let entry = entry.map_err(|e| SourceError::Io(format!("{}: {e}", self.dir)))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+                continue;
+            }
+            let path_str = path.to_string_lossy().into_owned();
+            // A directory (or FIFO, …) named *.csv is not a source:
+            // opening it "succeeds" on Linux and only the first read
+            // fails. Skip it visibly, once. std::fs::metadata follows
+            // symlinks, so a symlinked CSV still counts as a file.
+            if !std::fs::metadata(&path)
+                .map(|m| m.is_file())
+                .unwrap_or(false)
+            {
+                if self.known.insert(path_str.clone()) {
+                    out.push(SourceItem::Note(format!(
+                        "note: skipping {path_str}: not a regular file"
+                    )));
+                }
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if self.known.insert(path_str.clone()) {
+                fresh.push((stem.to_string(), path_str));
+            }
+        }
+        fresh.sort();
+        for (stream, path) in fresh {
+            let mut src = CsvFileSource::new(path, stream, self.watch);
+            src.restore(&self.resume);
+            self.files.push((src, false));
+        }
+        Ok(())
+    }
+}
+
+impl Source for DirSource {
+    fn origin(&self) -> &str {
+        &self.dir
+    }
+
+    fn poll(&mut self, out: &mut Vec<SourceItem>) -> Result<SourceStatus, SourceError> {
+        self.scan(out)?;
+        let mut active = false;
+        let mut live = false;
+        for (file, dead) in &mut self.files {
+            if *dead {
+                continue;
+            }
+            match file.poll(out) {
+                Ok(SourceStatus::Active) => {
+                    active = true;
+                    live = true;
+                }
+                Ok(SourceStatus::Idle) => live = true,
+                Ok(SourceStatus::Done) => {}
+                Err(e) => {
+                    // One file's I/O failure (deleted mid-rotation,
+                    // permissions) quarantines its stream only; the
+                    // rest of the directory keeps flowing. Its cursor
+                    // is still reported, so a restart can resume it.
+                    *dead = true;
+                    out.push(SourceItem::Quarantine {
+                        stream: file.stream().clone(),
+                        error: e,
+                    });
+                }
+            }
+        }
+        Ok(if active {
+            SourceStatus::Active
+        } else if live || self.watch {
+            SourceStatus::Idle
+        } else {
+            SourceStatus::Done
+        })
+    }
+
+    fn cursors(&self, out: &mut Vec<(Arc<str>, StreamCursor)>) {
+        for (file, _) in &self.files {
+            file.cursors(out);
+        }
+    }
+
+    fn restore(&mut self, cursors: &HashMap<String, StreamCursor>) {
+        self.resume = cursors.clone();
+        for (file, _) in &mut self.files {
+            file.restore(cursors);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        for (file, dead) in &mut self.files {
+            if !*dead {
+                file.finish(out)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,498 @@
+//! The [`Mux`]: many sources, one engine, periodic checkpoints.
+
+use super::checkpoint::{encode_checkpoint, write_atomic, CursorList};
+use super::source::{Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use crate::engine::{EngineConfig, EngineError, StreamEngine};
+use crate::event::StreamEvent;
+use bagcpd::Bag;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// When the engine state (plus every source cursor) is persisted.
+///
+/// Both triggers may be set; whichever fires first wins and both
+/// counters reset. With neither set (the default), only the final
+/// checkpoint at [`Mux::finish`] is written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many bags have been pushed since the last
+    /// checkpoint.
+    pub every_bags: Option<u64>,
+    /// Checkpoint after this many ticks since the last checkpoint.
+    pub every_ticks: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// No periodic checkpoints (final-only).
+    pub fn disabled() -> Self {
+        CheckpointPolicy::default()
+    }
+
+    /// Whether the counters have crossed a trigger. `dirty` gates the
+    /// tick trigger: a fully idle session must not re-snapshot and
+    /// fsync identical state every N ticks forever.
+    fn due(&self, bags_since: u64, ticks_since: u64, dirty: bool) -> bool {
+        self.every_bags.is_some_and(|n| bags_since >= n)
+            || (dirty && self.every_ticks.is_some_and(|n| ticks_since >= n))
+    }
+}
+
+/// Mux construction options.
+#[derive(Debug, Clone, Default)]
+pub struct MuxConfig {
+    /// Periodic checkpoint triggers.
+    pub policy: CheckpointPolicy,
+    /// Where checkpoints go. `None` disables checkpointing entirely —
+    /// and makes [`Mux::finish`] complete trailing bags instead of
+    /// holding them back.
+    pub state_path: Option<PathBuf>,
+    /// Fail the whole session on the first per-stream data error
+    /// instead of quarantining the stream — the single-source CLI
+    /// `follow` semantics. Serving fleets want `false`.
+    pub strict: bool,
+}
+
+/// Mux failure modes.
+#[derive(Debug)]
+pub enum MuxError {
+    /// The engine refused or died.
+    Engine(EngineError),
+    /// A source-fatal failure (strict mode also routes per-stream data
+    /// errors here).
+    Source(SourceError),
+    /// Checkpoint persistence failed.
+    State(String),
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxError::Engine(e) => write!(f, "{e}"),
+            MuxError::Source(e) => write!(f, "{e}"),
+            MuxError::State(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+impl From<EngineError> for MuxError {
+    fn from(e: EngineError) -> Self {
+        MuxError::Engine(e)
+    }
+}
+
+/// A stream taken out of service by its source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The quarantined stream.
+    pub stream: Arc<str>,
+    /// What happened.
+    pub error: SourceError,
+}
+
+/// What one [`Mux::tick`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    /// Bags pushed into the engine this tick.
+    pub bags: usize,
+    /// Sources that reported `Active`.
+    pub active_sources: usize,
+    /// Streams quarantined this tick.
+    pub quarantined_now: usize,
+    /// Every source is `Done`: the session can wind down.
+    pub done: bool,
+    /// Nothing happened (no active source, no bags): the driver may
+    /// sleep before the next tick.
+    pub idle: bool,
+    /// The checkpoint policy has come due. A host that emits events
+    /// externally should now call [`Mux::flush_events`], deliver what
+    /// it returns, and then [`Mux::checkpoint_now`] — that ordering
+    /// guarantees every point a checkpoint covers was already
+    /// delivered, so a crash right after the write loses nothing
+    /// (undelivered points are recomputed bit-identically on resume).
+    /// A host that ignores this flag still gets the checkpoint written
+    /// automatically at the start of the next tick.
+    pub checkpoint_due: bool,
+    /// A deferred periodic checkpoint was auto-written at the start of
+    /// this tick (its byte size) because the host left `checkpoint_due`
+    /// unhandled.
+    pub checkpointed: Option<usize>,
+}
+
+/// Drains many [`Source`]s round-robin into one [`StreamEngine`]
+/// (through the interned id path), isolates per-stream failures as
+/// quarantine records instead of aborting the process, and persists
+/// `cursors + engine snapshot` checkpoints under a
+/// [`CheckpointPolicy`] with atomic rename+fsync writes.
+///
+/// The driver loop is the host's (so it can interleave event printing,
+/// sleeping, and shutdown signals):
+///
+/// ```ignore
+/// let mut mux = Mux::new(engine, MuxConfig::default());
+/// mux.add_source(Box::new(src));
+/// loop {
+///     let report = mux.tick()?;
+///     for event in mux.drain_events() { /* print */ }
+///     if report.checkpoint_due {
+///         for event in mux.flush_events()? { /* print */ }
+///         mux.checkpoint_now()?; // covers only what was delivered
+///     }
+///     if report.done { break; }
+///     if report.idle { std::thread::sleep(POLL_INTERVAL); }
+/// }
+/// let end = mux.finish()?; // final events + final checkpoint
+/// ```
+pub struct Mux {
+    engine: StreamEngine,
+    sources: Vec<(Box<dyn Source>, SourceStatus)>,
+    cfg: MuxConfig,
+    /// Cursor map handed to every source added (restore path).
+    resume: HashMap<String, StreamCursor>,
+    quarantined: Vec<QuarantineRecord>,
+    notes: Vec<String>,
+    items: Vec<SourceItem>,
+    /// First source to push each stream, plus the interned id — the
+    /// per-bag routing cache and the cross-source collision guard.
+    claims: HashMap<Arc<str>, (usize, crate::StreamId)>,
+    bags_total: u64,
+    bags_since: u64,
+    ticks_since: u64,
+    checkpoints_written: u64,
+    /// The policy fired last tick; write at the start of the next one
+    /// (after the host has drained the covered events — see
+    /// [`Mux::tick`]).
+    checkpoint_due: bool,
+    /// Anything happened since the last checkpoint (bags, active
+    /// sources, quarantines) — gates the tick-based trigger.
+    dirty_since_checkpoint: bool,
+}
+
+/// What [`Mux::finish`] hands back.
+#[derive(Debug)]
+pub struct MuxFinish {
+    /// Every event still in flight at shutdown.
+    pub events: Vec<StreamEvent>,
+    /// Size of the final checkpoint, if one was written.
+    pub checkpoint_bytes: Option<usize>,
+    /// Notes emitted during the wind-down.
+    pub notes: Vec<String>,
+    /// Total bags pushed over the mux's lifetime (including the
+    /// trailing bags completed by the wind-down itself).
+    pub bags_pushed: u64,
+    /// Checkpoints written over the lifetime (periodic + final).
+    pub checkpoints_written: u64,
+    /// Every stream quarantined over the lifetime.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl Mux {
+    /// Wrap a (fresh or restored) engine.
+    pub fn new(engine: StreamEngine, cfg: MuxConfig) -> Self {
+        Mux {
+            engine,
+            sources: Vec::new(),
+            cfg,
+            resume: HashMap::new(),
+            quarantined: Vec::new(),
+            notes: Vec::new(),
+            items: Vec::new(),
+            claims: HashMap::new(),
+            bags_total: 0,
+            bags_since: 0,
+            ticks_since: 0,
+            checkpoints_written: 0,
+            checkpoint_due: false,
+            dirty_since_checkpoint: false,
+        }
+    }
+
+    /// Rebuild a mux from checkpoint bytes: restore the engine from the
+    /// embedded snapshot and stash the cursor table, which every
+    /// subsequently added source adopts (matched by stream name).
+    ///
+    /// # Errors
+    /// Checkpoint parse failures ([`MuxError::State`] with the decode
+    /// error's text) or engine restore failures.
+    pub fn restore(
+        bytes: &[u8],
+        engine_cfg: EngineConfig,
+        cfg: MuxConfig,
+    ) -> Result<Self, MuxError> {
+        let (cursors, snapshot) = super::checkpoint::decode_checkpoint(bytes)
+            .map_err(|e| MuxError::State(e.to_string()))?;
+        let engine = StreamEngine::restore(snapshot, engine_cfg)?;
+        let mut mux = Mux::new(engine, cfg);
+        mux.resume = cursors.into_iter().collect();
+        Ok(mux)
+    }
+
+    /// The wrapped engine (resolve ids, inspect names, …).
+    pub fn engine_mut(&mut self) -> &mut StreamEngine {
+        &mut self.engine
+    }
+
+    /// The restored cursor table (by stream name), for hosts that want
+    /// to report resume positions.
+    pub fn resume_cursors(&self) -> &HashMap<String, StreamCursor> {
+        &self.resume
+    }
+
+    /// Add a source (adopting any restored cursors for its streams).
+    pub fn add_source(&mut self, mut source: Box<dyn Source>) {
+        source.restore(&self.resume);
+        self.sources.push((source, SourceStatus::Idle));
+    }
+
+    /// Bags pushed by this mux so far (excludes restored history).
+    pub fn bags_pushed(&self) -> u64 {
+        self.bags_total
+    }
+
+    /// Checkpoints written so far (periodic + forced).
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Streams quarantined so far.
+    pub fn quarantined(&self) -> &[QuarantineRecord] {
+        &self.quarantined
+    }
+
+    /// Take the accumulated operational notes (rotation detected, …).
+    pub fn take_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.notes)
+    }
+
+    /// Completed events, without blocking.
+    pub fn drain_events(&mut self) -> Vec<StreamEvent> {
+        self.engine.drain_events()
+    }
+
+    /// One round-robin pass over every live source: poll each, push the
+    /// completed bags by interned id, record quarantines and notes, and
+    /// write a periodic checkpoint if the policy came due.
+    ///
+    /// When the policy comes due, the tick **does not write the
+    /// checkpoint itself** — the engine snapshot is a barrier, so the
+    /// points it covers may still be undelivered, and committing the
+    /// checkpoint first would let a crash lose them forever (the
+    /// resumed state already counts them as emitted). Instead the
+    /// report's `checkpoint_due` asks the host to run the two-phase
+    /// protocol ([`Mux::flush_events`] → deliver →     /// [`Mux::checkpoint_now`]); hosts that don't care get an
+    /// automatic write at the start of the next tick.
+    ///
+    /// # Errors
+    /// Engine failures, checkpoint write failures, source-fatal errors
+    /// — and, in strict mode, the first per-stream data error.
+    pub fn tick(&mut self) -> Result<TickReport, MuxError> {
+        let mut report = TickReport::default();
+        if self.checkpoint_due {
+            self.checkpoint_due = false;
+            report.checkpointed = self.checkpoint_now()?;
+        }
+        for idx in 0..self.sources.len() {
+            if self.sources[idx].1 == SourceStatus::Done {
+                continue;
+            }
+            let mut items = std::mem::take(&mut self.items);
+            items.clear();
+            let polled = self.sources[idx].0.poll(&mut items);
+            let routed = self.route(idx, &mut items, &mut report);
+            self.items = items;
+            routed?;
+            match polled {
+                Ok(status) => {
+                    self.sources[idx].1 = status;
+                    if status == SourceStatus::Active {
+                        report.active_sources += 1;
+                    }
+                }
+                Err(e) => {
+                    // Source-fatal: the source is out, the rest live on
+                    // (or the whole session dies, in strict mode).
+                    self.sources[idx].1 = SourceStatus::Done;
+                    if self.cfg.strict {
+                        return Err(MuxError::Source(e));
+                    }
+                    self.notes.push(format!(
+                        "source {} failed and was dropped: {e}",
+                        self.sources[idx].0.origin()
+                    ));
+                }
+            }
+        }
+        self.ticks_since += 1;
+        report.done = self
+            .sources
+            .iter()
+            .all(|(_, status)| *status == SourceStatus::Done);
+        report.idle = report.active_sources == 0 && report.bags == 0;
+        if !report.idle || report.quarantined_now > 0 {
+            self.dirty_since_checkpoint = true;
+        }
+        if self.cfg.state_path.is_some()
+            && self.cfg.policy.due(
+                self.bags_since,
+                self.ticks_since,
+                self.dirty_since_checkpoint,
+            )
+        {
+            self.checkpoint_due = true;
+            report.checkpoint_due = true;
+        }
+        Ok(report)
+    }
+
+    /// Barrier + drain: evaluate every bag pushed so far and return all
+    /// completed events. Phase one of the durable-checkpoint protocol —
+    /// deliver the returned events, then call [`Mux::checkpoint_now`];
+    /// no pushes happen in between, so the snapshot covers exactly what
+    /// was delivered.
+    ///
+    /// # Errors
+    /// [`MuxError::Engine`] if the worker pool died.
+    pub fn flush_events(&mut self) -> Result<Vec<StreamEvent>, MuxError> {
+        self.engine.flush()?;
+        Ok(self.engine.drain_events())
+    }
+
+    /// Route one source's items into the engine and the records. The
+    /// claims table interns each stream once (per-bag cost: one map
+    /// lookup, no hashing of the engine's seed scheme) and rejects a
+    /// second source feeding an already-claimed stream — two inputs
+    /// interleaved into one detector would silently corrupt its scores,
+    /// so that is a configuration error in every mode.
+    fn route(
+        &mut self,
+        source_idx: usize,
+        items: &mut Vec<SourceItem>,
+        report: &mut TickReport,
+    ) -> Result<(), MuxError> {
+        for item in items.drain(..) {
+            match item {
+                SourceItem::Bag { stream, rows, .. } => {
+                    let id = match self.claims.get(&stream) {
+                        Some(&(owner, id)) => {
+                            if owner != source_idx {
+                                return Err(MuxError::State(format!(
+                                    "stream '{stream}' is fed by two sources ({} and {}); \
+                                     a stream must have exactly one input",
+                                    self.sources[owner].0.origin(),
+                                    self.sources[source_idx].0.origin()
+                                )));
+                            }
+                            id
+                        }
+                        None => {
+                            let id = self.engine.resolve(&stream)?;
+                            self.claims.insert(stream.clone(), (source_idx, id));
+                            id
+                        }
+                    };
+                    self.engine.push_id(id, Bag::new(rows))?;
+                    report.bags += 1;
+                    self.bags_total += 1;
+                    self.bags_since += 1;
+                }
+                SourceItem::Quarantine { stream, error } => {
+                    if self.cfg.strict {
+                        return Err(MuxError::Source(error));
+                    }
+                    report.quarantined_now += 1;
+                    self.quarantined.push(QuarantineRecord { stream, error });
+                }
+                SourceItem::Note(n) => self.notes.push(n),
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint right now (barrier: every queued bag is
+    /// evaluated first). Returns the byte size, or `None` without a
+    /// state path.
+    ///
+    /// # Errors
+    /// Engine snapshot or file write failures; also if two sources
+    /// claim the same stream's cursor (ambiguous resume).
+    pub fn checkpoint_now(&mut self) -> Result<Option<usize>, MuxError> {
+        let Some(path) = self.cfg.state_path.clone() else {
+            return Ok(None);
+        };
+        let mut cursors: CursorList = Vec::new();
+        for (source, _) in &self.sources {
+            source.cursors(&mut cursors);
+        }
+        {
+            let mut seen = std::collections::HashSet::with_capacity(cursors.len());
+            for (name, _) in &cursors {
+                if !seen.insert(name.as_ref()) {
+                    return Err(MuxError::State(format!(
+                        "two sources report a cursor for stream '{name}' — resume would be \
+                         ambiguous; feed a stream from one source only"
+                    )));
+                }
+            }
+        }
+        // Restored cursors of streams no source has claimed (a directory
+        // file that has not re-appeared yet, a TCP stream that has not
+        // spoken) must survive the rewrite, or their hold-back rows and
+        // positions would be lost.
+        for (name, cursor) in &self.resume {
+            if !cursors.iter().any(|(n, _)| n.as_ref() == name.as_str()) {
+                cursors.push((Arc::from(name.as_str()), cursor.clone()));
+            }
+        }
+        cursors.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let snapshot = self.engine.snapshot()?;
+        let bytes = encode_checkpoint(&cursors, &snapshot);
+        write_atomic(&path, &bytes).map_err(MuxError::State)?;
+        self.bags_since = 0;
+        self.ticks_since = 0;
+        self.checkpoint_due = false;
+        self.dirty_since_checkpoint = false;
+        self.checkpoints_written += 1;
+        Ok(Some(bytes.len()))
+    }
+
+    /// Wind the session down: without a state path, trailing bags are
+    /// completed (EOF means the data is final) and pushed; with one,
+    /// they stay held back and a final checkpoint is written. Then the
+    /// engine flushes and shuts down, returning every remaining event.
+    ///
+    /// # Errors
+    /// As [`Mux::tick`] / [`Mux::checkpoint_now`].
+    pub fn finish(mut self) -> Result<MuxFinish, MuxError> {
+        let mut report = TickReport::default();
+        if self.cfg.state_path.is_none() {
+            for idx in 0..self.sources.len() {
+                let mut items = std::mem::take(&mut self.items);
+                items.clear();
+                let finished = self.sources[idx].0.finish(&mut items);
+                let routed = self.route(idx, &mut items, &mut report);
+                self.items = items;
+                routed?;
+                if let Err(e) = finished {
+                    if self.cfg.strict {
+                        return Err(MuxError::Source(e));
+                    }
+                    self.notes
+                        .push(format!("source {}: {e}", self.sources[idx].0.origin()));
+                }
+            }
+        }
+        self.engine.flush()?;
+        let checkpoint_bytes = self.checkpoint_now()?;
+        let events = self.engine.shutdown();
+        Ok(MuxFinish {
+            events,
+            checkpoint_bytes,
+            notes: std::mem::take(&mut self.notes),
+            bags_pushed: self.bags_total,
+            checkpoints_written: self.checkpoints_written,
+            quarantined: std::mem::take(&mut self.quarantined),
+        })
+    }
+}

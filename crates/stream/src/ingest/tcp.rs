@@ -1,0 +1,284 @@
+//! TCP line-protocol source: many clients, many streams, one socket.
+//!
+//! Protocol: UTF-8 lines of `stream,t,x1,x2,…` — the first field names
+//! the stream, the rest is the same `time,coords…` row format as the
+//! CSV sources. Lines for different streams may interleave freely
+//! across and within connections; per stream, times must be
+//! nondecreasing with equal times contiguous (the bag contract).
+//!
+//! The listener and every accepted connection run non-blocking, so a
+//! poll consumes exactly what has arrived and returns — one stalled
+//! client never blocks the ingestion loop. A malformed line or a
+//! backwards timestamp quarantines *its stream* only; other streams and
+//! connections keep flowing.
+
+use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use std::collections::{HashMap, HashSet};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Bytes read per connection per poll (fairness budget).
+const BYTES_PER_POLL: usize = 64 * 1024;
+
+struct Conn {
+    sock: TcpStream,
+    /// Shared so routing a line costs a refcount bump, not a copy.
+    peer: Arc<str>,
+    /// Undelivered partial line.
+    partial: Vec<u8>,
+    lineno: usize,
+}
+
+/// Multi-stream TCP ingestion front-end.
+pub struct TcpSource {
+    origin: String,
+    listener: TcpListener,
+    conns: Vec<Conn>,
+    assemblers: HashMap<Arc<str>, BagAssembler>,
+    quarantined: HashSet<Arc<str>>,
+    /// Cursors stashed for streams that have not spoken yet.
+    resume: HashMap<String, StreamCursor>,
+    /// Drain mode (`watch == false`): report `Done` once at least one
+    /// connection was seen and all of them have closed.
+    watch: bool,
+    seen_conn: bool,
+    buf: Vec<u8>,
+}
+
+impl TcpSource {
+    /// Bind `addr` (e.g. `"127.0.0.1:7171"`). With `watch`, the source
+    /// stays alive forever (a server); without it, the source reports
+    /// `Done` once every connection has come and gone — the drain
+    /// semantics batch jobs and tests want.
+    ///
+    /// # Errors
+    /// [`SourceError::Io`] if the address cannot be bound.
+    pub fn bind(addr: &str, watch: bool) -> Result<Self, SourceError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| SourceError::Io(format!("bind {addr}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SourceError::Io(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| SourceError::Io(format!("bind {addr}: {e}")))?;
+        Ok(TcpSource {
+            origin: format!("tcp://{local}"),
+            listener,
+            conns: Vec::new(),
+            assemblers: HashMap::new(),
+            quarantined: HashSet::new(),
+            resume: HashMap::new(),
+            watch,
+            seen_conn: false,
+            buf: vec![0u8; 8192],
+        })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listener.local_addr().ok()
+    }
+
+    /// Streams that have been quarantined so far.
+    pub fn quarantined(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.quarantined.iter()
+    }
+
+    /// Route one complete line (`stream,t,coords…`).
+    fn line(&mut self, raw: &[u8], peer: &str, lineno: usize, out: &mut Vec<SourceItem>) {
+        let text = String::from_utf8_lossy(raw);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let Some((name, row)) = trimmed.split_once(',') else {
+            // No stream prefix: an un-routable line. There is no stream
+            // to quarantine, so surface it as a note and move on.
+            out.push(SourceItem::Note(format!(
+                "note: {peer}:{}: unroutable line (no 'stream,' prefix): {trimmed:?}",
+                lineno + 1
+            )));
+            return;
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            out.push(SourceItem::Note(format!(
+                "note: {peer}:{}: empty stream name; line dropped",
+                lineno + 1
+            )));
+            return;
+        }
+        // Cheap lookup without allocating for known streams.
+        let assembler = match self.assemblers.get_mut(name) {
+            Some(a) => a,
+            None => {
+                let key: Arc<str> = Arc::from(name);
+                let mut a = BagAssembler::new(key.clone(), false);
+                if let Some(c) = self.resume.get(name) {
+                    // TCP has no byte position: resume is time-addressed.
+                    a.restore_cursor(c, true);
+                }
+                self.assemblers.entry(key).or_insert(a)
+            }
+        };
+        if self.quarantined.contains(assembler.stream()) {
+            return;
+        }
+        if let Err(e) = assembler.line(row, lineno, peer, out) {
+            let stream = assembler.stream().clone();
+            self.quarantined.insert(stream.clone());
+            out.push(SourceItem::Quarantine { stream, error: e });
+        }
+    }
+
+    /// Split a connection's buffered bytes into complete lines, pushed
+    /// straight onto the routing list with the peer tag attached.
+    fn drain_conn_buffer(
+        partial: &mut Vec<u8>,
+        chunk: &[u8],
+        peer: &Arc<str>,
+        lineno: &mut usize,
+        routed: &mut Vec<(Vec<u8>, usize, Arc<str>)>,
+    ) {
+        partial.extend_from_slice(chunk);
+        while let Some(pos) = partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = partial.drain(..=pos).collect();
+            routed.push((line, *lineno, peer.clone()));
+            *lineno += 1;
+        }
+    }
+}
+
+impl Source for TcpSource {
+    fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    fn poll(&mut self, out: &mut Vec<SourceItem>) -> Result<SourceStatus, SourceError> {
+        // Accept whatever is waiting.
+        loop {
+            match self.listener.accept() {
+                Ok((sock, peer)) => {
+                    if sock.set_nonblocking(true).is_ok() {
+                        self.seen_conn = true;
+                        self.conns.push(Conn {
+                            sock,
+                            peer: Arc::from(peer.to_string().as_str()),
+                            partial: Vec::new(),
+                            lineno: 0,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(SourceError::Io(format!("{}: accept: {e}", self.origin))),
+            }
+        }
+
+        // Read each connection's available bytes, collect complete
+        // lines, then route (two phases, because routing needs the
+        // whole source mutable). Line payloads are copied out of the
+        // connection buffers; the peer tag is a shared Arc.
+        let mut progressed = false;
+        let mut routed: Vec<(Vec<u8>, usize, Arc<str>)> = Vec::new();
+        let mut i = 0;
+        while i < self.conns.len() {
+            let mut closed = false;
+            let mut read_total = 0usize;
+            loop {
+                if read_total >= BYTES_PER_POLL {
+                    break;
+                }
+                let conn = &mut self.conns[i];
+                match conn.sock.read(&mut self.buf) {
+                    Ok(0) => {
+                        closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        read_total += n;
+                        let peer = conn.peer.clone();
+                        Self::drain_conn_buffer(
+                            &mut conn.partial,
+                            &self.buf[..n],
+                            &peer,
+                            &mut conn.lineno,
+                            &mut routed,
+                        );
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // A dead client is a closed connection, not a
+                        // source failure.
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            if closed {
+                let conn = self.conns.swap_remove(i);
+                // A final line with no newline is final for this
+                // connection: the peer can never complete it.
+                if !conn.partial.is_empty() {
+                    routed.push((conn.partial, conn.lineno, conn.peer));
+                }
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        for (line, lineno, peer) in routed {
+            self.line(&line, &peer, lineno, out);
+        }
+
+        if progressed {
+            Ok(SourceStatus::Active)
+        } else if self.watch || !self.seen_conn || !self.conns.is_empty() {
+            Ok(SourceStatus::Idle)
+        } else {
+            Ok(SourceStatus::Done)
+        }
+    }
+
+    fn cursors(&self, out: &mut Vec<(Arc<str>, StreamCursor)>) {
+        // Deterministic order for deterministic checkpoint bytes.
+        let mut streams: Vec<&Arc<str>> = self.assemblers.keys().collect();
+        streams.sort();
+        for s in streams {
+            let mut cursor = self.assemblers[s].cursor(0, 0);
+            // Persist the quarantine, so a resumed session keeps the
+            // stream out of service even if its client reconnects —
+            // matching what an uninterrupted run would do.
+            cursor.quarantined = self.quarantined.contains(s);
+            out.push((s.clone(), cursor));
+        }
+    }
+
+    fn restore(&mut self, cursors: &HashMap<String, StreamCursor>) {
+        for (name, cursor) in cursors {
+            if cursor.quarantined {
+                self.quarantined.insert(Arc::from(name.as_str()));
+            }
+        }
+        self.resume = cursors.clone();
+    }
+
+    fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
+        // Flush trailing bags of non-quarantined streams. The mux only
+        // calls finish() on a non-checkpointing, winding-down session,
+        // where no further TCP data can ever complete them.
+        let mut streams: Vec<Arc<str>> = self.assemblers.keys().cloned().collect();
+        streams.sort();
+        for s in streams {
+            if !self.quarantined.contains(&s) {
+                if let Some(a) = self.assemblers.get_mut(&s) {
+                    a.flush(out);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod engine;
 pub mod event;
 pub mod hash;
+pub mod ingest;
 pub mod online;
 pub mod snapshot;
 mod worker;
@@ -58,5 +59,14 @@ mod worker;
 pub use cache::{EmdScratch, SignatureWindow};
 pub use engine::{EngineConfig, EngineError, StreamEngine, StreamId};
 pub use event::StreamEvent;
+pub use ingest::{CheckpointPolicy, Mux, MuxConfig, Source, SourceStatus};
 pub use online::{OnlineDetector, OnlineState};
 pub use snapshot::SnapshotError;
+
+/// The seed a stream named `stream` runs under inside an engine with
+/// the given master seed (unless the host overrode it via
+/// [`StreamEngine::resolve_seeded`]). Public so offline tooling can
+/// reproduce any engine stream with a standalone [`OnlineDetector`].
+pub fn derive_stream_seed(master_seed: u64, stream: &str) -> u64 {
+    worker::stream_seed(master_seed, stream)
+}

@@ -1,7 +1,9 @@
 //! Incremental single-stream detector: `push(bag) -> Option<ScorePoint>`.
 
 use crate::cache::{EmdScratch, SignatureWindow};
-use bagcpd::{signature_at, Bag, DetectError, Detector, EvalScratch, ScorePoint, WindowScorer};
+use bagcpd::{
+    signature_at_with, Bag, DetectError, Detector, EvalScratch, ScorePoint, WindowScorer,
+};
 use emd::Signature;
 use infoest::DistanceMatrix;
 use std::collections::VecDeque;
@@ -106,12 +108,13 @@ impl OnlineDetector {
     /// As [`OnlineDetector::push`], but evaluating through caller-kept
     /// scratches: the engine's workers hold one [`EvalScratch`]
     /// (bootstrap buffers) and one [`EmdScratch`] (EMD solver tableau,
-    /// window-push column, scorer-matrix storage) each and reuse them
-    /// across every stream they evaluate in a tick. Once warm, the
-    /// entire push→score path — signature-to-window distances, the
+    /// window-push column, scorer-matrix storage, signature-recycling
+    /// pools) each and reuse them across every stream they evaluate in
+    /// a tick. Once warm, the entire push→score path — the signature
+    /// build (histogram method: the evicted signature's buffers are
+    /// recycled into the new one), signature-to-window distances, the
     /// incremental matrix update, the scorer, and every bootstrap
-    /// replicate — performs no heap allocation beyond building the
-    /// retained signature itself. Bit-identical to
+    /// replicate — performs **zero** heap allocation. Bit-identical to
     /// [`OnlineDetector::push`].
     ///
     /// # Errors
@@ -129,10 +132,17 @@ impl OnlineDetector {
             _ => {}
         }
         let cfg = self.detector.config();
-        let sig = signature_at(&bag, &cfg.signature, self.seed, self.pushed);
-        self.window
+        let sig = signature_at_with(&bag, &cfg.signature, self.seed, self.pushed, &mut emd.sig);
+        let evicted = self
+            .window
             .push_with(sig, &cfg.solver, &cfg.metric, emd)
             .map_err(DetectError::Emd)?;
+        if let Some(old) = evicted {
+            // The evicted signature's buffers seed the next build —
+            // with histogram signatures this closes the last warm-push
+            // allocation.
+            emd.sig.recycle(old);
+        }
         self.pushed += 1;
         if !self.window.is_full() {
             return Ok(None);

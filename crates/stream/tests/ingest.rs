@@ -1,0 +1,636 @@
+//! Integration tests of the multi-source ingestion layer: sources,
+//! mux, quarantine isolation, and periodic checkpointing.
+
+use bagcpd::Detector;
+use bagcpd::{BootstrapConfig, DetectorConfig, SignatureMethod};
+use stream::ingest::{
+    CheckpointPolicy, CsvFileSource, DirSource, LineSource, Mux, MuxConfig, Source, SourceItem,
+    SourceStatus, TcpSource,
+};
+use stream::{derive_stream_seed, EngineConfig, StreamEngine, StreamEvent};
+
+use std::io::Cursor;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn detector_cfg() -> DetectorConfig {
+    DetectorConfig {
+        tau: 3,
+        tau_prime: 2,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        bootstrap: BootstrapConfig {
+            replicates: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn engine_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        detector: detector_cfg(),
+        seed,
+        workers: 2,
+        queue_capacity: 256,
+        batch_size: 64,
+        event_capacity: 4096,
+    }
+}
+
+fn fresh_mux(seed: u64, cfg: MuxConfig) -> Mux {
+    Mux::new(StreamEngine::new(engine_cfg(seed)).unwrap(), cfg)
+}
+
+/// CSV text: `bags` bags of 20 rows each, with a level shift at
+/// `change_at`, values perturbed by `salt` so streams differ.
+fn csv_text(bags: usize, change_at: usize, salt: u64, header: bool) -> String {
+    let mut s = String::new();
+    if header {
+        s.push_str("t,x\n");
+    }
+    for t in 0..bags {
+        let level = if t < change_at { 0.0 } else { 5.0 };
+        for i in 0..20 {
+            let x = level + ((i as u64 * 3 + salt + t as u64) % 7) as f64 * 0.1;
+            s.push_str(&format!("{t},{x}\n"));
+        }
+    }
+    s
+}
+
+fn drive_to_done(mux: &mut Mux) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for _ in 0..10_000 {
+        let report = mux.tick().unwrap();
+        events.extend(mux.drain_events());
+        if report.checkpoint_due {
+            // The host-side durable-checkpoint protocol: deliver the
+            // barrier-flushed events, then commit.
+            events.extend(mux.flush_events().unwrap());
+            mux.checkpoint_now().unwrap();
+        }
+        if report.done {
+            return events;
+        }
+        if report.idle {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    panic!("mux never drained");
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stream_ingest_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn points_of<'a>(
+    events: &'a [StreamEvent],
+    stream: &'a str,
+) -> impl Iterator<Item = &'a bagcpd::ScorePoint> {
+    events
+        .iter()
+        .filter(move |e| e.stream() == stream)
+        .filter_map(|e| e.point())
+}
+
+#[test]
+fn line_sources_match_standalone_detectors_bit_for_bit() {
+    let seed = 11;
+    let mut mux = fresh_mux(seed, MuxConfig::default());
+    for s in 0..4u64 {
+        let text = csv_text(12, 6, s, s % 2 == 0);
+        mux.add_source(Box::new(LineSource::new(
+            Cursor::new(text.into_bytes()),
+            format!("mem-{s}"),
+            format!("stream-{s}"),
+        )));
+    }
+    let mut events = drive_to_done(&mut mux);
+    events.extend(mux.finish().unwrap().events);
+
+    let detector = Detector::new(detector_cfg()).unwrap();
+    for s in 0..4u64 {
+        let name = format!("stream-{s}");
+        let mut reference =
+            stream::OnlineDetector::new(detector.clone(), derive_stream_seed(seed, &name));
+        let mut expected = Vec::new();
+        for t in 0..12 {
+            let level = if t < 6 { 0.0 } else { 5.0 };
+            let rows: Vec<Vec<f64>> = (0..20)
+                .map(|i| vec![level + ((i as u64 * 3 + s + t as u64) % 7) as f64 * 0.1])
+                .collect();
+            expected.extend(reference.push(bagcpd::Bag::new(rows)).unwrap());
+        }
+        let got: Vec<_> = points_of(&events, &name).cloned().collect();
+        assert_eq!(expected, got, "stream {name} must match a solo detector");
+    }
+}
+
+#[test]
+fn dir_source_serves_one_stream_per_file_and_picks_up_new_files() {
+    let dir = tmp_dir("dir_source");
+    std::fs::write(dir.join("a.csv"), csv_text(9, 99, 1, true)).unwrap();
+    std::fs::write(dir.join("b.csv"), csv_text(9, 99, 2, true)).unwrap();
+    std::fs::write(dir.join("ignored.txt"), "not a csv").unwrap();
+
+    // Watch mode: the directory is re-scanned, so a file written
+    // mid-session joins the fleet (and the source never reports Done).
+    let mut mux = fresh_mux(3, MuxConfig::default());
+    mux.add_source(Box::new(DirSource::new(
+        dir.to_string_lossy().into_owned(),
+        true,
+    )));
+    // First tick discovers a+b; write a third file mid-session.
+    mux.tick().unwrap();
+    std::fs::write(dir.join("c.csv"), csv_text(9, 99, 3, true)).unwrap();
+    // 9 bags, window 5: 4 points per stream stream while tailing (the
+    // trailing bag stays pending until finish completes it).
+    let mut events = Vec::new();
+    for _ in 0..1000 {
+        mux.tick().unwrap();
+        events.extend(mux.drain_events());
+        let done: Vec<_> = ["a", "b", "c"]
+            .iter()
+            .filter(|n| points_of(&events, n).count() >= 4)
+            .collect();
+        if done.len() == 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    events.extend(mux.finish().unwrap().events);
+    for name in ["a", "b", "c"] {
+        assert_eq!(points_of(&events, name).count(), 5, "stream {name}");
+    }
+    assert_eq!(points_of(&events, "ignored").count(), 0);
+}
+
+#[test]
+fn dir_source_without_watch_drains_and_completes() {
+    let dir = tmp_dir("dir_drain");
+    std::fs::write(dir.join("a.csv"), csv_text(9, 99, 1, true)).unwrap();
+    std::fs::write(dir.join("b.csv"), csv_text(9, 99, 2, true)).unwrap();
+    let mut mux = fresh_mux(3, MuxConfig::default());
+    mux.add_source(Box::new(DirSource::new(
+        dir.to_string_lossy().into_owned(),
+        false,
+    )));
+    let mut events = drive_to_done(&mut mux);
+    events.extend(mux.finish().unwrap().events);
+    for name in ["a", "b"] {
+        assert_eq!(points_of(&events, name).count(), 5, "stream {name}");
+    }
+}
+
+#[test]
+fn quarantine_isolates_bad_stream_and_keeps_siblings_alive() {
+    let dir = tmp_dir("quarantine");
+    std::fs::write(dir.join("good.csv"), csv_text(9, 99, 1, true)).unwrap();
+    // Malformed row mid-file.
+    std::fs::write(dir.join("bad.csv"), "t,x\n0,0.1\n0,0.2\n1,garbage\n2,0.3\n").unwrap();
+    // Backwards time.
+    std::fs::write(dir.join("back.csv"), "t,x\n5,0.1\n4,0.2\n").unwrap();
+
+    let mut mux = fresh_mux(3, MuxConfig::default());
+    mux.add_source(Box::new(DirSource::new(
+        dir.to_string_lossy().into_owned(),
+        false,
+    )));
+    let mut events = drive_to_done(&mut mux);
+    let finish = mux.finish().unwrap();
+    events.extend(finish.events);
+
+    assert_eq!(finish.quarantined.len(), 2, "{:?}", finish.quarantined);
+    let mut quarantined: Vec<&str> = finish
+        .quarantined
+        .iter()
+        .map(|q| q.stream.as_ref())
+        .collect();
+    quarantined.sort_unstable();
+    assert_eq!(quarantined, ["back", "bad"]);
+    assert!(finish
+        .quarantined
+        .iter()
+        .any(|q| q.error.to_string().contains("bad coordinate")
+            || q.error.to_string().contains("bad time")));
+    // The good stream is untouched.
+    assert_eq!(points_of(&events, "good").count(), 5);
+}
+
+#[test]
+fn strict_mode_fails_fast_on_the_first_data_error() {
+    let dir = tmp_dir("strict");
+    let path = dir.join("bad.csv");
+    std::fs::write(&path, "t,x\n5,0.1\n4,0.2\n").unwrap();
+    let mut mux = fresh_mux(
+        3,
+        MuxConfig {
+            strict: true,
+            ..Default::default()
+        },
+    );
+    mux.add_source(Box::new(CsvFileSource::new(
+        path.to_string_lossy().into_owned(),
+        "s",
+        false,
+    )));
+    let err = (0..100)
+        .find_map(|_| mux.tick().err())
+        .expect("strict mux must surface the error");
+    assert!(err.to_string().contains("time went backwards"), "{err}");
+}
+
+#[test]
+fn periodic_checkpoints_fire_by_bags_and_by_ticks() {
+    let dir = tmp_dir("policy");
+    let input = dir.join("in.csv");
+    // Big enough to span several 512-line polls, so the by-bags policy
+    // fires on multiple distinct ticks (checkpoints land at batch
+    // boundaries — one per tick at most).
+    std::fs::write(&input, csv_text(60, 99, 1, true)).unwrap();
+    let state = dir.join("state.snap");
+
+    let mut mux = fresh_mux(
+        3,
+        MuxConfig {
+            policy: CheckpointPolicy {
+                every_bags: Some(5),
+                every_ticks: None,
+            },
+            state_path: Some(state.clone()),
+            strict: false,
+        },
+    );
+    mux.add_source(Box::new(CsvFileSource::new(
+        input.to_string_lossy().into_owned(),
+        "s",
+        false,
+    )));
+    drive_to_done(&mut mux);
+    let finish = mux.finish().unwrap();
+    // ~25 bags per 512-line tick, 59 completed bags -> at least two
+    // periodic checkpoints plus the final one.
+    assert!(
+        finish.checkpoints_written >= 3,
+        "{} checkpoints",
+        finish.checkpoints_written
+    );
+    assert!(state.exists());
+    assert!(finish.checkpoint_bytes.is_some());
+
+    // Tick-based trigger: every tick writes (even idle ones).
+    let state2 = dir.join("state2.snap");
+    let mut mux = fresh_mux(
+        3,
+        MuxConfig {
+            policy: CheckpointPolicy {
+                every_bags: None,
+                every_ticks: Some(1),
+            },
+            state_path: Some(state2.clone()),
+            strict: false,
+        },
+    );
+    mux.add_source(Box::new(CsvFileSource::new(
+        input.to_string_lossy().into_owned(),
+        "s",
+        false,
+    )));
+    // The tick itself never writes — it raises checkpoint_due for the
+    // host's flush-deliver-commit protocol; an unhandled flag is
+    // auto-written at the start of the next tick.
+    let report = mux.tick().unwrap();
+    assert!(report.checkpoint_due);
+    assert_eq!(mux.checkpoints_written(), 0, "host commits, not tick()");
+    mux.checkpoint_now().unwrap();
+    assert_eq!(mux.checkpoints_written(), 1);
+    // Ignore the flag this time: the next tick auto-writes.
+    let report = mux.tick().unwrap();
+    assert!(report.checkpoint_due);
+    let report = mux.tick().unwrap();
+    assert!(report.checkpointed.is_some(), "unhandled flag auto-writes");
+    assert!(mux.checkpoints_written() >= 2);
+    assert!(state2.exists());
+    mux.finish().unwrap();
+}
+
+#[test]
+fn unapplied_resume_cursor_survives_checkpoint_rewrite() {
+    // A source whose file cannot be opened must carry its restored
+    // cursor forward verbatim — a checkpoint rewrite while the file is
+    // missing must not clobber the stream's saved position.
+    use stream::ingest::StreamCursor;
+    let dir = tmp_dir("cursor_carry");
+    let state = dir.join("state.snap");
+
+    let saved = StreamCursor {
+        completed_time: Some(7),
+        pending: Some((8, vec![vec![0.25]])),
+        consumed: 123,
+        prefix_hash: 456,
+        quarantined: false,
+    };
+    let cursors = vec![("s".to_string(), saved.clone())];
+    let engine = StreamEngine::new(engine_cfg(1)).unwrap();
+    let mut mux = Mux::new(engine, MuxConfig::default());
+    let snapshot = mux.engine_mut().snapshot().unwrap();
+    let bytes = stream::ingest::checkpoint::encode_checkpoint(&cursors, &snapshot);
+
+    let mut mux = Mux::restore(
+        &bytes,
+        engine_cfg(1),
+        MuxConfig {
+            state_path: Some(state.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The file does not exist: the first poll fails and (non-strict)
+    // the source is dropped — but its cursor must persist.
+    mux.add_source(Box::new(CsvFileSource::new(
+        dir.join("missing.csv").to_string_lossy().into_owned(),
+        "s",
+        false,
+    )));
+    mux.tick().unwrap();
+    mux.checkpoint_now().unwrap();
+    let (rewritten, _) =
+        stream::ingest::checkpoint::decode_checkpoint(&std::fs::read(&state).unwrap()).unwrap();
+    let carried = rewritten
+        .iter()
+        .find(|(n, _)| n == "s")
+        .expect("cursor kept");
+    assert_eq!(carried.1, saved, "saved cursor must survive verbatim");
+}
+
+#[test]
+fn dir_source_skips_non_file_csv_entries_with_a_note() {
+    let dir = tmp_dir("dir_non_file");
+    std::fs::write(dir.join("good.csv"), csv_text(9, 99, 1, true)).unwrap();
+    // A directory with a .csv name: opening it "succeeds" on Linux and
+    // only the first read would fail — it must be skipped (visibly),
+    // never fed to the engine, and never take its siblings down.
+    std::fs::create_dir_all(dir.join("broken.csv")).unwrap();
+
+    let mut mux = fresh_mux(3, MuxConfig::default());
+    mux.add_source(Box::new(DirSource::new(
+        dir.to_string_lossy().into_owned(),
+        false,
+    )));
+    let mut events = drive_to_done(&mut mux);
+    let finish = mux.finish().unwrap();
+    events.extend(finish.events.iter().cloned());
+
+    assert!(finish.quarantined.is_empty(), "{:?}", finish.quarantined);
+    assert!(
+        finish
+            .notes
+            .iter()
+            .any(|n| n.contains("not a regular file")),
+        "{:?}",
+        finish.notes
+    );
+    assert_eq!(points_of(&events, "good").count(), 5);
+    assert_eq!(points_of(&events, "broken").count(), 0);
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run() {
+    // Two csv streams; checkpoint after the first part, resume over the
+    // grown files, and compare per-stream points with an uninterrupted
+    // session — the engine-level analogue of the CLI resume test.
+    let dir = tmp_dir("resume");
+    let full_a = csv_text(14, 7, 1, true);
+    let full_b = csv_text(14, 7, 2, false);
+    let cut_a = {
+        // Keep the first 8 bags (header + 8 * 20 rows).
+        let lines: Vec<&str> = full_a.lines().collect();
+        lines[..1 + 8 * 20].join("\n") + "\n"
+    };
+    let cut_b = {
+        let lines: Vec<&str> = full_b.lines().collect();
+        lines[..8 * 20].join("\n") + "\n"
+    };
+    let a = dir.join("a.csv");
+    let b = dir.join("b.csv");
+    let state = dir.join("state.snap");
+
+    let add_sources = |mux: &mut Mux| {
+        for (path, name) in [(&a, "a"), (&b, "b")] {
+            mux.add_source(Box::new(CsvFileSource::new(
+                path.to_string_lossy().into_owned(),
+                name,
+                false,
+            )));
+        }
+    };
+
+    // Session 1: the truncated inputs, ending in a checkpoint.
+    std::fs::write(&a, &cut_a).unwrap();
+    std::fs::write(&b, &cut_b).unwrap();
+    let mut mux = fresh_mux(
+        9,
+        MuxConfig {
+            state_path: Some(state.clone()),
+            ..Default::default()
+        },
+    );
+    add_sources(&mut mux);
+    let mut got = drive_to_done(&mut mux);
+    got.extend(mux.finish().unwrap().events);
+
+    // Session 2: the files have grown; resume from the checkpoint.
+    std::fs::write(&a, &full_a).unwrap();
+    std::fs::write(&b, &full_b).unwrap();
+    let bytes = std::fs::read(&state).unwrap();
+    let mut mux = Mux::restore(
+        &bytes,
+        engine_cfg(0), // master seed comes from the snapshot
+        MuxConfig {
+            state_path: Some(state.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    add_sources(&mut mux);
+    got.extend(drive_to_done(&mut mux));
+    got.extend(mux.finish().unwrap().events);
+
+    // Reference: one uninterrupted checkpointing session.
+    let ref_state = dir.join("ref.snap");
+    let mut mux = fresh_mux(
+        9,
+        MuxConfig {
+            state_path: Some(ref_state),
+            ..Default::default()
+        },
+    );
+    add_sources(&mut mux);
+    let mut expected = drive_to_done(&mut mux);
+    expected.extend(mux.finish().unwrap().events);
+
+    for name in ["a", "b"] {
+        let e: Vec<_> = points_of(&expected, name).cloned().collect();
+        let g: Vec<_> = points_of(&got, name).cloned().collect();
+        assert_eq!(e, g, "stream {name}: resume must lose nothing");
+    }
+}
+
+#[test]
+fn tcp_source_routes_interleaved_streams_and_quarantines_per_stream() {
+    let tcp = TcpSource::bind("127.0.0.1:0", false).unwrap();
+    let addr = tcp.local_addr().unwrap();
+    let mut mux = fresh_mux(3, MuxConfig::default());
+    mux.add_source(Box::new(tcp));
+
+    let writer = std::thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        for t in 0..9 {
+            for i in 0..15 {
+                // Interleave two healthy streams line by line.
+                writeln!(sock, "x,{t},{}", (i % 5) as f64 * 0.1).unwrap();
+                writeln!(sock, "y,{t},{}", (i % 4) as f64 * 0.2).unwrap();
+            }
+        }
+        // One poisoned stream: backwards time.
+        sock.write_all(b"z,5,1.0\nz,3,0.5\nz,6,1.0\n").unwrap();
+    });
+
+    let mut events = drive_to_done(&mut mux);
+    writer.join().unwrap();
+    let finish = mux.finish().unwrap();
+    events.extend(finish.events);
+
+    assert_eq!(points_of(&events, "x").count(), 5, "9 bags, window 5");
+    assert_eq!(points_of(&events, "y").count(), 5);
+    assert_eq!(finish.quarantined.len(), 1);
+    assert_eq!(finish.quarantined[0].stream.as_ref(), "z");
+}
+
+#[test]
+fn quarantine_survives_checkpoint_resume() {
+    // A quarantined stream must stay out of service after kill/resume,
+    // even if its producer (e.g. a reconnecting TCP client) speaks
+    // again — matching what an uninterrupted run would do.
+    use std::collections::HashMap;
+    use stream::ingest::StreamCursor;
+
+    let mut cursors = HashMap::new();
+    cursors.insert(
+        "z".to_string(),
+        StreamCursor {
+            completed_time: Some(5),
+            quarantined: true,
+            ..Default::default()
+        },
+    );
+
+    let mut tcp = TcpSource::bind("127.0.0.1:0", false).unwrap();
+    tcp.restore(&cursors);
+    let addr = tcp.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        for t in 6..10 {
+            writeln!(sock, "z,{t},0.5").unwrap();
+            writeln!(sock, "ok,{t},0.5").unwrap();
+        }
+    });
+    writer.join().unwrap();
+    let mut out = Vec::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while tcp.poll(&mut out).unwrap() != SourceStatus::Done {
+        assert!(std::time::Instant::now() < deadline, "tcp drain timed out");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    tcp.finish(&mut out).unwrap();
+    let z_bags = out
+        .iter()
+        .filter(|i| matches!(i, SourceItem::Bag { stream, .. } if stream.as_ref() == "z"))
+        .count();
+    let ok_bags = out
+        .iter()
+        .filter(|i| matches!(i, SourceItem::Bag { stream, .. } if stream.as_ref() == "ok"))
+        .count();
+    assert_eq!(z_bags, 0, "quarantined stream must stay dead: {out:?}");
+    assert_eq!(ok_bags, 4, "healthy stream unaffected");
+    // And the rewritten cursor keeps the flag.
+    let mut rewritten = Vec::new();
+    tcp.cursors(&mut rewritten);
+    let z = rewritten.iter().find(|(n, _)| n.as_ref() == "z");
+    assert!(z.is_none_or(|(_, c)| c.quarantined), "{rewritten:?}");
+}
+
+#[test]
+fn csv_source_poll_statuses_and_tailing() {
+    let dir = tmp_dir("tail");
+    let path = dir.join("grow.csv");
+    std::fs::write(&path, "t,x\n0,0.1\n0,0.2\n").unwrap();
+    let mut src = CsvFileSource::new(path.to_string_lossy().into_owned(), "s", true);
+    let mut out: Vec<SourceItem> = Vec::new();
+    // Tail mode: EOF reports progress, then Idle — never Done.
+    assert_eq!(src.poll(&mut out).unwrap(), SourceStatus::Active);
+    assert_eq!(src.poll(&mut out).unwrap(), SourceStatus::Idle);
+    assert!(out.is_empty(), "bag 0 still pending: {out:?}");
+    // The file grows; the next poll completes bag 0.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(f, "1,0.3").unwrap();
+    drop(f);
+    assert_eq!(src.poll(&mut out).unwrap(), SourceStatus::Active);
+    assert!(
+        matches!(&out[..], [SourceItem::Bag { time: 0, rows, .. }] if rows.len() == 2),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn quarantining_line_stays_outside_the_cursor() {
+    // The content address must stop just before a poison row, so a
+    // resumed session re-reads it, re-quarantines, and matches an
+    // uninterrupted run — instead of silently reviving the stream past
+    // the bad line.
+    let dir = tmp_dir("poison_cursor");
+    let path = dir.join("p.csv");
+    let good = "t,x\n0,0.1\n0,0.2\n1,0.1\n";
+    std::fs::write(&path, format!("{good}0,9.9\n1,0.3\n")).unwrap();
+    let mut src = CsvFileSource::new(path.to_string_lossy().into_owned(), "s", false);
+    let mut out: Vec<SourceItem> = Vec::new();
+    while src.poll(&mut out).unwrap() != SourceStatus::Done {}
+    assert!(
+        out.iter()
+            .any(|i| matches!(i, SourceItem::Quarantine { .. })),
+        "{out:?}"
+    );
+    let mut cursors = Vec::new();
+    src.cursors(&mut cursors);
+    assert_eq!(
+        cursors[0].1.consumed as usize,
+        good.len(),
+        "the backwards-time row must not be counted as consumed"
+    );
+}
+
+#[test]
+fn unterminated_trailing_line_is_not_consumed_by_cursor() {
+    let dir = tmp_dir("partial");
+    let path = dir.join("p.csv");
+    // The final line has no newline: the producer may still be writing.
+    std::fs::write(&path, "t,x\n0,0.1\n0,0.2\n1,0.").unwrap();
+    let mut src = CsvFileSource::new(path.to_string_lossy().into_owned(), "s", false);
+    let mut out: Vec<SourceItem> = Vec::new();
+    while src.poll(&mut out).unwrap() != SourceStatus::Done {}
+    let mut cursors = Vec::new();
+    src.cursors(&mut cursors);
+    let (_, cursor) = &cursors[0];
+    assert_eq!(
+        cursor.consumed as usize,
+        "t,x\n0,0.1\n0,0.2\n".len(),
+        "the fragment must not be counted"
+    );
+    assert_eq!(cursor.pending.as_ref().map(|(t, _)| *t), Some(0));
+}

@@ -1,0 +1,229 @@
+//! Property tests of ingestion determinism: however many sources are
+//! interleaved through the `Mux`, each stream's emitted points must be
+//! bit-identical to feeding that stream alone through a standalone
+//! `OnlineDetector` — and killing + resuming from a checkpoint at any
+//! batch boundary must be lossless.
+
+use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
+use proptest::prelude::*;
+use stream::ingest::{CsvFileSource, LineSource, Mux, MuxConfig};
+use stream::{derive_stream_seed, EngineConfig, OnlineDetector, StreamEngine, StreamEvent};
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn detector_cfg() -> DetectorConfig {
+    DetectorConfig {
+        tau: 3,
+        tau_prime: 2,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        bootstrap: BootstrapConfig {
+            replicates: 24,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn engine_cfg(seed: u64, workers: usize) -> EngineConfig {
+    EngineConfig {
+        detector: detector_cfg(),
+        seed,
+        workers,
+        queue_capacity: 256,
+        batch_size: 32,
+        event_capacity: 4096,
+    }
+}
+
+/// One generated stream: a name plus per-bag row counts and level
+/// offsets (rows are derived deterministically from those).
+#[derive(Debug, Clone)]
+struct GenStream {
+    name: String,
+    bags: Vec<(u8, i8)>, // (rows 3..20, level scaled by 0.5)
+}
+
+/// `n_range` streams of 6..14 bags each, named by index.
+fn streams_strategy(n_range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<GenStream>> {
+    prop::collection::vec(prop::collection::vec((3u8..20, -4i8..4), 6..14), n_range).prop_map(
+        |all| {
+            all.into_iter()
+                .enumerate()
+                .map(|(idx, bags)| GenStream {
+                    name: format!("s{idx}"),
+                    bags,
+                })
+                .collect()
+        },
+    )
+}
+
+fn rows_for(stream: &GenStream, t: usize) -> Vec<Vec<f64>> {
+    let (n, level) = stream.bags[t];
+    (0..n as usize)
+        .map(|i| vec![level as f64 * 0.5 + ((i * 5 + t) % 9) as f64 * 0.25])
+        .collect()
+}
+
+fn csv_for(stream: &GenStream, upto: usize) -> String {
+    let mut s = String::from("t,x\n");
+    for t in 0..upto {
+        for row in rows_for(stream, t) {
+            s.push_str(&format!("{t},{}\n", row[0]));
+        }
+    }
+    s
+}
+
+fn drive(mux: &mut Mux) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for _ in 0..10_000 {
+        let report = mux.tick().unwrap();
+        events.extend(mux.drain_events());
+        if report.checkpoint_due {
+            events.extend(mux.flush_events().unwrap());
+            mux.checkpoint_now().unwrap();
+        }
+        if report.done {
+            return events;
+        }
+        if report.idle {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    panic!("mux never drained");
+}
+
+fn points_by_stream(events: &[StreamEvent], name: &str) -> Vec<bagcpd::ScorePoint> {
+    events
+        .iter()
+        .filter(|e| e.stream() == name)
+        .filter_map(|e| e.point())
+        .cloned()
+        .collect()
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any set of streams interleaved through the Mux produces, per
+    /// stream, exactly the points a solo detector produces.
+    #[test]
+    fn mux_interleaving_matches_solo_detectors(
+        streams in streams_strategy(1..4),
+        master_seed in 0u64..1000,
+        workers in 1usize..4,
+    ) {
+        let engine = StreamEngine::new(engine_cfg(master_seed, workers)).unwrap();
+        let mut mux = Mux::new(engine, MuxConfig::default());
+        for s in &streams {
+            let text = csv_for(s, s.bags.len());
+            mux.add_source(Box::new(LineSource::new(
+                Cursor::new(text.into_bytes()),
+                format!("mem:{}", s.name),
+                s.name.clone(),
+            )));
+        }
+        let mut events = drive(&mut mux);
+        events.extend(mux.finish().unwrap().events);
+
+        let detector = Detector::new(detector_cfg()).unwrap();
+        for s in &streams {
+            let mut solo = OnlineDetector::new(
+                detector.clone(),
+                derive_stream_seed(master_seed, &s.name),
+            );
+            let mut expected = Vec::new();
+            for t in 0..s.bags.len() {
+                expected.extend(solo.push(Bag::new(rows_for(s, t))).unwrap());
+            }
+            prop_assert_eq!(
+                expected,
+                points_by_stream(&events, &s.name),
+                "stream {} diverged from its solo detector", s.name
+            );
+        }
+    }
+
+    /// Checkpoint at an arbitrary batch boundary, then resume over the
+    /// grown inputs: the combined per-stream points equal an
+    /// uninterrupted session's, bit for bit.
+    #[test]
+    fn checkpoint_resume_at_any_boundary_is_lossless(
+        streams in streams_strategy(1..3),
+        cut_frac in 0.1..0.95f64,
+        master_seed in 0u64..1000,
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "stream_ingest_prop_{}_{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("ck.snap");
+        let ref_state = dir.join("ref.snap");
+
+        let paths: Vec<std::path::PathBuf> = streams
+            .iter()
+            .map(|s| dir.join(format!("{}.csv", s.name)))
+            .collect();
+        let add_sources = |mux: &mut Mux| {
+            for (s, p) in streams.iter().zip(&paths) {
+                mux.add_source(Box::new(CsvFileSource::new(
+                    p.to_string_lossy().into_owned(),
+                    s.name.clone(),
+                    false,
+                )));
+            }
+        };
+        let state_cfg = |p: &std::path::Path| MuxConfig {
+            state_path: Some(p.to_path_buf()),
+            ..Default::default()
+        };
+
+        // Session 1: truncated inputs (an arbitrary per-stream batch
+        // boundary), ending in a checkpoint.
+        for (s, p) in streams.iter().zip(&paths) {
+            let cut = ((s.bags.len() as f64) * cut_frac).ceil() as usize;
+            std::fs::write(p, csv_for(s, cut.clamp(1, s.bags.len()))).unwrap();
+        }
+        let engine = StreamEngine::new(engine_cfg(master_seed, 2)).unwrap();
+        let mut mux = Mux::new(engine, state_cfg(&state));
+        add_sources(&mut mux);
+        let mut got = drive(&mut mux);
+        got.extend(mux.finish().unwrap().events);
+
+        // Session 2: the inputs have grown to full length; resume.
+        for (s, p) in streams.iter().zip(&paths) {
+            std::fs::write(p, csv_for(s, s.bags.len())).unwrap();
+        }
+        let bytes = std::fs::read(&state).unwrap();
+        let mut mux = Mux::restore(&bytes, engine_cfg(0, 2), state_cfg(&state)).unwrap();
+        add_sources(&mut mux);
+        got.extend(drive(&mut mux));
+        got.extend(mux.finish().unwrap().events);
+
+        // Reference: one uninterrupted checkpointing session.
+        for (s, p) in streams.iter().zip(&paths) {
+            std::fs::write(p, csv_for(s, s.bags.len())).unwrap();
+        }
+        let engine = StreamEngine::new(engine_cfg(master_seed, 2)).unwrap();
+        let mut mux = Mux::new(engine, state_cfg(&ref_state));
+        add_sources(&mut mux);
+        let mut expected = drive(&mut mux);
+        expected.extend(mux.finish().unwrap().events);
+
+        for s in &streams {
+            prop_assert_eq!(
+                points_by_stream(&expected, &s.name),
+                points_by_stream(&got, &s.name),
+                "stream {}: resume lost or corrupted data", s.name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

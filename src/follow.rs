@@ -1,91 +1,32 @@
-//! The CLI `follow --state` checkpoint format, built on the shared
-//! [`stream::snapshot`] primitives.
+//! The CLI `follow --state` checkpoint view, now a thin wrapper over
+//! the shared multi-source format in [`stream::ingest::checkpoint`].
 //!
-//! A checkpoint is a small header in front of a regular engine snapshot:
+//! A checkpoint file is a cursor table (one resume cursor per stream)
+//! in front of a regular engine snapshot. `follow` is simply the
+//! single-source special case: one cursor named [`FOLLOW_STREAM`] plus
+//! a one-stream engine snapshot. [`FollowCheckpoint`] keeps the
+//! original flat view of that case — and [`decode_checkpoint`] still
+//! reads both the current `BCPDFLW2` layout and the legacy single-
+//! source `BCPDFLW1` files written by earlier builds (migrated on
+//! load; the next checkpoint is written in the current format).
 //!
-//! ```text
-//! magic           8 bytes  b"BCPDFLW1"
-//! completed_time  i64      time of the last pushed bag (NO_TIME if none)
-//! pending_time    i64      time of the held-back bag (NO_TIME if none)
-//! consumed        u64      input bytes consumed (0 for stdin sessions)
-//! prefix_hash     u64      FNV-1a of those consumed bytes
-//! dim             u32      pending-row dimension
-//! count           u32      pending-row count, then count * dim f64s
-//! snapshot        …        stream::snapshot engine checkpoint
-//! ```
-//!
-//! Historically this header was hand-parsed in `main.rs` with its own
-//! (divergent) error handling; it now reads through
-//! [`stream::snapshot::Reader`] and writes through
-//! [`stream::snapshot::Writer`], inheriting the snapshot module's
-//! truncation-safe, allocation-guarded discipline. Two classes of bad
-//! input that used to be misreported are now explicit:
-//!
-//! - a file shorter than the header is [`StateError::Truncated`], not
-//!   "not a follow checkpoint" — operators should not mistake a torn
-//!   write for the wrong file;
-//! - pending rows without a pending time (`count > 0` with
-//!   `pending_time == NO_TIME`) are [`StateError::Corrupt`] — the old
-//!   loader silently dropped the rows, losing data on resume.
+//! The error taxonomy is unchanged: short files are
+//! [`StateError::Truncated`] (never "not a follow checkpoint"), and
+//! pending rows without a pending time are refused rather than
+//! silently dropped.
 
 use bagcpd::DetectorConfig;
-use stream::snapshot::{decode_engine, encode_engine, Reader, SnapshotError, Writer};
+use stream::ingest::checkpoint as ck;
+use stream::ingest::StreamCursor;
+use stream::snapshot::{decode_engine, encode_engine};
 use stream::OnlineState;
 
-/// Magic bytes of the CLI checkpoint wrapper (header + engine snapshot).
-pub const STATE_MAGIC: &[u8; 8] = b"BCPDFLW1";
+pub use stream::ingest::checkpoint::{StateError, FOLLOW_STREAM, NO_TIME, STATE_MAGIC};
 
-/// Sentinel for "no time" in the checkpoint header.
-pub const NO_TIME: i64 = i64::MIN;
-
-/// Name under which the follow stream is stored in the embedded engine
-/// snapshot.
-pub const FOLLOW_STREAM: &str = "cli-follow";
-
-/// Checkpoint parse/validation failures, with truncation, wrong file
-/// type, and structural corruption kept distinct.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StateError {
-    /// The file ended before the checkpoint structure did — a short or
-    /// torn write, *not* a foreign file.
-    Truncated,
-    /// The magic bytes are wrong: this is not a follow checkpoint.
-    BadMagic,
-    /// Structurally invalid header content (reason attached).
-    Corrupt(String),
-    /// The embedded engine snapshot failed to parse or validate.
-    Snapshot(SnapshotError),
-}
-
-impl std::fmt::Display for StateError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StateError::Truncated => {
-                write!(f, "truncated checkpoint (file ends before its structure)")
-            }
-            StateError::BadMagic => write!(f, "not a bags-cpd follow checkpoint"),
-            StateError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
-            StateError::Snapshot(e) => write!(f, "checkpoint snapshot: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for StateError {}
-
-impl From<SnapshotError> for StateError {
-    fn from(e: SnapshotError) -> Self {
-        match e {
-            // A truncated embedded snapshot is still a truncated file.
-            SnapshotError::Truncated => StateError::Truncated,
-            other => StateError::Snapshot(other),
-        }
-    }
-}
-
-/// Everything a `--state` checkpoint restores: the follow stream's
-/// detector state, the time of the last completed (pushed) bag, the
-/// rows of the bag still accumulating at EOF, and the content address
-/// (consumed byte count + hash) of the input prefix.
+/// Everything a single-source `--state` checkpoint restores: the follow
+/// stream's detector state, the time of the last completed (pushed)
+/// bag, the rows of the bag still accumulating at EOF, and the content
+/// address (consumed byte count + hash) of the input prefix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FollowCheckpoint {
     /// The session's master seed (fixed at the stream's first session).
@@ -103,86 +44,59 @@ pub struct FollowCheckpoint {
     pub state: OnlineState,
 }
 
-/// Serialize a checkpoint (header + embedded engine snapshot).
-pub fn encode_checkpoint(cfg: &DetectorConfig, ck: &FollowCheckpoint) -> Vec<u8> {
-    let mut w = Writer::with_capacity(256);
-    w.bytes(STATE_MAGIC);
-    w.i64(ck.completed_time.unwrap_or(NO_TIME));
-    match &ck.pending {
-        Some((t, rows)) if !rows.is_empty() => {
-            w.i64(*t);
-            w.u64(ck.consumed);
-            w.u64(ck.prefix_hash);
-            w.u32(rows[0].len() as u32);
-            w.u32(rows.len() as u32);
-            for row in rows {
-                for &x in row {
-                    w.f64(x);
-                }
-            }
-        }
-        _ => {
-            w.i64(NO_TIME);
-            w.u64(ck.consumed);
-            w.u64(ck.prefix_hash);
-            w.u32(0);
-            w.u32(0);
-        }
-    }
-    w.bytes(&encode_engine(
+/// The cursor + engine-snapshot pair behind both framings of a
+/// single-source checkpoint.
+fn cursor_and_snapshot(
+    cfg: &DetectorConfig,
+    checkpoint: &FollowCheckpoint,
+) -> (StreamCursor, Vec<u8>) {
+    let cursor = StreamCursor {
+        completed_time: checkpoint.completed_time,
+        pending: checkpoint
+            .pending
+            .clone()
+            .filter(|(_, rows)| !rows.is_empty()),
+        consumed: checkpoint.consumed,
+        prefix_hash: checkpoint.prefix_hash,
+        quarantined: false,
+    };
+    let snapshot = encode_engine(
         cfg,
-        ck.master_seed,
+        checkpoint.master_seed,
         &[FOLLOW_STREAM],
-        vec![(0, ck.state.clone())],
-    ));
-    w.into_bytes()
+        vec![(0, checkpoint.state.clone())],
+    );
+    (cursor, snapshot)
+}
+
+/// Serialize a single-source checkpoint (cursor table of one + embedded
+/// engine snapshot, current format).
+pub fn encode_checkpoint(cfg: &DetectorConfig, checkpoint: &FollowCheckpoint) -> Vec<u8> {
+    let (cursor, snapshot) = cursor_and_snapshot(cfg, checkpoint);
+    ck::encode_checkpoint(&[(FOLLOW_STREAM, cursor)], &snapshot)
 }
 
 /// Parse and validate a checkpoint against the session's detector
-/// configuration.
+/// configuration, accepting both the current and the legacy layout.
 ///
 /// # Errors
 /// [`StateError::Truncated`] for a short file, [`StateError::BadMagic`]
-/// for a foreign file, [`StateError::Corrupt`] for inconsistent header
-/// content (including pending rows without a pending time, which the
-/// old loader silently discarded), or [`StateError::Snapshot`] for an
+/// for a foreign file, [`StateError::Corrupt`] for inconsistent content
+/// (including pending rows without a pending time, or a checkpoint with
+/// no [`FOLLOW_STREAM`] cursor), or [`StateError::Snapshot`] for an
 /// invalid embedded engine snapshot.
 pub fn decode_checkpoint(
     bytes: &[u8],
     cfg: &DetectorConfig,
 ) -> Result<FollowCheckpoint, StateError> {
-    let mut r = Reader::new(bytes);
-    if r.take(8).map_err(|_| StateError::Truncated)? != STATE_MAGIC {
-        return Err(StateError::BadMagic);
-    }
-    let completed_time = r.i64()?;
-    let completed_time = (completed_time != NO_TIME).then_some(completed_time);
-    let pending_time = r.i64()?;
-    let consumed = r.u64()?;
-    let prefix_hash = r.u64()?;
-    let dim = r.u32()? as usize;
-    let count = r.u32()? as usize;
-    if pending_time == NO_TIME && count > 0 {
-        return Err(StateError::Corrupt(format!(
-            "{count} pending rows but no pending time — refusing to drop buffered data"
-        )));
-    }
-    if pending_time != NO_TIME && count == 0 {
-        return Err(StateError::Corrupt("a pending time with no rows".into()));
-    }
-    if count > 0 && dim == 0 {
-        return Err(StateError::Corrupt("pending rows of dimension 0".into()));
-    }
-    let mut rows = Vec::with_capacity(r.bounded_capacity(count, dim.saturating_mul(8)));
-    for _ in 0..count {
-        let mut row = Vec::with_capacity(r.bounded_capacity(dim, 8));
-        for _ in 0..dim {
-            row.push(r.f64()?);
-        }
-        rows.push(row);
-    }
-    let pending = (pending_time != NO_TIME).then_some((pending_time, rows));
-    let snap = decode_engine(r.rest(), cfg)?;
+    let (cursors, snapshot) = ck::decode_checkpoint(bytes)?;
+    let cursor = cursors
+        .into_iter()
+        .find_map(|(name, c)| (name == FOLLOW_STREAM).then_some(c))
+        .ok_or_else(|| {
+            StateError::Corrupt(format!("no '{FOLLOW_STREAM}' cursor in the checkpoint"))
+        })?;
+    let snap = decode_engine(snapshot, cfg)?;
     let id = snap
         .names
         .iter()
@@ -200,10 +114,18 @@ pub fn decode_checkpoint(
         })?;
     Ok(FollowCheckpoint {
         master_seed: snap.master_seed,
-        completed_time,
-        pending,
-        consumed,
-        prefix_hash,
+        completed_time: cursor.completed_time,
+        pending: cursor.pending,
+        consumed: cursor.consumed,
+        prefix_hash: cursor.prefix_hash,
         state,
     })
+}
+
+/// Serialize a checkpoint in the legacy `BCPDFLW1` single-source
+/// framing; test support only (nothing in production writes it).
+#[doc(hidden)]
+pub fn encode_checkpoint_v1(cfg: &DetectorConfig, checkpoint: &FollowCheckpoint) -> Vec<u8> {
+    let (cursor, snapshot) = cursor_and_snapshot(cfg, checkpoint);
+    ck::encode_checkpoint_v1(&cursor, &snapshot)
 }

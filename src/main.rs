@@ -30,41 +30,58 @@
 //! bags-cpd follow data.csv --state checkpoint.snap
 //! ```
 //!
-//! `follow` tails a file (or stdin with `-`) *incrementally*: rows with
-//! the same time value must be contiguous and times strictly
-//! increasing; each time the time column advances, the completed bag is
-//! pushed into an online detector (`stream::OnlineDetector`) and any
-//! newly completed inspection point is printed immediately — same
-//! columns as batch mode, same numbers (the online path is bit-identical
-//! to batch analysis), with a latency of τ' bags. The reported `t` is
-//! the 0-based bag ordinal, as in batch mode.
+//! `follow` tails one file (or stdin with `-`) *incrementally*: rows
+//! with the same time value must be contiguous and times nondecreasing;
+//! each time the time column advances, the completed bag is pushed into
+//! the online engine and any newly completed inspection point is
+//! printed immediately — same columns as batch mode, same numbers (the
+//! online path is bit-identical to batch analysis), with a latency of
+//! τ' bags. The reported `t` is the 0-based bag ordinal, as in batch
+//! mode.
 //!
-//! With `--state <file>`, the detector state is restored from that file
-//! if it exists and checkpointed back to it on EOF (a small header plus
-//! the binary snapshot format of `stream::snapshot`), so a follow
-//! session can be stopped and resumed without losing window context.
-//! Because EOF cannot prove the producer finished writing the last bag,
-//! a checkpointing session holds the trailing bag back as *pending*
-//! rows inside the checkpoint instead of pushing it; the next session
-//! completes it when the time column advances. The checkpoint records
-//! the consumed byte count and a hash of those bytes, so resume is
-//! content-addressed: re-feeding the *same, grown (append-only)* file
-//! continues exactly at the recorded offset (nothing is re-parsed),
-//! while a rotated or rewritten input is detected by the hash and read
-//! from the top — already-pushed times are skipped and rows for the
-//! pending time are treated as its continuation. The checkpoint is
-//! written atomically (temp file + fsync + rename), so an interrupted
-//! write never destroys the previous checkpoint.
+//! With `--state <file>`, the session checkpoints: the detector state
+//! plus a resume cursor (consumed byte count + content hash + held-back
+//! pending rows) is written atomically (temp file + fsync + rename) at
+//! EOF — and, with `--checkpoint-bags`/`--checkpoint-ticks`, periodically
+//! while running — so a session can be stopped (or killed) and resumed
+//! without losing window context. Resume is content-addressed: the
+//! same, grown (append-only) file continues exactly at the recorded
+//! offset; a rotated or rewritten input is detected by the hash and
+//! read from the top with already-pushed times skipped. `--state` files
+//! written by the previous single-source format are still read.
+//!
+//! Since this mode is a thin shim over the multi-source ingestion layer
+//! (`stream::ingest`), all of that behavior is shared with `serve`.
+//!
+//! # Serve mode
+//!
+//! ```sh
+//! bags-cpd serve --dir sensors/ --listen 127.0.0.1:7171 \
+//!     --state fleet.snap --checkpoint-bags 256
+//! ```
+//!
+//! `serve` is the multi-tenant front-end: any mix of `--csv` files (one
+//! stream per file, named by file stem), a `--dir` of CSVs (one stream
+//! per file, re-scanned for new files while running), and a `--listen`
+//! TCP socket speaking a `stream,t,x1,…` line protocol (many clients,
+//! many streams, non-blocking). Output rows are prefixed with the
+//! stream name. A malformed row or a backwards timestamp *quarantines
+//! that stream* (reported on stderr) instead of tearing the process
+//! down. Without `--watch`, the process drains every source and exits;
+//! with it, it keeps watching files, directory, and socket until
+//! killed. Periodic checkpoints cover every stream and every source
+//! cursor, so `kill -9` loses nothing past the last checkpoint.
 
-use bags_cpd::follow::{decode_checkpoint, encode_checkpoint, FollowCheckpoint};
-use bags_cpd::stream::hash::Fnv1a;
-use bags_cpd::stream::{EmdScratch, OnlineDetector};
+use bags_cpd::follow::{decode_checkpoint, FollowCheckpoint, FOLLOW_STREAM};
+use bags_cpd::stream::ingest::{
+    parse_row, CsvFileSource, DirSource, Mux, MuxConfig, Source, TcpSource, ThreadedLineSource,
+};
+use bags_cpd::stream::{CheckpointPolicy, EngineConfig, StreamEngine, StreamEvent};
 use bags_cpd::{
-    Bag, BootstrapConfig, Detector, DetectorConfig, EvalScratch, ScoreKind, SignatureMethod,
-    Weighting,
+    Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
 };
 use std::collections::BTreeMap;
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::process::ExitCode;
 
 /// Which front-end drives the detector.
@@ -72,8 +89,10 @@ use std::process::ExitCode;
 enum Mode {
     /// Read everything, analyze once.
     Batch,
-    /// Tail the input, emit points as bags complete.
+    /// Tail one input, emit points as bags complete.
     Follow,
+    /// Multi-source ingestion: files, directory, TCP.
+    Serve,
 }
 
 /// Parsed command-line options.
@@ -93,17 +112,33 @@ struct Options {
     seed_explicit: bool,
     output: Option<String>,
     state: Option<String>,
+    /// serve: explicit CSV files (stream named by file stem).
+    csvs: Vec<String>,
+    /// serve: directory of CSVs (one stream per file).
+    dir: Option<String>,
+    /// serve: TCP listen address for the line protocol.
+    listen: Option<String>,
+    /// serve: keep watching sources instead of draining and exiting.
+    watch: bool,
+    /// Periodic checkpoint triggers (follow + serve, with --state).
+    checkpoint_bags: Option<u64>,
+    checkpoint_ticks: Option<u64>,
 }
 
 const USAGE: &str = "\
 usage: bags-cpd <input.csv> [options]
        bags-cpd follow <input.csv|-> [options]
+       bags-cpd serve [--csv <f.csv>]... [--dir <d>] [--listen <addr>] [options]
 
 modes:
   <input.csv>            batch: analyze the whole file at once
   follow <input.csv|->   online: tail the file (or stdin), print each
                          inspection point as soon as its test window
                          completes
+  serve                  online, multi-source: ingest many CSV files, a
+                         directory of CSVs (one stream per file), and/or
+                         a TCP line protocol ('stream,t,x1,...') into
+                         one engine; output rows carry the stream name
 
 options:
   --tau <n>              reference window length (default 5)
@@ -117,8 +152,17 @@ options:
   --replicates <T>       bootstrap replicates (default 200)
   --seed <s>             RNG seed (default 42)
   --output <file.csv>    write the score series as CSV (batch mode)
-  --state <file>         follow mode: restore checkpoint if present,
-                         save checkpoint on EOF
+  --state <file>         follow/serve: restore checkpoint if present,
+                         save checkpoints while running and at exit
+  --checkpoint-bags <n>  with --state: checkpoint every n bags
+  --checkpoint-ticks <n> with --state: checkpoint every n poll ticks
+  --csv <file.csv>       serve: add a CSV file source (repeatable);
+                         the stream is named after the file stem
+  --dir <dir>            serve: add every *.csv in dir (re-scanned, so
+                         files appearing later join the fleet)
+  --listen <addr>        serve: accept the TCP line protocol on addr
+  --watch                serve: keep running at EOF (tail files and the
+                         socket) instead of draining and exiting
   --help                 show this message
 ";
 
@@ -137,6 +181,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed_explicit: false,
         output: None,
         state: None,
+        csvs: Vec::new(),
+        dir: None,
+        listen: None,
+        watch: false,
+        checkpoint_bags: None,
+        checkpoint_ticks: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -196,18 +246,67 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--output" => opts.output = Some(take("--output")?),
             "--state" => opts.state = Some(take("--state")?),
+            "--csv" => opts.csvs.push(take("--csv")?),
+            "--dir" => opts.dir = Some(take("--dir")?),
+            "--listen" => opts.listen = Some(take("--listen")?),
+            "--watch" => opts.watch = true,
+            "--checkpoint-bags" => {
+                opts.checkpoint_bags = Some(
+                    take("--checkpoint-bags")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-bags: {e}"))?,
+                );
+            }
+            "--checkpoint-ticks" => {
+                opts.checkpoint_ticks = Some(
+                    take("--checkpoint-ticks")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-ticks: {e}"))?,
+                );
+            }
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown option {other}\n\n{USAGE}"))
             }
             other => positional.push(other.to_string()),
         }
     }
-    if positional.first().map(String::as_str) == Some("follow") {
-        opts.mode = Mode::Follow;
-        positional.remove(0);
-        if positional.is_empty() {
-            positional.push("-".to_string()); // follow defaults to stdin
+    match positional.first().map(String::as_str) {
+        Some("follow") => {
+            opts.mode = Mode::Follow;
+            positional.remove(0);
+            if positional.is_empty() {
+                positional.push("-".to_string()); // follow defaults to stdin
+            }
         }
+        Some("serve") => {
+            opts.mode = Mode::Serve;
+            positional.remove(0);
+        }
+        _ => {}
+    }
+    if opts.mode != Mode::Serve
+        && (!opts.csvs.is_empty() || opts.dir.is_some() || opts.listen.is_some() || opts.watch)
+    {
+        return Err("--csv/--dir/--listen/--watch are serve-mode options".to_string());
+    }
+    if (opts.checkpoint_bags.is_some() || opts.checkpoint_ticks.is_some()) && opts.state.is_none() {
+        return Err("--checkpoint-bags/--checkpoint-ticks need --state".to_string());
+    }
+    if opts.mode == Mode::Serve {
+        if !positional.is_empty() {
+            return Err(format!(
+                "serve mode takes sources via --csv/--dir/--listen\n\n{USAGE}"
+            ));
+        }
+        if opts.csvs.is_empty() && opts.dir.is_none() && opts.listen.is_none() {
+            return Err(format!(
+                "serve mode needs at least one source (--csv, --dir, or --listen)\n\n{USAGE}"
+            ));
+        }
+        if opts.output.is_some() {
+            return Err("--output is only meaningful in batch mode".to_string());
+        }
+        return Ok(opts);
     }
     match positional.len() {
         0 => Err(format!("missing input file\n\n{USAGE}")),
@@ -225,8 +324,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
 }
 
-fn build_detector(opts: &Options) -> Result<Detector, String> {
-    Detector::new(DetectorConfig {
+fn detector_config(opts: &Options) -> DetectorConfig {
+    DetectorConfig {
         tau: opts.tau,
         tau_prime: opts.tau_prime,
         score: opts.score,
@@ -238,44 +337,16 @@ fn build_detector(opts: &Options) -> Result<Detector, String> {
             ..Default::default()
         },
         ..DetectorConfig::default()
-    })
-    .map_err(|e| e.to_string())
-}
-
-/// Parse one CSV row into `(t, coords)`. With `allow_header`, an
-/// unparseable time column is treated as a (skipped) header line —
-/// only ever correct for the true first line of an input, not for the
-/// first line read after a mid-file resume.
-fn parse_row(
-    line: &str,
-    lineno: usize,
-    origin: &str,
-    allow_header: bool,
-) -> Result<Option<(i64, Vec<f64>)>, String> {
-    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-    if fields.len() < 2 {
-        return Err(format!(
-            "{origin}:{}: need time plus >= 1 coordinate",
-            lineno + 1
-        ));
     }
-    let t: i64 = match fields[0].parse() {
-        Ok(t) => t,
-        Err(_) if allow_header => return Ok(None),
-        Err(e) => {
-            return Err(format!(
-                "{origin}:{}: bad time '{}': {e}",
-                lineno + 1,
-                fields[0]
-            ))
-        }
-    };
-    let coords: Result<Vec<f64>, _> = fields[1..].iter().map(|f| f.parse()).collect();
-    let coords = coords.map_err(|e| format!("{origin}:{}: bad coordinate: {e}", lineno + 1))?;
-    Ok(Some((t, coords)))
 }
 
-/// Parse the bag CSV: integer time column + coordinates.
+fn build_detector(opts: &Options) -> Result<Detector, String> {
+    Detector::new(detector_config(opts)).map_err(|e| e.to_string())
+}
+
+/// Parse the bag CSV: integer time column + coordinates, through the
+/// one authoritative row parser in `stream::ingest` (which also
+/// rejects non-finite coordinates — previously a latent panic here).
 fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut by_time: BTreeMap<i64, Vec<Vec<f64>>> = BTreeMap::new();
@@ -285,7 +356,9 @@ fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
         if line.is_empty() {
             continue;
         }
-        let Some((t, coords)) = parse_row(line, lineno, path, lineno == 0)? else {
+        let Some((t, coords)) =
+            parse_row(line, lineno, path, lineno == 0).map_err(|e| e.to_string())?
+        else {
             continue;
         };
         match dim {
@@ -357,349 +430,297 @@ fn run_batch(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// What a `--state` checkpoint restores: the detector mid-stream, the
-/// time of the last *completed* (pushed) bag, and the rows of the bag
-/// that was still accumulating at EOF.
-///
-/// The pending bag is held back rather than pushed because EOF cannot
-/// distinguish "this bag is complete" from "the producer was cut off
-/// mid-bag" — pushing a partial bag and then skipping its remaining
-/// rows on resume would silently corrupt the stream. Whether a resume
-/// input re-feeds already-consumed data is decided by content
-/// addressing (`consumed` bytes + their hash), never by comparing row
-/// values — on the same-file path, repeated data values can never be
-/// misclassified. A rotated input is assumed to carry only post-cut
-/// data (the meaning of rotation); if it demonstrably re-presents
-/// history (rows of already-pushed times appear), the pending bag is
-/// rebuilt from the input alone instead of appended to.
-struct FollowResume {
-    online: OnlineDetector,
-    /// The session's master seed: the checkpoint's original seed on
-    /// resume (a changed `--seed` cannot rewrite history mid-stream),
-    /// `--seed` on a fresh start.
-    master_seed: u64,
-    /// On rotated input, skip rows with `t <=` this.
-    completed_time: Option<i64>,
-    /// `(time, rows)` of the bag accumulating at checkpoint time.
-    pending: Option<(i64, Vec<Vec<f64>>)>,
-    /// Input bytes consumed so far (0 for stdin sessions).
-    consumed: u64,
-    /// FNV-1a hash of those consumed bytes.
-    prefix_hash: u64,
+/// Pool shape shared by the online modes.
+fn engine_config(opts: &Options, workers: usize) -> EngineConfig {
+    EngineConfig {
+        detector: detector_config(opts),
+        seed: opts.seed,
+        workers,
+        queue_capacity: 1024,
+        batch_size: 256,
+        event_capacity: 1 << 16,
+    }
 }
 
-fn load_or_new_online(opts: &Options, detector: &Detector) -> Result<FollowResume, String> {
+fn mux_config(opts: &Options, strict: bool) -> MuxConfig {
+    MuxConfig {
+        policy: CheckpointPolicy {
+            every_bags: opts.checkpoint_bags,
+            every_ticks: opts.checkpoint_ticks,
+        },
+        state_path: opts.state.clone().map(std::path::PathBuf::from),
+        strict,
+    }
+}
+
+/// Build the mux: restore from the state file when one exists (legacy
+/// single-source checkpoints included), otherwise start fresh.
+fn load_mux(
+    opts: &Options,
+    engine_cfg: EngineConfig,
+    strict: bool,
+) -> Result<(Mux, Option<FollowCheckpoint>), String> {
     if let Some(path) = &opts.state {
         if std::path::Path::new(path).exists() {
             let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            let FollowCheckpoint {
-                master_seed,
-                completed_time,
-                pending,
-                consumed,
-                prefix_hash,
-                state,
-            } = decode_checkpoint(&bytes, detector.config()).map_err(|e| format!("{path}: {e}"))?;
-            if opts.seed_explicit && master_seed != opts.seed {
-                eprintln!(
-                    "warning: --seed {} ignored; the checkpoint continues under seed \
-                     {master_seed} (a stream's seed is fixed at its first session)",
-                    opts.seed
-                );
-            }
-            let online = OnlineDetector::from_state(detector.clone(), state)
+            let mux = Mux::restore(&bytes, engine_cfg, mux_config(opts, strict))
                 .map_err(|e| format!("{path}: {e}"))?;
-            eprintln!(
-                "resumed from {path}: {} bags seen, {} points emitted, {consumed} input bytes \
-                 consumed{}",
-                online.bags_seen(),
-                online.points_emitted(),
-                pending.as_ref().map_or(String::new(), |(t, rows)| format!(
-                    ", {} buffered rows for t = {t}",
-                    rows.len()
-                ))
-            );
-            return Ok(FollowResume {
-                online,
-                master_seed,
-                completed_time,
-                pending,
-                consumed,
-                prefix_hash,
-            });
+            // The single-source view, for resume diagnostics and the
+            // seed-conflict warning (None for a serve fleet checkpoint
+            // without a follow stream — nothing to warn about then).
+            let view = decode_checkpoint(&bytes, &detector_config(opts)).ok();
+            return Ok((mux, view));
         }
     }
-    Ok(FollowResume {
-        online: OnlineDetector::new(detector.clone(), opts.seed),
-        master_seed: opts.seed,
-        completed_time: None,
-        pending: None,
-        consumed: 0,
-        prefix_hash: 0,
-    })
+    let engine = StreamEngine::new(engine_cfg).map_err(|e| e.to_string())?;
+    Ok((Mux::new(engine, mux_config(opts, strict)), None))
 }
 
-/// Atomically persist the checkpoint: write a sibling temp file, then
-/// rename over the target, so an interrupted write never truncates the
-/// previous checkpoint.
-fn save_state(
-    path: &str,
-    detector: &Detector,
-    checkpoint: &FollowCheckpoint,
-) -> Result<usize, String> {
-    let bytes = encode_checkpoint(detector.config(), checkpoint);
-    let tmp = format!("{path}.tmp");
-    {
-        let mut f = std::fs::File::create(&tmp).map_err(|e| format!("{tmp}: {e}"))?;
-        f.write_all(&bytes).map_err(|e| format!("{tmp}: {e}"))?;
-        // Durability, not just process-crash atomicity: the data must be
-        // on disk before the rename commits, or a power loss can leave a
-        // zero-length checkpoint behind the new name.
-        f.sync_all().map_err(|e| format!("{tmp}: {e}"))?;
-    }
-    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))?;
-    // Best-effort directory fsync so the rename itself is durable.
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        let dir = if dir.as_os_str().is_empty() {
-            std::path::Path::new(".")
-        } else {
-            dir
-        };
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(bytes.len())
-}
-
-fn run_follow(opts: &Options) -> Result<(), String> {
-    let detector = build_detector(opts)?;
-    let FollowResume {
-        mut online,
-        master_seed,
-        completed_time,
-        pending,
-        consumed: resume_consumed,
-        prefix_hash: resume_hash,
-    } = load_or_new_online(opts, &detector)?;
-
-    let is_file = opts.input != "-";
-    let stdin = std::io::stdin();
-    let mut reader: Box<dyn BufRead> = if is_file {
-        let f = std::fs::File::open(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
-        Box::new(std::io::BufReader::new(f))
-    } else {
-        Box::new(stdin.lock())
-    };
-    let origin: &str = if is_file { &opts.input } else { "<stdin>" };
-
-    // Content-addressed resume: if the input begins with exactly the
-    // bytes consumed last session, continue right after them (nothing
-    // is re-parsed, and repeated data values cannot confuse anything).
-    // Otherwise the input was rotated or rewritten: read it from the
-    // top, skipping already-pushed times.
-    let mut hasher = Fnv1a::new();
-    let mut same_file = false;
-    let mut prefix_lines = 0usize;
-    if is_file && resume_consumed > 0 {
-        use std::io::Read as _;
-        let mut left = resume_consumed;
-        let mut buf = [0u8; 8192];
-        while left > 0 {
-            let want = left.min(buf.len() as u64) as usize;
-            let n = reader
-                .read(&mut buf[..want])
-                .map_err(|e| format!("{origin}: {e}"))?;
-            if n == 0 {
-                break;
+/// Print one completed point (serve mode prefixes the stream name).
+/// With `strict`, a detector-side stream error (dimension mismatch,
+/// EMD failure) aborts the session — follow mode's historical
+/// fail-fast contract; serve demotes it to a warning and keeps the
+/// fleet running.
+fn print_event(
+    out: &mut impl Write,
+    event: &StreamEvent,
+    with_stream: bool,
+    strict: bool,
+) -> Result<u64, String> {
+    match event {
+        StreamEvent::Point { stream, point } => {
+            if with_stream {
+                write!(out, "{stream},").map_err(|e| e.to_string())?;
             }
-            hasher.update(&buf[..n]);
-            prefix_lines += buf[..n].iter().filter(|&&b| b == b'\n').count();
-            left -= n as u64;
-        }
-        same_file = left == 0 && hasher.finish() == resume_hash;
-        if !same_file {
-            // Rotated/rewritten: restart from byte 0 with a fresh hash.
-            let f = std::fs::File::open(&opts.input).map_err(|e| format!("{}: {e}", opts.input))?;
-            reader = Box::new(std::io::BufReader::new(f));
-            hasher = Fnv1a::new();
-            eprintln!(
-                "note: {origin} is not the checkpointed input (rotated or rewritten?); reading \
-                 from the top — already-pushed times are skipped and rows for the pending bag \
-                 are treated as its continuation"
-            );
-        }
-    }
-    let mut consumed_total: u64 = if same_file { resume_consumed } else { 0 };
-
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    writeln!(out, "t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
-    out.flush().map_err(|e| e.to_string())?;
-
-    // Session-lived scratches: every push of the tail loop reuses one
-    // set of solver/bootstrap buffers instead of re-growing them.
-    let mut eval_scratch = EvalScratch::new();
-    let mut emd_scratch = EmdScratch::new();
-    let mut emit = |online: &mut OnlineDetector, rows: Vec<Vec<f64>>| -> Result<(), String> {
-        let point = online
-            .push_with(Bag::new(rows), &mut eval_scratch, &mut emd_scratch)
-            .map_err(|e| e.to_string())?;
-        if let Some(p) = point {
             writeln!(
                 out,
                 "{},{:.6},{:.6},{:.6},{}",
-                p.t,
-                p.score,
-                p.ci.lo,
-                p.ci.up,
-                u8::from(p.alert)
+                point.t,
+                point.score,
+                point.ci.lo,
+                point.ci.up,
+                u8::from(point.alert)
             )
             .map_err(|e| e.to_string())?;
             out.flush().map_err(|e| e.to_string())?;
-            if p.alert {
-                eprintln!("ALERT at inspection point {}", p.t);
+            if point.alert {
+                if with_stream {
+                    eprintln!("ALERT on {stream} at inspection point {}", point.t);
+                } else {
+                    eprintln!("ALERT at inspection point {}", point.t);
+                }
             }
+            Ok(1)
         }
-        Ok(())
-    };
-
-    let (mut cur_time, mut cur_rows) = match pending {
-        Some((t, rows)) => (Some(t), rows),
-        None => (None, Vec::new()),
-    };
-    let mut pending_buffered = cur_rows.len();
-    let mut saw_old_rows = false;
-    let mut dim: Option<usize> = cur_rows.first().map(Vec::len);
-    let mut last_completed = completed_time;
-    // Line numbers in diagnostics are absolute file lines: a same-file
-    // resume starts counting after the consumed prefix.
-    let mut lineno = if same_file { prefix_lines } else { 0 };
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("{origin}: {e}"))?;
-        if n == 0 {
-            break;
-        }
-        // A checkpointing file session holds back a final line with no
-        // newline — the producer may still be writing it; it is neither
-        // parsed nor counted as consumed, so the next session re-reads
-        // it. (Stdin close and one-shot runs mean the data is final.)
-        if !line.ends_with('\n') && is_file && opts.state.is_some() {
-            break;
-        }
-        hasher.update(line.as_bytes());
-        consumed_total += n as u64;
-        let row_lineno = lineno;
-        lineno += 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        // A same-file resume starts mid-file: its first line is data,
-        // and a corrupt one must error, not pass as a "header".
-        let Some((t, coords)) =
-            parse_row(trimmed, row_lineno, origin, row_lineno == 0 && !same_file)?
-        else {
-            continue;
-        };
-        // Rotated input may re-present history: drop rows of bags that
-        // were already pushed. (In same-file mode the offset skipped
-        // them.)
-        if !same_file && completed_time.is_some_and(|last| t <= last) {
-            saw_old_rows = true;
-            continue;
-        }
-        // A true rotation carries only post-cut data, so pending-time
-        // rows are a continuation of the buffered bag. But an input
-        // that re-presented already-pushed times re-presents the
-        // pending rows too — appending would double-count them, so
-        // rebuild the pending bag from this input alone.
-        if !same_file && saw_old_rows && pending_buffered > 0 && Some(t) == cur_time {
-            eprintln!(
-                "note: {origin} re-presents already-processed times; rebuilding the pending bag \
-                 for t = {t} from this input instead of appending to the buffered rows"
-            );
-            cur_rows.clear();
-            pending_buffered = 0;
-        }
-        match dim {
-            None => dim = Some(coords.len()),
-            Some(d) if d != coords.len() => {
-                return Err(format!(
-                    "{origin}:{}: dimension {} != {d}",
-                    row_lineno + 1,
-                    coords.len()
-                ));
+        StreamEvent::Error { stream, message } => {
+            if strict {
+                return Err(message.clone());
             }
-            _ => {}
-        }
-        match cur_time {
-            Some(prev) if t == prev => cur_rows.push(coords),
-            Some(prev) if t < prev => {
-                return Err(format!(
-                    "{origin}:{}: time went backwards ({t} after {prev}); follow mode needs \
-                     nondecreasing times with equal times contiguous",
-                    row_lineno + 1
-                ));
-            }
-            Some(prev) => {
-                emit(&mut online, std::mem::take(&mut cur_rows))?;
-                last_completed = Some(prev);
-                cur_time = Some(t);
-                cur_rows.push(coords);
-            }
-            None => {
-                cur_time = Some(t);
-                cur_rows.push(coords);
-            }
+            eprintln!("warning: stream {stream}: {message}");
+            Ok(0)
         }
     }
-    // EOF. With --state the trailing bag is held back as pending (EOF
-    // cannot prove the producer finished writing it — a partial bag
-    // pushed now could never be amended); the next session completes
-    // it. Without --state this is a one-shot run and the trailing bag
-    // is final by definition.
-    let pending_out: Option<(i64, Vec<Vec<f64>>)> = if opts.state.is_some() {
-        cur_time.map(|t| (t, std::mem::take(&mut cur_rows)))
+}
+
+/// What a completed online session did, for the summary line.
+struct DriveOutcome {
+    points: u64,
+    bags: u64,
+    checkpoints: u64,
+    quarantined: usize,
+}
+
+/// Drive a mux to completion (or forever, in watch mode), printing
+/// events, notes, and quarantine reports as they happen.
+fn drive(mut mux: Mux, with_stream: bool, strict: bool) -> Result<DriveOutcome, String> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if with_stream {
+        writeln!(out, "stream,t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
     } else {
-        if !cur_rows.is_empty() {
-            emit(&mut online, cur_rows)?;
-        }
-        None
-    };
-    eprintln!(
-        "follow done: {} bags, {} inspection points{}",
-        online.bags_seen(),
-        online.points_emitted(),
-        pending_out.as_ref().map_or(String::new(), |(t, rows)| {
-            format!(
-                " ({} rows for t = {t} held for the next session)",
-                rows.len()
-            )
-        })
-    );
-
-    if let Some(path) = &opts.state {
-        let (consumed, prefix_hash) = if is_file {
-            (consumed_total, hasher.finish())
-        } else {
-            (0, 0)
-        };
-        let checkpoint = FollowCheckpoint {
-            master_seed,
-            completed_time: last_completed,
-            pending: pending_out,
-            consumed,
-            prefix_hash,
-            state: online.state(),
-        };
-        let written = save_state(path, &detector, &checkpoint)?;
-        eprintln!("checkpointed {written} bytes to {path}");
+        writeln!(out, "t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
     }
+    out.flush().map_err(|e| e.to_string())?;
+
+    let mut points = 0u64;
+    let mut quarantines_reported = 0usize;
+    loop {
+        let report = mux.tick().map_err(|e| e.to_string())?;
+        for note in mux.take_notes() {
+            eprintln!("{note}");
+        }
+        for record in &mux.quarantined()[quarantines_reported..] {
+            eprintln!(
+                "quarantined stream '{}': {} (stream is out of service; other streams continue)",
+                record.stream, record.error
+            );
+        }
+        quarantines_reported = mux.quarantined().len();
+        for event in mux.drain_events() {
+            points += print_event(&mut out, &event, with_stream, strict)?;
+        }
+        if let Some(bytes) = report.checkpointed {
+            eprintln!("checkpoint: {bytes} bytes");
+        }
+        if report.checkpoint_due {
+            // Durable-output protocol: barrier-flush, print everything
+            // the snapshot will cover, and only then commit — so a kill
+            // right after the write cannot lose printed points, and
+            // unprinted ones are recomputed on resume.
+            for event in mux.flush_events().map_err(|e| e.to_string())? {
+                points += print_event(&mut out, &event, with_stream, strict)?;
+            }
+            if let Some(bytes) = mux.checkpoint_now().map_err(|e| e.to_string())? {
+                eprintln!("checkpoint: {bytes} bytes");
+            }
+        }
+        if report.done {
+            break;
+        }
+        if report.idle {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    // Deliver everything already evaluated before the final checkpoint
+    // commits (same durability ordering as the periodic path).
+    for event in mux.flush_events().map_err(|e| e.to_string())? {
+        points += print_event(&mut out, &event, with_stream, strict)?;
+    }
+    let finish = mux.finish().map_err(|e| e.to_string())?;
+    for note in &finish.notes {
+        eprintln!("{note}");
+    }
+    for event in &finish.events {
+        points += print_event(&mut out, event, with_stream, strict)?;
+    }
+    for record in &finish.quarantined[quarantines_reported..] {
+        eprintln!(
+            "quarantined stream '{}': {} (stream is out of service; other streams continue)",
+            record.stream, record.error
+        );
+    }
+    let outcome = DriveOutcome {
+        points,
+        bags: finish.bags_pushed,
+        checkpoints: finish.checkpoints_written,
+        quarantined: finish.quarantined.len(),
+    };
+    if let Some(bytes) = finish.checkpoint_bytes {
+        eprintln!("checkpointed {bytes} bytes");
+    }
+    Ok(outcome)
+}
+
+fn run_follow(opts: &Options) -> Result<(), String> {
+    build_detector(opts)?; // validate the configuration up front
+    let (mut mux, resumed) = load_mux(opts, engine_config(opts, 1), true)?;
+    let mut base_bags = 0u64;
+    let mut base_points = 0u64;
+    if let Some(view) = &resumed {
+        if opts.seed_explicit && view.master_seed != opts.seed {
+            eprintln!(
+                "warning: --seed {} ignored; the checkpoint continues under seed \
+                 {} (a stream's seed is fixed at its first session)",
+                opts.seed, view.master_seed
+            );
+        }
+        base_bags = view.state.pushed;
+        base_points = view.state.emitted;
+        eprintln!(
+            "resumed from {}: {} bags seen, {} points emitted, {} input bytes consumed{}",
+            opts.state.as_deref().unwrap_or_default(),
+            base_bags,
+            base_points,
+            view.consumed,
+            view.pending.as_ref().map_or(String::new(), |(t, rows)| {
+                format!(", {} buffered rows for t = {t}", rows.len())
+            })
+        );
+    } else {
+        // Fresh stream: seed it with --seed *directly* (not the derived
+        // multi-stream scheme), keeping follow bit-identical to batch
+        // analysis under the same seed.
+        mux.engine_mut()
+            .resolve_seeded(FOLLOW_STREAM, opts.seed)
+            .map_err(|e| e.to_string())?;
+    }
+
+    let source: Box<dyn Source> = if opts.input == "-" {
+        // Stdin may be a live pipe: read it on its own thread so the
+        // tick loop (and event printing) never blocks mid-stream.
+        Box::new(ThreadedLineSource::spawn(
+            std::io::BufReader::new(std::io::stdin()),
+            "<stdin>",
+            FOLLOW_STREAM,
+        ))
+    } else {
+        Box::new(CsvFileSource::new(&opts.input, FOLLOW_STREAM, false))
+    };
+    mux.add_source(source);
+
+    let outcome = drive(mux, false, true)?;
+    eprintln!(
+        "follow done: {} bags, {} inspection points",
+        base_bags + outcome.bags,
+        base_points + outcome.points
+    );
+    Ok(())
+}
+
+fn run_serve(opts: &Options) -> Result<(), String> {
+    build_detector(opts)?;
+    let (mut mux, _) = load_mux(opts, engine_config(opts, 4), false)?;
+    // A restored engine keeps the snapshot's master seed regardless of
+    // --seed; surface a real conflict (any checkpoint, not just ones
+    // with a follow stream).
+    let master_seed = mux.engine_mut().master_seed();
+    if opts.seed_explicit && master_seed != opts.seed {
+        eprintln!(
+            "warning: --seed {} ignored; the checkpoint continues under seed {master_seed}",
+            opts.seed
+        );
+    }
+    if !mux.resume_cursors().is_empty() {
+        eprintln!(
+            "resumed {} stream cursor(s) from {}",
+            mux.resume_cursors().len(),
+            opts.state.as_deref().unwrap_or_default()
+        );
+    }
+
+    let mut stems = std::collections::HashSet::new();
+    for path in &opts.csvs {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("--csv {path}: cannot derive a stream name"))?
+            .to_string();
+        // Two files feeding one stream would interleave two inputs
+        // into one detector: reject up front, not at the first
+        // checkpoint (and not silently, without --state).
+        if !stems.insert(stem.clone()) {
+            return Err(format!(
+                "--csv {path}: stream '{stem}' is already fed by another --csv file"
+            ));
+        }
+        mux.add_source(Box::new(CsvFileSource::new(path, stem, opts.watch)));
+    }
+    if let Some(dir) = &opts.dir {
+        mux.add_source(Box::new(DirSource::new(dir, opts.watch)));
+    }
+    if let Some(addr) = &opts.listen {
+        let tcp = TcpSource::bind(addr, opts.watch).map_err(|e| e.to_string())?;
+        if let Some(local) = tcp.local_addr() {
+            eprintln!("listening on {local} (line protocol: stream,t,x1,...)");
+        }
+        mux.add_source(Box::new(tcp));
+    }
+
+    let outcome = drive(mux, true, false)?;
+    eprintln!(
+        "serve done: {} bags, {} inspection points, {} checkpoint(s), {} quarantined stream(s)",
+        outcome.bags, outcome.points, outcome.checkpoints, outcome.quarantined
+    );
     Ok(())
 }
 
@@ -707,6 +728,7 @@ fn run(opts: &Options) -> Result<(), String> {
     match opts.mode {
         Mode::Batch => run_batch(opts),
         Mode::Follow => run_follow(opts),
+        Mode::Serve => run_serve(opts),
     }
 }
 

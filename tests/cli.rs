@@ -532,6 +532,374 @@ fn follow_mode_rejects_backwards_time() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("time went backwards"));
 }
 
+/// Legacy single-source (`BCPDFLW1`) state files written by earlier
+/// builds must still load and resume losslessly: re-frame a modern
+/// checkpoint in the v1 layout mid-sequence and let the second session
+/// continue from it.
+#[test]
+fn follow_mode_legacy_v1_state_file_still_loads() {
+    use bags_cpd::follow::{decode_checkpoint, encode_checkpoint_v1};
+    use bags_cpd::{BootstrapConfig, DetectorConfig};
+
+    let dir = std::env::temp_dir().join("bags_cpd_cli_legacy1");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let full = dir.join("full.csv");
+    write_test_csv(&full, 18, 9);
+    let text = std::fs::read_to_string(&full).expect("read");
+    let (part1, part2): (Vec<&str>, Vec<&str>) = text
+        .lines()
+        .skip(1)
+        .partition(|l| l.split(',').next().unwrap().parse::<i64>().unwrap() < 8);
+    std::fs::write(dir.join("part1.csv"), part1.join("\n") + "\n").unwrap();
+    std::fs::write(dir.join("part2.csv"), part2.join("\n") + "\n").unwrap();
+
+    let state = dir.join("ck.snap");
+    let ref_state = dir.join("ref.snap");
+    let args = ["--tau", "3", "--tau-prime", "2", "--replicates", "50"];
+    let run = |input: &std::path::Path, state: &std::path::Path| -> String {
+        let out = bin()
+            .arg("follow")
+            .arg(input)
+            .args(args)
+            .arg("--state")
+            .arg(state)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let uninterrupted = run(&full, &ref_state);
+    let first = run(&dir.join("part1.csv"), &state);
+
+    // Downgrade the checkpoint to the legacy layout in place.
+    let cfg = DetectorConfig {
+        tau: 3,
+        tau_prime: 2,
+        bootstrap: BootstrapConfig {
+            replicates: 50,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let bytes = std::fs::read(&state).expect("checkpoint written");
+    assert_eq!(
+        &bytes[..8],
+        b"BCPDFLW2",
+        "new sessions write the current format"
+    );
+    let view = decode_checkpoint(&bytes, &cfg).expect("decodes");
+    std::fs::write(&state, encode_checkpoint_v1(&cfg, &view)).unwrap();
+
+    let second = run(&dir.join("part2.csv"), &state);
+    let resumed: Vec<&str> = first.lines().chain(second.lines().skip(1)).collect();
+    let expected: Vec<&str> = uninterrupted.lines().collect();
+    assert_eq!(expected, resumed, "legacy-format resume must lose nothing");
+    // The next checkpoint is migrated to the current format.
+    let rewritten = std::fs::read(&state).unwrap();
+    assert_eq!(&rewritten[..8], b"BCPDFLW2");
+}
+
+/// Write one serve-mode sensor CSV (change at `change_at` when `shift`).
+fn write_sensor_csv(path: &std::path::Path, bags: usize, change_at: usize, shift: bool) {
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "t,x").expect("header");
+    for t in 0..bags {
+        for i in 0..24 {
+            let u = (i as f64 + 0.5) / 24.0 - 0.5;
+            let x = if shift && t >= change_at {
+                5.0 * u.signum() + u
+            } else {
+                u
+            };
+            writeln!(f, "{t},{x}").expect("row");
+        }
+    }
+}
+
+/// Acceptance: serve ingests >= 64 concurrent sources including TCP,
+/// with periodic checkpoints, quarantining bad streams instead of
+/// dying.
+#[test]
+fn serve_mode_64_sources_with_tcp_periodic_checkpoints_and_quarantine() {
+    use std::io::Write as _;
+    let dir = std::env::temp_dir().join("bags_cpd_cli_serve64");
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("tmp dir");
+    for s in 0..62 {
+        write_sensor_csv(&src.join(format!("f{s:02}.csv")), 9, 5, s % 7 == 0);
+    }
+    // One poisoned file: must quarantine, not kill the fleet.
+    std::fs::write(src.join("poison.csv"), "t,x\n0,0.1\n0,oops\n").unwrap();
+    let state = dir.join("fleet.snap");
+
+    let mut child = bin()
+        .arg("serve")
+        .arg("--dir")
+        .arg(&src)
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--tau", "3", "--tau-prime", "2", "--replicates", "30"])
+        .arg("--state")
+        .arg(&state)
+        .args(["--checkpoint-bags", "64"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // Find the bound port from stderr without consuming the rest.
+    let mut stderr = child.stderr.take().expect("piped");
+    let port = {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            assert_ne!(stderr.read(&mut byte).unwrap(), 0, "stderr closed early");
+            buf.push(byte[0]);
+            if byte[0] == b'\n' {
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                if let Some(rest) = line.strip_prefix("listening on 127.0.0.1:") {
+                    break rest
+                        .split_whitespace()
+                        .next()
+                        .unwrap()
+                        .parse::<u16>()
+                        .expect("port");
+                }
+                buf.clear();
+            }
+        }
+    };
+    // Two extra TCP streams -> 62 + 1 (quarantined) + 2 = 65 sources.
+    let mut sock = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect to serve");
+    for t in 0..9 {
+        for i in 0..20 {
+            writeln!(sock, "net-a,{t},{}", (i % 5) as f64 * 0.1).unwrap();
+            writeln!(sock, "net-b,{t},{}", (i % 4) as f64 * 0.2).unwrap();
+        }
+    }
+    drop(sock); // drain mode: serve exits once every source is done
+
+    let out = child.wait_with_output().expect("binary runs");
+    let mut err_tail = String::new();
+    {
+        use std::io::Read as _;
+        stderr.read_to_string(&mut err_tail).unwrap();
+    }
+    assert!(out.status.success(), "stderr: {err_tail}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("stream,t,score,ci_lo,ci_up,alert"));
+    // Every healthy stream emits 4 points: 9 bags with the trailing
+    // bag held back (checkpointing session), window 5.
+    for s in 0..62 {
+        let name = format!("f{s:02}");
+        let n = stdout
+            .lines()
+            .filter(|l| l.starts_with(&format!("{name},")))
+            .count();
+        assert_eq!(n, 4, "stream {name}:\n{err_tail}");
+    }
+    for name in ["net-a", "net-b"] {
+        let n = stdout
+            .lines()
+            .filter(|l| l.starts_with(&format!("{name},")))
+            .count();
+        assert_eq!(n, 4, "tcp stream {name}");
+    }
+    assert!(
+        err_tail.contains("quarantined stream 'poison'"),
+        "stderr: {err_tail}"
+    );
+    assert!(state.exists(), "periodic/final checkpoints written");
+    // Alerts fired on the shifted sensors.
+    assert!(
+        err_tail.contains("ALERT on f00"),
+        "shifted sensor alerts: {err_tail}"
+    );
+    // Quarantine is per stream, not per process: 64 healthy streams
+    // scored above while the poisoned one was isolated.
+}
+
+/// Acceptance: kill -9 between periodic checkpoints, resume from
+/// `--state`, and the combined per-(stream, t) outputs are bit-identical
+/// to an uninterrupted run (re-emitted points after the checkpoint must
+/// reproduce exactly).
+#[test]
+fn serve_mode_kill_resume_replays_bit_identical_scores() {
+    use std::collections::HashMap;
+    let dir = std::env::temp_dir().join("bags_cpd_cli_servekill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("tmp dir");
+    for s in 0..6 {
+        write_sensor_csv(&src.join(format!("k{s}.csv")), 24, 12, s % 2 == 0);
+    }
+    let args = ["--tau", "4", "--tau-prime", "3", "--replicates", "400"];
+    let state = dir.join("ck.snap");
+    let ref_state = dir.join("ref.snap");
+
+    // Uninterrupted reference (checkpointing, so hold-back matches).
+    let reference = {
+        let out = bin()
+            .arg("serve")
+            .arg("--dir")
+            .arg(&src)
+            .args(args)
+            .arg("--state")
+            .arg(&ref_state)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Interrupted: checkpoint every 8 bags, SIGKILL as soon as the
+    // first checkpoint lands.
+    let mut child = bin()
+        .arg("serve")
+        .arg("--dir")
+        .arg(&src)
+        .args(args)
+        .arg("--state")
+        .arg(&state)
+        .args(["--checkpoint-bags", "8"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !state.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            // Finished before we could kill it: the run (plus its final
+            // checkpoint) is still a valid prefix; resume is a no-op.
+            assert!(status.success());
+            break;
+        }
+    }
+    let _ = child.kill(); // SIGKILL; no final checkpoint, no cleanup
+    let part1 = {
+        let out = child.wait_with_output().expect("wait");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert!(state.exists(), "a periodic checkpoint must have landed");
+
+    // Resume from whatever checkpoint survived.
+    let part2 = {
+        let out = bin()
+            .arg("serve")
+            .arg("--dir")
+            .arg(&src)
+            .args(args)
+            .arg("--state")
+            .arg(&state)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Combined coverage must equal the reference, and any point emitted
+    // by both sessions (after the checkpoint, before the kill) must be
+    // byte-identical.
+    let mut combined: HashMap<String, String> = HashMap::new();
+    for line in part1
+        .lines()
+        .chain(part2.lines())
+        .skip_while(|l| l.starts_with("stream,"))
+    {
+        if line.starts_with("stream,") {
+            continue;
+        }
+        let mut it = line.splitn(3, ',');
+        let key = format!("{},{}", it.next().unwrap(), it.next().unwrap());
+        let value = line.to_string();
+        if let Some(prev) = combined.insert(key.clone(), value.clone()) {
+            assert_eq!(prev, value, "replayed point {key} diverged");
+        }
+    }
+    let mut expected: Vec<&str> = reference
+        .lines()
+        .filter(|l| !l.starts_with("stream,"))
+        .collect();
+    let mut got: Vec<String> = combined.into_values().collect();
+    expected.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(
+        expected,
+        got.iter().map(String::as_str).collect::<Vec<_>>(),
+        "kill/resume must replay to bit-identical per-stream scores"
+    );
+}
+
+/// Follow keeps its historical fail-fast contract for detector-side
+/// errors: a resumed session whose input dimension changed must exit
+/// nonzero, not quietly warn and emit nothing.
+#[test]
+fn follow_mode_fails_on_dimension_change_across_resume() {
+    let dir = std::env::temp_dir().join("bags_cpd_cli_dimchange");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let state = dir.join("ck.snap");
+    let args = ["--tau", "2", "--tau-prime", "2", "--replicates", "20"];
+
+    std::fs::write(dir.join("one.csv"), "t,x\n0,0.1\n0,0.2\n1,0.1\n").unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(dir.join("one.csv"))
+        .args(args)
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // A rotated 2-D input: the session-fresh assembler accepts it, but
+    // the restored detector must reject it — and follow must fail.
+    std::fs::write(
+        dir.join("two.csv"),
+        "2,1.0,2.0\n2,1.1,2.1\n3,1.0,2.0\n3,1.1,2.1\n4,0.5,0.5\n",
+    )
+    .unwrap();
+    let out = bin()
+        .arg("follow")
+        .arg(dir.join("two.csv"))
+        .args(args)
+        .arg("--state")
+        .arg(&state)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    // Caught either by the assembler (dimension restored from the
+    // cursor's pending rows) or, failing that, by the detector —
+    // both are fatal in follow mode.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("dimension 2 != 1") || stderr.contains("inconsistent dimensions"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_mode_rejects_missing_sources_and_misplaced_flags() {
+    let out = bin().arg("serve").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one source"));
+
+    let out = bin()
+        .args(["follow", "x.csv", "--listen", "1.2.3.4:1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve-mode"));
+}
+
 #[test]
 fn state_flag_rejected_in_batch_mode() {
     let out = bin()

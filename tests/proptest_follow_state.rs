@@ -5,11 +5,18 @@
 
 use bags_cpd::emd::Signature;
 use bags_cpd::follow::{
-    decode_checkpoint, encode_checkpoint, FollowCheckpoint, StateError, NO_TIME,
+    decode_checkpoint, encode_checkpoint, encode_checkpoint_v1, FollowCheckpoint, StateError,
+    FOLLOW_STREAM, NO_TIME,
 };
 use bags_cpd::stream::OnlineState;
 use bags_cpd::{BootstrapConfig, DetectorConfig};
 use proptest::prelude::*;
+
+/// Byte offset of the pending-time field in a current-format
+/// single-source checkpoint: magic (8) + cursor count (4) + name
+/// length (4) + the name itself + quarantine flag (1) +
+/// completed_time (8).
+const PENDING_TIME_AT: usize = 8 + 4 + 4 + FOLLOW_STREAM.len() + 1 + 8;
 
 fn cfg() -> DetectorConfig {
     DetectorConfig {
@@ -144,7 +151,8 @@ fn pending_rows_without_pending_time_are_rejected_not_dropped() {
     // hard error.
     let ck = checkpoint(1, 2, Some(4), Some((5, vec![vec![0.5], vec![1.5]])), 10, 2);
     let mut bytes = encode_checkpoint(&cfg(), &ck);
-    bytes[16..24].copy_from_slice(&NO_TIME.to_le_bytes()); // clear pending_time only
+    // Clear pending_time only.
+    bytes[PENDING_TIME_AT..PENDING_TIME_AT + 8].copy_from_slice(&NO_TIME.to_le_bytes());
     match decode_checkpoint(&bytes, &cfg()) {
         Err(StateError::Corrupt(why)) => {
             assert!(why.contains("pending rows"), "unexpected reason: {why}")
@@ -184,9 +192,52 @@ fn truncated_and_foreign_files_are_distinguished() {
 fn pending_time_without_rows_is_rejected() {
     let ck = checkpoint(1, 2, None, None, 0, 0);
     let mut bytes = encode_checkpoint(&cfg(), &ck);
-    bytes[16..24].copy_from_slice(&7i64.to_le_bytes()); // set pending_time, keep count 0
+    // Set pending_time, keep the row count 0.
+    bytes[PENDING_TIME_AT..PENDING_TIME_AT + 8].copy_from_slice(&7i64.to_le_bytes());
     assert!(matches!(
         decode_checkpoint(&bytes, &cfg()),
         Err(StateError::Corrupt(_))
     ));
+}
+
+#[test]
+fn legacy_v1_checkpoints_still_load_and_migrate() {
+    // A --state file written by the pre-multi-source builds (BCPDFLW1:
+    // one unnamed cursor, fixed offsets) must decode to the same
+    // checkpoint, and re-encoding writes the current format.
+    let ck = checkpoint(
+        9,
+        3,
+        Some(6),
+        Some((7, vec![vec![0.5, 1.0], vec![1.5, 2.0]])),
+        123,
+        456,
+    );
+    let legacy = encode_checkpoint_v1(&cfg(), &ck);
+    assert_eq!(&legacy[..8], b"BCPDFLW1");
+    let decoded = decode_checkpoint(&legacy, &cfg()).expect("legacy file loads");
+    assert_eq!(decoded, ck);
+
+    let migrated = encode_checkpoint(&cfg(), &decoded);
+    assert_eq!(&migrated[..8], b"BCPDFLW2", "re-encode migrates");
+    assert_eq!(decode_checkpoint(&migrated, &cfg()).unwrap(), ck);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Truncating a *legacy* checkpoint at any offset also fails
+    /// cleanly (the migration path inherits the error discipline).
+    #[test]
+    fn legacy_truncation_errors_cleanly(
+        cut_frac in 0.0..1.0f64,
+        pending in pending_strategy(),
+    ) {
+        let ck = checkpoint(7, 2, Some(5), pending, 100, 42);
+        let bytes = encode_checkpoint_v1(&cfg(), &ck);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        decode_checkpoint(&bytes[..cut], &cfg())
+            .expect_err("a strict prefix must never decode");
+    }
 }
