@@ -58,6 +58,12 @@ impl Bag {
         &self.points
     }
 
+    /// Consume the bag, returning its member vectors (already validated
+    /// non-empty, dimension-consistent, finite).
+    pub fn into_points(self) -> Vec<Vec<f64>> {
+        self.points
+    }
+
     /// Sample mean of the bag — the summarization whose information loss
     /// Fig. 1 of the paper demonstrates. Used by the baseline comparison.
     pub fn mean(&self) -> Vec<f64> {

@@ -1,6 +1,6 @@
 //! Sharded multi-stream engine with bounded queues and checkpointing.
 
-use crate::event::StreamEvent;
+use crate::event::Event;
 use crate::snapshot::{decode_engine, encode_engine, SnapshotError};
 use crate::worker::{self, Msg};
 use bagcpd::{Bag, DetectError, Detector, DetectorConfig};
@@ -135,8 +135,8 @@ pub struct StreamEngine {
     /// Cached shard of each id (the name is hashed once, at intern).
     shards: Vec<u32>,
     senders: Vec<SyncSender<Msg>>,
-    events: Receiver<StreamEvent>,
-    stash: VecDeque<StreamEvent>,
+    events: Receiver<Event>,
+    stash: VecDeque<Event>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -389,8 +389,8 @@ impl StreamEngine {
     }
 
     /// All events produced so far, without blocking.
-    pub fn drain_events(&mut self) -> Vec<StreamEvent> {
-        let mut out: Vec<StreamEvent> = self.stash.drain(..).collect();
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.stash.drain(..).collect();
         while let Ok(e) = self.events.try_recv() {
             out.push(e);
         }
@@ -398,7 +398,7 @@ impl StreamEngine {
     }
 
     /// Next event, waiting up to `timeout`.
-    pub fn next_event(&mut self, timeout: Duration) -> Option<StreamEvent> {
+    pub fn next_event(&mut self, timeout: Duration) -> Option<Event> {
         if let Some(e) = self.stash.pop_front() {
             return Some(e);
         }
@@ -506,9 +506,9 @@ impl StreamEngine {
 
     /// Stop the workers and return every remaining event (stashed plus
     /// anything still queued).
-    pub fn shutdown(mut self) -> Vec<StreamEvent> {
+    pub fn shutdown(mut self) -> Vec<Event> {
         self.senders.clear(); // workers exit when their queues close
-        let mut out: Vec<StreamEvent> = self.stash.drain(..).collect();
+        let mut out: Vec<Event> = self.stash.drain(..).collect();
         // Drain until every worker has dropped its event sender: a worker
         // parked on a full event queue needs these recvs to finish, so
         // draining must precede joining (the reverse order deadlocks).
@@ -584,8 +584,8 @@ enum Attempt<T> {
 /// events into the stash (a worker parked on the full event queue needs
 /// those recvs to make progress), backing off 50 µs -> 5 ms while idle.
 fn drain_loop<T>(
-    events: &Receiver<StreamEvent>,
-    stash: &mut VecDeque<StreamEvent>,
+    events: &Receiver<Event>,
+    stash: &mut VecDeque<Event>,
     mut attempt: impl FnMut() -> Attempt<T>,
 ) -> Result<T, EngineError> {
     let mut next_sleep = Duration::from_micros(50);
@@ -671,8 +671,8 @@ mod tests {
         assert_eq!(engine.flush().unwrap(), 2);
         let events = engine.shutdown();
         // 8 bags, window 5 -> 4 points per stream.
-        let a: Vec<_> = events.iter().filter(|e| e.stream() == "a").collect();
-        let b: Vec<_> = events.iter().filter(|e| e.stream() == "b").collect();
+        let a: Vec<_> = events.iter().filter(|e| e.stream() == Some("a")).collect();
+        let b: Vec<_> = events.iter().filter(|e| e.stream() == Some("b")).collect();
         assert_eq!(a.len(), 4);
         assert_eq!(b.len(), 4);
         assert!(a.iter().all(|e| e.point().is_some()));
@@ -713,7 +713,7 @@ mod tests {
         let events = engine.shutdown();
         let errors = events
             .iter()
-            .filter(|e| matches!(e, StreamEvent::Error { .. }))
+            .filter(|e| matches!(e, Event::StreamError { .. }))
             .count();
         let points = events.iter().filter(|e| e.point().is_some()).count();
         assert_eq!(errors, 1);

@@ -1,11 +1,32 @@
-//! Events emitted by the engine's worker pool.
+//! The engine's unified output stream: one typed [`Event`] enum.
+//!
+//! Everything a host can observe — completed score points, per-bag
+//! detector errors, stream quarantines, operational notes, committed
+//! checkpoints — arrives through one ordered event stream, delivered by
+//! [`crate::StreamEngine::drain_events`] / `Mux::drain_events` and
+//! consumed by a [`crate::sink::Sink`]. Earlier releases split this
+//! across a two-variant `StreamEvent` enum plus `Mux` side channels
+//! (`take_notes()`, `quarantined()`, `TickReport::checkpointed`); those
+//! are folded into the variants below.
 
+use crate::ingest::source::SourceError;
 use bagcpd::ScorePoint;
 use std::sync::Arc;
 
-/// One output of the engine, tagged with the stream that produced it.
+/// A stream taken out of service by its source (malformed row,
+/// backwards timestamp, I/O failure, oversized line, …). The stream
+/// stops; its siblings and the process keep running.
 #[derive(Debug, Clone, PartialEq)]
-pub enum StreamEvent {
+pub struct QuarantineRecord {
+    /// The quarantined stream.
+    pub stream: Arc<str>,
+    /// What happened.
+    pub error: SourceError,
+}
+
+/// One output of the detection pipeline, in delivery order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
     /// A completed inspection point (its `alert` flag is the paper's
     /// Eq. 18 decision).
     Point {
@@ -16,20 +37,39 @@ pub enum StreamEvent {
         point: ScorePoint,
     },
     /// A bag was rejected (e.g. dimension mismatch); the stream keeps
-    /// running with the offending bag dropped.
-    Error {
+    /// running with the offending bag dropped. Strict hosts abort on
+    /// this instead of delivering it.
+    StreamError {
         /// Stream name.
         stream: Arc<str>,
         /// Human-readable failure description.
         message: String,
     },
+    /// A stream was quarantined at its source: fatal input for that
+    /// stream only, every other stream keeps flowing.
+    Quarantine(QuarantineRecord),
+    /// A human-readable operational note (input rotation detected,
+    /// refused stream, dropped source, …).
+    Note(String),
+    /// A checkpoint was committed durably. Emitted *after* the write —
+    /// and, under [`crate::Pipeline`], only after every event the
+    /// checkpoint covers was delivered and `flush_durable` succeeded.
+    CheckpointWritten {
+        /// Size of the checkpoint file in bytes.
+        bytes: usize,
+        /// Total bags pushed when the checkpoint was taken.
+        bags: u64,
+    },
 }
 
-impl StreamEvent {
-    /// The name of the stream this event belongs to.
-    pub fn stream(&self) -> &str {
+impl Event {
+    /// The stream this event belongs to, if it is stream-scoped
+    /// ([`Event::Note`] and [`Event::CheckpointWritten`] are not).
+    pub fn stream(&self) -> Option<&str> {
         match self {
-            StreamEvent::Point { stream, .. } | StreamEvent::Error { stream, .. } => stream,
+            Event::Point { stream, .. } | Event::StreamError { stream, .. } => Some(stream),
+            Event::Quarantine(record) => Some(&record.stream),
+            Event::Note(_) | Event::CheckpointWritten { .. } => None,
         }
     }
 
@@ -37,15 +77,26 @@ impl StreamEvent {
     pub fn is_alert(&self) -> bool {
         matches!(
             self,
-            StreamEvent::Point { point, .. } if point.alert
+            Event::Point { point, .. } if point.alert
         )
     }
 
     /// The score point, if this is a point event.
     pub fn point(&self) -> Option<&ScorePoint> {
         match self {
-            StreamEvent::Point { point, .. } => Some(point),
-            StreamEvent::Error { .. } => None,
+            Event::Point { point, .. } => Some(point),
+            _ => None,
         }
     }
 }
+
+/// The previous name of [`Event`]. The `Error` variant is now
+/// [`Event::StreamError`], and what used to be reported through `Mux`
+/// side channels (`take_notes()`, the quarantine list, checkpoint byte
+/// counts in `TickReport`) now arrives inline as [`Event::Note`],
+/// [`Event::Quarantine`], and [`Event::CheckpointWritten`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `Event`; the `Error` variant is now `StreamError`"
+)]
+pub type StreamEvent = Event;

@@ -26,6 +26,7 @@
 pub mod checkpoint;
 pub mod csv;
 pub mod dir;
+pub mod mem;
 pub mod mux;
 pub mod source;
 pub mod tcp;
@@ -33,10 +34,11 @@ pub mod tcp;
 pub use checkpoint::{StateError, FOLLOW_STREAM, NO_TIME};
 pub use csv::{CsvFileSource, LineSource, ThreadedLineSource};
 pub use dir::DirSource;
+pub use mem::MemorySource;
 pub use mux::{
     CheckpointPolicy, Mux, MuxConfig, MuxError, MuxFinish, QuarantineRecord, TickReport,
 };
 pub use source::{
     parse_row, BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor,
 };
-pub use tcp::TcpSource;
+pub use tcp::{TcpLimits, TcpSource};

@@ -3,11 +3,13 @@
 use super::checkpoint::{encode_checkpoint, write_atomic, CursorList};
 use super::source::{Source, SourceError, SourceItem, SourceStatus, StreamCursor};
 use crate::engine::{EngineConfig, EngineError, StreamEngine};
-use crate::event::StreamEvent;
+use crate::event::Event;
 use bagcpd::Bag;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+pub use crate::event::QuarantineRecord;
 
 /// When the engine state (plus every source cursor) is persisted.
 ///
@@ -83,15 +85,6 @@ impl From<EngineError> for MuxError {
     }
 }
 
-/// A stream taken out of service by its source.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QuarantineRecord {
-    /// The quarantined stream.
-    pub stream: Arc<str>,
-    /// What happened.
-    pub error: SourceError,
-}
-
 /// What one [`Mux::tick`] did.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickReport {
@@ -108,36 +101,39 @@ pub struct TickReport {
     pub idle: bool,
     /// The checkpoint policy has come due. A host that emits events
     /// externally should now call [`Mux::flush_events`], deliver what
-    /// it returns, and then [`Mux::checkpoint_now`] — that ordering
-    /// guarantees every point a checkpoint covers was already
+    /// it returns durably, and then [`Mux::checkpoint_now`] — that
+    /// ordering guarantees every point a checkpoint covers was already
     /// delivered, so a crash right after the write loses nothing
     /// (undelivered points are recomputed bit-identically on resume).
-    /// A host that ignores this flag still gets the checkpoint written
-    /// automatically at the start of the next tick.
+    /// [`crate::Pipeline`] runs this protocol for you, gated on the
+    /// sink's `flush_durable`; a host that ignores the flag still gets
+    /// the checkpoint written automatically at the start of the next
+    /// tick (reported as [`Event::CheckpointWritten`]).
     pub checkpoint_due: bool,
-    /// A deferred periodic checkpoint was auto-written at the start of
-    /// this tick (its byte size) because the host left `checkpoint_due`
-    /// unhandled.
-    pub checkpointed: Option<usize>,
 }
 
 /// Drains many [`Source`]s round-robin into one [`StreamEngine`]
 /// (through the interned id path), isolates per-stream failures as
-/// quarantine records instead of aborting the process, and persists
-/// `cursors + engine snapshot` checkpoints under a
+/// [`Event::Quarantine`] events instead of aborting the process, and
+/// persists `cursors + engine snapshot` checkpoints under a
 /// [`CheckpointPolicy`] with atomic rename+fsync writes.
 ///
-/// The driver loop is the host's (so it can interleave event printing,
-/// sleeping, and shutdown signals):
+/// Everything the mux observes — engine score points and stream
+/// errors, source quarantines and notes, committed checkpoints — comes
+/// out of [`Mux::drain_events`] as one ordered [`Event`] stream.
+///
+/// The driver loop is the host's (so it can interleave event delivery,
+/// sleeping, and shutdown signals) — or use [`crate::Pipeline`], which
+/// owns this loop and the durable-checkpoint ordering:
 ///
 /// ```ignore
 /// let mut mux = Mux::new(engine, MuxConfig::default());
 /// mux.add_source(Box::new(src));
 /// loop {
 ///     let report = mux.tick()?;
-///     for event in mux.drain_events() { /* print */ }
+///     for event in mux.drain_events() { /* deliver */ }
 ///     if report.checkpoint_due {
-///         for event in mux.flush_events()? { /* print */ }
+///         for event in mux.flush_events()? { /* deliver */ }
 ///         mux.checkpoint_now()?; // covers only what was delivered
 ///     }
 ///     if report.done { break; }
@@ -152,7 +148,9 @@ pub struct Mux {
     /// Cursor map handed to every source added (restore path).
     resume: HashMap<String, StreamCursor>,
     quarantined: Vec<QuarantineRecord>,
-    notes: Vec<String>,
+    /// Mux-local events (notes, quarantines, checkpoints) awaiting
+    /// delivery; drained ahead of the engine's queue.
+    pending: Vec<Event>,
     items: Vec<SourceItem>,
     /// First source to push each stream, plus the interned id — the
     /// per-bag routing cache and the cross-source collision guard.
@@ -173,12 +171,11 @@ pub struct Mux {
 /// What [`Mux::finish`] hands back.
 #[derive(Debug)]
 pub struct MuxFinish {
-    /// Every event still in flight at shutdown.
-    pub events: Vec<StreamEvent>,
+    /// Every event still in flight at shutdown (notes and the final
+    /// [`Event::CheckpointWritten`] included).
+    pub events: Vec<Event>,
     /// Size of the final checkpoint, if one was written.
     pub checkpoint_bytes: Option<usize>,
-    /// Notes emitted during the wind-down.
-    pub notes: Vec<String>,
     /// Total bags pushed over the mux's lifetime (including the
     /// trailing bags completed by the wind-down itself).
     pub bags_pushed: u64,
@@ -197,7 +194,7 @@ impl Mux {
             cfg,
             resume: HashMap::new(),
             quarantined: Vec::new(),
-            notes: Vec::new(),
+            pending: Vec::new(),
             items: Vec::new(),
             claims: HashMap::new(),
             bags_total: 0,
@@ -256,24 +253,25 @@ impl Mux {
         self.checkpoints_written
     }
 
-    /// Streams quarantined so far.
+    /// Streams quarantined so far. Each of these was also delivered as
+    /// an [`Event::Quarantine`]; this is the cumulative record, kept
+    /// for summaries.
     pub fn quarantined(&self) -> &[QuarantineRecord] {
         &self.quarantined
     }
 
-    /// Take the accumulated operational notes (rotation detected, …).
-    pub fn take_notes(&mut self) -> Vec<String> {
-        std::mem::take(&mut self.notes)
-    }
-
-    /// Completed events, without blocking.
-    pub fn drain_events(&mut self) -> Vec<StreamEvent> {
-        self.engine.drain_events()
+    /// Completed events, without blocking: mux-local events (notes,
+    /// quarantines, checkpoint commits) in occurrence order, then
+    /// everything the engine has finished.
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut self.pending);
+        out.extend(self.engine.drain_events());
+        out
     }
 
     /// One round-robin pass over every live source: poll each, push the
     /// completed bags by interned id, record quarantines and notes, and
-    /// write a periodic checkpoint if the policy came due.
+    /// raise `checkpoint_due` if the policy came due.
     ///
     /// When the policy comes due, the tick **does not write the
     /// checkpoint itself** — the engine snapshot is a barrier, so the
@@ -281,7 +279,8 @@ impl Mux {
     /// checkpoint first would let a crash lose them forever (the
     /// resumed state already counts them as emitted). Instead the
     /// report's `checkpoint_due` asks the host to run the two-phase
-    /// protocol ([`Mux::flush_events`] → deliver →     /// [`Mux::checkpoint_now`]); hosts that don't care get an
+    /// protocol ([`Mux::flush_events`] → deliver →
+    /// [`Mux::checkpoint_now`]); hosts that don't care get an
     /// automatic write at the start of the next tick.
     ///
     /// # Errors
@@ -291,7 +290,7 @@ impl Mux {
         let mut report = TickReport::default();
         if self.checkpoint_due {
             self.checkpoint_due = false;
-            report.checkpointed = self.checkpoint_now()?;
+            self.checkpoint_now()?;
         }
         for idx in 0..self.sources.len() {
             if self.sources[idx].1 == SourceStatus::Done {
@@ -317,10 +316,10 @@ impl Mux {
                     if self.cfg.strict {
                         return Err(MuxError::Source(e));
                     }
-                    self.notes.push(format!(
+                    self.pending.push(Event::Note(format!(
                         "source {} failed and was dropped: {e}",
                         self.sources[idx].0.origin()
-                    ));
+                    )));
                 }
             }
         }
@@ -354,9 +353,9 @@ impl Mux {
     ///
     /// # Errors
     /// [`MuxError::Engine`] if the worker pool died.
-    pub fn flush_events(&mut self) -> Result<Vec<StreamEvent>, MuxError> {
+    pub fn flush_events(&mut self) -> Result<Vec<Event>, MuxError> {
         self.engine.flush()?;
-        Ok(self.engine.drain_events())
+        Ok(self.drain_events())
     }
 
     /// Route one source's items into the engine and the records. The
@@ -402,9 +401,11 @@ impl Mux {
                         return Err(MuxError::Source(error));
                     }
                     report.quarantined_now += 1;
-                    self.quarantined.push(QuarantineRecord { stream, error });
+                    let record = QuarantineRecord { stream, error };
+                    self.pending.push(Event::Quarantine(record.clone()));
+                    self.quarantined.push(record);
                 }
-                SourceItem::Note(n) => self.notes.push(n),
+                SourceItem::Note(n) => self.pending.push(Event::Note(n)),
             }
         }
         Ok(())
@@ -412,7 +413,8 @@ impl Mux {
 
     /// Write a checkpoint right now (barrier: every queued bag is
     /// evaluated first). Returns the byte size, or `None` without a
-    /// state path.
+    /// state path; a successful write also queues an
+    /// [`Event::CheckpointWritten`].
     ///
     /// # Errors
     /// Engine snapshot or file write failures; also if two sources
@@ -454,6 +456,10 @@ impl Mux {
         self.checkpoint_due = false;
         self.dirty_since_checkpoint = false;
         self.checkpoints_written += 1;
+        self.pending.push(Event::CheckpointWritten {
+            bytes: bytes.len(),
+            bags: self.bags_total,
+        });
         Ok(Some(bytes.len()))
     }
 
@@ -478,18 +484,23 @@ impl Mux {
                     if self.cfg.strict {
                         return Err(MuxError::Source(e));
                     }
-                    self.notes
-                        .push(format!("source {}: {e}", self.sources[idx].0.origin()));
+                    self.pending.push(Event::Note(format!(
+                        "source {}: {e}",
+                        self.sources[idx].0.origin()
+                    )));
                 }
             }
         }
         self.engine.flush()?;
+        // Drain what the flush completed before committing, so the
+        // final `CheckpointWritten` lands after the points it covers.
+        let mut events = self.drain_events();
         let checkpoint_bytes = self.checkpoint_now()?;
-        let events = self.engine.shutdown();
+        events.append(&mut self.pending);
+        events.extend(self.engine.shutdown());
         Ok(MuxFinish {
             events,
             checkpoint_bytes,
-            notes: std::mem::take(&mut self.notes),
             bags_pushed: self.bags_total,
             checkpoints_written: self.checkpoints_written,
             quarantined: std::mem::take(&mut self.quarantined),

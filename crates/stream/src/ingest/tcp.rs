@@ -11,6 +11,14 @@
 //! client never blocks the ingestion loop. A malformed line or a
 //! backwards timestamp quarantines *its stream* only; other streams and
 //! connections keep flowing.
+//!
+//! The source is hardened against hostile or broken peers by
+//! [`TcpLimits`]: a line longer than `max_line_bytes` is abandoned
+//! (the tail is discarded as it arrives, so an endless unterminated
+//! line cannot grow a buffer without bound) and quarantines the stream
+//! it names; once `max_streams` distinct streams exist, lines for new
+//! stream names are refused with a [`SourceItem::Note`] instead of
+//! growing the per-stream state.
 
 use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
 use std::collections::{HashMap, HashSet};
@@ -21,13 +29,48 @@ use std::sync::Arc;
 /// Bytes read per connection per poll (fairness budget).
 const BYTES_PER_POLL: usize = 64 * 1024;
 
+/// Most refused stream names remembered for note-deduplication; past
+/// this, refusal stays in force but is silent (the memory of "already
+/// noted" must not itself be a resource-exhaustion vector).
+const REFUSED_NOTES_CAP: usize = 1024;
+
+/// Resource limits a [`TcpSource`] enforces per line and per stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpLimits {
+    /// Longest accepted line (bytes, newline included). A longer line
+    /// is dropped as it streams in — bounded memory, not OOM — and the
+    /// stream it names is quarantined.
+    pub max_line_bytes: usize,
+    /// Most distinct streams this source will serve; lines naming new
+    /// streams beyond it are refused with a note.
+    pub max_streams: usize,
+}
+
+impl Default for TcpLimits {
+    fn default() -> Self {
+        TcpLimits {
+            max_line_bytes: 256 * 1024,
+            max_streams: 4096,
+        }
+    }
+}
+
 struct Conn {
     sock: TcpStream,
     /// Shared so routing a line costs a refcount bump, not a copy.
     peer: Arc<str>,
-    /// Undelivered partial line.
+    /// Undelivered partial line (bounded by `max_line_bytes`).
     partial: Vec<u8>,
     lineno: usize,
+    /// An oversized line is in progress: drop bytes until its newline.
+    discarding: bool,
+}
+
+/// An oversized line's retained prefix, for routing the quarantine.
+struct Oversize {
+    prefix: Vec<u8>,
+    lineno: usize,
+    peer: Arc<str>,
 }
 
 /// Multi-stream TCP ingestion front-end.
@@ -37,8 +80,11 @@ pub struct TcpSource {
     conns: Vec<Conn>,
     assemblers: HashMap<Arc<str>, BagAssembler>,
     quarantined: HashSet<Arc<str>>,
+    /// Streams refused by `max_streams` (noted once each).
+    refused: HashSet<Box<str>>,
     /// Cursors stashed for streams that have not spoken yet.
     resume: HashMap<String, StreamCursor>,
+    limits: TcpLimits,
     /// Drain mode (`watch == false`): report `Done` once at least one
     /// connection was seen and all of them have closed.
     watch: bool,
@@ -47,14 +93,23 @@ pub struct TcpSource {
 }
 
 impl TcpSource {
-    /// Bind `addr` (e.g. `"127.0.0.1:7171"`). With `watch`, the source
-    /// stays alive forever (a server); without it, the source reports
-    /// `Done` once every connection has come and gone — the drain
-    /// semantics batch jobs and tests want.
+    /// Bind `addr` (e.g. `"127.0.0.1:7171"`) with default
+    /// [`TcpLimits`]. With `watch`, the source stays alive forever (a
+    /// server); without it, the source reports `Done` once every
+    /// connection has come and gone — the drain semantics batch jobs
+    /// and tests want.
     ///
     /// # Errors
     /// [`SourceError::Io`] if the address cannot be bound.
     pub fn bind(addr: &str, watch: bool) -> Result<Self, SourceError> {
+        Self::bind_with(addr, watch, TcpLimits::default())
+    }
+
+    /// As [`TcpSource::bind`], with explicit limits.
+    ///
+    /// # Errors
+    /// As [`TcpSource::bind`].
+    pub fn bind_with(addr: &str, watch: bool, limits: TcpLimits) -> Result<Self, SourceError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| SourceError::Io(format!("bind {addr}: {e}")))?;
         listener
@@ -69,7 +124,9 @@ impl TcpSource {
             conns: Vec::new(),
             assemblers: HashMap::new(),
             quarantined: HashSet::new(),
+            refused: HashSet::new(),
             resume: HashMap::new(),
+            limits,
             watch,
             seen_conn: false,
             buf: vec![0u8; 8192],
@@ -79,6 +136,11 @@ impl TcpSource {
     /// The bound address (useful when binding port 0).
     pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
         self.listener.local_addr().ok()
+    }
+
+    /// The enforced limits.
+    pub fn limits(&self) -> TcpLimits {
+        self.limits
     }
 
     /// Streams that have been quarantined so far.
@@ -110,10 +172,40 @@ impl TcpSource {
             )));
             return;
         }
+        // Before anything allocates: a quarantined stream's lines are
+        // dropped without ever creating (or occupying) per-stream state
+        // — a stream quarantined by the oversized-line path must not
+        // grab a `max_streams` slot with a dead assembler.
+        if self.quarantined.contains(name) {
+            return;
+        }
         // Cheap lookup without allocating for known streams.
         let assembler = match self.assemblers.get_mut(name) {
             Some(a) => a,
             None => {
+                if self.assemblers.len() >= self.limits.max_streams {
+                    // Refuse the stream, keep the connection: existing
+                    // streams on it are still welcome. One note per
+                    // refused name — and the per-name memory of "already
+                    // noted" is itself capped, so a peer inventing
+                    // unbounded names cannot grow this set without
+                    // limit (past the cap, refusal is silent).
+                    if self.refused.len() < REFUSED_NOTES_CAP
+                        && self.refused.insert(Box::from(name))
+                    {
+                        out.push(SourceItem::Note(format!(
+                            "note: {peer}:{}: stream '{name}' refused: max_streams = {} reached",
+                            lineno + 1,
+                            self.limits.max_streams
+                        )));
+                        if self.refused.len() == REFUSED_NOTES_CAP {
+                            out.push(SourceItem::Note(
+                                "note: further stream refusals will not be reported".into(),
+                            ));
+                        }
+                    }
+                    return;
+                }
                 let key: Arc<str> = Arc::from(name);
                 let mut a = BagAssembler::new(key.clone(), false);
                 if let Some(c) = self.resume.get(name) {
@@ -123,9 +215,6 @@ impl TcpSource {
                 self.assemblers.entry(key).or_insert(a)
             }
         };
-        if self.quarantined.contains(assembler.stream()) {
-            return;
-        }
         if let Err(e) = assembler.line(row, lineno, peer, out) {
             let stream = assembler.stream().clone();
             self.quarantined.insert(stream.clone());
@@ -133,20 +222,113 @@ impl TcpSource {
         }
     }
 
+    /// Quarantine the stream named by an oversized line's prefix (or
+    /// note an unroutable one). The prefix is at least `max_line_bytes`
+    /// long, so a legitimate `stream,` header is present unless the
+    /// line was garbage to begin with.
+    fn oversized(&mut self, over: &Oversize, out: &mut Vec<SourceItem>) {
+        let text = String::from_utf8_lossy(&over.prefix);
+        let name = text
+            .split_once(',')
+            .map(|(name, _)| name.trim())
+            .filter(|n| !n.is_empty());
+        let error = SourceError::Data(format!(
+            "{}:{}: line exceeds max_line_bytes = {} (dropped)",
+            over.peer,
+            over.lineno + 1,
+            self.limits.max_line_bytes
+        ));
+        match name {
+            Some(name) => {
+                // Remembering a quarantine costs one name's worth of
+                // memory, so an *unknown* stream only earns a durable
+                // entry while the set is below the stream cap — a peer
+                // flooding oversized lines under ever-fresh names gets
+                // its lines dropped (with a note) without growing state,
+                // which is the bounded-memory promise of the limit.
+                let known = self.assemblers.contains_key(name);
+                if !known && self.quarantined.len() >= self.limits.max_streams {
+                    out.push(SourceItem::Note(format!(
+                        "note: oversized line dropped ({error})"
+                    )));
+                    return;
+                }
+                let stream: Arc<str> = match self.assemblers.get_key_value(name) {
+                    Some((key, _)) => key.clone(),
+                    None => Arc::from(name),
+                };
+                if self.quarantined.insert(stream.clone()) {
+                    out.push(SourceItem::Quarantine { stream, error });
+                }
+            }
+            None => out.push(SourceItem::Note(format!(
+                "note: unroutable oversized line dropped ({error})"
+            ))),
+        }
+    }
+
     /// Split a connection's buffered bytes into complete lines, pushed
     /// straight onto the routing list with the peer tag attached.
+    /// Oversized lines (longer than `max_line_bytes`) are cut: the
+    /// retained prefix goes to `oversize` for quarantine routing and
+    /// the rest of the line is discarded as it arrives.
     fn drain_conn_buffer(
-        partial: &mut Vec<u8>,
+        conn: &mut Conn,
         chunk: &[u8],
-        peer: &Arc<str>,
-        lineno: &mut usize,
+        max_line_bytes: usize,
         routed: &mut Vec<(Vec<u8>, usize, Arc<str>)>,
+        oversize: &mut Vec<Oversize>,
     ) {
-        partial.extend_from_slice(chunk);
-        while let Some(pos) = partial.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = partial.drain(..=pos).collect();
-            routed.push((line, *lineno, peer.clone()));
-            *lineno += 1;
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let newline = rest.iter().position(|&b| b == b'\n');
+            if conn.discarding {
+                // Tail of an already-reported oversized line.
+                match newline {
+                    Some(pos) => {
+                        conn.discarding = false;
+                        conn.lineno += 1;
+                        rest = &rest[pos + 1..];
+                    }
+                    None => return,
+                }
+                continue;
+            }
+            match newline {
+                Some(pos) => {
+                    let mut line = std::mem::take(&mut conn.partial);
+                    line.extend_from_slice(&rest[..=pos]);
+                    rest = &rest[pos + 1..];
+                    if line.len() > max_line_bytes {
+                        oversize.push(Oversize {
+                            prefix: line,
+                            lineno: conn.lineno,
+                            peer: conn.peer.clone(),
+                        });
+                    } else {
+                        routed.push((line, conn.lineno, conn.peer.clone()));
+                    }
+                    conn.lineno += 1;
+                }
+                None => {
+                    // Invariant: `partial` never exceeds the limit (it
+                    // is cleared the moment it does), so `need` > 0.
+                    let need = max_line_bytes + 1 - conn.partial.len();
+                    conn.partial
+                        .extend_from_slice(&rest[..rest.len().min(need)]);
+                    if conn.partial.len() > max_line_bytes {
+                        // Report now, discard the rest as it arrives —
+                        // the buffer never outgrows the limit.
+                        oversize.push(Oversize {
+                            prefix: std::mem::take(&mut conn.partial),
+                            lineno: conn.lineno,
+                            peer: conn.peer.clone(),
+                        });
+                        conn.discarding = true;
+                    }
+                    return;
+                }
+            }
         }
     }
 }
@@ -168,6 +350,7 @@ impl Source for TcpSource {
                             peer: Arc::from(peer.to_string().as_str()),
                             partial: Vec::new(),
                             lineno: 0,
+                            discarding: false,
                         });
                     }
                 }
@@ -182,6 +365,7 @@ impl Source for TcpSource {
         // connection buffers; the peer tag is a shared Arc.
         let mut progressed = false;
         let mut routed: Vec<(Vec<u8>, usize, Arc<str>)> = Vec::new();
+        let mut oversize: Vec<Oversize> = Vec::new();
         let mut i = 0;
         while i < self.conns.len() {
             let mut closed = false;
@@ -199,13 +383,12 @@ impl Source for TcpSource {
                     Ok(n) => {
                         progressed = true;
                         read_total += n;
-                        let peer = conn.peer.clone();
                         Self::drain_conn_buffer(
-                            &mut conn.partial,
+                            conn,
                             &self.buf[..n],
-                            &peer,
-                            &mut conn.lineno,
+                            self.limits.max_line_bytes,
                             &mut routed,
+                            &mut oversize,
                         );
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -229,6 +412,9 @@ impl Source for TcpSource {
             } else {
                 i += 1;
             }
+        }
+        for over in oversize {
+            self.oversized(&over, out);
         }
         for (line, lineno, peer) in routed {
             self.line(&line, &peer, lineno, out);

@@ -6,7 +6,7 @@
 //! out as soon as the paper's test window completes, and the whole
 //! engine can checkpoint to bytes and resume after a restart.
 //!
-//! Three layers:
+//! The layers, bottom up:
 //!
 //! - [`OnlineDetector`] — a single stream. `push(bag)` costs one
 //!   signature build plus at most `tau + tau' - 1` EMD solves (each
@@ -24,6 +24,16 @@
 //! - [`snapshot`] — a versioned binary checkpoint format storing every
 //!   stream's state; restoring yields outputs bit-identical to an
 //!   engine that never stopped.
+//! - [`ingest`] — [`Source`]s (CSV files, directories, pipes, TCP,
+//!   memory) multiplexed into the engine by the [`Mux`], with
+//!   per-stream resume cursors and quarantine isolation.
+//! - [`sink`] — [`Sink`]s (CSV, JSON lines, stderr diagnostics, tees,
+//!   memory) receiving everything the session observes as one typed
+//!   [`Event`] stream.
+//! - [`Pipeline`] — the builder facade owning the whole
+//!   read→detect→deliver→checkpoint loop, with delivery-acked
+//!   checkpoints: a checkpoint commits only after every event it
+//!   covers was delivered and every sink flushed durably.
 //!
 //! ```
 //! use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
@@ -53,14 +63,20 @@ pub mod event;
 pub mod hash;
 pub mod ingest;
 pub mod online;
+pub mod pipeline;
+pub mod sink;
 pub mod snapshot;
 mod worker;
 
 pub use cache::{EmdScratch, SignatureWindow};
 pub use engine::{EngineConfig, EngineError, StreamEngine, StreamId};
+#[allow(deprecated)]
 pub use event::StreamEvent;
+pub use event::{Event, QuarantineRecord};
 pub use ingest::{CheckpointPolicy, Mux, MuxConfig, Source, SourceStatus};
 pub use online::{OnlineDetector, OnlineState};
+pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineSummary, StepReport};
+pub use sink::{CsvSchema, CsvSink, JsonLinesSink, MemorySink, Sink, StderrAlertSink, Tee};
 pub use snapshot::SnapshotError;
 
 /// The seed a stream named `stream` runs under inside an engine with

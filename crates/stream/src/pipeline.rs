@@ -1,0 +1,475 @@
+//! The [`Pipeline`] facade: read → detect → deliver → checkpoint as one
+//! owned loop.
+//!
+//! Every online host used to hand-assemble the same four-step dance —
+//! build an engine, wrap it in a [`Mux`], poll sources, print events,
+//! and re-implement the two-phase durable-checkpoint protocol by
+//! convention. The pipeline owns all of it behind a builder:
+//!
+//! - **sources in** — any [`crate::ingest::Source`] (files, dirs, TCP,
+//!   stdin, memory), multiplexed round-robin;
+//! - **events out** — one ordered [`Event`] stream, delivered to any
+//!   [`Sink`] (CSV, JSONL, stderr diagnostics, tees, memory);
+//! - **delivery-acked checkpoints** — a checkpoint is committed only
+//!   after every event it covers was delivered *and* every sink's
+//!   [`Sink::flush_durable`] succeeded. A sink I/O error aborts the run
+//!   with the checkpoint uncommitted, so resuming from the last good
+//!   checkpoint recomputes the undelivered points bit-identically; a
+//!   `kill -9` at any instant loses nothing.
+
+use crate::engine::{EngineConfig, StreamEngine};
+use crate::event::{Event, QuarantineRecord};
+use crate::ingest::{CheckpointPolicy, Mux, MuxConfig, MuxError, Source, StreamCursor};
+use crate::sink::Sink;
+use bagcpd::DetectorConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long [`Pipeline::run`] sleeps between ticks when every source is
+/// idle.
+const IDLE_SLEEP: Duration = Duration::from_millis(2);
+
+/// Pipeline failure modes.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Construction failed (bad configuration, unreadable state file).
+    Build(String),
+    /// The ingestion layer or engine failed (strict-mode data errors
+    /// included).
+    Mux(MuxError),
+    /// A sink refused delivery or failed to flush; no checkpoint was
+    /// committed over the affected events.
+    Sink(std::io::Error),
+    /// Strict mode: a stream's detector rejected a bag.
+    StreamFailed {
+        /// The failing stream.
+        stream: Arc<str>,
+        /// The detector's error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Build(why) => write!(f, "{why}"),
+            PipelineError::Mux(e) => write!(f, "{e}"),
+            PipelineError::Sink(e) => write!(f, "output sink: {e}"),
+            PipelineError::StreamFailed { stream, message } => {
+                write!(f, "stream '{stream}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<MuxError> for PipelineError {
+    fn from(e: MuxError) -> Self {
+        PipelineError::Mux(e)
+    }
+}
+
+/// What one [`Pipeline::step`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Bags pushed into the engine this step.
+    pub bags: usize,
+    /// Every source is exhausted; call [`Pipeline::finish`].
+    pub done: bool,
+    /// Nothing happened; the caller may sleep before stepping again
+    /// ([`Pipeline::run`] does).
+    pub idle: bool,
+}
+
+/// What a completed pipeline did.
+#[derive(Debug)]
+pub struct PipelineSummary {
+    /// Score points delivered to the sinks.
+    pub points: u64,
+    /// Bags pushed over the run.
+    pub bags: u64,
+    /// Checkpoints committed (periodic + final).
+    pub checkpoints: u64,
+    /// Size of the final checkpoint, if one was written.
+    pub checkpoint_bytes: Option<usize>,
+    /// Every stream quarantined over the run.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+/// Builder for a [`Pipeline`]; see [`Pipeline::builder`].
+pub struct PipelineBuilder {
+    engine: EngineConfig,
+    sources: Vec<Box<dyn Source>>,
+    sinks: Vec<Box<dyn Sink>>,
+    policy: CheckpointPolicy,
+    state_path: Option<PathBuf>,
+    strict: bool,
+    stream_seeds: Vec<(String, u64)>,
+}
+
+impl PipelineBuilder {
+    /// Master seed (each stream's seed derives from it and the stream
+    /// name unless overridden by [`PipelineBuilder::stream_seed`]). A
+    /// restored checkpoint keeps its own master seed regardless.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.engine.seed = seed;
+        self
+    }
+
+    /// Worker threads for the detection pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.engine.workers = workers;
+        self
+    }
+
+    /// Add an ingestion source (repeatable; drained round-robin).
+    pub fn source(self, source: impl Source + 'static) -> Self {
+        self.source_boxed(Box::new(source))
+    }
+
+    /// [`PipelineBuilder::source`] for an already-boxed source.
+    pub fn source_boxed(mut self, source: Box<dyn Source>) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Add a delivery sink (repeatable; every sink sees every event,
+    /// and every sink must accept delivery and flush durably before a
+    /// checkpoint commits).
+    pub fn sink(self, sink: impl Sink + 'static) -> Self {
+        self.sink_boxed(Box::new(sink))
+    }
+
+    /// [`PipelineBuilder::sink`] for an already-boxed sink.
+    pub fn sink_boxed(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Checkpoint to `path` under `policy`; an existing file at `path`
+    /// is restored by [`PipelineBuilder::build`] (the session resumes).
+    /// A final checkpoint is always written by [`Pipeline::finish`].
+    pub fn checkpoint(mut self, policy: CheckpointPolicy, path: impl Into<PathBuf>) -> Self {
+        self.policy = policy;
+        self.state_path = Some(path.into());
+        self
+    }
+
+    /// Fail the whole run on the first per-stream data or detector
+    /// error instead of quarantining the stream (single-stream hosts
+    /// usually want this; fleets do not). Default `false`.
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Pin one stream's seed instead of deriving it from the master
+    /// seed and the name. No-op if the stream already exists in a
+    /// restored checkpoint (its established seed wins).
+    pub fn stream_seed(mut self, stream: impl Into<String>, seed: u64) -> Self {
+        self.stream_seeds.push((stream.into(), seed));
+        self
+    }
+
+    /// Construct the pipeline: restore the checkpoint if one exists at
+    /// the configured path, otherwise start a fresh engine; then attach
+    /// every source (adopting restored cursors) and prime every sink
+    /// (an initial `flush_durable`, so a `CsvSink` prints its header
+    /// before the first tick — a live consumer sees the schema
+    /// immediately, exactly like the original CLI loop).
+    ///
+    /// # Errors
+    /// [`PipelineError::Build`] for invalid configuration or an
+    /// unreadable/corrupt state file; [`PipelineError::Sink`] if a sink
+    /// cannot flush.
+    pub fn build(self) -> Result<Pipeline, PipelineError> {
+        let mux_cfg = MuxConfig {
+            policy: self.policy,
+            state_path: self.state_path.clone(),
+            strict: self.strict,
+        };
+        let mut restored_state = None;
+        let mut mux = match &self.state_path {
+            Some(path) if path.exists() => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| PipelineError::Build(format!("{}: {e}", path.display())))?;
+                let mux = Mux::restore(&bytes, self.engine, mux_cfg)
+                    .map_err(|e| PipelineError::Build(format!("{}: {e}", path.display())))?;
+                restored_state = Some(bytes);
+                mux
+            }
+            _ => {
+                let engine = StreamEngine::new(self.engine)
+                    .map_err(|e| PipelineError::Build(e.to_string()))?;
+                Mux::new(engine, mux_cfg)
+            }
+        };
+        for (stream, seed) in &self.stream_seeds {
+            mux.engine_mut()
+                .resolve_seeded(stream, *seed)
+                .map_err(|e| PipelineError::Build(e.to_string()))?;
+        }
+        for source in self.sources {
+            mux.add_source(source);
+        }
+        let mut pipeline = Pipeline {
+            mux,
+            sinks: self.sinks,
+            strict: self.strict,
+            restored_state,
+            points: 0,
+        };
+        flush_sinks(&mut pipeline.sinks)?;
+        Ok(pipeline)
+    }
+}
+
+/// The owned read→detect→deliver→checkpoint loop. Construct with
+/// [`Pipeline::builder`], then either hand over control with
+/// [`Pipeline::run`] / [`Pipeline::run_until`] or drive tick-by-tick
+/// with [`Pipeline::step`] + [`Pipeline::finish`].
+///
+/// ```
+/// use bagcpd::{BootstrapConfig, DetectorConfig, SignatureMethod};
+/// use stream::ingest::MemorySource;
+/// use stream::sink::MemorySink;
+/// use stream::Pipeline;
+///
+/// let detector = DetectorConfig {
+///     tau: 3,
+///     tau_prime: 2,
+///     signature: SignatureMethod::Histogram { width: 0.5 },
+///     bootstrap: BootstrapConfig { replicates: 32, ..Default::default() },
+///     ..Default::default()
+/// };
+/// // 8 bags with a level shift halfway: window 5 -> 4 score points.
+/// let bags = (0..8).map(|t| {
+///     let level = if t < 4 { 0.0 } else { 6.0 };
+///     let rows = (0..20).map(|i| vec![level + (i % 5) as f64 * 0.1]).collect();
+///     (t as i64, rows)
+/// });
+/// let sink = MemorySink::new();
+/// let summary = Pipeline::builder(detector)
+///     .seed(42)
+///     .workers(1)
+///     .source(MemorySource::bags("sensor", bags))
+///     .sink(sink.clone())
+///     .build()?
+///     .run()?;
+/// assert_eq!(summary.points, 4);
+/// assert!(sink.events().iter().all(|e| e.point().is_some()));
+/// # Ok::<(), stream::PipelineError>(())
+/// ```
+pub struct Pipeline {
+    mux: Mux,
+    sinks: Vec<Box<dyn Sink>>,
+    strict: bool,
+    /// The checkpoint bytes the build restored from, if any.
+    restored_state: Option<Vec<u8>>,
+    points: u64,
+}
+
+impl Pipeline {
+    /// Start building a pipeline around the paper's detection
+    /// parameters; everything else (sources, sinks, checkpointing,
+    /// strictness, pool shape) is opt-in on the builder.
+    pub fn builder(detector: DetectorConfig) -> PipelineBuilder {
+        PipelineBuilder {
+            engine: EngineConfig {
+                detector,
+                ..EngineConfig::default()
+            },
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            policy: CheckpointPolicy::disabled(),
+            state_path: None,
+            strict: false,
+            stream_seeds: Vec::new(),
+        }
+    }
+
+    /// Whether [`PipelineBuilder::build`] restored an existing
+    /// checkpoint.
+    pub fn resumed(&self) -> bool {
+        self.restored_state.is_some()
+    }
+
+    /// The exact checkpoint bytes the build restored from (`None` on a
+    /// fresh start) — for hosts that report resume diagnostics without
+    /// re-reading (and possibly racing) the state file.
+    pub fn restored_state(&self) -> Option<&[u8]> {
+        self.restored_state.as_deref()
+    }
+
+    /// The restored cursor table (empty unless [`Pipeline::resumed`]).
+    pub fn resume_cursors(&self) -> &HashMap<String, StreamCursor> {
+        self.mux.resume_cursors()
+    }
+
+    /// The underlying engine (resolve ids, inspect the master seed, …).
+    pub fn engine_mut(&mut self) -> &mut StreamEngine {
+        self.mux.engine_mut()
+    }
+
+    /// Score points delivered so far.
+    pub fn points_delivered(&self) -> u64 {
+        self.points
+    }
+
+    /// One tick: poll every source, push completed bags, deliver every
+    /// finished event — and, when the checkpoint policy comes due, run
+    /// the delivery-acked commit (barrier-flush the engine, deliver,
+    /// `flush_durable` every sink, only then write the checkpoint).
+    ///
+    /// # Errors
+    /// Source/engine/state failures ([`PipelineError::Mux`]), sink I/O
+    /// failures ([`PipelineError::Sink`] — the pending checkpoint is
+    /// *not* committed), or, in strict mode, the first stream failure.
+    pub fn step(&mut self) -> Result<StepReport, PipelineError> {
+        let report = self.mux.tick()?;
+        let events = self.mux.drain_events();
+        deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
+        if report.checkpoint_due {
+            let events = self.mux.flush_events()?;
+            deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
+            flush_sinks(&mut self.sinks)?;
+            self.mux.checkpoint_now()?;
+            // Announce the commit through the same stream.
+            let events = self.mux.drain_events();
+            deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
+        }
+        Ok(StepReport {
+            bags: report.bags,
+            done: report.done,
+            idle: report.idle,
+        })
+    }
+
+    /// Step until every source is exhausted (sleeping briefly while
+    /// idle), then [`Pipeline::finish`]. A watch-mode source never
+    /// reports done, so this runs until the process is stopped.
+    ///
+    /// # Errors
+    /// As [`Pipeline::step`] / [`Pipeline::finish`].
+    pub fn run(mut self) -> Result<PipelineSummary, PipelineError> {
+        loop {
+            let step = self.step()?;
+            if step.done {
+                break;
+            }
+            if step.idle {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        self.finish()
+    }
+
+    /// As [`Pipeline::run`], but return control at `deadline` instead
+    /// of finishing; returns whether the sources are exhausted. Call
+    /// again to keep going, or [`Pipeline::finish`] to wind down (which
+    /// a drained pipeline still needs, for the final events and
+    /// checkpoint).
+    ///
+    /// # Errors
+    /// As [`Pipeline::step`].
+    pub fn run_until(&mut self, deadline: Instant) -> Result<bool, PipelineError> {
+        loop {
+            let step = self.step()?;
+            if step.done {
+                return Ok(true);
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            if step.idle {
+                std::thread::sleep(
+                    IDLE_SLEEP.min(deadline.saturating_duration_since(Instant::now())),
+                );
+            }
+        }
+    }
+
+    /// Wind down: barrier-flush the engine, deliver everything, flush
+    /// the sinks durably, and only then let the mux write its final
+    /// checkpoint (non-checkpointing runs complete trailing bags here
+    /// instead). The final events — including the closing
+    /// [`Event::CheckpointWritten`] — go through the sinks too.
+    ///
+    /// # Errors
+    /// As [`Pipeline::step`]; a sink failure leaves the final
+    /// checkpoint unwritten, so a resumed session replays the
+    /// undelivered tail.
+    pub fn finish(self) -> Result<PipelineSummary, PipelineError> {
+        let Pipeline {
+            mut mux,
+            mut sinks,
+            strict,
+            mut points,
+            ..
+        } = self;
+        // Deliver everything already evaluated and make it durable
+        // before the final checkpoint can cover it.
+        let events = mux.flush_events()?;
+        deliver(&mut sinks, strict, &mut points, &events)?;
+        flush_sinks(&mut sinks)?;
+        let finish = mux.finish()?;
+        deliver(&mut sinks, strict, &mut points, &finish.events)?;
+        flush_sinks(&mut sinks)?;
+        Ok(PipelineSummary {
+            points,
+            bags: finish.bags_pushed,
+            checkpoints: finish.checkpoints_written,
+            checkpoint_bytes: finish.checkpoint_bytes,
+            quarantined: finish.quarantined,
+        })
+    }
+}
+
+/// Deliver one batch to every sink, counting points. In strict mode a
+/// [`Event::StreamError`] aborts: the events before it are delivered,
+/// the error itself is not (the host reports it as the run's failure),
+/// and nothing after it is either.
+fn deliver(
+    sinks: &mut [Box<dyn Sink>],
+    strict: bool,
+    points: &mut u64,
+    events: &[Event],
+) -> Result<(), PipelineError> {
+    if events.is_empty() {
+        return Ok(());
+    }
+    let failed = strict
+        .then(|| {
+            events
+                .iter()
+                .position(|e| matches!(e, Event::StreamError { .. }))
+        })
+        .flatten();
+    let deliverable = &events[..failed.unwrap_or(events.len())];
+    for sink in sinks.iter_mut() {
+        sink.deliver(deliverable).map_err(PipelineError::Sink)?;
+    }
+    *points += deliverable.iter().filter(|e| e.point().is_some()).count() as u64;
+    if let Some(pos) = failed {
+        let Event::StreamError { stream, message } = &events[pos] else {
+            unreachable!("position matched a StreamError");
+        };
+        return Err(PipelineError::StreamFailed {
+            stream: stream.clone(),
+            message: message.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// `flush_durable` every sink (all must succeed for a checkpoint to
+/// proceed).
+fn flush_sinks(sinks: &mut [Box<dyn Sink>]) -> Result<(), PipelineError> {
+    for sink in sinks.iter_mut() {
+        sink.flush_durable().map_err(PipelineError::Sink)?;
+    }
+    Ok(())
+}

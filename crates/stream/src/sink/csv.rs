@@ -1,0 +1,175 @@
+//! The canonical CSV sink.
+
+use super::Sink;
+use crate::event::Event;
+use std::io::{self, Write};
+
+/// Which columns a [`CsvSink`] emits and how numbers are formatted.
+///
+/// There is exactly one canonical schema —
+/// `stream,t,score,ci_lo,ci_up,xi,alert` — and two *documented*
+/// elisions of it, so every CSV this system writes is a declared subset
+/// of one shape instead of an accident of its call site:
+///
+/// - `stream_column: false` — single-stream mode; the stream name is
+///   constant and carried by context (a `follow` session, a per-stream
+///   output file).
+/// - `xi_column: false` — the legacy stdout format. The original CLI
+///   printed `ξ_t` only into `--output` files; scripts parse that
+///   stdout layout, so the elision is kept available (and is what the
+///   CLI still uses for stdout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvSchema {
+    /// Lead each row with the stream name.
+    pub stream_column: bool,
+    /// Include the `ξ_t` test statistic (empty while undefined).
+    pub xi_column: bool,
+    /// Fixed decimal places for `score`/`ci_lo`/`ci_up` (`Some(6)` is
+    /// the historical stdout format); `None` prints full precision,
+    /// which round-trips the f64 exactly.
+    pub precision: Option<usize>,
+}
+
+impl Default for CsvSchema {
+    fn default() -> Self {
+        CsvSchema::canonical()
+    }
+}
+
+impl CsvSchema {
+    /// The full canonical schema: `stream,t,score,ci_lo,ci_up,xi,alert`
+    /// at full precision.
+    pub fn canonical() -> Self {
+        CsvSchema {
+            stream_column: true,
+            xi_column: true,
+            precision: None,
+        }
+    }
+
+    /// Canonical minus the stream column — for sinks fed by exactly one
+    /// stream (`t,score,ci_lo,ci_up,xi,alert`). This is the batch
+    /// `--output` file format.
+    pub fn single_stream() -> Self {
+        CsvSchema {
+            stream_column: false,
+            ..CsvSchema::canonical()
+        }
+    }
+
+    /// The legacy stdout format: no `xi` column, six decimal places
+    /// (`[stream,]t,score,ci_lo,ci_up,alert`).
+    pub fn legacy_stdout(stream_column: bool) -> Self {
+        CsvSchema {
+            stream_column,
+            xi_column: false,
+            precision: Some(6),
+        }
+    }
+
+    /// The header line for this schema (no trailing newline).
+    pub fn header(&self) -> String {
+        let mut h = String::new();
+        if self.stream_column {
+            h.push_str("stream,");
+        }
+        h.push_str("t,score,ci_lo,ci_up,");
+        if self.xi_column {
+            h.push_str("xi,");
+        }
+        h.push_str("alert");
+        h
+    }
+}
+
+/// CSV egress over any writer: one header, then one row per
+/// [`Event::Point`] (other event variants are diagnostics and do not
+/// appear in the table). The header is written before the first row —
+/// and by [`Sink::flush_durable`] even if no point ever arrives, so an
+/// empty session still yields a well-formed file.
+///
+/// Rows are flushed at the end of every delivered batch, preserving the
+/// per-tick output latency of the original CLI loop on live sessions.
+pub struct CsvSink<W: Write> {
+    w: W,
+    schema: CsvSchema,
+    header_written: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Canonical sink (see [`CsvSchema::canonical`]) over `w`.
+    pub fn new(w: W) -> Self {
+        CsvSink::with_schema(w, CsvSchema::canonical())
+    }
+
+    /// Sink with an explicit schema.
+    pub fn with_schema(w: W, schema: CsvSchema) -> Self {
+        CsvSink {
+            w,
+            schema,
+            header_written: false,
+        }
+    }
+
+    /// The schema this sink writes.
+    pub fn schema(&self) -> &CsvSchema {
+        &self.schema
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            writeln!(self.w, "{}", self.schema.header())?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    fn row(&mut self, stream: &str, point: &bagcpd::ScorePoint) -> io::Result<()> {
+        if self.schema.stream_column {
+            write!(self.w, "{stream},")?;
+        }
+        write!(self.w, "{},", point.t)?;
+        match self.schema.precision {
+            Some(p) => write!(
+                self.w,
+                "{:.p$},{:.p$},{:.p$},",
+                point.score, point.ci.lo, point.ci.up
+            )?,
+            None => write!(self.w, "{},{},{},", point.score, point.ci.lo, point.ci.up)?,
+        }
+        if self.schema.xi_column {
+            match point.xi {
+                Some(xi) => write!(self.w, "{xi},")?,
+                None => write!(self.w, ",")?,
+            }
+        }
+        writeln!(self.w, "{}", u8::from(point.alert))
+    }
+}
+
+impl<W: Write> Sink for CsvSink<W> {
+    fn deliver(&mut self, events: &[Event]) -> io::Result<()> {
+        let mut wrote = false;
+        for event in events {
+            if let Event::Point { stream, point } = event {
+                self.ensure_header()?;
+                self.row(stream, point)?;
+                wrote = true;
+            }
+        }
+        if wrote {
+            self.w.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush_durable(&mut self) -> io::Result<()> {
+        self.ensure_header()?;
+        self.w.flush()
+    }
+}

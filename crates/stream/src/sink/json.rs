@@ -1,0 +1,187 @@
+//! JSON-lines egress — hand-rolled, no dependencies.
+
+use super::Sink;
+use crate::event::Event;
+use std::io::{self, Write};
+
+/// One JSON object per event, newline-delimited (`jq`-able, log-store
+/// friendly). Unlike [`super::CsvSink`], every event variant is
+/// serialized, so a JSONL file is a complete, ordered record of the
+/// session:
+///
+/// ```json
+/// {"type":"point","stream":"s","t":7,"score":1.25,"ci_lo":1.0,"ci_up":1.5,"xi":0.25,"alert":true}
+/// {"type":"stream_error","stream":"s","message":"..."}
+/// {"type":"quarantine","stream":"s","error":"..."}
+/// {"type":"note","text":"..."}
+/// {"type":"checkpoint","bytes":4096,"bags":128}
+/// ```
+///
+/// Numbers are emitted with Rust's shortest-round-trip float formatting
+/// (`null` for the rare non-finite value), so a reader recovers the
+/// exact `f64`s.
+pub struct JsonLinesSink<W: Write> {
+    w: W,
+    buf: String,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// JSONL sink over `w`.
+    pub fn new(w: W) -> Self {
+        JsonLinesSink {
+            w,
+            buf: String::new(),
+        }
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `buf`.
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Append a JSON number (or `null` when not finite).
+fn push_json_f64(buf: &mut String, x: f64) {
+    if x.is_finite() {
+        buf.push_str(&format!("{x}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+fn encode(buf: &mut String, event: &Event) {
+    buf.clear();
+    match event {
+        Event::Point { stream, point } => {
+            buf.push_str("{\"type\":\"point\",\"stream\":");
+            push_json_str(buf, stream);
+            buf.push_str(&format!(",\"t\":{}", point.t));
+            buf.push_str(",\"score\":");
+            push_json_f64(buf, point.score);
+            buf.push_str(",\"ci_lo\":");
+            push_json_f64(buf, point.ci.lo);
+            buf.push_str(",\"ci_up\":");
+            push_json_f64(buf, point.ci.up);
+            buf.push_str(",\"xi\":");
+            match point.xi {
+                Some(xi) => push_json_f64(buf, xi),
+                None => buf.push_str("null"),
+            }
+            buf.push_str(&format!(",\"alert\":{}}}", point.alert));
+        }
+        Event::StreamError { stream, message } => {
+            buf.push_str("{\"type\":\"stream_error\",\"stream\":");
+            push_json_str(buf, stream);
+            buf.push_str(",\"message\":");
+            push_json_str(buf, message);
+            buf.push('}');
+        }
+        Event::Quarantine(record) => {
+            buf.push_str("{\"type\":\"quarantine\",\"stream\":");
+            push_json_str(buf, &record.stream);
+            buf.push_str(",\"error\":");
+            push_json_str(buf, &record.error.to_string());
+            buf.push('}');
+        }
+        Event::Note(text) => {
+            buf.push_str("{\"type\":\"note\",\"text\":");
+            push_json_str(buf, text);
+            buf.push('}');
+        }
+        Event::CheckpointWritten { bytes, bags } => {
+            buf.push_str(&format!(
+                "{{\"type\":\"checkpoint\",\"bytes\":{bytes},\"bags\":{bags}}}"
+            ));
+        }
+    }
+}
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn deliver(&mut self, events: &[Event]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        for event in events {
+            encode(&mut buf, event);
+            buf.push('\n');
+            let r = self.w.write_all(buf.as_bytes());
+            if r.is_err() {
+                self.buf = buf;
+                return r;
+            }
+        }
+        self.buf = buf;
+        self.w.flush()
+    }
+
+    fn flush_durable(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QuarantineRecord;
+    use crate::ingest::SourceError;
+    use bagcpd::{ConfidenceInterval, ScorePoint};
+    use std::sync::Arc;
+
+    #[test]
+    fn events_serialize_one_object_per_line_with_escaping() {
+        let events = vec![
+            Event::Point {
+                stream: Arc::from("s\"1"),
+                point: ScorePoint {
+                    t: 4,
+                    score: 1.5,
+                    ci: ConfidenceInterval { lo: 1.0, up: 2.0 },
+                    xi: None,
+                    alert: false,
+                },
+            },
+            Event::Note("line\nbreak".into()),
+            Event::Quarantine(QuarantineRecord {
+                stream: Arc::from("q"),
+                error: SourceError::Data("bad\trow".into()),
+            }),
+            Event::CheckpointWritten { bytes: 9, bags: 2 },
+        ];
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.deliver(&events).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"point\",\"stream\":\"s\\\"1\",\"t\":4,\"score\":1.5,\"ci_lo\":1,\
+             \"ci_up\":2,\"xi\":null,\"alert\":false}"
+        );
+        assert_eq!(lines[1], "{\"type\":\"note\",\"text\":\"line\\nbreak\"}");
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"quarantine\",\"stream\":\"q\",\"error\":\"bad\\trow\"}"
+        );
+        assert_eq!(lines[3], "{\"type\":\"checkpoint\",\"bytes\":9,\"bags\":2}");
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::cache::EmdScratch;
 use crate::engine::StreamId;
-use crate::event::StreamEvent;
+use crate::event::Event;
 use crate::online::{OnlineDetector, OnlineState};
 use bagcpd::{derive_seed, Bag, Detector, EvalScratch};
 use std::collections::HashMap;
@@ -105,7 +105,7 @@ struct Shard {
 pub(crate) fn run(
     detector: Detector,
     rx: Receiver<Msg>,
-    events: SyncSender<StreamEvent>,
+    events: SyncSender<Event>,
     batch_size: usize,
 ) {
     let mut shard = Shard {
@@ -140,7 +140,7 @@ fn tick(
     detector: &Detector,
     shard: &mut Shard,
     batch: &mut Vec<Msg>,
-    events: &SyncSender<StreamEvent>,
+    events: &SyncSender<Event>,
 ) -> Result<(), ()> {
     // Group consecutive pushes by stream (per-stream arrival order is
     // preserved; cross-stream order within a tick is immaterial).
@@ -199,7 +199,7 @@ fn evaluate(
     shard: &mut Shard,
     order: &mut Vec<StreamId>,
     groups: &mut HashMap<StreamId, Vec<Bag>>,
-    events: &SyncSender<StreamEvent>,
+    events: &SyncSender<Event>,
 ) -> Result<(), ()> {
     for id in order.drain(..) {
         let bags = groups.remove(&id).expect("grouped with order");
@@ -215,7 +215,7 @@ fn evaluate(
             match det.push_with(bag, &mut shard.scratch, &mut shard.emd) {
                 Ok(Some(point)) => {
                     events
-                        .send(StreamEvent::Point {
+                        .send(Event::Point {
                             stream: meta.name.clone(),
                             point,
                         })
@@ -225,7 +225,7 @@ fn evaluate(
                 Err(e) => {
                     // Drop the offending bag, keep the stream alive.
                     events
-                        .send(StreamEvent::Error {
+                        .send(Event::StreamError {
                             stream: meta.name.clone(),
                             message: e.to_string(),
                         })

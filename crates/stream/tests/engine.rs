@@ -33,10 +33,13 @@ fn bag_for(s: usize, t: usize) -> Bag {
 }
 
 /// Group point events per stream.
-fn points_by_stream(events: Vec<stream::StreamEvent>) -> HashMap<String, Vec<ScorePoint>> {
+fn points_by_stream(events: Vec<stream::Event>) -> HashMap<String, Vec<ScorePoint>> {
     let mut map: HashMap<String, Vec<ScorePoint>> = HashMap::new();
     for e in events {
-        let name = e.stream().to_string();
+        let name = e
+            .stream()
+            .expect("engine events are stream-scoped")
+            .to_string();
         match e.point() {
             Some(point) => map.entry(name).or_default().push(*point),
             None => panic!("unexpected error event on {name}: {e:?}"),

@@ -5,9 +5,9 @@ use bagcpd::Detector;
 use bagcpd::{BootstrapConfig, DetectorConfig, SignatureMethod};
 use stream::ingest::{
     CheckpointPolicy, CsvFileSource, DirSource, LineSource, Mux, MuxConfig, Source, SourceItem,
-    SourceStatus, TcpSource,
+    SourceStatus, TcpLimits, TcpSource,
 };
-use stream::{derive_stream_seed, EngineConfig, StreamEngine, StreamEvent};
+use stream::{derive_stream_seed, EngineConfig, Event, StreamEngine};
 
 use std::io::Cursor;
 use std::io::Write as _;
@@ -58,7 +58,7 @@ fn csv_text(bags: usize, change_at: usize, salt: u64, header: bool) -> String {
     s
 }
 
-fn drive_to_done(mux: &mut Mux) -> Vec<StreamEvent> {
+fn drive_to_done(mux: &mut Mux) -> Vec<Event> {
     let mut events = Vec::new();
     for _ in 0..10_000 {
         let report = mux.tick().unwrap();
@@ -87,12 +87,12 @@ fn tmp_dir(name: &str) -> PathBuf {
 }
 
 fn points_of<'a>(
-    events: &'a [StreamEvent],
+    events: &'a [Event],
     stream: &'a str,
 ) -> impl Iterator<Item = &'a bagcpd::ScorePoint> {
     events
         .iter()
-        .filter(move |e| e.stream() == stream)
+        .filter(move |e| e.stream() == Some(stream))
         .filter_map(|e| e.point())
 }
 
@@ -307,11 +307,18 @@ fn periodic_checkpoints_fire_by_bags_and_by_ticks() {
     assert_eq!(mux.checkpoints_written(), 0, "host commits, not tick()");
     mux.checkpoint_now().unwrap();
     assert_eq!(mux.checkpoints_written(), 1);
-    // Ignore the flag this time: the next tick auto-writes.
+    // Ignore the flag this time: the next tick auto-writes (announced
+    // through the unified event stream, not a side channel).
     let report = mux.tick().unwrap();
     assert!(report.checkpoint_due);
-    let report = mux.tick().unwrap();
-    assert!(report.checkpointed.is_some(), "unhandled flag auto-writes");
+    mux.drain_events();
+    mux.tick().unwrap();
+    assert!(
+        mux.drain_events()
+            .iter()
+            .any(|e| matches!(e, Event::CheckpointWritten { .. })),
+        "unhandled flag auto-writes"
+    );
     assert!(mux.checkpoints_written() >= 2);
     assert!(state2.exists());
     mux.finish().unwrap();
@@ -386,12 +393,10 @@ fn dir_source_skips_non_file_csv_entries_with_a_note() {
 
     assert!(finish.quarantined.is_empty(), "{:?}", finish.quarantined);
     assert!(
-        finish
-            .notes
+        events
             .iter()
-            .any(|n| n.contains("not a regular file")),
-        "{:?}",
-        finish.notes
+            .any(|e| matches!(e, Event::Note(n) if n.contains("not a regular file"))),
+        "{events:?}"
     );
     assert_eq!(points_of(&events, "good").count(), 5);
     assert_eq!(points_of(&events, "broken").count(), 0);
@@ -633,4 +638,159 @@ fn unterminated_trailing_line_is_not_consumed_by_cursor() {
         "the fragment must not be counted"
     );
     assert_eq!(cursor.pending.as_ref().map(|(t, _)| *t), Some(0));
+}
+
+/// Drain a TCP source directly until `Done`, collecting its items.
+fn drain_tcp(tcp: &mut TcpSource) -> Vec<SourceItem> {
+    let mut out = Vec::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while tcp.poll(&mut out).unwrap() != SourceStatus::Done {
+        assert!(std::time::Instant::now() < deadline, "tcp drain timed out");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    tcp.finish(&mut out).unwrap();
+    out
+}
+
+fn bags_for<'a>(out: &'a [SourceItem], stream: &'a str) -> impl Iterator<Item = &'a SourceItem> {
+    out.iter()
+        .filter(move |i| matches!(i, SourceItem::Bag { stream: s, .. } if s.as_ref() == stream))
+}
+
+#[test]
+fn tcp_oversized_line_quarantines_its_stream_without_buffering_it() {
+    let mut tcp = TcpSource::bind_with(
+        "127.0.0.1:0",
+        false,
+        TcpLimits {
+            max_line_bytes: 64,
+            max_streams: 4096,
+        },
+    )
+    .unwrap();
+    let addr = tcp.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        // A healthy stream interleaved with a hostile one: the poison
+        // line is far beyond the limit (and would OOM an unbounded
+        // buffer if it never ended).
+        for t in 0..3 {
+            writeln!(sock, "ok,{t},0.5").unwrap();
+        }
+        write!(sock, "big,0,").unwrap();
+        let chunk = vec![b'1'; 8 * 1024];
+        for _ in 0..64 {
+            sock.write_all(&chunk).unwrap(); // 512 KiB line, one stream
+        }
+        writeln!(sock).unwrap();
+        // Both streams speak again after the flood.
+        writeln!(sock, "big,1,0.5").unwrap();
+        for t in 3..6 {
+            writeln!(sock, "ok,{t},0.5").unwrap();
+        }
+    });
+    let out = drain_tcp(&mut tcp);
+    writer.join().unwrap();
+
+    let quarantined: Vec<&SourceItem> = out
+        .iter()
+        .filter(|i| matches!(i, SourceItem::Quarantine { .. }))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "{out:?}");
+    assert!(
+        matches!(
+            quarantined[0],
+            SourceItem::Quarantine { stream, error }
+                if stream.as_ref() == "big" && error.to_string().contains("max_line_bytes")
+        ),
+        "{quarantined:?}"
+    );
+    // The healthy stream's bags all completed; the quarantined one
+    // produced nothing (its post-flood line was refused too).
+    assert_eq!(bags_for(&out, "ok").count(), 6);
+    assert_eq!(bags_for(&out, "big").count(), 0);
+}
+
+#[test]
+fn tcp_excess_streams_are_refused_with_a_note() {
+    let mut tcp = TcpSource::bind_with(
+        "127.0.0.1:0",
+        false,
+        TcpLimits {
+            max_line_bytes: 64 * 1024,
+            max_streams: 2,
+        },
+    )
+    .unwrap();
+    let addr = tcp.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        for t in 0..4 {
+            writeln!(sock, "a,{t},0.1").unwrap();
+            writeln!(sock, "b,{t},0.2").unwrap();
+            writeln!(sock, "c,{t},0.3").unwrap(); // one over the limit
+        }
+    });
+    let out = drain_tcp(&mut tcp);
+    writer.join().unwrap();
+
+    assert_eq!(bags_for(&out, "a").count(), 4);
+    assert_eq!(bags_for(&out, "b").count(), 4);
+    assert_eq!(bags_for(&out, "c").count(), 0, "{out:?}");
+    let refusals = out
+        .iter()
+        .filter(|i| matches!(i, SourceItem::Note(n) if n.contains("'c' refused") && n.contains("max_streams")))
+        .count();
+    assert_eq!(refusals, 1, "one note per refused stream: {out:?}");
+    assert!(
+        !out.iter()
+            .any(|i| matches!(i, SourceItem::Quarantine { .. })),
+        "refusal is not a quarantine: {out:?}"
+    );
+}
+
+#[test]
+fn tcp_hostile_unique_names_cannot_grow_bookkeeping_without_bound() {
+    // An attacker inventing a fresh stream name per oversized line must
+    // not grow the quarantine bookkeeping past the stream cap: the
+    // lines are dropped (with a note), the healthy stream keeps going.
+    let mut tcp = TcpSource::bind_with(
+        "127.0.0.1:0",
+        false,
+        TcpLimits {
+            max_line_bytes: 32,
+            max_streams: 1,
+        },
+    )
+    .unwrap();
+    let addr = tcp.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        writeln!(sock, "ok,0,0.5").unwrap();
+        for n in 0..10 {
+            // Each line oversized and uniquely named.
+            writeln!(sock, "attack-{n},0,{}", "9".repeat(64)).unwrap();
+        }
+        for t in 1..4 {
+            writeln!(sock, "ok,{t},0.5").unwrap();
+        }
+    });
+    let out = drain_tcp(&mut tcp);
+    writer.join().unwrap();
+
+    assert_eq!(bags_for(&out, "ok").count(), 4, "{out:?}");
+    // One durable quarantine at most (the cap); the rest dropped as
+    // transient notes.
+    assert!(
+        tcp.quarantined().count() <= 1,
+        "bookkeeping must stay capped"
+    );
+    let dropped = out
+        .iter()
+        .filter(|i| matches!(i, SourceItem::Note(n) if n.contains("oversized line dropped")))
+        .count();
+    assert!(
+        dropped >= 9,
+        "excess oversized lines are noted, not stored: {out:?}"
+    );
 }

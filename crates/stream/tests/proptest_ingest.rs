@@ -7,7 +7,7 @@
 use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
 use proptest::prelude::*;
 use stream::ingest::{CsvFileSource, LineSource, Mux, MuxConfig};
-use stream::{derive_stream_seed, EngineConfig, OnlineDetector, StreamEngine, StreamEvent};
+use stream::{derive_stream_seed, EngineConfig, Event, OnlineDetector, StreamEngine};
 
 use std::io::Cursor;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,7 +76,7 @@ fn csv_for(stream: &GenStream, upto: usize) -> String {
     s
 }
 
-fn drive(mux: &mut Mux) -> Vec<StreamEvent> {
+fn drive(mux: &mut Mux) -> Vec<Event> {
     let mut events = Vec::new();
     for _ in 0..10_000 {
         let report = mux.tick().unwrap();
@@ -95,10 +95,10 @@ fn drive(mux: &mut Mux) -> Vec<StreamEvent> {
     panic!("mux never drained");
 }
 
-fn points_by_stream(events: &[StreamEvent], name: &str) -> Vec<bagcpd::ScorePoint> {
+fn points_by_stream(events: &[Event], name: &str) -> Vec<bagcpd::ScorePoint> {
     events
         .iter()
-        .filter(|e| e.stream() == name)
+        .filter(|e| e.stream() == Some(name))
         .filter_map(|e| e.point())
         .cloned()
         .collect()

@@ -6,20 +6,26 @@
 //!
 //! Part 1 drives a single [`stream::OnlineDetector`]: each push costs
 //! one signature build plus a handful of cached EMD solves (constant
-//! memory, unlike the retained-prefix `StreamingDetector` it replaces),
-//! and each completed score point — identical to what the batch API
-//! would produce — prints immediately, with a latency of τ' bags.
+//! memory), and each completed score point — identical to what the
+//! batch API would produce — prints immediately, with a latency of τ'
+//! bags.
 //!
-//! Part 2 runs the same workload across a [`stream::StreamEngine`]:
-//! many named sensors sharded over a small worker pool — resolved once
-//! to interned [`stream::StreamId`]s and pushed by id from then on —
-//! with a mid-run snapshot/restore to show a restart losing nothing
-//! (including the ids: the snapshot persists the intern table, so
-//! handles resolved before the checkpoint stay valid after it).
+//! Part 2 runs the same workload through the [`stream::Pipeline`]
+//! facade: many named sensors enter through `Source`s, every output —
+//! score points, notes, checkpoint commits — leaves through `Sink`s as
+//! one typed event stream, and the session checkpoints on shutdown. A
+//! second pipeline pointed at the same state file resumes the fleet
+//! bit-identically: the restart loses nothing, and no host-side
+//! engine/mux plumbing is involved.
 
 use bags_cpd::stats::{seeded_rng, GaussianMixture1d};
-use bags_cpd::stream::{EngineConfig, OnlineDetector, StreamEngine, StreamId};
+use bags_cpd::stream::ingest::MemorySource;
+use bags_cpd::stream::{
+    CheckpointPolicy, Event, JsonLinesSink, MemorySink, OnlineDetector, Pipeline, Sink as _,
+};
 use bags_cpd::{Bag, Detector, DetectorConfig};
+
+const SENSORS: usize = 6;
 
 fn detector() -> Detector {
     Detector::new(DetectorConfig {
@@ -62,68 +68,99 @@ fn single_stream() {
     }
 }
 
-fn engine_fleet() {
-    const SENSORS: usize = 6;
+/// The whole fleet's observations, per sensor: `(time, rows)` pairs.
+/// Sampled in `(t, sensor)` order so splitting the range across two
+/// sessions draws the exact sequence one uninterrupted run would.
+fn fleet_bags(range: std::ops::Range<usize>) -> Vec<Vec<(i64, Vec<Vec<f64>>)>> {
     let mut rng = seeded_rng(17);
     let regimes = regimes();
-    let cfg = EngineConfig {
-        detector: detector().config().clone(),
-        seed: 99,
-        workers: 3,
-        ..EngineConfig::default()
-    };
-
-    println!("\nengine: {SENSORS} sensors on 3 workers, snapshot at t = 20\n");
-    let mut engine = StreamEngine::new(cfg.clone()).expect("engine spawns");
-    // Resolve each sensor name once; the push loop then moves only an
-    // integer and the bag — no per-push hashing or allocation.
-    let ids: Vec<StreamId> = (0..SENSORS)
-        .map(|s| engine.resolve(&format!("sensor-{s}")).expect("resolve"))
-        .collect();
-    let mut feed = |engine: &mut StreamEngine, range: std::ops::Range<usize>| {
-        for t in range {
-            for (s, &id) in ids.iter().enumerate() {
-                // Half the sensors change regimes, half stay flat.
-                let regime = if s % 2 == 0 {
-                    &regimes[t / 15]
-                } else {
-                    &regimes[0]
-                };
-                let bag = Bag::from_scalars(regime.sample_n(120, &mut rng));
-                engine.push_id(id, bag).expect("push");
+    let mut bags: Vec<Vec<(i64, Vec<Vec<f64>>)>> = vec![Vec::new(); SENSORS];
+    for t in 0..range.end {
+        for (s, per_sensor) in bags.iter_mut().enumerate() {
+            // Half the sensors change regimes, half stay flat.
+            let regime = if s % 2 == 0 {
+                &regimes[t / 15]
+            } else {
+                &regimes[0]
+            };
+            let rows: Vec<Vec<f64>> = regime
+                .sample_n(120, &mut rng)
+                .into_iter()
+                .map(|x| vec![x])
+                .collect();
+            if t >= range.start {
+                per_sensor.push((t as i64, rows));
             }
         }
-    };
-    feed(&mut engine, 0..20);
+    }
+    bags
+}
 
-    // Checkpoint mid-run, throw the engine away, resume from bytes.
-    let snapshot = engine.snapshot().expect("snapshot");
-    let mut events = engine.shutdown();
-    println!("snapshot: {} bytes for {SENSORS} sensors", snapshot.len());
+/// One session over `range`: a pipeline with one in-memory source per
+/// sensor and a collecting sink, checkpointing to `state` at shutdown.
+fn fleet_session(range: std::ops::Range<usize>, state: &std::path::Path) -> Vec<Event> {
+    let collected = MemorySink::new();
+    let mut builder = Pipeline::builder(detector().config().clone())
+        .seed(99)
+        .workers(3)
+        .checkpoint(CheckpointPolicy::disabled(), state) // final checkpoint only
+        .sink(collected.clone());
+    for (s, sensor_bags) in fleet_bags(range.clone()).into_iter().enumerate() {
+        builder = builder.source(MemorySource::bags(format!("sensor-{s}"), sensor_bags));
+    }
+    let pipeline = builder.build().expect("pipeline builds");
+    let resumed = pipeline.resumed();
+    let summary = pipeline.run().expect("pipeline runs");
+    println!(
+        "session over t = {}..{}: {} bags, {} points, checkpoint {} bytes{}",
+        range.start,
+        range.end,
+        summary.bags,
+        summary.points,
+        summary.checkpoint_bytes.unwrap_or(0),
+        if resumed { " (resumed)" } else { "" },
+    );
+    collected.events()
+}
 
-    // The restored engine rebuilt the intern table from the snapshot:
-    // the StreamIds resolved before the checkpoint still address the
-    // same sensors.
-    let mut engine = StreamEngine::restore(&snapshot, cfg).expect("restore");
-    feed(&mut engine, 20..45);
-    engine.flush().expect("flush");
-    events.extend(engine.shutdown());
+fn pipeline_fleet() {
+    let state = std::env::temp_dir().join("bags_cpd_streaming_example.snap");
+    let _ = std::fs::remove_file(&state);
+
+    println!("\npipeline: {SENSORS} sensors on 3 workers, restart at t = 20\n");
+    // Session 1 winds down with a checkpoint; session 2 resumes from it
+    // and continues exactly where the fleet left off.
+    let mut events = fleet_session(0..20, &state);
+    events.extend(fleet_session(20..45, &state));
+
+    // The same events in their JSONL wire format, for one sample point.
+    if let Some(event) = events.iter().find(|e| e.point().is_some()) {
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        jsonl
+            .deliver(std::slice::from_ref(event))
+            .expect("in-memory");
+        print!(
+            "a point event on the JSONL wire: {}",
+            String::from_utf8(jsonl.into_inner()).expect("utf8")
+        );
+    }
 
     let mut alerts: Vec<(String, usize)> = events
         .iter()
         .filter(|e| e.is_alert())
         .map(|e| {
             (
-                e.stream().to_string(),
+                e.stream().expect("points carry a stream").to_string(),
                 e.point().expect("alert is a point").t,
             )
         })
         .collect();
     alerts.sort();
     println!("alerts across the fleet (sensor, t): {alerts:?}");
+    let _ = std::fs::remove_file(&state);
 }
 
 fn main() {
     single_stream();
-    engine_fleet();
+    pipeline_fleet();
 }

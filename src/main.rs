@@ -13,6 +13,13 @@
 //!
 //! Rows sharing a `t` form one bag.
 //!
+//! All three modes are thin argument-parsing shims over the library's
+//! [`Pipeline`] facade (`stream::Pipeline`): sources feed the engine,
+//! every output — score rows, alerts, warnings, quarantine reports,
+//! checkpoint commits — leaves through `Sink`s, and the two-phase
+//! durable-checkpoint protocol (deliver, flush durably, only then
+//! commit) is the library's job, not this file's.
+//!
 //! # Batch mode
 //!
 //! ```sh
@@ -21,7 +28,8 @@
 //!
 //! Reads the whole file, analyzes it, and prints one line per
 //! inspection point with the score, confidence interval and alert flag,
-//! plus a CSV dump with `--output`.
+//! plus a CSV dump with `--output` (the canonical single-stream schema,
+//! `t,score,ci_lo,ci_up,xi,alert`).
 //!
 //! # Follow mode
 //!
@@ -50,9 +58,6 @@
 //! read from the top with already-pushed times skipped. `--state` files
 //! written by the previous single-source format are still read.
 //!
-//! Since this mode is a thin shim over the multi-source ingestion layer
-//! (`stream::ingest`), all of that behavior is shared with `serve`.
-//!
 //! # Serve mode
 //!
 //! ```sh
@@ -64,24 +69,29 @@
 //! stream per file, named by file stem), a `--dir` of CSVs (one stream
 //! per file, re-scanned for new files while running), and a `--listen`
 //! TCP socket speaking a `stream,t,x1,…` line protocol (many clients,
-//! many streams, non-blocking). Output rows are prefixed with the
-//! stream name. A malformed row or a backwards timestamp *quarantines
-//! that stream* (reported on stderr) instead of tearing the process
-//! down. Without `--watch`, the process drains every source and exits;
-//! with it, it keeps watching files, directory, and socket until
-//! killed. Periodic checkpoints cover every stream and every source
-//! cursor, so `kill -9` loses nothing past the last checkpoint.
+//! many streams, non-blocking; hardened by `--max-line-bytes` and
+//! `--max-streams`). Output rows are prefixed with the stream name. A
+//! malformed row or a backwards timestamp *quarantines that stream*
+//! (reported on stderr) instead of tearing the process down. Without
+//! `--watch`, the process drains every source and exits; with it, it
+//! keeps watching files, directory, and socket until killed. Periodic
+//! checkpoints cover every stream and every source cursor — committed
+//! only after the covered output was delivered — so `kill -9` loses
+//! nothing past the last checkpoint.
 
-use bags_cpd::follow::{decode_checkpoint, FollowCheckpoint, FOLLOW_STREAM};
+use bags_cpd::follow::{decode_checkpoint, FOLLOW_STREAM};
+use bags_cpd::stream::ingest::parse_row;
 use bags_cpd::stream::ingest::{
-    parse_row, CsvFileSource, DirSource, Mux, MuxConfig, Source, TcpSource, ThreadedLineSource,
+    CsvFileSource, DirSource, MemorySource, TcpLimits, TcpSource, ThreadedLineSource,
 };
-use bags_cpd::stream::{CheckpointPolicy, EngineConfig, StreamEngine, StreamEvent};
+use bags_cpd::stream::{
+    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, Pipeline, PipelineBuilder, StderrAlertSink,
+};
 use bags_cpd::{
-    Bag, BootstrapConfig, Detector, DetectorConfig, ScoreKind, SignatureMethod, Weighting,
+    Bag, BootstrapConfig, DetectError, Detector, DetectorConfig, ScoreKind, SignatureMethod,
+    Weighting,
 };
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::process::ExitCode;
 
 /// Which front-end drives the detector.
@@ -120,6 +130,9 @@ struct Options {
     listen: Option<String>,
     /// serve: keep watching sources instead of draining and exiting.
     watch: bool,
+    /// serve: TCP hardening limits (defaults from the library).
+    max_line_bytes: Option<usize>,
+    max_streams: Option<usize>,
     /// Periodic checkpoint triggers (follow + serve, with --state).
     checkpoint_bags: Option<u64>,
     checkpoint_ticks: Option<u64>,
@@ -161,6 +174,10 @@ options:
   --dir <dir>            serve: add every *.csv in dir (re-scanned, so
                          files appearing later join the fleet)
   --listen <addr>        serve: accept the TCP line protocol on addr
+  --max-line-bytes <n>   serve: drop TCP lines longer than n bytes and
+                         quarantine their stream (default 262144)
+  --max-streams <n>      serve: refuse TCP streams beyond the first n
+                         (default 4096)
   --watch                serve: keep running at EOF (tail files and the
                          socket) instead of draining and exiting
   --help                 show this message
@@ -185,6 +202,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dir: None,
         listen: None,
         watch: false,
+        max_line_bytes: None,
+        max_streams: None,
         checkpoint_bags: None,
         checkpoint_ticks: None,
     };
@@ -250,6 +269,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--dir" => opts.dir = Some(take("--dir")?),
             "--listen" => opts.listen = Some(take("--listen")?),
             "--watch" => opts.watch = true,
+            "--max-line-bytes" => {
+                opts.max_line_bytes = Some(
+                    take("--max-line-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--max-line-bytes: {e}"))?,
+                );
+            }
+            "--max-streams" => {
+                opts.max_streams = Some(
+                    take("--max-streams")?
+                        .parse()
+                        .map_err(|e| format!("--max-streams: {e}"))?,
+                );
+            }
             "--checkpoint-bags" => {
                 opts.checkpoint_bags = Some(
                     take("--checkpoint-bags")?
@@ -285,9 +318,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         _ => {}
     }
     if opts.mode != Mode::Serve
-        && (!opts.csvs.is_empty() || opts.dir.is_some() || opts.listen.is_some() || opts.watch)
+        && (!opts.csvs.is_empty()
+            || opts.dir.is_some()
+            || opts.listen.is_some()
+            || opts.watch
+            || opts.max_line_bytes.is_some()
+            || opts.max_streams.is_some())
     {
-        return Err("--csv/--dir/--listen/--watch are serve-mode options".to_string());
+        return Err(
+            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams are serve-mode options"
+                .to_string(),
+        );
     }
     if (opts.checkpoint_bags.is_some() || opts.checkpoint_ticks.is_some()) && opts.state.is_none() {
         return Err("--checkpoint-bags/--checkpoint-ticks need --state".to_string());
@@ -305,6 +346,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         if opts.output.is_some() {
             return Err("--output is only meaningful in batch mode".to_string());
+        }
+        if (opts.max_line_bytes.is_some() || opts.max_streams.is_some()) && opts.listen.is_none() {
+            return Err("--max-line-bytes/--max-streams need --listen".to_string());
         }
         return Ok(opts);
     }
@@ -344,9 +388,30 @@ fn build_detector(opts: &Options) -> Result<Detector, String> {
     Detector::new(detector_config(opts)).map_err(|e| e.to_string())
 }
 
+/// The shared pipeline shape: detection parameters, master seed, and
+/// the mode's checkpoint policy (when `--state` is set).
+fn pipeline_builder(opts: &Options, workers: usize, strict: bool) -> PipelineBuilder {
+    let mut builder = Pipeline::builder(detector_config(opts))
+        .seed(opts.seed)
+        .workers(workers)
+        .strict(strict);
+    if let Some(state) = &opts.state {
+        builder = builder.checkpoint(
+            CheckpointPolicy {
+                every_bags: opts.checkpoint_bags,
+                every_ticks: opts.checkpoint_ticks,
+            },
+            state,
+        );
+    }
+    builder
+}
+
 /// Parse the bag CSV: integer time column + coordinates, through the
-/// one authoritative row parser in `stream::ingest` (which also
-/// rejects non-finite coordinates — previously a latent panic here).
+/// one authoritative row parser in `stream::ingest`. Batch mode sorts
+/// by time (the whole file is present), so unordered inputs stay
+/// accepted here even though the online sources require nondecreasing
+/// times.
 fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut by_time: BTreeMap<i64, Vec<Vec<f64>>> = BTreeMap::new();
@@ -381,7 +446,12 @@ fn read_bags(path: &str) -> Result<Vec<Bag>, String> {
     Ok(by_time.into_values().map(Bag::new).collect())
 }
 
+/// The batch stream's name inside its one-shot engine (never persisted;
+/// only its explicitly pinned seed matters).
+const BATCH_STREAM: &str = "cli-batch";
+
 fn run_batch(opts: &Options) -> Result<(), String> {
+    build_detector(opts)?; // validate the configuration up front
     let bags = read_bags(&opts.input)?;
     eprintln!(
         "read {} bags (sizes {}..{}), dim {}",
@@ -390,303 +460,130 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         bags.iter().map(Bag::len).max().unwrap_or(0),
         bags[0].dim()
     );
-    let detector = build_detector(opts)?;
-    let detection = detector
-        .analyze(&bags, opts.seed)
+    // The online engine reports a too-short sequence as "no points yet";
+    // batch mode knows the data is complete, so keep its explicit error.
+    let need = opts.tau + opts.tau_prime;
+    if bags.len() < need {
+        return Err(DetectError::SequenceTooShort {
+            got: bags.len(),
+            need,
+        }
+        .to_string());
+    }
+
+    let source = MemorySource::bags(
+        BATCH_STREAM,
+        bags.into_iter()
+            .enumerate()
+            .map(|(t, bag)| (t as i64, bag.into_points())),
+    );
+
+    // Stdout keeps the legacy no-xi layout; --output gets the canonical
+    // single-stream schema (with xi, full precision) — both are now the
+    // same CsvSink with declared elisions instead of divergent writers.
+    let collected = MemorySink::new();
+    let mut builder = pipeline_builder(opts, 1, true)
+        .stream_seed(BATCH_STREAM, opts.seed)
+        .source(source)
+        .sink(CsvSink::with_schema(
+            std::io::stdout(),
+            CsvSchema::legacy_stdout(false),
+        ))
+        .sink(collected.clone());
+    if let Some(out) = &opts.output {
+        let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        builder = builder.sink(CsvSink::with_schema(file, CsvSchema::single_stream()));
+    }
+    builder
+        .build()
+        .map_err(|e| e.to_string())?
+        .run()
         .map_err(|e| e.to_string())?;
 
-    println!("t,score,ci_lo,ci_up,alert");
-    for p in &detection.points {
-        println!(
-            "{},{:.6},{:.6},{:.6},{}",
-            p.t,
-            p.score,
-            p.ci.lo,
-            p.ci.up,
-            u8::from(p.alert)
-        );
-    }
-    let alerts = detection.alerts();
+    let alerts: Vec<usize> = collected
+        .events()
+        .iter()
+        .filter(|e| e.is_alert())
+        .filter_map(|e| e.point().map(|p| p.t))
+        .collect();
     eprintln!("alerts at: {alerts:?}");
-
     if let Some(out) = &opts.output {
-        let mut f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
-        writeln!(f, "t,score,ci_lo,ci_up,xi,alert").map_err(|e| e.to_string())?;
-        for p in &detection.points {
-            writeln!(
-                f,
-                "{},{},{},{},{},{}",
-                p.t,
-                p.score,
-                p.ci.lo,
-                p.ci.up,
-                p.xi.map_or(String::new(), |x| x.to_string()),
-                u8::from(p.alert)
-            )
-            .map_err(|e| e.to_string())?;
-        }
         eprintln!("wrote {out}");
     }
     Ok(())
 }
 
-/// Pool shape shared by the online modes.
-fn engine_config(opts: &Options, workers: usize) -> EngineConfig {
-    EngineConfig {
-        detector: detector_config(opts),
-        seed: opts.seed,
-        workers,
-        queue_capacity: 1024,
-        batch_size: 256,
-        event_capacity: 1 << 16,
-    }
-}
-
-fn mux_config(opts: &Options, strict: bool) -> MuxConfig {
-    MuxConfig {
-        policy: CheckpointPolicy {
-            every_bags: opts.checkpoint_bags,
-            every_ticks: opts.checkpoint_ticks,
-        },
-        state_path: opts.state.clone().map(std::path::PathBuf::from),
-        strict,
-    }
-}
-
-/// Build the mux: restore from the state file when one exists (legacy
-/// single-source checkpoints included), otherwise start fresh.
-fn load_mux(
-    opts: &Options,
-    engine_cfg: EngineConfig,
-    strict: bool,
-) -> Result<(Mux, Option<FollowCheckpoint>), String> {
-    if let Some(path) = &opts.state {
-        if std::path::Path::new(path).exists() {
-            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            let mux = Mux::restore(&bytes, engine_cfg, mux_config(opts, strict))
-                .map_err(|e| format!("{path}: {e}"))?;
-            // The single-source view, for resume diagnostics and the
-            // seed-conflict warning (None for a serve fleet checkpoint
-            // without a follow stream — nothing to warn about then).
-            let view = decode_checkpoint(&bytes, &detector_config(opts)).ok();
-            return Ok((mux, view));
-        }
-    }
-    let engine = StreamEngine::new(engine_cfg).map_err(|e| e.to_string())?;
-    Ok((Mux::new(engine, mux_config(opts, strict)), None))
-}
-
-/// Print one completed point (serve mode prefixes the stream name).
-/// With `strict`, a detector-side stream error (dimension mismatch,
-/// EMD failure) aborts the session — follow mode's historical
-/// fail-fast contract; serve demotes it to a warning and keeps the
-/// fleet running.
-fn print_event(
-    out: &mut impl Write,
-    event: &StreamEvent,
-    with_stream: bool,
-    strict: bool,
-) -> Result<u64, String> {
-    match event {
-        StreamEvent::Point { stream, point } => {
-            if with_stream {
-                write!(out, "{stream},").map_err(|e| e.to_string())?;
-            }
-            writeln!(
-                out,
-                "{},{:.6},{:.6},{:.6},{}",
-                point.t,
-                point.score,
-                point.ci.lo,
-                point.ci.up,
-                u8::from(point.alert)
-            )
-            .map_err(|e| e.to_string())?;
-            out.flush().map_err(|e| e.to_string())?;
-            if point.alert {
-                if with_stream {
-                    eprintln!("ALERT on {stream} at inspection point {}", point.t);
-                } else {
-                    eprintln!("ALERT at inspection point {}", point.t);
-                }
-            }
-            Ok(1)
-        }
-        StreamEvent::Error { stream, message } => {
-            if strict {
-                return Err(message.clone());
-            }
-            eprintln!("warning: stream {stream}: {message}");
-            Ok(0)
-        }
-    }
-}
-
-/// What a completed online session did, for the summary line.
-struct DriveOutcome {
-    points: u64,
-    bags: u64,
-    checkpoints: u64,
-    quarantined: usize,
-}
-
-/// Drive a mux to completion (or forever, in watch mode), printing
-/// events, notes, and quarantine reports as they happen.
-fn drive(mut mux: Mux, with_stream: bool, strict: bool) -> Result<DriveOutcome, String> {
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    if with_stream {
-        writeln!(out, "stream,t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
-    } else {
-        writeln!(out, "t,score,ci_lo,ci_up,alert").map_err(|e| e.to_string())?;
-    }
-    out.flush().map_err(|e| e.to_string())?;
-
-    let mut points = 0u64;
-    let mut quarantines_reported = 0usize;
-    loop {
-        let report = mux.tick().map_err(|e| e.to_string())?;
-        for note in mux.take_notes() {
-            eprintln!("{note}");
-        }
-        for record in &mux.quarantined()[quarantines_reported..] {
-            eprintln!(
-                "quarantined stream '{}': {} (stream is out of service; other streams continue)",
-                record.stream, record.error
-            );
-        }
-        quarantines_reported = mux.quarantined().len();
-        for event in mux.drain_events() {
-            points += print_event(&mut out, &event, with_stream, strict)?;
-        }
-        if let Some(bytes) = report.checkpointed {
-            eprintln!("checkpoint: {bytes} bytes");
-        }
-        if report.checkpoint_due {
-            // Durable-output protocol: barrier-flush, print everything
-            // the snapshot will cover, and only then commit — so a kill
-            // right after the write cannot lose printed points, and
-            // unprinted ones are recomputed on resume.
-            for event in mux.flush_events().map_err(|e| e.to_string())? {
-                points += print_event(&mut out, &event, with_stream, strict)?;
-            }
-            if let Some(bytes) = mux.checkpoint_now().map_err(|e| e.to_string())? {
-                eprintln!("checkpoint: {bytes} bytes");
-            }
-        }
-        if report.done {
-            break;
-        }
-        if report.idle {
-            std::thread::sleep(std::time::Duration::from_millis(2));
-        }
-    }
-    // Deliver everything already evaluated before the final checkpoint
-    // commits (same durability ordering as the periodic path).
-    for event in mux.flush_events().map_err(|e| e.to_string())? {
-        points += print_event(&mut out, &event, with_stream, strict)?;
-    }
-    let finish = mux.finish().map_err(|e| e.to_string())?;
-    for note in &finish.notes {
-        eprintln!("{note}");
-    }
-    for event in &finish.events {
-        points += print_event(&mut out, event, with_stream, strict)?;
-    }
-    for record in &finish.quarantined[quarantines_reported..] {
-        eprintln!(
-            "quarantined stream '{}': {} (stream is out of service; other streams continue)",
-            record.stream, record.error
-        );
-    }
-    let outcome = DriveOutcome {
-        points,
-        bags: finish.bags_pushed,
-        checkpoints: finish.checkpoints_written,
-        quarantined: finish.quarantined.len(),
-    };
-    if let Some(bytes) = finish.checkpoint_bytes {
-        eprintln!("checkpointed {bytes} bytes");
-    }
-    Ok(outcome)
-}
-
 fn run_follow(opts: &Options) -> Result<(), String> {
     build_detector(opts)?; // validate the configuration up front
-    let (mut mux, resumed) = load_mux(opts, engine_config(opts, 1), true)?;
-    let mut base_bags = 0u64;
-    let mut base_points = 0u64;
-    if let Some(view) = &resumed {
-        if opts.seed_explicit && view.master_seed != opts.seed {
-            eprintln!(
-                "warning: --seed {} ignored; the checkpoint continues under seed \
-                 {} (a stream's seed is fixed at its first session)",
-                opts.seed, view.master_seed
-            );
-        }
-        base_bags = view.state.pushed;
-        base_points = view.state.emitted;
-        eprintln!(
-            "resumed from {}: {} bags seen, {} points emitted, {} input bytes consumed{}",
-            opts.state.as_deref().unwrap_or_default(),
-            base_bags,
-            base_points,
-            view.consumed,
-            view.pending.as_ref().map_or(String::new(), |(t, rows)| {
-                format!(", {} buffered rows for t = {t}", rows.len())
-            })
-        );
-    } else {
-        // Fresh stream: seed it with --seed *directly* (not the derived
-        // multi-stream scheme), keeping follow bit-identical to batch
-        // analysis under the same seed.
-        mux.engine_mut()
-            .resolve_seeded(FOLLOW_STREAM, opts.seed)
-            .map_err(|e| e.to_string())?;
-    }
-
-    let source: Box<dyn Source> = if opts.input == "-" {
+    let mut builder = pipeline_builder(opts, 1, true)
+        // A fresh follow stream is seeded with --seed *directly* (not
+        // the derived multi-stream scheme), keeping follow bit-identical
+        // to batch analysis; on resume the established seed wins.
+        .stream_seed(FOLLOW_STREAM, opts.seed)
+        .sink(CsvSink::with_schema(
+            std::io::stdout(),
+            CsvSchema::legacy_stdout(false),
+        ))
+        .sink(StderrAlertSink::new(false));
+    builder = if opts.input == "-" {
         // Stdin may be a live pipe: read it on its own thread so the
-        // tick loop (and event printing) never blocks mid-stream.
-        Box::new(ThreadedLineSource::spawn(
+        // tick loop (and event delivery) never blocks mid-stream.
+        builder.source(ThreadedLineSource::spawn(
             std::io::BufReader::new(std::io::stdin()),
             "<stdin>",
             FOLLOW_STREAM,
         ))
     } else {
-        Box::new(CsvFileSource::new(&opts.input, FOLLOW_STREAM, false))
+        builder.source(CsvFileSource::new(&opts.input, FOLLOW_STREAM, false))
     };
-    mux.add_source(source);
+    let pipeline = builder.build().map_err(|e| e.to_string())?;
 
-    let outcome = drive(mux, false, true)?;
+    let mut base_bags = 0u64;
+    let mut base_points = 0u64;
+    if let Some(bytes) = pipeline.restored_state() {
+        // The single-source view of the restored state (the very bytes
+        // the pipeline resumed from), for resume diagnostics and the
+        // seed-conflict warning.
+        let path = opts.state.as_deref().unwrap_or_default();
+        if let Ok(view) = decode_checkpoint(bytes, &detector_config(opts)) {
+            if opts.seed_explicit && view.master_seed != opts.seed {
+                eprintln!(
+                    "warning: --seed {} ignored; the checkpoint continues under seed \
+                     {} (a stream's seed is fixed at its first session)",
+                    opts.seed, view.master_seed
+                );
+            }
+            base_bags = view.state.pushed;
+            base_points = view.state.emitted;
+            eprintln!(
+                "resumed from {path}: {} bags seen, {} points emitted, {} input bytes consumed{}",
+                base_bags,
+                base_points,
+                view.consumed,
+                view.pending.as_ref().map_or(String::new(), |(t, rows)| {
+                    format!(", {} buffered rows for t = {t}", rows.len())
+                })
+            );
+        }
+    }
+
+    let summary = pipeline.run().map_err(|e| e.to_string())?;
     eprintln!(
         "follow done: {} bags, {} inspection points",
-        base_bags + outcome.bags,
-        base_points + outcome.points
+        base_bags + summary.bags,
+        base_points + summary.points
     );
     Ok(())
 }
 
 fn run_serve(opts: &Options) -> Result<(), String> {
     build_detector(opts)?;
-    let (mut mux, _) = load_mux(opts, engine_config(opts, 4), false)?;
-    // A restored engine keeps the snapshot's master seed regardless of
-    // --seed; surface a real conflict (any checkpoint, not just ones
-    // with a follow stream).
-    let master_seed = mux.engine_mut().master_seed();
-    if opts.seed_explicit && master_seed != opts.seed {
-        eprintln!(
-            "warning: --seed {} ignored; the checkpoint continues under seed {master_seed}",
-            opts.seed
-        );
-    }
-    if !mux.resume_cursors().is_empty() {
-        eprintln!(
-            "resumed {} stream cursor(s) from {}",
-            mux.resume_cursors().len(),
-            opts.state.as_deref().unwrap_or_default()
-        );
-    }
+    let mut builder = pipeline_builder(opts, 4, false)
+        .sink(CsvSink::with_schema(
+            std::io::stdout(),
+            CsvSchema::legacy_stdout(true),
+        ))
+        .sink(StderrAlertSink::new(true));
 
     let mut stems = std::collections::HashSet::new();
     for path in &opts.csvs {
@@ -703,23 +600,50 @@ fn run_serve(opts: &Options) -> Result<(), String> {
                 "--csv {path}: stream '{stem}' is already fed by another --csv file"
             ));
         }
-        mux.add_source(Box::new(CsvFileSource::new(path, stem, opts.watch)));
+        builder = builder.source(CsvFileSource::new(path, stem, opts.watch));
     }
     if let Some(dir) = &opts.dir {
-        mux.add_source(Box::new(DirSource::new(dir, opts.watch)));
+        builder = builder.source(DirSource::new(dir, opts.watch));
     }
     if let Some(addr) = &opts.listen {
-        let tcp = TcpSource::bind(addr, opts.watch).map_err(|e| e.to_string())?;
+        let defaults = TcpLimits::default();
+        let limits = TcpLimits {
+            max_line_bytes: opts.max_line_bytes.unwrap_or(defaults.max_line_bytes),
+            max_streams: opts.max_streams.unwrap_or(defaults.max_streams),
+        };
+        let tcp = TcpSource::bind_with(addr, opts.watch, limits).map_err(|e| e.to_string())?;
         if let Some(local) = tcp.local_addr() {
             eprintln!("listening on {local} (line protocol: stream,t,x1,...)");
         }
-        mux.add_source(Box::new(tcp));
+        builder = builder.source(tcp);
     }
 
-    let outcome = drive(mux, true, false)?;
+    let mut pipeline = builder.build().map_err(|e| e.to_string())?;
+    // A restored engine keeps the snapshot's master seed regardless of
+    // --seed; surface a real conflict (any checkpoint, not just ones
+    // with a follow stream).
+    let master_seed = pipeline.engine_mut().master_seed();
+    if opts.seed_explicit && master_seed != opts.seed {
+        eprintln!(
+            "warning: --seed {} ignored; the checkpoint continues under seed {master_seed}",
+            opts.seed
+        );
+    }
+    if !pipeline.resume_cursors().is_empty() {
+        eprintln!(
+            "resumed {} stream cursor(s) from {}",
+            pipeline.resume_cursors().len(),
+            opts.state.as_deref().unwrap_or_default()
+        );
+    }
+
+    let summary = pipeline.run().map_err(|e| e.to_string())?;
     eprintln!(
         "serve done: {} bags, {} inspection points, {} checkpoint(s), {} quarantined stream(s)",
-        outcome.bags, outcome.points, outcome.checkpoints, outcome.quarantined
+        summary.bags,
+        summary.points,
+        summary.checkpoints,
+        summary.quarantined.len()
     );
     Ok(())
 }

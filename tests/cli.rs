@@ -923,3 +923,20 @@ fn lr_score_option_works() {
         .expect("binary runs");
     assert!(out.status.success());
 }
+
+#[test]
+fn serve_tcp_limit_flags_require_listen_and_serve_mode() {
+    let out = bin()
+        .args(["serve", "--csv", "x.csv", "--max-streams", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("need --listen"));
+
+    let out = bin()
+        .args(["x.csv", "--max-line-bytes", "1024"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve-mode"));
+}
