@@ -49,6 +49,34 @@ impl SolverScratch {
     pub fn new() -> Self {
         SolverScratch::default()
     }
+
+    /// Cumulative counters of the solver work this scratch has carried,
+    /// across both variants. Counters only grow; telemetry consumers
+    /// snapshot and difference to get per-interval rates.
+    pub fn stats(&self) -> SolverStats {
+        let t = self.transport.stats();
+        let s = self.sinkhorn.stats();
+        SolverStats {
+            exact_solves: t.solves,
+            pivots: t.pivots,
+            sinkhorn_solves: s.solves,
+            sinkhorn_sweeps: s.sweeps,
+        }
+    }
+}
+
+/// Cumulative counters of a [`SolverScratch`]'s lifetime work: exact
+/// simplex solves and their pivots, Sinkhorn solves and their sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Exact transportation-simplex solves that reached optimality.
+    pub exact_solves: u64,
+    /// Stepping-stone pivots across all exact solves.
+    pub pivots: u64,
+    /// Sinkhorn solves completed.
+    pub sinkhorn_solves: u64,
+    /// Potential-update sweeps across all Sinkhorn solves.
+    pub sinkhorn_sweeps: u64,
 }
 
 impl EmdSolver {

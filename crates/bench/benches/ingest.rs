@@ -49,6 +49,7 @@ fn run_mux(bodies: &[Vec<u8>]) -> usize {
         queue_capacity: 1024,
         batch_size: 128,
         event_capacity: 1 << 17,
+        telemetry: None,
     })
     .expect("engine spawns");
     let mut mux = Mux::new(engine, MuxConfig::default());

@@ -5,7 +5,7 @@
 
 use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use stream::{EngineConfig, OnlineDetector, StreamEngine, StreamId};
+use stream::{EngineConfig, MetricsRegistry, OnlineDetector, StreamEngine, StreamId};
 
 const BAGS_PER_STREAM: usize = 8;
 
@@ -30,7 +30,7 @@ fn bag_for(s: usize, t: usize) -> Bag {
 /// One full engine lifecycle: spawn, push `streams * BAGS_PER_STREAM`
 /// bags, drain, shut down. Returns the event count (kept observable so
 /// the work cannot be optimized away).
-fn run_engine(streams: usize) -> usize {
+fn run_engine(streams: usize, telemetry: Option<MetricsRegistry>) -> usize {
     let mut engine = StreamEngine::new(EngineConfig {
         detector: detector_config(),
         seed: 1,
@@ -38,6 +38,7 @@ fn run_engine(streams: usize) -> usize {
         queue_capacity: 1024,
         batch_size: 128,
         event_capacity: 1 << 17,
+        telemetry,
     })
     .expect("engine spawns");
     let mut events = 0usize;
@@ -57,7 +58,22 @@ fn bench_engine_stream_count(c: &mut Criterion) {
     for &streams in &[1usize, 64, 1024] {
         group.throughput(Throughput::Elements((streams * BAGS_PER_STREAM) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, &n| {
-            b.iter(|| run_engine(n));
+            b.iter(|| run_engine(n, None));
+        });
+    }
+    group.finish();
+}
+
+/// The same lifecycle with a live telemetry registry attached: the
+/// delta against `engine_bags_per_sec` is the full instrumentation
+/// overhead (push counter, per-tick telemetry, solve-latency timer).
+fn bench_engine_instrumented(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_bags_per_sec_instrumented");
+    group.sample_size(10);
+    for &streams in &[64usize, 1024] {
+        group.throughput(Throughput::Elements((streams * BAGS_PER_STREAM) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, &n| {
+            b.iter(|| run_engine(n, Some(MetricsRegistry::new())));
         });
     }
     group.finish();
@@ -86,6 +102,7 @@ fn saturated_engine(streams: usize) -> (StreamEngine, Vec<String>, Vec<StreamId>
         queue_capacity: 2,
         batch_size: 1,
         event_capacity: 1 << 17,
+        telemetry: None,
     })
     .expect("engine spawns");
     // Production-shaped names (the per-push lookup hashes every byte).
@@ -173,6 +190,7 @@ fn bench_online_push(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine_stream_count,
+    bench_engine_instrumented,
     bench_push_keying,
     bench_online_push
 );

@@ -26,9 +26,12 @@ pub use error::EmdError;
 pub use ground::{Chebyshev, Euclidean, GroundDistance, Manhattan, WeightedEuclidean};
 pub use one_d::emd_1d;
 pub use signature::Signature;
-pub use sinkhorn::{sinkhorn_emd, sinkhorn_emd_with, SinkhornConfig, SinkhornScratch};
+pub use sinkhorn::{
+    sinkhorn_emd, sinkhorn_emd_with, SinkhornConfig, SinkhornScratch, SinkhornStats,
+};
 pub use transport::{
     solve_transportation, solve_transportation_with, TransportPlan, TransportScratch,
+    TransportStats,
 };
 
 /// Earth Mover's Distance between two signatures under a ground distance.

@@ -84,6 +84,11 @@ pub struct SinkhornScratch {
     g: Vec<f64>,
     /// Row sums of the implied plan (marginal-violation check).
     row_lse: Vec<f64>,
+    /// Solves completed through this scratch (cumulative).
+    solves: u64,
+    /// Sinkhorn sweeps (one f-update + one g-update) across those
+    /// solves (cumulative).
+    sweeps: u64,
 }
 
 impl SinkhornScratch {
@@ -91,6 +96,28 @@ impl SinkhornScratch {
     pub fn new() -> Self {
         SinkhornScratch::default()
     }
+
+    /// Cumulative solve counters. These only ever grow (cloning a
+    /// scratch clones its history); consumers that want per-interval
+    /// rates snapshot and difference.
+    pub fn stats(&self) -> SinkhornStats {
+        SinkhornStats {
+            solves: self.solves,
+            sweeps: self.sweeps,
+        }
+    }
+}
+
+/// Cumulative counters of the work a [`SinkhornScratch`] has carried:
+/// how many regularized solves completed and how many potential-update
+/// sweeps they took in total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkhornStats {
+    /// Solves that completed (converged or hit the iteration cap with a
+    /// finite cost).
+    pub solves: u64,
+    /// Potential-update sweeps across all solves.
+    pub sweeps: u64,
 }
 
 /// Entropy-regularized transport cost between two signatures
@@ -196,7 +223,9 @@ pub fn sinkhorn_emd_with<G: GroundDistance>(
     let (cost, log_a, log_b) = (&s.cost, &s.log_a, &s.log_b);
     let (f, g, row_lse) = (&mut s.f, &mut s.g, &mut s.row_lse);
 
+    let mut sweeps = 0u64;
     for _ in 0..cfg.max_iters {
+        sweeps += 1;
         // f_i = eps * (log a_i - LSE_j[(g_j - c_ij)/eps])
         for i in 0..m {
             let mut max = f64::NEG_INFINITY;
@@ -254,6 +283,8 @@ pub fn sinkhorn_emd_with<G: GroundDistance>(
     if !total.is_finite() {
         return Err(EmdError::DidNotConverge);
     }
+    s.solves += 1;
+    s.sweeps += sweeps;
     Ok(total)
 }
 

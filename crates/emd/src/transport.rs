@@ -114,6 +114,12 @@ pub struct TransportScratch {
     /// Ground-distance cost matrix for the crate-root `emd_with` entry
     /// points (kept here so one scratch covers the whole EMD solve).
     pub(crate) ground: Vec<f64>,
+    /// Solves completed through this scratch (cumulative; plain `u64`,
+    /// so counting costs nothing on the hot path — callers who want
+    /// rates read [`TransportScratch::stats`] and difference).
+    solves: u64,
+    /// Simplex pivots applied across those solves (cumulative).
+    pivots: u64,
 }
 
 impl TransportScratch {
@@ -121,6 +127,27 @@ impl TransportScratch {
     pub fn new() -> Self {
         TransportScratch::default()
     }
+
+    /// Cumulative solve counters. These only ever grow (cloning a
+    /// scratch clones its history); consumers that want per-interval
+    /// rates snapshot and difference.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            solves: self.solves,
+            pivots: self.pivots,
+        }
+    }
+}
+
+/// Cumulative counters of the work a [`TransportScratch`] has carried:
+/// how many transportation problems reached optimality and how many
+/// stepping-stone pivots they took in total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Solves that reached optimality.
+    pub solves: u64,
+    /// Pivots applied across all solves.
+    pub pivots: u64,
 }
 
 /// Shape of a solved (balanced) tableau, for plan extraction.
@@ -342,12 +369,14 @@ fn solve_core(
             }
         }
         let Some((ei, ej)) = enter else {
+            s.solves += 1;
             return Ok(Dims {
                 n,
                 real_rows: s.rows.len(),
                 real_cols: s.cols.len(),
             });
         };
+        s.pivots += 1;
 
         // Unique cycle: path in the basis tree from col node ej to row
         // node ei, prepended with the entering cell.

@@ -16,7 +16,8 @@
 //! Nothing is re-materialized per push, and with a warm
 //! [`EmdScratch`] the whole operation performs no heap allocation.
 
-use bagcpd::score::{EmdSolver, SolverScratch};
+use crate::telemetry::SolveTimer;
+use bagcpd::score::{EmdSolver, SolverScratch, SolverStats};
 use bagcpd::{GroundMetric, SignatureScratch};
 use emd::{EmdError, Signature};
 use infoest::DistanceMatrix;
@@ -41,12 +42,29 @@ pub struct EmdScratch {
     pub(crate) matrix: Vec<f64>,
     /// Signature-build pools (histogram tables + dismantled signatures).
     pub(crate) sig: SignatureScratch,
+    /// Optional solve-latency probe: when set, every EMD solve routed
+    /// through this scratch is timed into the probe's histogram. The
+    /// probe is a pair of `Arc`ed handles, so timing allocates nothing.
+    pub(crate) timer: Option<SolveTimer>,
 }
 
 impl EmdScratch {
     /// Empty scratch; buffers grow to the window's shape on first use.
     pub fn new() -> Self {
         EmdScratch::default()
+    }
+
+    /// Time every solve routed through this scratch into `timer`'s
+    /// histogram (the engine sets this on each worker's scratch when
+    /// telemetry is configured).
+    pub fn set_solve_timer(&mut self, timer: SolveTimer) {
+        self.timer = Some(timer);
+    }
+
+    /// Cumulative solver work counters (exact solves, pivots, Sinkhorn
+    /// solves and sweeps) gathered by the underlying solver scratches.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 }
 
@@ -141,9 +159,12 @@ impl SignatureWindow {
         let keep_from = usize::from(evict);
         scratch.col.clear();
         for old in self.sigs.iter().skip(keep_from) {
-            scratch
-                .col
-                .push(solver.distance_with(old, &sig, metric, &mut scratch.solver)?);
+            let t0 = scratch.timer.as_ref().map(SolveTimer::start);
+            let d = solver.distance_with(old, &sig, metric, &mut scratch.solver)?;
+            if let (Some(timer), Some(t0)) = (scratch.timer.as_ref(), t0) {
+                timer.stop(t0);
+            }
+            scratch.col.push(d);
         }
         let evicted = if evict {
             let old = self.sigs.pop_front();

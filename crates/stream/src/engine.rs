@@ -2,7 +2,8 @@
 
 use crate::event::Event;
 use crate::snapshot::{decode_engine, encode_engine, SnapshotError};
-use crate::worker::{self, Msg};
+use crate::telemetry::{names, Counter, MetricsRegistry};
+use crate::worker::{self, Msg, WorkerTelemetry};
 use bagcpd::{Bag, DetectError, Detector, DetectorConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -49,6 +50,13 @@ pub struct EngineConfig {
     /// Bound of the shared event queue; producers block when the
     /// consumer falls this far behind.
     pub event_capacity: usize,
+    /// Telemetry registry. `Some` instruments the engine and its
+    /// workers (pushes, bags scored, points, ticks, per-worker drain
+    /// depth, solver work and solve latency); `None` runs with zero
+    /// instrumentation overhead. All metric handles are registered at
+    /// pool construction, so instrumentation adds nothing but relaxed
+    /// atomic increments to the hot path.
+    pub telemetry: Option<MetricsRegistry>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +68,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             batch_size: 256,
             event_capacity: 65536,
+            telemetry: None,
         }
     }
 }
@@ -138,6 +147,8 @@ pub struct StreamEngine {
     events: Receiver<Event>,
     stash: VecDeque<Event>,
     handles: Vec<JoinHandle<()>>,
+    /// Accepted-push counter when telemetry is configured.
+    pushes: Option<Counter>,
 }
 
 impl StreamEngine {
@@ -169,14 +180,23 @@ impl StreamEngine {
             let det = detector.clone();
             let ev = event_tx.clone();
             let batch = cfg.batch_size;
+            // All metric handles resolve here, once; workers only touch
+            // atomics from then on.
+            let telemetry = cfg.telemetry.as_ref().map(|r| WorkerTelemetry::new(r, i));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("stream-worker-{i}"))
-                    .spawn(move || worker::run(det, rx, ev, batch))
+                    .spawn(move || worker::run(det, rx, ev, batch, telemetry))
                     .expect("spawn worker thread"),
             );
             senders.push(tx);
         }
+        let pushes = cfg.telemetry.as_ref().map(|r| {
+            r.counter(
+                names::ENGINE_PUSHES,
+                "Bags accepted by the engine's push entry points",
+            )
+        });
         Ok(StreamEngine {
             detector,
             master_seed: cfg.seed,
@@ -187,6 +207,7 @@ impl StreamEngine {
             events: event_rx,
             stash: VecDeque::new(),
             handles,
+            pushes,
         })
     }
 
@@ -350,7 +371,11 @@ impl StreamEngine {
     /// Panics if `id` did not come from this engine's [`Self::resolve`].
     pub fn push_id(&mut self, id: StreamId, bag: Bag) -> Result<(), EngineError> {
         let shard = self.shard_of_id(id);
-        self.send_control(shard, Msg::Push { stream: id, bag })
+        self.send_control(shard, Msg::Push { stream: id, bag })?;
+        if let Some(pushes) = &self.pushes {
+            pushes.inc();
+        }
+        Ok(())
     }
 
     /// Non-blocking push: returns the bag back when the worker queue is
@@ -381,7 +406,12 @@ impl StreamEngine {
     pub fn try_push_id(&mut self, id: StreamId, bag: Bag) -> Result<Option<Bag>, EngineError> {
         let shard = self.shard_of_id(id);
         match self.senders[shard].try_send(Msg::Push { stream: id, bag }) {
-            Ok(()) => Ok(None),
+            Ok(()) => {
+                if let Some(pushes) = &self.pushes {
+                    pushes.inc();
+                }
+                Ok(None)
+            }
             Err(TrySendError::Full(Msg::Push { bag, .. })) => Ok(Some(bag)),
             Err(TrySendError::Full(_)) => unreachable!("we only sent a push"),
             Err(TrySendError::Disconnected(_)) => Err(EngineError::Closed),
@@ -641,6 +671,7 @@ mod tests {
             queue_capacity: 64,
             batch_size: 16,
             event_capacity: 1024,
+            telemetry: None,
         }
     }
 

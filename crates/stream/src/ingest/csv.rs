@@ -4,6 +4,7 @@
 
 use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
 use crate::hash::Fnv1a;
+use crate::telemetry::{names, MetricsRegistry};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
 use std::sync::Arc;
@@ -11,6 +12,11 @@ use std::sync::Arc;
 /// Lines a file source consumes per poll before yielding, so one deep
 /// backlog cannot starve its siblings in a round-robin drain.
 const LINES_PER_POLL: usize = 512;
+
+/// Shared help text for the cross-source parsed-row counter. Every
+/// registration site must use the same string: the registry keeps the
+/// help of the first registration.
+pub(crate) const ROWS_HELP: &str = "Data rows parsed across all sources";
 
 /// One CSV file feeding one stream, read incrementally with the
 /// checkpoint semantics of the original CLI follow mode:
@@ -229,6 +235,11 @@ impl Source for CsvFileSource {
         }
     }
 
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.assembler
+            .set_row_counter(registry.counter(names::INGEST_ROWS, ROWS_HELP));
+    }
+
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
         if self.quarantined {
             return Ok(());
@@ -369,6 +380,11 @@ impl<R: BufRead> Source for LineSource<R> {
         }
     }
 
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.assembler
+            .set_row_counter(registry.counter(names::INGEST_ROWS, ROWS_HELP));
+    }
+
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {
         if !self.quarantined {
             self.assembler.flush(out);
@@ -498,6 +514,11 @@ impl Source for ThreadedLineSource {
             self.quarantined = c.quarantined;
             self.assembler.restore_cursor(c, true);
         }
+    }
+
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.assembler
+            .set_row_counter(registry.counter(names::INGEST_ROWS, ROWS_HELP));
     }
 
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {

@@ -2,6 +2,7 @@
 
 use super::csv::CsvFileSource;
 use super::source::{Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use crate::telemetry::MetricsRegistry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -24,6 +25,8 @@ pub struct DirSource {
     watch: bool,
     /// Cursors stashed for files that have not appeared yet.
     resume: HashMap<String, StreamCursor>,
+    /// Registry stashed so files discovered later are instrumented too.
+    telemetry: Option<MetricsRegistry>,
 }
 
 impl DirSource {
@@ -36,6 +39,7 @@ impl DirSource {
             known: HashSet::new(),
             watch,
             resume: HashMap::new(),
+            telemetry: None,
         }
     }
 
@@ -83,6 +87,9 @@ impl DirSource {
         for (stream, path) in fresh {
             let mut src = CsvFileSource::new(path, stream, self.watch);
             src.restore(&self.resume);
+            if let Some(registry) = &self.telemetry {
+                src.attach_telemetry(registry);
+            }
             self.files.push((src, false));
         }
         Ok(())
@@ -142,6 +149,13 @@ impl Source for DirSource {
         for (file, _) in &mut self.files {
             file.restore(cursors);
         }
+    }
+
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        for (file, _) in &mut self.files {
+            file.attach_telemetry(registry);
+        }
+        self.telemetry = Some(registry.clone());
     }
 
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {

@@ -37,6 +37,7 @@ pub use dir::DirSource;
 pub use mem::MemorySource;
 pub use mux::{
     CheckpointPolicy, Mux, MuxConfig, MuxError, MuxFinish, QuarantineRecord, TickReport,
+    RETAINED_QUARANTINES,
 };
 pub use source::{
     parse_row, BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor,

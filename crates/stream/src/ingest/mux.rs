@@ -4,10 +4,18 @@ use super::checkpoint::{encode_checkpoint, write_atomic, CursorList};
 use super::source::{Source, SourceError, SourceItem, SourceStatus, StreamCursor};
 use crate::engine::{EngineConfig, EngineError, StreamEngine};
 use crate::event::Event;
+use crate::telemetry::{names, Clock, Counter, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 use bagcpd::Bag;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Most recent quarantine records the mux retains for summaries. The
+/// lifetime *count* is unbounded ([`Mux::quarantined_total`] and the
+/// ingest telemetry counter); the record list is capped so a
+/// pathological source emitting quarantines forever cannot grow the
+/// process without bound.
+pub const RETAINED_QUARANTINES: usize = 256;
 
 pub use crate::event::QuarantineRecord;
 
@@ -147,7 +155,13 @@ pub struct Mux {
     cfg: MuxConfig,
     /// Cursor map handed to every source added (restore path).
     resume: HashMap<String, StreamCursor>,
+    /// Most recent quarantine records (capped at
+    /// [`RETAINED_QUARANTINES`]; oldest dropped first).
     quarantined: Vec<QuarantineRecord>,
+    /// Lifetime quarantine count (unlike the record list, never capped).
+    quarantined_total: u64,
+    /// Ingestion metric handles when the host attached a registry.
+    telemetry: Option<MuxTelemetry>,
     /// Mux-local events (notes, quarantines, checkpoints) awaiting
     /// delivery; drained ahead of the engine's queue.
     pending: Vec<Event>,
@@ -168,6 +182,46 @@ pub struct Mux {
     dirty_since_checkpoint: bool,
 }
 
+/// The mux's pre-registered metric handles: routing counters plus one
+/// poll-latency histogram per source (labeled by origin), all resolved
+/// up front so the tick loop only touches atomics.
+struct MuxTelemetry {
+    registry: MetricsRegistry,
+    clock: Clock,
+    bags: Counter,
+    quarantines: Counter,
+    /// Per-source poll histograms, parallel to `Mux::sources`.
+    polls: Vec<Histogram>,
+}
+
+impl MuxTelemetry {
+    fn new(registry: &MetricsRegistry) -> Self {
+        MuxTelemetry {
+            registry: registry.clone(),
+            clock: registry.clock(),
+            bags: registry.counter(
+                names::INGEST_BAGS,
+                "Completed bags routed into the engine by the mux",
+            ),
+            quarantines: registry.counter(
+                names::INGEST_QUARANTINES,
+                "Streams quarantined at ingestion",
+            ),
+            polls: Vec::new(),
+        }
+    }
+
+    /// Register the poll histogram of the source at `origin`.
+    fn add_source(&mut self, origin: &str) {
+        self.polls.push(self.registry.histogram_labeled(
+            names::INGEST_POLL_SECONDS,
+            "Wall-clock seconds per source poll",
+            LATENCY_BUCKETS,
+            &[("source", origin)],
+        ));
+    }
+}
+
 /// What [`Mux::finish`] hands back.
 #[derive(Debug)]
 pub struct MuxFinish {
@@ -181,8 +235,11 @@ pub struct MuxFinish {
     pub bags_pushed: u64,
     /// Checkpoints written over the lifetime (periodic + final).
     pub checkpoints_written: u64,
-    /// Every stream quarantined over the lifetime.
+    /// The most recent quarantine records (capped at
+    /// [`RETAINED_QUARANTINES`]).
     pub quarantined: Vec<QuarantineRecord>,
+    /// Lifetime quarantine count (may exceed `quarantined.len()`).
+    pub quarantined_total: u64,
 }
 
 impl Mux {
@@ -194,6 +251,8 @@ impl Mux {
             cfg,
             resume: HashMap::new(),
             quarantined: Vec::new(),
+            quarantined_total: 0,
+            telemetry: None,
             pending: Vec::new(),
             items: Vec::new(),
             claims: HashMap::new(),
@@ -237,9 +296,27 @@ impl Mux {
         &self.resume
     }
 
+    /// Instrument ingestion with `registry`: bags routed, quarantines,
+    /// and per-source poll latency, plus whatever each source registers
+    /// itself (rows parsed, TCP line accounting). Call before
+    /// [`Mux::add_source`]; sources already added are attached
+    /// retroactively.
+    pub fn set_telemetry(&mut self, registry: &MetricsRegistry) {
+        let mut telemetry = MuxTelemetry::new(registry);
+        for (source, _) in &mut self.sources {
+            source.attach_telemetry(registry);
+            telemetry.add_source(source.origin());
+        }
+        self.telemetry = Some(telemetry);
+    }
+
     /// Add a source (adopting any restored cursors for its streams).
     pub fn add_source(&mut self, mut source: Box<dyn Source>) {
         source.restore(&self.resume);
+        if let Some(telemetry) = &mut self.telemetry {
+            source.attach_telemetry(&telemetry.registry);
+            telemetry.add_source(source.origin());
+        }
         self.sources.push((source, SourceStatus::Idle));
     }
 
@@ -253,11 +330,18 @@ impl Mux {
         self.checkpoints_written
     }
 
-    /// Streams quarantined so far. Each of these was also delivered as
-    /// an [`Event::Quarantine`]; this is the cumulative record, kept
-    /// for summaries.
+    /// The most recent quarantine records (capped at
+    /// [`RETAINED_QUARANTINES`]; oldest dropped first). Each of these
+    /// was also delivered as an [`Event::Quarantine`]; this is the
+    /// retained record, kept for summaries.
     pub fn quarantined(&self) -> &[QuarantineRecord] {
         &self.quarantined
+    }
+
+    /// Streams quarantined over the mux's lifetime — unlike
+    /// [`Mux::quarantined`], never capped.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total
     }
 
     /// Completed events, without blocking: mux-local events (notes,
@@ -298,7 +382,11 @@ impl Mux {
             }
             let mut items = std::mem::take(&mut self.items);
             items.clear();
+            let t0 = self.telemetry.as_ref().map(|t| t.clock.now_ns());
             let polled = self.sources[idx].0.poll(&mut items);
+            if let (Some(telemetry), Some(t0)) = (&self.telemetry, t0) {
+                telemetry.polls[idx].observe_ns(telemetry.clock.now_ns().saturating_sub(t0));
+            }
             let routed = self.route(idx, &mut items, &mut report);
             self.items = items;
             routed?;
@@ -395,14 +483,26 @@ impl Mux {
                     report.bags += 1;
                     self.bags_total += 1;
                     self.bags_since += 1;
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.bags.inc();
+                    }
                 }
                 SourceItem::Quarantine { stream, error } => {
                     if self.cfg.strict {
                         return Err(MuxError::Source(error));
                     }
                     report.quarantined_now += 1;
+                    self.quarantined_total += 1;
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.quarantines.inc();
+                    }
                     let record = QuarantineRecord { stream, error };
                     self.pending.push(Event::Quarantine(record.clone()));
+                    if self.quarantined.len() >= RETAINED_QUARANTINES {
+                        // Quarantines are rare; on the pathological path
+                        // an O(n) shift of 256 records is irrelevant.
+                        self.quarantined.remove(0);
+                    }
                     self.quarantined.push(record);
                 }
                 SourceItem::Note(n) => self.pending.push(Event::Note(n)),
@@ -504,6 +604,7 @@ impl Mux {
             bags_pushed: self.bags_total,
             checkpoints_written: self.checkpoints_written,
             quarantined: std::mem::take(&mut self.quarantined),
+            quarantined_total: self.quarantined_total,
         })
     }
 }

@@ -11,6 +11,7 @@
 //! lifted out of the CLI's original single-source `run_follow` loop so
 //! every source kind shares one battle-tested implementation.
 
+use crate::telemetry::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -125,6 +126,14 @@ pub trait Source {
         let _ = out;
         Ok(())
     }
+
+    /// Register this source's metric handles in `registry` (the mux
+    /// calls this once, before the first poll). The default does
+    /// nothing; implementations with per-row or per-line work register
+    /// counters here so polling itself stays allocation-free.
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
 }
 
 /// Parse one CSV row into `(t, coords)`. With `allow_header`, an
@@ -198,6 +207,8 @@ pub struct BagAssembler {
     /// Rows restored from a checkpoint (as opposed to read from this
     /// input) still buffered in `cur_rows`.
     restored_buffered: usize,
+    /// Parsed-row counter when the host attached telemetry.
+    rows: Option<Counter>,
 }
 
 impl BagAssembler {
@@ -215,7 +226,15 @@ impl BagAssembler {
             skip_through: None,
             saw_old_rows: false,
             restored_buffered: 0,
+            rows: None,
         }
+    }
+
+    /// Count every successfully parsed data row into `counter` (sources
+    /// route their [`crate::telemetry::names::INGEST_ROWS`] handle here,
+    /// so all of them share one definition of "a row").
+    pub fn set_row_counter(&mut self, counter: Counter) {
+        self.rows = Some(counter);
     }
 
     /// The stream this assembler feeds.
@@ -279,6 +298,9 @@ impl BagAssembler {
         let Some((t, coords)) = parse_row(trimmed, lineno, origin, header_ok)? else {
             return Ok(());
         };
+        if let Some(rows) = &self.rows {
+            rows.inc();
+        }
         // Rotated input may re-present history: drop rows of bags that
         // were already pushed.
         if self.skip_through.is_some_and(|last| t <= last) {

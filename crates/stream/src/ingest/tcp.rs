@@ -20,7 +20,9 @@
 //! stream names are refused with a [`SourceItem::Note`] instead of
 //! growing the per-stream state.
 
+use super::csv::ROWS_HELP;
 use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
+use crate::telemetry::{names, Counter, MetricsRegistry};
 use std::collections::{HashMap, HashSet};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
@@ -73,6 +75,19 @@ struct Oversize {
     peer: Arc<str>,
 }
 
+/// The TCP source's pre-registered metric handles.
+struct TcpTelemetry {
+    /// Complete lines routed.
+    lines: Counter,
+    /// Lines dropped by `TcpLimits::max_line_bytes`.
+    dropped: Counter,
+    /// Stream names refused by `TcpLimits::max_streams` (counted on
+    /// every refused line, including past the note-dedup cap).
+    refused: Counter,
+    /// Parsed-row counter handed to each new stream's assembler.
+    rows: Counter,
+}
+
 /// Multi-stream TCP ingestion front-end.
 pub struct TcpSource {
     origin: String,
@@ -90,6 +105,8 @@ pub struct TcpSource {
     watch: bool,
     seen_conn: bool,
     buf: Vec<u8>,
+    /// Metric handles when the host attached telemetry.
+    telemetry: Option<TcpTelemetry>,
 }
 
 impl TcpSource {
@@ -130,6 +147,7 @@ impl TcpSource {
             watch,
             seen_conn: false,
             buf: vec![0u8; 8192],
+            telemetry: None,
         })
     }
 
@@ -154,6 +172,9 @@ impl TcpSource {
         let trimmed = text.trim();
         if trimmed.is_empty() {
             return;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.lines.inc();
         }
         let Some((name, row)) = trimmed.split_once(',') else {
             // No stream prefix: an un-routable line. There is no stream
@@ -184,6 +205,9 @@ impl TcpSource {
             Some(a) => a,
             None => {
                 if self.assemblers.len() >= self.limits.max_streams {
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.refused.inc();
+                    }
                     // Refuse the stream, keep the connection: existing
                     // streams on it are still welcome. One note per
                     // refused name — and the per-name memory of "already
@@ -208,6 +232,9 @@ impl TcpSource {
                 }
                 let key: Arc<str> = Arc::from(name);
                 let mut a = BagAssembler::new(key.clone(), false);
+                if let Some(telemetry) = &self.telemetry {
+                    a.set_row_counter(telemetry.rows.clone());
+                }
                 if let Some(c) = self.resume.get(name) {
                     // TCP has no byte position: resume is time-addressed.
                     a.restore_cursor(c, true);
@@ -227,6 +254,9 @@ impl TcpSource {
     /// long, so a legitimate `stream,` header is present unless the
     /// line was garbage to begin with.
     fn oversized(&mut self, over: &Oversize, out: &mut Vec<SourceItem>) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.dropped.inc();
+        }
         let text = String::from_utf8_lossy(&over.prefix);
         let name = text
             .split_once(',')
@@ -450,6 +480,28 @@ impl Source for TcpSource {
             }
         }
         self.resume = cursors.clone();
+    }
+
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let telemetry = TcpTelemetry {
+            lines: registry.counter(
+                names::INGEST_TCP_LINES,
+                "Complete lines routed by TCP sources",
+            ),
+            dropped: registry.counter(
+                names::INGEST_TCP_LINES_DROPPED,
+                "Lines dropped for exceeding max_line_bytes",
+            ),
+            refused: registry.counter(
+                names::INGEST_TCP_STREAMS_REFUSED,
+                "Lines refused because max_streams was reached",
+            ),
+            rows: registry.counter(names::INGEST_ROWS, ROWS_HELP),
+        };
+        for assembler in self.assemblers.values_mut() {
+            assembler.set_row_counter(telemetry.rows.clone());
+        }
+        self.telemetry = Some(telemetry);
     }
 
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {

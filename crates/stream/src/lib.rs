@@ -34,6 +34,11 @@
 //!   read→detect→deliver→checkpoint loop, with delivery-acked
 //!   checkpoints: a checkpoint commits only after every event it
 //!   covers was delivered and every sink flushed durably.
+//! - [`telemetry`] — a lock-cheap [`MetricsRegistry`] of counters,
+//!   gauges, and latency histograms wired through every layer above
+//!   (engine, ingest, solvers, pipeline) without touching the
+//!   allocation-free hot path, rendered as Prometheus text exposition
+//!   by a [`MetricsSink`] or scraped live from a [`MetricsServer`].
 //!
 //! ```
 //! use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
@@ -66,6 +71,7 @@ pub mod online;
 pub mod pipeline;
 pub mod sink;
 pub mod snapshot;
+pub mod telemetry;
 mod worker;
 
 pub use cache::{EmdScratch, SignatureWindow};
@@ -76,8 +82,13 @@ pub use event::{Event, QuarantineRecord};
 pub use ingest::{CheckpointPolicy, Mux, MuxConfig, Source, SourceStatus};
 pub use online::{OnlineDetector, OnlineState};
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineSummary, StepReport};
-pub use sink::{CsvSchema, CsvSink, JsonLinesSink, MemorySink, Sink, StderrAlertSink, Tee};
+pub use sink::{
+    CsvSchema, CsvSink, JsonLinesSink, MemorySink, MetricsSink, Sink, StderrAlertSink, Tee,
+};
 pub use snapshot::SnapshotError;
+pub use telemetry::{
+    Clock, Counter, Gauge, Histogram, MetricSample, MetricsRegistry, MetricsServer, SolveTimer,
+};
 
 /// The seed a stream named `stream` runs under inside an engine with
 /// the given master seed (unless the host overrode it via

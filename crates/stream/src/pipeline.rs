@@ -21,6 +21,10 @@ use crate::engine::{EngineConfig, StreamEngine};
 use crate::event::{Event, QuarantineRecord};
 use crate::ingest::{CheckpointPolicy, Mux, MuxConfig, MuxError, Source, StreamCursor};
 use crate::sink::Sink;
+use crate::telemetry::{
+    names, Clock, Counter, Histogram, MetricSample, MetricsRegistry, MetricsServer, NoisyStreams,
+    LATENCY_BUCKETS,
+};
 use bagcpd::DetectorConfig;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -30,6 +34,13 @@ use std::time::{Duration, Instant};
 /// How long [`Pipeline::run`] sleeps between ticks when every source is
 /// idle.
 const IDLE_SLEEP: Duration = Duration::from_millis(2);
+
+/// Score points per noisiest-stream window: the top-K gauges are
+/// republished (and the window reset) every this many points.
+const TOPK_WINDOW_POINTS: u64 = 512;
+
+/// How many streams each top-K family keeps per window.
+const TOPK_K: usize = 8;
 
 /// Pipeline failure modes.
 #[derive(Debug)]
@@ -95,8 +106,14 @@ pub struct PipelineSummary {
     pub checkpoints: u64,
     /// Size of the final checkpoint, if one was written.
     pub checkpoint_bytes: Option<usize>,
-    /// Every stream quarantined over the run.
+    /// Every stream quarantined over the run (most recent, capped at
+    /// [`crate::ingest::RETAINED_QUARANTINES`] records).
     pub quarantined: Vec<QuarantineRecord>,
+    /// Total quarantines over the run (may exceed `quarantined.len()`).
+    pub quarantined_total: u64,
+    /// Final snapshot of every metric the run recorded — the `--stats`
+    /// report of batch hosts, without scraping the HTTP endpoint.
+    pub metrics: Vec<MetricSample>,
 }
 
 /// Builder for a [`Pipeline`]; see [`Pipeline::builder`].
@@ -108,6 +125,8 @@ pub struct PipelineBuilder {
     state_path: Option<PathBuf>,
     strict: bool,
     stream_seeds: Vec<(String, u64)>,
+    metrics: Option<MetricsRegistry>,
+    metrics_addr: Option<String>,
 }
 
 impl PipelineBuilder {
@@ -174,6 +193,24 @@ impl PipelineBuilder {
         self
     }
 
+    /// Record into `registry` instead of a fresh one — for hosts that
+    /// pre-register their own metrics, share one registry across
+    /// pipelines, or drive latency tests with [`Clock::manual`]. Every
+    /// pipeline has a registry either way; this only substitutes it.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Serve `GET /metrics` (Prometheus text exposition) at `addr`,
+    /// e.g. `"127.0.0.1:9464"` — port 0 picks a free port, reported by
+    /// [`Pipeline::metrics_addr`]. The endpoint is polled from the
+    /// pipeline's own loop; no thread is spawned.
+    pub fn serve_metrics(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
     /// Construct the pipeline: restore the checkpoint if one exists at
     /// the configured path, otherwise start a fresh engine; then attach
     /// every source (adopting restored cursors) and prime every sink
@@ -186,6 +223,18 @@ impl PipelineBuilder {
     /// unreadable/corrupt state file; [`PipelineError::Sink`] if a sink
     /// cannot flush.
     pub fn build(self) -> Result<Pipeline, PipelineError> {
+        let registry = self.metrics.unwrap_or_default();
+        let server = match &self.metrics_addr {
+            Some(addr) => Some(
+                MetricsServer::bind(addr, registry.clone())
+                    .map_err(|e| PipelineError::Build(format!("metrics endpoint {addr}: {e}")))?,
+            ),
+            None => None,
+        };
+        let engine_cfg = EngineConfig {
+            telemetry: Some(registry.clone()),
+            ..self.engine
+        };
         let mux_cfg = MuxConfig {
             policy: self.policy,
             state_path: self.state_path.clone(),
@@ -196,17 +245,18 @@ impl PipelineBuilder {
             Some(path) if path.exists() => {
                 let bytes = std::fs::read(path)
                     .map_err(|e| PipelineError::Build(format!("{}: {e}", path.display())))?;
-                let mux = Mux::restore(&bytes, self.engine, mux_cfg)
+                let mux = Mux::restore(&bytes, engine_cfg, mux_cfg)
                     .map_err(|e| PipelineError::Build(format!("{}: {e}", path.display())))?;
                 restored_state = Some(bytes);
                 mux
             }
             _ => {
-                let engine = StreamEngine::new(self.engine)
+                let engine = StreamEngine::new(engine_cfg)
                     .map_err(|e| PipelineError::Build(e.to_string()))?;
                 Mux::new(engine, mux_cfg)
             }
         };
+        mux.set_telemetry(&registry);
         for (stream, seed) in &self.stream_seeds {
             mux.engine_mut()
                 .resolve_seeded(stream, *seed)
@@ -215,14 +265,20 @@ impl PipelineBuilder {
         for source in self.sources {
             mux.add_source(source);
         }
+        let checkpoint_seconds = registry.histogram(
+            names::PIPELINE_CHECKPOINT_SECONDS,
+            "Seconds per delivery-acked checkpoint commit",
+            LATENCY_BUCKETS,
+        );
         let mut pipeline = Pipeline {
             mux,
-            sinks: self.sinks,
-            strict: self.strict,
+            egress: Egress::new(self.sinks, self.strict, &registry),
             restored_state,
-            points: 0,
+            registry,
+            server,
+            checkpoint_seconds,
         };
-        flush_sinks(&mut pipeline.sinks)?;
+        pipeline.egress.flush()?;
         Ok(pipeline)
     }
 }
@@ -265,11 +321,13 @@ impl PipelineBuilder {
 /// ```
 pub struct Pipeline {
     mux: Mux,
-    sinks: Vec<Box<dyn Sink>>,
-    strict: bool,
+    egress: Egress,
     /// The checkpoint bytes the build restored from, if any.
     restored_state: Option<Vec<u8>>,
-    points: u64,
+    registry: MetricsRegistry,
+    /// The scrape endpoint, polled from [`Pipeline::step`].
+    server: Option<MetricsServer>,
+    checkpoint_seconds: Histogram,
 }
 
 impl Pipeline {
@@ -288,6 +346,8 @@ impl Pipeline {
             state_path: None,
             strict: false,
             stream_seeds: Vec::new(),
+            metrics: None,
+            metrics_addr: None,
         }
     }
 
@@ -316,7 +376,20 @@ impl Pipeline {
 
     /// Score points delivered so far.
     pub fn points_delivered(&self) -> u64 {
-        self.points
+        self.egress.points
+    }
+
+    /// The registry every layer of this pipeline records into — render
+    /// it, snapshot it, or pre-register host-side metrics on it.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Where the scrape endpoint actually listens (`None` unless
+    /// [`PipelineBuilder::serve_metrics`] was configured) — the real
+    /// port when the host bound port 0.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().and_then(|s| s.local_addr().ok())
     }
 
     /// One tick: poll every source, push completed bags, deliver every
@@ -329,17 +402,23 @@ impl Pipeline {
     /// failures ([`PipelineError::Sink`] — the pending checkpoint is
     /// *not* committed), or, in strict mode, the first stream failure.
     pub fn step(&mut self) -> Result<StepReport, PipelineError> {
+        if let Some(server) = &mut self.server {
+            server.poll();
+        }
         let report = self.mux.tick()?;
         let events = self.mux.drain_events();
-        deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
+        self.egress.deliver(&events)?;
         if report.checkpoint_due {
+            let t0 = self.egress.clock.now_ns();
             let events = self.mux.flush_events()?;
-            deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
-            flush_sinks(&mut self.sinks)?;
+            self.egress.deliver(&events)?;
+            self.egress.flush()?;
             self.mux.checkpoint_now()?;
             // Announce the commit through the same stream.
             let events = self.mux.drain_events();
-            deliver(&mut self.sinks, self.strict, &mut self.points, &events)?;
+            self.egress.deliver(&events)?;
+            self.checkpoint_seconds
+                .observe_ns(self.egress.clock.now_ns().saturating_sub(t0));
         }
         Ok(StepReport {
             bags: report.bags,
@@ -405,71 +484,167 @@ impl Pipeline {
     pub fn finish(self) -> Result<PipelineSummary, PipelineError> {
         let Pipeline {
             mut mux,
-            mut sinks,
-            strict,
-            mut points,
+            mut egress,
+            registry,
             ..
         } = self;
         // Deliver everything already evaluated and make it durable
         // before the final checkpoint can cover it.
         let events = mux.flush_events()?;
-        deliver(&mut sinks, strict, &mut points, &events)?;
-        flush_sinks(&mut sinks)?;
+        egress.deliver(&events)?;
+        egress.flush()?;
         let finish = mux.finish()?;
-        deliver(&mut sinks, strict, &mut points, &finish.events)?;
-        flush_sinks(&mut sinks)?;
+        egress.deliver(&finish.events)?;
+        egress.flush()?;
+        // Publish the partial final window, so the top-K gauges of a
+        // short batch run are not silently empty.
+        if egress.noisy.points() > 0 {
+            egress.noisy.publish(&registry, TOPK_K);
+        }
         Ok(PipelineSummary {
-            points,
+            points: egress.points,
             bags: finish.bags_pushed,
             checkpoints: finish.checkpoints_written,
             checkpoint_bytes: finish.checkpoint_bytes,
             quarantined: finish.quarantined,
+            quarantined_total: finish.quarantined_total,
+            metrics: registry.snapshot(),
         })
     }
 }
 
-/// Deliver one batch to every sink, counting points. In strict mode a
-/// [`Event::StreamError`] aborts: the events before it are delivered,
-/// the error itself is not (the host reports it as the run's failure),
-/// and nothing after it is either.
-fn deliver(
-    sinks: &mut [Box<dyn Sink>],
+/// One sink plus its delivery metrics, labeled by [`Sink::kind`] (two
+/// sinks of the same kind share series — the label reflects *what* is
+/// downstream, not which instance).
+struct SinkStation {
+    sink: Box<dyn Sink>,
+    delivered: Counter,
+    deliver_seconds: Histogram,
+    flush_seconds: Histogram,
+}
+
+/// The delivery half of the pipeline: every sink with its metrics, the
+/// point count, and the windowed noisiest-stream accounting.
+struct Egress {
+    stations: Vec<SinkStation>,
     strict: bool,
-    points: &mut u64,
-    events: &[Event],
-) -> Result<(), PipelineError> {
-    if events.is_empty() {
-        return Ok(());
-    }
-    let failed = strict
-        .then(|| {
-            events
-                .iter()
-                .position(|e| matches!(e, Event::StreamError { .. }))
-        })
-        .flatten();
-    let deliverable = &events[..failed.unwrap_or(events.len())];
-    for sink in sinks.iter_mut() {
-        sink.deliver(deliverable).map_err(PipelineError::Sink)?;
-    }
-    *points += deliverable.iter().filter(|e| e.point().is_some()).count() as u64;
-    if let Some(pos) = failed {
-        let Event::StreamError { stream, message } = &events[pos] else {
-            unreachable!("position matched a StreamError");
-        };
-        return Err(PipelineError::StreamFailed {
-            stream: stream.clone(),
-            message: message.clone(),
-        });
-    }
-    Ok(())
+    points: u64,
+    clock: Clock,
+    registry: MetricsRegistry,
+    noisy: NoisyStreams,
+    checkpoints: Counter,
+    checkpoint_bytes: Counter,
 }
 
-/// `flush_durable` every sink (all must succeed for a checkpoint to
-/// proceed).
-fn flush_sinks(sinks: &mut [Box<dyn Sink>]) -> Result<(), PipelineError> {
-    for sink in sinks.iter_mut() {
-        sink.flush_durable().map_err(PipelineError::Sink)?;
+impl Egress {
+    fn new(sinks: Vec<Box<dyn Sink>>, strict: bool, registry: &MetricsRegistry) -> Egress {
+        let stations = sinks
+            .into_iter()
+            .map(|sink| {
+                let labels: &[(&str, &str)] = &[("sink", sink.kind())];
+                SinkStation {
+                    delivered: registry.counter_labeled(
+                        names::PIPELINE_EVENTS_DELIVERED,
+                        "Events delivered, by sink kind",
+                        labels,
+                    ),
+                    deliver_seconds: registry.histogram_labeled(
+                        names::PIPELINE_DELIVER_SECONDS,
+                        "Seconds per delivery batch, by sink kind",
+                        LATENCY_BUCKETS,
+                        labels,
+                    ),
+                    flush_seconds: registry.histogram_labeled(
+                        names::PIPELINE_FLUSH_SECONDS,
+                        "Seconds per durable flush, by sink kind",
+                        LATENCY_BUCKETS,
+                        labels,
+                    ),
+                    sink,
+                }
+            })
+            .collect();
+        Egress {
+            stations,
+            strict,
+            points: 0,
+            clock: registry.clock(),
+            registry: registry.clone(),
+            noisy: NoisyStreams::new(),
+            checkpoints: registry.counter(names::PIPELINE_CHECKPOINTS, "Checkpoints committed"),
+            checkpoint_bytes: registry.counter(
+                names::PIPELINE_CHECKPOINT_BYTES,
+                "Checkpoint bytes written (cumulative)",
+            ),
+        }
     }
-    Ok(())
+
+    /// Deliver one batch to every sink, counting points. In strict mode
+    /// a [`Event::StreamError`] aborts: the events before it are
+    /// delivered, the error itself is not (the host reports it as the
+    /// run's failure), and nothing after it is either.
+    fn deliver(&mut self, events: &[Event]) -> Result<(), PipelineError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let failed = self
+            .strict
+            .then(|| {
+                events
+                    .iter()
+                    .position(|e| matches!(e, Event::StreamError { .. }))
+            })
+            .flatten();
+        let deliverable = &events[..failed.unwrap_or(events.len())];
+        for station in self.stations.iter_mut() {
+            let t0 = self.clock.now_ns();
+            station
+                .sink
+                .deliver(deliverable)
+                .map_err(PipelineError::Sink)?;
+            station
+                .deliver_seconds
+                .observe_ns(self.clock.now_ns().saturating_sub(t0));
+            station.delivered.add(deliverable.len() as u64);
+        }
+        for event in deliverable {
+            match event {
+                Event::Point { stream, point } => {
+                    self.points += 1;
+                    self.noisy.record(stream, point.score, point.alert);
+                }
+                Event::CheckpointWritten { bytes, .. } => {
+                    self.checkpoints.inc();
+                    self.checkpoint_bytes.add(*bytes as u64);
+                }
+                _ => {}
+            }
+        }
+        if self.noisy.points() >= TOPK_WINDOW_POINTS {
+            self.noisy.publish(&self.registry, TOPK_K);
+        }
+        if let Some(pos) = failed {
+            let Event::StreamError { stream, message } = &events[pos] else {
+                unreachable!("position matched a StreamError");
+            };
+            return Err(PipelineError::StreamFailed {
+                stream: stream.clone(),
+                message: message.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `flush_durable` every sink (all must succeed for a checkpoint to
+    /// proceed).
+    fn flush(&mut self) -> Result<(), PipelineError> {
+        for station in self.stations.iter_mut() {
+            let t0 = self.clock.now_ns();
+            station.sink.flush_durable().map_err(PipelineError::Sink)?;
+            station
+                .flush_seconds
+                .observe_ns(self.clock.now_ns().saturating_sub(t0));
+        }
+        Ok(())
+    }
 }

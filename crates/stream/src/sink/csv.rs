@@ -172,4 +172,8 @@ impl<W: Write> Sink for CsvSink<W> {
         self.ensure_header()?;
         self.w.flush()
     }
+
+    fn kind(&self) -> &'static str {
+        "csv"
+    }
 }

@@ -137,6 +137,10 @@ impl<W: Write> Sink for JsonLinesSink<W> {
     fn flush_durable(&mut self) -> io::Result<()> {
         self.w.flush()
     }
+
+    fn kind(&self) -> &'static str {
+        "json"
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! The telemetry registry as a [`Sink`]: Prometheus text exposition,
+//! written on every durable flush.
+//!
+//! This is the file-based twin of the live
+//! [`crate::telemetry::MetricsServer`] endpoint: batch and follow
+//! sessions that never open a port still leave a scrapeable
+//! `metrics.prom` next to their output, refreshed at exactly the
+//! checkpoint cadence (the pipeline flushes sinks durably before each
+//! checkpoint commits). Delivery is a no-op — the registry already saw
+//! everything through the instrumented layers; this sink only decides
+//! when and where a rendering lands.
+
+use super::Sink;
+use crate::event::Event;
+use crate::telemetry::MetricsRegistry;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Where a [`MetricsSink`] renders to.
+enum Target {
+    /// Atomically replace this file with the rendering (write to a
+    /// sibling temp file, then rename — a scraper never sees a torn
+    /// exposition).
+    Path(PathBuf),
+    /// Append each rendering to a writer (tests, stdout piping).
+    Writer(Box<dyn Write + Send>),
+}
+
+/// Renders a [`MetricsRegistry`] as Prometheus text exposition (format
+/// 0.0.4) on every [`Sink::flush_durable`].
+pub struct MetricsSink {
+    registry: MetricsRegistry,
+    target: Target,
+    /// Reused rendering buffer.
+    buf: String,
+}
+
+impl MetricsSink {
+    /// Render `registry` into `path` on each durable flush, atomically
+    /// replacing the previous rendering.
+    pub fn to_path(registry: MetricsRegistry, path: impl Into<PathBuf>) -> Self {
+        MetricsSink {
+            registry,
+            target: Target::Path(path.into()),
+            buf: String::new(),
+        }
+    }
+
+    /// Append each rendering to `writer` (each flush writes one full
+    /// exposition).
+    pub fn to_writer(registry: MetricsRegistry, writer: Box<dyn Write + Send>) -> Self {
+        MetricsSink {
+            registry,
+            target: Target::Writer(writer),
+            buf: String::new(),
+        }
+    }
+}
+
+impl Sink for MetricsSink {
+    fn deliver(&mut self, _events: &[Event]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn flush_durable(&mut self) -> io::Result<()> {
+        self.buf.clear();
+        self.registry.render_into(&mut self.buf);
+        match &mut self.target {
+            Target::Path(path) => {
+                crate::ingest::checkpoint::write_atomic(path, self.buf.as_bytes())
+                    .map_err(io::Error::other)
+            }
+            Target::Writer(w) => {
+                w.write_all(self.buf.as_bytes())?;
+                w.flush()
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "metrics"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_atomically_writes_current_exposition() {
+        let dir = std::env::temp_dir().join(format!("metrics_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("demo_total", "demo");
+        let mut sink = MetricsSink::to_path(registry, &path);
+
+        sink.deliver(&[]).unwrap();
+        sink.flush_durable().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.contains("demo_total 0\n"), "{first}");
+
+        counter.add(5);
+        sink.flush_durable().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert!(second.contains("demo_total 5\n"), "{second}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_target_appends_full_expositions() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        let registry = MetricsRegistry::new();
+        registry.counter("demo_total", "demo").inc();
+        let mut sink = MetricsSink::to_writer(registry, Box::new(shared.clone()));
+        sink.flush_durable().unwrap();
+        sink.flush_durable().unwrap();
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.matches("# TYPE demo_total counter").count(), 2);
+        assert_eq!(sink.kind(), "metrics");
+    }
+}

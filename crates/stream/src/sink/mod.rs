@@ -21,7 +21,10 @@
 //! - [`JsonLinesSink`] — one JSON object per event (every variant, not
 //!   just points); hand-rolled, no dependencies.
 //! - [`StderrAlertSink`] — the CLI's stderr diagnostics (ALERT lines,
-//!   warnings, quarantine reports, notes, checkpoint sizes).
+//!   warnings, quarantine reports, notes, checkpoint sizes), with an
+//!   optional repeat-warning rate limit.
+//! - [`MetricsSink`] — the telemetry registry rendered as Prometheus
+//!   text exposition on every durable flush.
 //! - [`Tee`] — deliver to two sinks; both must accept and both must
 //!   flush for the pipeline to proceed.
 //! - [`MemorySink`] — collect events in memory behind a shared handle
@@ -30,10 +33,12 @@
 mod alert;
 mod csv;
 mod json;
+mod metrics;
 
 pub use alert::StderrAlertSink;
 pub use csv::{CsvSchema, CsvSink};
 pub use json::JsonLinesSink;
+pub use metrics::MetricsSink;
 
 use crate::event::Event;
 use std::io;
@@ -65,6 +70,12 @@ pub trait Sink {
     /// # Errors
     /// Any I/O failure; a pending checkpoint is not committed.
     fn flush_durable(&mut self) -> io::Result<()>;
+
+    /// A short static label naming the sink type — the `sink` label on
+    /// the pipeline's per-sink delivery metrics.
+    fn kind(&self) -> &'static str {
+        "sink"
+    }
 }
 
 impl Sink for Box<dyn Sink> {
@@ -74,6 +85,10 @@ impl Sink for Box<dyn Sink> {
 
     fn flush_durable(&mut self) -> io::Result<()> {
         (**self).flush_durable()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
     }
 }
 
@@ -103,6 +118,10 @@ impl<A: Sink, B: Sink> Sink for Tee<A, B> {
     fn flush_durable(&mut self) -> io::Result<()> {
         self.a.flush_durable()?;
         self.b.flush_durable()
+    }
+
+    fn kind(&self) -> &'static str {
+        "tee"
     }
 }
 
@@ -142,5 +161,9 @@ impl Sink for MemorySink {
 
     fn flush_durable(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    fn kind(&self) -> &'static str {
+        "memory"
     }
 }

@@ -1,0 +1,275 @@
+//! A minimal, non-blocking Prometheus scrape endpoint.
+//!
+//! [`MetricsServer`] binds a TCP listener and answers `GET /metrics`
+//! with the registry's current text exposition. It follows the same
+//! non-blocking discipline as [`crate::ingest::tcp::TcpSource`]: the
+//! listener and every accepted connection are non-blocking, and one
+//! [`MetricsServer::poll`] call does a bounded amount of work (accepts
+//! until `WouldBlock`, advances each connection's read or write) and
+//! returns — the pipeline drives it from its step loop, so scraping
+//! never stalls scoring.
+//!
+//! The protocol is deliberately tiny: HTTP/1.0, `Connection: close`,
+//! one request per connection. That is everything `curl` and a
+//! Prometheus scraper need.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use super::{names, Counter, MetricsRegistry};
+
+/// Connections a server keeps open at once; further accepts are dropped
+/// until a slot frees (a scraper retries, a stalled peer can't pile up).
+const MAX_CONNS: usize = 32;
+
+/// Request bytes buffered per connection before we give up and answer
+/// 400; real scrape requests are a few hundred bytes.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// One in-flight HTTP exchange.
+#[derive(Debug)]
+struct HttpConn {
+    sock: TcpStream,
+    /// Request bytes read so far (until the blank line).
+    req: Vec<u8>,
+    /// The rendered response once the request is complete.
+    resp: Vec<u8>,
+    /// Bytes of `resp` already written.
+    written: usize,
+    /// Whether `resp` has been built (the request phase is over).
+    responding: bool,
+}
+
+/// A scrapeable `GET /metrics` endpoint over a [`MetricsRegistry`].
+///
+/// Bind with [`MetricsServer::bind`] (port 0 picks a free port — read
+/// it back with [`MetricsServer::local_addr`]), then call
+/// [`MetricsServer::poll`] regularly; each poll serves whatever
+/// requests have arrived without blocking.
+#[derive(Debug)]
+pub struct MetricsServer {
+    listener: TcpListener,
+    conns: Vec<HttpConn>,
+    registry: MetricsRegistry,
+    scrapes: Counter,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral
+    /// port) and serve `registry` from it.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound or set non-blocking.
+    pub fn bind(addr: &str, registry: MetricsRegistry) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let scrapes = registry.counter(
+            names::METRICS_SCRAPES,
+            "GET /metrics requests answered by the metrics endpoint",
+        );
+        Ok(MetricsServer {
+            listener,
+            conns: Vec::new(),
+            registry,
+            scrapes,
+        })
+    }
+
+    /// The bound address (the way to learn an ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates the OS error if the socket's address cannot be read.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept pending connections and advance every in-flight exchange
+    /// as far as it will go without blocking.
+    pub fn poll(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((sock, _peer)) => {
+                    if self.conns.len() >= MAX_CONNS || sock.set_nonblocking(true).is_err() {
+                        // Dropping the socket closes it; the client retries.
+                        continue;
+                    }
+                    self.conns.push(HttpConn {
+                        sock,
+                        req: Vec::new(),
+                        resp: Vec::new(),
+                        written: 0,
+                        responding: false,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        let mut idx = 0;
+        while idx < self.conns.len() {
+            let done = {
+                let conn = &mut self.conns[idx];
+                if !conn.responding {
+                    Self::read_request(conn, &self.registry, &self.scrapes)
+                } else {
+                    false
+                }
+            };
+            let done = done || {
+                let conn = &mut self.conns[idx];
+                conn.responding && Self::write_response(conn)
+            };
+            if done {
+                // Swap-remove: order among pending connections is
+                // irrelevant.
+                self.conns.swap_remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Read request bytes until the header terminator; build the
+    /// response when it arrives. Returns `true` if the connection
+    /// should be dropped (peer error / EOF before a full request).
+    fn read_request(conn: &mut HttpConn, registry: &MetricsRegistry, scrapes: &Counter) -> bool {
+        let mut buf = [0u8; 1024];
+        loop {
+            match conn.sock.read(&mut buf) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    conn.req.extend_from_slice(&buf[..n]);
+                    if request_complete(&conn.req) {
+                        conn.resp = build_response(&conn.req, registry, scrapes);
+                        conn.responding = true;
+                        return false;
+                    }
+                    if conn.req.len() > MAX_REQUEST_BYTES {
+                        conn.resp = simple_response(400, "Bad Request", "request too large\n");
+                        conn.responding = true;
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Write as much of the response as the socket accepts. Returns
+    /// `true` when the exchange is finished (fully written or failed).
+    fn write_response(conn: &mut HttpConn) -> bool {
+        while conn.written < conn.resp.len() {
+            match conn.sock.write(&conn.resp[conn.written..]) {
+                Ok(0) => return true,
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+        let _ = conn.sock.flush();
+        true
+    }
+}
+
+/// Whether `req` contains the end-of-headers blank line (CRLF or bare
+/// LF — be liberal in what we accept).
+fn request_complete(req: &[u8]) -> bool {
+    req.windows(4).any(|w| w == b"\r\n\r\n") || req.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Route a complete request: `GET /metrics` renders the registry,
+/// anything else is a 404/405.
+fn build_response(req: &[u8], registry: &MetricsRegistry, scrapes: &Counter) -> Vec<u8> {
+    let line_end = req.iter().position(|&b| b == b'\n').unwrap_or(req.len());
+    let line = String::from_utf8_lossy(&req[..line_end]);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return simple_response(405, "Method Not Allowed", "only GET is supported\n");
+    }
+    // Accept a query string (`/metrics?x=y`) the way real scrapers send one.
+    if path == "/metrics" || path.starts_with("/metrics?") {
+        // Render first, count after: a scrape reports the state it
+        // found, and shows up in the counter on the *next* scrape.
+        let body = registry.render();
+        scrapes.inc();
+        let mut resp = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        resp.extend_from_slice(body.as_bytes());
+        resp
+    } else {
+        simple_response(404, "Not Found", "see /metrics\n")
+    }
+}
+
+/// A plain-text non-200 response.
+fn simple_response(code: u16, reason: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `server.poll()` until `conn` yields a full response.
+    fn exchange(server: &mut MetricsServer, request: &[u8]) -> String {
+        let addr = server.local_addr().unwrap();
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(request).unwrap();
+        sock.flush().unwrap();
+        let mut out = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        sock.set_read_timeout(Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+        loop {
+            server.poll();
+            let mut buf = [0u8; 4096];
+            match sock.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("read: {e}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "no response in 5s");
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn serves_metrics_and_counts_scrapes() {
+        let registry = MetricsRegistry::new();
+        registry.counter("demo_total", "demo").add(7);
+        let mut server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let resp = exchange(&mut server, b"GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+        assert!(resp.contains("demo_total 7\n"), "{resp}");
+        // The scrape itself is counted (visible on the *next* scrape).
+        let resp = exchange(&mut server, b"GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(resp.contains("bagscpd_metrics_scrapes_total 1"), "{resp}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let registry = MetricsRegistry::new();
+        let mut server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let resp = exchange(&mut server, b"GET /nope HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+        let resp = exchange(&mut server, b"POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+    }
+}

@@ -4,7 +4,8 @@ use crate::cache::EmdScratch;
 use crate::engine::StreamId;
 use crate::event::Event;
 use crate::online::{OnlineDetector, OnlineState};
-use bagcpd::{derive_seed, Bag, Detector, EvalScratch};
+use crate::telemetry::{names, Counter, Gauge, MetricsRegistry, SolveTimer, LATENCY_BUCKETS};
+use bagcpd::{derive_seed, Bag, Detector, EvalScratch, SolverStats};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
@@ -77,6 +78,113 @@ pub(crate) fn stream_seed(master: u64, name: &str) -> u64 {
     derive_seed(master, name_hash(name))
 }
 
+/// One worker's pre-registered metric handles: every handle is resolved
+/// at pool construction, so the evaluation loop only touches atomics —
+/// no registry lock, no allocation, nothing on the hot path.
+///
+/// Solver work (exact solves, pivots, Sinkhorn solves/sweeps) is
+/// counted *inside* the solver scratches as plain integers (the solver
+/// crates know nothing of telemetry); the worker folds the per-tick
+/// deltas into the shared counters here.
+pub(crate) struct WorkerTelemetry {
+    /// Evaluation ticks of this worker.
+    ticks: Counter,
+    /// Messages drained in the latest tick (the queue-depth proxy:
+    /// `sync_channel` exposes no len, but what a tick drains is exactly
+    /// what was waiting).
+    depth: Gauge,
+    /// Bags evaluated (shared across workers).
+    bags: Counter,
+    /// Score points emitted (shared).
+    points: Counter,
+    /// Per-bag stream errors (shared).
+    errors: Counter,
+    /// Exact simplex solves (shared).
+    exact_solves: Counter,
+    /// Simplex pivots (shared).
+    pivots: Counter,
+    /// Sinkhorn solves (shared).
+    sinkhorn_solves: Counter,
+    /// Sinkhorn sweeps (shared).
+    sinkhorn_sweeps: Counter,
+    /// Solve-latency probe, cloned into the worker's [`EmdScratch`].
+    solve_timer: SolveTimer,
+    /// Solver-scratch counter values at the last fold.
+    last: SolverStats,
+}
+
+impl WorkerTelemetry {
+    /// Register this worker's handles (labeled series keyed by worker
+    /// index; shared families resolve to the same atomics pool-wide).
+    pub(crate) fn new(registry: &MetricsRegistry, worker: usize) -> Self {
+        let index = worker.to_string();
+        let labels = [("worker", index.as_str())];
+        let solve_hist = registry.histogram(
+            names::SOLVER_SOLVE_SECONDS,
+            "Wall-clock seconds per EMD solve",
+            LATENCY_BUCKETS,
+        );
+        WorkerTelemetry {
+            ticks: registry.counter_labeled(
+                names::ENGINE_TICKS,
+                "Evaluation ticks per worker",
+                &labels,
+            ),
+            depth: registry.gauge_labeled(
+                names::ENGINE_QUEUE_DEPTH,
+                "Messages drained in the latest tick per worker",
+                &labels,
+            ),
+            bags: registry.counter(
+                names::ENGINE_BAGS_SCORED,
+                "Bags evaluated by the worker pool",
+            ),
+            points: registry.counter(
+                names::ENGINE_POINTS,
+                "Score points emitted by the worker pool",
+            ),
+            errors: registry.counter(
+                names::ENGINE_STREAM_ERRORS,
+                "Per-bag stream errors (bag dropped, stream kept alive)",
+            ),
+            exact_solves: registry.counter(
+                names::SOLVER_EXACT_SOLVES,
+                "Exact transportation-simplex solves",
+            ),
+            pivots: registry.counter(
+                names::SOLVER_PIVOTS,
+                "Stepping-stone pivots across exact solves",
+            ),
+            sinkhorn_solves: registry.counter(names::SOLVER_SINKHORN_SOLVES, "Sinkhorn solves"),
+            sinkhorn_sweeps: registry.counter(
+                names::SOLVER_SINKHORN_SWEEPS,
+                "Sinkhorn potential-update sweeps",
+            ),
+            solve_timer: SolveTimer::new(solve_hist, registry.clock()),
+            last: SolverStats::default(),
+        }
+    }
+
+    /// Record one tick that drained `drained` messages.
+    fn tick(&self, drained: usize) {
+        self.ticks.inc();
+        self.depth.set(drained as f64);
+    }
+
+    /// Fold the solver-scratch deltas since the previous fold into the
+    /// shared counters.
+    fn fold_solver(&mut self, stats: SolverStats) {
+        self.exact_solves
+            .add(stats.exact_solves - self.last.exact_solves);
+        self.pivots.add(stats.pivots - self.last.pivots);
+        self.sinkhorn_solves
+            .add(stats.sinkhorn_solves - self.last.sinkhorn_solves);
+        self.sinkhorn_sweeps
+            .add(stats.sinkhorn_sweeps - self.last.sinkhorn_sweeps);
+        self.last = stats;
+    }
+}
+
 /// What the worker knows about an interned stream independent of its
 /// live detector state: set once at registration, kept across retire.
 struct StreamMeta {
@@ -107,6 +215,7 @@ pub(crate) fn run(
     rx: Receiver<Msg>,
     events: SyncSender<Event>,
     batch_size: usize,
+    mut telemetry: Option<WorkerTelemetry>,
 ) {
     let mut shard = Shard {
         registry: HashMap::new(),
@@ -114,6 +223,9 @@ pub(crate) fn run(
         scratch: EvalScratch::new(),
         emd: EmdScratch::new(),
     };
+    if let Some(t) = &telemetry {
+        shard.emd.set_solve_timer(t.solve_timer.clone());
+    }
     let mut batch: Vec<Msg> = Vec::with_capacity(batch_size);
     loop {
         // Block for the first message; engine shutdown closes the queue.
@@ -127,7 +239,20 @@ pub(crate) fn run(
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
-        if tick(&detector, &mut shard, &mut batch, &events).is_err() {
+        if let Some(t) = &telemetry {
+            t.tick(batch.len());
+        }
+        let result = tick(
+            &detector,
+            &mut shard,
+            &mut batch,
+            &events,
+            telemetry.as_ref(),
+        );
+        if let Some(t) = &mut telemetry {
+            t.fold_solver(shard.emd.solver_stats());
+        }
+        if result.is_err() {
             // Event receiver gone: the engine was dropped mid-stream.
             return;
         }
@@ -141,6 +266,7 @@ fn tick(
     shard: &mut Shard,
     batch: &mut Vec<Msg>,
     events: &SyncSender<Event>,
+    telemetry: Option<&WorkerTelemetry>,
 ) -> Result<(), ()> {
     // Group consecutive pushes by stream (per-stream arrival order is
     // preserved; cross-stream order within a tick is immaterial).
@@ -165,7 +291,7 @@ fn tick(
             }
             control => {
                 // Barrier: evaluate pending pushes first.
-                evaluate(detector, shard, &mut order, &mut groups, events)?;
+                evaluate(detector, shard, &mut order, &mut groups, events, telemetry)?;
                 match control {
                     Msg::Register { .. } | Msg::Push { .. } => unreachable!("handled above"),
                     Msg::Flush { reply } => {
@@ -189,7 +315,7 @@ fn tick(
             }
         }
     }
-    evaluate(detector, shard, &mut order, &mut groups, events)
+    evaluate(detector, shard, &mut order, &mut groups, events, telemetry)
 }
 
 /// Evaluate the grouped pushes of one tick through the shard's shared
@@ -200,6 +326,7 @@ fn evaluate(
     order: &mut Vec<StreamId>,
     groups: &mut HashMap<StreamId, Vec<Bag>>,
     events: &SyncSender<Event>,
+    telemetry: Option<&WorkerTelemetry>,
 ) -> Result<(), ()> {
     for id in order.drain(..) {
         let bags = groups.remove(&id).expect("grouped with order");
@@ -212,8 +339,14 @@ fn evaluate(
             .entry(id)
             .or_insert_with(|| OnlineDetector::new(detector.clone(), meta.seed));
         for bag in bags {
+            if let Some(t) = telemetry {
+                t.bags.inc();
+            }
             match det.push_with(bag, &mut shard.scratch, &mut shard.emd) {
                 Ok(Some(point)) => {
+                    if let Some(t) = telemetry {
+                        t.points.inc();
+                    }
                     events
                         .send(Event::Point {
                             stream: meta.name.clone(),
@@ -223,6 +356,9 @@ fn evaluate(
                 }
                 Ok(None) => {}
                 Err(e) => {
+                    if let Some(t) = telemetry {
+                        t.errors.inc();
+                    }
                     // Drop the offending bag, keep the stream alive.
                     events
                         .send(Event::StreamError {

@@ -16,7 +16,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, EvalScratch, SignatureMethod};
-use stream::{EmdScratch, OnlineDetector};
+use stream::telemetry::{names, LATENCY_BUCKETS};
+use stream::{Clock, EmdScratch, MetricsRegistry, OnlineDetector, SolveTimer};
 
 /// System allocator wrapper counting allocation events per thread
 /// (`alloc`, `alloc_zeroed`, and growth via `realloc`; frees are not
@@ -122,5 +123,74 @@ fn warm_push_allocates_exactly_nothing() {
          solve, the window matrix, the scorer, and the bootstrap must \
          run out of the scratches ({push_allocs} events over \
          {MEASURED} pushes)"
+    );
+}
+
+/// The same guarantee with telemetry attached: a solve-latency timer in
+/// the scratch records every EMD solve into a pre-registered histogram
+/// — pure atomics, so the instrumented warm path still allocates
+/// exactly zero.
+#[cfg(debug_assertions)]
+#[test]
+fn warm_instrumented_push_allocates_exactly_nothing() {
+    const SEED: u64 = 7;
+    const WARM: usize = 24;
+    const MEASURED: usize = 16;
+
+    let detector = Detector::new(DetectorConfig {
+        tau: 4,
+        tau_prime: 3,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        bootstrap: BootstrapConfig {
+            replicates: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("valid config");
+
+    // Registration (the allocating step) happens here, before the
+    // measured loop; the timer carried by the scratch is plain atomics.
+    let clock = Clock::manual();
+    let registry = MetricsRegistry::with_clock(clock.clone());
+    let hist = registry.histogram(
+        names::SOLVER_SOLVE_SECONDS,
+        "solve seconds",
+        LATENCY_BUCKETS,
+    );
+    let mut emd = EmdScratch::new();
+    emd.set_solve_timer(SolveTimer::new(hist.clone(), registry.clock()));
+
+    let mut online = OnlineDetector::new(detector, SEED);
+    let mut eval = EvalScratch::new();
+
+    let warm_bags: Vec<Bag> = (0..WARM).map(bag_at).collect();
+    let measured_bags: Vec<Bag> = (WARM..WARM + MEASURED).map(bag_at).collect();
+    for bag in warm_bags {
+        online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("warm-up push");
+    }
+    let warm_solves = hist.count();
+    assert!(warm_solves > 0, "the timer observes warm-up solves");
+
+    let before = alloc_events();
+    for bag in measured_bags {
+        clock.advance_ns(1_000); // let each solve see time passing
+        online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("measured push");
+    }
+    let push_allocs = alloc_events() - before;
+
+    assert!(
+        hist.count() > warm_solves,
+        "the measured pushes keep recording solves"
+    );
+    assert_eq!(
+        push_allocs, 0,
+        "an instrumented warm push_with must not allocate: the timer is \
+         a pre-registered histogram handle recording via atomics \
+         ({push_allocs} events over {MEASURED} pushes)"
     );
 }

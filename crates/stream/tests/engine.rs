@@ -22,6 +22,7 @@ fn engine_config(workers: usize) -> EngineConfig {
         queue_capacity: 256,
         batch_size: 64,
         event_capacity: 16384,
+        telemetry: None,
     }
 }
 

@@ -34,6 +34,7 @@ fn engine_cfg(seed: u64) -> EngineConfig {
         queue_capacity: 256,
         batch_size: 64,
         event_capacity: 4096,
+        telemetry: None,
     }
 }
 
@@ -793,4 +794,50 @@ fn tcp_hostile_unique_names_cannot_grow_bookkeeping_without_bound() {
         dropped >= 9,
         "excess oversized lines are noted, not stored: {out:?}"
     );
+}
+
+/// Satellite of the telemetry layer: a fleet where *every* stream
+/// quarantines must not grow the mux's retained-record list without
+/// bound — retention is capped at the most recent
+/// [`RETAINED_QUARANTINES`] records, while the full count survives in
+/// `quarantined_total` and the telemetry counter.
+#[test]
+fn quarantine_retention_is_capped_but_counted_in_full() {
+    use stream::ingest::RETAINED_QUARANTINES;
+    use stream::telemetry::names;
+    use stream::MetricsRegistry;
+
+    let registry = MetricsRegistry::new();
+    let mut mux = fresh_mux(1, MuxConfig::default());
+    mux.set_telemetry(&registry);
+    let n = RETAINED_QUARANTINES + 17;
+    for s in 0..n {
+        // One malformed row per stream: quarantined on first poll.
+        mux.add_source(Box::new(LineSource::new(
+            Cursor::new("0,oops\n".to_string()),
+            format!("mem-{s}"),
+            format!("s{s:04}"),
+        )));
+    }
+    drive_to_done(&mut mux);
+    let finish = mux.finish().unwrap();
+
+    assert_eq!(finish.quarantined.len(), RETAINED_QUARANTINES);
+    assert_eq!(finish.quarantined_total, n as u64);
+    // The *most recent* records are the ones retained.
+    assert_eq!(
+        finish.quarantined.last().unwrap().stream.as_ref(),
+        format!("s{:04}", n - 1)
+    );
+    assert_eq!(
+        finish.quarantined[0].stream.as_ref(),
+        format!("s{:04}", n - RETAINED_QUARANTINES)
+    );
+    let counted = registry
+        .snapshot()
+        .iter()
+        .find(|s| s.key == names::INGEST_QUARANTINES)
+        .expect("quarantine counter registered")
+        .value;
+    assert_eq!(counted, n as f64);
 }

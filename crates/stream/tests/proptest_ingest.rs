@@ -33,6 +33,7 @@ fn engine_cfg(seed: u64, workers: usize) -> EngineConfig {
         queue_capacity: 256,
         batch_size: 32,
         event_capacity: 4096,
+        telemetry: None,
     }
 }
 

@@ -85,7 +85,8 @@ use bags_cpd::stream::ingest::{
     CsvFileSource, DirSource, MemorySource, TcpLimits, TcpSource, ThreadedLineSource,
 };
 use bags_cpd::stream::{
-    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, Pipeline, PipelineBuilder, StderrAlertSink,
+    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, MetricSample, Pipeline, PipelineBuilder,
+    StderrAlertSink,
 };
 use bags_cpd::{
     Bag, BootstrapConfig, DetectError, Detector, DetectorConfig, ScoreKind, SignatureMethod,
@@ -136,6 +137,10 @@ struct Options {
     /// Periodic checkpoint triggers (follow + serve, with --state).
     checkpoint_bags: Option<u64>,
     checkpoint_ticks: Option<u64>,
+    /// serve: address for the Prometheus `GET /metrics` endpoint.
+    metrics: Option<String>,
+    /// Print the final telemetry snapshot to stderr on exit.
+    stats: bool,
 }
 
 const USAGE: &str = "\
@@ -180,6 +185,11 @@ options:
                          (default 4096)
   --watch                serve: keep running at EOF (tail files and the
                          socket) instead of draining and exiting
+  --metrics <addr>       serve: answer Prometheus 'GET /metrics' scrapes
+                         on addr (port 0 picks a free port; the bound
+                         address is printed on stderr)
+  --stats                print the final telemetry snapshot (every
+                         counter, gauge, and histogram) to stderr
   --help                 show this message
 ";
 
@@ -206,6 +216,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_streams: None,
         checkpoint_bags: None,
         checkpoint_ticks: None,
+        metrics: None,
+        stats: false,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -268,6 +280,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--csv" => opts.csvs.push(take("--csv")?),
             "--dir" => opts.dir = Some(take("--dir")?),
             "--listen" => opts.listen = Some(take("--listen")?),
+            "--metrics" => opts.metrics = Some(take("--metrics")?),
+            "--stats" => opts.stats = true,
             "--watch" => opts.watch = true,
             "--max-line-bytes" => {
                 opts.max_line_bytes = Some(
@@ -323,10 +337,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.listen.is_some()
             || opts.watch
             || opts.max_line_bytes.is_some()
-            || opts.max_streams.is_some())
+            || opts.max_streams.is_some()
+            || opts.metrics.is_some())
     {
         return Err(
-            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams are serve-mode options"
+            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams/--metrics are \
+             serve-mode options"
                 .to_string(),
         );
     }
@@ -494,7 +510,7 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
         builder = builder.sink(CsvSink::with_schema(file, CsvSchema::single_stream()));
     }
-    builder
+    let summary = builder
         .build()
         .map_err(|e| e.to_string())?
         .run()
@@ -509,6 +525,9 @@ fn run_batch(opts: &Options) -> Result<(), String> {
     eprintln!("alerts at: {alerts:?}");
     if let Some(out) = &opts.output {
         eprintln!("wrote {out}");
+    }
+    if opts.stats {
+        print_stats(&summary.metrics);
     }
     Ok(())
 }
@@ -573,6 +592,9 @@ fn run_follow(opts: &Options) -> Result<(), String> {
         base_bags + summary.bags,
         base_points + summary.points
     );
+    if opts.stats {
+        print_stats(&summary.metrics);
+    }
     Ok(())
 }
 
@@ -617,8 +639,14 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         }
         builder = builder.source(tcp);
     }
+    if let Some(addr) = &opts.metrics {
+        builder = builder.serve_metrics(addr.clone());
+    }
 
     let mut pipeline = builder.build().map_err(|e| e.to_string())?;
+    if let Some(local) = pipeline.metrics_addr() {
+        eprintln!("metrics: listening on {local} (GET /metrics)");
+    }
     // A restored engine keeps the snapshot's master seed regardless of
     // --seed; surface a real conflict (any checkpoint, not just ones
     // with a follow stream).
@@ -640,12 +668,25 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     let summary = pipeline.run().map_err(|e| e.to_string())?;
     eprintln!(
         "serve done: {} bags, {} inspection points, {} checkpoint(s), {} quarantined stream(s)",
-        summary.bags,
-        summary.points,
-        summary.checkpoints,
-        summary.quarantined.len()
+        summary.bags, summary.points, summary.checkpoints, summary.quarantined_total
     );
+    if opts.stats {
+        print_stats(&summary.metrics);
+    }
     Ok(())
+}
+
+/// The `--stats` report: one `key value` line per sample, in the
+/// registry's deterministic (name, then label) order.
+fn print_stats(metrics: &[MetricSample]) {
+    eprintln!("stats:");
+    for sample in metrics {
+        if sample.value.fract() == 0.0 && sample.value.abs() < 1e15 {
+            eprintln!("  {} {}", sample.key, sample.value as i64);
+        } else {
+            eprintln!("  {} {}", sample.key, sample.value);
+        }
+    }
 }
 
 fn run(opts: &Options) -> Result<(), String> {
