@@ -178,6 +178,7 @@ pub fn bootstrap_ci_with(
                         replicate_range(scorer, kind, alpha_ref, alpha_test, chunk_seeds)
                     })
                 })
+                // lint:allow(NO_ALLOC_HOT_PATH, one handle per thread in the explicitly multi-threaded branch; the threads<=1 streaming path never reaches this)
                 .collect();
             for h in handles {
                 scores.extend(h.join().expect("bootstrap worker panicked"));

@@ -173,10 +173,8 @@ pub fn signature_at_with(
         points,
         weights,
     } = scratch;
-    let spec = spec.get_or_insert_with(|| HistogramSpec {
-        origin: Vec::new(),
-        width: Vec::new(),
-    });
+    // Empty vecs: filled by the resizes below, no allocation here.
+    let spec = spec.get_or_insert_with(HistogramSpec::default);
     spec.origin.clear();
     spec.origin.resize(bag.dim(), 0.0);
     spec.width.clear();

@@ -194,6 +194,7 @@ pub fn solve_transportation_with(
     scratch: &mut TransportScratch,
 ) -> Result<TransportPlan, EmdError> {
     let dims = solve_core(costs, supplies, demands, scratch, None)?;
+    // lint:allow(NO_ALLOC_HOT_PATH, this variant materializes the plan by contract; the zero-alloc path is solve_cost_flow)
     let mut flows = Vec::new();
     let (total_cost, total_flow) = finish(scratch, &dims, |i, j, f| flows.push((i, j, f)));
     Ok(TransportPlan {

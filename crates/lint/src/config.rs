@@ -1,0 +1,342 @@
+//! `lint.toml` parsing: a hand-rolled subset of TOML (this tool is
+//! dependency-free by design).
+//!
+//! Supported syntax — everything the config actually needs:
+//!
+//! - `[section]` headers (dotted names treated as opaque strings);
+//! - `key = "string"`, `key = 123`, `key = true`;
+//! - `key = ["a", "b"]`, including multi-line arrays;
+//! - quoted keys (`"crates/stream/src/engine.rs" = 3`);
+//! - `#` comments and blank lines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array of strings.
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array of strings.
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// One `[section]`: ordered key → value pairs.
+pub type Section = BTreeMap<String, Value>;
+
+/// The whole parsed file: section name → entries. Keys outside any
+/// section land in the `""` section.
+#[derive(Debug, Default)]
+pub struct Toml {
+    /// Sections in declaration order.
+    pub sections: BTreeMap<String, Section>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-indexed line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Toml {
+    /// Parse `text`.
+    pub fn parse(text: &str) -> Result<Toml, ParseError> {
+        let mut toml = Toml::default();
+        let mut current = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name.strip_suffix(']').ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: format!("unterminated section header: {raw:?}"),
+                })?;
+                current = name.trim().trim_matches('"').to_string();
+                toml.sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let (key, rest) = split_key(line).ok_or_else(|| ParseError {
+                line: lineno,
+                message: format!("expected `key = value`: {raw:?}"),
+            })?;
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance outside of strings.
+            let mut value_text = rest.to_string();
+            while !balanced(&value_text) {
+                match lines.next() {
+                    Some((_, more)) => {
+                        value_text.push('\n');
+                        value_text.push_str(strip_comment(more));
+                    }
+                    None => {
+                        return Err(ParseError {
+                            line: lineno,
+                            message: "unterminated array".into(),
+                        })
+                    }
+                }
+            }
+            let value = parse_value(value_text.trim()).map_err(|message| ParseError {
+                line: lineno,
+                message,
+            })?;
+            toml.sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key, value);
+        }
+        Ok(toml)
+    }
+
+    /// A section by name (empty if absent).
+    pub fn section(&self, name: &str) -> Section {
+        self.sections.get(name).cloned().unwrap_or_default()
+    }
+
+    /// A string-array key inside a section (empty if absent).
+    pub fn strings(&self, section: &str, key: &str) -> Vec<String> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(|v| v.as_array().map(<[String]>::to_vec))
+            .unwrap_or_default()
+    }
+}
+
+/// Strip a `#` comment not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Split `key = value`, handling quoted keys.
+fn split_key(line: &str) -> Option<(String, &str)> {
+    let line = line.trim_start();
+    if let Some(rest) = line.strip_prefix('"') {
+        let close = rest.find('"')?;
+        let key = rest[..close].to_string();
+        let after = rest[close + 1..].trim_start();
+        let value = after.strip_prefix('=')?;
+        Some((key, value.trim_start()))
+    } else {
+        let eq = line.find('=')?;
+        let key = line[..eq].trim().to_string();
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            return None;
+        }
+        Some((key, line[eq + 1..].trim_start()))
+    }
+}
+
+/// Are `[` / `]` balanced outside strings?
+fn balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth <= 0
+}
+
+/// Parse one value: string, int, bool, or string array.
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: {text:?}"))?;
+        let mut items = Vec::new();
+        for piece in split_array_items(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece)? {
+                Value::Str(s) => items.push(s),
+                other => return Err(format!("only string arrays are supported, got {other:?}")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => out.push(c),
+                    None => return Err("dangling escape".into()),
+                },
+                Some('"') => return Ok(Value::Str(out)),
+                Some(c) => out.push(c),
+                None => return Err(format!("unterminated string: {text:?}")),
+            }
+        }
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unrecognized value: {text:?}"))
+}
+
+/// Split array items on commas outside strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+/// Match `name` against a glob with at most one `*` (prefix, suffix,
+/// infix, or bare `*`).
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    match pattern.split_once('*') {
+        None => pattern == name,
+        Some((pre, post)) => {
+            name.len() >= pre.len() + post.len() && name.starts_with(pre) && name.ends_with(post)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_arrays() {
+        let text = r#"
+# top comment
+[alpha]
+name = "x" # trailing
+count = 42
+flag = true
+items = ["a", "b"]
+
+[beta]
+"quoted/key.rs" = 3
+multi = [
+    "one",
+    "two",  # comment inside
+]
+"#;
+        let t = Toml::parse(text).unwrap();
+        assert_eq!(t.section("alpha")["name"], Value::Str("x".into()));
+        assert_eq!(t.section("alpha")["count"], Value::Int(42));
+        assert_eq!(t.section("alpha")["flag"], Value::Bool(true));
+        assert_eq!(t.strings("alpha", "items"), vec!["a", "b"]);
+        assert_eq!(t.section("beta")["quoted/key.rs"], Value::Int(3));
+        assert_eq!(t.strings("beta", "multi"), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let t = Toml::parse("[s]\nk = \"a#b\"").unwrap();
+        assert_eq!(t.section("s")["k"], Value::Str("a#b".into()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Toml::parse("[s]\nbad line here").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("*_with", "push_with"));
+        assert!(glob_match("solve*", "solve_core"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("*_with", "with_scratch"));
+    }
+}

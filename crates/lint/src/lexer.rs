@@ -1,0 +1,488 @@
+//! A minimal Rust lexer that classifies every byte of a source file.
+//!
+//! The lints only need one question answered reliably: *is this byte
+//! code, or is it inert* (a comment, a string, a char literal)? Banned
+//! tokens inside strings, raw strings, comments, and doc comments must
+//! never fire. The lexer therefore does not tokenize expressions; it
+//! partitions the file into contiguous [`Span`]s and guarantees:
+//!
+//! - spans cover the file exactly (contiguous, in order, no gaps);
+//! - it never panics, even on malformed or truncated input —
+//!   unterminated constructs simply extend to end of file;
+//! - nested block comments, raw strings with any number of `#`s, byte
+//!   and C strings, char literals, and lifetimes are classified the way
+//!   rustc classifies them.
+
+/// What a span of bytes is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Executable source, including whitespace and punctuation.
+    Code,
+    /// `// …` (not a doc comment).
+    LineComment,
+    /// `/* … */`, nesting respected (not a doc comment).
+    BlockComment,
+    /// `/// …`, `//! …`, `/** … */`, or `/*! … */`.
+    DocComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, … with any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` — but not lifetimes, which stay [`Class::Code`].
+    CharLit,
+}
+
+impl Class {
+    /// Whether banned-token scanning applies to this span.
+    pub fn is_code(self) -> bool {
+        self == Class::Code
+    }
+
+    /// Whether this span is any kind of comment.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            Class::LineComment | Class::BlockComment | Class::DocComment
+        )
+    }
+}
+
+/// One classified byte range (`start..end` into the source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte, inclusive.
+    pub start: usize,
+    /// Past-the-end byte.
+    pub end: usize,
+    /// Classification of every byte in the range.
+    pub class: Class,
+}
+
+/// Is `b` part of an identifier (ASCII view — multibyte identifier
+/// chars are all non-delimiters, so they never change classification)?
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Partition `src` into classified spans covering every byte.
+pub fn lex(src: &str) -> Vec<Span> {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut code_start = 0usize;
+    let mut i = 0usize;
+    // Whether the previous *code* byte could end an identifier: an `r`
+    // right after one (`bar"…`) is part of that identifier, not a raw
+    // string prefix.
+    let mut prev_ident = false;
+
+    macro_rules! flush_code {
+        ($upto:expr) => {
+            if code_start < $upto {
+                spans.push(Span {
+                    start: code_start,
+                    end: $upto,
+                    class: Class::Code,
+                });
+            }
+        };
+    }
+
+    while i < len {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < len && b[i + 1] == b'/' => {
+                flush_code!(i);
+                // `///` is doc unless `////…`; `//!` is inner doc.
+                let doc = (b.get(i + 2) == Some(&b'/') && b.get(i + 3) != Some(&b'/'))
+                    || b.get(i + 2) == Some(&b'!');
+                let mut j = i + 2;
+                while j < len && b[j] != b'\n' {
+                    j += 1;
+                }
+                // Leave the newline to the following code span.
+                spans.push(Span {
+                    start: i,
+                    end: j,
+                    class: if doc {
+                        Class::DocComment
+                    } else {
+                        Class::LineComment
+                    },
+                });
+                code_start = j;
+                i = j;
+                prev_ident = false;
+            }
+            b'/' if i + 1 < len && b[i + 1] == b'*' => {
+                flush_code!(i);
+                // `/**` is doc unless `/**/` (empty) or `/***`; `/*!` is doc.
+                let doc = (b.get(i + 2) == Some(&b'*')
+                    && b.get(i + 3) != Some(&b'*')
+                    && b.get(i + 3) != Some(&b'/'))
+                    || b.get(i + 2) == Some(&b'!');
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < len && depth > 0 {
+                    if j + 1 < len && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < len && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if depth > 0 {
+                    j = len; // unterminated: comment to EOF
+                }
+                spans.push(Span {
+                    start: i,
+                    end: j,
+                    class: if doc {
+                        Class::DocComment
+                    } else {
+                        Class::BlockComment
+                    },
+                });
+                code_start = j;
+                i = j;
+                prev_ident = false;
+            }
+            b'"' => {
+                flush_code!(i);
+                let j = scan_string(b, i + 1);
+                spans.push(Span {
+                    start: i,
+                    end: j,
+                    class: Class::Str,
+                });
+                code_start = j;
+                i = j;
+                prev_ident = false;
+            }
+            b'r' | b'b' | b'c' if !prev_ident => {
+                // Candidate prefixed literal: r"…", r#"…"#, b"…", br#"…"#,
+                // c"…", b'x'. Anything else falls through as code.
+                if let Some(lit) = prefixed_literal(b, i) {
+                    flush_code!(i);
+                    let (j, class) = match lit {
+                        Prefixed::Char(q) => (scan_char_body(b, q + 1), Class::CharLit),
+                        Prefixed::Raw(q, hashes) => {
+                            (scan_raw_string(b, q + 1, hashes), Class::RawStr)
+                        }
+                        Prefixed::Plain(q) => (scan_string(b, q + 1), Class::Str),
+                    };
+                    spans.push(Span {
+                        start: i,
+                        end: j,
+                        class,
+                    });
+                    code_start = j;
+                    i = j;
+                    prev_ident = false;
+                } else {
+                    prev_ident = true;
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\…'` and `'<char>'` are
+                // char literals; `'ident` (no closing quote) is a
+                // lifetime and stays code.
+                if let Some(j) = char_literal_end(src, b, i) {
+                    flush_code!(i);
+                    spans.push(Span {
+                        start: i,
+                        end: j,
+                        class: Class::CharLit,
+                    });
+                    code_start = j;
+                    i = j;
+                    prev_ident = false;
+                } else {
+                    i += 1;
+                    prev_ident = false;
+                }
+            }
+            _ => {
+                prev_ident = is_ident_byte(c);
+                i += 1;
+            }
+        }
+    }
+    flush_code!(len);
+    spans
+}
+
+/// A recognized prefixed literal; the payload is the index of the
+/// opening quote (and hash depth for raw strings).
+enum Prefixed {
+    /// `b'x'`.
+    Char(usize),
+    /// `r"…"`, `r#"…"#`, `br#"…"#`.
+    Raw(usize, usize),
+    /// `b"…"`, `c"…"`.
+    Plain(usize),
+}
+
+/// If `b[i..]` starts a prefixed literal, classify it.
+fn prefixed_literal(b: &[u8], i: usize) -> Option<Prefixed> {
+    let len = b.len();
+    let mut j = i;
+    match b[i] {
+        b'r' => {
+            j += 1;
+            // `r#ident` is a raw identifier, `r#"` a raw string.
+            let mut hashes = 0usize;
+            while j < len && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < len && b[j] == b'"' {
+                Some(Prefixed::Raw(j, hashes))
+            } else {
+                None
+            }
+        }
+        b'b' => {
+            j += 1;
+            if j < len && b[j] == b'\'' {
+                return Some(Prefixed::Char(j)); // b'x'
+            }
+            if j < len && b[j] == b'"' {
+                return Some(Prefixed::Plain(j)); // b"…"
+            }
+            if j < len && b[j] == b'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while j < len && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < len && b[j] == b'"' {
+                    return Some(Prefixed::Raw(j, hashes)); // br#"…"#
+                }
+            }
+            None
+        }
+        b'c' => {
+            j += 1;
+            if j < len && b[j] == b'"' {
+                Some(Prefixed::Plain(j)) // c"…"
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Scan a non-raw string body starting after the opening quote; returns
+/// the index past the closing quote (or EOF if unterminated).
+fn scan_string(b: &[u8], mut j: usize) -> usize {
+    let len = b.len();
+    while j < len {
+        match b[j] {
+            b'\\' => j = (j + 2).min(len),
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    len
+}
+
+/// Scan a raw string body (after the opening quote) closed by `"`
+/// followed by `hashes` `#`s; returns the index past the full closer.
+fn scan_raw_string(b: &[u8], mut j: usize, hashes: usize) -> usize {
+    let len = b.len();
+    while j < len {
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    len
+}
+
+/// Scan a char-literal body starting after the opening quote; returns
+/// the index past the closing quote (or EOF).
+fn scan_char_body(b: &[u8], mut j: usize) -> usize {
+    let len = b.len();
+    while j < len {
+        match b[j] {
+            b'\\' => j = (j + 2).min(len),
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    len
+}
+
+/// If the `'` at `i` opens a char literal, return the index past its
+/// closing quote; `None` means it is a lifetime (or stray quote) and
+/// stays code.
+fn char_literal_end(src: &str, b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        return Some(scan_char_body(b, i + 1));
+    }
+    // Decode exactly one char after the quote.
+    let c = src[i + 1..].chars().next()?;
+    let after = i + 1 + c.len_utf8();
+    if b.get(after) == Some(&b'\'') {
+        // `'x'` — but `''` has no char, handled by chars() returning `'`
+        // which would make after point past the closer; guard:
+        if c == '\'' {
+            return Some(after); // `''` — degenerate, consume both quotes
+        }
+        return Some(after + 1);
+    }
+    // `'ident…` with no closing quote: lifetime or loop label.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(src: &str) -> Vec<(Class, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|s| s.start < s.end)
+            .map(|s| (s.class, &src[s.start..s.end]))
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_byte_in_order() {
+        let src = "fn main() { let s = \"vec![]\"; } // unwrap()\n/* panic! */";
+        let spans = lex(src);
+        let mut pos = 0;
+        for s in &spans {
+            assert_eq!(s.start, pos);
+            assert!(s.end >= s.start);
+            pos = s.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r#"let a = "unwrap()"; // expect(
+let b = 'p'; /* todo! */ let c = r"panic!";"#;
+        for (class, text) in classes(src) {
+            if class.is_code() {
+                for banned in ["unwrap", "expect", "todo", "panic"] {
+                    assert!(
+                        !text.contains(banned),
+                        "{banned:?} leaked into code: {text:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"with "quotes" and vec![]"#; s.len()"###;
+        let got = classes(src);
+        assert!(got
+            .iter()
+            .any(|(c, t)| *c == Class::RawStr && t.contains("vec![]")));
+        assert!(got.iter().any(|(c, t)| c.is_code() && t.contains("len")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let got = classes(src);
+        assert_eq!(got.len(), 3);
+        assert!(got[1].0.is_comment());
+        assert!(got[1].1.contains("still comment"));
+        assert!(got[2].1.contains('b'));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let src = "/// docs with unwrap()\n//! inner\n//// not doc\n// plain\ncode";
+        let got = classes(src);
+        let docs: Vec<_> = got
+            .iter()
+            .filter(|(c, _)| *c == Class::DocComment)
+            .collect();
+        assert_eq!(docs.len(), 2, "{got:?}");
+        let line: Vec<_> = got
+            .iter()
+            .filter(|(c, _)| *c == Class::LineComment)
+            .collect();
+        assert_eq!(line.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn lifetimes_stay_code_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let got = classes(src);
+        let code: String = got
+            .iter()
+            .filter(|(c, _)| c.is_code())
+            .map(|(_, t)| *t)
+            .collect();
+        assert!(code.contains("'a>"), "{code}");
+        assert!(!code.contains("'x'"), "{code}");
+        let chars: Vec<_> = got.iter().filter(|(c, _)| *c == Class::CharLit).collect();
+        assert_eq!(chars.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = "let m = b\"BCPDSNAP\"; let c = c\"x\"; let r = br#\"y\"#; let ch = b'z';";
+        let got = classes(src);
+        assert_eq!(
+            got.iter().filter(|(c, _)| *c == Class::Str).count(),
+            2,
+            "{got:?}"
+        );
+        assert_eq!(
+            got.iter().filter(|(c, _)| *c == Class::RawStr).count(),
+            1,
+            "{got:?}"
+        );
+        assert_eq!(
+            got.iter().filter(|(c, _)| *c == Class::CharLit).count(),
+            1,
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let src = "let r#type = 1; r#match(r#type)";
+        for (class, _) in classes(src) {
+            assert!(class.is_code());
+        }
+    }
+
+    #[test]
+    fn ident_trailing_r_is_not_raw_prefix() {
+        let src = "bar\"still a plain string\"";
+        let got = classes(src);
+        assert!(got.iter().any(|(c, _)| *c == Class::Str));
+        assert!(!got.iter().any(|(c, _)| *c == Class::RawStr));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'\\", "b\"x", "let a = 'x"] {
+            let spans = lex(src);
+            assert_eq!(spans.last().map(|s| s.end), Some(src.len()));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! `bagscpd-lint`: offline static analysis enforcing this workspace's
+//! runtime invariants before the code ever runs.
+//!
+//! The detector's online/streaming claims rest on contracts that used
+//! to be enforced only dynamically (the counting-allocator guard test,
+//! golden output tests) or socially (review):
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `NO_ALLOC_HOT_PATH` | configured hot-path functions (the `*_with` scratch APIs) contain no allocation tokens |
+//! | `NO_PANIC_SURFACE` | no `unwrap()`/`expect(`/`panic!`/`unreachable!`/`todo!` in library code of the runtime crates |
+//! | `NO_RAW_OUTPUT` | no `println!`/`eprintln!`/`print!`/`dbg!` in library crates — operator output flows through `Event`/`Sink`/telemetry |
+//! | `TELEMETRY_DOC_DRIFT` | every registered metric name appears in the `src/README.md` table, and vice versa |
+//! | `SNAPSHOT_VERSION_GUARD` | the serialized-layout regions of `snapshot.rs`/`checkpoint.rs` cannot change without a version bump |
+//! | `MUST_USE_GUARD` | builder/handle types that are silently droppable carry `#[must_use]` |
+//!
+//! Findings print as `file:line: [LINT_ID] message`. Legacy findings
+//! are pinned in the `[baseline]` section of `lint.toml` (counts can
+//! only shrink); intentional sites carry
+//! `// lint:allow(LINT_ID, reason)` with a mandatory reason.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+use config::Toml;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run unconditionally.
+    Error,
+    /// Fails the run under `--deny-warnings`.
+    Warning,
+}
+
+/// One finding, rendered as `file:line: [LINT_ID] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Root-relative path with forward slashes.
+    pub file: String,
+    /// 1-indexed line (0 for file-level findings).
+    pub line: u32,
+    /// Stable machine-readable lint id.
+    pub lint: &'static str,
+    /// Human explanation.
+    pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Run options from the CLI.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Treat warnings as fatal.
+    pub deny_warnings: bool,
+    /// Re-bless the snapshot-layout fingerprints instead of checking
+    /// them.
+    pub update_fingerprints: bool,
+}
+
+/// What a check run produced.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Findings that survived suppressions and baselines, sorted.
+    pub findings: Vec<Finding>,
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Findings absorbed by `[baseline]` entries.
+    pub baselined: usize,
+    /// Findings absorbed by `lint:allow` comments.
+    pub suppressed: usize,
+}
+
+impl CheckReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the run should fail.
+    pub fn failed(&self, opts: &Options) -> bool {
+        self.errors() > 0 || (opts.deny_warnings && self.warnings() > 0)
+    }
+}
+
+/// Lint ids that participate in suppression and baselining (the
+/// per-site code lints — drift and fingerprint findings are global
+/// facts a comment cannot wave away).
+const SUPPRESSIBLE: &[&str] = &[
+    lints::NO_ALLOC_HOT_PATH,
+    lints::NO_PANIC_SURFACE,
+    lints::NO_RAW_OUTPUT,
+    lints::MUST_USE_GUARD,
+];
+
+/// Run every configured lint under `root`.
+///
+/// # Errors
+/// I/O failures reading sources or writing fingerprints; config shape
+/// errors surface as findings, not `Err`.
+pub fn run_check(root: &Path, cfg: &Toml, opts: &Options) -> io::Result<CheckReport> {
+    let mut raw_findings: Vec<Finding> = Vec::new();
+    let mut files: BTreeMap<String, String> = BTreeMap::new(); // rel path -> source
+
+    // Gather every file any lint wants, deduplicated.
+    let mut wanted: Vec<String> = Vec::new();
+    for dir in cfg
+        .strings(lints::SECTION_PANIC, "include")
+        .iter()
+        .chain(cfg.strings(lints::SECTION_RAW_OUTPUT, "include").iter())
+    {
+        collect_rs_files(root, Path::new(dir), &mut wanted)?;
+    }
+    for glob in cfg
+        .strings(lints::SECTION_ALLOC, "files")
+        .iter()
+        .chain(cfg.strings(lints::SECTION_MUST_USE, "files").iter())
+    {
+        // File globs are explicit paths or `dir/*.rs` patterns.
+        expand_file_glob(root, glob, &mut wanted)?;
+    }
+    if let Some(reg) = cfg
+        .section(lints::SECTION_DRIFT)
+        .get("registry")
+        .and_then(|v| v.as_str().map(String::from))
+    {
+        wanted.push(reg);
+    }
+    for file in cfg.section(lints::SECTION_SNAPSHOT).keys() {
+        wanted.push(file.clone());
+    }
+    wanted.sort();
+    wanted.dedup();
+    for rel in &wanted {
+        let path = root.join(rel);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                files.insert(rel.clone(), text);
+            }
+            Err(e) => raw_findings.push(Finding {
+                file: rel.clone(),
+                line: 0,
+                lint: lints::CONFIG,
+                message: format!("cannot read configured file: {e}"),
+                severity: Severity::Error,
+            }),
+        }
+    }
+
+    // Scan once per file, then run the per-file lints.
+    let mut suppressions: Vec<(String, scan::Suppression)> = Vec::new();
+    for (rel, text) in &files {
+        let scanned = scan::scan(text);
+        for sup in &scanned.suppressions {
+            suppressions.push((rel.clone(), sup.clone()));
+        }
+        lints::alloc_hot_path(cfg, rel, &scanned, &mut raw_findings);
+        lints::panic_surface(cfg, rel, &scanned, &mut raw_findings);
+        lints::raw_output(cfg, rel, &scanned, &mut raw_findings);
+        lints::must_use_guard(cfg, rel, &scanned, &mut raw_findings);
+    }
+
+    // Global lints.
+    lints::telemetry_doc_drift(root, cfg, &files, &mut raw_findings);
+    lints::snapshot_version_guard(root, cfg, &files, opts, &mut raw_findings)?;
+
+    // Apply suppressions, then baselines.
+    let mut suppressed = 0usize;
+    let mut used = vec![false; suppressions.len()];
+    raw_findings.retain(|f| {
+        if !SUPPRESSIBLE.contains(&f.lint) {
+            return true;
+        }
+        for (i, (file, sup)) in suppressions.iter().enumerate() {
+            if file == &f.file && sup.lint == f.lint && sup.covers_line == f.line {
+                if sup.reason.is_empty() {
+                    continue; // reasonless suppressions do not count
+                }
+                used[i] = true;
+                suppressed += 1;
+                return false;
+            }
+        }
+        true
+    });
+    for (i, (file, sup)) in suppressions.iter().enumerate() {
+        if sup.reason.is_empty() {
+            raw_findings.push(Finding {
+                file: file.clone(),
+                line: sup.line,
+                lint: lints::SUPPRESSION,
+                message: format!(
+                    "lint:allow({}) needs a reason: `// lint:allow({}, why this is sound)`",
+                    sup.lint, sup.lint
+                ),
+                severity: Severity::Warning,
+            });
+        } else if !used[i] && SUPPRESSIBLE.contains(&sup.lint.as_str()) {
+            raw_findings.push(Finding {
+                file: file.clone(),
+                line: sup.line,
+                lint: lints::SUPPRESSION,
+                message: format!(
+                    "unused suppression for {} (nothing fires on line {})",
+                    sup.lint, sup.covers_line
+                ),
+                severity: Severity::Warning,
+            });
+        }
+    }
+
+    // Baseline: pinned legacy counts per `LINT:file`, shrink-only.
+    let baseline = cfg.section(lints::SECTION_BASELINE);
+    let mut counts: BTreeMap<(&'static str, String), u32> = BTreeMap::new();
+    for f in &raw_findings {
+        if SUPPRESSIBLE.contains(&f.lint) {
+            *counts.entry((f.lint, f.file.clone())).or_default() += 1;
+        }
+    }
+    let mut baselined = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw_findings {
+        let key = format!("{}:{}", f.lint, f.file);
+        match baseline.get(&key).and_then(config::Value::as_int) {
+            Some(pinned) if SUPPRESSIBLE.contains(&f.lint) => {
+                let actual = counts.get(&(f.lint, f.file.clone())).copied().unwrap_or(0) as i64;
+                if actual <= pinned {
+                    baselined += 1;
+                } else {
+                    findings.push(Finding {
+                        message: format!(
+                            "{} ({actual} findings exceed the pinned baseline of {pinned})",
+                            f.message
+                        ),
+                        ..f
+                    });
+                }
+            }
+            _ => findings.push(f),
+        }
+    }
+    // Stale baselines (actual < pinned, including 0) must shrink.
+    for (key, value) in &baseline {
+        let Some(pinned) = value.as_int() else {
+            continue;
+        };
+        let Some((lint, file)) = key.split_once(':') else {
+            findings.push(Finding {
+                file: "lint.toml".into(),
+                line: 0,
+                lint: lints::CONFIG,
+                message: format!("malformed baseline key {key:?}: expected \"LINT_ID:path\""),
+                severity: Severity::Warning,
+            });
+            continue;
+        };
+        let actual = counts
+            .iter()
+            .find(|((l, f), _)| *l == lint && f == file)
+            .map(|(_, &c)| c as i64)
+            .unwrap_or(0);
+        if actual < pinned {
+            findings.push(Finding {
+                file: "lint.toml".into(),
+                line: 0,
+                lint: lints::BASELINE,
+                message: format!(
+                    "stale baseline {key:?}: pinned {pinned}, found {actual} — lower it so the count can only shrink"
+                ),
+                severity: Severity::Warning,
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    Ok(CheckReport {
+        findings,
+        files_scanned: files.len(),
+        baselined,
+        suppressed,
+    })
+}
+
+/// Directory names never scanned: test/bench/example/binary/fixture
+/// code is allowed to panic and print.
+const EXCLUDED_DIRS: &[&str] = &["tests", "benches", "examples", "bin", "fixtures", "target"];
+
+/// Recursively collect `.rs` files under `root/dir` (root-relative,
+/// forward slashes), skipping [`EXCLUDED_DIRS`].
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let full = root.join(dir);
+    if !full.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&full)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if EXCLUDED_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(root, &dir.join(name), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_string(&dir.join(name)));
+        }
+    }
+    Ok(())
+}
+
+/// Expand a config file glob: a literal path, or `dir/*.rs`.
+fn expand_file_glob(root: &Path, glob: &str, out: &mut Vec<String>) -> io::Result<()> {
+    match glob.split_once('*') {
+        None => {
+            if root.join(glob).is_file() {
+                out.push(glob.to_string());
+            }
+            Ok(())
+        }
+        Some((prefix, suffix)) => {
+            let dir = Path::new(prefix.trim_end_matches('/'));
+            let mut all = Vec::new();
+            collect_rs_files(root, dir, &mut all)?;
+            out.extend(
+                all.into_iter()
+                    .filter(|p| p.starts_with(prefix) && p.ends_with(suffix)),
+            );
+            Ok(())
+        }
+    }
+}
+
+/// A path as a root-relative forward-slash string.
+fn rel_string(path: &Path) -> String {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s.strip_prefix("./").unwrap_or(&s).to_string()
+}

@@ -1,0 +1,554 @@
+//! The lint implementations.
+//!
+//! Per-file code lints ([`alloc_hot_path`], [`panic_surface`],
+//! [`raw_output`], [`must_use_guard`]) run over a [`scan::Scanned`]
+//! view and honor `lint:allow` suppressions and `[baseline]` pins (the
+//! driver in [`crate::run_check`] applies both). Global lints
+//! ([`telemetry_doc_drift`], [`snapshot_version_guard`]) compare whole
+//! artifacts and cannot be suppressed inline.
+
+use crate::config::{glob_match, Toml};
+use crate::lexer::Class;
+use crate::scan::{self, Scanned};
+use crate::{Finding, Options, Severity};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Allocation tokens in configured hot-path functions.
+pub const NO_ALLOC_HOT_PATH: &str = "NO_ALLOC_HOT_PATH";
+/// Panic tokens in library code of the runtime crates.
+pub const NO_PANIC_SURFACE: &str = "NO_PANIC_SURFACE";
+/// Raw stdout/stderr macros in library crates.
+pub const NO_RAW_OUTPUT: &str = "NO_RAW_OUTPUT";
+/// Registered metrics vs. documented metrics.
+pub const TELEMETRY_DOC_DRIFT: &str = "TELEMETRY_DOC_DRIFT";
+/// Serialized-layout fingerprint vs. version constants.
+pub const SNAPSHOT_VERSION_GUARD: &str = "SNAPSHOT_VERSION_GUARD";
+/// Droppable builder/handle types missing `#[must_use]`.
+pub const MUST_USE_GUARD: &str = "MUST_USE_GUARD";
+/// Malformed or unused `lint:allow` comments.
+pub const SUPPRESSION: &str = "SUPPRESSION";
+/// Stale `[baseline]` pins.
+pub const BASELINE: &str = "BASELINE";
+/// Configuration problems.
+pub const CONFIG: &str = "CONFIG";
+
+/// `lint.toml` section names.
+pub const SECTION_ALLOC: &str = "alloc_hot_path";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_PANIC: &str = "panic_surface";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_RAW_OUTPUT: &str = "raw_output";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_DRIFT: &str = "telemetry_drift";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_SNAPSHOT: &str = "snapshot_guard";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_MUST_USE: &str = "must_use";
+/// See [`SECTION_ALLOC`].
+pub const SECTION_BASELINE: &str = "baseline";
+
+/// Default allocation tokens for `NO_ALLOC_HOT_PATH` (overridable via
+/// the section's `tokens` key).
+const DEFAULT_ALLOC_TOKENS: &[&str] = &[
+    "Vec::new",
+    "vec!",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+    "with_capacity",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "clone",
+    "Arc::new",
+    "Rc::new",
+    "HashMap::new",
+    "BTreeMap::new",
+];
+
+/// Panic tokens for `NO_PANIC_SURFACE`.
+const PANIC_TOKENS: &[&str] = &[
+    "unwrap(",
+    "expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Output macros for `NO_RAW_OUTPUT`.
+const OUTPUT_TOKENS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
+/// A compiled token-sequence pattern (words and single punctuation
+/// characters, matched against consecutive code tokens).
+struct Pattern {
+    /// The original spec, for messages.
+    spec: String,
+    /// The token texts to match in order.
+    toks: Vec<String>,
+}
+
+/// Compile `spec` ("Vec::new", ".collect(", "vec!") into a token
+/// sequence using the scanner's own tokenization rules.
+fn compile(spec: &str) -> Pattern {
+    let mut toks = Vec::new();
+    let bytes = spec.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(spec[start..i].to_string());
+        } else {
+            toks.push(spec[i..i + 1].to_string());
+            i += 1;
+        }
+    }
+    Pattern {
+        spec: spec.to_string(),
+        toks,
+    }
+}
+
+/// Find every match of `patterns` in non-test code tokens, calling
+/// `hit(pattern_spec, line)` for each.
+fn match_patterns(scanned: &Scanned<'_>, patterns: &[Pattern], mut hit: impl FnMut(&str, u32)) {
+    let toks = &scanned.toks;
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        for p in patterns {
+            let k = p.toks.len();
+            if k == 0 || i + k > toks.len() {
+                continue;
+            }
+            if p.toks.iter().zip(&toks[i..i + k]).all(|(a, b)| a == b.text) {
+                hit(&p.spec, toks[i].line);
+            }
+        }
+    }
+}
+
+/// Is `rel` under one of the configured directories?
+fn included(rel: &str, dirs: &[String]) -> bool {
+    dirs.iter()
+        .any(|d| rel == d || rel.starts_with(&format!("{}/", d.trim_end_matches('/'))))
+}
+
+/// `NO_ALLOC_HOT_PATH`: configured hot-path functions must not contain
+/// allocation tokens — the static complement of the runtime
+/// counting-allocator guard.
+pub fn alloc_hot_path(cfg: &Toml, rel: &str, scanned: &Scanned<'_>, out: &mut Vec<Finding>) {
+    let file_globs = cfg.strings(SECTION_ALLOC, "files");
+    if !file_globs.iter().any(|g| glob_match(g, rel)) {
+        return;
+    }
+    let fn_globs = cfg.strings(SECTION_ALLOC, "functions");
+    let token_specs = {
+        let configured = cfg.strings(SECTION_ALLOC, "tokens");
+        if configured.is_empty() {
+            DEFAULT_ALLOC_TOKENS.iter().map(|s| s.to_string()).collect()
+        } else {
+            configured
+        }
+    };
+    let patterns: Vec<Pattern> = token_specs.iter().map(|s| compile(s)).collect();
+
+    // Which function indices are hot? Match globs against the final
+    // path segment (`push_with` of `online::push_with`).
+    let hot: Vec<bool> = scanned
+        .fns
+        .iter()
+        .map(|path| {
+            let name = path.rsplit("::").next().unwrap_or(path);
+            fn_globs.iter().any(|g| glob_match(g, name))
+        })
+        .collect();
+
+    let toks = &scanned.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        let Some(f) = t.func else { continue };
+        if !hot[f as usize] {
+            continue;
+        }
+        for p in &patterns {
+            let k = p.toks.len();
+            if k == 0 || i + k > toks.len() {
+                continue;
+            }
+            if p.toks.iter().zip(&toks[i..i + k]).all(|(a, b)| a == b.text) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    lint: NO_ALLOC_HOT_PATH,
+                    message: format!(
+                        "allocation token `{}` in hot-path fn `{}` — use the scratch-backed \
+                         zero-alloc form or justify with `// lint:allow({NO_ALLOC_HOT_PATH}, …)`",
+                        p.spec, scanned.fns[f as usize]
+                    ),
+                    severity: Severity::Error,
+                });
+            }
+        }
+    }
+}
+
+/// `NO_PANIC_SURFACE`: no panic tokens in library (non-test) code of
+/// the configured crates.
+pub fn panic_surface(cfg: &Toml, rel: &str, scanned: &Scanned<'_>, out: &mut Vec<Finding>) {
+    if !included(rel, &cfg.strings(SECTION_PANIC, "include")) {
+        return;
+    }
+    let patterns: Vec<Pattern> = PANIC_TOKENS.iter().map(|s| compile(s)).collect();
+    match_patterns(scanned, &patterns, |spec, line| {
+        out.push(Finding {
+            file: rel.to_string(),
+            line,
+            lint: NO_PANIC_SURFACE,
+            message: format!(
+                "`{spec}` on the library panic surface — propagate a Result, restructure, \
+                 or justify with `// lint:allow({NO_PANIC_SURFACE}, …)`",
+            ),
+            severity: Severity::Error,
+        });
+    });
+}
+
+/// `NO_RAW_OUTPUT`: no stdout/stderr macros in library crates — all
+/// operator-facing output flows through `Event`/`Sink`/telemetry.
+pub fn raw_output(cfg: &Toml, rel: &str, scanned: &Scanned<'_>, out: &mut Vec<Finding>) {
+    if !included(rel, &cfg.strings(SECTION_RAW_OUTPUT, "include")) {
+        return;
+    }
+    let patterns: Vec<Pattern> = OUTPUT_TOKENS.iter().map(|s| compile(s)).collect();
+    match_patterns(scanned, &patterns, |spec, line| {
+        out.push(Finding {
+            file: rel.to_string(),
+            line,
+            lint: NO_RAW_OUTPUT,
+            message: format!(
+                "`{spec}` in library code — emit an `Event` through a `Sink` \
+                 (`Event::Note`/`StderrAlertSink`) instead",
+            ),
+            severity: Severity::Error,
+        });
+    });
+}
+
+/// `MUST_USE_GUARD`: configured builder/handle types must carry
+/// `#[must_use]` so dropping them silently is a compiler warning.
+pub fn must_use_guard(cfg: &Toml, rel: &str, scanned: &Scanned<'_>, out: &mut Vec<Finding>) {
+    let file_globs = cfg.strings(SECTION_MUST_USE, "files");
+    if !file_globs.iter().any(|g| glob_match(g, rel)) {
+        return;
+    }
+    let type_globs = cfg.strings(SECTION_MUST_USE, "types");
+    for decl in &scanned.types {
+        if !type_globs.iter().any(|g| glob_match(g, &decl.name)) {
+            continue;
+        }
+        if decl.attrs.iter().any(|a| a == "must_use") {
+            continue;
+        }
+        out.push(Finding {
+            file: rel.to_string(),
+            line: decl.line,
+            lint: MUST_USE_GUARD,
+            message: format!(
+                "type `{}` is silently droppable — add `#[must_use]` so an unused \
+                 builder/handle is a compiler warning",
+                decl.name
+            ),
+            severity: Severity::Warning,
+        });
+    }
+}
+
+/// `TELEMETRY_DOC_DRIFT`: every metric name registered in the telemetry
+/// module must appear in the documented metrics table, and vice versa.
+pub fn telemetry_doc_drift(
+    root: &Path,
+    cfg: &Toml,
+    files: &BTreeMap<String, String>,
+    out: &mut Vec<Finding>,
+) {
+    let section = cfg.section(SECTION_DRIFT);
+    let (Some(reg_path), Some(doc_path)) = (
+        section.get("registry").and_then(|v| v.as_str()),
+        section.get("doc").and_then(|v| v.as_str()),
+    ) else {
+        return;
+    };
+    let prefix = section
+        .get("prefix")
+        .and_then(|v| v.as_str())
+        .unwrap_or("bagscpd_");
+
+    // Registered names: string literals in the registry source that are
+    // exactly a metric name (prefix + [a-z0-9_]).
+    let Some(reg_src) = files.get(reg_path) else {
+        return; // unreadable: already reported by the driver
+    };
+    let scanned = scan::scan(reg_src);
+    let mut registered: BTreeMap<String, u32> = BTreeMap::new();
+    for span in &scanned.spans {
+        if span.class != Class::Str {
+            continue;
+        }
+        let text = reg_src[span.start..span.end]
+            .trim_start_matches(['b', 'c'])
+            .trim_matches('"');
+        if text.starts_with(prefix)
+            && text
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            registered
+                .entry(text.to_string())
+                .or_insert(scanned.line_of(span.start));
+        }
+    }
+
+    // Documented names: `name` occurrences in table rows (`| … |`),
+    // label suffixes (`{worker=}`) stripped.
+    let doc_text = match std::fs::read_to_string(root.join(doc_path)) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Finding {
+                file: doc_path.to_string(),
+                line: 0,
+                lint: CONFIG,
+                message: format!("cannot read metrics doc: {e}"),
+                severity: Severity::Error,
+            });
+            return;
+        }
+    };
+    let mut documented: BTreeMap<String, u32> = BTreeMap::new();
+    for (idx, line) in doc_text.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find('`') {
+            rest = &rest[pos + 1..];
+            let Some(close) = rest.find('`') else { break };
+            let name = &rest[..close];
+            rest = &rest[close + 1..];
+            let base = name.split('{').next().unwrap_or(name);
+            if base.starts_with(prefix) {
+                documented.entry(base.to_string()).or_insert(idx as u32 + 1);
+            }
+        }
+    }
+
+    for (name, line) in &registered {
+        if !documented.contains_key(name) {
+            out.push(Finding {
+                file: reg_path.to_string(),
+                line: *line,
+                lint: TELEMETRY_DOC_DRIFT,
+                message: format!(
+                    "metric `{name}` is registered here but missing from the {doc_path} metrics table"
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !registered.contains_key(name) {
+            out.push(Finding {
+                file: doc_path.to_string(),
+                line: *line,
+                lint: TELEMETRY_DOC_DRIFT,
+                message: format!(
+                    "metric `{name}` is documented here but not registered in {reg_path}"
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// FNV-1a 64-bit.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical content of a `.fingerprint` file.
+fn fingerprint_content(rel: &str, hash: u64, versions: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# bagscpd-lint serialized-layout fingerprint for {rel}\n\
+         # regenerate after a deliberate layout change (with its version bump):\n\
+         #   cargo run -p lint -- check --update-fingerprints\n\
+         layout-fnv64 = \"{hash:016x}\"\n"
+    ));
+    for (name, decl) in versions {
+        out.push_str(&format!("version {name} = {decl:?}\n"));
+    }
+    out
+}
+
+/// Extract `// lint:fingerprint-begin(…)` … `-end(…)` regions; returns
+/// `(region name, content)` pairs in order.
+fn fingerprint_regions(src: &str) -> Vec<(String, String)> {
+    let mut regions = Vec::new();
+    let mut current: Option<(String, usize)> = None;
+    let mut offset = 0usize;
+    for line in src.split_inclusive('\n') {
+        if let Some(pos) = line.find("lint:fingerprint-begin(") {
+            let name = line[pos + "lint:fingerprint-begin(".len()..]
+                .split(')')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            current = Some((name, offset + line.len()));
+        } else if line.contains("lint:fingerprint-end(") {
+            if let Some((name, start)) = current.take() {
+                regions.push((name, src[start..offset].to_string()));
+            }
+        }
+        offset += line.len();
+    }
+    regions
+}
+
+/// `SNAPSHOT_VERSION_GUARD`: a content fingerprint over the
+/// serialized-layout regions of each guarded file, stored beside the
+/// source as `<file>.fingerprint`, fails when the layout changes
+/// without its version constant(s) changing too.
+///
+/// # Errors
+/// Only fingerprint-file writes under `--update-fingerprints`.
+pub fn snapshot_version_guard(
+    root: &Path,
+    cfg: &Toml,
+    files: &BTreeMap<String, String>,
+    opts: &Options,
+    out: &mut Vec<Finding>,
+) -> io::Result<()> {
+    for (rel, value) in cfg.section(SECTION_SNAPSHOT) {
+        let version_names: Vec<String> =
+            value.as_array().map(<[String]>::to_vec).unwrap_or_default();
+        let Some(src) = files.get(&rel) else {
+            continue; // unreadable: already reported by the driver
+        };
+        let regions = fingerprint_regions(src);
+        if regions.is_empty() {
+            out.push(Finding {
+                file: rel.clone(),
+                line: 0,
+                lint: SNAPSHOT_VERSION_GUARD,
+                message: "no `lint:fingerprint-begin(…)`/`-end(…)` markers around the \
+                          serialized-layout code"
+                    .into(),
+                severity: Severity::Error,
+            });
+            continue;
+        }
+        let mut hashed = String::new();
+        for (name, content) in &regions {
+            hashed.push_str(name);
+            hashed.push('\0');
+            hashed.push_str(content);
+        }
+        let hash = fnv64(hashed.as_bytes());
+
+        // The version constants' declaration lines, verbatim.
+        let mut versions: Vec<(String, String)> = Vec::new();
+        for name in &version_names {
+            let needle = format!("const {name}:");
+            match src.lines().find(|l| l.contains(&needle)) {
+                Some(line) => versions.push((name.clone(), line.trim().to_string())),
+                None => out.push(Finding {
+                    file: rel.clone(),
+                    line: 0,
+                    lint: SNAPSHOT_VERSION_GUARD,
+                    message: format!("version constant `{name}` not found in this file"),
+                    severity: Severity::Error,
+                }),
+            }
+        }
+
+        let expected = fingerprint_content(&rel, hash, &versions);
+        let fp_path = root.join(format!("{rel}.fingerprint"));
+        if opts.update_fingerprints {
+            std::fs::write(&fp_path, expected)?;
+            continue;
+        }
+        let stored = match std::fs::read_to_string(&fp_path) {
+            Ok(s) => s,
+            Err(_) => {
+                out.push(Finding {
+                    file: rel.clone(),
+                    line: 0,
+                    lint: SNAPSHOT_VERSION_GUARD,
+                    message: format!(
+                        "missing fingerprint file {rel}.fingerprint — \
+                         run `cargo run -p lint -- check --update-fingerprints` and commit it"
+                    ),
+                    severity: Severity::Error,
+                });
+                continue;
+            }
+        };
+        if stored == expected {
+            continue;
+        }
+        // Distinguish "layout changed, version forgotten" from
+        // "deliberate change awaiting a re-bless".
+        let stored_versions: Vec<&str> = stored
+            .lines()
+            .filter(|l| l.starts_with("version "))
+            .collect();
+        let current_versions: Vec<String> = versions
+            .iter()
+            .map(|(name, decl)| format!("version {name} = {decl:?}"))
+            .collect();
+        let version_changed = stored_versions.len() != current_versions.len()
+            || stored_versions
+                .iter()
+                .zip(&current_versions)
+                .any(|(a, b)| *a != b);
+        let message = if version_changed {
+            format!(
+                "serialized layout and version constants changed — if deliberate, re-bless with \
+                 `cargo run -p lint -- check --update-fingerprints` and commit {rel}.fingerprint"
+            )
+        } else {
+            let names = version_names.join("`, `");
+            format!(
+                "serialized layout changed but `{names}` did not — readers of old snapshots will \
+                 misparse; bump the version, keep a migration path, then re-bless the fingerprint"
+            )
+        };
+        out.push(Finding {
+            file: rel.clone(),
+            line: 0,
+            lint: SNAPSHOT_VERSION_GUARD,
+            message,
+            severity: Severity::Error,
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! `cargo run -p lint -- check`: run the workspace lints.
+
+use lint::config::Toml;
+use lint::{run_check, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bagscpd-lint: offline static analysis for this workspace
+
+USAGE:
+    cargo run -p lint -- check [OPTIONS]
+
+OPTIONS:
+    --deny-warnings          fail on warning-severity findings too
+    --update-fingerprints    re-bless the serialized-layout fingerprints
+    --config <PATH>          lint config (default: <root>/lint.toml)
+    --root <PATH>            workspace root (default: ancestor of this crate)
+
+EXIT CODES:
+    0  clean
+    1  findings
+    2  usage or configuration error
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if command != "check" {
+        eprintln!("unknown command {command:?}\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut opts = Options::default();
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--update-fingerprints" => opts.update_fingerprints = true,
+            "--config" => match args.next() {
+                Some(p) => config = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--config needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other:?}\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace containing this crate, so the tool
+    // works from any cwd inside the repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Toml::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_check(&root, &cfg, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint run failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let verdict = if report.failed(&opts) { "FAIL" } else { "ok" };
+    println!(
+        "lint: {} — {} files scanned, {} errors, {} warnings, {} suppressed, {} baselined",
+        verdict,
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.suppressed,
+        report.baselined,
+    );
+    if report.failed(&opts) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

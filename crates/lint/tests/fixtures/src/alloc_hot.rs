@@ -1,0 +1,32 @@
+//! Seeded NO_ALLOC_HOT_PATH violations: exactly 3 findings, all inside
+//! the hot `score_with` function.
+
+/// Hot path (matches the `*_with` glob): 3 banned tokens.
+pub fn score_with(scratch: &mut Vec<f64>) -> usize {
+    let extra = Vec::new(); // finding 1
+    let owned = vec![1.0, 2.0]; // finding 2
+    let label = format!("{}", owned.len()); // finding 3
+    scratch.extend(extra);
+    label.len()
+}
+
+/// Cold path: allocations here are fine.
+pub fn setup() -> Vec<f64> {
+    let mut v = Vec::new();
+    v.push(1.0);
+    v
+}
+
+/// Banned tokens in non-code positions never fire.
+pub fn red_herrings_with() -> &'static str {
+    // Vec::new() in a comment is not a finding.
+    "vec![Vec::new, format!]" // and not in a string either
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_allocs_are_exempt() {
+        let _ = vec![super::score_with(&mut Vec::new())];
+    }
+}

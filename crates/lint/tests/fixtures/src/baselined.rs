@@ -1,0 +1,12 @@
+//! Two legacy panic sites absorbed by the fixture `[baseline]` pin of
+//! exactly 2.
+
+/// Legacy site 1 (baselined).
+pub fn legacy_a(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+/// Legacy site 2 (baselined).
+pub fn legacy_b(x: Option<u8>) -> u8 {
+    x.expect("legacy")
+}

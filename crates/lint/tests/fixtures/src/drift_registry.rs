@@ -1,0 +1,21 @@
+//! Fixture telemetry registry for TELEMETRY_DOC_DRIFT: registers
+//! `fix_metric_a_total` (documented) and `fix_metric_b_total`
+//! (undocumented — finding 1); the doc also lists `fix_metric_c_total`
+//! which is not here (finding 2).
+
+/// Documented metric.
+pub const METRIC_A: &str = "fix_metric_a_total";
+/// Undocumented metric: drift finding at this line.
+pub const METRIC_B: &str = "fix_metric_b_total";
+
+/// A string that merely mentions a name with extra content is not a
+/// registration.
+pub const NOT_A_NAME: &str = "fix_metric_a_total{stream=\"x\"} 3";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_nonempty() {
+        assert_eq!(super::METRIC_A.len(), 18);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture for SNAPSHOT_VERSION_GUARD: the checked-in `.fingerprint`
+//! was taken from an older layout, and `VERSION` was not bumped — so
+//! the guard reports exactly 1 finding ("layout changed but VERSION
+//! did not").
+
+/// Serialization format version.
+pub const VERSION: u32 = 1;
+
+// lint:fingerprint-begin(layout)
+/// Encode a record: tag byte then payload.
+pub fn encode(payload: u8) -> [u8; 2] {
+    [0xAB, payload]
+}
+// lint:fingerprint-end(layout)

@@ -1,0 +1,19 @@
+//! Seeded MUST_USE_GUARD violation: exactly 1 finding.
+
+/// Carries the attribute: no finding.
+#[must_use = "a builder does nothing until built"]
+pub struct GoodBuilder {
+    pub steps: usize,
+}
+
+/// Missing the attribute: finding 1.
+#[derive(Debug, Clone)]
+pub struct BadReport {
+    pub done: bool,
+}
+
+/// Name matches no configured glob: no finding even without the
+/// attribute.
+pub struct Unrelated {
+    pub x: u8,
+}

@@ -1,0 +1,37 @@
+//! Seeded NO_PANIC_SURFACE violations: exactly 5 findings, plus one
+//! suppressed site and several non-findings.
+
+/// 5 panic tokens in library code.
+pub fn fragile(input: Option<u32>) -> u32 {
+    let a = input.unwrap(); // finding 1
+    let b = Some(a).expect("present"); // finding 2
+    if b > 100 {
+        panic!("too big"); // finding 3
+    }
+    match b {
+        0 => unreachable!("zero was filtered"), // finding 4
+        1 => todo!("ones are not supported"), // finding 5
+        _ => b,
+    }
+}
+
+/// A reviewed site: suppressed with a reason, so it is not a finding
+/// (but counts as `suppressed`).
+pub fn reviewed(input: Option<u32>) -> u32 {
+    // lint:allow(NO_PANIC_SURFACE, fixture exercising suppression coverage)
+    input.unwrap()
+}
+
+/// Panic tokens in non-code positions never fire.
+pub fn red_herrings() -> &'static str {
+    // a comment saying unwrap() and panic! is fine
+    "unwrap() expect( panic! unreachable! todo!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_panics_are_exempt() {
+        super::fragile(Some(2_u32.checked_add(3).unwrap()));
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded NO_RAW_OUTPUT violations: exactly 3 findings.
+
+/// 3 output macros in library code.
+pub fn chatty(x: u64) {
+    println!("x = {x}"); // finding 1
+    eprintln!("x = {x}"); // finding 2
+    let _ = dbg!(x); // finding 3
+}
+
+/// `write!` to an explicit destination is fine — that is what sinks do.
+pub fn disciplined(out: &mut String, x: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "x = {x}");
+}
+
+/// Output macros in non-code positions never fire.
+pub fn red_herrings() -> &'static str {
+    // println! in a comment is fine
+    "println! eprintln! dbg!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_prints_are_exempt() {
+        println!("tests may print");
+        super::chatty(1);
+    }
+}

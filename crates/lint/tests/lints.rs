@@ -1,0 +1,222 @@
+//! End-to-end lint runs over the seeded-violation fixtures: every lint
+//! demonstrably fires, with exact counts, and the clean path is clean.
+
+use lint::config::Toml;
+use lint::{lints, run_check, CheckReport, Options, Severity};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_report() -> CheckReport {
+    let root = fixture_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let cfg = Toml::parse(&text).unwrap();
+    run_check(&root, &cfg, &Options::default()).unwrap()
+}
+
+fn count(report: &CheckReport, lint: &str) -> usize {
+    report.findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn every_lint_fires_with_exact_counts() {
+    let report = fixture_report();
+    assert_eq!(count(&report, lints::NO_ALLOC_HOT_PATH), 3);
+    assert_eq!(count(&report, lints::NO_PANIC_SURFACE), 5);
+    assert_eq!(count(&report, lints::NO_RAW_OUTPUT), 3);
+    assert_eq!(count(&report, lints::MUST_USE_GUARD), 1);
+    assert_eq!(count(&report, lints::TELEMETRY_DOC_DRIFT), 2);
+    assert_eq!(count(&report, lints::SNAPSHOT_VERSION_GUARD), 1);
+    assert_eq!(report.findings.len(), 15, "{:#?}", report.findings);
+    assert_eq!(
+        report.suppressed, 1,
+        "one reasoned lint:allow in panic_surface.rs"
+    );
+    assert_eq!(report.baselined, 2, "two pinned sites in baselined.rs");
+    assert!(report.failed(&Options::default()));
+}
+
+#[test]
+fn findings_are_machine_readable_and_sorted() {
+    let report = fixture_report();
+    for f in &report.findings {
+        let rendered = f.to_string();
+        // file:line: [LINT_ID] message
+        let (location, rest) = rendered.split_once(": [").unwrap();
+        let (file, line) = location.rsplit_once(':').unwrap();
+        assert!(!file.is_empty());
+        line.parse::<u32>().unwrap();
+        let (id, message) = rest.split_once("] ").unwrap();
+        assert!(id.chars().all(|c| c.is_ascii_uppercase() || c == '_'));
+        assert!(!message.is_empty());
+    }
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn drift_findings_point_at_both_sides() {
+    let report = fixture_report();
+    let drift: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == lints::TELEMETRY_DOC_DRIFT)
+        .collect();
+    assert!(drift
+        .iter()
+        .any(|f| f.file == "src/drift_registry.rs" && f.message.contains("fix_metric_b_total")));
+    assert!(drift
+        .iter()
+        .any(|f| f.file == "doc.md" && f.message.contains("fix_metric_c_total")));
+}
+
+#[test]
+fn fingerprint_mismatch_names_the_version_constant() {
+    let report = fixture_report();
+    let fp = report
+        .findings
+        .iter()
+        .find(|f| f.lint == lints::SNAPSHOT_VERSION_GUARD)
+        .unwrap();
+    assert_eq!(fp.file, "src/fp_layout.rs");
+    assert_eq!(fp.severity, Severity::Error);
+    assert!(fp.message.contains("`VERSION` did not"), "{}", fp.message);
+}
+
+#[test]
+fn blessed_fingerprint_then_clean_layout_passes() {
+    // A scratch copy of the fingerprint fixture: bless, check, mutate
+    // the layout, check again.
+    let dir = std::env::temp_dir().join(format!("lint-fp-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    let layout = std::fs::read_to_string(fixture_root().join("src/fp_layout.rs")).unwrap();
+    std::fs::write(src_dir.join("fp_layout.rs"), &layout).unwrap();
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[snapshot_guard]\n\"src/fp_layout.rs\" = [\"VERSION\"]\n",
+    )
+    .unwrap();
+    let cfg = Toml::parse(&std::fs::read_to_string(dir.join("lint.toml")).unwrap()).unwrap();
+
+    // Missing fingerprint file: one error prompting --update-fingerprints.
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("--update-fingerprints"));
+
+    // Bless, then the same layout passes.
+    let bless = Options {
+        update_fingerprints: true,
+        ..Options::default()
+    };
+    run_check(&dir, &cfg, &bless).unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+
+    // Change the layout without a version bump: the guard fires again.
+    std::fs::write(
+        src_dir.join("fp_layout.rs"),
+        layout.replace("[0xAB, payload]", "[0xCD, payload]"),
+    )
+    .unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("`VERSION` did not"));
+
+    // Bump the version too: the message flips to "re-bless".
+    std::fs::write(
+        src_dir.join("fp_layout.rs"),
+        layout
+            .replace("[0xAB, payload]", "[0xCD, payload]")
+            .replace("VERSION: u32 = 1", "VERSION: u32 = 2"),
+    )
+    .unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("re-bless"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exceeding_a_baseline_pin_fires_everything_and_shrinking_warns() {
+    let dir = std::env::temp_dir().join(format!("lint-base-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+         pub fn g(x: Option<u8>) -> u8 { x.expect(\"g\") }\n",
+    )
+    .unwrap();
+    let base = "[panic_surface]\ninclude = [\"src\"]\n\n[baseline]\n";
+
+    // Pin of 1 < actual 2: all findings fire, annotated.
+    let cfg = Toml::parse(&format!("{base}\"NO_PANIC_SURFACE:src/lib.rs\" = 1\n")).unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.errors(), 2);
+    assert!(report.findings[0]
+        .message
+        .contains("exceed the pinned baseline of 1"));
+
+    // Pin of 2 == actual 2: absorbed.
+    let cfg = Toml::parse(&format!("{base}\"NO_PANIC_SURFACE:src/lib.rs\" = 2\n")).unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.findings.len(), 0);
+    assert_eq!(report.baselined, 2);
+
+    // Pin of 3 > actual 2: stale-baseline warning (shrink-only).
+    let cfg = Toml::parse(&format!("{base}\"NO_PANIC_SURFACE:src/lib.rs\" = 3\n")).unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 1);
+    assert!(report.findings[0].message.contains("stale baseline"));
+    assert!(report.failed(&Options {
+        deny_warnings: true,
+        ..Options::default()
+    }));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reasonless_and_unused_suppressions_warn() {
+    let dir = std::env::temp_dir().join(format!("lint-sup-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "// lint:allow(NO_PANIC_SURFACE)\n\
+         pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+         // lint:allow(NO_RAW_OUTPUT, nothing on the next line prints)\n\
+         pub fn g() -> u8 { 7 }\n",
+    )
+    .unwrap();
+    let cfg =
+        Toml::parse("[panic_surface]\ninclude = [\"src\"]\n[raw_output]\ninclude = [\"src\"]\n")
+            .unwrap();
+    let report = run_check(&dir, &cfg, &Options::default()).unwrap();
+    // The reasonless allow does not suppress: the unwrap still fires,
+    // plus two SUPPRESSION warnings (no reason; unused).
+    assert_eq!(count(&report, lints::NO_PANIC_SURFACE), 1);
+    let sups: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == lints::SUPPRESSION)
+        .collect();
+    assert_eq!(sups.len(), 2);
+    assert!(sups.iter().any(|f| f.message.contains("needs a reason")));
+    assert!(sups
+        .iter()
+        .any(|f| f.message.contains("unused suppression")));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

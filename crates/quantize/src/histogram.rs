@@ -12,7 +12,7 @@ use crate::Quantization;
 use std::collections::HashMap;
 
 /// Specification of a fixed-width binning of `R^d`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSpec {
     /// Left edge of bin 0 in each dimension.
     pub origin: Vec<f64>,

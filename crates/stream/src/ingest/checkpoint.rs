@@ -35,6 +35,7 @@ use crate::snapshot::{Reader, SnapshotError, Writer};
 use std::io::Write as _;
 use std::sync::Arc;
 
+// lint:fingerprint-begin(checkpoint-header)
 /// Magic bytes of the multi-source checkpoint format.
 pub const STATE_MAGIC: &[u8; 8] = b"BCPDFLW2";
 
@@ -43,6 +44,7 @@ pub const LEGACY_STATE_MAGIC: &[u8; 8] = b"BCPDFLW1";
 
 /// Sentinel for "no time" in cursor fields.
 pub const NO_TIME: i64 = i64::MIN;
+// lint:fingerprint-end(checkpoint-header)
 
 /// Name under which the CLI `follow` stream lives in the engine
 /// snapshot — and the cursor name a legacy checkpoint migrates to.
@@ -88,6 +90,12 @@ impl From<SnapshotError> for StateError {
     }
 }
 
+// lint:fingerprint-begin(cursor-layout)
+// Everything from here to the matching end marker defines the on-disk
+// byte layout of BCPDFLW2 checkpoints. Changing it requires a new magic
+// (the framing's version field), then re-blessing
+// checkpoint.rs.fingerprint via
+// `cargo run -p lint -- check --update-fingerprints`.
 fn put_cursor(w: &mut Writer, cursor: &StreamCursor) {
     w.u8(u8::from(cursor.quarantined));
     w.i64(cursor.completed_time.unwrap_or(NO_TIME));
@@ -263,6 +271,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<(NamedCursors, &[u8]), StateErr
     }
     Ok((cursors, r.rest()))
 }
+// lint:fingerprint-end(cursor-layout)
 
 /// Atomically persist checkpoint bytes: write a sibling temp file,
 /// fsync it, rename over the target, and best-effort fsync the

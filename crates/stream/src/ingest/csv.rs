@@ -172,7 +172,11 @@ impl Source for CsvFileSource {
         let mut read_any = false;
         for _ in 0..LINES_PER_POLL {
             self.line.clear();
-            let reader = self.reader.as_mut().expect("opened above");
+            let Some(reader) = self.reader.as_mut() else {
+                // open() always fills the slot on success; treat an
+                // empty one as a spurious idle poll, not a crash.
+                return Ok(SourceStatus::Idle);
+            };
             let n = reader
                 .read_line(&mut self.line)
                 .map_err(|e| SourceError::Io(format!("{}: {e}", self.path)))?;
@@ -424,7 +428,8 @@ impl ThreadedLineSource {
         // this far behind, restoring the synchronous follow loop's
         // natural backpressure instead of buffering the input in RAM.
         let (tx, rx) = std::sync::mpsc::sync_channel(4 * LINES_PER_POLL);
-        std::thread::Builder::new()
+        let err_tx = tx.clone();
+        let spawned = std::thread::Builder::new()
             .name("ingest-line-reader".into())
             .spawn(move || loop {
                 let mut line = String::new();
@@ -440,8 +445,13 @@ impl ThreadedLineSource {
                         break;
                     }
                 }
-            })
-            .expect("spawn reader thread");
+            });
+        if let Err(e) = spawned {
+            // Surface the spawn failure through the source's normal
+            // error path instead of aborting the process.
+            let _ = err_tx.send(Err(e));
+        }
+        drop(err_tx);
         ThreadedLineSource {
             origin: origin.into(),
             assembler: BagAssembler::new(Arc::from(stream.into().as_str()), true),

@@ -95,6 +95,7 @@ impl From<EngineError> for MuxError {
 
 /// What one [`Mux::tick`] did.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "ignoring a TickReport drops the done/idle signals the drive loop needs"]
 pub struct TickReport {
     /// Bags pushed into the engine this tick.
     pub bags: usize,

@@ -85,6 +85,7 @@ impl From<MuxError> for PipelineError {
 
 /// What one [`Pipeline::step`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use = "ignoring a StepReport drops the done/idle signals the drive loop needs"]
 pub struct StepReport {
     /// Bags pushed into the engine this step.
     pub bags: usize,
@@ -117,6 +118,7 @@ pub struct PipelineSummary {
 }
 
 /// Builder for a [`Pipeline`]; see [`Pipeline::builder`].
+#[must_use = "a PipelineBuilder does nothing until build() is called"]
 pub struct PipelineBuilder {
     engine: EngineConfig,
     sources: Vec<Box<dyn Source>>,
@@ -590,12 +592,13 @@ impl Egress {
         let failed = self
             .strict
             .then(|| {
-                events
-                    .iter()
-                    .position(|e| matches!(e, Event::StreamError { .. }))
+                events.iter().enumerate().find_map(|(pos, e)| match e {
+                    Event::StreamError { stream, message } => Some((pos, stream, message)),
+                    _ => None,
+                })
             })
             .flatten();
-        let deliverable = &events[..failed.unwrap_or(events.len())];
+        let deliverable = &events[..failed.map_or(events.len(), |(pos, ..)| pos)];
         for station in self.stations.iter_mut() {
             let t0 = self.clock.now_ns();
             station
@@ -623,10 +626,7 @@ impl Egress {
         if self.noisy.points() >= TOPK_WINDOW_POINTS {
             self.noisy.publish(&self.registry, TOPK_K);
         }
-        if let Some(pos) = failed {
-            let Event::StreamError { stream, message } = &events[pos] else {
-                unreachable!("position matched a StreamError");
-            };
+        if let Some((_, stream, message)) = failed {
             return Err(PipelineError::StreamFailed {
                 stream: stream.clone(),
                 message: message.clone(),

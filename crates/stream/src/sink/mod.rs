@@ -140,13 +140,24 @@ impl MemorySink {
     }
 
     /// Snapshot of everything delivered so far.
+    ///
+    /// Poisoning is ignored: the buffer is a plain `Vec` of delivered
+    /// events, so a panicking writer cannot leave it half-updated.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Take everything delivered so far, leaving the sink empty.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+        std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -154,7 +165,7 @@ impl Sink for MemorySink {
     fn deliver(&mut self, events: &[Event]) -> io::Result<()> {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .extend_from_slice(events);
         Ok(())
     }

@@ -41,12 +41,14 @@ use bagcpd::score::EmdSolver;
 use bagcpd::{DetectorConfig, GroundMetric, ScoreKind, SignatureMethod, Weighting};
 use emd::Signature;
 
+// lint:fingerprint-begin(snapshot-header)
 /// Magic bytes opening every snapshot.
 pub const MAGIC: &[u8; 8] = b"BCPDSNAP";
 /// Current format version.
 pub const VERSION: u32 = 3;
 /// Oldest version [`decode_engine`] still reads (migrating on load).
 pub const MIN_READ_VERSION: u32 = 2;
+// lint:fingerprint-end(snapshot-header)
 
 /// Snapshot parse/validation failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -268,6 +270,11 @@ impl<'a> Reader<'a> {
 
 // ---- config fingerprint ------------------------------------------------
 
+// lint:fingerprint-begin(engine-layout)
+// Everything from here to the matching end marker defines the on-disk
+// byte layout. Changing it requires a VERSION bump (and a migration
+// path in read_state), then re-blessing snapshot.rs.fingerprint via
+// `cargo run -p lint -- check --update-fingerprints`.
 /// Serialize every result-affecting configuration parameter.
 fn put_config(w: &mut Writer, cfg: &DetectorConfig) {
     w.u64(cfg.tau as u64);
@@ -639,6 +646,7 @@ pub fn decode_engine(bytes: &[u8], cfg: &DetectorConfig) -> Result<EngineSnapsho
         streams,
     })
 }
+// lint:fingerprint-end(engine-layout)
 
 #[cfg(test)]
 mod tests {

@@ -159,6 +159,7 @@ impl Clock {
             ClockInner::Manual(t) => {
                 t.fetch_add(ns, Ordering::Relaxed);
             }
+            // lint:allow(NO_PANIC_SURFACE, manual clocks exist only in tests; advancing real time is a category error worth aborting loudly)
             ClockInner::Monotonic(_) => panic!("Clock::advance_ns on a monotonic clock"),
         }
     }
@@ -173,6 +174,7 @@ impl Default for Clock {
 /// A monotonically increasing count. Cloning shares the underlying
 /// atomic; recording is one relaxed `fetch_add`.
 #[derive(Debug, Clone, Default)]
+#[must_use = "a dropped Counter handle records nothing"]
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
@@ -195,6 +197,7 @@ impl Counter {
 /// A value that can go up and down (stored as `f64` bits in one
 /// atomic). Cloning shares the underlying atomic.
 #[derive(Debug, Clone)]
+#[must_use = "a dropped Gauge handle records nothing"]
 pub struct Gauge(Arc<AtomicU64>);
 
 impl Default for Gauge {
@@ -220,6 +223,7 @@ impl Gauge {
 /// allocation, ever. Rendered with cumulative `_bucket{le=…}` series
 /// plus `_sum` and `_count`, per the Prometheus text format.
 #[derive(Debug, Clone)]
+#[must_use = "a dropped Histogram handle records nothing"]
 pub struct Histogram(Arc<HistogramInner>);
 
 #[derive(Debug)]
@@ -294,6 +298,7 @@ impl Histogram {
 /// carried by [`crate::EmdScratch`] into the solve loop, so every EMD
 /// solve is timed without the solver crates knowing telemetry exists.
 #[derive(Debug, Clone)]
+#[must_use = "a dropped SolveTimer times nothing"]
 pub struct SolveTimer {
     hist: Histogram,
     clock: Clock,
@@ -429,6 +434,7 @@ impl MetricsRegistry {
             Handle::Counter(Counter::default())
         }) {
             Handle::Counter(c) => c,
+            // lint:allow(NO_PANIC_SURFACE, register's kind assert guarantees the variant)
             _ => unreachable!("registered as a counter"),
         }
     }
@@ -449,6 +455,7 @@ impl MetricsRegistry {
             Handle::Gauge(Gauge::default())
         }) {
             Handle::Gauge(g) => g,
+            // lint:allow(NO_PANIC_SURFACE, register's kind assert guarantees the variant)
             _ => unreachable!("registered as a gauge"),
         }
     }
@@ -471,6 +478,7 @@ impl MetricsRegistry {
             Handle::Histogram(Histogram::new(bounds))
         }) {
             Handle::Histogram(h) => h,
+            // lint:allow(NO_PANIC_SURFACE, register's kind assert guarantees the variant)
             _ => unreachable!("registered as a histogram"),
         }
     }
@@ -490,7 +498,9 @@ impl MetricsRegistry {
             .inner
             .families
             .lock()
-            .expect("metrics registry poisoned");
+            // Poisoning is ignored: every critical section only inserts
+            // or overwrites whole entries, so no partial state escapes.
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = families.entry(name).or_insert_with(|| Family {
             help,
             kind: Kind::Gauge,
@@ -523,7 +533,9 @@ impl MetricsRegistry {
             .inner
             .families
             .lock()
-            .expect("metrics registry poisoned");
+            // Poisoning is ignored: every critical section only inserts
+            // or overwrites whole entries, so no partial state escapes.
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = families.entry(name).or_insert_with(|| Family {
             help,
             kind,
@@ -557,7 +569,9 @@ impl MetricsRegistry {
             .inner
             .families
             .lock()
-            .expect("metrics registry poisoned");
+            // Poisoning is ignored: every critical section only inserts
+            // or overwrites whole entries, so no partial state escapes.
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (name, family) in families.iter() {
             let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
             let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
@@ -607,7 +621,9 @@ impl MetricsRegistry {
             .inner
             .families
             .lock()
-            .expect("metrics registry poisoned");
+            // Poisoning is ignored: every critical section only inserts
+            // or overwrites whole entries, so no partial state escapes.
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = Vec::new();
         for (name, family) in families.iter() {
             for (labels, handle) in &family.series {
@@ -813,8 +829,8 @@ mod tests {
     #[should_panic(expected = "already registered")]
     fn kind_mismatch_panics() {
         let reg = MetricsRegistry::new();
-        reg.counter("t_total", "help");
-        reg.gauge("t_total", "help");
+        let _ = reg.counter("t_total", "help");
+        let _ = reg.gauge("t_total", "help");
     }
 
     #[test]
@@ -883,7 +899,7 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         let reg = MetricsRegistry::new();
-        reg.counter_labeled("c_total", "help", &[("s", "a\"b\\c\nd")]);
+        let _ = reg.counter_labeled("c_total", "help", &[("s", "a\"b\\c\nd")]);
         let text = reg.render();
         assert!(text.contains("c_total{s=\"a\\\"b\\\\c\\nd\"} 0"), "{text}");
     }

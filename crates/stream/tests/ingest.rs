@@ -145,13 +145,13 @@ fn dir_source_serves_one_stream_per_file_and_picks_up_new_files() {
         true,
     )));
     // First tick discovers a+b; write a third file mid-session.
-    mux.tick().unwrap();
+    let _ = mux.tick().unwrap();
     std::fs::write(dir.join("c.csv"), csv_text(9, 99, 3, true)).unwrap();
     // 9 bags, window 5: 4 points per stream stream while tailing (the
     // trailing bag stays pending until finish completes it).
     let mut events = Vec::new();
     for _ in 0..1000 {
-        mux.tick().unwrap();
+        let _ = mux.tick().unwrap();
         events.extend(mux.drain_events());
         let done: Vec<_> = ["a", "b", "c"]
             .iter()
@@ -313,7 +313,7 @@ fn periodic_checkpoints_fire_by_bags_and_by_ticks() {
     let report = mux.tick().unwrap();
     assert!(report.checkpoint_due);
     mux.drain_events();
-    mux.tick().unwrap();
+    let _ = mux.tick().unwrap();
     assert!(
         mux.drain_events()
             .iter()
@@ -363,7 +363,7 @@ fn unapplied_resume_cursor_survives_checkpoint_rewrite() {
         "s",
         false,
     )));
-    mux.tick().unwrap();
+    let _ = mux.tick().unwrap();
     mux.checkpoint_now().unwrap();
     let (rewritten, _) =
         stream::ingest::checkpoint::decode_checkpoint(&std::fs::read(&state).unwrap()).unwrap();

@@ -209,7 +209,7 @@ fn pipeline_serves_metrics_over_http() {
     loop {
         // A drained pipeline's step() still polls the endpoint, so
         // stepping past done is fine here.
-        pipeline.step().expect("step");
+        let _ = pipeline.step().expect("step");
         let mut buf = [0u8; 4096];
         match sock.read(&mut buf) {
             Ok(0) => break,
