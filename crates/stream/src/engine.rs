@@ -6,6 +6,7 @@ use crate::telemetry::{names, Counter, MetricsRegistry};
 use crate::worker::{self, Msg, WorkerTelemetry};
 use bagcpd::{Bag, DetectError, Detector, DetectorConfig};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -149,6 +150,12 @@ pub struct StreamEngine {
     handles: Vec<JoinHandle<()>>,
     /// Accepted-push counter when telemetry is configured.
     pushes: Option<Counter>,
+    /// Bags accepted but not yet evaluated (incremented on push,
+    /// decremented by workers after each tick) — the numerator of
+    /// [`Self::queue_load`].
+    in_flight: Arc<AtomicU64>,
+    /// Per-worker input-queue bound, kept for [`Self::queue_load`].
+    queue_capacity: usize,
 }
 
 impl StreamEngine {
@@ -173,6 +180,7 @@ impl StreamEngine {
             .map_err(|e: DetectError| EngineError::BadConfig(e.to_string()))?;
 
         let (event_tx, event_rx) = mpsc::sync_channel(cfg.event_capacity);
+        let in_flight = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(cfg.workers);
         let mut handles = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
@@ -180,13 +188,14 @@ impl StreamEngine {
             let det = detector.clone();
             let ev = event_tx.clone();
             let batch = cfg.batch_size;
+            let settled = in_flight.clone();
             // All metric handles resolve here, once; workers only touch
             // atomics from then on.
             let telemetry = cfg.telemetry.as_ref().map(|r| WorkerTelemetry::new(r, i));
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("stream-worker-{i}"))
-                    .spawn(move || worker::run(det, rx, ev, batch, telemetry))
+                    .spawn(move || worker::run(det, rx, ev, batch, telemetry, settled))
                     .expect("spawn worker thread"),
             );
             senders.push(tx);
@@ -208,6 +217,8 @@ impl StreamEngine {
             stash: VecDeque::new(),
             handles,
             pushes,
+            in_flight,
+            queue_capacity: cfg.queue_capacity,
         })
     }
 
@@ -371,7 +382,13 @@ impl StreamEngine {
     /// Panics if `id` did not come from this engine's [`Self::resolve`].
     pub fn push_id(&mut self, id: StreamId, bag: Bag) -> Result<(), EngineError> {
         let shard = self.shard_of_id(id);
-        self.send_control(shard, Msg::Push { stream: id, bag })?;
+        // Count the bag in-flight *before* it is visible to the worker,
+        // so the worker's post-tick decrement can never underflow.
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.send_control(shard, Msg::Push { stream: id, bag }) {
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return Err(e);
+        }
         if let Some(pushes) = &self.pushes {
             pushes.inc();
         }
@@ -405,6 +422,9 @@ impl StreamEngine {
     /// Panics if `id` did not come from this engine's [`Self::resolve`].
     pub fn try_push_id(&mut self, id: StreamId, bag: Bag) -> Result<Option<Bag>, EngineError> {
         let shard = self.shard_of_id(id);
+        // Count first (see push_id): a successful try_send makes the bag
+        // visible to the worker immediately.
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
         match self.senders[shard].try_send(Msg::Push { stream: id, bag }) {
             Ok(()) => {
                 if let Some(pushes) = &self.pushes {
@@ -412,10 +432,27 @@ impl StreamEngine {
                 }
                 Ok(None)
             }
-            Err(TrySendError::Full(Msg::Push { bag, .. })) => Ok(Some(bag)),
+            Err(TrySendError::Full(Msg::Push { bag, .. })) => {
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Ok(Some(bag))
+            }
             Err(TrySendError::Full(_)) => unreachable!("we only sent a push"),
-            Err(TrySendError::Disconnected(_)) => Err(EngineError::Closed),
+            Err(TrySendError::Disconnected(_)) => {
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Err(EngineError::Closed)
+            }
         }
+    }
+
+    /// Fraction of the worker pool's bounded input capacity occupied by
+    /// accepted-but-unevaluated bags, in `[0, 1]` — the live
+    /// backpressure signal ingestion layers use to warn producers
+    /// *before* [`Self::push`] starts blocking. (Bags being evaluated
+    /// in the current tick still count until the tick completes, so the
+    /// signal errs toward "busy" rather than "ready".)
+    pub fn queue_load(&self) -> f64 {
+        let capacity = (self.queue_capacity.saturating_mul(self.senders.len())).max(1);
+        (self.in_flight.load(Ordering::Relaxed) as f64 / capacity as f64).clamp(0.0, 1.0)
     }
 
     /// All events produced so far, without blocking.

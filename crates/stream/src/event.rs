@@ -60,6 +60,25 @@ pub enum Event {
         /// Total bags pushed when the checkpoint was taken.
         bags: u64,
     },
+    /// A sink exhausted its delivery attempts and the pipeline entered
+    /// degraded mode for it: its events now spill to a durable
+    /// append-only log instead of aborting the run. Delivered through
+    /// the surviving sinks (the degraded one is, by definition, not
+    /// listening).
+    Degraded {
+        /// The degraded sink's kind label.
+        sink: String,
+        /// The error that exhausted the delivery attempts.
+        reason: String,
+    },
+    /// A degraded sink accepted its spilled backlog — replayed in
+    /// order, ahead of any new delivery — and rejoined the pipeline.
+    Recovered {
+        /// The recovered sink's kind label.
+        sink: String,
+        /// Events replayed from the spill log.
+        replayed: u64,
+    },
 }
 
 impl Event {
@@ -69,7 +88,10 @@ impl Event {
         match self {
             Event::Point { stream, .. } | Event::StreamError { stream, .. } => Some(stream),
             Event::Quarantine(record) => Some(&record.stream),
-            Event::Note(_) | Event::CheckpointWritten { .. } => None,
+            Event::Note(_)
+            | Event::CheckpointWritten { .. }
+            | Event::Degraded { .. }
+            | Event::Recovered { .. } => None,
         }
     }
 

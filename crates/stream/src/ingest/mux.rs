@@ -191,6 +191,7 @@ struct MuxTelemetry {
     clock: Clock,
     bags: Counter,
     quarantines: Counter,
+    evictions: Counter,
     /// Per-source poll histograms, parallel to `Mux::sources`.
     polls: Vec<Histogram>,
 }
@@ -207,6 +208,10 @@ impl MuxTelemetry {
             quarantines: registry.counter(
                 names::INGEST_QUARANTINES,
                 "Streams quarantined at ingestion",
+            ),
+            evictions: registry.counter(
+                names::INGEST_STREAMS_EVICTED,
+                "Streams retired from service by source eviction policies (idle timeouts)",
             ),
             polls: Vec::new(),
         }
@@ -383,6 +388,12 @@ impl Mux {
             }
             let mut items = std::mem::take(&mut self.items);
             items.clear();
+            // Tell the source how full the engine's bounded queues are
+            // before it reads more input, so interactive sources can
+            // push back on their producers instead of stalling in
+            // `push_id`.
+            let load = self.engine.queue_load();
+            self.sources[idx].0.pressure(load);
             let t0 = self.telemetry.as_ref().map(|t| t.clock.now_ns());
             let polled = self.sources[idx].0.poll(&mut items);
             if let (Some(telemetry), Some(t0)) = (&self.telemetry, t0) {
@@ -507,6 +518,24 @@ impl Mux {
                     self.quarantined.push(record);
                 }
                 SourceItem::Note(n) => self.pending.push(Event::Note(n)),
+                SourceItem::Retire { stream } => {
+                    // Source-initiated retirement (idle eviction). Drop
+                    // the claim too: if the stream speaks again it
+                    // re-resolves to the same interned id but starts a
+                    // fresh detector — the documented eviction
+                    // semantics.
+                    self.claims.remove(&stream);
+                    let retired = self.engine.retire(&stream)?;
+                    if retired {
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.evictions.inc();
+                        }
+                        self.pending.push(Event::Note(format!(
+                            "stream '{stream}' evicted after idling; it restarts fresh if it \
+                             returns"
+                        )));
+                    }
+                }
             }
         }
         Ok(())

@@ -70,6 +70,15 @@ pub enum SourceItem {
     /// A human-readable operational note (rotation detected, pending bag
     /// rebuilt, …) for the host to log.
     Note(String),
+    /// A stream should be retired from service (its detector state
+    /// released): the source decided it will not feed it again — e.g.
+    /// the idle-eviction policy of a long-lived network source. Unlike
+    /// [`SourceItem::Quarantine`] this is not an error: if the stream
+    /// later reappears it starts fresh.
+    Retire {
+        /// The stream to retire.
+        stream: Arc<str>,
+    },
 }
 
 /// Resumable position of one stream within a source: everything a
@@ -133,6 +142,15 @@ pub trait Source {
     /// counters here so polling itself stays allocation-free.
     fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
         let _ = registry;
+    }
+
+    /// Engine queue pressure report, called by the mux before each poll
+    /// with `load` in `[0, 1]` (fraction of the engine's bounded input
+    /// queues currently in flight). Interactive sources use it to signal
+    /// backpressure to their producers (the TCP source's `!busy` /
+    /// `!ready` lines); the default ignores it.
+    fn pressure(&mut self, load: f64) {
+        let _ = load;
     }
 }
 

@@ -19,17 +19,56 @@
 //! it names; once `max_streams` distinct streams exist, lines for new
 //! stream names are refused with a [`SourceItem::Note`] instead of
 //! growing the per-stream state.
+//!
+//! Three server-side control facilities ride on the same line protocol
+//! (server→client lines start with `!`, so they can never be confused
+//! with data):
+//!
+//! - **Auth** ([`TcpSource::set_auth_token`]): each connection must
+//!   present `auth <token>` as its first line. The server answers
+//!   `!ok`; anything sent before a successful handshake is refused
+//!   (never routed), answered with `!denied`, and counted in the
+//!   `bagscpd_ingest_tcp_auth_failures_total` telemetry counter.
+//! - **Backpressure** ([`Source::pressure`]): when the engine's bounded
+//!   input queues fill past a high-water mark the source broadcasts
+//!   `!busy` to every client (and greets new ones with it); once the
+//!   queues drain below a low-water mark it broadcasts `!ready`.
+//!   Cooperative producers pause between the two; the signal is
+//!   advisory — a client that keeps sending is still served, it just
+//!   ends up waiting in the kernel's socket buffers.
+//! - **Idle eviction** ([`TcpSource::set_evict_idle`]): a stream that
+//!   has not produced a line for the configured window has its trailing
+//!   bag completed and is retired from the engine
+//!   ([`SourceItem::Retire`]), releasing its detector state. A stream
+//!   that later returns starts fresh.
 
 use super::csv::ROWS_HELP;
 use super::source::{BagAssembler, Source, SourceError, SourceItem, SourceStatus, StreamCursor};
-use crate::telemetry::{names, Counter, MetricsRegistry};
+use crate::telemetry::{names, Clock, Counter, MetricsRegistry};
 use std::collections::{HashMap, HashSet};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Bytes read per connection per poll (fairness budget).
 const BYTES_PER_POLL: usize = 64 * 1024;
+
+/// Engine queue load at which the source broadcasts `!busy`.
+const BUSY_HIGH_WATER: f64 = 0.75;
+
+/// Engine queue load at which a busy source broadcasts `!ready`. The
+/// gap below [`BUSY_HIGH_WATER`] is hysteresis: load hovering around a
+/// single threshold must not flap clients between busy and ready every
+/// tick.
+const BUSY_LOW_WATER: f64 = 0.25;
+
+/// Default [`TcpSource::set_drain_grace`] window: how long a draining
+/// (non-`watch`) source keeps listening after its last connection
+/// closes before reporting `Done`. Long enough for a client that
+/// reconnects mid-conversation (rotation, proxy failover) to come
+/// back; short enough that batch jobs still wind down promptly.
+const DEFAULT_DRAIN_GRACE: Duration = Duration::from_millis(200);
 
 /// Most refused stream names remembered for note-deduplication; past
 /// this, refusal stays in force but is silent (the memory of "already
@@ -66,6 +105,12 @@ struct Conn {
     lineno: usize,
     /// An oversized line is in progress: drop bytes until its newline.
     discarding: bool,
+    /// The `auth <token>` handshake completed (vacuously true when no
+    /// token is configured).
+    authed: bool,
+    /// An unauthenticated-line note was already emitted for this
+    /// connection (one per connection, not per refused line).
+    denial_noted: bool,
 }
 
 /// An oversized line's retained prefix, for routing the quarantine.
@@ -84,6 +129,10 @@ struct TcpTelemetry {
     /// Stream names refused by `TcpLimits::max_streams` (counted on
     /// every refused line, including past the note-dedup cap).
     refused: Counter,
+    /// Lines refused before a successful `auth` handshake.
+    auth_failures: Counter,
+    /// Busy↔ready transitions broadcast to clients.
+    backpressure: Counter,
     /// Parsed-row counter handed to each new stream's assembler.
     rows: Counter,
 }
@@ -101,12 +150,33 @@ pub struct TcpSource {
     resume: HashMap<String, StreamCursor>,
     limits: TcpLimits,
     /// Drain mode (`watch == false`): report `Done` once at least one
-    /// connection was seen and all of them have closed.
+    /// connection was seen, all of them have closed, and the drain
+    /// grace window has elapsed without a reconnect.
     watch: bool,
     seen_conn: bool,
     buf: Vec<u8>,
     /// Metric handles when the host attached telemetry.
     telemetry: Option<TcpTelemetry>,
+    /// Required `auth <token>` handshake token, when configured.
+    auth_token: Option<String>,
+    /// Backpressure state: `!busy` was broadcast and `!ready` was not
+    /// yet.
+    busy: bool,
+    /// How long a draining source keeps listening after its last
+    /// connection closes (reconnect window).
+    drain_grace_ns: u64,
+    /// When the source last transitioned to "no connections" (clock
+    /// nanoseconds); `None` while connections exist or progress is
+    /// being made.
+    idle_since_ns: Option<u64>,
+    /// Idle-eviction window, when configured.
+    evict_idle_ns: Option<u64>,
+    /// Per-stream last-line stamp (clock nanoseconds); maintained only
+    /// while eviction is enabled.
+    last_seen: HashMap<Arc<str>, u64>,
+    /// Time source for drain grace and eviction: monotonic by default,
+    /// the registry's (possibly manual) clock once telemetry attaches.
+    clock: Clock,
 }
 
 impl TcpSource {
@@ -148,7 +218,56 @@ impl TcpSource {
             seen_conn: false,
             buf: vec![0u8; 8192],
             telemetry: None,
+            auth_token: None,
+            busy: false,
+            drain_grace_ns: u64::try_from(DEFAULT_DRAIN_GRACE.as_nanos()).unwrap_or(u64::MAX),
+            idle_since_ns: None,
+            evict_idle_ns: None,
+            last_seen: HashMap::new(),
+            clock: Clock::monotonic(),
         })
+    }
+
+    /// Require every connection to authenticate with `auth <token>` as
+    /// its first line. Until the handshake succeeds nothing from the
+    /// connection is routed: refused lines are counted
+    /// ([`names::INGEST_TCP_AUTH_FAILURES`]), answered with `!denied`,
+    /// and noted once per connection. A correct handshake is answered
+    /// with `!ok`. Call before the first poll.
+    pub fn set_auth_token(&mut self, token: impl Into<String>) {
+        self.auth_token = Some(token.into());
+    }
+
+    /// How long a draining (non-`watch`) source keeps listening after
+    /// its last connection closes before reporting `Done`, so a client
+    /// that drops and reconnects mid-run does not tear the session
+    /// down between its connections. Default 200 ms; zero restores the
+    /// old immediate-drain behavior.
+    pub fn set_drain_grace(&mut self, grace: Duration) {
+        self.drain_grace_ns = u64::try_from(grace.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// Retire streams that produce no line for `window`: the trailing
+    /// bag is completed, a [`SourceItem::Retire`] releases the engine's
+    /// detector state, and the stream starts fresh if it ever returns.
+    /// Quarantined streams are exempt (their quarantine must outlive
+    /// their silence). Disabled by default.
+    pub fn set_evict_idle(&mut self, window: Duration) {
+        self.evict_idle_ns = Some(u64::try_from(window.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Whether the source is currently signaling backpressure.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Best-effort control line to every live client. Failures are
+    /// ignored: the socket may be gone (its close is discovered by the
+    /// next read) and the signal is advisory anyway.
+    fn broadcast(&mut self, line: &[u8]) {
+        for conn in &mut self.conns {
+            let _ = conn.sock.write_all(line);
+        }
     }
 
     /// The bound address (useful when binding port 0).
@@ -242,6 +361,10 @@ impl TcpSource {
                 self.assemblers.entry(key).or_insert(a)
             }
         };
+        if self.evict_idle_ns.is_some() {
+            self.last_seen
+                .insert(assembler.stream().clone(), self.clock.now_ns());
+        }
         if let Err(e) = assembler.line(row, lineno, peer, out) {
             let stream = assembler.stream().clone();
             self.quarantined.insert(stream.clone());
@@ -294,6 +417,70 @@ impl TcpSource {
             None => out.push(SourceItem::Note(format!(
                 "note: unroutable oversized line dropped ({error})"
             ))),
+        }
+    }
+
+    /// Enforce the auth handshake on the lines a connection produced
+    /// this poll (`routed[watermark..]` / `oversize[over_watermark..]`):
+    /// consume a leading `auth <token>` line (answered `!ok`), refuse
+    /// and drop everything sent before a successful handshake
+    /// (answered `!denied`, counted, noted once per connection).
+    #[allow(clippy::too_many_arguments)]
+    fn filter_unauthed(
+        conn: &mut Conn,
+        token: &str,
+        telemetry: Option<&TcpTelemetry>,
+        routed: &mut Vec<(Vec<u8>, usize, Arc<str>)>,
+        watermark: usize,
+        oversize: &mut Vec<Oversize>,
+        over_watermark: usize,
+        out: &mut Vec<SourceItem>,
+    ) {
+        if conn.authed {
+            return;
+        }
+        let mut kept = Vec::new();
+        let mut denied = 0u64;
+        for (line, lineno, peer) in routed.drain(watermark..) {
+            if conn.authed {
+                kept.push((line, lineno, peer));
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line);
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed
+                .strip_prefix("auth ")
+                .is_some_and(|presented| presented.trim() == token)
+            {
+                conn.authed = true;
+                let _ = conn.sock.write_all(b"!ok\n");
+                continue;
+            }
+            denied += 1;
+        }
+        routed.extend(kept);
+        // An oversized line from a peer that never authenticated this
+        // poll must not quarantine the stream it claims to name.
+        if !conn.authed && oversize.len() > over_watermark {
+            denied += (oversize.len() - over_watermark) as u64;
+            oversize.truncate(over_watermark);
+        }
+        if denied > 0 {
+            if let Some(telemetry) = telemetry {
+                telemetry.auth_failures.add(denied);
+            }
+            let _ = conn.sock.write_all(b"!denied\n");
+            if !conn.denial_noted {
+                conn.denial_noted = true;
+                out.push(SourceItem::Note(format!(
+                    "note: {}: unauthenticated line(s) refused; the first line must be \
+                     'auth <token>'",
+                    conn.peer
+                )));
+            }
         }
     }
 
@@ -372,15 +559,23 @@ impl Source for TcpSource {
         // Accept whatever is waiting.
         loop {
             match self.listener.accept() {
-                Ok((sock, peer)) => {
+                Ok((mut sock, peer)) => {
                     if sock.set_nonblocking(true).is_ok() {
                         self.seen_conn = true;
+                        // A client connecting into an overloaded engine
+                        // learns immediately, not at the next
+                        // transition.
+                        if self.busy {
+                            let _ = sock.write_all(b"!busy\n");
+                        }
                         self.conns.push(Conn {
                             sock,
                             peer: Arc::from(peer.to_string().as_str()),
                             partial: Vec::new(),
                             lineno: 0,
                             discarding: false,
+                            authed: self.auth_token.is_none(),
+                            denial_noted: false,
                         });
                     }
                 }
@@ -400,6 +595,8 @@ impl Source for TcpSource {
         while i < self.conns.len() {
             let mut closed = false;
             let mut read_total = 0usize;
+            let watermark = routed.len();
+            let over_watermark = oversize.len();
             loop {
                 if read_total >= BYTES_PER_POLL {
                     break;
@@ -431,12 +628,29 @@ impl Source for TcpSource {
                     }
                 }
             }
+            if let Some(token) = &self.auth_token {
+                Self::filter_unauthed(
+                    &mut self.conns[i],
+                    token,
+                    self.telemetry.as_ref(),
+                    &mut routed,
+                    watermark,
+                    &mut oversize,
+                    over_watermark,
+                    out,
+                );
+            }
             if closed {
                 let conn = self.conns.swap_remove(i);
                 // A final line with no newline is final for this
-                // connection: the peer can never complete it.
+                // connection: the peer can never complete it. From an
+                // unauthenticated peer it is refused like any other.
                 if !conn.partial.is_empty() {
-                    routed.push((conn.partial, conn.lineno, conn.peer));
+                    if conn.authed {
+                        routed.push((conn.partial, conn.lineno, conn.peer));
+                    } else if let Some(telemetry) = &self.telemetry {
+                        telemetry.auth_failures.inc();
+                    }
                 }
                 progressed = true;
             } else {
@@ -450,12 +664,71 @@ impl Source for TcpSource {
             self.line(&line, &peer, lineno, out);
         }
 
+        // Idle eviction: streams silent past the window leave service,
+        // releasing their detector state in the engine.
+        if let Some(window) = self.evict_idle_ns {
+            let now = self.clock.now_ns();
+            let mut victims: Vec<Arc<str>> = Vec::new();
+            for s in self.assemblers.keys() {
+                if self.quarantined.contains(s) {
+                    continue;
+                }
+                // A stream with no stamp starts its idle clock now.
+                let seen = *self.last_seen.entry(s.clone()).or_insert(now);
+                if now.saturating_sub(seen) >= window {
+                    victims.push(s.clone());
+                }
+            }
+            victims.sort();
+            for stream in victims {
+                if let Some(mut assembler) = self.assemblers.remove(&stream) {
+                    // The stream is leaving service: its trailing bag
+                    // is final.
+                    assembler.flush(out);
+                    self.last_seen.remove(&stream);
+                    // Forget any restored cursor too: a stream that
+                    // returns after eviction starts fresh, it does not
+                    // resume.
+                    self.resume.remove(stream.as_ref() as &str);
+                    out.push(SourceItem::Retire { stream });
+                }
+            }
+        }
+
         if progressed {
+            self.idle_since_ns = None;
             Ok(SourceStatus::Active)
         } else if self.watch || !self.seen_conn || !self.conns.is_empty() {
+            self.idle_since_ns = None;
             Ok(SourceStatus::Idle)
         } else {
-            Ok(SourceStatus::Done)
+            // Drain mode with every connection gone: hold the listener
+            // open for the grace window, so a client that drops and
+            // reconnects finds the session still there instead of a
+            // torn-down socket.
+            let now = self.clock.now_ns();
+            let since = *self.idle_since_ns.get_or_insert(now);
+            if now.saturating_sub(since) >= self.drain_grace_ns {
+                Ok(SourceStatus::Done)
+            } else {
+                Ok(SourceStatus::Idle)
+            }
+        }
+    }
+
+    fn pressure(&mut self, load: f64) {
+        if !self.busy && load >= BUSY_HIGH_WATER {
+            self.busy = true;
+            self.broadcast(b"!busy\n");
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.backpressure.inc();
+            }
+        } else if self.busy && load <= BUSY_LOW_WATER {
+            self.busy = false;
+            self.broadcast(b"!ready\n");
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.backpressure.inc();
+            }
         }
     }
 
@@ -496,12 +769,23 @@ impl Source for TcpSource {
                 names::INGEST_TCP_STREAMS_REFUSED,
                 "Lines refused because max_streams was reached",
             ),
+            auth_failures: registry.counter(
+                names::INGEST_TCP_AUTH_FAILURES,
+                "TCP lines refused before a successful auth handshake",
+            ),
+            backpressure: registry.counter(
+                names::INGEST_TCP_BACKPRESSURE,
+                "Busy/ready backpressure transitions broadcast to TCP clients",
+            ),
             rows: registry.counter(names::INGEST_ROWS, ROWS_HELP),
         };
         for assembler in self.assemblers.values_mut() {
             assembler.set_row_counter(telemetry.rows.clone());
         }
         self.telemetry = Some(telemetry);
+        // Drain grace and idle eviction follow the registry's clock, so
+        // tests drive them with a manual clock instead of sleeping.
+        self.clock = registry.clock();
     }
 
     fn finish(&mut self, out: &mut Vec<SourceItem>) -> Result<(), SourceError> {

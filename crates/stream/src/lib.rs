@@ -39,6 +39,10 @@
 //!   (engine, ingest, solvers, pipeline) without touching the
 //!   allocation-free hot path, rendered as Prometheus text exposition
 //!   by a [`MetricsSink`] or scraped live from a [`MetricsServer`].
+//! - [`testkit`] — deterministic fault injection ([`testkit::ChaosSink`],
+//!   [`testkit::ChaosSource`]) for exercising the fault-domain layer
+//!   ([`RetryingSink`], [`SpillLog`] degraded mode) without real
+//!   failures, clocks, or sleeps.
 //!
 //! ```
 //! use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, SignatureMethod};
@@ -72,6 +76,7 @@ pub mod pipeline;
 pub mod sink;
 pub mod snapshot;
 pub mod telemetry;
+pub mod testkit;
 mod worker;
 
 pub use cache::{EmdScratch, SignatureWindow};
@@ -83,7 +88,8 @@ pub use ingest::{CheckpointPolicy, Mux, MuxConfig, Source, SourceStatus};
 pub use online::{OnlineDetector, OnlineState};
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineSummary, StepReport};
 pub use sink::{
-    CsvSchema, CsvSink, JsonLinesSink, MemorySink, MetricsSink, Sink, StderrAlertSink, Tee,
+    CsvSchema, CsvSink, JsonLinesSink, MemorySink, MetricsSink, RetryPolicy, RetryingSink, Sink,
+    SpillLog, StderrAlertSink, Tee,
 };
 pub use snapshot::SnapshotError;
 pub use telemetry::{

@@ -15,15 +15,19 @@
 //!   [`Sink::flush_durable`] succeeded. A sink I/O error aborts the run
 //!   with the checkpoint uncommitted, so resuming from the last good
 //!   checkpoint recomputes the undelivered points bit-identically; a
-//!   `kill -9` at any instant loses nothing.
+//!   `kill -9` at any instant loses nothing;
+//! - **graceful degradation** (opt-in via
+//!   [`PipelineBuilder::spill_dir`]) — a sink that keeps refusing
+//!   delivery spills to a durable [`SpillLog`] instead of killing the
+//!   run, and replays the backlog in order when it recovers.
 
 use crate::engine::{EngineConfig, StreamEngine};
 use crate::event::{Event, QuarantineRecord};
 use crate::ingest::{CheckpointPolicy, Mux, MuxConfig, MuxError, Source, StreamCursor};
-use crate::sink::Sink;
+use crate::sink::{Sink, SpillLog};
 use crate::telemetry::{
-    names, Clock, Counter, Histogram, MetricSample, MetricsRegistry, MetricsServer, NoisyStreams,
-    LATENCY_BUCKETS,
+    names, Clock, Counter, Gauge, Histogram, MetricSample, MetricsRegistry, MetricsServer,
+    NoisyStreams, LATENCY_BUCKETS,
 };
 use bagcpd::DetectorConfig;
 use std::collections::HashMap;
@@ -112,6 +116,10 @@ pub struct PipelineSummary {
     pub quarantined: Vec<QuarantineRecord>,
     /// Total quarantines over the run (may exceed `quarantined.len()`).
     pub quarantined_total: u64,
+    /// Events still sitting durably in spill logs at the end of the run
+    /// (a sink that never recovered). Zero on a healthy run; a resumed
+    /// session replays them before its first new delivery.
+    pub spilled_events: u64,
     /// Final snapshot of every metric the run recorded — the `--stats`
     /// report of batch hosts, without scraping the HTTP endpoint.
     pub metrics: Vec<MetricSample>,
@@ -129,6 +137,7 @@ pub struct PipelineBuilder {
     stream_seeds: Vec<(String, u64)>,
     metrics: Option<MetricsRegistry>,
     metrics_addr: Option<String>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl PipelineBuilder {
@@ -204,6 +213,30 @@ impl PipelineBuilder {
         self
     }
 
+    /// Enable degraded-mode egress: when a sink's `deliver` fails
+    /// (after whatever retrying a [`crate::sink::RetryingSink`] wrapper
+    /// did), the pipeline spills that sink's events to a durable
+    /// [`SpillLog`] under `dir` instead of aborting. An
+    /// [`Event::Degraded`] flows through the surviving sinks, a
+    /// checkpoint commit counts "durably spilled" as delivered (the
+    /// spill is fsynced before the commit), and every later delivery or
+    /// flush probes the sink — on success the backlog replays in order
+    /// *before* any new event, an [`Event::Recovered`] is announced,
+    /// and the spill file is removed. A build that finds a non-empty
+    /// spill file under `dir` (a crash mid-degraded) starts that sink
+    /// degraded and replays the same way.
+    ///
+    /// Without this, a failed sink aborts the run with the pending
+    /// checkpoint uncommitted (the pre-existing behavior). `flush_durable`
+    /// failures on a healthy sink always abort: the events it buffers
+    /// were already delivered, so a spill could not make them durable,
+    /// and committing a checkpoint over them would break the two-phase
+    /// contract.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Serve `GET /metrics` (Prometheus text exposition) at `addr`,
     /// e.g. `"127.0.0.1:9464"` — port 0 picks a free port, reported by
     /// [`Pipeline::metrics_addr`]. The endpoint is polled from the
@@ -274,7 +307,7 @@ impl PipelineBuilder {
         );
         let mut pipeline = Pipeline {
             mux,
-            egress: Egress::new(self.sinks, self.strict, &registry),
+            egress: Egress::new(self.sinks, self.strict, &registry, self.spill_dir)?,
             restored_state,
             registry,
             server,
@@ -350,6 +383,7 @@ impl Pipeline {
             stream_seeds: Vec::new(),
             metrics: None,
             metrics_addr: None,
+            spill_dir: None,
         }
     }
 
@@ -498,6 +532,9 @@ impl Pipeline {
         let finish = mux.finish()?;
         egress.deliver(&finish.events)?;
         egress.flush()?;
+        // Announcements raised by the final flush (a sink recovering at
+        // the last moment) still go through the surviving sinks.
+        egress.deliver(&[])?;
         // Publish the partial final window, so the top-K gauges of a
         // short batch run are not silently empty.
         if egress.noisy.points() > 0 {
@@ -510,6 +547,7 @@ impl Pipeline {
             checkpoint_bytes: finish.checkpoint_bytes,
             quarantined: finish.quarantined,
             quarantined_total: finish.quarantined_total,
+            spilled_events: egress.spilled_remaining(),
             metrics: registry.snapshot(),
         })
     }
@@ -517,16 +555,21 @@ impl Pipeline {
 
 /// One sink plus its delivery metrics, labeled by [`Sink::kind`] (two
 /// sinks of the same kind share series — the label reflects *what* is
-/// downstream, not which instance).
+/// downstream, not which instance). `spill` is `Some` while the sink is
+/// degraded: its batches go to the log, not the sink.
 struct SinkStation {
     sink: Box<dyn Sink>,
+    kind: &'static str,
     delivered: Counter,
     deliver_seconds: Histogram,
     flush_seconds: Histogram,
+    spill: Option<SpillLog>,
 }
 
 /// The delivery half of the pipeline: every sink with its metrics, the
-/// point count, and the windowed noisiest-stream accounting.
+/// point count, the windowed noisiest-stream accounting, and — when a
+/// spill directory is configured — degraded-mode supervision (see
+/// [`PipelineBuilder::spill_dir`]).
 struct Egress {
     stations: Vec<SinkStation>,
     strict: bool,
@@ -536,15 +579,29 @@ struct Egress {
     noisy: NoisyStreams,
     checkpoints: Counter,
     checkpoint_bytes: Counter,
+    spill_dir: Option<PathBuf>,
+    /// Degraded/Recovered announcements awaiting delivery; drained at
+    /// the head of the next [`Egress::deliver`].
+    pending: Vec<Event>,
+    degraded_gauge: Gauge,
+    spilled: Counter,
+    replay_seconds: Histogram,
 }
 
 impl Egress {
-    fn new(sinks: Vec<Box<dyn Sink>>, strict: bool, registry: &MetricsRegistry) -> Egress {
+    fn new(
+        sinks: Vec<Box<dyn Sink>>,
+        strict: bool,
+        registry: &MetricsRegistry,
+        spill_dir: Option<PathBuf>,
+    ) -> Result<Egress, PipelineError> {
         let stations = sinks
             .into_iter()
             .map(|sink| {
-                let labels: &[(&str, &str)] = &[("sink", sink.kind())];
+                let kind = sink.kind();
+                let labels: &[(&str, &str)] = &[("sink", kind)];
                 SinkStation {
+                    kind,
                     delivered: registry.counter_labeled(
                         names::PIPELINE_EVENTS_DELIVERED,
                         "Events delivered, by sink kind",
@@ -563,10 +620,11 @@ impl Egress {
                         labels,
                     ),
                     sink,
+                    spill: None,
                 }
             })
             .collect();
-        Egress {
+        let mut egress = Egress {
             stations,
             strict,
             points: 0,
@@ -578,14 +636,79 @@ impl Egress {
                 names::PIPELINE_CHECKPOINT_BYTES,
                 "Checkpoint bytes written (cumulative)",
             ),
+            spill_dir,
+            pending: Vec::new(),
+            degraded_gauge: registry.gauge(
+                names::EGRESS_DEGRADED,
+                "Sinks currently degraded (spilling instead of delivering)",
+            ),
+            spilled: registry.counter(
+                names::EGRESS_SPILLED_EVENTS,
+                "Events appended to durable spill logs while degraded",
+            ),
+            replay_seconds: registry.histogram(
+                names::EGRESS_SPILL_REPLAY_SECONDS,
+                "Seconds per spill replay on sink recovery",
+                LATENCY_BUCKETS,
+            ),
+        };
+        egress.adopt_leftover_spills()?;
+        Ok(egress)
+    }
+
+    /// A crash mid-degraded leaves a non-empty spill file behind; the
+    /// next build starts that sink degraded so the backlog replays —
+    /// in order, before any new delivery — once the sink accepts again.
+    fn adopt_leftover_spills(&mut self) -> Result<(), PipelineError> {
+        let Some(dir) = self.spill_dir.clone() else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(&dir).map_err(PipelineError::Sink)?;
+        for idx in 0..self.stations.len() {
+            let path = Egress::spill_path(&dir, idx, self.stations[idx].kind);
+            if !path.exists() {
+                continue;
+            }
+            let log = SpillLog::open(&path).map_err(PipelineError::Sink)?;
+            if log.is_empty() {
+                continue;
+            }
+            self.pending.push(Event::Degraded {
+                sink: self.stations[idx].kind.to_string(),
+                reason: format!("resumed with {} spilled events", log.len()),
+            });
+            self.stations[idx].spill = Some(log);
         }
+        self.update_degraded_gauge();
+        Ok(())
+    }
+
+    fn spill_path(dir: &std::path::Path, idx: usize, kind: &str) -> PathBuf {
+        dir.join(format!("sink-{idx}-{kind}.spill"))
+    }
+
+    fn update_degraded_gauge(&self) {
+        let degraded = self.stations.iter().filter(|s| s.spill.is_some()).count();
+        self.degraded_gauge.set(degraded as f64);
+    }
+
+    /// Deliver pending Degraded/Recovered announcements, then `events`.
+    fn deliver(&mut self, events: &[Event]) -> Result<(), PipelineError> {
+        if !self.pending.is_empty() {
+            let markers = std::mem::take(&mut self.pending);
+            self.deliver_batch(&markers)?;
+        }
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.deliver_batch(events)
     }
 
     /// Deliver one batch to every sink, counting points. In strict mode
     /// a [`Event::StreamError`] aborts: the events before it are
     /// delivered, the error itself is not (the host reports it as the
     /// run's failure), and nothing after it is either.
-    fn deliver(&mut self, events: &[Event]) -> Result<(), PipelineError> {
+    fn deliver_batch(&mut self, events: &[Event]) -> Result<(), PipelineError> {
         if events.is_empty() {
             return Ok(());
         }
@@ -599,16 +722,8 @@ impl Egress {
             })
             .flatten();
         let deliverable = &events[..failed.map_or(events.len(), |(pos, ..)| pos)];
-        for station in self.stations.iter_mut() {
-            let t0 = self.clock.now_ns();
-            station
-                .sink
-                .deliver(deliverable)
-                .map_err(PipelineError::Sink)?;
-            station
-                .deliver_seconds
-                .observe_ns(self.clock.now_ns().saturating_sub(t0));
-            station.delivered.add(deliverable.len() as u64);
+        for idx in 0..self.stations.len() {
+            self.station_deliver(idx, deliverable)?;
         }
         for event in deliverable {
             match event {
@@ -635,10 +750,103 @@ impl Egress {
         Ok(())
     }
 
-    /// `flush_durable` every sink (all must succeed for a checkpoint to
-    /// proceed).
+    /// One station's share of a batch: recover-then-deliver when
+    /// degraded (spilling on continued refusal), plain delivery when
+    /// healthy (degrading on failure if a spill directory exists).
+    fn station_deliver(&mut self, idx: usize, events: &[Event]) -> Result<(), PipelineError> {
+        if self.stations[idx].spill.is_some() && !self.try_recover(idx)? {
+            let station = &mut self.stations[idx];
+            if let Some(spill) = station.spill.as_mut() {
+                spill.append(events).map_err(PipelineError::Sink)?;
+            }
+            self.spilled.add(events.len() as u64);
+            return Ok(());
+        }
+        let t0 = self.clock.now_ns();
+        let station = &mut self.stations[idx];
+        match station.sink.deliver(events) {
+            Ok(()) => {
+                station
+                    .deliver_seconds
+                    .observe_ns(self.clock.now_ns().saturating_sub(t0));
+                station.delivered.add(events.len() as u64);
+                Ok(())
+            }
+            Err(err) => self.degrade(idx, events, err),
+        }
+    }
+
+    /// Enter degraded mode for station `idx` (or abort the run if no
+    /// spill directory is configured): the refused batch goes to the
+    /// spill log and an [`Event::Degraded`] is queued for the survivors.
+    fn degrade(
+        &mut self,
+        idx: usize,
+        undelivered: &[Event],
+        err: std::io::Error,
+    ) -> Result<(), PipelineError> {
+        let Some(dir) = self.spill_dir.clone() else {
+            return Err(PipelineError::Sink(err));
+        };
+        let station = &mut self.stations[idx];
+        let path = Egress::spill_path(&dir, idx, station.kind);
+        let mut spill = SpillLog::open(&path).map_err(PipelineError::Sink)?;
+        spill.append(undelivered).map_err(PipelineError::Sink)?;
+        self.spilled.add(undelivered.len() as u64);
+        station.spill = Some(spill);
+        self.pending.push(Event::Degraded {
+            sink: self.stations[idx].kind.to_string(),
+            reason: err.to_string(),
+        });
+        self.update_degraded_gauge();
+        Ok(())
+    }
+
+    /// Probe a degraded station: replay the whole backlog in order,
+    /// flush it durably, and only then declare recovery (queueing an
+    /// [`Event::Recovered`] and removing the spill file). A sink that
+    /// still refuses stays degraded; only spill-log I/O itself is
+    /// fatal.
+    fn try_recover(&mut self, idx: usize) -> Result<bool, PipelineError> {
+        let t0 = self.clock.now_ns();
+        let station = &mut self.stations[idx];
+        let Some(spill) = station.spill.as_mut() else {
+            return Ok(true);
+        };
+        let backlog = spill.replay().map_err(PipelineError::Sink)?;
+        if station.sink.deliver(&backlog).is_err() || station.sink.flush_durable().is_err() {
+            return Ok(false);
+        }
+        spill.clear().map_err(PipelineError::Sink)?;
+        let path = spill.path().to_path_buf();
+        station.spill = None;
+        let _ = std::fs::remove_file(&path);
+        station.delivered.add(backlog.len() as u64);
+        self.replay_seconds
+            .observe_ns(self.clock.now_ns().saturating_sub(t0));
+        self.pending.push(Event::Recovered {
+            sink: self.stations[idx].kind.to_string(),
+            replayed: backlog.len() as u64,
+        });
+        self.update_degraded_gauge();
+        Ok(true)
+    }
+
+    /// `flush_durable` every healthy sink (all must succeed for a
+    /// checkpoint to proceed). Degraded stations are probed for
+    /// recovery first; one that stays degraded fsyncs its spill log
+    /// instead — that is what lets the commit count its spilled events
+    /// as covered.
     fn flush(&mut self) -> Result<(), PipelineError> {
-        for station in self.stations.iter_mut() {
+        for idx in 0..self.stations.len() {
+            if self.stations[idx].spill.is_some() && !self.try_recover(idx)? {
+                let station = &mut self.stations[idx];
+                if let Some(spill) = station.spill.as_mut() {
+                    spill.sync().map_err(PipelineError::Sink)?;
+                }
+                continue;
+            }
+            let station = &mut self.stations[idx];
             let t0 = self.clock.now_ns();
             station.sink.flush_durable().map_err(PipelineError::Sink)?;
             station
@@ -646,5 +854,13 @@ impl Egress {
                 .observe_ns(self.clock.now_ns().saturating_sub(t0));
         }
         Ok(())
+    }
+
+    /// Events still sitting in spill logs (durable but undelivered).
+    fn spilled_remaining(&self) -> u64 {
+        self.stations
+            .iter()
+            .filter_map(|s| s.spill.as_ref().map(SpillLog::len))
+            .sum()
     }
 }

@@ -153,6 +153,19 @@ impl Sink for StderrAlertSink {
                 Event::CheckpointWritten { bytes, .. } => {
                     writeln!(out, "checkpoint: {bytes} bytes")?;
                 }
+                Event::Degraded { sink, reason } => {
+                    writeln!(
+                        out,
+                        "warning: sink '{sink}' degraded ({reason}); events spill to disk until \
+                         it recovers"
+                    )?;
+                }
+                Event::Recovered { sink, replayed } => {
+                    writeln!(
+                        out,
+                        "sink '{sink}' recovered; {replayed} spilled events replayed in order"
+                    )?;
+                }
             }
         }
         out.flush()

@@ -112,6 +112,18 @@ fn encode(buf: &mut String, event: &Event) {
                 "{{\"type\":\"checkpoint\",\"bytes\":{bytes},\"bags\":{bags}}}"
             ));
         }
+        Event::Degraded { sink, reason } => {
+            buf.push_str("{\"type\":\"degraded\",\"sink\":");
+            push_json_str(buf, sink);
+            buf.push_str(",\"reason\":");
+            push_json_str(buf, reason);
+            buf.push('}');
+        }
+        Event::Recovered { sink, replayed } => {
+            buf.push_str("{\"type\":\"recovered\",\"sink\":");
+            push_json_str(buf, sink);
+            buf.push_str(&format!(",\"replayed\":{replayed}}}"));
+        }
     }
 }
 

@@ -25,20 +25,30 @@
 //!   optional repeat-warning rate limit.
 //! - [`MetricsSink`] — the telemetry registry rendered as Prometheus
 //!   text exposition on every durable flush.
-//! - [`Tee`] — deliver to two sinks; both must accept and both must
-//!   flush for the pipeline to proceed.
+//! - [`Tee`] — deliver to two sinks; both always see every batch, and
+//!   the first error is reported after both ran.
 //! - [`MemorySink`] — collect events in memory behind a shared handle
 //!   (tests, embedding hosts).
+//! - [`RetryingSink`] — wrap any sink with a [`RetryPolicy`]: bounded
+//!   exponential backoff with deterministic jitter for transient I/O
+//!   errors.
+//! - [`SpillLog`] — the durable append-only event log degraded-mode
+//!   egress spills to (see the fault-tolerance notes on
+//!   [`crate::PipelineBuilder::spill_dir`]).
 
 mod alert;
 mod csv;
 mod json;
 mod metrics;
+mod retry;
+mod spill;
 
 pub use alert::StderrAlertSink;
 pub use csv::{CsvSchema, CsvSink};
 pub use json::JsonLinesSink;
 pub use metrics::MetricsSink;
+pub use retry::{RetryPolicy, RetryingSink};
+pub use spill::SpillLog;
 
 use crate::event::Event;
 use std::io;
@@ -92,8 +102,9 @@ impl Sink for Box<dyn Sink> {
     }
 }
 
-/// Deliver every event to two sinks. Delivery is sequential (`a` then
-/// `b`) and fails on the first error — the pipeline then treats the
+/// Deliver every event to two sinks. Both sinks see every batch even
+/// when one fails — a fault in `a` must not starve `b` — and the first
+/// error is reported once both have run. The pipeline then treats the
 /// batch as undelivered for checkpoint purposes, which is the
 /// conservative choice: re-delivery on resume may duplicate events into
 /// the sink that had already accepted them, but never lose any.
@@ -111,13 +122,15 @@ impl<A: Sink, B: Sink> Tee<A, B> {
 
 impl<A: Sink, B: Sink> Sink for Tee<A, B> {
     fn deliver(&mut self, events: &[Event]) -> io::Result<()> {
-        self.a.deliver(events)?;
-        self.b.deliver(events)
+        let a = self.a.deliver(events);
+        let b = self.b.deliver(events);
+        a.and(b)
     }
 
     fn flush_durable(&mut self) -> io::Result<()> {
-        self.a.flush_durable()?;
-        self.b.flush_durable()
+        let a = self.a.flush_durable();
+        let b = self.b.flush_durable();
+        a.and(b)
     }
 
     fn kind(&self) -> &'static str {

@@ -1,0 +1,571 @@
+//! [`SpillLog`]: the durable append-only event log behind degraded-mode
+//! egress.
+//!
+//! When a sink exhausts its delivery attempts, the pipeline stops
+//! handing it batches and appends them here instead. The format is a
+//! sequence of length-prefixed, FNV-checksummed frames after an 8-byte
+//! magic, so:
+//!
+//! - appends are crash-safe: a `kill -9` mid-append leaves a torn final
+//!   frame, which [`SpillLog::open`] detects (bad length, bad checksum,
+//!   short read) and truncates away — the log never replays garbage;
+//! - [`SpillLog::sync`] is an `fsync`, which is what lets a checkpoint
+//!   commit over spilled events without violating the two-phase
+//!   contract ("durably spilled" stands in for "durably delivered");
+//! - replay is in append order, so a recovered sink sees exactly the
+//!   event sequence a fault-free run would have delivered.
+//!
+//! Encoding is hand-rolled (no serde in this workspace): little-endian
+//! integers, f64 bit patterns, length-prefixed UTF-8.
+
+use crate::event::{Event, QuarantineRecord};
+use crate::ingest::source::SourceError;
+use bagcpd::{ConfidenceInterval, ScorePoint};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::hash::Fnv1a;
+
+const MAGIC: &[u8; 8] = b"BCPDSPL1";
+/// Frame header: u32 payload length + u64 FNV-1a of the payload.
+const FRAME_HEADER: usize = 4 + 8;
+/// Refuse absurd frame lengths (a torn length prefix can decode to
+/// anything); no legitimate event batch frame approaches this.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A durable append-only log of [`Event`]s. See the module docs for
+/// format and crash-safety properties.
+pub struct SpillLog {
+    file: File,
+    path: PathBuf,
+    events: u64,
+}
+
+impl SpillLog {
+    /// Open (or create) the log at `path`, scanning existing frames and
+    /// truncating a torn tail left by a crash mid-append.
+    ///
+    /// # Errors
+    /// I/O failure, or an existing file whose magic is not a spill log
+    /// (refusing to truncate a file this module does not own).
+    pub fn open(path: &Path) -> io::Result<SpillLog> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            return Ok(SpillLog {
+                file,
+                path: path.to_path_buf(),
+                events: 0,
+            });
+        }
+        let mut magic = [0u8; 8];
+        let got = read_up_to(&mut file, &mut magic)?;
+        if got < 8 || &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a spill log (bad magic)", path.display()),
+            ));
+        }
+        // Scan frames; stop at the first torn/corrupt one and truncate.
+        let mut good_end = 8u64;
+        let mut events = 0u64;
+        let mut header = [0u8; FRAME_HEADER];
+        let mut payload = Vec::new();
+        loop {
+            if read_up_to(&mut file, &mut header)? < FRAME_HEADER {
+                break;
+            }
+            let frame_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let sum = u64::from_le_bytes([
+                header[4], header[5], header[6], header[7], header[8], header[9], header[10],
+                header[11],
+            ]);
+            if frame_len == 0 || frame_len > MAX_FRAME {
+                break;
+            }
+            payload.resize(frame_len as usize, 0);
+            if read_up_to(&mut file, &mut payload)? < frame_len as usize {
+                break;
+            }
+            if Fnv1a::hash(&payload) != sum {
+                break;
+            }
+            let Some(decoded) = decode_events(&payload) else {
+                break;
+            };
+            events += decoded;
+            good_end += (FRAME_HEADER + frame_len as usize) as u64;
+        }
+        if good_end < len {
+            file.set_len(good_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(SpillLog {
+            file,
+            path: path.to_path_buf(),
+            events,
+        })
+    }
+
+    /// Where this log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events recorded (durable or pending [`SpillLog::sync`]).
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Append a batch of events as one frame. Durable only after
+    /// [`SpillLog::sync`].
+    ///
+    /// # Errors
+    /// I/O failure; the frame may be torn on disk, which the next
+    /// [`SpillLog::open`] truncates away.
+    pub fn append(&mut self, events: &[Event]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(64 * events.len());
+        put_u32(&mut payload, events.len() as u32);
+        for event in events {
+            encode_event(&mut payload, event);
+        }
+        if payload.len() as u64 > u64::from(MAX_FRAME) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spill batch exceeds the maximum frame size",
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&Fnv1a::hash(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.events += events.len() as u64;
+        Ok(())
+    }
+
+    /// Make every appended frame durable (`fsync`).
+    ///
+    /// # Errors
+    /// I/O failure; the pipeline must not checkpoint over the spill.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Read back every event, in append order. The write position is
+    /// unaffected.
+    ///
+    /// # Errors
+    /// I/O failure. Torn tails never error here: `open` already
+    /// truncated them, and frames appended by this process are
+    /// well-formed; a frame that still fails to decode reports
+    /// `InvalidData`.
+    pub fn replay(&mut self) -> io::Result<Vec<Event>> {
+        self.file.seek(SeekFrom::Start(8))?;
+        let mut out = Vec::new();
+        let mut header = [0u8; FRAME_HEADER];
+        let mut payload = Vec::new();
+        loop {
+            if read_up_to(&mut self.file, &mut header)? < FRAME_HEADER {
+                break;
+            }
+            let frame_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            if frame_len == 0 || frame_len > MAX_FRAME {
+                break;
+            }
+            payload.resize(frame_len as usize, 0);
+            if read_up_to(&mut self.file, &mut payload)? < frame_len as usize {
+                break;
+            }
+            if !decode_into(&payload, &mut out) {
+                self.file.seek(SeekFrom::End(0))?;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("undecodable frame in {}", self.path.display()),
+                ));
+            }
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(out)
+    }
+
+    /// Drop every recorded event: truncate back to the magic and sync.
+    ///
+    /// # Errors
+    /// I/O failure.
+    pub fn clear(&mut self) -> io::Result<()> {
+        self.file.set_len(8)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_data()?;
+        self.events = 0;
+        Ok(())
+    }
+}
+
+/// Read until `buf` is full or EOF; returns bytes read (an `Interrupted`
+/// read is retried).
+fn read_up_to(file: &mut File, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_event(buf: &mut Vec<u8>, event: &Event) {
+    match event {
+        Event::Point { stream, point } => {
+            buf.push(0);
+            put_str(buf, stream);
+            put_u64(buf, point.t as u64);
+            put_f64(buf, point.score);
+            put_f64(buf, point.ci.lo);
+            put_f64(buf, point.ci.up);
+            match point.xi {
+                Some(xi) => {
+                    buf.push(1);
+                    put_f64(buf, xi);
+                }
+                None => buf.push(0),
+            }
+            buf.push(u8::from(point.alert));
+        }
+        Event::StreamError { stream, message } => {
+            buf.push(1);
+            put_str(buf, stream);
+            put_str(buf, message);
+        }
+        Event::Quarantine(record) => {
+            buf.push(2);
+            put_str(buf, &record.stream);
+            match &record.error {
+                SourceError::Io(m) => {
+                    buf.push(0);
+                    put_str(buf, m);
+                }
+                SourceError::Data(m) => {
+                    buf.push(1);
+                    put_str(buf, m);
+                }
+            }
+        }
+        Event::Note(text) => {
+            buf.push(3);
+            put_str(buf, text);
+        }
+        Event::CheckpointWritten { bytes, bags } => {
+            buf.push(4);
+            put_u64(buf, *bytes as u64);
+            put_u64(buf, *bags);
+        }
+        Event::Degraded { sink, reason } => {
+            buf.push(5);
+            put_str(buf, sink);
+            put_str(buf, reason);
+        }
+        Event::Recovered { sink, replayed } => {
+            buf.push(6);
+            put_str(buf, sink);
+            put_u64(buf, *replayed);
+        }
+    }
+}
+
+/// Count the events a payload holds without materializing them (used by
+/// the `open` scan). `None` on any malformed byte.
+fn decode_events(payload: &[u8]) -> Option<u64> {
+    let mut scratch = Vec::new();
+    if decode_into(payload, &mut scratch) {
+        Some(scratch.len() as u64)
+    } else {
+        None
+    }
+}
+
+/// Decode one frame payload (count-prefixed events) into `out`; false
+/// on any malformed byte, in which case `out` is left as it was.
+fn decode_into(payload: &[u8], out: &mut Vec<Event>) -> bool {
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let Some(count) = cur.u32() else { return false };
+    let mark = out.len();
+    for _ in 0..count {
+        let Some(event) = decode_event(&mut cur) else {
+            out.truncate(mark);
+            return false;
+        };
+        out.push(event);
+    }
+    if cur.pos != payload.len() {
+        out.truncate(mark);
+        return false;
+    }
+    true
+}
+
+fn decode_event(cur: &mut Cursor<'_>) -> Option<Event> {
+    match cur.u8()? {
+        0 => {
+            let stream: Arc<str> = Arc::from(cur.str()?);
+            let t = cur.u64()? as usize;
+            let score = cur.f64()?;
+            let lo = cur.f64()?;
+            let up = cur.f64()?;
+            let xi = match cur.u8()? {
+                0 => None,
+                1 => Some(cur.f64()?),
+                _ => return None,
+            };
+            let alert = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            Some(Event::Point {
+                stream,
+                point: ScorePoint {
+                    t,
+                    score,
+                    ci: ConfidenceInterval { lo, up },
+                    xi,
+                    alert,
+                },
+            })
+        }
+        1 => Some(Event::StreamError {
+            stream: Arc::from(cur.str()?),
+            message: cur.str()?.to_string(),
+        }),
+        2 => {
+            let stream: Arc<str> = Arc::from(cur.str()?);
+            let error = match cur.u8()? {
+                0 => SourceError::Io(cur.str()?.to_string()),
+                1 => SourceError::Data(cur.str()?.to_string()),
+                _ => return None,
+            };
+            Some(Event::Quarantine(QuarantineRecord { stream, error }))
+        }
+        3 => Some(Event::Note(cur.str()?.to_string())),
+        4 => Some(Event::CheckpointWritten {
+            bytes: cur.u64()? as usize,
+            bags: cur.u64()?,
+        }),
+        5 => Some(Event::Degraded {
+            sink: cur.str()?.to_string(),
+            reason: cur.str()?.to_string(),
+        }),
+        6 => Some(Event::Recovered {
+            sink: cur.str()?.to_string(),
+            replayed: cur.u64()?,
+        }),
+        _ => None,
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(stream: &str, t: usize) -> Event {
+        Event::Point {
+            stream: Arc::from(stream),
+            point: ScorePoint {
+                t,
+                score: 0.5 + t as f64,
+                ci: ConfidenceInterval {
+                    lo: 0.1,
+                    up: 0.9 + t as f64,
+                },
+                xi: if t.is_multiple_of(2) {
+                    Some(-0.25)
+                } else {
+                    None
+                },
+                alert: t.is_multiple_of(3),
+            },
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            point("a", 0),
+            point("b", 1),
+            Event::StreamError {
+                stream: Arc::from("a"),
+                message: "bad bag".into(),
+            },
+            Event::Quarantine(QuarantineRecord {
+                stream: Arc::from("q"),
+                error: SourceError::Data("backwards time".into()),
+            }),
+            Event::Note("rotated".into()),
+            Event::CheckpointWritten { bytes: 77, bags: 4 },
+            Event::Degraded {
+                sink: "csv".into(),
+                reason: "refused".into(),
+            },
+            Event::Recovered {
+                sink: "csv".into(),
+                replayed: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant_across_reopen() {
+        let dir = tempdir();
+        let path = dir.join("log.spill");
+        let events = sample_events();
+        {
+            let mut log = SpillLog::open(&path).unwrap();
+            log.append(&events[..3]).unwrap();
+            log.append(&events[3..]).unwrap();
+            log.sync().unwrap();
+            assert_eq!(log.len(), events.len() as u64);
+            assert_eq!(log.replay().unwrap(), events);
+            // Replay is repeatable and does not disturb appends.
+            log.append(&[Event::Note("tail".into())]).unwrap();
+            assert_eq!(log.len(), events.len() as u64 + 1);
+        }
+        let mut log = SpillLog::open(&path).unwrap();
+        assert_eq!(log.len(), events.len() as u64 + 1);
+        let replayed = log.replay().unwrap();
+        assert_eq!(&replayed[..events.len()], &events[..]);
+        assert_eq!(replayed.last(), Some(&Event::Note("tail".into())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tempdir();
+        let path = dir.join("torn.spill");
+        let events = sample_events();
+        {
+            let mut log = SpillLog::open(&path).unwrap();
+            log.append(&events).unwrap();
+            log.append(&[Event::Note("will be torn".into())]).unwrap();
+            log.sync().unwrap();
+        }
+        // Tear the final frame, as a kill -9 mid-append would.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let mut log = SpillLog::open(&path).unwrap();
+        assert_eq!(log.len(), events.len() as u64, "torn frame dropped whole");
+        assert_eq!(log.replay().unwrap(), events);
+        // The log stays appendable after truncation.
+        log.append(&[Event::Note("after".into())]).unwrap();
+        log.sync().unwrap();
+        let log = SpillLog::open(&path).unwrap();
+        assert_eq!(log.len(), events.len() as u64 + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refuses_foreign_files_and_clears() {
+        let dir = tempdir();
+        let foreign = dir.join("foreign.bin");
+        std::fs::write(&foreign, b"not a spill log at all").unwrap();
+        assert!(SpillLog::open(&foreign).is_err());
+
+        let path = dir.join("clear.spill");
+        let mut log = SpillLog::open(&path).unwrap();
+        log.append(&sample_events()).unwrap();
+        log.clear().unwrap();
+        assert!(log.is_empty());
+        assert!(log.replay().unwrap().is_empty());
+        log.append(&[Event::Note("fresh".into())]).unwrap();
+        assert_eq!(log.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bagscpd-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

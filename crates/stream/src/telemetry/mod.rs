@@ -100,6 +100,25 @@ pub mod names {
     pub const METRICS_SCRAPES: &str = "bagscpd_metrics_scrapes_total";
     /// Diagnostic lines suppressed by the stderr sink's rate limit.
     pub const STDERR_SUPPRESSED: &str = "bagscpd_stderr_lines_suppressed_total";
+    /// Delivery/flush attempts retried by [`crate::sink::RetryingSink`],
+    /// labeled `sink`.
+    pub const SINK_RETRIES: &str = "bagscpd_sink_retries_total";
+    /// Backoff pause before each retry, in seconds (histogram).
+    pub const SINK_RETRY_BACKOFF_SECONDS: &str = "bagscpd_sink_retry_backoff_seconds";
+    /// Sinks currently in degraded mode (spilling instead of
+    /// delivering).
+    pub const EGRESS_DEGRADED: &str = "bagscpd_egress_degraded";
+    /// Events appended to durable spill logs while degraded.
+    pub const EGRESS_SPILLED_EVENTS: &str = "bagscpd_egress_spilled_events_total";
+    /// Wall-clock seconds per spill replay on sink recovery (histogram).
+    pub const EGRESS_SPILL_REPLAY_SECONDS: &str = "bagscpd_egress_spill_replay_seconds";
+    /// Lines refused from unauthenticated TCP connections.
+    pub const INGEST_TCP_AUTH_FAILURES: &str = "bagscpd_ingest_tcp_auth_failures_total";
+    /// `!busy`/`!ready` backpressure transitions broadcast to TCP
+    /// clients.
+    pub const INGEST_TCP_BACKPRESSURE: &str = "bagscpd_ingest_tcp_backpressure_transitions_total";
+    /// Idle streams evicted (detector retired, cursor dropped).
+    pub const INGEST_STREAMS_EVICTED: &str = "bagscpd_ingest_streams_evicted_total";
 }
 
 /// Default latency buckets (seconds), spanning sub-microsecond EMD

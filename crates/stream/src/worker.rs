@@ -7,6 +7,7 @@ use crate::online::{OnlineDetector, OnlineState};
 use crate::telemetry::{names, Counter, Gauge, MetricsRegistry, SolveTimer, LATENCY_BUCKETS};
 use bagcpd::{derive_seed, Bag, Detector, EvalScratch, SolverStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 
@@ -216,6 +217,7 @@ pub(crate) fn run(
     events: SyncSender<Event>,
     batch_size: usize,
     mut telemetry: Option<WorkerTelemetry>,
+    in_flight: Arc<AtomicU64>,
 ) {
     let mut shard = Shard {
         registry: HashMap::new(),
@@ -242,6 +244,10 @@ pub(crate) fn run(
         if let Some(t) = &telemetry {
             t.tick(batch.len());
         }
+        let pushes = batch
+            .iter()
+            .filter(|m| matches!(m, Msg::Push { .. }))
+            .count() as u64;
         let result = tick(
             &detector,
             &mut shard,
@@ -249,6 +255,11 @@ pub(crate) fn run(
             &events,
             telemetry.as_ref(),
         );
+        // Settle the engine's in-flight count only after the tick: a bag
+        // being evaluated still occupies the pipeline for backpressure
+        // purposes. The producer increments before sending, so this can
+        // never underflow.
+        in_flight.fetch_sub(pushes, Ordering::Relaxed);
         if let Some(t) = &mut telemetry {
             t.fold_solver(shard.emd.solver_stats());
         }

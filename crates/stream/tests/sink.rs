@@ -510,3 +510,49 @@ fn flush_durable_failure_blocks_the_commit_even_after_delivery() {
         "a checkpoint must not be committed before flush_durable succeeds"
     );
 }
+
+// ---------------------------------------------------------------------
+// Tee partial failure: a fault in one leg must not starve the other.
+// ---------------------------------------------------------------------
+
+/// Refuses every delivery and every flush with a fixed error.
+struct RefusingSink;
+
+impl Sink for RefusingSink {
+    fn deliver(&mut self, _events: &[Event]) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::ConnectionReset, "leg down"))
+    }
+
+    fn flush_durable(&mut self) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::ConnectionReset, "leg down"))
+    }
+}
+
+#[test]
+fn tee_delivers_to_the_healthy_leg_and_reports_the_first_error() {
+    let events = vec![
+        Event::Note("n0".into()),
+        Event::Note("n1".into()),
+        Event::Note("n2".into()),
+    ];
+
+    // Failing leg first: the healthy leg must still see the batch.
+    let healthy = MemorySink::new();
+    let mut tee = Tee::new(RefusingSink, healthy.clone());
+    let err = tee.deliver(&events).expect_err("the failed leg's error");
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    assert_eq!(
+        healthy.events().len(),
+        3,
+        "b must not be starved by a's fault"
+    );
+    let err = tee.flush_durable().expect_err("flush reports too");
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+
+    // Failing leg second: same batch coverage, same (first) error out.
+    let healthy = MemorySink::new();
+    let mut tee = Tee::new(healthy.clone(), RefusingSink);
+    let err = tee.deliver(&events).expect_err("the failed leg's error");
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    assert_eq!(healthy.events().len(), 3, "a delivered before b failed");
+}

@@ -84,9 +84,10 @@ use bags_cpd::stream::ingest::parse_row;
 use bags_cpd::stream::ingest::{
     CsvFileSource, DirSource, MemorySource, TcpLimits, TcpSource, ThreadedLineSource,
 };
+use bags_cpd::stream::testkit::{ChaosSink, DeliverFault, FaultSchedule};
 use bags_cpd::stream::{
-    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, MetricSample, Pipeline, PipelineBuilder,
-    StderrAlertSink,
+    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, MetricSample, MetricsRegistry, Pipeline,
+    PipelineBuilder, RetryPolicy, RetryingSink, Sink, StderrAlertSink,
 };
 use bags_cpd::{
     Bag, BootstrapConfig, DetectError, Detector, DetectorConfig, ScoreKind, SignatureMethod,
@@ -141,6 +142,23 @@ struct Options {
     metrics: Option<String>,
     /// Print the final telemetry snapshot to stderr on exit.
     stats: bool,
+    /// serve + --listen: required `auth <token>` handshake.
+    auth_token: Option<String>,
+    /// serve + --listen: idle-stream eviction window (seconds).
+    evict_idle: Option<f64>,
+    /// serve + --listen: reconnect grace before a draining session
+    /// winds down (seconds).
+    drain_grace: Option<f64>,
+    /// serve: directory for degraded-mode spill logs (enables graceful
+    /// degradation instead of aborting on sink failure).
+    spill_dir: Option<String>,
+    /// serve: wrap the stdout sink in a retry layer with this many
+    /// attempts.
+    sink_retries: Option<u32>,
+    /// serve: inject a deterministic stdout-sink fault
+    /// (`<at_event>:<failures>`) — the chaos-testing hook the CI smoke
+    /// test drives.
+    chaos_sink: Option<(u64, u32)>,
 }
 
 const USAGE: &str = "\
@@ -188,6 +206,26 @@ options:
   --metrics <addr>       serve: answer Prometheus 'GET /metrics' scrapes
                          on addr (port 0 picks a free port; the bound
                          address is printed on stderr)
+  --auth-token <tok>     serve: require every TCP connection to open
+                         with 'auth <tok>' (answered '!ok'); anything
+                         before a successful handshake is refused
+                         ('!denied') and counted
+  --evict-idle <secs>    serve: retire TCP streams silent for this long
+                         (their trailing bag completes; a returning
+                         stream starts fresh)
+  --drain-grace <secs>   serve: without --watch, keep the TCP listener
+                         draining this long after the last client
+                         disconnects (reconnect window; default 0.2)
+  --spill-dir <dir>      serve: degrade instead of abort when a sink
+                         fails — undeliverable events spill to an
+                         append-only log in dir and replay, in order,
+                         when the sink recovers
+  --sink-retries <n>     serve: retry transient stdout-sink failures up
+                         to n attempts (bounded exponential backoff)
+                         before degrading or aborting
+  --chaos-sink <a>:<f>   serve: inject a deterministic stdout-sink fault
+                         for testing — the delivery containing event
+                         ordinal a fails f times, then heals
   --stats                print the final telemetry snapshot (every
                          counter, gauge, and histogram) to stderr
   --help                 show this message
@@ -218,6 +256,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         checkpoint_ticks: None,
         metrics: None,
         stats: false,
+        auth_token: None,
+        evict_idle: None,
+        drain_grace: None,
+        spill_dir: None,
+        sink_retries: None,
+        chaos_sink: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -311,6 +355,48 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--checkpoint-ticks: {e}"))?,
                 );
             }
+            "--auth-token" => opts.auth_token = Some(take("--auth-token")?),
+            "--evict-idle" => {
+                let secs: f64 = take("--evict-idle")?
+                    .parse()
+                    .map_err(|e| format!("--evict-idle: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--evict-idle: need a positive number of seconds".to_string());
+                }
+                opts.evict_idle = Some(secs);
+            }
+            "--drain-grace" => {
+                let secs: f64 = take("--drain-grace")?
+                    .parse()
+                    .map_err(|e| format!("--drain-grace: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--drain-grace: need a non-negative number of seconds".to_string());
+                }
+                opts.drain_grace = Some(secs);
+            }
+            "--spill-dir" => opts.spill_dir = Some(take("--spill-dir")?),
+            "--sink-retries" => {
+                let n: u32 = take("--sink-retries")?
+                    .parse()
+                    .map_err(|e| format!("--sink-retries: {e}"))?;
+                if n == 0 {
+                    return Err("--sink-retries: need at least 1 attempt".to_string());
+                }
+                opts.sink_retries = Some(n);
+            }
+            "--chaos-sink" => {
+                let spec = take("--chaos-sink")?;
+                let (at, failures) = spec.split_once(':').ok_or_else(|| {
+                    format!("--chaos-sink: '{spec}' is not '<at_event>:<failures>'")
+                })?;
+                opts.chaos_sink = Some((
+                    at.parse()
+                        .map_err(|e| format!("--chaos-sink: bad event ordinal '{at}': {e}"))?,
+                    failures.parse().map_err(|e| {
+                        format!("--chaos-sink: bad failure count '{failures}': {e}")
+                    })?,
+                ));
+            }
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown option {other}\n\n{USAGE}"))
             }
@@ -338,11 +424,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.watch
             || opts.max_line_bytes.is_some()
             || opts.max_streams.is_some()
-            || opts.metrics.is_some())
+            || opts.metrics.is_some()
+            || opts.auth_token.is_some()
+            || opts.evict_idle.is_some()
+            || opts.drain_grace.is_some()
+            || opts.spill_dir.is_some()
+            || opts.sink_retries.is_some()
+            || opts.chaos_sink.is_some())
     {
         return Err(
-            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams/--metrics are \
-             serve-mode options"
+            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams/--metrics/\
+             --auth-token/--evict-idle/--drain-grace/--spill-dir/--sink-retries/--chaos-sink \
+             are serve-mode options"
                 .to_string(),
         );
     }
@@ -365,6 +458,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         if (opts.max_line_bytes.is_some() || opts.max_streams.is_some()) && opts.listen.is_none() {
             return Err("--max-line-bytes/--max-streams need --listen".to_string());
+        }
+        if (opts.auth_token.is_some() || opts.evict_idle.is_some() || opts.drain_grace.is_some())
+            && opts.listen.is_none()
+        {
+            return Err("--auth-token/--evict-idle/--drain-grace need --listen".to_string());
         }
         return Ok(opts);
     }
@@ -600,12 +698,44 @@ fn run_follow(opts: &Options) -> Result<(), String> {
 
 fn run_serve(opts: &Options) -> Result<(), String> {
     build_detector(opts)?;
+    // Shared registry so host-side sink wrappers (retry layer) and the
+    // pipeline's own layers record into one scrape surface.
+    let registry = MetricsRegistry::new();
+
+    // Compose the stdout sink inside-out: CSV, then the optional
+    // injected fault (below the retry layer, where a real I/O failure
+    // would originate), then the optional retry layer.
+    let csv = CsvSink::with_schema(std::io::stdout(), CsvSchema::legacy_stdout(true));
+    let mut stdout_sink: Box<dyn Sink> = match opts.chaos_sink {
+        Some((at_event, failures)) => {
+            let schedule = FaultSchedule {
+                deliver: vec![DeliverFault {
+                    at_event,
+                    failures,
+                    kind: std::io::ErrorKind::TimedOut,
+                    torn: 0,
+                }],
+                flush: Vec::new(),
+            };
+            Box::new(ChaosSink::new(csv, schedule))
+        }
+        None => Box::new(csv),
+    };
+    if let Some(attempts) = opts.sink_retries {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            ..RetryPolicy::default()
+        };
+        stdout_sink = Box::new(RetryingSink::new(stdout_sink, policy).with_metrics(&registry));
+    }
+
     let mut builder = pipeline_builder(opts, 4, false)
-        .sink(CsvSink::with_schema(
-            std::io::stdout(),
-            CsvSchema::legacy_stdout(true),
-        ))
+        .metrics(registry)
+        .sink_boxed(stdout_sink)
         .sink(StderrAlertSink::new(true));
+    if let Some(dir) = &opts.spill_dir {
+        builder = builder.spill_dir(dir);
+    }
 
     let mut stems = std::collections::HashSet::new();
     for path in &opts.csvs {
@@ -633,7 +763,16 @@ fn run_serve(opts: &Options) -> Result<(), String> {
             max_line_bytes: opts.max_line_bytes.unwrap_or(defaults.max_line_bytes),
             max_streams: opts.max_streams.unwrap_or(defaults.max_streams),
         };
-        let tcp = TcpSource::bind_with(addr, opts.watch, limits).map_err(|e| e.to_string())?;
+        let mut tcp = TcpSource::bind_with(addr, opts.watch, limits).map_err(|e| e.to_string())?;
+        if let Some(token) = &opts.auth_token {
+            tcp.set_auth_token(token.clone());
+        }
+        if let Some(secs) = opts.evict_idle {
+            tcp.set_evict_idle(std::time::Duration::from_secs_f64(secs));
+        }
+        if let Some(secs) = opts.drain_grace {
+            tcp.set_drain_grace(std::time::Duration::from_secs_f64(secs));
+        }
         if let Some(local) = tcp.local_addr() {
             eprintln!("listening on {local} (line protocol: stream,t,x1,...)");
         }
@@ -670,6 +809,13 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         "serve done: {} bags, {} inspection points, {} checkpoint(s), {} quarantined stream(s)",
         summary.bags, summary.points, summary.checkpoints, summary.quarantined_total
     );
+    if summary.spilled_events > 0 {
+        eprintln!(
+            "warning: exited degraded: {} event(s) remain spilled on disk and will replay \
+             when the session resumes",
+            summary.spilled_events
+        );
+    }
     if opts.stats {
         print_stats(&summary.metrics);
     }

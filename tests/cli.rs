@@ -1072,3 +1072,63 @@ fn serve_mode_metrics_endpoint_answers_prometheus_scrapes() {
     child.kill().expect("kill serve");
     let _ = child.wait();
 }
+
+#[test]
+fn fault_tolerance_flags_are_validated() {
+    // All six fault-domain flags are serve-only.
+    for args in [
+        ["x.csv", "--auth-token", "t"],
+        ["x.csv", "--spill-dir", "d"],
+        ["x.csv", "--sink-retries", "3"],
+        ["x.csv", "--chaos-sink", "5:2"],
+    ] {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("serve-mode"),
+            "{args:?}"
+        );
+    }
+
+    // The connection-level ones additionally need a TCP listener.
+    let out = bin()
+        .args(["serve", "--csv", "x.csv", "--auth-token", "t"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("need --listen"));
+
+    // Value validation: zero/garbage are refused up front.
+    let cases: [(&[&str], &str); 4] = [
+        (
+            &["serve", "--csv", "x.csv", "--evict-idle", "0"],
+            "positive",
+        ),
+        (
+            &[
+                "serve",
+                "--csv",
+                "x.csv",
+                "--listen",
+                "127.0.0.1:0",
+                "--drain-grace",
+                "-3",
+            ],
+            "non-negative",
+        ),
+        (
+            &["serve", "--csv", "x.csv", "--sink-retries", "0"],
+            "at least 1",
+        ),
+        (
+            &["serve", "--csv", "x.csv", "--chaos-sink", "nope"],
+            "<at_event>:<failures>",
+        ),
+    ];
+    for (args, want) in cases {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(want), "{args:?}: {stderr}");
+    }
+}
