@@ -86,9 +86,11 @@ pub struct BootstrapScratch {
     alpha_ref: Vec<f64>,
     /// Dirichlet concentrations of the test-window posterior.
     alpha_test: Vec<f64>,
-    /// Resampled reference-window weights.
+    /// Per-replicate RNG streams for the batched draws.
+    rngs: Vec<rand::rngs::StdRng>,
+    /// Resampled reference-window weights, one row per replicate.
     weights_ref: Vec<f64>,
-    /// Resampled test-window weights.
+    /// Resampled test-window weights, one row per replicate.
     weights_test: Vec<f64>,
 }
 
@@ -155,12 +157,13 @@ pub fn bootstrap_ci_with(
 
     scratch.scores.clear();
     if cfg.threads <= 1 {
-        replicate_into(
+        replicate_batch_into(
             scorer,
             kind,
             &scratch.alpha_ref,
             &scratch.alpha_test,
             &scratch.seeds,
+            &mut scratch.rngs,
             &mut scratch.weights_ref,
             &mut scratch.weights_test,
             &mut scratch.scores,
@@ -195,6 +198,46 @@ pub fn bootstrap_ci_with(
     ConfidenceInterval {
         lo: quantile_sorted(&scratch.scores, cfg.alpha / 2.0),
         up: quantile_sorted(&scratch.scores, 1.0 - cfg.alpha / 2.0),
+    }
+}
+
+/// Evaluate all replicates with batched Dirichlet draws: all weight rows
+/// are filled in two component-major sweeps (one per window) before any
+/// score runs, instead of re-walking the alpha vectors per replicate.
+/// Rows are bit-identical to [`replicate_into`]'s per-replicate draws —
+/// each replicate's RNG sees the same stream — so the scores (and the
+/// CI) are unchanged.
+#[allow(clippy::too_many_arguments)]
+fn replicate_batch_into(
+    scorer: &WindowScorer,
+    kind: ScoreKind,
+    alpha_ref: &[f64],
+    alpha_test: &[f64],
+    seeds: &[u64],
+    rngs: &mut Vec<rand::rngs::StdRng>,
+    wr_rows: &mut Vec<f64>,
+    wt_rows: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let nr = alpha_ref.len();
+    let nt = alpha_test.len();
+    rngs.clear();
+    rngs.extend(
+        seeds
+            .iter()
+            .map(|&seed| rand::rngs::StdRng::seed_from_u64(seed)),
+    );
+    wr_rows.clear();
+    wr_rows.resize(seeds.len() * nr, 0.0);
+    wt_rows.clear();
+    wt_rows.resize(seeds.len() * nt, 0.0);
+    // Reference rows first, then test rows, continuing the same RNGs —
+    // the per-replicate draw order of `replicate_into`.
+    Dirichlet::sample_alpha_batch_into(alpha_ref, rngs, wr_rows);
+    Dirichlet::sample_alpha_batch_into(alpha_test, rngs, wt_rows);
+    out.reserve(seeds.len());
+    for (wr, wt) in wr_rows.chunks(nr).zip(wt_rows.chunks(nt)) {
+        out.push(scorer.score(kind, wr, wt));
     }
 }
 
@@ -371,6 +414,41 @@ mod tests {
                 &mut scratch,
             );
             assert_eq!(fresh, reused, "tau {tau} tau' {tau_prime}");
+        }
+    }
+
+    #[test]
+    fn batched_replicates_match_per_replicate_draws_bitwise() {
+        let s = scorer(&[0.0, 0.3, 0.6, 2.0, 2.3, 2.6], 3, 3);
+        let (wr, wt) = (equal_weights(3), equal_weights(3));
+        let mut alpha_ref = Vec::new();
+        let mut alpha_test = Vec::new();
+        Dirichlet::alpha_from_weights(&wr, &mut alpha_ref);
+        Dirichlet::alpha_from_weights(&wt, &mut alpha_test);
+        let seeds: Vec<u64> = (0..64).map(|i| 1000 + i * 17).collect();
+
+        let per_replicate = replicate_range(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &alpha_ref,
+            &alpha_test,
+            &seeds,
+        );
+        let mut batched = Vec::new();
+        replicate_batch_into(
+            &s,
+            ScoreKind::SymmetrizedKl,
+            &alpha_ref,
+            &alpha_test,
+            &seeds,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut batched,
+        );
+        assert_eq!(per_replicate.len(), batched.len());
+        for (i, (a, b)) in per_replicate.iter().zip(&batched).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "replicate {i}");
         }
     }
 

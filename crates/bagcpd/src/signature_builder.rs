@@ -3,8 +3,9 @@
 use crate::bag::Bag;
 use emd::{Chebyshev, Euclidean, GroundDistance, Manhattan, Signature};
 use quantize::{
-    histogram_grid, histogram_grid_with, kmeans, kmedoids, lvq_quantize, HistogramScratch,
-    HistogramSpec, KMeansConfig, KMedoidsConfig, LvqConfig,
+    histogram_grid, histogram_grid_with, kmeans, kmeans_with, kmedoids, kmedoids_with,
+    lvq_quantize, lvq_quantize_with, ClusterScratch, HistogramScratch, HistogramSpec, KMeansConfig,
+    KMedoidsConfig, LvqConfig,
 };
 use rand::{Rng, SeedableRng};
 
@@ -110,16 +111,18 @@ pub fn signature_at(
 /// tables plus pools of dismantled signatures ([`SignatureScratch::recycle`])
 /// whose point lists and weight buffers seed the next build.
 ///
-/// With the histogram method, a warm scratch makes the whole signature
-/// build **zero-allocation**: the retiring signature's buffers become
-/// the new signature's storage. Clustering methods draw and return the
-/// outer buffers too, but their quantizers still allocate internally.
+/// A warm scratch makes the whole signature build **zero-allocation**
+/// for every method: the retiring signature's buffers become the new
+/// signature's storage, the histogram tables are rebinned in place, and
+/// the clustering quantizers run entirely inside [`ClusterScratch`].
 #[derive(Debug, Clone, Default)]
 pub struct SignatureScratch {
     hist: HistogramScratch,
     /// Reused binning spec (rewritten in place per build — its two
     /// per-dimension vectors are the only other per-build storage).
     spec: Option<HistogramSpec>,
+    /// Working state for the scratch-backed clustering quantizers.
+    cluster: ClusterScratch,
     /// Recycled point lists (outer vector plus its inner vectors).
     points: Vec<Vec<Vec<f64>>>,
     /// Recycled weight buffers.
@@ -150,10 +153,10 @@ impl SignatureScratch {
 }
 
 /// As [`signature_at`], but drawing the signature's buffers from a
-/// caller-kept [`SignatureScratch`] — bit-identical output. With the
-/// histogram method and a warm scratch the build touches no heap;
-/// clustering methods fall back to [`signature_at`] (their quantizers
-/// allocate internally either way).
+/// caller-kept [`SignatureScratch`] — bit-identical output. With a warm
+/// scratch the build touches no heap for any method: the histogram is
+/// rebinned into recycled tables, and the clustering quantizers run
+/// their scratch-backed `*_with` variants on recycled center rows.
 ///
 /// # Panics
 /// As [`build_signature`].
@@ -165,13 +168,47 @@ pub fn signature_at_with(
     scratch: &mut SignatureScratch,
 ) -> Signature {
     let SignatureMethod::Histogram { width } = method else {
-        return signature_at(bag, method, master_seed, index);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(master_seed, index));
+        let mut centers = scratch.points.pop().unwrap_or_default();
+        let mut sig_weights = scratch.weights.pop().unwrap_or_default();
+        match method {
+            SignatureMethod::KMeans { k } => kmeans_with(
+                bag.points(),
+                &KMeansConfig::with_k(*k),
+                &mut rng,
+                &mut scratch.cluster,
+                &mut centers,
+                &mut sig_weights,
+            ),
+            SignatureMethod::KMedoids { k } => kmedoids_with(
+                bag.points(),
+                &KMedoidsConfig::with_k(*k),
+                &mut rng,
+                &mut scratch.cluster,
+                &mut centers,
+                &mut sig_weights,
+            ),
+            SignatureMethod::Lvq { k } => lvq_quantize_with(
+                bag.points(),
+                &LvqConfig::with_k(*k),
+                &mut rng,
+                &mut scratch.cluster,
+                &mut centers,
+                &mut sig_weights,
+            ),
+            // lint:allow(NO_PANIC_SURFACE, the let-else above diverted every histogram request)
+            SignatureMethod::Histogram { .. } => unreachable!("handled by the let-else above"),
+        }
+        return Signature::new(centers, sig_weights)
+            // lint:allow(NO_PANIC_SURFACE, quantizers emit non-empty positive-weight clusters by construction)
+            .expect("quantization always yields a valid signature");
     };
     let SignatureScratch {
         hist,
         spec,
         points,
         weights,
+        ..
     } = scratch;
     // Empty vecs: filled by the resizes below, no allocation here.
     let spec = spec.get_or_insert_with(HistogramSpec::default);
@@ -278,13 +315,23 @@ mod tests {
             assert_eq!(plain, pooled, "histogram build must be bit-identical");
             scratch.recycle(pooled);
         }
-        // Clustering methods delegate (and still accept recycling).
-        let b = bag();
-        let method = SignatureMethod::KMeans { k: 4 };
-        let plain = signature_at(&b, &method, 7, 3);
-        let pooled = signature_at_with(&b, &method, 7, 3, &mut scratch);
-        assert_eq!(plain, pooled);
-        scratch.recycle(pooled);
+        // Clustering methods run their scratch-backed builds — still
+        // bit-identical through the same dirty, recycling scratch.
+        for (t, method) in [
+            SignatureMethod::KMeans { k: 4 },
+            SignatureMethod::KMedoids { k: 3 },
+            SignatureMethod::Lvq { k: 5 },
+            SignatureMethod::KMeans { k: 9 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let b = bag();
+            let plain = signature_at(&b, &method, 7, t as u64);
+            let pooled = signature_at_with(&b, &method, 7, t as u64, &mut scratch);
+            assert_eq!(plain, pooled, "{method:?} build must be bit-identical");
+            scratch.recycle(pooled);
+        }
     }
 
     #[test]

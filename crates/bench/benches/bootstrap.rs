@@ -5,7 +5,7 @@ use bagcpd::{bootstrap_ci, BootstrapConfig, GroundMetric, ScoreKind, WindowScore
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd::Signature;
 use infoest::EstimatorConfig;
-use stats::seeded_rng;
+use stats::{seeded_rng, Dirichlet};
 
 fn scorer(window: usize) -> WindowScorer {
     let sigs: Vec<Signature> = (0..2 * window)
@@ -69,5 +69,48 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replicates, bench_threads);
+/// Per-replicate vs replicate-batched Dirichlet weight draws — the
+/// inner loop of every bootstrap evaluation. Both arms draw the same
+/// replicate rows from the same per-replicate RNG streams (the batched
+/// loop is bit-identical, just cache-friendly: one pass over the alpha
+/// vector filling a column across all replicates).
+fn bench_dirichlet_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_dirichlet_draws");
+    const REPLICATES: usize = 256;
+    for &dim in &[8usize, 32] {
+        let alpha = vec![1.0; dim];
+        // Pre-seeded per-replicate streams, cloned into each iteration
+        // (a state memcpy) so the timing isolates the draw loops from
+        // RNG seeding. Both arms consume identical streams.
+        let base: Vec<_> = (0..REPLICATES).map(|r| seeded_rng(r as u64)).collect();
+        group.bench_with_input(BenchmarkId::new("per_replicate", dim), &dim, |bench, &n| {
+            let mut out = vec![0.0; REPLICATES * n];
+            let mut rngs = base.clone();
+            bench.iter(|| {
+                rngs.clone_from_slice(&base);
+                for (r, rng) in rngs.iter_mut().enumerate() {
+                    Dirichlet::sample_alpha_into(&alpha, rng, &mut out[r * n..(r + 1) * n]);
+                }
+                out[0]
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", dim), &dim, |bench, &n| {
+            let mut out = vec![0.0; REPLICATES * n];
+            let mut rngs = base.clone();
+            bench.iter(|| {
+                rngs.clone_from_slice(&base);
+                Dirichlet::sample_alpha_batch_into(&alpha, &mut rngs, &mut out);
+                out[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replicates,
+    bench_threads,
+    bench_dirichlet_batch
+);
 criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! Cheap EMD bounds — the decision ladder of the tiered solver.
+//!
+//! Three classic results bracket the exact transportation value without
+//! running the simplex:
+//!
+//! 1. **Centroid lower bound** (Rubner et al.): for equal total masses
+//!    and a ground distance induced by a norm, the distance between the
+//!    weighted centroids is a lower bound of the EMD — by convexity,
+//!    `d(mean_a, mean_b) = d(Σ p_k w_k, Σ q_l w'_l) <= Σ f_kl d(p_k,
+//!    q_l)`.
+//! 2. **Projected 1-D lower bound**: projecting both signatures onto a
+//!    coordinate axis maps the optimal plan to a feasible 1-D plan, so
+//!    the exact 1-D EMD of any coordinate projection lower-bounds the
+//!    full EMD whenever the coordinate map is 1-Lipschitz under the
+//!    ground distance (true for Euclidean, Manhattan, and Chebyshev).
+//!    The maximum over coordinates is taken.
+//! 3. **Feasible-flow upper bound**: the cost of *any* feasible plan
+//!    upper-bounds the optimum; the northwest-corner greedy plan is
+//!    computed in `O(k + l)` after the ground costs and is valid
+//!    unconditionally (equal masses not required — it transports
+//!    exactly `min(W_a, W_b)`, the Eq. 11 total).
+//!
+//! The lower bounds require (near-)equal total masses because Eq. 12
+//! normalizes by the *transported* mass: with unequal masses part of
+//! the heavier signature is simply dropped and neither bound argument
+//! survives. The gate mirrors `one_d::emd_1d`'s relative tolerance.
+
+use crate::ground::GroundDistance;
+use crate::one_d::emd_1d_events;
+use crate::signature::Signature;
+
+/// Relative tolerance under which two total masses count as equal (the
+/// same gate [`crate::emd_1d`] applies).
+const MASS_TOL: f64 = 1e-9;
+
+/// Reusable buffers for the bound ladder: centroid accumulators and the
+/// merged 1-D event list. One scratch serves every pair a caller
+/// evaluates; warm calls allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LadderScratch {
+    centroid_a: Vec<f64>,
+    centroid_b: Vec<f64>,
+    events: Vec<(f64, f64)>,
+}
+
+impl LadderScratch {
+    /// Empty scratch; buffers grow to the signatures' shape on first use.
+    pub fn new() -> Self {
+        LadderScratch::default()
+    }
+}
+
+/// A `[lb, ub]` bracket around the exact EMD value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Proven lower bound (0 when no lower bound applies).
+    pub lb: f64,
+    /// Proven upper bound.
+    pub ub: f64,
+}
+
+impl Bracket {
+    /// Bracket width `ub - lb`.
+    pub fn width(&self) -> f64 {
+        self.ub - self.lb
+    }
+
+    /// Bracket midpoint — within `width / 2` of every value inside.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lb + self.ub)
+    }
+
+    /// Clamp `value` into the bracket (an estimate known to be
+    /// `<= width` from the exact value stays so after clamping).
+    pub fn clamp(&self, value: f64) -> f64 {
+        value.max(self.lb).min(self.ub)
+    }
+}
+
+/// The common total mass when `a` and `b` have equal masses (within the
+/// relative [`MASS_TOL`]); `None` otherwise.
+fn equal_masses(a: &Signature, b: &Signature) -> Option<f64> {
+    let wa = a.total_weight();
+    let wb = b.total_weight();
+    if wa > 0.0 && wb > 0.0 && (wa - wb).abs() <= MASS_TOL * wa.max(wb) {
+        Some(wa)
+    } else {
+        None
+    }
+}
+
+/// Accumulate the normalized weighted centroid of `s` into `out`.
+fn centroid_into(s: &Signature, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(s.dim(), 0.0);
+    for (p, w) in s.iter() {
+        for (o, &x) in out.iter_mut().zip(p) {
+            *o += w * x;
+        }
+    }
+    let total = s.total_weight();
+    for o in out.iter_mut() {
+        *o /= total;
+    }
+}
+
+/// Rubner's centroid lower bound: `d(mean_a, mean_b) <= EMD(a, b)`.
+///
+/// Sound only for equal total masses (returns `None` otherwise) and a
+/// ground distance induced by a norm — which covers every metric the
+/// detector exposes (Euclidean, Manhattan, Chebyshev, weighted
+/// Euclidean).
+pub fn centroid_lower_bound_with<G: GroundDistance>(
+    a: &Signature,
+    b: &Signature,
+    ground: &G,
+    scratch: &mut LadderScratch,
+) -> Option<f64> {
+    equal_masses(a, b)?;
+    centroid_into(a, &mut scratch.centroid_a);
+    centroid_into(b, &mut scratch.centroid_b);
+    Some(ground.distance(&scratch.centroid_a, &scratch.centroid_b))
+}
+
+/// Projected 1-D lower bound: the exact 1-D EMD of each coordinate
+/// projection, maximized over coordinates.
+///
+/// Sound only for equal total masses (returns `None` otherwise) and
+/// ground distances under which every coordinate map is 1-Lipschitz
+/// (`|x_c - y_c| <= d(x, y)`): Euclidean, Manhattan, Chebyshev. Not
+/// sound for a weighted Euclidean with a per-dimension weight below 1.
+pub fn projected_lower_bound_with(
+    a: &Signature,
+    b: &Signature,
+    scratch: &mut LadderScratch,
+) -> Option<f64> {
+    let mass = equal_masses(a, b)?;
+    let mut best = 0.0f64;
+    for c in 0..a.dim() {
+        scratch.events.clear();
+        for (p, w) in a.iter() {
+            scratch.events.push((p[c], w));
+        }
+        for (q, w) in b.iter() {
+            scratch.events.push((q[c], -w));
+        }
+        best = best.max(emd_1d_events(&mut scratch.events, mass));
+    }
+    Some(best)
+}
+
+/// Feasible-flow upper bound: the cost per unit flow of the
+/// northwest-corner greedy plan (walk both weight lists front to front,
+/// always transporting as much as the current pair allows). Valid for
+/// any ground distance and any masses — it is the cost of an actual
+/// feasible plan moving `min(W_a, W_b)`.
+pub fn feasible_upper_bound<G: GroundDistance>(a: &Signature, b: &Signature, ground: &G) -> f64 {
+    let (pa, wa) = (a.points(), a.weights());
+    let (pb, wb) = (b.points(), b.weights());
+    let mut i = 0;
+    let mut j = 0;
+    let mut ra = wa[0];
+    let mut rb = wb[0];
+    let mut cost = 0.0;
+    let mut flow = 0.0;
+    while i < pa.len() && j < pb.len() {
+        let f = ra.min(rb);
+        if f > 0.0 {
+            cost += f * ground.distance(&pa[i], &pb[j]);
+            flow += f;
+            ra -= f;
+            rb -= f;
+        }
+        // Advance whichever side ran dry (both on an exact tie: the f
+        // == 0 guard above tolerates zero-weight entries either way).
+        if ra <= rb {
+            i += 1;
+            if i < pa.len() {
+                ra = wa[i];
+            }
+        } else {
+            j += 1;
+            if j < pb.len() {
+                rb = wb[j];
+            }
+        }
+    }
+    if flow <= 0.0 {
+        return 0.0;
+    }
+    cost / flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{Chebyshev, Euclidean, Manhattan};
+    use crate::{emd, Signature};
+
+    fn sig(points: Vec<Vec<f64>>, weights: Vec<f64>) -> Signature {
+        Signature::new(points, weights).unwrap()
+    }
+
+    fn pair() -> (Signature, Signature) {
+        (
+            sig(
+                vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![4.0, 0.5]],
+                vec![1.0, 2.0, 0.5],
+            ),
+            sig(vec![vec![1.0, 0.0], vec![3.0, 2.0]], vec![2.5, 1.0]),
+        )
+    }
+
+    #[test]
+    fn centroid_bound_is_below_exact() {
+        let (a, b) = pair();
+        let mut scratch = LadderScratch::new();
+        let exact = emd(&a, &b, &Euclidean).unwrap();
+        let lb = centroid_lower_bound_with(&a, &b, &Euclidean, &mut scratch).unwrap();
+        assert!(lb <= exact + 1e-12, "{lb} vs {exact}");
+    }
+
+    #[test]
+    fn projection_bound_is_below_exact_for_lipschitz_metrics() {
+        let (a, b) = pair();
+        let mut scratch = LadderScratch::new();
+        let lb = projected_lower_bound_with(&a, &b, &mut scratch).unwrap();
+        for metric in [&Euclidean as &dyn GroundDistance, &Manhattan, &Chebyshev] {
+            let exact = emd(&a, &b, &metric).unwrap();
+            assert!(lb <= exact + 1e-12, "{lb} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn feasible_bound_is_above_exact() {
+        let (a, b) = pair();
+        let exact = emd(&a, &b, &Euclidean).unwrap();
+        let ub = feasible_upper_bound(&a, &b, &Euclidean);
+        assert!(ub >= exact - 1e-12, "{ub} vs {exact}");
+    }
+
+    #[test]
+    fn upper_bound_valid_for_unequal_masses() {
+        let a = sig(vec![vec![0.0], vec![10.0]], vec![3.0, 1.0]);
+        let b = sig(vec![vec![1.0]], vec![1.0]);
+        let exact = emd(&a, &b, &Euclidean).unwrap();
+        let ub = feasible_upper_bound(&a, &b, &Euclidean);
+        assert!(ub >= exact - 1e-12, "{ub} vs {exact}");
+    }
+
+    #[test]
+    fn lower_bounds_decline_unequal_masses() {
+        let a = sig(vec![vec![0.0]], vec![2.0]);
+        let b = sig(vec![vec![1.0]], vec![1.0]);
+        let mut scratch = LadderScratch::new();
+        assert!(centroid_lower_bound_with(&a, &b, &Euclidean, &mut scratch).is_none());
+        assert!(projected_lower_bound_with(&a, &b, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn point_mass_pair_brackets_tightly() {
+        // Two unit point masses: every tier equals the exact distance.
+        let a = sig(vec![vec![0.0, 0.0]], vec![1.0]);
+        let b = sig(vec![vec![3.0, 4.0]], vec![1.0]);
+        let mut scratch = LadderScratch::new();
+        let exact = emd(&a, &b, &Euclidean).unwrap();
+        let lb = centroid_lower_bound_with(&a, &b, &Euclidean, &mut scratch).unwrap();
+        let ub = feasible_upper_bound(&a, &b, &Euclidean);
+        assert!((lb - exact).abs() < 1e-12);
+        assert!((ub - exact).abs() < 1e-12);
+        // The best coordinate projection sees only one axis: 4 here.
+        let proj = projected_lower_bound_with(&a, &b, &mut scratch).unwrap();
+        assert!((proj - 4.0).abs() < 1e-12);
+        assert!(proj <= exact + 1e-12);
+    }
+
+    #[test]
+    fn bracket_helpers() {
+        let br = Bracket { lb: 1.0, ub: 3.0 };
+        assert_eq!(br.width(), 2.0);
+        assert_eq!(br.midpoint(), 2.0);
+        assert_eq!(br.clamp(0.0), 1.0);
+        assert_eq!(br.clamp(5.0), 3.0);
+        assert_eq!(br.clamp(2.5), 2.5);
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_bit_identical() {
+        let (a, b) = pair();
+        let mut shared = LadderScratch::new();
+        // Drive a differently shaped pair through first to dirty it.
+        let (c, d) = (
+            sig(vec![vec![9.0, 9.0, 9.0]], vec![4.0]),
+            sig(vec![vec![1.0, 2.0, 3.0]], vec![4.0]),
+        );
+        centroid_lower_bound_with(&c, &d, &Euclidean, &mut shared);
+        projected_lower_bound_with(&c, &d, &mut shared);
+        let mut fresh = LadderScratch::new();
+        assert_eq!(
+            centroid_lower_bound_with(&a, &b, &Euclidean, &mut shared)
+                .unwrap()
+                .to_bits(),
+            centroid_lower_bound_with(&a, &b, &Euclidean, &mut fresh)
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(
+            projected_lower_bound_with(&a, &b, &mut shared)
+                .unwrap()
+                .to_bits(),
+            projected_lower_bound_with(&a, &b, &mut fresh)
+                .unwrap()
+                .to_bits()
+        );
+    }
+}

@@ -89,6 +89,8 @@ pub struct SinkhornScratch {
     /// Sinkhorn sweeps (one f-update + one g-update) across those
     /// solves (cumulative).
     sweeps: u64,
+    /// L1 row-marginal violation of the last solve's final plan.
+    last_violation: f64,
 }
 
 impl SinkhornScratch {
@@ -105,6 +107,15 @@ impl SinkhornScratch {
             solves: self.solves,
             sweeps: self.sweeps,
         }
+    }
+
+    /// L1 row-marginal violation of the most recent solve's final plan
+    /// (column marginals are exact by construction). Below the config's
+    /// `tol` iff that solve converged — the tiered solver uses this to
+    /// decide whether the returned transport cost can serve as an upper
+    /// bound (the plan is then feasible up to `tol`).
+    pub fn last_marginal_violation(&self) -> f64 {
+        self.last_violation
     }
 }
 
@@ -224,6 +235,7 @@ pub fn sinkhorn_emd_with<G: GroundDistance>(
     let (f, g, row_lse) = (&mut s.f, &mut s.g, &mut s.row_lse);
 
     let mut sweeps = 0u64;
+    let mut last_violation = f64::INFINITY;
     for _ in 0..cfg.max_iters {
         sweeps += 1;
         // f_i = eps * (log a_i - LSE_j[(g_j - c_ij)/eps])
@@ -267,6 +279,7 @@ pub fn sinkhorn_emd_with<G: GroundDistance>(
             row_lse[i] = row;
             violation += (row - s.wa[i]).abs();
         }
+        last_violation = violation;
         if violation < cfg.tol {
             break;
         }
@@ -285,6 +298,7 @@ pub fn sinkhorn_emd_with<G: GroundDistance>(
     }
     s.solves += 1;
     s.sweeps += sweeps;
+    s.last_violation = last_violation;
     Ok(total)
 }
 

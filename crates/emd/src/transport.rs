@@ -611,6 +611,12 @@ fn tree_path(
     visited.resize(num_nodes, false);
     visited[start] = true;
     bfs.clear();
+    // Capacity is pinned to the node count, not to whatever high-water
+    // mark earlier searches happened to reach: each node enters the
+    // queue at most once, so this makes the queue shape-bound and keeps
+    // warm solves allocation-free even when a deeper basis tree shows
+    // up late in a stream.
+    bfs.reserve(num_nodes);
     bfs.push_back(start);
     while let Some(node) = bfs.pop_front() {
         if node == goal {

@@ -194,4 +194,39 @@ proptest! {
             .sum();
         prop_assert!((d - expected).abs() < 1e-7 * (1.0 + expected), "{d} vs {expected}");
     }
+
+    /// Every ladder tier is a true bound of the exact EMD: the centroid
+    /// and projected tiers never exceed it, the feasible-flow tier never
+    /// falls below it. (The centroid and projected bounds are NOT
+    /// ordered against each other in >= 2 dimensions — each is only
+    /// guaranteed below the exact value.)
+    #[test]
+    fn ladder_tiers_bound_exact_emd(a in signature_2d(8), b in signature_2d(8)) {
+        use emd::{
+            centroid_lower_bound_with, feasible_upper_bound, projected_lower_bound_with,
+            LadderScratch,
+        };
+        // Equal masses: the lower-bound tiers are sound only there and
+        // return None otherwise (also exercised below).
+        let an = a.normalized().unwrap();
+        let bn = b.normalized().unwrap();
+        let exact = emd(&an, &bn, &Euclidean).unwrap();
+        let tol = 1e-9 * (1.0 + exact.abs());
+        let mut scratch = LadderScratch::new();
+        let clb = centroid_lower_bound_with(&an, &bn, &Euclidean, &mut scratch)
+            .expect("equal masses");
+        prop_assert!(clb <= exact + tol, "centroid {clb} > exact {exact}");
+        let plb = projected_lower_bound_with(&an, &bn, &mut scratch).expect("equal masses");
+        prop_assert!(plb <= exact + tol, "projection {plb} > exact {exact}");
+        let ub = feasible_upper_bound(&an, &bn, &Euclidean);
+        prop_assert!(ub + tol >= exact, "upper {ub} < exact {exact}");
+
+        // Unequal masses: the lower-bound tiers must refuse.
+        if (a.total_weight() - b.total_weight()).abs()
+            > 1e-6 * a.total_weight().max(b.total_weight())
+        {
+            prop_assert!(centroid_lower_bound_with(&a, &b, &Euclidean, &mut scratch).is_none());
+            prop_assert!(projected_lower_bound_with(&a, &b, &mut scratch).is_none());
+        }
+    }
 }

@@ -75,6 +75,74 @@ pub fn information_content(dists: &[f64], weights: &[f64], cfg: &EstimatorConfig
     cfg.offset + cfg.scale * acc
 }
 
+/// k-NN-truncated information content: [`information_content`]
+/// restricted to the `k` elements of `S'` nearest to `S`, with their
+/// weights renormalized.
+///
+/// Equivalent to [`information_content_knn_with`] with a fresh order
+/// buffer.
+///
+/// # Panics
+/// As [`information_content_knn_with`].
+pub fn information_content_knn(
+    dists: &[f64],
+    weights: &[f64],
+    k: usize,
+    cfg: &EstimatorConfig,
+) -> f64 {
+    information_content_knn_with(dists, weights, k, cfg, &mut Vec::new())
+}
+
+/// As [`information_content_knn`], reusing a caller-kept index buffer —
+/// allocation-free once `order`'s capacity covers the slice length.
+///
+/// Selection is deterministic: the `k` smallest by `(distance, index)`.
+/// With `k >= dists.len()` this reproduces [`information_content`] bit
+/// for bit (the accumulation runs in index order either way). The
+/// truncated form pairs with the tiered solver's pruned k-NN search in
+/// `bagcpd`, which produces exactly this neighbor set without solving
+/// every pair.
+///
+/// # Panics
+/// Panics on `k == 0`, empty or invalid weights, a length mismatch, or
+/// when the selected neighbors carry zero total weight.
+pub fn information_content_knn_with(
+    dists: &[f64],
+    weights: &[f64],
+    k: usize,
+    cfg: &EstimatorConfig,
+    order: &mut Vec<usize>,
+) -> f64 {
+    assert_eq!(
+        dists.len(),
+        weights.len(),
+        "information_content_knn: dists/weights length mismatch"
+    );
+    assert!(k >= 1, "information_content_knn: k must be >= 1");
+    check_weights(weights, "information_content_knn");
+    let k = k.min(dists.len());
+    order.clear();
+    order.extend(0..dists.len());
+    // Full sort by (distance, index): selection must be deterministic
+    // under distance ties (select_nth_unstable would not order ties
+    // across the pivot deterministically).
+    order.sort_unstable_by(|&i, &j| dists[i].total_cmp(&dists[j]).then(i.cmp(&j)));
+    order.truncate(k);
+    // Accumulate in index order so `k = n` reproduces
+    // `information_content` bit for bit.
+    order.sort_unstable();
+    let sum: f64 = order.iter().map(|&i| weights[i]).sum();
+    assert!(
+        sum > 0.0,
+        "information_content_knn: selected neighbors carry zero weight"
+    );
+    let acc: f64 = order
+        .iter()
+        .map(|&i| (weights[i] / sum) * cfg.log_dist(dists[i]))
+        .sum();
+    cfg.offset + cfg.scale * acc
+}
+
 /// Auto-entropy
 /// `H(S) = c + d Σ_i Σ_{j≠i} ψ_i ψ_j / (1 - ψ_i) log dist(S_i, S_j)`.
 ///
@@ -259,6 +327,57 @@ mod tests {
         let i = information_content(&[0.0], &[1.0], &cfg());
         assert!(i.is_finite());
         assert!(i < -20.0, "floor of 1e-12 gives ln ~ -27.6, got {i}");
+    }
+
+    #[test]
+    fn knn_with_full_k_matches_information_content_bitwise() {
+        let dists = [3.0, 0.5, 2.0, 0.9];
+        let weights = [0.4, 1.1, 0.2, 0.8];
+        let full = information_content(&dists, &weights, &cfg());
+        for k in [4, 10] {
+            let knn = information_content_knn(&dists, &weights, k, &cfg());
+            assert_eq!(full.to_bits(), knn.to_bits(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn knn_truncates_to_nearest() {
+        // k = 2 keeps the two smallest distances (0.5 at index 1,
+        // 0.9 at index 3) with weights renormalized.
+        let dists = [3.0, 0.5, 2.0, 0.9];
+        let weights = [0.4, 1.0, 0.2, 1.0];
+        let knn = information_content_knn(&dists, &weights, 2, &cfg());
+        let expected = information_content(&[0.5, 0.9], &[1.0, 1.0], &cfg());
+        assert!((knn - expected).abs() < 1e-12, "{knn} vs {expected}");
+    }
+
+    #[test]
+    fn knn_ties_break_by_index() {
+        // Equal distances: indices 0 and 1 are kept, not 2.
+        let dists = [1.0, 1.0, 1.0];
+        let weights = [1.0, 1.0, 100.0];
+        let knn = information_content_knn(&dists, &weights, 2, &cfg());
+        let expected = information_content(&[1.0, 1.0], &[1.0, 1.0], &cfg());
+        assert!((knn - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_warm_buffer_matches_fresh() {
+        let dists = [3.0, 0.5, 2.0, 0.9];
+        let weights = [0.4, 1.1, 0.2, 0.8];
+        let mut order = Vec::new();
+        // Dirty the buffer with a different-length call first.
+        information_content_knn_with(&[1.0, 2.0], &[1.0, 1.0], 1, &cfg(), &mut order);
+        let warm = information_content_knn_with(&dists, &weights, 3, &cfg(), &mut order);
+        let fresh = information_content_knn(&dists, &weights, 3, &cfg());
+        assert_eq!(warm.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero weight")]
+    fn knn_zero_weight_selection_panics() {
+        // The nearest neighbor carries no weight and k = 1 keeps only it.
+        information_content_knn(&[0.5, 2.0], &[0.0, 1.0], 1, &cfg());
     }
 
     #[test]

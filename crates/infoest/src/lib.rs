@@ -24,6 +24,6 @@ pub mod matrix;
 
 pub use estimators::{
     auto_entropy, auto_entropy_block, cross_entropy, cross_entropy_block, information_content,
-    EstimatorConfig,
+    information_content_knn, information_content_knn_with, EstimatorConfig,
 };
 pub use matrix::DistanceMatrix;

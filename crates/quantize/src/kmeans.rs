@@ -4,7 +4,7 @@
 //! bag is clustered into `K` centers, and the per-center member counts
 //! become the signature weights `w_k`.
 
-use crate::{nearest_center, sq_dist, Quantization};
+use crate::{compact_non_empty, nearest_center, set_row, sq_dist, ClusterScratch, Quantization};
 use rand::Rng;
 
 /// Configuration for [`kmeans`].
@@ -101,6 +101,123 @@ pub fn kmeans(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut impl Rng) -> Qu
         assignments,
     }
     .drop_empty()
+}
+
+/// As [`kmeans`], but writing the non-empty centers (stable order) and
+/// their member counts as `f64` into caller-kept buffers: `centers`'
+/// existing inner vectors are reused in place, extras come from (and
+/// return to) the scratch's row pool. Consumes the RNG exactly like
+/// [`kmeans`], so centers and weights are bit-identical to its
+/// `centers` / `counts as f64`. Once the scratch and buffers are warm, a
+/// build performs zero heap allocations.
+///
+/// Assignments are not produced — this is the signature-build fast path,
+/// which never needs them.
+///
+/// # Panics
+/// As [`kmeans`].
+pub fn kmeans_with(
+    points: &[Vec<f64>],
+    cfg: &KMeansConfig,
+    rng: &mut impl Rng,
+    scratch: &mut ClusterScratch,
+    centers: &mut Vec<Vec<f64>>,
+    weights: &mut Vec<f64>,
+) {
+    assert!(!points.is_empty(), "kmeans: empty bag");
+    assert!(cfg.k > 0, "kmeans: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "kmeans: inconsistent point dimensions"
+    );
+    let k = cfg.k.min(points.len());
+
+    // k-means++ seeding into recycled rows — the draw sequence of
+    // `kmeanspp_init`, verbatim.
+    set_row(
+        centers,
+        &mut scratch.pool,
+        0,
+        &points[rng.gen_range(0..points.len())],
+    );
+    let mut used = 1usize;
+    scratch.d2.clear();
+    scratch
+        .d2
+        .extend(points.iter().map(|p| sq_dist(p, &centers[0])));
+    while used < k {
+        let total: f64 = scratch.d2.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut u = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &w) in scratch.d2.iter().enumerate() {
+            if u < w {
+                chosen = i;
+                break;
+            }
+            u -= w;
+        }
+        set_row(centers, &mut scratch.pool, used, &points[chosen]);
+        used += 1;
+        let c = &centers[used - 1];
+        for (dist, p) in scratch.d2.iter_mut().zip(points) {
+            let nd = sq_dist(p, c);
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+
+    scratch.assignments.clear();
+    scratch.assignments.resize(points.len(), 0);
+    for _ in 0..cfg.max_iters {
+        // Assignment step.
+        for (a, p) in scratch.assignments.iter_mut().zip(points) {
+            *a = nearest_center(p, &centers[..used]).0;
+        }
+        // Update step, accumulating into recycled sum rows.
+        while scratch.sums.len() < used {
+            scratch.sums.push(scratch.pool.pop().unwrap_or_default());
+        }
+        for sum in scratch.sums[..used].iter_mut() {
+            sum.clear();
+            sum.resize(d, 0.0);
+        }
+        scratch.counts.clear();
+        scratch.counts.resize(used, 0);
+        for (&a, p) in scratch.assignments.iter().zip(points) {
+            scratch.counts[a] += 1;
+            for (s, &x) in scratch.sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for (kc, (sum, &count)) in scratch.sums[..used].iter().zip(&scratch.counts).enumerate() {
+            if count == 0 {
+                continue; // keep the stale center; it may attract points later
+            }
+            scratch.tmp.clear();
+            scratch.tmp.extend(sum.iter().map(|s| s / count as f64));
+            movement += sq_dist(&scratch.tmp, &centers[kc]);
+            centers[kc].clear();
+            centers[kc].extend_from_slice(&scratch.tmp);
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+
+    // Final counts against the converged centers, then stable compaction
+    // of the non-empty clusters (the `drop_empty` order).
+    scratch.counts.clear();
+    scratch.counts.resize(used, 0);
+    for p in points {
+        scratch.counts[nearest_center(p, &centers[..used]).0] += 1;
+    }
+    compact_non_empty(centers, used, &scratch.counts, &mut scratch.pool, weights);
 }
 
 /// k-means++ seeding: first center uniform, subsequent centers drawn with
@@ -240,6 +357,62 @@ mod tests {
         let a = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(7));
         let b = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_matches_allocating_kmeans_bit_for_bit() {
+        // One dirty scratch and output buffers reused across shapes: the
+        // scratch-backed build must reproduce the allocating build exactly,
+        // center coordinates and weights to the bit.
+        let mut scratch = ClusterScratch::new();
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        for (n, k, seed) in [
+            (50, 4, 1u64),
+            (7, 3, 2),
+            (100, 8, 3),
+            (3, 10, 4),
+            (64, 2, 5),
+        ] {
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i as f64 * 0.37).sin() * 4.0, (i % 9) as f64])
+                .collect();
+            let cfg = KMeansConfig::with_k(k);
+            let q = kmeans(&pts, &cfg, &mut rng(seed));
+            kmeans_with(
+                &pts,
+                &cfg,
+                &mut rng(seed),
+                &mut scratch,
+                &mut centers,
+                &mut weights,
+            );
+            assert_eq!(centers, q.centers, "centers diverge at n={n} k={k}");
+            assert_eq!(weights.len(), q.counts.len());
+            for (w, &c) in weights.iter().zip(&q.counts) {
+                assert_eq!(w.to_bits(), (c as f64).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn with_recycles_donated_centers() {
+        let pts = two_blobs();
+        let mut scratch = ClusterScratch::new();
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        // Donate rows as a retired signature would.
+        scratch.recycle_centers((0..8).map(|_| vec![0.0; 2]));
+        kmeans_with(
+            &pts,
+            &KMeansConfig::with_k(3),
+            &mut rng(11),
+            &mut scratch,
+            &mut centers,
+            &mut weights,
+        );
+        let q = kmeans(&pts, &KMeansConfig::with_k(3), &mut rng(11));
+        assert_eq!(centers, q.centers);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! outliers and meaningful for ground distances that are not Euclidean.
 //! The paper lists k-medoids as an alternative quantizer for §3.1.
 
-use crate::{sq_dist, Quantization};
+use crate::{compact_non_empty, set_row, sq_dist, ClusterScratch, Quantization};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -129,6 +129,122 @@ pub fn kmedoids(points: &[Vec<f64>], cfg: &KMedoidsConfig, rng: &mut impl Rng) -
     .drop_empty()
 }
 
+/// As [`kmedoids`], but writing the non-empty medoids (stable order) and
+/// their member counts as `f64` into caller-kept buffers through the
+/// scratch's recycled rows. Consumes the RNG exactly like [`kmedoids`],
+/// so centers and weights are bit-identical to its `centers` /
+/// `counts as f64`. Once warm, a build performs zero heap allocations.
+///
+/// Assignments are not produced — this is the signature-build fast path,
+/// which never needs them.
+///
+/// # Panics
+/// As [`kmedoids`].
+pub fn kmedoids_with(
+    points: &[Vec<f64>],
+    cfg: &KMedoidsConfig,
+    rng: &mut impl Rng,
+    scratch: &mut ClusterScratch,
+    centers: &mut Vec<Vec<f64>>,
+    weights: &mut Vec<f64>,
+) {
+    assert!(!points.is_empty(), "kmedoids: empty bag");
+    assert!(cfg.k > 0, "kmedoids: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "kmedoids: inconsistent point dimensions"
+    );
+    let n = points.len();
+    let k = cfg.k.min(n);
+
+    // Split borrows: each buffer is an independent field of the scratch.
+    let ClusterScratch {
+        assignments,
+        counts,
+        idx,
+        members,
+        medoids,
+        pool,
+        ..
+    } = scratch;
+
+    // Random distinct initial medoids — the draw of `kmedoids`, verbatim.
+    idx.clear();
+    idx.extend(0..n);
+    idx.shuffle(rng);
+    medoids.clear();
+    medoids.extend_from_slice(&idx[..k]);
+    assignments.clear();
+    assignments.resize(n, 0);
+
+    for _ in 0..cfg.max_iters {
+        // Assign points to nearest medoid.
+        for (a, p) in assignments.iter_mut().zip(points) {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (m, &mi) in medoids.iter().enumerate() {
+                let dist = sq_dist(p, &points[mi]);
+                if dist < best_d {
+                    best_d = dist;
+                    best = m;
+                }
+            }
+            *a = best;
+        }
+        // Recompute each cluster's medoid.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // m indexes both medoids and assignments
+        for m in 0..medoids.len() {
+            members.clear();
+            members.extend((0..n).filter(|&i| assignments[i] == m));
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = medoids[m];
+            let mut best_cost = f64::INFINITY;
+            for &cand in members.iter() {
+                let cost: f64 = members
+                    .iter()
+                    .map(|&j| sq_dist(&points[cand], &points[j]))
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = cand;
+                }
+            }
+            if best != medoids[m] {
+                medoids[m] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final counts, then materialize medoid points and compact the
+    // non-empty clusters (the `drop_empty` order).
+    counts.clear();
+    counts.resize(medoids.len(), 0);
+    for p in points {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (m, &mi) in medoids.iter().enumerate() {
+            let dist = sq_dist(p, &points[mi]);
+            if dist < best_d {
+                best_d = dist;
+                best = m;
+            }
+        }
+        counts[best] += 1;
+    }
+    for (m, &mi) in medoids.iter().enumerate() {
+        set_row(centers, pool, m, &points[mi]);
+    }
+    compact_non_empty(centers, medoids.len(), counts, pool, weights);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +314,34 @@ mod tests {
         let q = kmedoids(&pts, &KMedoidsConfig::with_k(5), &mut rng(5));
         assert!(q.centers.len() <= 2);
         assert_eq!(q.total_count(), 2);
+    }
+
+    #[test]
+    fn with_matches_allocating_kmedoids_bit_for_bit() {
+        use crate::ClusterScratch;
+        let mut scratch = ClusterScratch::new();
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        for (n, k, seed) in [(30, 4, 1u64), (9, 3, 2), (60, 6, 3), (2, 5, 4)] {
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![((i * i) % 17) as f64, (i % 5) as f64 * 0.5])
+                .collect();
+            let cfg = KMedoidsConfig::with_k(k);
+            let q = kmedoids(&pts, &cfg, &mut rng(seed));
+            kmedoids_with(
+                &pts,
+                &cfg,
+                &mut rng(seed),
+                &mut scratch,
+                &mut centers,
+                &mut weights,
+            );
+            assert_eq!(centers, q.centers, "centers diverge at n={n} k={k}");
+            assert_eq!(weights.len(), q.counts.len());
+            for (w, &c) in weights.iter().zip(&q.counts) {
+                assert_eq!(w.to_bits(), (c as f64).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -20,9 +20,9 @@ pub mod select_k;
 pub use histogram::{
     histogram_1d, histogram_grid, histogram_grid_with, HistogramScratch, HistogramSpec,
 };
-pub use kmeans::{kmeans, KMeansConfig};
-pub use kmedoids::{kmedoids, KMedoidsConfig};
-pub use lvq::{lvq_quantize, LvqConfig};
+pub use kmeans::{kmeans, kmeans_with, KMeansConfig};
+pub use kmedoids::{kmedoids, kmedoids_with, KMedoidsConfig};
+pub use lvq::{lvq_quantize, lvq_quantize_with, LvqConfig};
 pub use select_k::{mean_silhouette, select_k, KCriterion};
 
 /// Result of quantizing a bag: representative centers with member counts.
@@ -71,6 +71,89 @@ impl Quantization {
             assignments: self.assignments,
         }
     }
+}
+
+/// Reusable working state for the scratch-backed quantizer builds
+/// ([`kmeans_with`], [`kmedoids_with`], [`lvq_quantize_with`]):
+/// assignment/count/index buffers plus a pool of recycled center-sized
+/// rows. One scratch serves every build of a stream (or a whole worker
+/// shard); once its buffers have grown to the workload's high-water mark
+/// a build performs no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterScratch {
+    /// Per-point cluster assignments.
+    pub(crate) assignments: Vec<usize>,
+    /// Per-cluster member counts.
+    pub(crate) counts: Vec<u64>,
+    /// Per-cluster coordinate sums (k-means update step).
+    pub(crate) sums: Vec<Vec<f64>>,
+    /// Free pool of recycled center-sized rows.
+    pub(crate) pool: Vec<Vec<f64>>,
+    /// Working center for the k-means movement computation.
+    pub(crate) tmp: Vec<f64>,
+    /// Index permutation (k-medoids/LVQ initialization).
+    pub(crate) idx: Vec<usize>,
+    /// LVQ per-epoch presentation order.
+    pub(crate) order: Vec<usize>,
+    /// k-medoids per-cluster member list.
+    pub(crate) members: Vec<usize>,
+    /// k-medoids medoid indices.
+    pub(crate) medoids: Vec<usize>,
+    /// k-means++ squared distances to the nearest chosen center.
+    pub(crate) d2: Vec<f64>,
+}
+
+impl ClusterScratch {
+    /// Empty scratch; buffers grow to the workload's shape on first use.
+    pub fn new() -> Self {
+        ClusterScratch::default()
+    }
+
+    /// Return center vectors — typically the points of a retired
+    /// signature — to the pool for the next build to reuse.
+    pub fn recycle_centers(&mut self, centers: impl IntoIterator<Item = Vec<f64>>) {
+        self.pool.extend(centers);
+    }
+}
+
+/// Write `values` into row `at` of `centers`, appending a recycled row
+/// from `pool` when the buffer is short.
+pub(crate) fn set_row(
+    centers: &mut Vec<Vec<f64>>,
+    pool: &mut Vec<Vec<f64>>,
+    at: usize,
+    values: &[f64],
+) {
+    if at == centers.len() {
+        centers.push(pool.pop().unwrap_or_default());
+    }
+    let row = &mut centers[at];
+    row.clear();
+    row.extend_from_slice(values);
+}
+
+/// Shared tail of the scratch-backed builds: keep the non-empty clusters
+/// of `centers[..used]` in stable order (the order
+/// [`Quantization::drop_empty`] produces), fill `weights` with their
+/// counts as `f64`, and return surplus rows to `pool`.
+pub(crate) fn compact_non_empty(
+    centers: &mut Vec<Vec<f64>>,
+    used: usize,
+    counts: &[u64],
+    pool: &mut Vec<Vec<f64>>,
+    weights: &mut Vec<f64>,
+) {
+    weights.clear();
+    let mut kept = 0usize;
+    for (k, &count) in counts.iter().enumerate().take(used) {
+        if count == 0 {
+            continue;
+        }
+        centers.swap(kept, k);
+        weights.push(count as f64);
+        kept += 1;
+    }
+    pool.extend(centers.drain(kept..));
 }
 
 /// Index of the center nearest to `point` (squared Euclidean).

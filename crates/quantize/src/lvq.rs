@@ -6,7 +6,7 @@
 //! each presented point the winning prototype moves toward the point by a
 //! decaying learning rate.
 
-use crate::{nearest_center, Quantization};
+use crate::{compact_non_empty, nearest_center, set_row, ClusterScratch, Quantization};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -96,6 +96,70 @@ pub fn lvq_quantize(points: &[Vec<f64>], cfg: &LvqConfig, rng: &mut impl Rng) ->
     .drop_empty()
 }
 
+/// As [`lvq_quantize`], but training prototypes inside caller-kept
+/// buffers through the scratch's recycled rows. Consumes the RNG exactly
+/// like [`lvq_quantize`], so centers and weights are bit-identical to its
+/// `centers` / `counts as f64`. Once warm, a build performs zero heap
+/// allocations.
+///
+/// Assignments are not produced — this is the signature-build fast path,
+/// which never needs them.
+///
+/// # Panics
+/// As [`lvq_quantize`].
+pub fn lvq_quantize_with(
+    points: &[Vec<f64>],
+    cfg: &LvqConfig,
+    rng: &mut impl Rng,
+    scratch: &mut ClusterScratch,
+    centers: &mut Vec<Vec<f64>>,
+    weights: &mut Vec<f64>,
+) {
+    assert!(!points.is_empty(), "lvq: empty bag");
+    assert!(cfg.k > 0, "lvq: k must be > 0");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "lvq: inconsistent point dimensions"
+    );
+    let n = points.len();
+    let k = cfg.k.min(n);
+
+    // Seed prototypes from distinct random members — the draw of
+    // `lvq_quantize`, verbatim.
+    scratch.idx.clear();
+    scratch.idx.extend(0..n);
+    scratch.idx.shuffle(rng);
+    for (at, &i) in scratch.idx[..k].iter().enumerate() {
+        set_row(centers, &mut scratch.pool, at, &points[i]);
+    }
+    scratch.pool.extend(centers.drain(k..));
+
+    let total_steps = (cfg.epochs * n).max(1);
+    let mut step = 0usize;
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    for _ in 0..cfg.epochs {
+        scratch.order.shuffle(rng);
+        for &i in scratch.order.iter() {
+            let rate = cfg.learning_rate * (1.0 - step as f64 / total_steps as f64);
+            step += 1;
+            let (w, _) = nearest_center(&points[i], centers);
+            let proto = &mut centers[w];
+            for (pj, &xj) in proto.iter_mut().zip(&points[i]) {
+                *pj += rate * (xj - *pj);
+            }
+        }
+    }
+
+    scratch.counts.clear();
+    scratch.counts.resize(k, 0);
+    for p in points {
+        scratch.counts[nearest_center(p, centers).0] += 1;
+    }
+    compact_non_empty(centers, k, &scratch.counts, &mut scratch.pool, weights);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +220,31 @@ mod tests {
         let a = lvq_quantize(&pts, &LvqConfig::with_k(3), &mut rng(4));
         let b = lvq_quantize(&pts, &LvqConfig::with_k(3), &mut rng(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_matches_allocating_lvq_bit_for_bit() {
+        let mut scratch = ClusterScratch::new();
+        let mut centers = Vec::new();
+        let mut weights = Vec::new();
+        for (k, seed) in [(2usize, 1u64), (3, 2), (8, 3), (50, 4)] {
+            let pts = two_blobs();
+            let cfg = LvqConfig::with_k(k);
+            let q = lvq_quantize(&pts, &cfg, &mut rng(seed));
+            lvq_quantize_with(
+                &pts,
+                &cfg,
+                &mut rng(seed),
+                &mut scratch,
+                &mut centers,
+                &mut weights,
+            );
+            assert_eq!(centers, q.centers, "centers diverge at k={k}");
+            assert_eq!(weights.len(), q.counts.len());
+            for (w, &c) in weights.iter().zip(&q.counts) {
+                assert_eq!(w.to_bits(), (c as f64).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -114,6 +114,45 @@ impl Dirichlet {
         }
     }
 
+    /// Draw one `Dir(alpha)` sample per RNG in `rngs`, filling the
+    /// row-major `out` (one row of `alpha.len()` per RNG) — the
+    /// replicate-batched form of [`Dirichlet::sample_alpha_into`].
+    ///
+    /// The fill is component-major: for each concentration `alpha[c]`,
+    /// all replicates draw their Gamma variate before moving to the next
+    /// component, so the alpha vector is swept once, cache-friendly,
+    /// instead of once per replicate. Each RNG still sees exactly the
+    /// per-replicate draw sequence of [`Dirichlet::sample_alpha_into`]
+    /// (Gamma draws in component order), and row totals accumulate in
+    /// the same left-to-right order — rows are bit-identical to one
+    /// [`Dirichlet::sample_alpha_into`] call per RNG.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rngs.len() * alpha.len()`.
+    pub fn sample_alpha_batch_into(alpha: &[f64], rngs: &mut [impl Rng], out: &mut [f64]) {
+        let n = alpha.len();
+        assert_eq!(
+            out.len(),
+            rngs.len() * n,
+            "sample_alpha_batch_into: shape mismatch"
+        );
+        for (c, &a) in alpha.iter().enumerate() {
+            for (r, rng) in rngs.iter_mut().enumerate() {
+                out[r * n + c] = sample_gamma_shape(a, rng);
+            }
+        }
+        for row in out.chunks_mut(n) {
+            let total: f64 = row.iter().sum();
+            if total <= 0.0 {
+                row.fill(1.0 / n as f64);
+                continue;
+            }
+            for o in row.iter_mut() {
+                *o /= total;
+            }
+        }
+    }
+
     /// Draw one sample as a fresh vector.
     pub fn sample(&self, rng: &mut impl Rng) -> Vec<f64> {
         let mut out = vec![0.0; self.alpha.len()];
@@ -229,6 +268,54 @@ mod tests {
         let mut buf = [0.0; 3];
         d.sample_into(&mut rng, &mut buf);
         assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_rows_bit_identical_to_sequential_draws() {
+        // Each batched row must reproduce a per-replicate
+        // `sample_alpha_into` sequence exactly: same RNG stream, same
+        // accumulation order.
+        let alpha_ref = [1.0, 0.5, 2.0, 1.3];
+        let alpha_test = [0.8, 1.7, 1.0];
+        let seeds = [3u64, 99, 1234, 5, 42];
+        let (nr, nt) = (alpha_ref.len(), alpha_test.len());
+
+        let mut rngs: Vec<_> = seeds.iter().map(|&s| seeded_rng(s)).collect();
+        let mut ref_rows = vec![0.0; seeds.len() * nr];
+        let mut test_rows = vec![0.0; seeds.len() * nt];
+        // Two batches over the same RNGs, as the bootstrap issues them.
+        Dirichlet::sample_alpha_batch_into(&alpha_ref, &mut rngs, &mut ref_rows);
+        Dirichlet::sample_alpha_batch_into(&alpha_test, &mut rngs, &mut test_rows);
+
+        for (r, &seed) in seeds.iter().enumerate() {
+            let mut rng = seeded_rng(seed);
+            let mut wr = vec![0.0; nr];
+            let mut wt = vec![0.0; nt];
+            Dirichlet::sample_alpha_into(&alpha_ref, &mut rng, &mut wr);
+            Dirichlet::sample_alpha_into(&alpha_test, &mut rng, &mut wt);
+            for (c, w) in wr.iter().enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    ref_rows[r * nr + c].to_bits(),
+                    "ref ({r}, {c})"
+                );
+            }
+            for (c, w) in wt.iter().enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    test_rows[r * nt + c].to_bits(),
+                    "test ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn batched_shape_mismatch_panics() {
+        let mut rngs = vec![seeded_rng(1), seeded_rng(2)];
+        let mut out = vec![0.0; 3];
+        Dirichlet::sample_alpha_batch_into(&[1.0, 1.0], &mut rngs, &mut out);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! magic    8 bytes  b"BCPDSNAP"
-//! version  u32      3
+//! version  u32      4
 //! config   fingerprint of the DetectorConfig (see below)
 //! seed     u64      engine master seed
 //! names    u64      intern-table size, then per name (id order):
@@ -28,7 +28,11 @@
 //! per-row length prefixes. Version 2 snapshots are still read and
 //! migrated on load (the values are identical, only the framing
 //! changed); version 1 snapshots are refused with
-//! [`SnapshotError::BadVersion`].
+//! [`SnapshotError::BadVersion`]. Version 4 extended the config
+//! fingerprint with the tiered solver (tag 2 carries its epsilon and
+//! estimate parameters; exact mode shares tag 0 with the exact solver,
+//! making their snapshots interchangeable) — stream framing is
+//! unchanged, so versions 2 and 3 still read.
 //!
 //! The config fingerprint captures every parameter that affects results
 //! (windows, score, weighting, signature method, metric, solver,
@@ -45,7 +49,7 @@ use emd::Signature;
 /// Magic bytes opening every snapshot.
 pub const MAGIC: &[u8; 8] = b"BCPDSNAP";
 /// Current format version.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Oldest version [`decode_engine`] still reads (migrating on load).
 pub const MIN_READ_VERSION: u32 = 2;
 // lint:fingerprint-end(snapshot-header)
@@ -318,6 +322,19 @@ fn put_config(w: &mut Writer, cfg: &DetectorConfig) {
             w.u64(s.max_iters as u64);
             w.f64(s.tol);
         }
+        EmdSolver::Tiered(t) => match t.epsilon {
+            // Exact mode is bit-identical to the exact solver, so its
+            // fingerprint deliberately matches tag 0: snapshots are
+            // interchangeable between the two configurations.
+            None => w.u8(0),
+            Some(eps) => {
+                w.u8(2);
+                w.f64(eps);
+                w.f64(t.estimate.epsilon);
+                w.u64(t.estimate.max_iters as u64);
+                w.f64(t.estimate.tol);
+            }
+        },
     }
     w.f64(cfg.estimator.offset);
     w.f64(cfg.estimator.scale);
@@ -869,6 +886,33 @@ mod tests {
         let other = DetectorConfig { tau: 4, ..cfg() };
         assert_eq!(
             decode_engine(&bytes, &other),
+            Err(SnapshotError::ConfigMismatch)
+        );
+    }
+
+    #[test]
+    fn tiered_exact_mode_shares_the_exact_fingerprint() {
+        use bagcpd::TieredConfig;
+        let exact = cfg();
+        let tiered = DetectorConfig {
+            solver: EmdSolver::Tiered(TieredConfig::default()),
+            ..cfg()
+        };
+        assert_eq!(config_fingerprint(&exact), config_fingerprint(&tiered));
+        // Checkpoints are interchangeable between the two: results are
+        // bit-identical, so resuming either way is sound.
+        let bytes = encode_engine(&exact, 1, &["s"], vec![(0, state(1))]);
+        assert!(decode_engine(&bytes, &tiered).is_ok());
+        // Bounded-error mode is a distinct configuration.
+        let bounded = DetectorConfig {
+            solver: EmdSolver::Tiered(TieredConfig {
+                epsilon: Some(0.05),
+                ..Default::default()
+            }),
+            ..cfg()
+        };
+        assert_eq!(
+            decode_engine(&bytes, &bounded),
             Err(SnapshotError::ConfigMismatch)
         );
     }

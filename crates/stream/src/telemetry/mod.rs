@@ -62,6 +62,9 @@ pub mod names {
     pub const SOLVER_SINKHORN_SOLVES: &str = "bagscpd_solver_sinkhorn_solves_total";
     /// Sinkhorn potential-update sweeps.
     pub const SOLVER_SINKHORN_SWEEPS: &str = "bagscpd_solver_sinkhorn_sweeps_total";
+    /// Tiered-solver decisions, labeled `tier`
+    /// (`centroid`/`projection`/`estimate`/`exact`).
+    pub const SOLVER_TIER_DECIDED: &str = "bagscpd_solver_tier_decided_total";
     /// Wall-clock seconds per EMD solve (histogram).
     pub const SOLVER_SOLVE_SECONDS: &str = "bagscpd_solver_solve_seconds";
     /// CSV rows parsed into bag members, across all sources.

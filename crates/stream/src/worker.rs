@@ -108,6 +108,14 @@ pub(crate) struct WorkerTelemetry {
     sinkhorn_solves: Counter,
     /// Sinkhorn sweeps (shared).
     sinkhorn_sweeps: Counter,
+    /// Tiered-solver decisions settled by the centroid bound (shared).
+    tier_centroid: Counter,
+    /// Decisions settled by the projected 1-D bound (shared).
+    tier_projection: Counter,
+    /// Decisions settled by the Sinkhorn estimate (shared).
+    tier_estimate: Counter,
+    /// Decisions that fell through to the exact simplex (shared).
+    tier_exact: Counter,
     /// Solve-latency probe, cloned into the worker's [`EmdScratch`].
     solve_timer: SolveTimer,
     /// Solver-scratch counter values at the last fold.
@@ -161,6 +169,26 @@ impl WorkerTelemetry {
                 names::SOLVER_SINKHORN_SWEEPS,
                 "Sinkhorn potential-update sweeps",
             ),
+            tier_centroid: registry.counter_labeled(
+                names::SOLVER_TIER_DECIDED,
+                "Tiered-solver decisions by deciding tier",
+                &[("tier", "centroid")],
+            ),
+            tier_projection: registry.counter_labeled(
+                names::SOLVER_TIER_DECIDED,
+                "Tiered-solver decisions by deciding tier",
+                &[("tier", "projection")],
+            ),
+            tier_estimate: registry.counter_labeled(
+                names::SOLVER_TIER_DECIDED,
+                "Tiered-solver decisions by deciding tier",
+                &[("tier", "estimate")],
+            ),
+            tier_exact: registry.counter_labeled(
+                names::SOLVER_TIER_DECIDED,
+                "Tiered-solver decisions by deciding tier",
+                &[("tier", "exact")],
+            ),
             solve_timer: SolveTimer::new(solve_hist, registry.clock()),
             last: SolverStats::default(),
         }
@@ -182,6 +210,13 @@ impl WorkerTelemetry {
             .add(stats.sinkhorn_solves - self.last.sinkhorn_solves);
         self.sinkhorn_sweeps
             .add(stats.sinkhorn_sweeps - self.last.sinkhorn_sweeps);
+        self.tier_centroid
+            .add(stats.tier_centroid - self.last.tier_centroid);
+        self.tier_projection
+            .add(stats.tier_projection - self.last.tier_projection);
+        self.tier_estimate
+            .add(stats.tier_estimate - self.last.tier_estimate);
+        self.tier_exact.add(stats.tier_exact - self.last.tier_exact);
         self.last = stats;
     }
 }

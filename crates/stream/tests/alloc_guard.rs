@@ -15,7 +15,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use bagcpd::{Bag, BootstrapConfig, Detector, DetectorConfig, EvalScratch, SignatureMethod};
+use bagcpd::{
+    Bag, BootstrapConfig, Detector, DetectorConfig, EmdSolver, EvalScratch, SignatureMethod,
+    TieredConfig,
+};
 use stream::telemetry::{names, LATENCY_BUCKETS};
 use stream::{Clock, EmdScratch, MetricsRegistry, OnlineDetector, SolveTimer};
 
@@ -124,6 +127,118 @@ fn warm_push_allocates_exactly_nothing() {
          run out of the scratches ({push_allocs} events over \
          {MEASURED} pushes)"
     );
+}
+
+/// The same guarantee under the tiered solver in bounded-error mode:
+/// the bound ladder (centroid buffers, projection event list, Sinkhorn
+/// estimate) must run entirely out of the ladder scratch carried by
+/// [`EmdScratch`], with exact fallbacks drawing on the same transport
+/// tableau the exact solver uses.
+#[cfg(debug_assertions)]
+#[test]
+fn warm_tiered_push_allocates_exactly_nothing() {
+    const SEED: u64 = 7;
+    const WARM: usize = 24;
+    const MEASURED: usize = 16;
+
+    let detector = Detector::new(DetectorConfig {
+        tau: 4,
+        tau_prime: 3,
+        signature: SignatureMethod::Histogram { width: 0.5 },
+        solver: EmdSolver::Tiered(TieredConfig {
+            epsilon: Some(0.05),
+            ..Default::default()
+        }),
+        bootstrap: BootstrapConfig {
+            replicates: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("valid config");
+
+    let mut online = OnlineDetector::new(detector, SEED);
+    let mut eval = EvalScratch::new();
+    let mut emd = EmdScratch::new();
+
+    let warm_bags: Vec<Bag> = (0..WARM).map(bag_at).collect();
+    let measured_bags: Vec<Bag> = (WARM..WARM + MEASURED).map(bag_at).collect();
+    for bag in warm_bags {
+        online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("warm-up push");
+    }
+
+    let before = alloc_events();
+    for bag in measured_bags {
+        online
+            .push_with(bag, &mut eval, &mut emd)
+            .expect("measured push");
+    }
+    let push_allocs = alloc_events() - before;
+    assert_eq!(
+        push_allocs, 0,
+        "a warm tiered push_with must not allocate: every bound-ladder \
+         tier and every exact fallback must run out of the scratches \
+         ({push_allocs} events over {MEASURED} pushes)"
+    );
+}
+
+/// The same guarantee for every clustering signature method: once warm,
+/// the scratch-backed k-means/k-medoids/LVQ builds recycle the evicted
+/// signature's rows and the cluster scratch's buffers — zero heap
+/// events per push, exactly like the histogram path.
+#[cfg(debug_assertions)]
+#[test]
+fn warm_clustering_push_allocates_exactly_nothing() {
+    const SEED: u64 = 7;
+    const WARM: usize = 24;
+    const MEASURED: usize = 16;
+
+    for method in [
+        SignatureMethod::KMeans { k: 4 },
+        SignatureMethod::KMedoids { k: 4 },
+        SignatureMethod::Lvq { k: 4 },
+    ] {
+        let detector = Detector::new(DetectorConfig {
+            tau: 4,
+            tau_prime: 3,
+            signature: method.clone(),
+            bootstrap: BootstrapConfig {
+                replicates: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .expect("valid config");
+
+        let mut online = OnlineDetector::new(detector, SEED);
+        let mut eval = EvalScratch::new();
+        let mut emd = EmdScratch::new();
+
+        let warm_bags: Vec<Bag> = (0..WARM).map(bag_at).collect();
+        let measured_bags: Vec<Bag> = (WARM..WARM + MEASURED).map(bag_at).collect();
+        for bag in warm_bags {
+            online
+                .push_with(bag, &mut eval, &mut emd)
+                .expect("warm-up push");
+        }
+
+        let before = alloc_events();
+        for bag in measured_bags {
+            online
+                .push_with(bag, &mut eval, &mut emd)
+                .expect("measured push");
+        }
+        let push_allocs = alloc_events() - before;
+        assert_eq!(
+            push_allocs, 0,
+            "a warm {method:?} push_with must not allocate: the \
+             scratch-backed quantizer must recycle the evicted \
+             signature's rows ({push_allocs} events over {MEASURED} \
+             pushes)"
+        );
+    }
 }
 
 /// The same guarantee with telemetry attached: a solve-latency timer in
