@@ -5,7 +5,7 @@
 //! `g ~ Dir(n·pi_1, …, n·pi_n)`. Both reduce to normalizing independent
 //! Gamma variates.
 
-use crate::gamma::sample_gamma_shape;
+use crate::gamma::{sample_gamma_shape, GammaShape};
 use rand::Rng;
 
 /// Dirichlet distribution with concentration vector `alpha`.
@@ -121,10 +121,13 @@ impl Dirichlet {
     /// The fill is component-major: for each concentration `alpha[c]`,
     /// all replicates draw their Gamma variate before moving to the next
     /// component, so the alpha vector is swept once, cache-friendly,
-    /// instead of once per replicate. Each RNG still sees exactly the
-    /// per-replicate draw sequence of [`Dirichlet::sample_alpha_into`]
-    /// (Gamma draws in component order), and row totals accumulate in
-    /// the same left-to-right order — rows are bit-identical to one
+    /// instead of once per replicate — and the Marsaglia–Tsang sampler
+    /// constants for `alpha[c]` ([`GammaShape`]) are computed once per
+    /// component instead of once per draw. Each RNG still sees exactly
+    /// the per-replicate draw sequence of
+    /// [`Dirichlet::sample_alpha_into`] (Gamma draws in component
+    /// order), and row totals accumulate in the same left-to-right
+    /// order — rows are bit-identical to one
     /// [`Dirichlet::sample_alpha_into`] call per RNG.
     ///
     /// # Panics
@@ -137,8 +140,9 @@ impl Dirichlet {
             "sample_alpha_batch_into: shape mismatch"
         );
         for (c, &a) in alpha.iter().enumerate() {
+            let shape = GammaShape::new(a);
             for (r, rng) in rngs.iter_mut().enumerate() {
-                out[r * n + c] = sample_gamma_shape(a, rng);
+                out[r * n + c] = shape.sample(rng);
             }
         }
         for row in out.chunks_mut(n) {

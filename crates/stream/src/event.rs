@@ -24,6 +24,19 @@ pub struct QuarantineRecord {
     pub error: SourceError,
 }
 
+/// How a live score compared against a recorded one during a replay
+/// `--diff` session (see [`crate::scorelog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Bit-identical scores.
+    Equal,
+    /// Not bit-identical, but within the session's epsilon (the
+    /// bounded-error contract of `--solver tiered:eps`).
+    WithinEps,
+    /// Outside epsilon — a regression (or an intentional change).
+    Diverged,
+}
+
 /// One output of the detection pipeline, in delivery order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -79,6 +92,21 @@ pub enum Event {
         /// Events replayed from the spill log.
         replayed: u64,
     },
+    /// A replay `--diff` session compared one live score point against
+    /// the recorded score log (see [`crate::scorelog`]). Emitted once
+    /// per matched `(stream, t)`, interleaved with the live points.
+    ReplayDiff {
+        /// Stream name.
+        stream: Arc<str>,
+        /// The inspection point (0-based bag ordinal, as in the log).
+        t: usize,
+        /// The score the live session computed.
+        live: f64,
+        /// The score the log recorded.
+        recorded: f64,
+        /// The comparison verdict.
+        outcome: DiffOutcome,
+    },
 }
 
 impl Event {
@@ -86,7 +114,9 @@ impl Event {
     /// ([`Event::Note`] and [`Event::CheckpointWritten`] are not).
     pub fn stream(&self) -> Option<&str> {
         match self {
-            Event::Point { stream, .. } | Event::StreamError { stream, .. } => Some(stream),
+            Event::Point { stream, .. }
+            | Event::StreamError { stream, .. }
+            | Event::ReplayDiff { stream, .. } => Some(stream),
             Event::Quarantine(record) => Some(&record.stream),
             Event::Note(_)
             | Event::CheckpointWritten { .. }

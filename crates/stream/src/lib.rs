@@ -30,6 +30,11 @@
 //! - [`sink`] — [`Sink`]s (CSV, JSON lines, stderr diagnostics, tees,
 //!   memory) receiving everything the session observes as one typed
 //!   [`Event`] stream.
+//! - [`scorelog`] — a durable binary record of the event stream
+//!   ([`ScoreLogSink`]), replayable and diffable against a fresh run
+//!   ([`ReplayDiffSink`]) and queryable through a per-stream index
+//!   ([`ScoreStore`]); built, like [`SpillLog`], on the checksummed
+//!   append-only framing in [`framed`].
 //! - [`Pipeline`] — the builder facade owning the whole
 //!   read→detect→deliver→checkpoint loop, with delivery-acked
 //!   checkpoints: a checkpoint commits only after every event it
@@ -69,10 +74,12 @@
 pub mod cache;
 pub mod engine;
 pub mod event;
+pub mod framed;
 pub mod hash;
 pub mod ingest;
 pub mod online;
 pub mod pipeline;
+pub mod scorelog;
 pub mod sink;
 pub mod snapshot;
 pub mod telemetry;
@@ -83,10 +90,14 @@ pub use cache::{EmdScratch, SignatureWindow};
 pub use engine::{EngineConfig, EngineError, StreamEngine, StreamId};
 #[allow(deprecated)]
 pub use event::StreamEvent;
-pub use event::{Event, QuarantineRecord};
+pub use event::{DiffOutcome, Event, QuarantineRecord};
 pub use ingest::{CheckpointPolicy, Mux, MuxConfig, Source, SourceStatus};
 pub use online::{OnlineDetector, OnlineState};
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineError, PipelineSummary, StepReport};
+pub use scorelog::{
+    DiffSummary, DiffTracker, Query, QueryRow, ReplayDiffSink, ScoreLogReader, ScoreLogSink,
+    ScoreStore, StreamSummary,
+};
 pub use sink::{
     CsvSchema, CsvSink, JsonLinesSink, MemorySink, MetricsSink, RetryPolicy, RetryingSink, Sink,
     SpillLog, StderrAlertSink, Tee,

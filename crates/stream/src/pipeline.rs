@@ -138,6 +138,7 @@ pub struct PipelineBuilder {
     metrics: Option<MetricsRegistry>,
     metrics_addr: Option<String>,
     spill_dir: Option<PathBuf>,
+    score_log: Option<PathBuf>,
 }
 
 impl PipelineBuilder {
@@ -237,6 +238,19 @@ impl PipelineBuilder {
         self
     }
 
+    /// Record every event to the durable binary score log at `path`
+    /// (see [`crate::scorelog::ScoreLogSink`]) in addition to the
+    /// configured sinks. An existing log is appended to — the torn tail
+    /// of a crashed writer is truncated first, and a resumed session's
+    /// re-delivered tail lands as bit-identical duplicate records that
+    /// every score-log reader dedups. The sink participates in the
+    /// two-phase checkpoint contract like any other (fsync before
+    /// commit) and records into the pipeline's metrics registry.
+    pub fn score_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.score_log = Some(path.into());
+        self
+    }
+
     /// Serve `GET /metrics` (Prometheus text exposition) at `addr`,
     /// e.g. `"127.0.0.1:9464"` — port 0 picks a free port, reported by
     /// [`Pipeline::metrics_addr`]. The endpoint is polled from the
@@ -257,8 +271,14 @@ impl PipelineBuilder {
     /// [`PipelineError::Build`] for invalid configuration or an
     /// unreadable/corrupt state file; [`PipelineError::Sink`] if a sink
     /// cannot flush.
-    pub fn build(self) -> Result<Pipeline, PipelineError> {
+    pub fn build(mut self) -> Result<Pipeline, PipelineError> {
         let registry = self.metrics.unwrap_or_default();
+        if let Some(path) = &self.score_log {
+            let sink = crate::scorelog::ScoreLogSink::open(path)
+                .map_err(|e| PipelineError::Build(format!("score log {}: {e}", path.display())))?
+                .with_metrics(&registry);
+            self.sinks.push(Box::new(sink));
+        }
         let server = match &self.metrics_addr {
             Some(addr) => Some(
                 MetricsServer::bind(addr, registry.clone())
@@ -382,6 +402,7 @@ impl Pipeline {
             strict: false,
             stream_seeds: Vec::new(),
             metrics: None,
+            score_log: None,
             metrics_addr: None,
             spill_dir: None,
         }

@@ -166,6 +166,23 @@ impl Sink for StderrAlertSink {
                         "sink '{sink}' recovered; {replayed} spilled events replayed in order"
                     )?;
                 }
+                Event::ReplayDiff {
+                    stream,
+                    t,
+                    live,
+                    recorded,
+                    outcome,
+                } => {
+                    // Only divergence is worth a human's attention; the
+                    // equal/within-eps verdicts stay in the summary.
+                    if *outcome == crate::event::DiffOutcome::Diverged {
+                        writeln!(
+                            out,
+                            "DIVERGED on {stream} at inspection point {t}: live {live} vs \
+                             recorded {recorded}"
+                        )?;
+                    }
+                }
             }
         }
         out.flush()

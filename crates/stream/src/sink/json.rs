@@ -1,7 +1,7 @@
 //! JSON-lines egress — hand-rolled, no dependencies.
 
 use super::Sink;
-use crate::event::Event;
+use crate::event::{DiffOutcome, Event};
 use std::io::{self, Write};
 
 /// One JSON object per event, newline-delimited (`jq`-able, log-store
@@ -123,6 +123,31 @@ fn encode(buf: &mut String, event: &Event) {
             buf.push_str("{\"type\":\"recovered\",\"sink\":");
             push_json_str(buf, sink);
             buf.push_str(&format!(",\"replayed\":{replayed}}}"));
+        }
+        Event::ReplayDiff {
+            stream,
+            t,
+            live,
+            recorded,
+            outcome,
+        } => {
+            buf.push_str("{\"type\":\"replay_diff\",\"stream\":");
+            push_json_str(buf, stream);
+            buf.push_str(&format!(",\"t\":{t}"));
+            buf.push_str(",\"live\":");
+            push_json_f64(buf, *live);
+            buf.push_str(",\"recorded\":");
+            push_json_f64(buf, *recorded);
+            buf.push_str(",\"outcome\":");
+            push_json_str(
+                buf,
+                match outcome {
+                    DiffOutcome::Equal => "equal",
+                    DiffOutcome::WithinEps => "within_eps",
+                    DiffOutcome::Diverged => "diverged",
+                },
+            );
+            buf.push('}');
         }
     }
 }

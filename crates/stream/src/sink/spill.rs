@@ -2,9 +2,9 @@
 //! egress.
 //!
 //! When a sink exhausts its delivery attempts, the pipeline stops
-//! handing it batches and appends them here instead. The format is a
-//! sequence of length-prefixed, FNV-checksummed frames after an 8-byte
-//! magic, so:
+//! handing it batches and appends them here instead. The on-disk shape
+//! is the shared framed-log core ([`crate::framed`]) — an 8-byte magic
+//! followed by length-prefixed, FNV-checksummed frames — so:
 //!
 //! - appends are crash-safe: a `kill -9` mid-append leaves a torn final
 //!   frame, which [`SpillLog::open`] detects (bad length, bad checksum,
@@ -15,31 +15,27 @@
 //! - replay is in append order, so a recovered sink sees exactly the
 //!   event sequence a fault-free run would have delivered.
 //!
-//! Encoding is hand-rolled (no serde in this workspace): little-endian
-//! integers, f64 bit patterns, length-prefixed UTF-8.
+//! Each frame payload is a count-prefixed batch of [`Event`]s in the
+//! wire encoding of [`crate::framed::wire`]: little-endian integers,
+//! f64 bit patterns, length-prefixed UTF-8. Stream names are spelled
+//! out per event — a spill log holds one sink's short backlog, so the
+//! interning the score log does ([`crate::scorelog`]) would buy
+//! nothing here.
 
-use crate::event::{Event, QuarantineRecord};
+use crate::event::{DiffOutcome, Event, QuarantineRecord};
+use crate::framed::{wire, FramedLog};
 use crate::ingest::source::SourceError;
 use bagcpd::{ConfidenceInterval, ScorePoint};
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
-use crate::hash::Fnv1a;
-
 const MAGIC: &[u8; 8] = b"BCPDSPL1";
-/// Frame header: u32 payload length + u64 FNV-1a of the payload.
-const FRAME_HEADER: usize = 4 + 8;
-/// Refuse absurd frame lengths (a torn length prefix can decode to
-/// anything); no legitimate event batch frame approaches this.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// A durable append-only log of [`Event`]s. See the module docs for
 /// format and crash-safety properties.
 pub struct SpillLog {
-    file: File,
-    path: PathBuf,
+    log: FramedLog,
     events: u64,
 }
 
@@ -51,75 +47,25 @@ impl SpillLog {
     /// I/O failure, or an existing file whose magic is not a spill log
     /// (refusing to truncate a file this module does not own).
     pub fn open(path: &Path) -> io::Result<SpillLog> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len == 0 {
-            file.write_all(MAGIC)?;
-            file.sync_data()?;
-            return Ok(SpillLog {
-                file,
-                path: path.to_path_buf(),
-                events: 0,
-            });
-        }
-        let mut magic = [0u8; 8];
-        let got = read_up_to(&mut file, &mut magic)?;
-        if got < 8 || &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{} is not a spill log (bad magic)", path.display()),
-            ));
-        }
-        // Scan frames; stop at the first torn/corrupt one and truncate.
-        let mut good_end = 8u64;
         let mut events = 0u64;
-        let mut header = [0u8; FRAME_HEADER];
-        let mut payload = Vec::new();
-        loop {
-            if read_up_to(&mut file, &mut header)? < FRAME_HEADER {
-                break;
-            }
-            let frame_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-            let sum = u64::from_le_bytes([
-                header[4], header[5], header[6], header[7], header[8], header[9], header[10],
-                header[11],
-            ]);
-            if frame_len == 0 || frame_len > MAX_FRAME {
-                break;
-            }
-            payload.resize(frame_len as usize, 0);
-            if read_up_to(&mut file, &mut payload)? < frame_len as usize {
-                break;
-            }
-            if Fnv1a::hash(&payload) != sum {
-                break;
-            }
-            let Some(decoded) = decode_events(&payload) else {
-                break;
-            };
-            events += decoded;
-            good_end += (FRAME_HEADER + frame_len as usize) as u64;
-        }
-        if good_end < len {
-            file.set_len(good_end)?;
-            file.sync_data()?;
-        }
-        file.seek(SeekFrom::End(0))?;
-        Ok(SpillLog {
-            file,
-            path: path.to_path_buf(),
-            events,
-        })
+        let log = FramedLog::open(
+            path,
+            MAGIC,
+            "spill log",
+            &mut |payload| match decode_events(payload) {
+                Some(count) => {
+                    events += count;
+                    true
+                }
+                None => false,
+            },
+        )?;
+        Ok(SpillLog { log, events })
     }
 
     /// Where this log lives.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.log.path()
     }
 
     /// Events recorded (durable or pending [`SpillLog::sync`]).
@@ -143,21 +89,20 @@ impl SpillLog {
             return Ok(());
         }
         let mut payload = Vec::with_capacity(64 * events.len());
-        put_u32(&mut payload, events.len() as u32);
+        wire::put_u32(&mut payload, events.len() as u32);
         for event in events {
             encode_event(&mut payload, event);
         }
-        if payload.len() as u64 > u64::from(MAX_FRAME) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "spill batch exceeds the maximum frame size",
-            ));
-        }
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        put_u32(&mut frame, payload.len() as u32);
-        frame.extend_from_slice(&Fnv1a::hash(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        self.log
+            .append(&payload)
+            .map_err(|e| match e.kind() {
+                io::ErrorKind::InvalidInput => io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "spill batch exceeds the maximum frame size",
+                ),
+                _ => e,
+            })
+            .map(|_| ())?;
         self.events += events.len() as u64;
         Ok(())
     }
@@ -167,7 +112,7 @@ impl SpillLog {
     /// # Errors
     /// I/O failure; the pipeline must not checkpoint over the spill.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.log.sync()
     }
 
     /// Read back every event, in append order. The write position is
@@ -179,31 +124,18 @@ impl SpillLog {
     /// well-formed; a frame that still fails to decode reports
     /// `InvalidData`.
     pub fn replay(&mut self) -> io::Result<Vec<Event>> {
-        self.file.seek(SeekFrom::Start(8))?;
         let mut out = Vec::new();
-        let mut header = [0u8; FRAME_HEADER];
-        let mut payload = Vec::new();
-        loop {
-            if read_up_to(&mut self.file, &mut header)? < FRAME_HEADER {
-                break;
-            }
-            let frame_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-            if frame_len == 0 || frame_len > MAX_FRAME {
-                break;
-            }
-            payload.resize(frame_len as usize, 0);
-            if read_up_to(&mut self.file, &mut payload)? < frame_len as usize {
-                break;
-            }
-            if !decode_into(&payload, &mut out) {
-                self.file.seek(SeekFrom::End(0))?;
-                return Err(io::Error::new(
+        let path = self.log.path().to_path_buf();
+        self.log.scan(&mut |payload| {
+            if decode_into(payload, &mut out) {
+                Ok(())
+            } else {
+                Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("undecodable frame in {}", self.path.display()),
-                ));
+                    format!("undecodable frame in {}", path.display()),
+                ))
             }
-        }
-        self.file.seek(SeekFrom::End(0))?;
+        })?;
         Ok(out)
     }
 
@@ -212,59 +144,25 @@ impl SpillLog {
     /// # Errors
     /// I/O failure.
     pub fn clear(&mut self) -> io::Result<()> {
-        self.file.set_len(8)?;
-        self.file.seek(SeekFrom::End(0))?;
-        self.file.sync_data()?;
+        self.log.clear()?;
         self.events = 0;
         Ok(())
     }
-}
-
-/// Read until `buf` is full or EOF; returns bytes read (an `Interrupted`
-/// read is retried).
-fn read_up_to(file: &mut File, buf: &mut [u8]) -> io::Result<usize> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match file.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(filled)
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    buf.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
 }
 
 fn encode_event(buf: &mut Vec<u8>, event: &Event) {
     match event {
         Event::Point { stream, point } => {
             buf.push(0);
-            put_str(buf, stream);
-            put_u64(buf, point.t as u64);
-            put_f64(buf, point.score);
-            put_f64(buf, point.ci.lo);
-            put_f64(buf, point.ci.up);
+            wire::put_str(buf, stream);
+            wire::put_u64(buf, point.t as u64);
+            wire::put_f64(buf, point.score);
+            wire::put_f64(buf, point.ci.lo);
+            wire::put_f64(buf, point.ci.up);
             match point.xi {
                 Some(xi) => {
                     buf.push(1);
-                    put_f64(buf, xi);
+                    wire::put_f64(buf, xi);
                 }
                 None => buf.push(0),
             }
@@ -272,41 +170,59 @@ fn encode_event(buf: &mut Vec<u8>, event: &Event) {
         }
         Event::StreamError { stream, message } => {
             buf.push(1);
-            put_str(buf, stream);
-            put_str(buf, message);
+            wire::put_str(buf, stream);
+            wire::put_str(buf, message);
         }
         Event::Quarantine(record) => {
             buf.push(2);
-            put_str(buf, &record.stream);
+            wire::put_str(buf, &record.stream);
             match &record.error {
                 SourceError::Io(m) => {
                     buf.push(0);
-                    put_str(buf, m);
+                    wire::put_str(buf, m);
                 }
                 SourceError::Data(m) => {
                     buf.push(1);
-                    put_str(buf, m);
+                    wire::put_str(buf, m);
                 }
             }
         }
         Event::Note(text) => {
             buf.push(3);
-            put_str(buf, text);
+            wire::put_str(buf, text);
         }
         Event::CheckpointWritten { bytes, bags } => {
             buf.push(4);
-            put_u64(buf, *bytes as u64);
-            put_u64(buf, *bags);
+            wire::put_u64(buf, *bytes as u64);
+            wire::put_u64(buf, *bags);
         }
         Event::Degraded { sink, reason } => {
             buf.push(5);
-            put_str(buf, sink);
-            put_str(buf, reason);
+            wire::put_str(buf, sink);
+            wire::put_str(buf, reason);
         }
         Event::Recovered { sink, replayed } => {
             buf.push(6);
-            put_str(buf, sink);
-            put_u64(buf, *replayed);
+            wire::put_str(buf, sink);
+            wire::put_u64(buf, *replayed);
+        }
+        Event::ReplayDiff {
+            stream,
+            t,
+            live,
+            recorded,
+            outcome,
+        } => {
+            buf.push(7);
+            wire::put_str(buf, stream);
+            wire::put_u64(buf, *t as u64);
+            wire::put_f64(buf, *live);
+            wire::put_f64(buf, *recorded);
+            buf.push(match outcome {
+                DiffOutcome::Equal => 0,
+                DiffOutcome::WithinEps => 1,
+                DiffOutcome::Diverged => 2,
+            });
         }
     }
 }
@@ -325,10 +241,7 @@ fn decode_events(payload: &[u8]) -> Option<u64> {
 /// Decode one frame payload (count-prefixed events) into `out`; false
 /// on any malformed byte, in which case `out` is left as it was.
 fn decode_into(payload: &[u8], out: &mut Vec<Event>) -> bool {
-    let mut cur = Cursor {
-        buf: payload,
-        pos: 0,
-    };
+    let mut cur = wire::Cursor::new(payload);
     let Some(count) = cur.u32() else { return false };
     let mark = out.len();
     for _ in 0..count {
@@ -338,14 +251,14 @@ fn decode_into(payload: &[u8], out: &mut Vec<Event>) -> bool {
         };
         out.push(event);
     }
-    if cur.pos != payload.len() {
+    if !cur.at_end() {
         out.truncate(mark);
         return false;
     }
     true
 }
 
-fn decode_event(cur: &mut Cursor<'_>) -> Option<Event> {
+fn decode_event(cur: &mut wire::Cursor<'_>) -> Option<Event> {
     match cur.u8()? {
         0 => {
             let stream: Arc<str> = Arc::from(cur.str()?);
@@ -400,50 +313,27 @@ fn decode_event(cur: &mut Cursor<'_>) -> Option<Event> {
             sink: cur.str()?.to_string(),
             replayed: cur.u64()?,
         }),
+        7 => Some(Event::ReplayDiff {
+            stream: Arc::from(cur.str()?),
+            t: cur.u64()? as usize,
+            live: cur.f64()?,
+            recorded: cur.f64()?,
+            outcome: match cur.u8()? {
+                0 => DiffOutcome::Equal,
+                1 => DiffOutcome::WithinEps,
+                2 => DiffOutcome::Diverged,
+                _ => return None,
+            },
+        }),
         _ => None,
-    }
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        let slice = self.buf.get(self.pos..end)?;
-        self.pos = end;
-        Some(slice)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        self.u64().map(f64::from_bits)
-    }
-
-    fn str(&mut self) -> Option<&'a str> {
-        let len = self.u32()? as usize;
-        std::str::from_utf8(self.take(len)?).ok()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::path::PathBuf;
 
     fn point(stream: &str, t: usize) -> Event {
         Event::Point {
@@ -486,6 +376,13 @@ mod tests {
             Event::Recovered {
                 sink: "csv".into(),
                 replayed: 12,
+            },
+            Event::ReplayDiff {
+                stream: Arc::from("a"),
+                t: 9,
+                live: 1.25,
+                recorded: 1.5,
+                outcome: DiffOutcome::Diverged,
             },
         ]
     }

@@ -122,6 +122,14 @@ pub mod names {
     pub const INGEST_TCP_BACKPRESSURE: &str = "bagscpd_ingest_tcp_backpressure_transitions_total";
     /// Idle streams evicted (detector retired, cursor dropped).
     pub const INGEST_STREAMS_EVICTED: &str = "bagscpd_ingest_streams_evicted_total";
+    /// Records appended to durable score logs by `ScoreLogSink`.
+    pub const SCORELOG_RECORDS: &str = "bagscpd_scorelog_records_total";
+    /// Bytes appended to durable score logs (frame overhead included).
+    pub const SCORELOG_BYTES: &str = "bagscpd_scorelog_bytes_total";
+    /// Per-(stream, t) score comparisons made by replay `--diff`.
+    pub const SCORELOG_REPLAY_COMPARED: &str = "bagscpd_scorelog_replay_compared_total";
+    /// Replay comparisons that diverged beyond the session's epsilon.
+    pub const SCORELOG_REPLAY_DIVERGED: &str = "bagscpd_scorelog_replay_diverged_total";
 }
 
 /// Default latency buckets (seconds), spanning sub-microsecond EMD

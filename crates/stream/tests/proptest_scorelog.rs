@@ -1,0 +1,215 @@
+//! Property tests for the score log: every event sequence round-trips
+//! through the binary format, truncation at *any* byte offset yields a
+//! clean prefix (never garbage), a flipped byte is always caught by the
+//! frame checksum, and a replay of the recorded events diffs clean.
+
+use proptest::prelude::*;
+use stream::ingest::SourceError;
+use stream::scorelog::{ReplayDiffSink, ScoreLogReader, ScoreLogSink};
+use stream::sink::{MemorySink, Sink};
+use stream::{Event, QuarantineRecord};
+
+use bagcpd::{ConfidenceInterval, ScorePoint};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch path per test case (proptest reuses threads, so the
+/// thread id alone is not enough).
+fn scratch(label: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir =
+        std::env::temp_dir().join(format!("bagscpd-proptest-scorelog-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{label}-{}.slog",
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const STREAMS: &[&str] = &["s0", "sensor-with-a-long-name", "s2", "s3"];
+const MESSAGES: &[&str] = &["", "bad bag", "rotated", "refused: over limit"];
+
+/// Finite floats only: events compare with `PartialEq`, so NaN payloads
+/// would make even a perfect round-trip look unequal.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    -1.0e9..1.0e9f64
+}
+
+/// The raw draw behind both point and mixed-event strategies — the
+/// vendored proptest caps tuple arity at 6, so the fields nest.
+type PointFields = ((usize, usize, f64), (f64, f64, u8, f64), (u8, usize, u64));
+
+fn arb_point_fields() -> impl Strategy<Value = PointFields> {
+    (
+        (0..STREAMS.len(), 0usize..10_000, arb_f64()),
+        (arb_f64(), arb_f64(), 0u8..2, arb_f64()),
+        (0u8..2, 0..MESSAGES.len(), 0u64..1_000_000),
+    )
+}
+
+fn build_point(((s, t, score), (lo, up, xi_flag, xi), (flag, _m, _n)): PointFields) -> Event {
+    Event::Point {
+        stream: Arc::from(STREAMS[s]),
+        point: ScorePoint {
+            t,
+            score,
+            ci: ConfidenceInterval { lo, up },
+            xi: (xi_flag == 1).then_some(xi),
+            alert: flag == 1,
+        },
+    }
+}
+
+fn arb_point() -> impl Strategy<Value = Event> {
+    arb_point_fields().prop_map(build_point)
+}
+
+/// The full event mix, point-heavy (variants 0–5 of 10 are points).
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u8..10, arb_point_fields()).prop_map(|(variant, fields)| {
+        let ((s, _t, _score), _, (flag, m, n)) = fields;
+        let stream: Arc<str> = Arc::from(STREAMS[s]);
+        let message = MESSAGES[m].to_string();
+        match variant {
+            0..=5 => build_point(fields),
+            6 => Event::StreamError { stream, message },
+            7 => Event::Quarantine(QuarantineRecord {
+                stream,
+                error: if flag == 1 {
+                    SourceError::Io(message)
+                } else {
+                    SourceError::Data(message)
+                },
+            }),
+            8 => Event::Note(message),
+            _ => Event::CheckpointWritten {
+                bytes: n as usize,
+                bags: n,
+            },
+        }
+    })
+}
+
+/// Write `events` split into frames at the (modulo-mapped) cut points;
+/// returns the log path.
+fn record(label: &str, events: &[Event], splits: &[usize]) -> PathBuf {
+    let path = scratch(label);
+    let mut sink = ScoreLogSink::open(&path).unwrap();
+    let mut cuts: Vec<usize> = splits.iter().map(|i| i % (events.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(events.len());
+    cuts.sort_unstable();
+    for pair in cuts.windows(2) {
+        // Empty batches are legal frames too.
+        sink.deliver(&events[pair[0]..pair[1]]).unwrap();
+    }
+    sink.flush_durable().unwrap();
+    path
+}
+
+/// `got` must be a prefix of `want` — same events, nothing invented.
+fn assert_prefix(got: &[Event], want: &[Event]) -> Result<(), TestCaseError> {
+    prop_assert!(got.len() <= want.len(), "more events than were written");
+    prop_assert_eq!(got, &want[..got.len()]);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the event mix and frame boundaries, reading the log
+    /// back yields exactly the recorded sequence.
+    #[test]
+    fn log_round_trips(
+        events in prop::collection::vec(arb_event(), 0..40),
+        splits in prop::collection::vec(0usize..64, 0..4),
+    ) {
+        let path = record("roundtrip", &events, &splits);
+        let got = ScoreLogReader::read_all(&path).unwrap();
+        prop_assert_eq!(got, events);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A crash can truncate the log at *any* byte offset; the reader
+    /// must come back with a clean prefix of the recorded events (whole
+    /// frames only), never an error past the magic and never garbage.
+    #[test]
+    fn truncation_at_any_offset_yields_a_prefix(
+        events in prop::collection::vec(arb_event(), 1..24),
+        splits in prop::collection::vec(0usize..64, 0..3),
+        cut in 0usize..1 << 20,
+    ) {
+        let path = record("truncate", &events, &splits);
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        let cut = cut % (len + 1);
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(cut as u64).unwrap();
+        drop(file);
+        match ScoreLogReader::read_all(&path) {
+            Ok(got) => assert_prefix(&got, &events)?,
+            // Only a destroyed header may refuse outright.
+            Err(_) => prop_assert!(cut < 8, "read failed at frame offset {cut}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Any single flipped bit is caught: the reader never returns an
+    /// event sequence that differs from a prefix of what was written
+    /// (the FNV-1a frame checksum refuses the damaged frame and
+    /// scanning stops there, torn-tail style).
+    #[test]
+    fn byte_flips_never_corrupt_decoded_events(
+        events in prop::collection::vec(arb_event(), 1..24),
+        splits in prop::collection::vec(0usize..64, 0..3),
+        at in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let path = record("byteflip", &events, &splits);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit somewhere past the 8-byte magic.
+        let at = 8 + at % (bytes.len() - 8);
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        // The reader may lose the damaged frame's tail (or nothing, if
+        // the flip hit a frame with no events) — but must never return
+        // anything that differs from what was written.
+        if let Ok(got) = ScoreLogReader::read_all(&path) {
+            assert_prefix(&got, &events)?;
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Replaying exactly what was recorded diffs clean with every
+    /// comparison bit-equal — including a re-delivered tail, the way a
+    /// checkpoint-resumed session repeats its un-acked suffix.
+    #[test]
+    fn replaying_the_recording_diffs_clean(
+        events in prop::collection::vec(arb_point(), 1..32),
+        splits in prop::collection::vec(0usize..64, 0..3),
+        tail in 0usize..64,
+    ) {
+        let path = record("replay", &events, &splits);
+        let mut diff = ReplayDiffSink::load(&path, 0.0, MemorySink::new()).unwrap();
+        let tracker = diff.tracker();
+        diff.deliver(&events).unwrap();
+        // Duplicate re-delivery of a tail is bit-identical: still clean.
+        diff.deliver(&events[tail % events.len()..]).unwrap();
+        let summary = tracker.summary();
+        prop_assert!(summary.is_clean(), "summary: {summary:?}");
+        prop_assert_eq!(summary.diverged, 0);
+        prop_assert_eq!(summary.within_eps, 0);
+        // Distinct (stream, t) pairs, each compared exactly once.
+        let distinct = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Point { stream, point } => Some((stream.clone(), point.t)),
+                _ => None,
+            })
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        prop_assert_eq!(summary.compared, distinct);
+        prop_assert_eq!(summary.equal, distinct);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -87,8 +87,9 @@ use bags_cpd::stream::ingest::{
 };
 use bags_cpd::stream::testkit::{ChaosSink, DeliverFault, FaultSchedule};
 use bags_cpd::stream::{
-    CheckpointPolicy, CsvSchema, CsvSink, MemorySink, MetricSample, MetricsRegistry, Pipeline,
-    PipelineBuilder, RetryPolicy, RetryingSink, Sink, StderrAlertSink,
+    CheckpointPolicy, CsvSchema, CsvSink, Event, MemorySink, MetricSample, MetricsRegistry,
+    Pipeline, PipelineBuilder, Query, ReplayDiffSink, RetryPolicy, RetryingSink, ScoreLogReader,
+    ScoreStore, Sink, StderrAlertSink, Tee,
 };
 use bags_cpd::{
     Bag, BootstrapConfig, DetectError, Detector, DetectorConfig, EmdSolver, ScoreKind,
@@ -106,6 +107,10 @@ enum Mode {
     Follow,
     /// Multi-source ingestion: files, directory, TCP.
     Serve,
+    /// Re-emit a recorded score log, or diff a fresh run against one.
+    Replay,
+    /// Query a recorded score log through its per-stream index.
+    Query,
 }
 
 /// Parsed command-line options.
@@ -161,12 +166,31 @@ struct Options {
     /// (`<at_event>:<failures>`) — the chaos-testing hook the CI smoke
     /// test drives.
     chaos_sink: Option<(u64, u32)>,
+    /// batch/follow/serve: record every event to this binary score log.
+    score_log: Option<String>,
+    /// replay: diff the live run against this recorded score log.
+    diff: Option<String>,
+    /// replay --diff: score drift accepted as "within eps" (default 0:
+    /// bit-exact or diverged).
+    eps: f64,
+    /// query: restrict to one stream.
+    q_stream: Option<String>,
+    /// query: only points with `t >= since`.
+    q_since: Option<u64>,
+    /// query: only points with `t <= until`.
+    q_until: Option<u64>,
+    /// query: only alerting points.
+    q_alerts_only: bool,
+    /// query: top-N points by score.
+    q_top: Option<usize>,
 }
 
 const USAGE: &str = "\
 usage: bags-cpd <input.csv> [options]
        bags-cpd follow <input.csv|-> [options]
        bags-cpd serve [--csv <f.csv>]... [--dir <d>] [--listen <addr>] [options]
+       bags-cpd replay <log> | replay --diff <log> [input.csv] [options]
+       bags-cpd query <log> [--stream <s>] [--since <t>] [--until <t>] [options]
 
 modes:
   <input.csv>            batch: analyze the whole file at once
@@ -177,6 +201,16 @@ modes:
                          directory of CSVs (one stream per file), and/or
                          a TCP line protocol ('stream,t,x1,...') into
                          one engine; output rows carry the stream name
+  replay <log>           re-emit the events recorded in a --score-log
+                         file; with --diff <log>, instead re-analyze the
+                         original inputs (positional file and/or
+                         --csv/--dir, with the recording session's
+                         detector flags and --seed) and compare every
+                         live score against the record, exiting nonzero
+                         on any divergence
+  query <log>            summarize a --score-log per stream, or list
+                         recorded points filtered by --stream/--since/
+                         --until/--alerts-only/--top
 
 options:
   --tau <n>              reference window length (default 5)
@@ -234,6 +268,17 @@ options:
   --chaos-sink <a>:<f>   serve: inject a deterministic stdout-sink fault
                          for testing — the delivery containing event
                          ordinal a fails f times, then heals
+  --score-log <file>     batch/follow/serve: record every event to this
+                         durable binary log (append-only, checksummed;
+                         an existing log is appended to across resumes)
+  --diff <log>           replay: compare the live run against this log
+  --eps <e>              replay --diff: accept |live - recorded| <= e as
+                         'within eps' instead of diverged (default 0)
+  --stream <s>           query: only this stream
+  --since <t>            query: only points with t >= this
+  --until <t>            query: only points with t <= this
+  --alerts-only          query: only alerting points
+  --top <n>              query: the n highest-scoring points
   --stats                print the final telemetry snapshot (every
                          counter, gauge, and histogram) to stderr
   --help                 show this message
@@ -271,6 +316,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         spill_dir: None,
         sink_retries: None,
         chaos_sink: None,
+        score_log: None,
+        diff: None,
+        eps: 0.0,
+        q_stream: None,
+        q_since: None,
+        q_until: None,
+        q_alerts_only: false,
+        q_top: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -434,6 +487,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.sink_retries = Some(n);
             }
+            "--score-log" => opts.score_log = Some(take("--score-log")?),
+            "--diff" => opts.diff = Some(take("--diff")?),
+            "--eps" => {
+                let eps: f64 = take("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err("--eps: need a finite non-negative number".to_string());
+                }
+                opts.eps = eps;
+            }
+            "--stream" => opts.q_stream = Some(take("--stream")?),
+            "--since" => {
+                opts.q_since = Some(
+                    take("--since")?
+                        .parse()
+                        .map_err(|e| format!("--since: {e}"))?,
+                );
+            }
+            "--until" => {
+                opts.q_until = Some(
+                    take("--until")?
+                        .parse()
+                        .map_err(|e| format!("--until: {e}"))?,
+                );
+            }
+            "--alerts-only" => opts.q_alerts_only = true,
+            "--top" => {
+                opts.q_top = Some(take("--top")?.parse().map_err(|e| format!("--top: {e}"))?);
+            }
             "--chaos-sink" => {
                 let spec = take("--chaos-sink")?;
                 let (at, failures) = spec.split_once(':').ok_or_else(|| {
@@ -465,12 +546,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             opts.mode = Mode::Serve;
             positional.remove(0);
         }
+        Some("replay") => {
+            opts.mode = Mode::Replay;
+            positional.remove(0);
+        }
+        Some("query") => {
+            opts.mode = Mode::Query;
+            positional.remove(0);
+        }
         _ => {}
     }
+    // --csv/--dir also feed replay --diff (the original inputs of the
+    // recorded session); everything else stays serve-only.
+    if !matches!(opts.mode, Mode::Serve | Mode::Replay)
+        && (!opts.csvs.is_empty() || opts.dir.is_some())
+    {
+        return Err("--csv/--dir are serve/replay-mode options".to_string());
+    }
     if opts.mode != Mode::Serve
-        && (!opts.csvs.is_empty()
-            || opts.dir.is_some()
-            || opts.listen.is_some()
+        && (opts.listen.is_some()
             || opts.watch
             || opts.max_line_bytes.is_some()
             || opts.max_streams.is_some()
@@ -482,15 +576,88 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.sink_retries.is_some()
             || opts.chaos_sink.is_some())
     {
-        return Err(
-            "--csv/--dir/--listen/--watch/--max-line-bytes/--max-streams/--metrics/\
+        return Err("--listen/--watch/--max-line-bytes/--max-streams/--metrics/\
              --auth-token/--evict-idle/--drain-grace/--spill-dir/--sink-retries/--chaos-sink \
              are serve-mode options"
-                .to_string(),
-        );
+            .to_string());
     }
     if (opts.checkpoint_bags.is_some() || opts.checkpoint_ticks.is_some()) && opts.state.is_none() {
         return Err("--checkpoint-bags/--checkpoint-ticks need --state".to_string());
+    }
+    if opts.score_log.is_some() && matches!(opts.mode, Mode::Replay | Mode::Query) {
+        return Err("--score-log records a live session (batch/follow/serve)".to_string());
+    }
+    if opts.mode != Mode::Replay && opts.diff.is_some() {
+        return Err("--diff is a replay-mode option".to_string());
+    }
+    if opts.eps != 0.0 && opts.diff.is_none() {
+        return Err("--eps needs replay --diff".to_string());
+    }
+    if opts.mode != Mode::Query
+        && (opts.q_stream.is_some()
+            || opts.q_since.is_some()
+            || opts.q_until.is_some()
+            || opts.q_alerts_only
+            || opts.q_top.is_some())
+    {
+        return Err(
+            "--stream/--since/--until/--alerts-only/--top are query-mode options".to_string(),
+        );
+    }
+    if opts.mode == Mode::Replay {
+        if opts.state.is_some() {
+            return Err("replay re-runs from scratch; --state is not available".to_string());
+        }
+        if opts.output.is_some() {
+            return Err("--output is only meaningful in batch mode".to_string());
+        }
+        match &opts.diff {
+            None => {
+                // Dump mode: the one positional is the log itself.
+                if !opts.csvs.is_empty() || opts.dir.is_some() {
+                    return Err("--csv/--dir need replay --diff (they name the inputs \
+                                to re-analyze)"
+                        .to_string());
+                }
+                match positional.len() {
+                    0 => return Err(format!("replay: missing score log\n\n{USAGE}")),
+                    1 => opts.input = positional.remove(0),
+                    _ => return Err(format!("too many positional arguments\n\n{USAGE}")),
+                }
+            }
+            Some(_) => {
+                // Diff mode: positional (if any) is the original input.
+                match positional.len() {
+                    0 => {
+                        if opts.csvs.is_empty() && opts.dir.is_none() {
+                            return Err(format!(
+                                "replay --diff needs the original inputs (a positional \
+                                 CSV, --csv, or --dir)\n\n{USAGE}"
+                            ));
+                        }
+                    }
+                    1 => opts.input = positional.remove(0),
+                    _ => return Err(format!("too many positional arguments\n\n{USAGE}")),
+                }
+            }
+        }
+        return Ok(opts);
+    }
+    if opts.mode == Mode::Query {
+        if opts.state.is_some() || opts.output.is_some() {
+            return Err("query only reads a score log; --state/--output do not apply".to_string());
+        }
+        match positional.len() {
+            0 => return Err(format!("query: missing score log\n\n{USAGE}")),
+            1 => opts.input = positional.remove(0),
+            _ => return Err(format!("too many positional arguments\n\n{USAGE}")),
+        }
+        if let (Some(since), Some(until)) = (opts.q_since, opts.q_until) {
+            if since > until {
+                return Err(format!("--since {since} is after --until {until}"));
+            }
+        }
+        return Ok(opts);
     }
     if opts.mode == Mode::Serve {
         if !positional.is_empty() {
@@ -568,6 +735,9 @@ fn pipeline_builder(opts: &Options, workers: usize, strict: bool) -> PipelineBui
             },
             state,
         );
+    }
+    if let Some(log) = &opts.score_log {
+        builder = builder.score_log(log);
     }
     builder
 }
@@ -747,6 +917,32 @@ fn run_follow(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Add one [`CsvFileSource`] per `--csv` path, each stream named by the
+/// file stem. Two files feeding one stream would interleave two inputs
+/// into one detector: reject up front, not at the first checkpoint (and
+/// not silently, without --state).
+fn add_csv_sources(
+    mut builder: PipelineBuilder,
+    csvs: &[String],
+    watch: bool,
+) -> Result<PipelineBuilder, String> {
+    let mut stems = std::collections::HashSet::new();
+    for path in csvs {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("--csv {path}: cannot derive a stream name"))?
+            .to_string();
+        if !stems.insert(stem.clone()) {
+            return Err(format!(
+                "--csv {path}: stream '{stem}' is already fed by another --csv file"
+            ));
+        }
+        builder = builder.source(CsvFileSource::new(path, stem, watch));
+    }
+    Ok(builder)
+}
+
 fn run_serve(opts: &Options) -> Result<(), String> {
     build_detector(opts)?;
     // Shared registry so host-side sink wrappers (retry layer) and the
@@ -788,23 +984,7 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         builder = builder.spill_dir(dir);
     }
 
-    let mut stems = std::collections::HashSet::new();
-    for path in &opts.csvs {
-        let stem = std::path::Path::new(path)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .ok_or_else(|| format!("--csv {path}: cannot derive a stream name"))?
-            .to_string();
-        // Two files feeding one stream would interleave two inputs
-        // into one detector: reject up front, not at the first
-        // checkpoint (and not silently, without --state).
-        if !stems.insert(stem.clone()) {
-            return Err(format!(
-                "--csv {path}: stream '{stem}' is already fed by another --csv file"
-            ));
-        }
-        builder = builder.source(CsvFileSource::new(path, stem, opts.watch));
-    }
+    builder = add_csv_sources(builder, &opts.csvs, opts.watch)?;
     if let Some(dir) = &opts.dir {
         builder = builder.source(DirSource::new(dir, opts.watch));
     }
@@ -873,6 +1053,167 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `replay <log>`: re-emit every recorded event through the stdout
+/// sinks — the score table on stdout (canonical schema, full
+/// precision), alerts and diagnostics on stderr — without touching the
+/// detector at all.
+fn run_replay_dump(opts: &Options) -> Result<(), String> {
+    let path = std::path::Path::new(&opts.input);
+    let mut sink = Tee::new(
+        CsvSink::with_schema(std::io::stdout(), CsvSchema::canonical()),
+        StderrAlertSink::new(true),
+    );
+    let mut batch: Vec<Event> = Vec::with_capacity(256);
+    let mut total = 0u64;
+    ScoreLogReader::for_each(path, &mut |event| {
+        total += 1;
+        batch.push(event.clone());
+        if batch.len() == batch.capacity() {
+            let r = sink.deliver(&batch);
+            batch.clear();
+            return r;
+        }
+        Ok(())
+    })
+    .map_err(|e| format!("{}: {e}", opts.input))?;
+    sink.deliver(&batch)
+        .and_then(|()| sink.flush_durable())
+        .map_err(|e| e.to_string())?;
+    eprintln!("replayed {total} recorded event(s) from {}", opts.input);
+    Ok(())
+}
+
+/// `replay --diff <log>`: re-analyze the original inputs with the same
+/// detector flags and seed, and compare every live score against the
+/// record. Exits nonzero (via `Err`) on any divergence, live point the
+/// log never recorded, or recorded point the live run never reproduced.
+fn run_replay_diff(opts: &Options, log: &str) -> Result<(), String> {
+    build_detector(opts)?;
+    let log_path = std::path::Path::new(log);
+    let store = ScoreStore::scan(log_path).map_err(|e| format!("{log}: {e}"))?;
+    let recorded: Vec<String> = store.streams().map(|(name, _)| name.to_string()).collect();
+
+    let registry = MetricsRegistry::new();
+    let inner = Tee::new(
+        CsvSink::with_schema(std::io::stdout(), CsvSchema::legacy_stdout(true)),
+        StderrAlertSink::new(true),
+    );
+    let diff = ReplayDiffSink::load(log_path, opts.eps, inner)
+        .map_err(|e| format!("{log}: {e}"))?
+        .with_metrics(&registry);
+    let tracker = diff.tracker();
+
+    // A single positional input mirrors batch/follow (one worker,
+    // strict, seed pinned); --csv/--dir mirror serve (worker pool,
+    // quarantine isolation, seeds derived from the master --seed).
+    let multi = !opts.csvs.is_empty() || opts.dir.is_some();
+    let (workers, strict) = if multi { (4, false) } else { (1, true) };
+    let mut builder = pipeline_builder(opts, workers, strict)
+        .metrics(registry)
+        .sink(diff);
+    if !opts.input.is_empty() {
+        // Batch/follow recordings name their one stream internally
+        // ("cli-batch"/"cli-follow"): alias the live stream to the
+        // log's single recorded name so the diff lines up, and pin its
+        // seed to --seed exactly as batch/follow do.
+        let live = match recorded.as_slice() {
+            [only] => only.clone(),
+            _ => FOLLOW_STREAM.to_string(),
+        };
+        builder = builder
+            .stream_seed(live.clone(), opts.seed)
+            .source(CsvFileSource::new(&opts.input, live, false));
+    }
+    builder = add_csv_sources(builder, &opts.csvs, false)?;
+    if let Some(dir) = &opts.dir {
+        builder = builder.source(DirSource::new(dir, false));
+    }
+
+    let summary = builder
+        .build()
+        .map_err(|e| e.to_string())?
+        .run()
+        .map_err(|e| e.to_string())?;
+    let d = tracker.summary();
+    eprintln!(
+        "replay diff vs {log}: {} compared ({} bit-equal, {} within eps {}, {} diverged); \
+         {} live point(s) not in the log, {} past the recorded horizon, \
+         {} recorded point(s) not reproduced",
+        d.compared,
+        d.equal,
+        d.within_eps,
+        opts.eps,
+        d.diverged,
+        d.unexpected_live,
+        d.trailing_live,
+        d.missing_live
+    );
+    if opts.stats {
+        print_stats(&summary.metrics);
+    }
+    if d.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("replay diverged from {log}"))
+    }
+}
+
+fn run_replay(opts: &Options) -> Result<(), String> {
+    match &opts.diff {
+        Some(log) => {
+            let log = log.clone();
+            run_replay_diff(opts, &log)
+        }
+        None => run_replay_dump(opts),
+    }
+}
+
+/// `query <log>`: per-stream summary, or filtered point listing when
+/// any filter flag is set.
+fn run_query(opts: &Options) -> Result<(), String> {
+    let path = std::path::Path::new(&opts.input);
+    let store = ScoreStore::scan(path).map_err(|e| format!("{}: {e}", opts.input))?;
+    let filtered = opts.q_stream.is_some()
+        || opts.q_since.is_some()
+        || opts.q_until.is_some()
+        || opts.q_alerts_only
+        || opts.q_top.is_some();
+    if !filtered {
+        println!("stream,points,alerts,min_t,max_t,max_score,records");
+        for (name, s) in store.streams() {
+            println!(
+                "{name},{},{},{},{},{},{}",
+                s.points, s.alerts, s.min_t, s.max_t, s.max_score, s.records
+            );
+        }
+        return Ok(());
+    }
+    let rows = store
+        .query(&Query {
+            stream: opts.q_stream.clone(),
+            since: opts.q_since,
+            until: opts.q_until,
+            alerts_only: opts.q_alerts_only,
+            top: opts.q_top,
+        })
+        .map_err(|e| format!("{}: {e}", opts.input))?;
+    let events: Vec<Event> = rows
+        .into_iter()
+        .map(|r| Event::Point {
+            stream: r.stream,
+            point: r.point,
+        })
+        .collect();
+    let mut sink = CsvSink::with_schema(std::io::stdout(), CsvSchema::canonical());
+    // Header first even when nothing matches (flush_durable primes it,
+    // exactly as the pipeline does for live sessions).
+    sink.flush_durable()
+        .and_then(|()| sink.deliver(&events))
+        .and_then(|()| sink.flush_durable())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// The `--stats` report: one `key value` line per sample, in the
 /// registry's deterministic (name, then label) order.
 fn print_stats(metrics: &[MetricSample]) {
@@ -891,6 +1232,8 @@ fn run(opts: &Options) -> Result<(), String> {
         Mode::Batch => run_batch(opts),
         Mode::Follow => run_follow(opts),
         Mode::Serve => run_serve(opts),
+        Mode::Replay => run_replay(opts),
+        Mode::Query => run_query(opts),
     }
 }
 
